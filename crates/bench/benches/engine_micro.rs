@@ -1,0 +1,68 @@
+//! Criterion benchmarks over full POT verification runs (the unit of the
+//! paper's Table 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpot_engine::Verifier;
+
+const FIG1: &str = r#"
+int a, b;
+void increment(int *p) { *p = *p + 1; }
+void decrement(int *p) { *p = *p - 1; }
+void transfer(void) { increment(&a); decrement(&b); }
+int get_sum(void) { return a + b; }
+int inv__sum_zero(void) { return a + b == 0; }
+void spec__transfer(void) {
+  int old_a = a, old_b = b;
+  transfer();
+  assert(a == old_a + 1);
+  assert(b == old_b - 1);
+}
+"#;
+
+const FIG5: &str = r#"
+int *p1, *p2;
+void incr_p1(void) { *p1 = *p1 + 1; }
+int inv__alloc(void) { return names_obj(p1, int) && names_obj(p2, int); }
+void spec__incr_p1(void) {
+  int old_p1 = *p1;
+  int old_p2 = *p2;
+  incr_p1();
+  assert(*p1 == old_p1 + 1);
+  assert(*p2 == old_p2);
+}
+"#;
+
+fn bench_pot(c: &mut Criterion, name: &str, src: &str, pot: &str) {
+    let module = tpot_ir::lower(&tpot_cfront::compile(src).unwrap()).unwrap();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let v = Verifier::new(module.clone());
+            let r = v.verify_pot(pot);
+            assert!(r.status.is_proved(), "{:?}", r.status);
+        })
+    });
+}
+
+fn engine(c: &mut Criterion) {
+    bench_pot(c, "engine/fig1-transfer", FIG1, "spec__transfer");
+    bench_pot(c, "engine/fig5-naming", FIG5, "spec__incr_p1");
+}
+
+fn frontend(c: &mut Criterion) {
+    let t = tpot_targets::target("komodo-s").unwrap();
+    let src = t.full_source();
+    c.bench_function("frontend/compile-komodo", |b| {
+        b.iter(|| {
+            let checked = tpot_cfront::compile(&src).unwrap();
+            let m = tpot_ir::lower(&checked).unwrap();
+            assert!(m.num_insts() > 100);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine, frontend
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the solver substrates (SAT, simplex,
+//! bit-blasting, full SMT) — the building blocks whose costs Fig. 7
+//! aggregates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tpot_sat::{Lit, SatResult, Solver, Var};
+use tpot_smt::{Sort, TermArena};
+use tpot_solver::SmtSolver;
+
+fn sat_pigeonhole(c: &mut Criterion) {
+    c.bench_function("sat/php(6,5)-unsat", |b| {
+        b.iter(|| {
+            let (n, m) = (6u32, 5u32);
+            let mut s = Solver::default();
+            for _ in 0..(n * m) {
+                s.new_var();
+            }
+            let p = |i: u32, j: u32| Lit::pos(Var(i * m + j));
+            for i in 0..n {
+                let cl: Vec<Lit> = (0..m).map(|j| p(i, j)).collect();
+                s.add_clause(&cl);
+            }
+            for j in 0..m {
+                for i1 in 0..n {
+                    for i2 in (i1 + 1)..n {
+                        s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(&[]), SatResult::Unsat);
+        })
+    });
+}
+
+fn smt_pointer_resolution_query(c: &mut Criterion) {
+    // The §4.3 integer-encoded pointer-resolution query shape.
+    c.bench_function("smt/pointer-resolution-int", |b| {
+        b.iter(|| {
+            let mut a = TermArena::new();
+            let b2i = a.declare_func("tpot_bv2int", vec![Sort::BitVec(64)], Sort::Int);
+            let base1 = a.var("base1", Sort::BitVec(64));
+            let base2 = a.var("base2", Sort::BitVec(64));
+            let p = a.var("p", Sort::BitVec(64));
+            let ib1 = a.apply(b2i, vec![base1]);
+            let ib2 = a.apply(b2i, vec![base2]);
+            let ip = a.apply(b2i, vec![p]);
+            let c4096 = a.int_const(4096);
+            let end1 = a.int_add2(ib1, c4096);
+            let layout = a.int_le(end1, ib2);
+            let lo = a.int_le(ib1, ip);
+            let hi = a.int_lt(ip, end1);
+            let alias = a.eq(ip, ib2);
+            let r = SmtSolver::default()
+                .check(&mut a, &[layout, lo, hi, alias])
+                .unwrap();
+            assert!(r.is_unsat());
+        })
+    });
+}
+
+fn smt_bitblast_addition(c: &mut Criterion) {
+    // 64-bit commutativity: a pure bit-blasting workload.
+    c.bench_function("smt/bitblast-add-commute-64", |b| {
+        b.iter(|| {
+            let mut a = TermArena::new();
+            let x = a.var("x", Sort::BitVec(64));
+            let y = a.var("y", Sort::BitVec(64));
+            let s1 = a.bv_add(x, y);
+            let s2 = a.bv_add(y, x);
+            let ne = a.neq(s1, s2);
+            let r = SmtSolver::default().check(&mut a, &[ne]).unwrap();
+            assert!(r.is_unsat());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sat_pigeonhole, smt_pointer_resolution_query, smt_bitblast_addition
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table 4: annotation overhead.
+//!
+//! Measures the TPot annotation lines of every embedded target by category
+//! and prints them next to the paper's published numbers for the four
+//! baseline verifiers and for TPot itself.
+
+use tpot_targets::annot::{count_annotations, PAPER_BASELINES, PAPER_TPOT};
+use tpot_targets::all_targets;
+
+fn main() {
+    println!("Table 4: annotation overhead (lines), reproduction vs paper");
+    println!(
+        "{:<22} {:>5} {:>6} {:>5} {:>5} {:>5} {:>6} {:>6} | {:>7} {:>7} | {:>9} {:>9}",
+        "Target", "Spec", "Intern", "Pred", "Proof", "Loops", "Global", "Linux",
+        "SynTot", "SemTot", "Syn-ovhd", "Sem-ovhd"
+    );
+    println!("{:-<125}", "");
+    for t in all_targets() {
+        let c = count_annotations(&t);
+        println!(
+            "{:<22} {:>5} {:>6} {:>5} {:>5} {:>5} {:>6} {:>6} | {:>7} {:>7} | {:>8.0}% {:>8.0}%",
+            t.name,
+            c.specifications,
+            c.internal,
+            c.predicates,
+            c.proof,
+            c.loops,
+            c.globals,
+            c.linux_models,
+            c.syntactic_total,
+            c.semantic_total,
+            c.syntactic_overhead(),
+            c.semantic_overhead()
+        );
+    }
+    println!();
+    println!("Paper-reported totals for the baseline verifiers (cannot be rerun here):");
+    for (t, v, syn, sem, loc) in PAPER_BASELINES {
+        println!(
+            "  {t:<22} {v:<9} syntactic {syn:>4}  semantic {sem:>4}  overhead {:>3.0}%/{:>3.0}%",
+            100.0 * *syn as f64 / *loc as f64,
+            100.0 * *sem as f64 / *loc as f64
+        );
+    }
+    println!();
+    println!("Paper-reported TPot totals (for shape comparison):");
+    for (t, syn, sem) in PAPER_TPOT {
+        println!("  {t:<22} syntactic {syn:>4}  semantic {sem:>4}");
+    }
+    println!();
+    println!("Key shape: TPot's Internal / Predicates / Proof rows are zero on every");
+    println!("target (component-level inlining, §4.1), which is where the baselines'");
+    println!("overhead concentrates (e.g. USB driver VeriFast: 409 internal lines).");
+}

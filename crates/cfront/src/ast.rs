@@ -1,0 +1,200 @@
+//! Abstract syntax tree produced by the parser.
+
+/// A syntactic type expression (resolved to [`crate::types::Type`] by sema).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeExpr {
+    /// `void`.
+    Void,
+    /// Builtin integer type (width in bits, signedness).
+    Int(u32, bool),
+    /// A typedef name.
+    Named(String),
+    /// `struct S`.
+    Struct(String),
+    /// Pointer.
+    Ptr(Box<TypeExpr>),
+    /// Array with a constant-expression length.
+    Array(Box<TypeExpr>, Box<Expr>),
+}
+
+/// Binary operators (before signedness resolution).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+    /// Logical not.
+    LogNot,
+    /// Pointer dereference.
+    Deref,
+    /// Address-of.
+    AddrOf,
+}
+
+/// A call argument: an expression, or a type name (for spec primitives like
+/// `any(int, x)` and `names_obj(p, struct file[N])`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arg {
+    /// Ordinary expression argument.
+    Expr(Expr),
+    /// Type-name argument.
+    Type(TypeExpr),
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal (value, unsigned suffix, long suffix).
+    IntLit(u128, bool, bool),
+    /// Character literal.
+    CharLit(u8),
+    /// String literal (only valid as a spec-primitive argument).
+    StrLit(String),
+    /// Identifier (variable, enum constant, or function designator).
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Pre-increment/decrement (`inc` selects ++).
+    PreIncDec(Box<Expr>, bool),
+    /// Post-increment/decrement.
+    PostIncDec(Box<Expr>, bool),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogOr(Box<Expr>, Box<Expr>),
+    /// Assignment; `Some(op)` for compound assignment.
+    Assign(Option<BinOp>, Box<Expr>, Box<Expr>),
+    /// `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Direct call (function designator by name).
+    Call(String, Vec<Arg>),
+    /// `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `s.f` (`arrow = false`) or `p->f` (`arrow = true`).
+    Member(Box<Expr>, String, bool),
+    /// `(type)e`.
+    Cast(TypeExpr, Box<Expr>),
+    /// `sizeof(type)`.
+    SizeofType(TypeExpr),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+}
+
+/// An initializer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Init {
+    /// Scalar expression.
+    Scalar(Expr),
+    /// Brace list.
+    List(Vec<Init>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl(TypeExpr, String, Option<Init>),
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while`.
+    While(Expr, Box<Stmt>),
+    /// `for`.
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Expr>,
+        Box<Stmt>,
+    ),
+    /// `return`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `{ … }`.
+    Block(Vec<Stmt>),
+    /// A multi-declarator declaration expanded into several statements;
+    /// unlike [`Stmt::Block`], introduces no scope.
+    Seq(Vec<Stmt>),
+}
+
+/// Top-level items.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// `struct S { … };`
+    StructDef {
+        /// Tag name.
+        name: String,
+        /// Fields in declaration order.
+        fields: Vec<(TypeExpr, String)>,
+    },
+    /// `typedef T name;`
+    Typedef {
+        /// New type name.
+        name: String,
+        /// Aliased type.
+        ty: TypeExpr,
+    },
+    /// `enum { A, B = 3, … };`
+    EnumDef {
+        /// Optional tag.
+        name: Option<String>,
+        /// Variants with optional constant expressions.
+        variants: Vec<(String, Option<Expr>)>,
+    },
+    /// A global variable (or `extern` declaration).
+    Global {
+        /// Declared type.
+        ty: TypeExpr,
+        /// Name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Init>,
+        /// Declared `extern` (no definition here).
+        is_extern: bool,
+    },
+    /// A function definition or prototype.
+    Func {
+        /// Return type.
+        ret: TypeExpr,
+        /// Name.
+        name: String,
+        /// Parameters.
+        params: Vec<(TypeExpr, String)>,
+        /// Body (`None` for prototypes).
+        body: Option<Vec<Stmt>>,
+    },
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}

@@ -1,0 +1,293 @@
+//! Lexer for the C subset.
+
+use crate::token::{Punct, SpannedTok, Tok};
+
+/// Tokenizes preprocessed source.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(SpannedTok {
+                tok: Tok::Ident(src[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut value: u128;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] | 0x20) == b'x' {
+                i += 2;
+                let hstart = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                if i == hstart {
+                    return Err(format!("line {line}: bad hex literal"));
+                }
+                value = u128::from_str_radix(&src[hstart..i], 16)
+                    .map_err(|e| format!("line {line}: {e}"))?;
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                value = src[start..i]
+                    .parse()
+                    .map_err(|e| format!("line {line}: {e}"))?;
+                if c == '0' && i - start > 1 {
+                    // Octal: reparse.
+                    value = u128::from_str_radix(&src[start + 1..i], 8)
+                        .map_err(|e| format!("line {line}: bad octal: {e}"))?;
+                }
+            }
+            let mut unsigned = false;
+            let mut long = false;
+            while i < bytes.len() {
+                match bytes[i] | 0x20 {
+                    b'u' => {
+                        unsigned = true;
+                        i += 1;
+                    }
+                    b'l' => {
+                        long = true;
+                        i += 1;
+                    }
+                    _ => break,
+                }
+            }
+            out.push(SpannedTok {
+                tok: Tok::Int(value, unsigned, long),
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            let v = if bytes[i] == b'\\' {
+                i += 1;
+                let e = unescape(bytes[i] as char)
+                    .ok_or_else(|| format!("line {line}: bad escape"))?;
+                i += 1;
+                e
+            } else {
+                let v = bytes[i];
+                i += 1;
+                v
+            };
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(format!("line {line}: unterminated char literal"));
+            }
+            i += 1;
+            out.push(SpannedTok {
+                tok: Tok::Char(v),
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(format!("line {line}: unterminated string"));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        let e = unescape(bytes[i] as char)
+                            .ok_or_else(|| format!("line {line}: bad escape"))?;
+                        s.push(e as char);
+                        i += 1;
+                    }
+                    b => {
+                        s.push(b as char);
+                        i += 1;
+                    }
+                }
+            }
+            out.push(SpannedTok {
+                tok: Tok::Str(s),
+                line,
+            });
+            continue;
+        }
+        // Punctuation, longest-match first.
+        let rest = &src[i..];
+        let (p, len) = match_punct(rest).ok_or_else(|| {
+            format!("line {line}: unexpected character {c:?}")
+        })?;
+        out.push(SpannedTok {
+            tok: Tok::Punct(p),
+            line,
+        });
+        i += len;
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn unescape(c: char) -> Option<u8> {
+    Some(match c {
+        'n' => b'\n',
+        't' => b'\t',
+        'r' => b'\r',
+        '0' => 0,
+        '\\' => b'\\',
+        '\'' => b'\'',
+        '"' => b'"',
+        _ => return None,
+    })
+}
+
+fn match_punct(s: &str) -> Option<(Punct, usize)> {
+    use Punct::*;
+    let three: &[(&str, Punct)] = &[("<<=", ShlAssign), (">>=", ShrAssign), ("...", Ellipsis)];
+    for (pat, p) in three {
+        if s.starts_with(pat) {
+            return Some((*p, 3));
+        }
+    }
+    let two: &[(&str, Punct)] = &[
+        ("->", Arrow),
+        ("++", PlusPlus),
+        ("--", MinusMinus),
+        ("<<", Shl),
+        (">>", Shr),
+        ("<=", Le),
+        (">=", Ge),
+        ("==", EqEq),
+        ("!=", Ne),
+        ("&&", AmpAmp),
+        ("||", PipePipe),
+        ("+=", PlusAssign),
+        ("-=", MinusAssign),
+        ("*=", StarAssign),
+        ("/=", SlashAssign),
+        ("%=", PercentAssign),
+        ("&=", AmpAssign),
+        ("|=", PipeAssign),
+        ("^=", CaretAssign),
+    ];
+    for (pat, p) in two {
+        if s.starts_with(pat) {
+            return Some((*p, 2));
+        }
+    }
+    let one = match s.as_bytes()[0] {
+        b'(' => LParen,
+        b')' => RParen,
+        b'{' => LBrace,
+        b'}' => RBrace,
+        b'[' => LBracket,
+        b']' => RBracket,
+        b';' => Semi,
+        b',' => Comma,
+        b'.' => Dot,
+        b'+' => Plus,
+        b'-' => Minus,
+        b'*' => Star,
+        b'/' => Slash,
+        b'%' => Percent,
+        b'&' => Amp,
+        b'|' => Pipe,
+        b'^' => Caret,
+        b'~' => Tilde,
+        b'!' => Bang,
+        b'<' => Lt,
+        b'>' => Gt,
+        b'=' => Assign,
+        b'?' => Question,
+        b':' => Colon,
+        _ => return None,
+    };
+    Some((one, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let t = toks("int x = 42;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct(Punct::Assign),
+                Tok::Int(42, false, false),
+                Tok::Punct(Punct::Semi),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_and_suffixes() {
+        let t = toks("0xfful 077 1U");
+        assert_eq!(t[0], Tok::Int(0xff, true, true));
+        assert_eq!(t[1], Tok::Int(0o77, false, false));
+        assert_eq!(t[2], Tok::Int(1, true, false));
+    }
+
+    #[test]
+    fn multichar_puncts() {
+        let t = toks("a->b <<= 1 >> 2 != 3");
+        assert!(t.contains(&Tok::Punct(Punct::Arrow)));
+        assert!(t.contains(&Tok::Punct(Punct::ShlAssign)));
+        assert!(t.contains(&Tok::Punct(Punct::Shr)));
+        assert!(t.contains(&Tok::Punct(Punct::Ne)));
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        let t = toks(r#""hi\n" 'a' '\0'"#);
+        assert_eq!(t[0], Tok::Str("hi\n".into()));
+        assert_eq!(t[1], Tok::Char(b'a'));
+        assert_eq!(t[2], Tok::Char(0));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let lexed = lex("a\nb\n\nc").unwrap();
+        assert_eq!(lexed[0].line, 1);
+        assert_eq!(lexed[1].line, 2);
+        assert_eq!(lexed[2].line, 4);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(lex("int @").is_err());
+    }
+}

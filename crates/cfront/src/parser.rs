@@ -1,0 +1,929 @@
+//! Recursive-descent parser for the C subset.
+
+use std::collections::HashSet;
+
+use crate::ast::*;
+use crate::token::{Punct, SpannedTok, Tok};
+
+/// Spec primitives whose argument at the given index is a *type name*.
+pub fn type_arg_position(callee: &str) -> Option<usize> {
+    match callee {
+        "any" => Some(0),
+        "points_to" | "names_obj" | "names_obj_forall" | "names_obj_forall_cond" => Some(1),
+        _ => None,
+    }
+}
+
+/// Parses a token stream into a [`Program`].
+pub fn parse(tokens: Vec<SpannedTok>) -> Result<Program, String> {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        typedefs: HashSet::new(),
+        structs: HashSet::new(),
+        anon_counter: 0,
+    };
+    p.parse_program()
+}
+
+const BASE_TYPE_KWS: &[&str] = &[
+    "void", "char", "short", "int", "long", "unsigned", "signed", "_Bool", "bool",
+];
+const QUALIFIERS: &[&str] = &["const", "volatile", "static", "inline", "register"];
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    typedefs: HashSet<String>,
+    structs: HashSet<String>,
+    anon_counter: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!(
+            "line {}: {} (at {})",
+            self.line(),
+            msg,
+            self.peek()
+        ))
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), String> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(&format!("expected {p:?}"))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(format!("line {}: expected identifier, got {other}", self.line())),
+        }
+    }
+
+    fn skip_qualifiers(&mut self) {
+        loop {
+            let is_q = matches!(self.peek(), Tok::Ident(s) if QUALIFIERS.contains(&s.as_str()));
+            if is_q {
+                self.bump();
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn at_type_start(&self) -> bool {
+        match self.peek() {
+            Tok::Ident(s) => {
+                BASE_TYPE_KWS.contains(&s.as_str())
+                    || QUALIFIERS.contains(&s.as_str())
+                    || s == "struct"
+                    || s == "enum"
+                    || self.typedefs.contains(s)
+            }
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------- types
+
+    /// Parses a type specifier (no declarator): base keywords, `struct S`,
+    /// or a typedef name.
+    fn parse_type_specifier(&mut self) -> Result<TypeExpr, String> {
+        self.skip_qualifiers();
+        if self.eat_kw("struct") {
+            let name = self.expect_ident()?;
+            return Ok(TypeExpr::Struct(name));
+        }
+        if self.eat_kw("enum") {
+            let _name = self.expect_ident()?;
+            return Ok(TypeExpr::Int(32, true));
+        }
+        // Collect base-type keywords.
+        let mut kws: Vec<String> = Vec::new();
+        loop {
+            self.skip_qualifiers();
+            match self.peek() {
+                Tok::Ident(s) if BASE_TYPE_KWS.contains(&s.as_str()) => {
+                    kws.push(s.clone());
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if kws.is_empty() {
+            if let Tok::Ident(s) = self.peek() {
+                if self.typedefs.contains(s) {
+                    let name = s.clone();
+                    self.bump();
+                    return Ok(TypeExpr::Named(name));
+                }
+            }
+            return self.err("expected type");
+        }
+        base_type_from_keywords(&kws).ok_or_else(|| {
+            format!("line {}: invalid type keywords {kws:?}", self.line())
+        })
+    }
+
+    /// Parses the pointer/array declarator around `base`, returning the full
+    /// type and the declared name.
+    fn parse_declarator(&mut self, base: TypeExpr) -> Result<(TypeExpr, String), String> {
+        let mut ty = base;
+        while self.eat_punct(Punct::Star) {
+            self.skip_qualifiers();
+            ty = TypeExpr::Ptr(Box::new(ty));
+        }
+        let name = self.expect_ident()?;
+        let ty = self.parse_array_suffixes(ty)?;
+        Ok((ty, name))
+    }
+
+    fn parse_array_suffixes(&mut self, mut ty: TypeExpr) -> Result<TypeExpr, String> {
+        // Multi-dimensional arrays: collect sizes, then apply so that
+        // the first suffix is the outermost dimension.
+        let mut dims = Vec::new();
+        while self.eat_punct(Punct::LBracket) {
+            let e = self.parse_expr()?;
+            self.expect_punct(Punct::RBracket)?;
+            dims.push(e);
+        }
+        for e in dims.into_iter().rev() {
+            ty = TypeExpr::Array(Box::new(ty), Box::new(e));
+        }
+        Ok(ty)
+    }
+
+    /// Parses an abstract type name (casts, sizeof, spec-primitive type
+    /// arguments): specifier, stars, optional array suffixes.
+    fn parse_abstract_type(&mut self) -> Result<TypeExpr, String> {
+        let mut ty = self.parse_type_specifier()?;
+        while self.eat_punct(Punct::Star) {
+            self.skip_qualifiers();
+            ty = TypeExpr::Ptr(Box::new(ty));
+        }
+        ty = self.parse_array_suffixes(ty)?;
+        Ok(ty)
+    }
+
+    // ------------------------------------------------------------- program
+
+    fn parse_program(&mut self) -> Result<Program, String> {
+        let mut items = Vec::new();
+        while self.peek() != &Tok::Eof {
+            self.parse_top_level(&mut items)?;
+        }
+        Ok(Program { items })
+    }
+
+    fn parse_top_level(&mut self, items: &mut Vec<Item>) -> Result<(), String> {
+        if self.eat_kw("typedef") {
+            // typedef struct [Tag] { ... } Name;  or  typedef T Name;
+            if self.eat_kw("struct") {
+                let tag = if let Tok::Ident(s) = self.peek() {
+                    if self.peek2() == &Tok::Punct(Punct::LBrace) {
+                        let t = s.clone();
+                        self.bump();
+                        Some(t)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if self.peek() == &Tok::Punct(Punct::LBrace) {
+                    let tag = tag.unwrap_or_else(|| {
+                        self.anon_counter += 1;
+                        format!("__anon{}", self.anon_counter)
+                    });
+                    let fields = self.parse_struct_body()?;
+                    self.structs.insert(tag.clone());
+                    items.push(Item::StructDef {
+                        name: tag.clone(),
+                        fields,
+                    });
+                    let (ty, name) =
+                        self.parse_declarator(TypeExpr::Struct(tag))?;
+                    self.expect_punct(Punct::Semi)?;
+                    self.typedefs.insert(name.clone());
+                    items.push(Item::Typedef { name, ty });
+                    return Ok(());
+                }
+                // typedef struct Tag Name;
+                let tag = self.expect_ident()?;
+                let (ty, name) = self.parse_declarator(TypeExpr::Struct(tag))?;
+                self.expect_punct(Punct::Semi)?;
+                self.typedefs.insert(name.clone());
+                items.push(Item::Typedef { name, ty });
+                return Ok(());
+            }
+            let base = self.parse_type_specifier()?;
+            let (ty, name) = self.parse_declarator(base)?;
+            self.expect_punct(Punct::Semi)?;
+            self.typedefs.insert(name.clone());
+            items.push(Item::Typedef { name, ty });
+            return Ok(());
+        }
+        if matches!(self.peek(), Tok::Ident(s) if s == "struct")
+            && matches!(self.peek2(), Tok::Ident(_))
+            && self.toks.get(self.pos + 2).map(|t| &t.tok) == Some(&Tok::Punct(Punct::LBrace))
+        {
+            self.bump(); // struct
+            let name = self.expect_ident()?;
+            let fields = self.parse_struct_body()?;
+            self.expect_punct(Punct::Semi)?;
+            self.structs.insert(name.clone());
+            items.push(Item::StructDef { name, fields });
+            return Ok(());
+        }
+        if self.eat_kw("enum") {
+            let name = if let Tok::Ident(s) = self.peek() {
+                let n = s.clone();
+                self.bump();
+                Some(n)
+            } else {
+                None
+            };
+            self.expect_punct(Punct::LBrace)?;
+            let mut variants = Vec::new();
+            while self.peek() != &Tok::Punct(Punct::RBrace) {
+                let vname = self.expect_ident()?;
+                let e = if self.eat_punct(Punct::Assign) {
+                    Some(self.parse_ternary()?)
+                } else {
+                    None
+                };
+                variants.push((vname, e));
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RBrace)?;
+            self.expect_punct(Punct::Semi)?;
+            items.push(Item::EnumDef { name, variants });
+            return Ok(());
+        }
+        let mut is_extern = false;
+        if self.eat_kw("extern") {
+            is_extern = true;
+        }
+        let base = self.parse_type_specifier()?;
+        // A bare "struct S;" forward declaration.
+        if self.eat_punct(Punct::Semi) {
+            return Ok(());
+        }
+        let (ty, name) = self.parse_declarator(base.clone())?;
+        if self.peek() == &Tok::Punct(Punct::LParen) {
+            // Function definition or prototype.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.eat_punct(Punct::RParen) {
+                if self.eat_kw("void") && self.peek() == &Tok::Punct(Punct::RParen) {
+                    self.bump();
+                } else {
+                    loop {
+                        let pbase = self.parse_type_specifier()?;
+                        let (pty, pname) = self.parse_declarator(pbase)?;
+                        params.push((pty, pname));
+                        if !self.eat_punct(Punct::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_punct(Punct::RParen)?;
+                }
+            }
+            if self.eat_punct(Punct::Semi) {
+                items.push(Item::Func {
+                    ret: ty,
+                    name,
+                    params,
+                    body: None,
+                });
+                return Ok(());
+            }
+            self.expect_punct(Punct::LBrace)?;
+            let body = self.parse_block_body()?;
+            items.push(Item::Func {
+                ret: ty,
+                name,
+                params,
+                body: Some(body),
+            });
+            return Ok(());
+        }
+        // Global variable(s).
+        let mut pending = vec![(ty, name)];
+        loop {
+            let (ty, name) = pending.pop().unwrap();
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.parse_init()?)
+            } else {
+                None
+            };
+            items.push(Item::Global {
+                ty,
+                name,
+                init,
+                is_extern,
+            });
+            if self.eat_punct(Punct::Comma) {
+                pending.push(self.parse_declarator(base.clone())?);
+            } else {
+                break;
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+        Ok(())
+    }
+
+    fn parse_struct_body(&mut self) -> Result<Vec<(TypeExpr, String)>, String> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != &Tok::Punct(Punct::RBrace) {
+            let base = self.parse_type_specifier()?;
+            loop {
+                let (fty, fname) = self.parse_declarator(base.clone())?;
+                fields.push((fty, fname));
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::Semi)?;
+        }
+        self.expect_punct(Punct::RBrace)?;
+        Ok(fields)
+    }
+
+    fn parse_init(&mut self) -> Result<Init, String> {
+        if self.eat_punct(Punct::LBrace) {
+            let mut list = Vec::new();
+            while self.peek() != &Tok::Punct(Punct::RBrace) {
+                list.push(self.parse_init()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RBrace)?;
+            Ok(Init::List(list))
+        } else {
+            Ok(Init::Scalar(self.parse_assign_expr()?))
+        }
+    }
+
+    // ------------------------------------------------------------- stmts
+
+    fn parse_block_body(&mut self) -> Result<Vec<Stmt>, String> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, String> {
+        if self.eat_punct(Punct::LBrace) {
+            return Ok(Stmt::Block(self.parse_block_body()?));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct(Punct::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(Punct::RParen)?;
+            let then = Box::new(self.parse_stmt()?);
+            let els = if self.eat_kw("else") {
+                Some(Box::new(self.parse_stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw("while") {
+            self.expect_punct(Punct::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(Punct::RParen)?;
+            let body = Box::new(self.parse_stmt()?);
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_kw("for") {
+            self.expect_punct(Punct::LParen)?;
+            let init = if self.eat_punct(Punct::Semi) {
+                None
+            } else {
+                let s = if self.at_type_start() {
+                    self.parse_decl_stmt()?
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::Semi)?;
+                    Stmt::Expr(e)
+                };
+                Some(Box::new(s))
+            };
+            let cond = if self.peek() == &Tok::Punct(Punct::Semi) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(Punct::Semi)?;
+            let step = if self.peek() == &Tok::Punct(Punct::RParen) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(Punct::RParen)?;
+            let body = Box::new(self.parse_stmt()?);
+            return Ok(Stmt::For(init, cond, step, body));
+        }
+        if self.eat_kw("return") {
+            if self.eat_punct(Punct::Semi) {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.parse_expr()?;
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(Punct::Semi)?;
+            return Ok(Stmt::Continue);
+        }
+        if self.at_type_start() {
+            return self.parse_decl_stmt();
+        }
+        let e = self.parse_expr()?;
+        self.expect_punct(Punct::Semi)?;
+        Ok(Stmt::Expr(e))
+    }
+
+    /// Parses a declaration statement, expanding multiple declarators into a
+    /// block of single declarations.
+    fn parse_decl_stmt(&mut self) -> Result<Stmt, String> {
+        let base = self.parse_type_specifier()?;
+        let mut decls = Vec::new();
+        loop {
+            let (ty, name) = self.parse_declarator(base.clone())?;
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.parse_init()?)
+            } else {
+                None
+            };
+            decls.push(Stmt::Decl(ty, name, init));
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+        if decls.len() == 1 {
+            Ok(decls.pop().unwrap())
+        } else {
+            Ok(Stmt::Seq(decls))
+        }
+    }
+
+    // ------------------------------------------------------------- exprs
+
+    fn parse_expr(&mut self) -> Result<Expr, String> {
+        self.parse_assign_expr()
+    }
+
+    fn parse_assign_expr(&mut self) -> Result<Expr, String> {
+        let lhs = self.parse_ternary()?;
+        let op = match self.peek() {
+            Tok::Punct(Punct::Assign) => None,
+            Tok::Punct(Punct::PlusAssign) => Some(BinOp::Add),
+            Tok::Punct(Punct::MinusAssign) => Some(BinOp::Sub),
+            Tok::Punct(Punct::StarAssign) => Some(BinOp::Mul),
+            Tok::Punct(Punct::SlashAssign) => Some(BinOp::Div),
+            Tok::Punct(Punct::PercentAssign) => Some(BinOp::Rem),
+            Tok::Punct(Punct::AmpAssign) => Some(BinOp::And),
+            Tok::Punct(Punct::PipeAssign) => Some(BinOp::Or),
+            Tok::Punct(Punct::CaretAssign) => Some(BinOp::Xor),
+            Tok::Punct(Punct::ShlAssign) => Some(BinOp::Shl),
+            Tok::Punct(Punct::ShrAssign) => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assign_expr()?;
+        Ok(Expr::Assign(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_ternary(&mut self) -> Result<Expr, String> {
+        let cond = self.parse_binary(0)?;
+        if self.eat_punct(Punct::Question) {
+            let t = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let e = self.parse_ternary()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(t), Box::new(e)));
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, String> {
+        let mut lhs = self.parse_cast_unary()?;
+        loop {
+            let (prec, kind) = match self.peek() {
+                Tok::Punct(Punct::PipePipe) => (1, None),
+                Tok::Punct(Punct::AmpAmp) => (2, None),
+                Tok::Punct(Punct::Pipe) => (3, Some(BinOp::Or)),
+                Tok::Punct(Punct::Caret) => (4, Some(BinOp::Xor)),
+                Tok::Punct(Punct::Amp) => (5, Some(BinOp::And)),
+                Tok::Punct(Punct::EqEq) => (6, Some(BinOp::Eq)),
+                Tok::Punct(Punct::Ne) => (6, Some(BinOp::Ne)),
+                Tok::Punct(Punct::Lt) => (7, Some(BinOp::Lt)),
+                Tok::Punct(Punct::Le) => (7, Some(BinOp::Le)),
+                Tok::Punct(Punct::Gt) => (7, Some(BinOp::Gt)),
+                Tok::Punct(Punct::Ge) => (7, Some(BinOp::Ge)),
+                Tok::Punct(Punct::Shl) => (8, Some(BinOp::Shl)),
+                Tok::Punct(Punct::Shr) => (8, Some(BinOp::Shr)),
+                Tok::Punct(Punct::Plus) => (9, Some(BinOp::Add)),
+                Tok::Punct(Punct::Minus) => (9, Some(BinOp::Sub)),
+                Tok::Punct(Punct::Star) => (10, Some(BinOp::Mul)),
+                Tok::Punct(Punct::Slash) => (10, Some(BinOp::Div)),
+                Tok::Punct(Punct::Percent) => (10, Some(BinOp::Rem)),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = match kind {
+                Some(op) => Expr::Binary(op, Box::new(lhs), Box::new(rhs)),
+                None if prec == 1 => Expr::LogOr(Box::new(lhs), Box::new(rhs)),
+                None => Expr::LogAnd(Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cast_unary(&mut self) -> Result<Expr, String> {
+        // `(type) expr` — lookahead: '(' followed by a type start.
+        if self.peek() == &Tok::Punct(Punct::LParen) {
+            let save = self.pos;
+            self.bump();
+            if self.at_type_start() {
+                let ty = self.parse_abstract_type()?;
+                self.expect_punct(Punct::RParen)?;
+                let e = self.parse_cast_unary()?;
+                return Ok(Expr::Cast(ty, Box::new(e)));
+            }
+            self.pos = save;
+        }
+        self.parse_unary()
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, String> {
+        match self.peek() {
+            Tok::Punct(Punct::Minus) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_cast_unary()?)))
+            }
+            Tok::Punct(Punct::Tilde) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.parse_cast_unary()?)))
+            }
+            Tok::Punct(Punct::Bang) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::LogNot, Box::new(self.parse_cast_unary()?)))
+            }
+            Tok::Punct(Punct::Star) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Deref, Box::new(self.parse_cast_unary()?)))
+            }
+            Tok::Punct(Punct::Amp) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::AddrOf, Box::new(self.parse_cast_unary()?)))
+            }
+            Tok::Punct(Punct::Plus) => {
+                self.bump();
+                self.parse_cast_unary()
+            }
+            Tok::Punct(Punct::PlusPlus) => {
+                self.bump();
+                Ok(Expr::PreIncDec(Box::new(self.parse_unary()?), true))
+            }
+            Tok::Punct(Punct::MinusMinus) => {
+                self.bump();
+                Ok(Expr::PreIncDec(Box::new(self.parse_unary()?), false))
+            }
+            Tok::Ident(s) if s == "sizeof" => {
+                self.bump();
+                if self.peek() == &Tok::Punct(Punct::LParen) {
+                    let save = self.pos;
+                    self.bump();
+                    if self.at_type_start() {
+                        let ty = self.parse_abstract_type()?;
+                        self.expect_punct(Punct::RParen)?;
+                        return Ok(Expr::SizeofType(ty));
+                    }
+                    self.pos = save;
+                }
+                Ok(Expr::SizeofExpr(Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, String> {
+        let mut e = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                Tok::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect_punct(Punct::RBracket)?;
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                Tok::Punct(Punct::Dot) => {
+                    self.bump();
+                    let f = self.expect_ident()?;
+                    e = Expr::Member(Box::new(e), f, false);
+                }
+                Tok::Punct(Punct::Arrow) => {
+                    self.bump();
+                    let f = self.expect_ident()?;
+                    e = Expr::Member(Box::new(e), f, true);
+                }
+                Tok::Punct(Punct::PlusPlus) => {
+                    self.bump();
+                    e = Expr::PostIncDec(Box::new(e), true);
+                }
+                Tok::Punct(Punct::MinusMinus) => {
+                    self.bump();
+                    e = Expr::PostIncDec(Box::new(e), false);
+                }
+                Tok::Punct(Punct::LParen) => {
+                    let callee = match &e {
+                        Expr::Ident(name) => name.clone(),
+                        _ => return self.err("only direct calls are supported"),
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        let type_pos = type_arg_position(&callee);
+                        let mut idx = 0;
+                        loop {
+                            if Some(idx) == type_pos {
+                                args.push(Arg::Type(self.parse_abstract_type()?));
+                            } else {
+                                args.push(Arg::Expr(self.parse_assign_expr()?));
+                            }
+                            idx += 1;
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_punct(Punct::RParen)?;
+                    }
+                    e = Expr::Call(callee, args);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, String> {
+        match self.bump() {
+            Tok::Int(v, u, l) => Ok(Expr::IntLit(v, u, l)),
+            Tok::Char(c) => Ok(Expr::CharLit(c)),
+            Tok::Str(s) => Ok(Expr::StrLit(s)),
+            Tok::Ident(s) => Ok(Expr::Ident(s)),
+            Tok::Punct(Punct::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            other => Err(format!(
+                "line {}: expected expression, got {other}",
+                self.line()
+            )),
+        }
+    }
+}
+
+fn base_type_from_keywords(kws: &[String]) -> Option<TypeExpr> {
+    let has = |k: &str| kws.iter().any(|s| s == k);
+    if has("void") {
+        return Some(TypeExpr::Void);
+    }
+    if has("_Bool") || has("bool") {
+        return Some(TypeExpr::Int(8, false));
+    }
+    let signed = !has("unsigned");
+    if has("char") {
+        return Some(TypeExpr::Int(8, signed));
+    }
+    if has("short") {
+        return Some(TypeExpr::Int(16, signed));
+    }
+    if has("long") {
+        return Some(TypeExpr::Int(64, signed));
+    }
+    // `int`, `unsigned`, `signed`.
+    Some(TypeExpr::Int(32, signed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_globals_and_function() {
+        let p = parse_src("int a; unsigned long cur = 0;\nint get(void) { return a; }\n");
+        assert_eq!(p.items.len(), 3);
+        assert!(matches!(&p.items[0], Item::Global { name, .. } if name == "a"));
+        assert!(matches!(&p.items[2], Item::Func { name, body: Some(_), .. } if name == "get"));
+    }
+
+    #[test]
+    fn parse_struct_and_typedef() {
+        let p = parse_src(
+            "struct file { unsigned long inode; struct perm *p; };\ntypedef unsigned long u64;\nu64 x;\n",
+        );
+        assert!(matches!(&p.items[0], Item::StructDef { fields, .. } if fields.len() == 2));
+        assert!(matches!(&p.items[1], Item::Typedef { name, .. } if name == "u64"));
+        assert!(
+            matches!(&p.items[2], Item::Global { ty: TypeExpr::Named(n), .. } if n == "u64")
+        );
+    }
+
+    #[test]
+    fn parse_pointer_arithmetic_expr() {
+        let p = parse_src("void f(char *p) { *(p + 4) = 0; }\n");
+        match &p.items[0] {
+            Item::Func { body: Some(b), .. } => {
+                assert!(matches!(&b[0], Stmt::Expr(Expr::Assign(None, _, _))));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_spec_primitives() {
+        let p = parse_src(
+            "void spec__f(void) { any(unsigned int, n); assume(n > 0); assert(n != 0); }\n",
+        );
+        match &p.items[0] {
+            Item::Func { body: Some(b), .. } => {
+                match &b[0] {
+                    Stmt::Expr(Expr::Call(name, args)) => {
+                        assert_eq!(name, "any");
+                        assert!(matches!(&args[0], Arg::Type(TypeExpr::Int(32, false))));
+                        assert!(matches!(&args[1], Arg::Expr(Expr::Ident(n)) if n == "n"));
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_names_obj_with_array_type() {
+        let p = parse_src("int inv__x(void) { return names_obj(p, char[4096]); }\n");
+        match &p.items[0] {
+            Item::Func { body: Some(b), .. } => match &b[0] {
+                Stmt::Return(Some(Expr::Call(name, args))) => {
+                    assert_eq!(name, "names_obj");
+                    assert!(matches!(&args[1], Arg::Type(TypeExpr::Array(_, _))));
+                }
+                other => panic!("{other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_cast_vs_paren() {
+        let p = parse_src("void f(void) { unsigned long x; char *p = (char *)x; int y = (x); }\n");
+        match &p.items[0] {
+            Item::Func { body: Some(b), .. } => {
+                assert!(matches!(
+                    &b[1],
+                    Stmt::Decl(_, _, Some(Init::Scalar(Expr::Cast(_, _))))
+                ));
+                assert!(matches!(
+                    &b[2],
+                    Stmt::Decl(_, _, Some(Init::Scalar(Expr::Ident(_))))
+                ));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_control_flow() {
+        let p = parse_src(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { if (i % 2 == 0) s += i; else continue; } while (s > 100) { s--; break; } return s; }\n",
+        );
+        assert_eq!(p.items.len(), 1);
+    }
+
+    #[test]
+    fn parse_ternary_and_logical() {
+        let p = parse_src("int f(int a, int b) { return a && b ? a | b : a >> 2; }\n");
+        match &p.items[0] {
+            Item::Func { body: Some(b), .. } => {
+                assert!(matches!(&b[0], Stmt::Return(Some(Expr::Ternary(_, _, _)))));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_enum() {
+        let p = parse_src("enum { A, B = 5, C };\n");
+        assert!(
+            matches!(&p.items[0], Item::EnumDef { variants, .. } if variants.len() == 3)
+        );
+    }
+
+    #[test]
+    fn parse_typedef_struct_anon() {
+        let p = parse_src("typedef struct { int x; } pair_t;\npair_t g;\n");
+        assert!(matches!(&p.items[0], Item::StructDef { .. }));
+        assert!(matches!(&p.items[1], Item::Typedef { name, .. } if name == "pair_t"));
+    }
+
+    #[test]
+    fn parse_multidim_array() {
+        let p = parse_src("int table[4][8];\n");
+        match &p.items[0] {
+            Item::Global { ty, .. } => match ty {
+                TypeExpr::Array(inner, _) => {
+                    assert!(matches!(**inner, TypeExpr::Array(_, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_tpot_inv_call() {
+        let p = parse_src(
+            "void f(void) { int i; __tpot_inv(&loopinv, &i, &i, sizeof(i)); }\n",
+        );
+        match &p.items[0] {
+            Item::Func { body: Some(b), .. } => {
+                assert!(matches!(&b[1], Stmt::Expr(Expr::Call(n, _)) if n == "__tpot_inv"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn error_message_has_line() {
+        let perr = parse(lex("int f() { return ; + }\n").unwrap()).unwrap_err();
+        assert!(perr.contains("line"), "{perr}");
+    }
+}

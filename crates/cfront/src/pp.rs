@@ -1,0 +1,253 @@
+//! A small preprocessor: comment stripping and object-like `#define`.
+//!
+//! The evaluation targets use `#define` for configuration constants
+//! (`PAGE_SIZE`, `MAX_FILES`, `NULL`, …). Function-like macros are not
+//! supported — the targets use real (inlined-by-TPot) functions instead,
+//! which is also what the paper's methodology favors. `#ifdef`/`#if` with
+//! defined-ness checks are supported in the minimal form the targets need.
+
+use std::collections::HashMap;
+
+/// Strips comments and expands object-like macros.
+///
+/// Supported directives: `#define NAME tokens…`, `#undef NAME`,
+/// `#ifdef NAME` / `#ifndef NAME` / `#else` / `#endif`.
+pub fn preprocess(src: &str) -> Result<String, String> {
+    let no_comments = strip_comments(src)?;
+    let mut defines: HashMap<String, String> = HashMap::new();
+    let mut out = String::with_capacity(no_comments.len());
+    // Stack of "currently emitting?" flags for conditional nesting.
+    let mut emit_stack: Vec<bool> = Vec::new();
+    for (lineno, line) in no_comments.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let emitting = emit_stack.iter().all(|&e| e);
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(def) = rest.strip_prefix("define") {
+                if emitting {
+                    let def = def.trim();
+                    let (name, body) = split_ident(def)
+                        .ok_or_else(|| format!("line {}: bad #define", lineno + 1))?;
+                    if body.starts_with('(') {
+                        return Err(format!(
+                            "line {}: function-like macros are not supported ({name})",
+                            lineno + 1
+                        ));
+                    }
+                    defines.insert(name.to_string(), body.trim().to_string());
+                }
+            } else if let Some(name) = rest.strip_prefix("undef") {
+                if emitting {
+                    defines.remove(name.trim());
+                }
+            } else if let Some(name) = rest.strip_prefix("ifndef") {
+                emit_stack.push(!defines.contains_key(name.trim()));
+            } else if let Some(name) = rest.strip_prefix("ifdef") {
+                emit_stack.push(defines.contains_key(name.trim()));
+            } else if rest.starts_with("else") {
+                let top = emit_stack
+                    .last_mut()
+                    .ok_or_else(|| format!("line {}: #else without #if", lineno + 1))?;
+                *top = !*top;
+            } else if rest.starts_with("endif") {
+                emit_stack
+                    .pop()
+                    .ok_or_else(|| format!("line {}: #endif without #if", lineno + 1))?;
+            } else if rest.starts_with("include") {
+                // Single-translation-unit model: includes are stitched by the
+                // caller; the directive is ignored.
+            } else {
+                return Err(format!("line {}: unsupported directive #{rest}", lineno + 1));
+            }
+            out.push('\n'); // keep line numbers stable
+            continue;
+        }
+        if !emitting {
+            out.push('\n');
+            continue;
+        }
+        out.push_str(&expand_line(line, &defines, 0)?);
+        out.push('\n');
+    }
+    if !emit_stack.is_empty() {
+        return Err("unterminated #ifdef/#ifndef".into());
+    }
+    Ok(out)
+}
+
+fn split_ident(s: &str) -> Option<(&str, &str)> {
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    Some((&s[..end], &s[end..]))
+}
+
+/// Expands macros in a single line, identifier-wise (no expansion inside
+/// string literals). Recursion depth is bounded to catch cycles.
+fn expand_line(
+    line: &str,
+    defines: &HashMap<String, String>,
+    depth: u32,
+) -> Result<String, String> {
+    if depth > 32 {
+        return Err("macro expansion too deep (cycle?)".into());
+    }
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '"' {
+            // Copy string literal verbatim.
+            out.push(c);
+            i += 1;
+            while i < bytes.len() {
+                let d = bytes[i] as char;
+                out.push(d);
+                i += 1;
+                if d == '\\' && i < bytes.len() {
+                    out.push(bytes[i] as char);
+                    i += 1;
+                } else if d == '"' {
+                    break;
+                }
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &line[start..i];
+            if let Some(body) = defines.get(word) {
+                out.push_str(&expand_line(body, defines, depth + 1)?);
+            } else {
+                out.push_str(word);
+            }
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// Removes `//` and `/* */` comments, preserving newlines for line numbers.
+fn strip_comments(src: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err("unterminated block comment".into());
+                }
+                if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                if bytes[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+        } else if c == '"' {
+            out.push(c);
+            i += 1;
+            while i < bytes.len() {
+                let d = bytes[i] as char;
+                out.push(d);
+                i += 1;
+                if d == '\\' && i < bytes.len() {
+                    out.push(bytes[i] as char);
+                    i += 1;
+                } else if d == '"' {
+                    break;
+                }
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defines_expand() {
+        let src = "#define N 4\nint a[N];\n";
+        let out = preprocess(src).unwrap();
+        assert!(out.contains("int a[4];"));
+    }
+
+    #[test]
+    fn nested_defines() {
+        let src = "#define A 2\n#define B (A * 3)\nint x = B;\n";
+        let out = preprocess(src).unwrap();
+        assert!(out.contains("int x = (2 * 3);"));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let src = "int /* c */ x; // trailing\nint y;\n";
+        let out = preprocess(src).unwrap();
+        assert!(out.contains("int  x; "));
+        assert!(out.contains("int y;"));
+        assert!(!out.contains("trailing"));
+    }
+
+    #[test]
+    fn no_expansion_in_strings() {
+        let src = "#define p q\nchar *s = \"p\";\n";
+        let out = preprocess(src).unwrap();
+        assert!(out.contains("\"p\""));
+    }
+
+    #[test]
+    fn conditionals() {
+        let src = "#define X 1\n#ifdef X\nint a;\n#else\nint b;\n#endif\n#ifndef X\nint c;\n#endif\n";
+        let out = preprocess(src).unwrap();
+        assert!(out.contains("int a;"));
+        assert!(!out.contains("int b;"));
+        assert!(!out.contains("int c;"));
+    }
+
+    #[test]
+    fn function_like_macro_rejected() {
+        let src = "#define F(x) (x+1)\n";
+        assert!(preprocess(src).is_err());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let src = "#define A B\n#define B A\nint x = A;\n";
+        assert!(preprocess(src).is_err());
+    }
+
+    #[test]
+    fn line_numbers_preserved() {
+        let src = "#define N 1\n\nint x;\n";
+        let out = preprocess(src).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert_eq!(out.lines().nth(2), Some("int x;"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Token definitions shared by the lexer and parser.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal (value, explicitly-unsigned?, explicitly-long?).
+    Int(u128, bool, bool),
+    /// Character literal, already decoded to its value.
+    Char(u8),
+    /// String literal, already unescaped.
+    Str(String),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operator tokens.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+    Ellipsis,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v, _, _) => write!(f, "{v}"),
+            Tok::Char(c) => write!(f, "'{}'", *c as char),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Punct(p) => write!(f, "{p:?}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Clone, Debug)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}

@@ -1,0 +1,260 @@
+//! Semantic types and data layout (LP64).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A resolved C type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// `void` (only behind pointers or as a return type).
+    Void,
+    /// Integer type: width in bits (8/16/32/64) and signedness.
+    Int {
+        /// Width in bits.
+        width: u32,
+        /// Signedness.
+        signed: bool,
+    },
+    /// Pointer to a pointee type.
+    Ptr(Box<Type>),
+    /// Array of a fixed element count.
+    Array(Box<Type>, u64),
+    /// Struct, by index into [`StructLayouts`].
+    Struct(usize),
+}
+
+impl Type {
+    /// The LP64 `int`.
+    pub const INT: Type = Type::Int {
+        width: 32,
+        signed: true,
+    };
+    /// The LP64 `unsigned long` (also `size_t`, `uintptr_t`).
+    pub const ULONG: Type = Type::Int {
+        width: 64,
+        signed: false,
+    };
+    /// `unsigned char`.
+    pub const UCHAR: Type = Type::Int {
+        width: 8,
+        signed: false,
+    };
+    /// `_Bool` (we give it `unsigned char` representation).
+    pub const BOOL: Type = Type::Int {
+        width: 8,
+        signed: false,
+    };
+
+    /// True for any integer type.
+    pub fn is_integer(&self) -> bool {
+        matches!(self, Type::Int { .. })
+    }
+
+    /// True for pointers.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// True for integers or pointers (things that fit in a register).
+    pub fn is_scalar(&self) -> bool {
+        self.is_integer() || self.is_pointer()
+    }
+
+    /// Width in bits of a scalar type.
+    ///
+    /// # Panics
+    /// Panics on non-scalar types.
+    pub fn bit_width(&self) -> u32 {
+        match self {
+            Type::Int { width, .. } => *width,
+            Type::Ptr(_) => 64,
+            other => panic!("bit_width of non-scalar type {other:?}"),
+        }
+    }
+
+    /// Signedness for arithmetic purposes (pointers are unsigned).
+    pub fn is_signed(&self) -> bool {
+        matches!(self, Type::Int { signed: true, .. })
+    }
+
+    /// Size in bytes.
+    pub fn size(&self, layouts: &StructLayouts) -> u64 {
+        match self {
+            Type::Void => 1, // GNU-style void arithmetic; not reachable in checked code
+            Type::Int { width, .. } => (*width / 8) as u64,
+            Type::Ptr(_) => 8,
+            Type::Array(e, n) => e.size(layouts) * n,
+            Type::Struct(i) => layouts.structs[*i].size,
+        }
+    }
+
+    /// Natural alignment in bytes.
+    pub fn align(&self, layouts: &StructLayouts) -> u64 {
+        match self {
+            Type::Void => 1,
+            Type::Int { width, .. } => (*width / 8) as u64,
+            Type::Ptr(_) => 8,
+            Type::Array(e, _) => e.align(layouts),
+            Type::Struct(i) => layouts.structs[*i].align,
+        }
+    }
+
+    /// The type `self` decays to as an rvalue (arrays decay to pointers).
+    pub fn decayed(&self) -> Type {
+        match self {
+            Type::Array(e, _) => Type::Ptr(e.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int { width, signed } => {
+                write!(f, "{}{}", if *signed { "i" } else { "u" }, width)
+            }
+            Type::Ptr(p) => write!(f, "{p}*"),
+            Type::Array(e, n) => write!(f, "{e}[{n}]"),
+            Type::Struct(i) => write!(f, "struct#{i}"),
+        }
+    }
+}
+
+/// A struct field with its computed offset.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Byte offset within the struct.
+    pub offset: u64,
+}
+
+/// Layout of one struct.
+#[derive(Clone, Debug)]
+pub struct StructInfo {
+    /// Tag name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+    /// Total size including tail padding.
+    pub size: u64,
+    /// Alignment.
+    pub align: u64,
+}
+
+impl StructInfo {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// All struct layouts of a translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct StructLayouts {
+    /// Structs by index (the index appearing in [`Type::Struct`]).
+    pub structs: Vec<StructInfo>,
+    /// Tag name → index.
+    pub by_name: HashMap<String, usize>,
+}
+
+impl StructLayouts {
+    /// Registers a struct from resolved field types, computing offsets with
+    /// natural alignment and padding (System V rules).
+    pub fn define(&mut self, name: &str, field_tys: Vec<(String, Type)>) -> usize {
+        let mut fields = Vec::with_capacity(field_tys.len());
+        let mut offset: u64 = 0;
+        let mut align: u64 = 1;
+        for (fname, fty) in field_tys {
+            let fa = fty.align(self);
+            let fs = fty.size(self);
+            offset = offset.div_ceil(fa) * fa;
+            fields.push(Field {
+                name: fname,
+                ty: fty,
+                offset,
+            });
+            offset += fs;
+            align = align.max(fa);
+        }
+        let size = offset.div_ceil(align) * align;
+        let idx = self.structs.len();
+        self.structs.push(StructInfo {
+            name: name.to_string(),
+            fields,
+            size: size.max(1),
+            align,
+        });
+        self.by_name.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// Looks up a struct index by tag name.
+    pub fn lookup(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        let l = StructLayouts::default();
+        assert_eq!(Type::INT.size(&l), 4);
+        assert_eq!(Type::ULONG.size(&l), 8);
+        assert_eq!(Type::Ptr(Box::new(Type::Void)).size(&l), 8);
+        assert_eq!(Type::Array(Box::new(Type::INT), 10).size(&l), 40);
+    }
+
+    #[test]
+    fn struct_layout_padding() {
+        let mut l = StructLayouts::default();
+        // struct { char c; long x; char d; } → offsets 0, 8, 16; size 24.
+        let i = l.define(
+            "s",
+            vec![
+                ("c".into(), Type::UCHAR),
+                ("x".into(), Type::ULONG),
+                ("d".into(), Type::UCHAR),
+            ],
+        );
+        let s = &l.structs[i];
+        assert_eq!(s.field("c").unwrap().offset, 0);
+        assert_eq!(s.field("x").unwrap().offset, 8);
+        assert_eq!(s.field("d").unwrap().offset, 16);
+        assert_eq!(s.size, 24);
+        assert_eq!(s.align, 8);
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let mut l = StructLayouts::default();
+        let inner = l.define(
+            "inner",
+            vec![("a".into(), Type::INT), ("b".into(), Type::INT)],
+        );
+        let outer = l.define(
+            "outer",
+            vec![
+                ("c".into(), Type::UCHAR),
+                ("in".into(), Type::Struct(inner)),
+            ],
+        );
+        let s = &l.structs[outer];
+        assert_eq!(s.field("in").unwrap().offset, 4);
+        assert_eq!(s.size, 12);
+    }
+
+    #[test]
+    fn decay() {
+        let arr = Type::Array(Box::new(Type::INT), 4);
+        assert_eq!(arr.decayed(), Type::Ptr(Box::new(Type::INT)));
+        assert_eq!(Type::INT.decayed(), Type::INT);
+    }
+}

@@ -1,0 +1,384 @@
+//! The verification driver: runs each POT through the interpreter and
+//! performs the end-of-POT obligations (invariant re-establishment, pledge
+//! verification, leak detection), producing paper-style results and
+//! counterexamples (§3.2).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use tpot_ir::Module;
+use tpot_smt::TermId;
+
+use crate::interp::{EngineConfig, Interp};
+use crate::query::EngineError;
+use crate::state::{NamingMode, PathOutcome, Pledge, RetCont, State};
+use crate::stats::{QueryPurpose, Stats};
+
+/// Kinds of violations TPot reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// A POT assertion failed.
+    AssertFailed,
+    /// Out-of-bounds or unmapped memory access.
+    OutOfBounds,
+    /// Access to freed memory or a dead stack slot.
+    UseAfterFree,
+    /// Division (or remainder) by zero.
+    DivisionByZero,
+    /// `free` of a non-heap or interior pointer, or double free.
+    InvalidFree,
+    /// A global invariant failed to re-establish after the POT.
+    InvariantViolated,
+    /// A loop invariant failed (entry, preservation, or frame).
+    LoopInvariantViolated,
+    /// A heap object was left unnamed by the invariants — a memory leak
+    /// (paper §4.1: theorem clause (C)).
+    MemoryLeak,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ViolationKind::AssertFailed => "assertion failure",
+            ViolationKind::OutOfBounds => "out-of-bounds access",
+            ViolationKind::UseAfterFree => "use after free",
+            ViolationKind::DivisionByZero => "division by zero",
+            ViolationKind::InvalidFree => "invalid free",
+            ViolationKind::InvariantViolated => "global invariant violated",
+            ViolationKind::LoopInvariantViolated => "loop invariant violated",
+            ViolationKind::MemoryLeak => "memory leak",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A reported violation with its counterexample (paper §3.2: an initial
+/// state, a code path, and the violation).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Violation category.
+    pub kind: ViolationKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Counterexample: assignment of values to variables (initial symbolic
+    /// state), if a model was available.
+    pub model: Option<String>,
+    /// The code path: entered blocks in execution order.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)?;
+        if let Some(m) = &self.model {
+            write!(f, "\n  counterexample: {m}")?;
+        }
+        if !self.trace.is_empty() {
+            let tail: Vec<&str> = self
+                .trace
+                .iter()
+                .rev()
+                .take(8)
+                .map(String::as_str)
+                .collect();
+            write!(f, "\n  path (last steps): {}", tail.join(" ← "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of verifying one POT.
+#[derive(Clone, Debug)]
+pub enum PotStatus {
+    /// All obligations proved.
+    Proved,
+    /// One or more violations found.
+    Failed(Vec<Violation>),
+    /// The engine could not finish (unsupported construct, resource limit).
+    Error(String),
+}
+
+impl PotStatus {
+    /// True if proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, PotStatus::Proved)
+    }
+}
+
+/// Result of verifying one POT.
+#[derive(Clone, Debug)]
+pub struct PotResult {
+    /// POT name.
+    pub pot: String,
+    /// Outcome.
+    pub status: PotStatus,
+    /// Engine statistics (Fig. 7 buckets etc.).
+    pub stats: Stats,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// The top-level verifier (paper Fig. 3: the TPot box).
+pub struct Verifier {
+    /// The lowered component (implementation + specification).
+    pub module: Module,
+    /// Engine configuration.
+    pub config: EngineConfig,
+}
+
+impl Verifier {
+    /// Creates a verifier with the default configuration.
+    pub fn new(module: Module) -> Self {
+        Verifier {
+            module,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Creates a verifier with a custom configuration.
+    pub fn with_config(module: Module, config: EngineConfig) -> Self {
+        Verifier { module, config }
+    }
+
+    /// Verifies every POT (sequentially). The table-5 harness runs POTs on
+    /// parallel threads instead, like the paper's CI setup.
+    pub fn verify_all(&self) -> Vec<PotResult> {
+        self.module
+            .pot_names()
+            .iter()
+            .map(|p| self.verify_pot(p))
+            .collect()
+    }
+
+    /// Verifies one POT, proving the §4.1 top-level theorem for it.
+    pub fn verify_pot(&self, pot: &str) -> PotResult {
+        let t0 = Instant::now();
+        match self.verify_pot_inner(pot) {
+            Ok((violations, stats)) => PotResult {
+                pot: pot.to_string(),
+                status: if violations.is_empty() {
+                    PotStatus::Proved
+                } else {
+                    PotStatus::Failed(violations)
+                },
+                stats,
+                duration: t0.elapsed(),
+            },
+            Err(e) => PotResult {
+                pot: pot.to_string(),
+                status: PotStatus::Error(e.to_string()),
+                stats: Stats::default(),
+                duration: t0.elapsed(),
+            },
+        }
+    }
+
+    fn verify_pot_inner(
+        &self,
+        pot: &str,
+    ) -> Result<(Vec<Violation>, Stats), EngineError> {
+        let mut interp = Interp::new(&self.module, self.config.clone());
+        let is_init = pot.contains(&interp.config.init_marker);
+        let mem = interp.initial_memory(is_init)?;
+        let mut state = State::new(mem);
+        for c in state.mem.take_constraints() {
+            state.assume(c);
+        }
+        interp.push_call(&mut state, pot, &[], None, RetCont::Normal)?;
+        // Non-initializer POTs start from any state satisfying the
+        // invariants (paper §3.1).
+        if !is_init {
+            for inv in self.module.invariant_names() {
+                state
+                    .frame_mut()
+                    .pending
+                    .push_back(crate::state::Pending::CallBool {
+                        func: inv,
+                        args: vec![],
+                        cont: RetCont::AssumeTrue,
+                    });
+            }
+        }
+        let finished = interp.run(state)?;
+        let mut violations: Vec<Violation> = Vec::new();
+        for st in finished {
+            match st.done.clone() {
+                Some(PathOutcome::Error(v)) => violations.push(v),
+                Some(PathOutcome::Completed) => {
+                    let vs = self.end_checks(&mut interp, st)?;
+                    violations.extend(vs);
+                }
+                Some(PathOutcome::LoopCut) | Some(PathOutcome::Infeasible) => {}
+                None => {
+                    return Err(EngineError::Internal(
+                        "unfinished state returned from run".into(),
+                    ))
+                }
+            }
+        }
+        // Deduplicate identical violations from sibling paths.
+        violations.dedup_by(|a, b| a.kind == b.kind && a.message == b.message);
+        violations.truncate(16);
+        Ok((violations, interp.solver.stats.clone()))
+    }
+
+    /// End-of-POT obligations: every invariant must hold over the final
+    /// state (building the greedy renaming), every pledge must re-verify,
+    /// and every live heap object must be named (leak check, theorem
+    /// clause (C)).
+    fn end_checks(
+        &self,
+        interp: &mut Interp<'_>,
+        mut st: State,
+    ) -> Result<Vec<Violation>, EngineError> {
+        st.naming_mode = NamingMode::Check;
+        st.check_bindings.clear();
+        st.done = None;
+        let mut states = vec![st];
+        for inv in self.module.invariant_names() {
+            let mut next = Vec::new();
+            for mut s in states {
+                s.done = None;
+                interp.push_call(
+                    &mut s,
+                    &inv,
+                    &[],
+                    None,
+                    RetCont::CheckTrue(format!("invariant {inv} not re-established")),
+                )?;
+                next.extend(interp.run(s)?);
+            }
+            states = Vec::new();
+            let mut violations = Vec::new();
+            for s in next {
+                match s.done.clone() {
+                    Some(PathOutcome::Error(v)) => violations.push(v),
+                    Some(PathOutcome::Completed) => states.push(s),
+                    _ => {}
+                }
+            }
+            if !violations.is_empty() {
+                return Ok(violations);
+            }
+        }
+        // Pledge verification + leak check per surviving path.
+        let mut violations = Vec::new();
+        for mut s in states {
+            violations.extend(self.check_pledges_and_leaks(interp, &mut s)?);
+        }
+        Ok(violations)
+    }
+
+    /// Re-verifies quantified naming (pledges) over the final state and
+    /// checks for leaks.
+    fn check_pledges_and_leaks(
+        &self,
+        interp: &mut Interp<'_>,
+        s: &mut State,
+    ) -> Result<Vec<Violation>, EngineError> {
+        let mut violations = Vec::new();
+        let bound: HashSet<_> = s.check_bindings.values().copied().collect();
+        let live_heap: Vec<_> = s
+            .mem
+            .objects
+            .iter()
+            .filter(|o| o.live() && o.is_heap())
+            .map(|o| o.id)
+            .collect();
+        let pledges: Vec<Pledge> = s.pledges.clone();
+        'objs: for oid in live_heap {
+            if bound.contains(&oid) {
+                continue;
+            }
+            // Try to bind the object through some pledge: ∃i. f(i) = base.
+            for p in &pledges {
+                let Ok((_, f)) = interp
+                    .module
+                    .func_index
+                    .get(&p.func)
+                    .map(|&i| (i, &interp.module.funcs[i]))
+                    .ok_or(())
+                else {
+                    continue;
+                };
+                if f.n_params != 1 {
+                    continue;
+                }
+                if s.mem.obj(oid).size_concrete != Some(p.obj_size) {
+                    continue;
+                }
+                let pw = f.locals[0].ty.decayed().bit_width();
+                let k = interp
+                    .arena
+                    .fresh_var(&format!("bindidx!{}", p.func), tpot_smt::Sort::BitVec(pw));
+                let subs = interp.eval_fn_paths(s, &p.func, &[k])?;
+                for sub in subs {
+                    let Some(ret) = sub.last_ret else { continue };
+                    let delta: Vec<TermId> = sub.path[s.path.len()..].to_vec();
+                    let zero = interp.arena.bv64(0);
+                    let nn = interp.arena.neq(ret, zero);
+                    let ridx = s.mem.addr_index(&mut interp.arena, ret);
+                    let base = s.mem.obj(oid).base_idx;
+                    let eq = interp.arena.eq(ridx, base);
+                    let mut conj = delta;
+                    conj.push(nn);
+                    conj.push(eq);
+                    let cond = interp.arena.and(&conj);
+                    for c in s.mem.take_constraints() {
+                        s.assume(c);
+                    }
+                    if interp.solver.is_feasible(
+                        &mut interp.arena,
+                        &s.path,
+                        cond,
+                        QueryPurpose::Pointers,
+                    )? {
+                        // Existential witness: adopt it (renaming is
+                        // existentially quantified, §4.1).
+                        s.assume(cond);
+                        // Per-object condition must hold.
+                        if let Some(cf) = p.cond.clone() {
+                            let mut c2 = s.clone();
+                            c2.done = None;
+                            interp.push_call(
+                                &mut c2,
+                                &cf,
+                                &[ret],
+                                None,
+                                RetCont::CheckTrue(format!(
+                                    "names_obj_forall_cond condition {cf} violated"
+                                )),
+                            )?;
+                            let outs = interp.run(c2)?;
+                            for o in outs {
+                                if let Some(PathOutcome::Error(v)) = o.done {
+                                    violations.push(v);
+                                }
+                            }
+                        }
+                        continue 'objs;
+                    }
+                }
+            }
+            // Unnamed and unpledged: a leak (theorem clause (C)).
+            let tag = s
+                .mem
+                .obj(oid)
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("object #{}", oid.0));
+            let t = interp.arena.tru();
+            let v = Violation {
+                kind: ViolationKind::MemoryLeak,
+                message: format!(
+                    "heap object {tag} is not named by any invariant after the POT"
+                ),
+                model: None,
+                trace: s.trace.clone(),
+            };
+            let _ = t;
+            violations.push(v);
+        }
+        Ok(violations)
+    }
+}

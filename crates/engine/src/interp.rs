@@ -1,0 +1,1955 @@
+//! The symbolic interpreter: TIR execution with TPot's memory model,
+//! pointer resolution, specification primitives, and loop invariants.
+
+use std::collections::VecDeque;
+
+use tpot_cfront::types::Type;
+use tpot_ir::{BinKind, Builtin, CastKind, Inst, IrArg, IrFunc, Module, Operand, Pred, Term};
+pub use tpot_mem::AddrMode;
+use tpot_mem::{ForallMarker, Memory, ObjectId};
+use tpot_portfolio::{PersistentCache, Portfolio};
+use tpot_smt::{Kind, Sort, TermArena, TermId};
+
+use crate::driver::{Violation, ViolationKind};
+use crate::query::{EngineError, QueryCtx};
+use crate::simplify;
+use crate::state::{
+    Frame, LoopCtx, NamingMode, PathOutcome, Pending, Pledge, RetCont, State,
+};
+use crate::stats::QueryPurpose;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Pointer encoding: the paper's integer encoding or the naive
+    /// bitvector ablation.
+    pub addr_mode: AddrMode,
+    /// Enable the solver-aided query simplifier (§4.3). Disabling it is an
+    /// ablation.
+    pub simplifier: bool,
+    /// Number of portfolio instances (1 = single solver).
+    pub portfolio_size: usize,
+    /// Optional persistent query-cache path (§4.4).
+    pub cache_path: Option<std::path::PathBuf>,
+    /// Safety valve: maximum number of live forked states.
+    pub max_states: usize,
+    /// Safety valve: maximum interpreted instructions per POT.
+    pub max_insts: u64,
+    /// Maximum bytes a loop invariant may havoc per region.
+    pub max_havoc_bytes: u64,
+    /// Treat POTs whose name contains this marker as *initializer* POTs:
+    /// they run from the concrete initial global state and do not assume
+    /// invariants up front (paper §3.1: the initializer must *establish*
+    /// the invariant).
+    pub init_marker: String,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            addr_mode: AddrMode::Int,
+            simplifier: true,
+            portfolio_size: 1,
+            cache_path: None,
+            max_states: 4096,
+            max_insts: 2_000_000,
+            max_havoc_bytes: 1 << 16,
+            init_marker: "init".into(),
+        }
+    }
+}
+
+/// The interpreter: owns the term arena and the solver for one POT run.
+pub struct Interp<'m> {
+    /// The program under verification.
+    pub module: &'m Module,
+    /// Term arena.
+    pub arena: TermArena,
+    /// Solver context.
+    pub solver: QueryCtx,
+    /// Configuration.
+    pub config: EngineConfig,
+    insts_executed: u64,
+}
+
+impl<'m> Interp<'m> {
+    /// Creates an interpreter with a fresh arena and portfolio.
+    pub fn new(module: &'m Module, config: EngineConfig) -> Self {
+        let portfolio = if config.portfolio_size <= 1 {
+            Portfolio::single()
+        } else {
+            Portfolio::with_instances(config.portfolio_size)
+        };
+        // Always cache query outcomes within a run: identical feasibility
+        // and validity queries recur across forked sibling paths and
+        // end-of-POT checks. With a cache_path the cache additionally
+        // persists across CI runs (§4.4).
+        let portfolio = match &config.cache_path {
+            Some(p) => match PersistentCache::open(p) {
+                Ok(c) => portfolio.with_cache(c),
+                Err(_) => portfolio.with_cache(PersistentCache::in_memory()),
+            },
+            None => portfolio.with_cache(PersistentCache::in_memory()),
+        };
+        Interp {
+            module,
+            arena: TermArena::new(),
+            solver: QueryCtx::new(portfolio),
+            config,
+            insts_executed: 0,
+        }
+    }
+
+    /// Builds the initial memory with every module global allocated.
+    /// `concrete_init = true` writes the C initial values (zero + explicit
+    /// initializers); otherwise contents stay fully symbolic.
+    pub fn initial_memory(&mut self, concrete_init: bool) -> Result<Memory, EngineError> {
+        let mut mem = Memory::new(&mut self.arena, self.config.addr_mode);
+        for g in &self.module.globals {
+            let id = mem.alloc_global(&mut self.arena, &g.name, g.size.max(1));
+            if concrete_init {
+                if g.size > self.config.max_havoc_bytes {
+                    return Err(EngineError::Unsupported(format!(
+                        "global {} too large for concrete initialization",
+                        g.name
+                    )));
+                }
+                // Zero-fill, then apply explicit initializer writes.
+                let base = mem.obj(id).base_idx;
+                let zero = self.arena.bv_const(8, 0);
+                for i in 0..g.size {
+                    let ix = mem.idx_add(&mut self.arena, base, i);
+                    let arr = mem.obj(id).array;
+                    let st = self.arena.store(arr, ix, zero);
+                    mem.obj_mut(id).array = st;
+                }
+                for &(off, width, value) in &g.init {
+                    let ix = mem.idx_add(&mut self.arena, base, off);
+                    let v = self.arena.bv_const(width, value as u128);
+                    mem.write_bytes(&mut self.arena, id, ix, v, width / 8);
+                }
+            }
+        }
+        Ok(mem)
+    }
+
+    fn func_by_name(&self, name: &str) -> Result<(usize, &'m IrFunc), EngineError> {
+        match self.module.func_index.get(name) {
+            Some(&i) => Ok((i, &self.module.funcs[i])),
+            None => Err(EngineError::Unsupported(format!(
+                "call to undefined function {name} (externs must be modeled in C)"
+            ))),
+        }
+    }
+
+    /// Pushes a call frame, allocating stack objects for every local and
+    /// storing the arguments.
+    pub fn push_call(
+        &mut self,
+        s: &mut State,
+        fname: &str,
+        args: &[TermId],
+        ret_reg: Option<(u32, u32)>,
+        on_return: RetCont,
+    ) -> Result<(), EngineError> {
+        let (fidx, f) = self.func_by_name(fname)?;
+        if args.len() != f.n_params {
+            return Err(EngineError::Internal(format!(
+                "{fname}: expected {} args, got {}",
+                f.n_params,
+                args.len()
+            )));
+        }
+        let mut local_objs = Vec::with_capacity(f.locals.len());
+        for l in &f.locals {
+            let o = s
+                .mem
+                .alloc_stack(&mut self.arena, fname, &l.name, l.size.max(1));
+            local_objs.push(o);
+        }
+        for (i, &v) in args.iter().enumerate() {
+            let o = local_objs[i];
+            let idx = s.mem.obj(o).base_idx;
+            let w = self.arena.sort(v).bv_width().unwrap_or(64);
+            s.mem.write_bytes(&mut self.arena, o, idx, v, w / 8);
+        }
+        // Check/assume continuations select the naming semantics of the
+        // primitives inside the callee (§4.1): assuming an invariant
+        // creates names and markers; checking one verifies them.
+        let prev_naming = match &on_return {
+            RetCont::CheckTrue(_) => {
+                let p = s.naming_mode;
+                s.naming_mode = NamingMode::Check;
+                Some(p)
+            }
+            RetCont::AssumeTrue => {
+                let p = s.naming_mode;
+                s.naming_mode = NamingMode::Assume;
+                Some(p)
+            }
+            _ => None,
+        };
+        s.frames.push(Frame {
+            func: fidx,
+            block: 0,
+            ip: 0,
+            regs: vec![None; f.num_regs as usize],
+            local_objs,
+            ret_reg,
+            on_return,
+            pending: VecDeque::new(),
+            loops: Default::default(),
+            prev_naming,
+        });
+        s.trace_step(format!("call {fname}"));
+        Ok(())
+    }
+
+    /// Runs a state (and its forks) to completion. Returns finished states.
+    pub fn run(&mut self, init: State) -> Result<Vec<State>, EngineError> {
+        let mut stack = vec![init];
+        let mut finished = Vec::new();
+        while let Some(s) = stack.pop() {
+            if s.done.is_some() {
+                self.solver.stats.paths += 1;
+                finished.push(s);
+                continue;
+            }
+            if stack.len() + finished.len() > self.config.max_states {
+                return Err(EngineError::Internal("state explosion limit hit".into()));
+            }
+            let children = self.step(s)?;
+            if children.len() > 1 {
+                self.solver.stats.forks += children.len() as u64 - 1;
+            }
+            stack.extend(children);
+        }
+        Ok(finished)
+    }
+
+    /// Executes one instruction / pending action / terminator.
+    fn step(&mut self, mut s: State) -> Result<Vec<State>, EngineError> {
+        self.insts_executed += 1;
+        self.solver.stats.insts += 1;
+        if self.insts_executed > self.config.max_insts {
+            return Err(EngineError::Internal(
+                "instruction budget exhausted (unbounded loop without __tpot_inv?)".into(),
+            ));
+        }
+        // Drain pending actions first.
+        if let Some(p) = s.frame_mut().pending.pop_front() {
+            return self.exec_pending(s, p);
+        }
+        let frame = s.frame();
+        let f = &self.module.funcs[frame.func];
+        let block = &f.blocks[frame.block];
+        if frame.ip < block.insts.len() {
+            let inst = block.insts[frame.ip].clone();
+            s.frame_mut().ip += 1;
+            self.exec_inst(s, inst)
+        } else {
+            let term = block.term.clone();
+            self.exec_terminator(s, term)
+        }
+    }
+
+    fn exec_pending(&mut self, mut s: State, p: Pending) -> Result<Vec<State>, EngineError> {
+        match p {
+            Pending::CallBool { func, args, cont } => {
+                self.push_call(&mut s, &func, &args, None, cont)?;
+                Ok(vec![s])
+            }
+            Pending::Havoc(regions) => {
+                for (i, (obj, start, len)) in regions.iter().enumerate() {
+                    if *len > self.config.max_havoc_bytes {
+                        return Err(EngineError::Unsupported(
+                            "loop-invariant havoc region too large".into(),
+                        ));
+                    }
+                    let whole = s.mem.obj(*obj).size_concrete == Some(*len)
+                        && *start == s.mem.obj(*obj).base_idx;
+                    if whole {
+                        s.mem.havoc_object(&mut self.arena, *obj, &format!("loop{i}"));
+                    } else {
+                        s.mem
+                            .havoc_range(&mut self.arena, *obj, *start, *len, &format!("loop{i}"));
+                    }
+                    if s.log_writes {
+                        s.writes_log.push((*obj, *start, *len));
+                    }
+                }
+                Ok(vec![s])
+            }
+            Pending::StartWriteLog => {
+                s.log_writes = true;
+                Ok(vec![s])
+            }
+            Pending::EndPathLoopCut => {
+                s.finish(PathOutcome::LoopCut);
+                Ok(vec![s])
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ values
+
+    fn value(&mut self, s: &State, op: &Operand) -> TermId {
+        match op {
+            Operand::Const { value, width } => {
+                self.arena.bv_const(*width, *value as u128)
+            }
+            Operand::Reg(r, _) => s.reg(*r),
+        }
+    }
+
+    fn bool_to_bv8(&mut self, b: TermId) -> TermId {
+        let one = self.arena.bv_const(8, 1);
+        let zero = self.arena.bv_const(8, 0);
+        self.arena.ite(b, one, zero)
+    }
+
+    /// `v != 0` as a boolean, peeling the `zext(ite(c, 1, 0))` shape that
+    /// comparison results take so branch conditions stay structural
+    /// (smaller queries and precise integer propagation).
+    fn nonzero(&mut self, v: TermId) -> TermId {
+        let mut t = v;
+        loop {
+            let node = self.arena.term(t).clone();
+            match node.kind {
+                Kind::ZeroExt { .. } => t = node.args[0],
+                Kind::Ite => {
+                    let c1 = self.arena.term(node.args[1]).as_bv_const();
+                    let c2 = self.arena.term(node.args[2]).as_bv_const();
+                    match (c1, c2) {
+                        (Some((_, 1)), Some((_, 0))) => return node.args[0],
+                        (Some((_, 0)), Some((_, 1))) => return self.arena.not(node.args[0]),
+                        _ => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        let w = self.arena.sort(t).bv_width().expect("scalar");
+        let zero = self.arena.bv_const(w, 0);
+        self.arena.neq(t, zero)
+    }
+
+    /// Assumes `c` *and* its exact integer translation (§4.3: "TPot
+    /// explicitly adds the corresponding integer constraints whenever TPot
+    /// adds a bitvector constraint to the path condition").
+    fn assume_with_ints(&mut self, s: &mut State, c: TermId) {
+        s.assume(c);
+        if let Some(f) = self.translate_cond(s, c, false) {
+            s.assume(f);
+        }
+        self.drain_mem_constraints(s);
+    }
+
+    /// Exact integer translation of a boolean condition over bitvector
+    /// comparisons. With `exact = false` (top level), conjunctions may drop
+    /// untranslatable parts; under negation/disjunction the translation
+    /// must be exact or is abandoned.
+    fn translate_cond(&mut self, s: &mut State, c: TermId, exact: bool) -> Option<TermId> {
+        let node = self.arena.term(c).clone();
+        match &node.kind {
+            Kind::True | Kind::False => Some(c),
+            Kind::And => {
+                let mut parts = Vec::new();
+                for &a in &node.args {
+                    match self.translate_cond(s, a, exact) {
+                        Some(t) => parts.push(t),
+                        None if exact => return None,
+                        None => {}
+                    }
+                }
+                Some(self.arena.and(&parts))
+            }
+            Kind::Or => {
+                let mut parts = Vec::new();
+                for &a in &node.args {
+                    parts.push(self.translate_cond(s, a, true)?);
+                }
+                Some(self.arena.or(&parts))
+            }
+            Kind::Not => {
+                let inner = self.translate_cond(s, node.args[0], true)?;
+                Some(self.arena.not(inner))
+            }
+            Kind::BvUlt => {
+                let (a, b) = (node.args[0], node.args[1]);
+                let ia = s.mem.bv2int_any(&mut self.arena, a);
+                let ib = s.mem.bv2int_any(&mut self.arena, b);
+                Some(self.arena.int_lt(ia, ib))
+            }
+            Kind::BvUle => {
+                let (a, b) = (node.args[0], node.args[1]);
+                let ia = s.mem.bv2int_any(&mut self.arena, a);
+                let ib = s.mem.bv2int_any(&mut self.arena, b);
+                Some(self.arena.int_le(ia, ib))
+            }
+            Kind::BvSlt | Kind::BvSle => {
+                let w = self.arena.sort(node.args[0]).bv_width()?;
+                let (a, b) = (node.args[0], node.args[1]);
+                let sa = self.signed_image(s, a, w);
+                let sb = self.signed_image(s, b, w);
+                Some(if node.kind == Kind::BvSlt {
+                    self.arena.int_lt(sa, sb)
+                } else {
+                    self.arena.int_le(sa, sb)
+                })
+            }
+            Kind::Eq if self.arena.sort(node.args[0]).bv_width().is_some() => {
+                let (a, b) = (node.args[0], node.args[1]);
+                let ia = s.mem.bv2int_any(&mut self.arena, a);
+                let ib = s.mem.bv2int_any(&mut self.arena, b);
+                Some(self.arena.eq(ia, ib))
+            }
+            _ => None,
+        }
+    }
+
+    /// The signed integer value of a bitvector: `u < 2^(w-1) ? u : u - 2^w`.
+    fn signed_image(&mut self, s: &mut State, t: TermId, w: u32) -> TermId {
+        let u = s.mem.bv2int_any(&mut self.arena, t);
+        let half = self.arena.int_const(1i128 << (w - 1));
+        let full = self.arena.int_const(1i128 << w);
+        let is_neg = self.arena.int_le(half, u);
+        let shifted = self.arena.int_sub(u, full);
+        self.arena.ite(is_neg, shifted, u)
+    }
+
+    fn drain_mem_constraints(&mut self, s: &mut State) {
+        for c in s.mem.take_constraints() {
+            s.assume(c);
+        }
+    }
+
+    // ------------------------------------------------------------ errors
+
+    fn violation(
+        &mut self,
+        s: &State,
+        kind: ViolationKind,
+        msg: String,
+        witness: TermId,
+    ) -> Result<Violation, EngineError> {
+        let mut arena_path = s.path.clone();
+        arena_path.push(witness);
+        let model = self
+            .solver
+            .model(&mut self.arena, &s.path, witness, QueryPurpose::Assertions)?;
+        let model_text = model.map(|m| {
+            let mut vars: Vec<String> = m
+                .vars
+                .iter()
+                .filter(|(k, _)| !k.starts_with("mem!") && !k.starts_with("havoc!"))
+                .map(|(k, v)| format!("{k} = {v}"))
+                .collect();
+            vars.sort();
+            vars.join(", ")
+        });
+        Ok(Violation {
+            kind,
+            message: msg,
+            model: model_text,
+            trace: s.trace.clone(),
+        })
+    }
+
+    fn error_fork(
+        &mut self,
+        s: &State,
+        constraint: TermId,
+        kind: ViolationKind,
+        msg: String,
+    ) -> Result<Option<State>, EngineError> {
+        if !self.solver.is_feasible(
+            &mut self.arena,
+            &s.path,
+            constraint,
+            QueryPurpose::Assertions,
+        )? {
+            return Ok(None);
+        }
+        let v = self.violation(s, kind, msg, constraint)?;
+        let mut e = s.clone();
+        e.assume(constraint);
+        e.finish(PathOutcome::Error(v));
+        Ok(Some(e))
+    }
+
+    // ------------------------------------------------------------ resolve
+
+    /// Resolves an address term to memory objects, forking as needed.
+    /// Returns `(state, Some((object, index)))` for successful resolutions
+    /// and finished error states as `(state, None)`.
+    fn resolve(
+        &mut self,
+        mut s: State,
+        addr: TermId,
+        len: u64,
+        what: &str,
+    ) -> Result<Vec<(State, Option<(ObjectId, TermId)>)>, EngineError> {
+        // Hint fast path.
+        if let Some(&(obj, idx)) = s.resolution_hints.get(&addr) {
+            if s.mem.obj(obj).live() {
+                return Ok(vec![(s, Some((obj, idx)))]);
+            }
+        }
+        // Concrete fast path.
+        if let Some((_, c)) = self.arena.term(addr).as_bv_const() {
+            let c = c as u64;
+            for o in &s.mem.objects {
+                if let (Some(base), Some(size)) = (o.concrete_base, o.size_concrete) {
+                    if base <= c && c + len <= base + size {
+                        if !o.live() {
+                            let t = self.arena.tru();
+                            let e = self.error_fork(
+                                &s,
+                                t,
+                                ViolationKind::UseAfterFree,
+                                format!("{what}: access to dead object {:?}", o.kind),
+                            )?;
+                            return Ok(e.into_iter().map(|e| (e, None)).collect());
+                        }
+                        let id = o.id;
+                        let idx = s.mem.idx_const(&mut self.arena, c);
+                        s.resolution_hints.insert(addr, (id, idx));
+                        return Ok(vec![(s, Some((id, idx)))]);
+                    }
+                }
+            }
+        }
+        // Structural fast path: the address mentions exactly one heap
+        // object-address variable.
+        if let Some(obj) = self.single_objaddr_candidate(&s, addr) {
+            if s.mem.obj(obj).live() {
+                let idx = s.mem.addr_index(&mut self.arena, addr);
+                self.drain_mem_constraints(&mut s);
+                let ib = s.mem.in_bounds(&mut self.arena, obj, idx, len);
+                if self
+                    .solver
+                    .is_valid(&mut self.arena, &s.path, ib, QueryPurpose::Pointers)?
+                {
+                    let idx = self.maybe_constantize(&mut s, idx)?;
+                    s.resolution_hints.insert(addr, (obj, idx));
+                    return Ok(vec![(s, Some((obj, idx)))]);
+                }
+            }
+        }
+        // General resolution.
+        let idx = s.mem.addr_index(&mut self.arena, addr);
+        self.drain_mem_constraints(&mut s);
+        let mut out: Vec<(State, Option<(ObjectId, TermId)>)> = Vec::new();
+        let mut in_bounds_any: Vec<TermId> = Vec::new();
+        let mut candidates: Vec<(ObjectId, TermId)> = Vec::new();
+        for oid in s.mem.live_objects() {
+            let ib = s.mem.in_bounds(&mut self.arena, oid, idx, len);
+            if self
+                .solver
+                .is_feasible(&mut self.arena, &s.path, ib, QueryPurpose::Pointers)?
+            {
+                candidates.push((oid, ib));
+            }
+            in_bounds_any.push(ib);
+        }
+        // Use-after-free / dangling-stack detection.
+        let dead: Vec<ObjectId> = s
+            .mem
+            .objects
+            .iter()
+            .filter(|o| !o.live())
+            .map(|o| o.id)
+            .collect();
+        for oid in dead {
+            let ib = s.mem.in_bounds(&mut self.arena, oid, idx, len);
+            if let Some(e) = self.error_fork(
+                &s,
+                ib,
+                ViolationKind::UseAfterFree,
+                format!("{what}: possible access to freed/dead object"),
+            )? {
+                out.push((e, None));
+            }
+        }
+        // Outside all live objects?
+        let any = self.arena.or(&in_bounds_any);
+        let outside = self.arena.not(any);
+        let outside_feasible = self.solver.is_feasible(
+            &mut self.arena,
+            &s.path,
+            outside,
+            QueryPurpose::Pointers,
+        )?;
+        if outside_feasible {
+            // Try lazy materialization from pledges (§4.2).
+            let mats = self.try_materialize(&s, addr, idx, len)?;
+            let found_mat = !mats.is_empty();
+            let mut mat_bounds: Vec<TermId> = Vec::new();
+            for (m, obj, midx) in mats {
+                let ib = m.mem.in_bounds(&mut self.arena, obj, midx, len);
+                mat_bounds.push(ib);
+                out.push((m, Some((obj, midx))));
+            }
+            // Error fork: outside everything, including materialized
+            // objects.
+            let mut parts = vec![outside];
+            for b in &mat_bounds {
+                let nb = self.arena.not(*b);
+                parts.push(nb);
+            }
+            let still_outside = self.arena.and(&parts);
+            if let Some(e) = self.error_fork(
+                &s,
+                still_outside,
+                ViolationKind::OutOfBounds,
+                format!("{what}: pointer may not point to any live object"),
+            )? {
+                out.push((e, None));
+            } else if !found_mat && candidates.is_empty() {
+                // Outside was feasible but unprovable as an error after all
+                // — should not happen; treat as out-of-bounds anyway.
+            }
+        }
+        if candidates.len() == 1 && !outside_feasible {
+            let (oid, _) = candidates[0];
+            let cidx = self.maybe_constantize(&mut s, idx)?;
+            s.resolution_hints.insert(addr, (oid, cidx));
+            out.push((s, Some((oid, cidx))));
+        } else if !candidates.is_empty() {
+            for (oid, ib) in candidates {
+                let mut c = s.clone();
+                c.assume(ib);
+                let cidx = self.maybe_constantize(&mut c, idx)?;
+                c.resolution_hints.insert(addr, (oid, cidx));
+                out.push((c, Some((oid, cidx))));
+            }
+        } else if out.is_empty() {
+            // Pointer resolves nowhere and even the error fork was
+            // infeasible: path is vacuous.
+            s.finish(PathOutcome::Infeasible);
+            out.push((s, None));
+        }
+        Ok(out)
+    }
+
+    fn maybe_constantize(
+        &mut self,
+        s: &mut State,
+        idx: TermId,
+    ) -> Result<TermId, EngineError> {
+        if self.config.simplifier {
+            simplify::constantize_index(&mut self.solver, &mut self.arena, s, idx)
+        } else {
+            Ok(idx)
+        }
+    }
+
+    /// Finds the unique heap object whose address variable occurs in
+    /// `addr`, if exactly one does.
+    fn single_objaddr_candidate(&self, s: &State, addr: TermId) -> Option<ObjectId> {
+        let vars = tpot_smt::subst::free_vars(&self.arena, addr);
+        let mut found: Option<ObjectId> = None;
+        for v in vars {
+            let name = self.arena.var_name(v);
+            if name.starts_with("objaddr!") {
+                let obj = s.mem.objects.iter().find(|o| o.base_bv == v)?;
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(obj.id);
+            }
+        }
+        found
+    }
+
+    /// Lazy object materialization (§4.2): if a pledge's pointer function
+    /// can return an object containing the access, fork a state in which
+    /// that object exists.
+    fn try_materialize(
+        &mut self,
+        s: &State,
+        _addr: TermId,
+        idx: TermId,
+        len: u64,
+    ) -> Result<Vec<(State, ObjectId, TermId)>, EngineError> {
+        let mut out = Vec::new();
+        let pledges = s.pledges.clone();
+        for (pi, p) in pledges.iter().enumerate() {
+            if len > p.obj_size {
+                continue;
+            }
+            let (_, f) = self.func_by_name(&p.func)?;
+            if f.n_params != 1 {
+                continue;
+            }
+            let pw = f.locals[0].ty.decayed().bit_width();
+            let k = self.arena.fresh_var(&format!("idx!{}", p.func), Sort::BitVec(pw));
+            let subs = self.eval_fn_paths(s, &p.func, &[k])?;
+            for sub in subs {
+                let Some(ret) = sub.last_ret else { continue };
+                let delta: Vec<TermId> = sub.path[s.path.len()..].to_vec();
+                let zero = self.arena.bv64(0);
+                let nonnull = self.arena.neq(ret, zero);
+                // Hypothetical object at base ret: does it contain the
+                // access?
+                let mut m = s.clone();
+                let rbase = m.mem.addr_index(&mut self.arena, ret);
+                let lo = m.mem.idx_le(&mut self.arena, rbase, idx);
+                let end_a = m.mem.idx_add(&mut self.arena, idx, len);
+                let end_o = m.mem.idx_add(&mut self.arena, rbase, p.obj_size);
+                let hi = m.mem.idx_le(&mut self.arena, end_a, end_o);
+                let mut conj = delta.clone();
+                conj.push(nonnull);
+                conj.push(lo);
+                conj.push(hi);
+                let cond = self.arena.and(&conj);
+                self.drain_mem_constraints(&mut m);
+                if !self.solver.is_feasible(
+                    &mut self.arena,
+                    &m.path,
+                    cond,
+                    QueryPurpose::Pointers,
+                )? {
+                    continue;
+                }
+                m.assume(cond);
+                let obj =
+                    m.mem
+                        .alloc_heap(&mut self.arena, p.obj_size, &p.func, false);
+                let base_bv = m.mem.obj(obj).base_bv;
+                let base_idx = m.mem.obj(obj).base_idx;
+                let eq_bv = self.arena.eq(base_bv, ret);
+                m.assume(eq_bv);
+                let eq_idx = self.arena.eq(base_idx, rbase);
+                m.assume(eq_idx);
+                self.drain_mem_constraints(&mut m);
+                m.pledges[pi].materialized.push((k, obj));
+                self.solver.stats.materializations += 1;
+                // Assume the per-object condition (names_obj_forall_cond).
+                if let Some(cf) = &p.cond {
+                    m.frame_mut().pending.push_back(Pending::CallBool {
+                        func: cf.clone(),
+                        args: vec![ret],
+                        cont: RetCont::AssumeTrue,
+                    });
+                }
+                let midx = m.mem.obj(obj).base_idx;
+                let off = {
+                    // Access index within the new object is just `idx`.
+                    let _ = midx;
+                    idx
+                };
+                out.push((m, obj, off));
+                if out.len() >= 4 {
+                    return Ok(out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a function on a clone of `s`, returning every completed
+    /// sub-state (with `last_ret` holding the return value).
+    pub fn eval_fn_paths(
+        &mut self,
+        s: &State,
+        fname: &str,
+        args: &[TermId],
+    ) -> Result<Vec<State>, EngineError> {
+        let mut c = s.clone();
+        c.done = None;
+        c.last_ret = None;
+        // A synthetic bottom frame so pending-queues of the original frames
+        // are not disturbed.
+        self.push_call(&mut c, fname, args, None, RetCont::Stop)?;
+        let finished = self.run(c)?;
+        Ok(finished
+            .into_iter()
+            .filter(|st| {
+                matches!(st.done, Some(PathOutcome::Completed)) && st.last_ret.is_some()
+            })
+            .collect())
+    }
+
+    // ------------------------------------------------------------ insts
+
+    fn exec_inst(&mut self, mut s: State, inst: Inst) -> Result<Vec<State>, EngineError> {
+        match inst {
+            Inst::Bin {
+                dst,
+                op,
+                a,
+                b,
+                width,
+            } => {
+                let av = self.value(&s, &a);
+                let bv = self.value(&s, &b);
+                match op {
+                    BinKind::DivU | BinKind::DivS | BinKind::RemU | BinKind::RemS => {
+                        let zero = self.arena.bv_const(width, 0);
+                        let is_zero = self.arena.eq(bv, zero);
+                        let mut out = Vec::new();
+                        if let Some(e) = self.error_fork(
+                            &s,
+                            is_zero,
+                            ViolationKind::DivisionByZero,
+                            "division by zero".into(),
+                        )? {
+                            let nz = self.arena.neq(bv, zero);
+                            s.assume(nz);
+                            out.push(e);
+                        }
+                        let r = self.arith_divrem(op, av, bv, width);
+                        s.set_reg(dst, r);
+                        out.push(s);
+                        Ok(out)
+                    }
+                    _ => {
+                        let r = self.arith_bin(op, av, bv);
+                        s.set_reg(dst, r);
+                        Ok(vec![s])
+                    }
+                }
+            }
+            Inst::Cmp {
+                dst,
+                pred,
+                a,
+                b,
+                width: _,
+            } => {
+                let av = self.value(&s, &a);
+                let bv = self.value(&s, &b);
+                let c = match pred {
+                    Pred::Eq => self.arena.eq(av, bv),
+                    Pred::Ne => self.arena.neq(av, bv),
+                    Pred::LtU => self.arena.bv_ult(av, bv),
+                    Pred::LeU => self.arena.bv_ule(av, bv),
+                    Pred::LtS => self.arena.bv_slt(av, bv),
+                    Pred::LeS => self.arena.bv_sle(av, bv),
+                };
+                let r = self.bool_to_bv8(c);
+                s.set_reg(dst, r);
+                Ok(vec![s])
+            }
+            Inst::Cast {
+                dst,
+                kind,
+                src,
+                to_width,
+            } => {
+                let v = self.value(&s, &src);
+                let from = self.arena.sort(v).bv_width().unwrap();
+                let r = match kind {
+                    CastKind::ZExt => self.arena.zero_ext(v, to_width - from),
+                    CastKind::SExt => self.arena.sign_ext(v, to_width - from),
+                    CastKind::Trunc => self.arena.extract(v, to_width - 1, 0),
+                };
+                s.set_reg(dst, r);
+                Ok(vec![s])
+            }
+            Inst::AddrLocal { dst, local } => {
+                let o = s.frame().local_objs[local];
+                let b = s.mem.obj(o).base_bv;
+                s.set_reg(dst, b);
+                Ok(vec![s])
+            }
+            Inst::AddrGlobal { dst, name } => {
+                let o = s.mem.global(&name).ok_or_else(|| {
+                    EngineError::Internal(format!("global {name} not allocated"))
+                })?;
+                let b = s.mem.obj(o).base_bv;
+                s.set_reg(dst, b);
+                Ok(vec![s])
+            }
+            Inst::Load { dst, addr, width } => {
+                let a = self.value(&s, &addr);
+                let resolved = self.resolve(s, a, (width / 8) as u64, "load")?;
+                let mut out = Vec::new();
+                for (mut st, r) in resolved {
+                    match r {
+                        None => out.push(st),
+                        Some((obj, idx)) => {
+                            self.instantiate_markers(&mut st, obj, a, idx)?;
+                            let raw = st.mem.read_bytes(&mut self.arena, obj, idx, width / 8);
+                            let v = if self.config.simplifier {
+                                simplify::simplify_read(
+                                    &mut self.solver,
+                                    &mut self.arena,
+                                    &mut st,
+                                    raw,
+                                )?
+                            } else {
+                                raw
+                            };
+                            st.set_reg(dst, v);
+                            out.push(st);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Inst::Store { addr, val, width } => {
+                let a = self.value(&s, &addr);
+                let v = self.value(&s, &val);
+                let resolved = self.resolve(s, a, (width / 8) as u64, "store")?;
+                let mut out = Vec::new();
+                for (mut st, r) in resolved {
+                    match r {
+                        None => out.push(st),
+                        Some((obj, idx)) => {
+                            st.mem.write_bytes(&mut self.arena, obj, idx, v, width / 8);
+                            if st.log_writes {
+                                st.writes_log.push((obj, idx, (width / 8) as u64));
+                            }
+                            out.push(st);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Inst::Call { dst, callee, args } => {
+                let argv: Vec<TermId> = args.iter().map(|a| self.value(&s, a)).collect();
+                self.push_call(&mut s, &callee, &argv, dst, RetCont::Normal)?;
+                Ok(vec![s])
+            }
+            Inst::Builtin { dst, which, args } => self.exec_builtin(s, dst, which, args),
+        }
+    }
+
+    fn arith_bin(&mut self, op: BinKind, a: TermId, b: TermId) -> TermId {
+        match op {
+            BinKind::Add => self.arena.bv_add(a, b),
+            BinKind::Sub => self.arena.bv_sub(a, b),
+            BinKind::Mul => self.arena.bv_mul(a, b),
+            BinKind::And => self.arena.bv_and(a, b),
+            BinKind::Or => self.arena.bv_or(a, b),
+            BinKind::Xor => self.arena.bv_xor(a, b),
+            BinKind::Shl => self.arena.bv_shl(a, b),
+            BinKind::ShrL => self.arena.bv_lshr(a, b),
+            BinKind::ShrA => self.arena.bv_ashr(a, b),
+            _ => unreachable!("division handled separately"),
+        }
+    }
+
+    /// Signed/unsigned division and remainder built from the unsigned
+    /// primitives (C99 truncating semantics).
+    fn arith_divrem(&mut self, op: BinKind, a: TermId, b: TermId, w: u32) -> TermId {
+        match op {
+            BinKind::DivU => self.arena.bv_udiv(a, b),
+            BinKind::RemU => self.arena.bv_urem(a, b),
+            BinKind::DivS | BinKind::RemS => {
+                let zero = self.arena.bv_const(w, 0);
+                let sa = self.arena.bv_slt(a, zero);
+                let sb = self.arena.bv_slt(b, zero);
+                let na = self.arena.bv_neg(a);
+                let nb = self.arena.bv_neg(b);
+                let absa = self.arena.ite(sa, na, a);
+                let absb = self.arena.ite(sb, nb, b);
+                if op == BinKind::DivS {
+                    let q = self.arena.bv_udiv(absa, absb);
+                    let nq = self.arena.bv_neg(q);
+                    let sign = self.arena.xor(sa, sb);
+                    self.arena.ite(sign, nq, q)
+                } else {
+                    let r = self.arena.bv_urem(absa, absb);
+                    let nr = self.arena.bv_neg(r);
+                    self.arena.ite(sa, nr, r)
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // ------------------------------------------------------------ terms
+
+    fn exec_terminator(&mut self, mut s: State, term: Term) -> Result<Vec<State>, EngineError> {
+        match term {
+            Term::Br(b) => {
+                self.enter_block(&mut s, b);
+                Ok(vec![s])
+            }
+            Term::CondBr {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let cv = self.value(&s, &cond);
+                let c = self.nonzero(cv);
+                if let Some(b) = self.arena.term(c).as_bool_const() {
+                    self.enter_block(&mut s, if b { then_b } else { else_b });
+                    return Ok(vec![s]);
+                }
+                let nc = self.arena.not(c);
+                // Feasibility queries include the exact integer translation
+                // (implied by the condition, so this only removes spurious
+                // models — §4.3 constraint propagation).
+                let c_q = match self.translate_cond(&mut s, c, false) {
+                    Some(t) => self.arena.and2(c, t),
+                    None => c,
+                };
+                let nc_q = match self.translate_cond(&mut s, nc, false) {
+                    Some(t) => self.arena.and2(nc, t),
+                    None => nc,
+                };
+                self.drain_mem_constraints(&mut s);
+                let t_ok =
+                    self.solver
+                        .is_feasible(&mut self.arena, &s.path, c_q, QueryPurpose::Branches)?;
+                let f_ok = if t_ok {
+                    self.solver.is_feasible(
+                        &mut self.arena,
+                        &s.path,
+                        nc_q,
+                        QueryPurpose::Branches,
+                    )?
+                } else {
+                    true // path feasible and c infeasible ⇒ ¬c holds
+                };
+                match (t_ok, f_ok) {
+                    (true, false) => {
+                        self.assume_with_ints(&mut s, c);
+                        self.enter_block(&mut s, then_b);
+                        Ok(vec![s])
+                    }
+                    (false, true) => {
+                        self.assume_with_ints(&mut s, nc);
+                        self.enter_block(&mut s, else_b);
+                        Ok(vec![s])
+                    }
+                    (true, true) => {
+                        let mut t = s.clone();
+                        self.assume_with_ints(&mut t, c);
+                        self.enter_block(&mut t, then_b);
+                        self.assume_with_ints(&mut s, nc);
+                        self.enter_block(&mut s, else_b);
+                        Ok(vec![t, s])
+                    }
+                    (false, false) => {
+                        s.finish(PathOutcome::Infeasible);
+                        Ok(vec![s])
+                    }
+                }
+            }
+            Term::Ret(op) => {
+                let val = op.map(|o| self.value(&s, &o));
+                self.do_ret(s, val)
+            }
+            Term::Unreachable => Err(EngineError::Internal(
+                "executed unreachable terminator".into(),
+            )),
+        }
+    }
+
+    fn enter_block(&mut self, s: &mut State, b: usize) {
+        let f = s.frame().func;
+        s.trace_step(format!("{}:bb{b}", self.module.funcs[f].name));
+        let fr = s.frame_mut();
+        fr.block = b;
+        fr.ip = 0;
+    }
+
+    fn do_ret(&mut self, mut s: State, val: Option<TermId>) -> Result<Vec<State>, EngineError> {
+        let frame = s.frames.pop().expect("ret without frame");
+        // Locals die with the frame.
+        for o in &frame.local_objs {
+            s.mem.obj_mut(*o).dead = true;
+        }
+        if let Some(prev) = frame.prev_naming {
+            s.naming_mode = prev;
+        }
+        match frame.on_return {
+            RetCont::Normal => {
+                if let (Some((r, _w)), Some(v)) = (frame.ret_reg, val) {
+                    if !s.frames.is_empty() {
+                        s.set_reg(r, v);
+                    }
+                }
+                if s.frames.is_empty() {
+                    s.last_ret = val;
+                    s.finish(PathOutcome::Completed);
+                }
+                Ok(vec![s])
+            }
+            RetCont::Stop => {
+                s.last_ret = val;
+                s.finish(PathOutcome::Completed);
+                Ok(vec![s])
+            }
+            RetCont::AssumeTrue => {
+                let v = val.ok_or_else(|| {
+                    EngineError::Internal("AssumeTrue on void function".into())
+                })?;
+                let c = self.nonzero(v);
+                if !self.solver.is_feasible(
+                    &mut self.arena,
+                    &s.path,
+                    c,
+                    QueryPurpose::Assertions,
+                )? {
+                    s.finish(PathOutcome::Infeasible);
+                    return Ok(vec![s]);
+                }
+                self.assume_with_ints(&mut s, c);
+                if s.frames.is_empty() {
+                    s.finish(PathOutcome::Completed);
+                }
+                Ok(vec![s])
+            }
+            RetCont::CheckTrue(desc) => {
+                let v = val.ok_or_else(|| {
+                    EngineError::Internal("CheckTrue on void function".into())
+                })?;
+                let c = self.nonzero(v);
+                if self
+                    .solver
+                    .is_valid(&mut self.arena, &s.path, c, QueryPurpose::Assertions)?
+                {
+                    self.assume_with_ints(&mut s, c);
+                    if s.frames.is_empty() {
+                        s.finish(PathOutcome::Completed);
+                    }
+                    return Ok(vec![s]);
+                }
+                let nc = self.arena.not(c);
+                let viol = self.violation(
+                    &s,
+                    ViolationKind::InvariantViolated,
+                    desc,
+                    nc,
+                )?;
+                s.finish(PathOutcome::Error(viol));
+                Ok(vec![s])
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ builtins
+
+    fn exec_builtin(
+        &mut self,
+        mut s: State,
+        dst: Option<(u32, u32)>,
+        which: Builtin,
+        args: Vec<IrArg>,
+    ) -> Result<Vec<State>, EngineError> {
+        match which {
+            Builtin::Assert => {
+                let v = self.arg_op(&s, &args, 0)?;
+                let c = self.nonzero(v);
+                if self
+                    .solver
+                    .is_valid(&mut self.arena, &s.path, c, QueryPurpose::Assertions)?
+                {
+                    self.assume_with_ints(&mut s, c);
+                    return Ok(vec![s]);
+                }
+                let nc = self.arena.not(c);
+                let viol = self.violation(
+                    &s,
+                    ViolationKind::AssertFailed,
+                    "assertion failed".into(),
+                    nc,
+                )?;
+                s.finish(PathOutcome::Error(viol));
+                Ok(vec![s])
+            }
+            Builtin::Assume => {
+                let v = self.arg_op(&s, &args, 0)?;
+                let c = self.nonzero(v);
+                if !self.solver.is_feasible(
+                    &mut self.arena,
+                    &s.path,
+                    c,
+                    QueryPurpose::Assertions,
+                )? {
+                    s.finish(PathOutcome::Infeasible);
+                    return Ok(vec![s]);
+                }
+                self.assume_with_ints(&mut s, c);
+                Ok(vec![s])
+            }
+            Builtin::Any => {
+                // args: Type, AddrOf(local), Str(name).
+                let ty = self.arg_type(&args, 0)?;
+                let addr = self.arg_op(&s, &args, 1)?;
+                let name = self.arg_str(&args, 2)?;
+                let resolved = self.resolve(s, addr, 1, "any")?;
+                let mut out = Vec::new();
+                for (mut st, r) in resolved {
+                    match r {
+                        None => out.push(st),
+                        Some((obj, idx)) => {
+                            if ty.is_scalar() {
+                                let w = ty.bit_width();
+                                let v = self
+                                    .arena
+                                    .fresh_var(&format!("any!{name}"), Sort::BitVec(w));
+                                st.mem.write_bytes(&mut self.arena, obj, idx, v, w / 8);
+                            } else {
+                                st.mem.havoc_object(
+                                    &mut self.arena,
+                                    obj,
+                                    &format!("any!{name}"),
+                                );
+                            }
+                            out.push(st);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Builtin::Malloc => {
+                let size = self.arg_op(&s, &args, 0)?;
+                let Some((_, sz)) = self.arena.term(size).as_bv_const() else {
+                    return Err(EngineError::Unsupported(
+                        "malloc with symbolic size".into(),
+                    ));
+                };
+                let obj = s
+                    .mem
+                    .alloc_heap(&mut self.arena, sz as u64, "malloc", true);
+                self.drain_mem_constraints(&mut s);
+                let b = s.mem.obj(obj).base_bv;
+                if let Some((r, _)) = dst {
+                    s.set_reg(r, b);
+                }
+                Ok(vec![s])
+            }
+            Builtin::Free => {
+                let p = self.arg_op(&s, &args, 0)?;
+                self.exec_free(s, p)
+            }
+            Builtin::PointsTo => self.exec_points_to(s, dst, &args),
+            Builtin::NamesObjForall | Builtin::NamesObjForallCond => {
+                let f = self.arg_func(&args, 0)?;
+                let ty = self.arg_type(&args, 1)?;
+                let cond = if which == Builtin::NamesObjForallCond {
+                    Some(self.arg_func(&args, 2)?)
+                } else {
+                    None
+                };
+                if s.naming_mode == NamingMode::Assume {
+                    let obj_size = ty.size(&self.module.layouts);
+                    s.pledges.push(Pledge {
+                        func: f,
+                        obj_size,
+                        cond,
+                        materialized: Vec::new(),
+                    });
+                }
+                // Check mode: verified during end checks (driver).
+                if let Some((r, _)) = dst {
+                    let one = self.arena.bv_const(8, 1);
+                    s.set_reg(r, one);
+                }
+                Ok(vec![s])
+            }
+            Builtin::ForallElem => {
+                match s.naming_mode {
+                    NamingMode::Assume => self.forall_attach(s, dst, &args),
+                    NamingMode::Check => self.forall_check(s, dst, &args),
+                }
+            }
+            Builtin::ForallElemAssume => self.forall_attach(s, dst, &args),
+            Builtin::ForallElemAssert => self.forall_check(s, dst, &args),
+            Builtin::TpotInv => self.exec_tpot_inv(s, &args),
+            Builtin::HavocGlobal => {
+                let name = self.arg_str(&args, 0)?;
+                let obj = s.mem.global(&name).ok_or_else(|| {
+                    EngineError::Internal(format!("havoc of unknown global {name}"))
+                })?;
+                s.mem.havoc_object(&mut self.arena, obj, &format!("contract!{name}"));
+                if s.log_writes {
+                    let start = s.mem.obj(obj).base_idx;
+                    let len = s.mem.obj(obj).size_concrete.unwrap_or(0);
+                    s.writes_log.push((obj, start, len));
+                }
+                Ok(vec![s])
+            }
+        }
+    }
+
+    fn exec_free(&mut self, s: State, p: TermId) -> Result<Vec<State>, EngineError> {
+        let resolved = self.resolve(s, p, 1, "free")?;
+        let mut out = Vec::new();
+        for (mut st, r) in resolved {
+            match r {
+                None => out.push(st),
+                Some((obj, idx)) => {
+                    let o = st.mem.obj(obj);
+                    if !o.is_heap() {
+                        let t = self.arena.tru();
+                        let viol = self.violation(
+                            &st,
+                            ViolationKind::InvalidFree,
+                            "free of non-heap pointer".into(),
+                            t,
+                        )?;
+                        st.finish(PathOutcome::Error(viol));
+                        out.push(st);
+                        continue;
+                    }
+                    let base = o.base_idx;
+                    let at_base = self.arena.eq(idx, base);
+                    if !self.solver.is_valid(
+                        &mut self.arena,
+                        &st.path,
+                        at_base,
+                        QueryPurpose::Assertions,
+                    )? {
+                        let n = self.arena.not(at_base);
+                        let viol = self.violation(
+                            &st,
+                            ViolationKind::InvalidFree,
+                            "free of interior pointer".into(),
+                            n,
+                        )?;
+                        st.finish(PathOutcome::Error(viol));
+                        out.push(st);
+                        continue;
+                    }
+                    st.mem.obj_mut(obj).freed = true;
+                    out.push(st);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `points_to(p, T, name)` — the naming primitive (§4.1).
+    fn exec_points_to(
+        &mut self,
+        mut s: State,
+        dst: Option<(u32, u32)>,
+        args: &[IrArg],
+    ) -> Result<Vec<State>, EngineError> {
+        let p = self.arg_op(&s, args, 0)?;
+        let ty = self.arg_type(args, 1)?;
+        let name = self.arg_str(args, 2)?;
+        let size = ty.size(&self.module.layouts).max(1);
+        let result: TermId = match s.naming_mode {
+            NamingMode::Assume => {
+                let obj = match s.mem.find_named(&name) {
+                    Some(o) => o,
+                    None => {
+                        let o = s.mem.alloc_heap(&mut self.arena, size, &name, true);
+                        s.mem.obj_mut(o).name = Some(name.clone());
+                        self.drain_mem_constraints(&mut s);
+                        o
+                    }
+                };
+                let base_idx = s.mem.obj(obj).base_idx;
+                let pidx = s.mem.addr_index(&mut self.arena, p);
+                self.drain_mem_constraints(&mut s);
+                let zero = self.arena.bv64(0);
+                let nn = self.arena.neq(p, zero);
+                let at = self.arena.eq(pidx, base_idx);
+                // Tie the bitvector image too, so later loads through
+                // syntactically different pointers still resolve.
+                let base_bv = s.mem.obj(obj).base_bv;
+                let at_bv = self.arena.eq(p, base_bv);
+                self.arena.and(&[nn, at, at_bv])
+            }
+            NamingMode::Check => {
+                let pidx = s.mem.addr_index(&mut self.arena, p);
+                self.drain_mem_constraints(&mut s);
+                self.check_points_to(&mut s, p, pidx, size, &name)?
+            }
+        };
+        if let Some((r, _)) = dst {
+            let v = self.bool_to_bv8(result);
+            s.set_reg(r, v);
+        }
+        Ok(vec![s])
+    }
+
+    /// Check-mode `points_to`: greedy renaming (§4.1, "Renaming").
+    fn check_points_to(
+        &mut self,
+        s: &mut State,
+        p: TermId,
+        pidx: TermId,
+        size: u64,
+        name: &str,
+    ) -> Result<TermId, EngineError> {
+        // Find an object whose base provably equals the pointer.
+        let live = s.mem.live_objects();
+        let mut provable: Option<ObjectId> = None;
+        for oid in live {
+            let base = s.mem.obj(oid).base_idx;
+            let eq = self.arena.eq(pidx, base);
+            if !self
+                .solver
+                .is_feasible(&mut self.arena, &s.path, eq, QueryPurpose::Pointers)?
+            {
+                continue;
+            }
+            if self
+                .solver
+                .is_valid(&mut self.arena, &s.path, eq, QueryPurpose::Pointers)?
+            {
+                provable = Some(oid);
+                break;
+            }
+        }
+        let Some(obj) = provable else {
+            // No provable target: the name cannot be established.
+            return Ok(self.arena.fls());
+        };
+        // Size must match.
+        if s.mem.obj(obj).size_concrete != Some(size) {
+            let sz = s.mem.obj(obj).size_idx;
+            let want = s.mem.idx_const(&mut self.arena, size);
+            let eq = self.arena.eq(sz, want);
+            if !self
+                .solver
+                .is_valid(&mut self.arena, &s.path, eq, QueryPurpose::Pointers)?
+            {
+                return Ok(self.arena.fls());
+            }
+        }
+        // Renaming: name ↦ object must be consistent and injective.
+        if let Some(&bound) = s.check_bindings.get(name) {
+            if bound != obj {
+                return Ok(self.arena.fls());
+            }
+        } else if s.check_bindings.values().any(|&o| o == obj) {
+            return Ok(self.arena.fls());
+        } else {
+            s.check_bindings.insert(name.to_string(), obj);
+        }
+        let zero = self.arena.bv64(0);
+        Ok(self.arena.neq(p, zero))
+    }
+
+    // ---------------------------------------------------- forall_elem
+
+    /// Attaches a deferred `forall_elem` marker (assume semantics, §4.3).
+    fn forall_attach(
+        &mut self,
+        s: State,
+        dst: Option<(u32, u32)>,
+        args: &[IrArg],
+    ) -> Result<Vec<State>, EngineError> {
+        let arr = self.arg_op(&s, args, 0)?;
+        let f = self.arg_func(args, 1)?;
+        let ty = self.arg_type(args, 2)?;
+        let extras: Vec<TermId> = args[3..]
+            .iter()
+            .map(|a| match a {
+                IrArg::Op(o) => Ok(self.value(&s, o)),
+                _ => Err(EngineError::Internal("bad forall_elem extra".into())),
+            })
+            .collect::<Result<_, _>>()?;
+        let elem_size = ty.size(&self.module.layouts).max(1);
+        let resolved = self.resolve(s, arr, 1, "forall_elem")?;
+        let mut out = Vec::new();
+        for (mut st, r) in resolved {
+            match r {
+                None => out.push(st),
+                Some((obj, _idx)) => {
+                    st.mem.obj_mut(obj).markers.push(ForallMarker {
+                        func: f.clone(),
+                        elem_size,
+                        extras: extras.clone(),
+                        attach_ptr: arr,
+                    });
+                    if let Some((reg, _)) = dst {
+                        let one = self.arena.bv_const(8, 1);
+                        st.set_reg(reg, one);
+                    }
+                    out.push(st);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checks a `forall_elem` universally by skolemization (§4.3 /
+    /// appendix A.2: "executes the body … with a fresh k").
+    fn forall_check(
+        &mut self,
+        mut s: State,
+        dst: Option<(u32, u32)>,
+        args: &[IrArg],
+    ) -> Result<Vec<State>, EngineError> {
+        let arr = self.arg_op(&s, args, 0)?;
+        let f = self.arg_func(args, 1)?;
+        let ty = self.arg_type(args, 2)?;
+        let extras: Vec<TermId> = args[3..]
+            .iter()
+            .map(|a| match a {
+                IrArg::Op(o) => Ok(self.value(&s, o)),
+                _ => Err(EngineError::Internal("bad forall_elem extra".into())),
+            })
+            .collect::<Result<_, _>>()?;
+        let elem_size = ty.size(&self.module.layouts).max(1);
+        let k = self.arena.fresh_var("forall!k", Sort::BitVec(64));
+        let call_args = self.marker_call_args(&s, &f, arr, k, elem_size, &extras)?;
+        s.frame_mut().pending.push_back(Pending::CallBool {
+            func: f,
+            args: call_args,
+            cont: RetCont::CheckTrue("forall_elem assertion".into()),
+        });
+        if let Some((reg, _)) = dst {
+            let one = self.arena.bv_const(8, 1);
+            s.set_reg(reg, one);
+        }
+        Ok(vec![s])
+    }
+
+    /// Builds the argument list for a `forall_elem` condition function from
+    /// its parameter types: `(elem_ptr?, index?, extras…)`.
+    fn marker_call_args(
+        &mut self,
+        _s: &State,
+        fname: &str,
+        arr_ptr: TermId,
+        k: TermId, // 64-bit element index
+        elem_size: u64,
+        extras: &[TermId],
+    ) -> Result<Vec<TermId>, EngineError> {
+        let (_, f) = self.func_by_name(fname)?;
+        let mut out: Vec<TermId> = Vec::new();
+        let mut pi = 0;
+        let n_params = f.n_params;
+        let params: Vec<Type> = f.locals[..n_params]
+            .iter()
+            .map(|l| l.ty.decayed())
+            .collect();
+        if pi < n_params && params[pi].is_pointer() {
+            let es = self.arena.bv64(elem_size);
+            let scaled = self.arena.bv_mul(k, es);
+            let ep = self.arena.bv_add(arr_ptr, scaled);
+            out.push(ep);
+            pi += 1;
+        }
+        // An integer parameter before the extras receives the index.
+        if pi + extras.len() < n_params {
+            let w = params[pi].bit_width();
+            let kk = if w == 64 {
+                k
+            } else {
+                self.arena.extract(k, w - 1, 0)
+            };
+            out.push(kk);
+            pi += 1;
+        }
+        for (j, &e) in extras.iter().enumerate() {
+            let want = params
+                .get(pi + j)
+                .ok_or_else(|| EngineError::Unsupported(format!("{fname}: too many forall_elem extras")))?;
+            let have_w = self.arena.sort(e).bv_width().unwrap_or(64);
+            let want_w = want.bit_width();
+            let v = if have_w == want_w {
+                e
+            } else if have_w > want_w {
+                self.arena.extract(e, want_w - 1, 0)
+            } else {
+                self.arena.zero_ext(e, want_w - have_w)
+            };
+            out.push(v);
+        }
+        if out.len() != n_params {
+            return Err(EngineError::Unsupported(format!(
+                "{fname}: forall_elem argument mismatch (built {}, needs {})",
+                out.len(),
+                n_params
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Instantiates deferred `forall_elem` markers for a read at `addr`
+    /// (§4.3: "when a byte associated with a forall_elem is read, TPot
+    /// computes the property over the specific byte or object and adds it
+    /// to the path condition").
+    fn instantiate_markers(
+        &mut self,
+        s: &mut State,
+        obj: ObjectId,
+        addr: TermId,
+        _idx: TermId,
+    ) -> Result<(), EngineError> {
+        if s.mem.obj(obj).markers.is_empty() || s.marker_guard.contains(&obj) {
+            return Ok(());
+        }
+        let markers = s.mem.obj(obj).markers.clone();
+        s.marker_guard.push(obj);
+        for (mi, m) in markers.iter().enumerate() {
+            let Some(k) = extract_elem_index_bv(&mut self.arena, addr, m.attach_ptr, m.elem_size)
+            else {
+                if std::env::var_os("TPOT_DEBUG").is_some() {
+                    eprintln!("[marker] obj#{} f={} NO ELEM INDEX", obj.0, m.func);
+                }
+                continue;
+            };
+            if !s.instantiated.insert((obj, mi, k)) {
+                continue;
+            }
+            let call_args =
+                self.marker_call_args(s, &m.func, m.attach_ptr, k, m.elem_size, &m.extras)?;
+            // Evaluate the property on a clone and assume the merged
+            // formula (the condition functions are pure).
+            let subs = self.eval_fn_paths(s, &m.func, &call_args)?;
+            let mut disj: Vec<TermId> = Vec::new();
+            for sub in subs {
+                let Some(ret) = sub.last_ret else { continue };
+                let delta: Vec<TermId> = sub.path[s.path.len()..].to_vec();
+                let nz = self.nonzero(ret);
+                let mut conj = delta;
+                conj.push(nz);
+                // Bridge each instantiated disjunct to the integer theory
+                // (§4.3 constraint propagation): sound because each added
+                // translation is implied by its disjunct.
+                let mut translated = Vec::new();
+                for &c in &conj {
+                    if let Some(t) = self.translate_cond(s, c, false) {
+                        translated.push(t);
+                    }
+                }
+                conj.extend(translated);
+                disj.push(self.arena.and(&conj));
+            }
+            if !disj.is_empty() {
+                let formula = self.arena.or(&disj);
+                if std::env::var_os("TPOT_DEBUG").is_some() {
+                    eprintln!(
+                        "[marker] obj#{} f={} k={} formula={}",
+                        obj.0,
+                        m.func,
+                        tpot_smt::print::term_to_string(&self.arena, k),
+                        tpot_smt::print::term_to_string(&self.arena, formula)
+                    );
+                }
+                s.assume(formula);
+                self.drain_mem_constraints(s);
+            } else if std::env::var_os("TPOT_DEBUG").is_some() {
+                eprintln!("[marker] obj#{} f={} NO SUBPATHS", obj.0, m.func);
+            }
+        }
+        s.marker_guard.pop();
+        Ok(())
+    }
+
+    // ---------------------------------------------------- loop invariants
+
+    /// `__tpot_inv(&inv, args…, (ptr, size)…)` — appendix A.2 semantics.
+    fn exec_tpot_inv(
+        &mut self,
+        mut s: State,
+        args: &[IrArg],
+    ) -> Result<Vec<State>, EngineError> {
+        let inv = self.arg_func(args, 0)?;
+        let (_, f) = self.func_by_name(&inv)?;
+        let n_inv = f.n_params;
+        let rest = &args[1..];
+        let inv_args: Vec<TermId> = rest[..n_inv]
+            .iter()
+            .map(|a| match a {
+                IrArg::Op(o) => Ok(self.value(&s, o)),
+                _ => Err(EngineError::Internal("bad __tpot_inv arg".into())),
+            })
+            .collect::<Result<_, _>>()?;
+        let key = {
+            let fr = s.frame();
+            (fr.block, fr.ip - 1)
+        };
+        if let Some(ctx) = s.frame().loops.get(&key).cloned() {
+            // Back edge: check the body only wrote havocked regions, check
+            // the invariant is maintained, and cut the path.
+            let log: Vec<_> = s.writes_log[ctx.log_start..].to_vec();
+            for (wobj, widx, wlen) in log {
+                // Writes to objects that are dead by the cut point (callee
+                // stack frames) cannot leak out of the loop body.
+                if !s.mem.obj(wobj).live() {
+                    continue;
+                }
+                let mut any_ok: Vec<TermId> = Vec::new();
+                for (hobj, hstart, hlen) in &ctx.havoc {
+                    if *hobj != wobj {
+                        continue;
+                    }
+                    let lo = s.mem.idx_le(&mut self.arena, *hstart, widx);
+                    let wend = s.mem.idx_add(&mut self.arena, widx, wlen);
+                    let hend = s.mem.idx_add(&mut self.arena, *hstart, *hlen);
+                    let hi = s.mem.idx_le(&mut self.arena, wend, hend);
+                    any_ok.push(self.arena.and2(lo, hi));
+                }
+                let ok = self.arena.or(&any_ok);
+                if !self
+                    .solver
+                    .is_valid(&mut self.arena, &s.path, ok, QueryPurpose::Assertions)?
+                {
+                    let n = self.arena.not(ok);
+                    let viol = self.violation(
+                        &s,
+                        ViolationKind::LoopInvariantViolated,
+                        "loop body writes outside the regions declared in __tpot_inv".into(),
+                        n,
+                    )?;
+                    s.finish(PathOutcome::Error(viol));
+                    return Ok(vec![s]);
+                }
+            }
+            let fr = s.frame_mut();
+            fr.pending.push_back(Pending::CallBool {
+                func: inv,
+                args: inv_args,
+                cont: RetCont::CheckTrue("loop invariant not maintained".into()),
+            });
+            fr.pending.push_back(Pending::EndPathLoopCut);
+            return Ok(vec![s]);
+        }
+        // First encounter: resolve the havoc regions.
+        let pairs = &rest[n_inv..];
+        if pairs.len() % 2 != 0 {
+            return Err(EngineError::Internal("__tpot_inv: odd region list".into()));
+        }
+        let mut work: Vec<(TermId, u64)> = Vec::new();
+        for pair in pairs.chunks(2) {
+            let (pop, sop) = match (&pair[0], &pair[1]) {
+                (IrArg::Op(p), IrArg::Op(sz)) => (p, sz),
+                _ => return Err(EngineError::Internal("__tpot_inv: bad region".into())),
+            };
+            let pv = self.value(&s, pop);
+            let sv = self.value(&s, sop);
+            let Some((_, sz)) = self.arena.term(sv).as_bv_const() else {
+                return Err(EngineError::Unsupported(
+                    "__tpot_inv: symbolic region size".into(),
+                ));
+            };
+            work.push((pv, sz as u64));
+        }
+        // Resolve each region pointer. Error forks (e.g. the region might
+        // be out of bounds under a weak invariant) continue as sibling
+        // error paths; the unique successful resolution proceeds.
+        let mut regions: Vec<(ObjectId, TermId, u64)> = Vec::new();
+        let mut cur = s;
+        let mut side_errors: Vec<State> = Vec::new();
+        for (pv, sz) in work {
+            let resolved = self.resolve(cur, pv, sz.max(1), "__tpot_inv region")?;
+            let mut ok: Vec<(State, ObjectId, TermId)> = Vec::new();
+            for (st, r) in resolved {
+                match r {
+                    Some((obj, idx)) => ok.push((st, obj, idx)),
+                    None => side_errors.push(st),
+                }
+            }
+            if ok.len() != 1 {
+                return Err(EngineError::Unsupported(format!(
+                    "__tpot_inv: region pointer resolved to {} objects",
+                    ok.len()
+                )));
+            }
+            let (st, obj, idx) = ok.pop().unwrap();
+            cur = st;
+            regions.push((obj, idx, sz));
+        }
+        let log_start = cur.writes_log.len();
+        let fr = cur.frame_mut();
+        fr.loops.insert(
+            key,
+            LoopCtx {
+                havoc: regions.clone(),
+                log_start,
+            },
+        );
+        fr.pending.push_back(Pending::CallBool {
+            func: inv.clone(),
+            args: inv_args.clone(),
+            cont: RetCont::CheckTrue("loop invariant does not hold on entry".into()),
+        });
+        fr.pending.push_back(Pending::Havoc(regions));
+        fr.pending.push_back(Pending::CallBool {
+            func: inv,
+            args: inv_args,
+            cont: RetCont::AssumeTrue,
+        });
+        fr.pending.push_back(Pending::StartWriteLog);
+        side_errors.push(cur);
+        Ok(side_errors)
+    }
+
+    // ------------------------------------------------------------ args
+
+    fn arg_op(&mut self, s: &State, args: &[IrArg], i: usize) -> Result<TermId, EngineError> {
+        match args.get(i) {
+            Some(IrArg::Op(o)) => Ok(self.value(s, o)),
+            other => Err(EngineError::Internal(format!(
+                "builtin: expected operand at {i}, got {other:?}"
+            ))),
+        }
+    }
+
+    fn arg_type(&self, args: &[IrArg], i: usize) -> Result<Type, EngineError> {
+        match args.get(i) {
+            Some(IrArg::Type(t)) => Ok(t.clone()),
+            other => Err(EngineError::Internal(format!(
+                "builtin: expected type at {i}, got {other:?}"
+            ))),
+        }
+    }
+
+    fn arg_str(&self, args: &[IrArg], i: usize) -> Result<String, EngineError> {
+        match args.get(i) {
+            Some(IrArg::Str(s)) => Ok(s.clone()),
+            other => Err(EngineError::Internal(format!(
+                "builtin: expected string at {i}, got {other:?}"
+            ))),
+        }
+    }
+
+    fn arg_func(&self, args: &[IrArg], i: usize) -> Result<String, EngineError> {
+        match args.get(i) {
+            Some(IrArg::Func(f)) => Ok(f.clone()),
+            other => Err(EngineError::Internal(format!(
+                "builtin: expected function ref at {i}, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Structurally extracts the element index of `addr` relative to
+/// `attach_ptr` with elements of `elem_size` bytes. Returns a 64-bit term.
+fn extract_elem_index_bv(
+    arena: &mut TermArena,
+    addr: TermId,
+    attach_ptr: TermId,
+    elem_size: u64,
+) -> Option<TermId> {
+    if addr == attach_ptr {
+        return Some(arena.bv64(0));
+    }
+    // addr = attach + rel?
+    let structural_rel: Option<TermId> = {
+        let node = arena.term(addr).clone();
+        if node.kind == Kind::BvAdd && node.args[0] == attach_ptr {
+            Some(node.args[1])
+        } else if node.kind == Kind::BvAdd && node.args[1] == attach_ptr {
+            Some(node.args[0])
+        } else if let (Some((_, a)), Some((_, b))) = (
+            arena.term(addr).as_bv_const(),
+            arena.term(attach_ptr).as_bv_const(),
+        ) {
+            if a < b {
+                None
+            } else {
+                Some(arena.bv64((a - b) as u64))
+            }
+        } else if let Some((_, b)) = arena.term(attach_ptr).as_bv_const() {
+            // Constant attach pointer (global arrays): constant folding has
+            // merged the base into the address's constant part, so peel it
+            // back out: `x + c  ==  attach + (x + (c - attach))`.
+            if node.kind == Kind::BvAdd {
+                let (x, c) = (node.args[0], node.args[1]);
+                match arena.term(c).as_bv_const() {
+                    Some((_, cv)) => {
+                        let off = arena.bv64((cv as u64).wrapping_sub(b as u64));
+                        Some(arena.bv_add(x, off))
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    };
+    let rel: TermId = match structural_rel {
+        Some(r) => r,
+        // Byte arrays: the relative index is the raw pointer difference,
+        // structured or not (the `a + (b - a) → b` arena fold keeps the
+        // rebuilt element pointer identical to the read address).
+        None if elem_size == 1 => return Some(arena.bv_sub(addr, attach_ptr)),
+        None => return None,
+    };
+    if elem_size == 1 {
+        return Some(rel);
+    }
+    // rel = k * es (+ c)?
+    let node = arena.term(rel).clone();
+    if let Some((_, c)) = node.as_bv_const() {
+        return Some(arena.bv64(c as u64 / elem_size));
+    }
+    if node.kind == Kind::BvMul {
+        for (x, y) in [(node.args[0], node.args[1]), (node.args[1], node.args[0])] {
+            if arena.term(x).as_bv_const().map(|c| c.1) == Some(elem_size as u128) {
+                return Some(y);
+            }
+        }
+    }
+    if node.kind == Kind::BvAdd {
+        let (a, b) = (node.args[0], node.args[1]);
+        for (m, c) in [(a, b), (b, a)] {
+            if let Some((_, cv)) = arena.term(c).as_bv_const() {
+                let mnode = arena.term(m).clone();
+                if mnode.kind == Kind::BvMul {
+                    for (x, y) in
+                        [(mnode.args[0], mnode.args[1]), (mnode.args[1], mnode.args[0])]
+                    {
+                        if arena.term(x).as_bv_const().map(|c| c.1)
+                            == Some(elem_size as u128)
+                        {
+                            let base_elems = cv as u64 / elem_size;
+                            let add = arena.bv64(base_elems);
+                            return Some(arena.bv_add(y, add));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_elem_index_patterns() {
+        let mut a = TermArena::new();
+        let base = a.var("arrp", Sort::BitVec(64));
+        // addr == base → 0
+        let k = extract_elem_index_bv(&mut a, base, base, 8).unwrap();
+        assert_eq!(a.term(k).as_bv_const(), Some((64, 0)));
+        // base + i*8 → i
+        let i = a.var("iv", Sort::BitVec(64));
+        let e8 = a.bv64(8);
+        let scaled = a.bv_mul(i, e8);
+        let addr = a.bv_add(base, scaled);
+        let k2 = extract_elem_index_bv(&mut a, addr, base, 8).unwrap();
+        assert_eq!(k2, i);
+        // base + 24 with elem 8 → 3
+        let c24 = a.bv64(24);
+        let addr2 = a.bv_add(base, c24);
+        let k3 = extract_elem_index_bv(&mut a, addr2, base, 8).unwrap();
+        assert_eq!(a.term(k3).as_bv_const(), Some((64, 3)));
+        // byte arrays: base + x → x
+        let x = a.var("xv", Sort::BitVec(64));
+        let addr3 = a.bv_add(base, x);
+        let k4 = extract_elem_index_bv(&mut a, addr3, base, 1).unwrap();
+        assert_eq!(k4, x);
+    }
+
+    #[test]
+    fn extract_elem_index_with_field_offset() {
+        let mut a = TermArena::new();
+        let base = a.var("arrq", Sort::BitVec(64));
+        let i = a.var("iw", Sort::BitVec(64));
+        let e16 = a.bv64(16);
+        let scaled = a.bv_mul(i, e16);
+        let c8 = a.bv64(8); // field at offset 8 inside a 16-byte element
+        let off = a.bv_add(scaled, c8);
+        let addr = a.bv_add(base, off);
+        // The arena reassociates (base + (i*16 + 8)); accept either failing
+        // gracefully or extracting i.
+        if let Some(k) = extract_elem_index_bv(&mut a, addr, base, 16) {
+            assert_eq!(k, i);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The TPot verification engine: exhaustive symbolic execution of
+//! proof-oriented tests (POTs).
+//!
+//! This is the paper's primary contribution (§3–§4). Given a C component
+//! plus its POTs and invariants (compiled by `tpot-cfront`, lowered by
+//! `tpot-ir`), the engine proves, per POT `P`, the top-level theorem of
+//! §4.1:
+//!
+//! ```text
+//! INV(s) ⇒ ∀s'. s ⇝_P s' ⇒ ¬error(s') ∧ INV(s')
+//! ```
+//!
+//! by (1) assuming every `inv__*` function over a fully symbolic initial
+//! state, (2) exhaustively symbolically executing the POT — inlining every
+//! internal call, forking on feasible branches, checking assertions and
+//! low-level errors (out-of-bounds, use-after-free, division by zero), and
+//! (3) re-establishing every invariant over each final state, constructing
+//! the greedy per-path renaming and checking for leaks (unnamed heap
+//! objects).
+//!
+//! The module structure follows the paper:
+//! - [`interp`]: the symbolic interpreter with TPot's custom byte memory
+//!   model (§4.2), `tpot_bv2int` pointer resolution (§4.3), lazy object
+//!   materialization, the eight specification primitives (§4.1) and
+//!   `__tpot_inv` loop invariants (appendix A.2);
+//! - [`simplify`]: the solver-aided read-after-write and constant-offset
+//!   query simplifier with proof caching (§4.3);
+//! - [`driver`]: the per-POT verification driver, counterexample
+//!   construction (§3.2) and results;
+//! - [`stats`]: the Figure-7 time breakdown;
+//! - [`query`]: the purpose-tagged portfolio interface.
+
+pub mod driver;
+pub mod interp;
+pub mod query;
+pub mod simplify;
+pub mod state;
+pub mod stats;
+
+pub use driver::{PotResult, PotStatus, Verifier, Violation, ViolationKind};
+pub use interp::{AddrMode, EngineConfig};
+pub use query::EngineError;
+pub use stats::{QueryPurpose, Stats};

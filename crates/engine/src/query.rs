@@ -1,0 +1,189 @@
+//! The engine's interface to the solver portfolio.
+//!
+//! Wraps [`Portfolio`] with: path-condition assembly, purpose-tagged timing
+//! (Figure 7), explicit serialization accounting (the paper's portfolio
+//! transport cost), and the feasibility/validity/model entry points the
+//! interpreter uses.
+
+use std::time::Instant;
+
+use tpot_portfolio::Portfolio;
+use tpot_smt::print::to_smtlib;
+use tpot_smt::{Model, TermArena, TermId};
+use tpot_solver::{SmtResult, SolverError};
+
+use crate::stats::{QueryPurpose, Stats};
+
+/// Errors surfaced by the engine.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// The solver failed or returned Unknown where a definitive answer was
+    /// required.
+    Solver(String),
+    /// The program used an unsupported construct.
+    Unsupported(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Solver(m) => write!(f, "solver: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SolverError> for EngineError {
+    fn from(e: SolverError) -> Self {
+        EngineError::Solver(e.to_string())
+    }
+}
+
+/// Purpose-tagged query context.
+pub struct QueryCtx {
+    /// The underlying portfolio.
+    pub portfolio: Portfolio,
+    /// Accumulated statistics.
+    pub stats: Stats,
+}
+
+impl QueryCtx {
+    /// Wraps a portfolio.
+    pub fn new(portfolio: Portfolio) -> Self {
+        QueryCtx {
+            portfolio,
+            stats: Stats::default(),
+        }
+    }
+
+    fn run(
+        &mut self,
+        arena: &TermArena,
+        assertions: &[TermId],
+        purpose: QueryPurpose,
+        need_model: bool,
+    ) -> Result<SmtResult, EngineError> {
+        // Serialization happens unconditionally (it is how queries reach the
+        // paper's portfolio); its cost is the Fig. 7 "Serialization" bucket.
+        let t0 = Instant::now();
+        let _text_len = to_smtlib(arena, assertions).len();
+        self.stats.serialization_time += t0.elapsed();
+        let t1 = Instant::now();
+        let r = self.portfolio.check(arena, assertions, need_model)?;
+        self.stats.add_query_time(purpose, t1.elapsed());
+        Ok(r)
+    }
+
+    /// Is `path ∧ extra` satisfiable?
+    pub fn is_feasible(
+        &mut self,
+        arena: &mut TermArena,
+        path: &[TermId],
+        extra: TermId,
+        purpose: QueryPurpose,
+    ) -> Result<bool, EngineError> {
+        // Constant fast path.
+        if let Some(b) = arena.term(extra).as_bool_const() {
+            if !b {
+                return Ok(false);
+            }
+            if path.is_empty() {
+                return Ok(true);
+            }
+        }
+        let mut q: Vec<TermId> = path.to_vec();
+        q.push(extra);
+        match self.run(arena, &q, purpose, false)? {
+            SmtResult::Sat(_) => Ok(true),
+            SmtResult::Unsat => Ok(false),
+            SmtResult::Unknown => Err(EngineError::Solver(
+                "solver returned unknown on feasibility query".into(),
+            )),
+        }
+    }
+
+    /// Does `path` entail `cond`? (valid iff `path ∧ ¬cond` is unsat).
+    pub fn is_valid(
+        &mut self,
+        arena: &mut TermArena,
+        path: &[TermId],
+        cond: TermId,
+        purpose: QueryPurpose,
+    ) -> Result<bool, EngineError> {
+        if arena.term(cond).as_bool_const() == Some(true) {
+            return Ok(true);
+        }
+        let neg = arena.not(cond);
+        Ok(!self.is_feasible(arena, path, neg, purpose)?)
+    }
+
+    /// A model of `path ∧ extra` (for counterexamples), if satisfiable.
+    pub fn model(
+        &mut self,
+        arena: &mut TermArena,
+        path: &[TermId],
+        extra: TermId,
+        purpose: QueryPurpose,
+    ) -> Result<Option<Model>, EngineError> {
+        let mut q: Vec<TermId> = path.to_vec();
+        q.push(extra);
+        match self.run(arena, &q, purpose, true)? {
+            SmtResult::Sat(m) => Ok(Some(m)),
+            SmtResult::Unsat => Ok(None),
+            SmtResult::Unknown => Err(EngineError::Solver(
+                "solver returned unknown on model query".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_smt::Sort;
+
+    #[test]
+    fn feasible_and_valid() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int_const(0);
+        let pos = a.int_lt(zero, x);
+        let mut q = QueryCtx::new(Portfolio::single());
+        assert!(q
+            .is_feasible(&mut a, &[], pos, QueryPurpose::Branches)
+            .unwrap());
+        // path: x > 0 entails x >= 0.
+        let ge = a.int_le(zero, x);
+        assert!(q
+            .is_valid(&mut a, &[pos], ge, QueryPurpose::Assertions)
+            .unwrap());
+        // but not x > 1.
+        let one = a.int_const(1);
+        let gt1 = a.int_lt(one, x);
+        assert!(!q
+            .is_valid(&mut a, &[pos], gt1, QueryPurpose::Assertions)
+            .unwrap());
+        assert!(q.stats.num_queries >= 3);
+        assert!(q.stats.serialization_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn model_extraction() {
+        let mut a = TermArena::new();
+        let x = a.var("mx", Sort::BitVec(8));
+        let c = a.bv_const(8, 9);
+        let eq = a.eq(x, c);
+        let mut q = QueryCtx::new(Portfolio::single());
+        let t = a.tru();
+        let m = q
+            .model(&mut a, &[eq], t, QueryPurpose::Assertions)
+            .unwrap()
+            .unwrap();
+        assert_eq!(m.var("mx"), Some(&tpot_smt::Value::BitVec(8, 9)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Symbolic execution states.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use tpot_mem::{Memory, ObjectId};
+use tpot_smt::TermId;
+
+use crate::driver::Violation;
+
+/// A pledge recorded by `names_obj_forall` / `names_obj_forall_cond`
+/// (paper §4.1, "Quantified naming"): the pointer-returning function `f`
+/// names, for every integer `i`, either NULL or a distinct object `f!i`.
+/// Pledges drive lazy materialization (§4.2).
+#[derive(Clone, Debug)]
+pub struct Pledge {
+    /// Pointer-returning function name.
+    pub func: String,
+    /// Named object size in bytes (the `sizeof` of the type argument).
+    pub obj_size: u64,
+    /// Optional per-object condition function (`names_obj_forall_cond`).
+    pub cond: Option<String>,
+    /// Objects materialized from this pledge: (index witness, object).
+    pub materialized: Vec<(TermId, ObjectId)>,
+}
+
+/// What to do with a function's return value when its frame pops.
+#[derive(Clone, Debug)]
+pub enum RetCont {
+    /// Deliver into the caller's register (ordinary call).
+    Normal,
+    /// The callee was a boolean spec function evaluated for *assumption*:
+    /// add `ret != 0` to the path (drop the path if infeasible).
+    AssumeTrue,
+    /// The callee was evaluated for *checking*: prove `ret != 0` or report
+    /// the violation. The payload labels the obligation.
+    CheckTrue(String),
+    /// Stop the whole state when this frame returns (used by nested
+    /// evaluations such as pledge witnesses); the return value lands in
+    /// [`State::last_ret`].
+    Stop,
+}
+
+/// Deferred actions queued on a frame; drained before the next instruction.
+/// This is how multi-step primitives (`__tpot_inv`'s check–havoc–assume
+/// sequence, POT prologues/epilogues) compose out of ordinary calls.
+#[derive(Clone, Debug)]
+pub enum Pending {
+    /// Call a boolean function with the given argument values and return
+    /// continuation.
+    CallBool {
+        /// Function name.
+        func: String,
+        /// Argument values.
+        args: Vec<TermId>,
+        /// What to do with the result.
+        cont: RetCont,
+    },
+    /// Havoc the listed regions: (object, start index term, length).
+    Havoc(Vec<(ObjectId, TermId, u64)>),
+    /// Begin logging writes (loop-invariant body tracking).
+    StartWriteLog,
+    /// Terminate this path at a loop cut point.
+    EndPathLoopCut,
+}
+
+/// An interpreter call frame.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Index of the function in the module.
+    pub func: usize,
+    /// Current block.
+    pub block: usize,
+    /// Next instruction index within the block.
+    pub ip: usize,
+    /// Virtual register file.
+    pub regs: Vec<Option<TermId>>,
+    /// Memory objects backing the local slots.
+    pub local_objs: Vec<ObjectId>,
+    /// Where to deliver the return value in the *caller* frame
+    /// (register, width).
+    pub ret_reg: Option<(u32, u32)>,
+    /// Return continuation.
+    pub on_return: RetCont,
+    /// Deferred actions to run before the next instruction.
+    pub pending: VecDeque<Pending>,
+    /// Loop-invariant contexts keyed by `(block, ip)` of the `__tpot_inv`
+    /// instruction.
+    pub loops: HashMap<(usize, usize), LoopCtx>,
+    /// Naming mode to restore when this frame pops (set when the call's
+    /// continuation switched the mode).
+    pub prev_naming: Option<NamingMode>,
+}
+
+/// Per-loop bookkeeping for `__tpot_inv` (paper appendix A.2).
+#[derive(Clone, Debug)]
+pub struct LoopCtx {
+    /// Havocked regions: (object, start index, length).
+    pub havoc: Vec<(ObjectId, TermId, u64)>,
+    /// Index into [`State::writes_log`] where this loop's body started.
+    pub log_start: usize,
+}
+
+/// Execution mode for the naming primitives (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NamingMode {
+    /// Creating/assuming names (initial invariants, POT bodies).
+    Assume,
+    /// Checking names (final invariant verification; builds the greedy
+    /// renaming of the paper's existentially-quantified name mapping).
+    Check,
+}
+
+/// Why a path ended.
+#[derive(Clone, Debug)]
+pub enum PathOutcome {
+    /// Reached the end of the entry function without errors.
+    Completed,
+    /// An error was detected.
+    Error(Violation),
+    /// The path was terminated at a loop-invariant cut point.
+    LoopCut,
+    /// The path's assumptions were infeasible (vacuous).
+    Infeasible,
+}
+
+/// A symbolic execution state: call stack + memory + path condition.
+#[derive(Clone)]
+pub struct State {
+    /// Memory objects.
+    pub mem: Memory,
+    /// Call stack; index 0 is the entry (POT) frame.
+    pub frames: Vec<Frame>,
+    /// Path condition (a conjunction).
+    pub path: Vec<TermId>,
+    /// Quantified-naming pledges.
+    pub pledges: Vec<Pledge>,
+    /// Read-after-write proof cache: `(store-index, read-index)` →
+    /// proven-equal? Sound to inherit across forks because the path
+    /// condition only strengthens (§4.3, "TPot caches simplification
+    /// proofs").
+    pub raw_proofs: HashMap<(TermId, TermId), bool>,
+    /// Constant-offset cache: address term → proven-constant index term
+    /// (§4.3, "Constant offsets").
+    pub const_offsets: HashMap<TermId, TermId>,
+    /// Resolution hints: address term → (object, index term), valid for
+    /// this path.
+    pub resolution_hints: HashMap<TermId, (ObjectId, TermId)>,
+    /// Block-level trace for counterexamples.
+    pub trace: Vec<String>,
+    /// Naming mode for `points_to` and friends.
+    pub naming_mode: NamingMode,
+    /// Greedy renaming built during final invariant checks: name → object.
+    pub check_bindings: HashMap<String, ObjectId>,
+    /// Write log (active while `log_writes`): (object, index, length).
+    pub writes_log: Vec<(ObjectId, TermId, u64)>,
+    /// When true, stores are recorded in `writes_log`.
+    pub log_writes: bool,
+    /// Objects whose `forall_elem` markers are currently being
+    /// instantiated (re-entrancy guard).
+    pub marker_guard: Vec<ObjectId>,
+    /// Marker instantiations already performed on this path:
+    /// (object, marker index, element-index term).
+    pub instantiated: HashSet<(ObjectId, usize, TermId)>,
+    /// Return value of a `RetCont::Stop` frame.
+    pub last_ret: Option<TermId>,
+    /// Set when the path has terminated.
+    pub done: Option<PathOutcome>,
+}
+
+impl State {
+    /// Creates a state around a memory.
+    pub fn new(mem: Memory) -> Self {
+        State {
+            mem,
+            frames: Vec::new(),
+            path: Vec::new(),
+            pledges: Vec::new(),
+            raw_proofs: HashMap::new(),
+            const_offsets: HashMap::new(),
+            resolution_hints: HashMap::new(),
+            trace: Vec::new(),
+            naming_mode: NamingMode::Assume,
+            check_bindings: HashMap::new(),
+            writes_log: Vec::new(),
+            log_writes: false,
+            marker_guard: Vec::new(),
+            instantiated: HashSet::new(),
+            last_ret: None,
+            done: None,
+        }
+    }
+
+    /// The active frame.
+    pub fn frame(&self) -> &Frame {
+        self.frames.last().expect("no active frame")
+    }
+
+    /// The active frame, mutably.
+    pub fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("no active frame")
+    }
+
+    /// Appends a constraint to the path condition.
+    pub fn assume(&mut self, c: TermId) {
+        self.path.push(c);
+    }
+
+    /// Reads a register in the active frame.
+    pub fn reg(&self, r: u32) -> TermId {
+        self.frame().regs[r as usize].expect("read of unset register")
+    }
+
+    /// Writes a register in the active frame.
+    pub fn set_reg(&mut self, r: u32, v: TermId) {
+        let f = self.frame_mut();
+        f.regs[r as usize] = Some(v);
+    }
+
+    /// Records a trace step (bounded).
+    pub fn trace_step(&mut self, s: String) {
+        if self.trace.len() < 512 {
+            self.trace.push(s);
+        }
+    }
+
+    /// Marks the path finished.
+    pub fn finish(&mut self, outcome: PathOutcome) {
+        if self.done.is_none() {
+            self.done = Some(outcome);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Verification-time accounting (Figure 7 of the paper).
+//!
+//! The paper breaks verification time into: query simplification (§4.3),
+//! SMT queries for pointer resolution, SMT queries for branch feasibility,
+//! query serialization, and "other". The engine tags every solver call with
+//! a [`QueryPurpose`] and accumulates wall-clock time per bucket here; the
+//! `fig7` harness prints the same breakdown the paper plots.
+
+use std::time::Duration;
+
+/// Why a solver query was issued.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryPurpose {
+    /// Resolving a symbolic pointer to memory objects (§4.2).
+    Pointers,
+    /// Deciding branch feasibility.
+    Branches,
+    /// Proving an assertion / invariant / loop-invariant obligation.
+    Assertions,
+    /// Queries issued *by the query simplifier* (read-after-write and
+    /// constant-offset proofs, §4.3).
+    Simplify,
+}
+
+/// Accumulated engine statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Time in the query simplifier (including its own solver queries).
+    pub simplify_time: Duration,
+    /// Time in pointer-resolution queries.
+    pub pointer_time: Duration,
+    /// Time in branch-feasibility queries.
+    pub branch_time: Duration,
+    /// Time in assertion/invariant queries.
+    pub assertion_time: Duration,
+    /// Time serializing queries for the portfolio (§4.4).
+    pub serialization_time: Duration,
+    /// Everything else (interpretation, state management).
+    pub other_time: Duration,
+    /// Total number of solver queries.
+    pub num_queries: u64,
+    /// Queries answered by the read-after-write proof cache.
+    pub raw_cache_hits: u64,
+    /// Successful read-after-write simplifications.
+    pub raw_simplifications: u64,
+    /// Constant-offset rewrites (§4.3, "Constant offsets").
+    pub const_offset_hits: u64,
+    /// Number of execution paths completed.
+    pub paths: u64,
+    /// Number of state forks.
+    pub forks: u64,
+    /// Instructions interpreted.
+    pub insts: u64,
+    /// Lazily materialized heap objects (§4.2).
+    pub materializations: u64,
+}
+
+impl Stats {
+    /// Adds solver time to the bucket for `purpose`.
+    pub fn add_query_time(&mut self, purpose: QueryPurpose, d: Duration) {
+        self.num_queries += 1;
+        match purpose {
+            QueryPurpose::Pointers => self.pointer_time += d,
+            QueryPurpose::Branches => self.branch_time += d,
+            QueryPurpose::Assertions => self.assertion_time += d,
+            QueryPurpose::Simplify => self.simplify_time += d,
+        }
+    }
+
+    /// Total accounted time.
+    pub fn total(&self) -> Duration {
+        self.simplify_time
+            + self.pointer_time
+            + self.branch_time
+            + self.assertion_time
+            + self.serialization_time
+            + self.other_time
+    }
+
+    /// Merges another stats record into this one.
+    pub fn merge(&mut self, o: &Stats) {
+        self.simplify_time += o.simplify_time;
+        self.pointer_time += o.pointer_time;
+        self.branch_time += o.branch_time;
+        self.assertion_time += o.assertion_time;
+        self.serialization_time += o.serialization_time;
+        self.other_time += o.other_time;
+        self.num_queries += o.num_queries;
+        self.raw_cache_hits += o.raw_cache_hits;
+        self.raw_simplifications += o.raw_simplifications;
+        self.const_offset_hits += o.const_offset_hits;
+        self.paths += o.paths;
+        self.forks += o.forks;
+        self.insts += o.insts;
+        self.materializations += o.materializations;
+    }
+
+    /// Percentage breakdown in the paper's Figure 7 buckets:
+    /// `(query simplif, SMT:pointers, SMT:branches, serialization, other)`.
+    /// Assertion-query time is folded into `SMT:branches`' companion
+    /// "other" bucket in the paper's plot; we keep it in `other`.
+    pub fn fig7_breakdown(&self) -> (f64, f64, f64, f64, f64) {
+        let tot = self.total().as_secs_f64().max(1e-9);
+        let pct = |d: Duration| 100.0 * d.as_secs_f64() / tot;
+        (
+            pct(self.simplify_time),
+            pct(self.pointer_time),
+            pct(self.branch_time),
+            pct(self.serialization_time),
+            pct(self.assertion_time + self.other_time),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut s = Stats::default();
+        s.add_query_time(QueryPurpose::Pointers, Duration::from_millis(10));
+        s.add_query_time(QueryPurpose::Branches, Duration::from_millis(30));
+        s.serialization_time += Duration::from_millis(10);
+        s.other_time += Duration::from_millis(50);
+        assert_eq!(s.num_queries, 2);
+        let (simp, ptr, br, ser, other) = s.fig7_breakdown();
+        assert!((simp - 0.0).abs() < 1e-6);
+        assert!((ptr - 10.0).abs() < 1.0);
+        assert!((br - 30.0).abs() < 1.0);
+        assert!((ser - 10.0).abs() < 1.0);
+        assert!((other - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Stats::default();
+        a.paths = 2;
+        let mut b = Stats::default();
+        b.paths = 3;
+        b.forks = 1;
+        a.merge(&b);
+        assert_eq!(a.paths, 5);
+        assert_eq!(a.forks, 1);
+    }
+}

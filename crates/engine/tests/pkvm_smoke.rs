@@ -1,0 +1,55 @@
+//! Smoke verification of the pKVM early-allocator target (the appendix A
+//! walkthrough). The full evaluation harness lives in tpot-targets; this
+//! test exercises the single-page POTs end to end.
+
+use tpot_engine::{PotStatus, Verifier};
+use tpot_ir::lower;
+
+fn module() -> tpot_ir::Module {
+    let imp = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../targets/pkvm_early_alloc/early_alloc.c"
+    ))
+    .unwrap();
+    let spec = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../targets/pkvm_early_alloc/spec.c"
+    ))
+    .unwrap();
+    let src = format!("{imp}\n{spec}");
+    lower(&tpot_cfront::compile(&src).unwrap()).unwrap()
+}
+
+#[test]
+fn pkvm_nr_pages() {
+    let m = module();
+    let r = Verifier::new(m).verify_pot("spec__nr_pages");
+    match &r.status {
+        PotStatus::Proved => {}
+        PotStatus::Failed(vs) => panic!("failed: {}", vs[0]),
+        PotStatus::Error(e) => panic!("error: {e}"),
+    }
+}
+
+#[test]
+fn pkvm_init() {
+    let m = module();
+    let r = Verifier::new(m).verify_pot("spec__init");
+    match &r.status {
+        PotStatus::Proved => {}
+        PotStatus::Failed(vs) => panic!("failed: {}", vs[0]),
+        PotStatus::Error(e) => panic!("error: {e}"),
+    }
+}
+
+#[test]
+#[ignore = "the appendix-A walkthrough takes ~1 min in release (longer in debug); run with --ignored or `cargo run --release -p tpot-bench --bin pkvm_smoke`"]
+fn pkvm_alloc_page() {
+    let m = module();
+    let r = Verifier::new(m).verify_pot("spec__alloc_page");
+    match &r.status {
+        PotStatus::Proved => {}
+        PotStatus::Failed(vs) => panic!("failed: {}", vs[0]),
+        PotStatus::Error(e) => panic!("error: {e}"),
+    }
+}

@@ -1,0 +1,313 @@
+//! TIR: a typed control-flow-graph IR, the LLVM-IR stand-in of this
+//! reproduction.
+//!
+//! The paper lowers C (and the POT specifications) to LLVM IR "to avoid
+//! dealing directly with the complicated semantics of C" (§4). TIR plays
+//! that role here: a register machine over basic blocks, where
+//!
+//! - all scalar values are 8/16/32/64-bit integers (pointers are 64-bit
+//!   integers — the byte memory model of §4.2 makes no pointer/data
+//!   distinction),
+//! - locals live in a per-call frame and are accessed only through
+//!   `Load`/`Store` on addresses produced by `AddrLocal` (so taking the
+//!   address of a local is trivially sound),
+//! - short-circuit evaluation, ternaries and loops are explicit control
+//!   flow,
+//! - TPot's specification primitives appear as [`Inst::Builtin`]
+//!   instructions whose type arguments carry full layout information.
+//!
+//! The symbolic executor in `tpot-engine` interprets this IR directly,
+//! inlining every `Call` (the paper's component-level verification design,
+//! §4.1: "TPot, in contrast, effectively inlines all internal functions").
+
+pub mod lower;
+pub mod print;
+
+use std::collections::HashMap;
+
+pub use tpot_cfront::sema::Builtin;
+use tpot_cfront::sema::{CheckedProgram, GlobalInfo, LocalSlot};
+use tpot_cfront::types::{StructLayouts, Type};
+
+/// A virtual register id (unique within a function).
+pub type RegId = u32;
+
+/// A basic-block id (index into [`IrFunc::blocks`]).
+pub type BlockId = usize;
+
+/// An operand: a constant or a register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// Immediate constant with an explicit width in bits.
+    Const {
+        /// Two's-complement value.
+        value: i128,
+        /// Width in bits (8/16/32/64).
+        width: u32,
+    },
+    /// Register, with its width.
+    Reg(RegId, u32),
+}
+
+impl Operand {
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        match self {
+            Operand::Const { width, .. } => *width,
+            Operand::Reg(_, w) => *w,
+        }
+    }
+}
+
+/// Binary arithmetic operations (no comparisons).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    /// Unsigned division (SMT-LIB total semantics; the engine checks for
+    /// division by zero separately and reports it as a low-level error).
+    DivU,
+    /// Signed division.
+    DivS,
+    /// Unsigned remainder.
+    RemU,
+    /// Signed remainder.
+    RemS,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Logical shift right.
+    ShrL,
+    /// Arithmetic shift right.
+    ShrA,
+}
+
+/// Comparison predicates (result is an 8-bit 0/1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pred {
+    Eq,
+    Ne,
+    /// Unsigned less-than.
+    LtU,
+    /// Unsigned less-or-equal.
+    LeU,
+    /// Signed less-than.
+    LtS,
+    /// Signed less-or-equal.
+    LeS,
+}
+
+/// Width-conversion kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CastKind {
+    /// Zero extension.
+    ZExt,
+    /// Sign extension.
+    SExt,
+    /// Truncation.
+    Trunc,
+}
+
+/// Builtin-call arguments.
+#[derive(Clone, Debug)]
+pub enum IrArg {
+    /// Value operand.
+    Op(Operand),
+    /// Resolved C type (carries size/layout via [`Module::layouts`]).
+    Type(Type),
+    /// String (object names).
+    Str(String),
+    /// Function reference by name.
+    Func(String),
+}
+
+/// An instruction.
+#[derive(Clone, Debug)]
+pub enum Inst {
+    /// `dst = a <op> b` (both operands share `dst`'s width).
+    Bin {
+        /// Destination register.
+        dst: RegId,
+        /// Operation.
+        op: BinKind,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Operand/result width.
+        width: u32,
+    },
+    /// `dst = a <pred> b` (8-bit 0/1 result).
+    Cmp {
+        /// Destination register.
+        dst: RegId,
+        /// Predicate.
+        pred: Pred,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Width of the compared operands.
+        width: u32,
+    },
+    /// Width conversion.
+    Cast {
+        /// Destination register.
+        dst: RegId,
+        /// Conversion kind.
+        kind: CastKind,
+        /// Source operand.
+        src: Operand,
+        /// Result width.
+        to_width: u32,
+    },
+    /// `dst = *(addr)` reading `width/8` bytes.
+    Load {
+        /// Destination register.
+        dst: RegId,
+        /// 64-bit address operand.
+        addr: Operand,
+        /// Width of the loaded value.
+        width: u32,
+    },
+    /// `*(addr) = val`.
+    Store {
+        /// 64-bit address operand.
+        addr: Operand,
+        /// Stored value.
+        val: Operand,
+        /// Width of the stored value.
+        width: u32,
+    },
+    /// `dst = &local`.
+    AddrLocal {
+        /// Destination register (64-bit).
+        dst: RegId,
+        /// Local slot index.
+        local: usize,
+    },
+    /// `dst = &global`.
+    AddrGlobal {
+        /// Destination register (64-bit).
+        dst: RegId,
+        /// Global name.
+        name: String,
+    },
+    /// Direct call; the engine inlines the callee.
+    Call {
+        /// Destination register for non-void callees.
+        dst: Option<(RegId, u32)>,
+        /// Callee name.
+        callee: String,
+        /// Argument operands.
+        args: Vec<Operand>,
+    },
+    /// Builtin / specification primitive.
+    Builtin {
+        /// Destination register for value-returning builtins.
+        dst: Option<(RegId, u32)>,
+        /// Which builtin.
+        which: Builtin,
+        /// Typed arguments.
+        args: Vec<IrArg>,
+    },
+}
+
+/// Block terminators.
+#[derive(Clone, Debug)]
+pub enum Term {
+    /// Unconditional jump.
+    Br(BlockId),
+    /// Conditional jump on `cond != 0`.
+    CondBr {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when nonzero.
+        then_b: BlockId,
+        /// Target when zero.
+        else_b: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Operand>),
+    /// Unreachable (placeholder during construction).
+    Unreachable,
+}
+
+/// A basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// Terminator.
+    pub term: Term,
+}
+
+/// A lowered function.
+#[derive(Clone, Debug)]
+pub struct IrFunc {
+    /// Name.
+    pub name: String,
+    /// Return width in bits, `None` for void.
+    pub ret_width: Option<u32>,
+    /// Number of parameters (the first slots of `locals`).
+    pub n_params: usize,
+    /// Local slots (parameters first), with sizes in bytes.
+    pub locals: Vec<LocalSlot>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Number of virtual registers.
+    pub num_regs: u32,
+}
+
+/// A lowered translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Struct layouts (shared with the frontend).
+    pub layouts: StructLayouts,
+    /// Global variables.
+    pub globals: Vec<GlobalInfo>,
+    /// Functions by index.
+    pub funcs: Vec<IrFunc>,
+    /// Function name → index.
+    pub func_index: HashMap<String, usize>,
+}
+
+impl Module {
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&IrFunc> {
+        self.func_index.get(name).map(|&i| &self.funcs[i])
+    }
+
+    /// Names of all POTs (`spec__*`).
+    pub fn pot_names(&self) -> Vec<String> {
+        self.funcs
+            .iter()
+            .filter(|f| f.name.starts_with("spec__"))
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// Names of all global invariants (`inv__*`).
+    pub fn invariant_names(&self) -> Vec<String> {
+        self.funcs
+            .iter()
+            .filter(|f| f.name.starts_with("inv__"))
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// Total instruction count (a code-size metric for the harness).
+    pub fn num_insts(&self) -> usize {
+        self.funcs
+            .iter()
+            .map(|f| f.blocks.iter().map(|b| b.insts.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Lowers a checked program into a [`Module`].
+pub fn lower(prog: &CheckedProgram) -> Result<Module, String> {
+    lower::lower_program(prog)
+}

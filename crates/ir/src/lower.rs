@@ -1,0 +1,729 @@
+//! Lowering from the typed HIR (`tpot-cfront`) into TIR.
+
+use tpot_cfront::sema::{
+    CastKind as HCast, CheckedProgram, LocalSlot, TArg, TBinOp, TExpr, TExprKind, TFunc,
+    TPlace, TPlaceKind, TStmt, TUnOp,
+};
+use tpot_cfront::types::Type;
+
+use crate::{
+    BinKind, Block, BlockId, CastKind, Inst, IrArg, IrFunc, Module, Operand, Pred, RegId,
+    Term,
+};
+
+/// Lowers all functions of a checked program.
+pub fn lower_program(prog: &CheckedProgram) -> Result<Module, String> {
+    let mut module = Module {
+        layouts: prog.layouts.clone(),
+        globals: prog.globals.clone(),
+        funcs: Vec::new(),
+        func_index: Default::default(),
+    };
+    for f in &prog.funcs {
+        if f.body.is_none() {
+            continue;
+        }
+        let irf = lower_func(prog, f)?;
+        module.func_index.insert(f.name.clone(), module.funcs.len());
+        module.funcs.push(irf);
+    }
+    Ok(module)
+}
+
+struct FnLower<'a> {
+    #[allow(dead_code)]
+    prog: &'a CheckedProgram,
+    blocks: Vec<Block>,
+    cur: BlockId,
+    next_reg: RegId,
+    locals: Vec<LocalSlot>,
+    /// (break target, continue target) stack.
+    loop_stack: Vec<(BlockId, BlockId)>,
+    ret_width: Option<u32>,
+}
+
+fn lower_func(prog: &CheckedProgram, f: &TFunc) -> Result<IrFunc, String> {
+    let ret_width = match &f.ret {
+        Type::Void => None,
+        t if t.is_scalar() => Some(t.bit_width()),
+        t => return Err(format!("{}: unsupported return type {t}", f.name)),
+    };
+    let mut lx = FnLower {
+        prog,
+        blocks: vec![Block {
+            insts: Vec::new(),
+            term: Term::Unreachable,
+        }],
+        cur: 0,
+        next_reg: 0,
+        locals: f.locals.clone(),
+        loop_stack: Vec::new(),
+        ret_width,
+    };
+    lx.stmts(f.body.as_ref().unwrap())?;
+    // Fall-off-the-end returns (void or unspecified value = 0).
+    if matches!(lx.blocks[lx.cur].term, Term::Unreachable) {
+        let term = match ret_width {
+            None => Term::Ret(None),
+            Some(w) => Term::Ret(Some(Operand::Const { value: 0, width: w })),
+        };
+        lx.blocks[lx.cur].term = term;
+    }
+    Ok(IrFunc {
+        name: f.name.clone(),
+        ret_width,
+        n_params: f.n_params,
+        locals: lx.locals,
+        blocks: lx.blocks,
+        num_regs: lx.next_reg,
+    })
+}
+
+impl<'a> FnLower<'a> {
+    fn fresh(&mut self) -> RegId {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            term: Term::Unreachable,
+        });
+        self.blocks.len() - 1
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.blocks[self.cur].insts.push(inst);
+    }
+
+    fn set_term(&mut self, term: Term) {
+        if matches!(self.blocks[self.cur].term, Term::Unreachable) {
+            self.blocks[self.cur].term = term;
+        }
+    }
+
+    fn terminated(&self) -> bool {
+        !matches!(self.blocks[self.cur].term, Term::Unreachable)
+    }
+
+    /// Allocates an unnamed scratch local (used by `&&`/`||`/ternary).
+    fn scratch_local(&mut self, width: u32) -> usize {
+        let slot = self.locals.len();
+        self.locals.push(LocalSlot {
+            name: format!("$tmp{slot}"),
+            ty: Type::Int {
+                width,
+                signed: false,
+            },
+            size: (width / 8) as u64,
+        });
+        slot
+    }
+
+    fn local_addr(&mut self, slot: usize) -> Operand {
+        let r = self.fresh();
+        self.emit(Inst::AddrLocal { dst: r, local: slot });
+        Operand::Reg(r, 64)
+    }
+
+    fn load(&mut self, addr: Operand, width: u32) -> Operand {
+        let r = self.fresh();
+        self.emit(Inst::Load {
+            dst: r,
+            addr,
+            width,
+        });
+        Operand::Reg(r, width)
+    }
+
+    fn store(&mut self, addr: Operand, val: Operand, width: u32) {
+        self.emit(Inst::Store { addr, val, width });
+    }
+
+    // -------------------------------------------------------------- stmts
+
+    fn stmts(&mut self, body: &[TStmt]) -> Result<(), String> {
+        for s in body {
+            self.stmt(s)?;
+            if self.terminated() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &TStmt) -> Result<(), String> {
+        match s {
+            TStmt::Expr(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            TStmt::Init(slot, e) => {
+                let v = self.expr_val(e)?;
+                let addr = self.local_addr(*slot);
+                self.store(addr, v, e.ty.bit_width());
+                Ok(())
+            }
+            TStmt::InitList(slot, writes) => {
+                for (off, e) in writes {
+                    let v = self.expr_val(e)?;
+                    let base = self.local_addr(*slot);
+                    let addr = self.add_offset(base, *off);
+                    self.store(addr, v, e.ty.bit_width());
+                }
+                Ok(())
+            }
+            TStmt::If(c, t, e) => {
+                let cond = self.cond_val(c)?;
+                let then_b = self.new_block();
+                let else_b = self.new_block();
+                let join = self.new_block();
+                self.set_term(Term::CondBr {
+                    cond,
+                    then_b,
+                    else_b,
+                });
+                self.cur = then_b;
+                self.stmts(t)?;
+                self.set_term(Term::Br(join));
+                self.cur = else_b;
+                self.stmts(e)?;
+                self.set_term(Term::Br(join));
+                self.cur = join;
+                Ok(())
+            }
+            TStmt::While(c, body) => {
+                let head = self.new_block();
+                let body_b = self.new_block();
+                let exit = self.new_block();
+                self.set_term(Term::Br(head));
+                self.cur = head;
+                let cond = self.cond_val(c)?;
+                self.set_term(Term::CondBr {
+                    cond,
+                    then_b: body_b,
+                    else_b: exit,
+                });
+                self.cur = body_b;
+                self.loop_stack.push((exit, head));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.set_term(Term::Br(head));
+                self.cur = exit;
+                Ok(())
+            }
+            TStmt::For(init, cond, step, body) => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let head = self.new_block();
+                let body_b = self.new_block();
+                let step_b = self.new_block();
+                let exit = self.new_block();
+                self.set_term(Term::Br(head));
+                self.cur = head;
+                match cond {
+                    Some(c) => {
+                        let cv = self.cond_val(c)?;
+                        self.set_term(Term::CondBr {
+                            cond: cv,
+                            then_b: body_b,
+                            else_b: exit,
+                        });
+                    }
+                    None => self.set_term(Term::Br(body_b)),
+                }
+                self.cur = body_b;
+                self.loop_stack.push((exit, step_b));
+                self.stmts(body)?;
+                self.loop_stack.pop();
+                self.set_term(Term::Br(step_b));
+                self.cur = step_b;
+                if let Some(e) = step {
+                    self.expr(e)?;
+                }
+                self.set_term(Term::Br(head));
+                self.cur = exit;
+                Ok(())
+            }
+            TStmt::Return(e) => {
+                let op = match e {
+                    None => None,
+                    Some(e) => Some(self.expr_val(e)?),
+                };
+                let _ = self.ret_width;
+                self.set_term(Term::Ret(op));
+                Ok(())
+            }
+            TStmt::Break => {
+                let (exit, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or("break outside of a loop")?;
+                self.set_term(Term::Br(exit));
+                Ok(())
+            }
+            TStmt::Continue => {
+                let (_, cont) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or("continue outside of a loop")?;
+                self.set_term(Term::Br(cont));
+                Ok(())
+            }
+            TStmt::Block(body) => self.stmts(body),
+        }
+    }
+
+    // -------------------------------------------------------------- exprs
+
+    /// Lowers an expression whose value may be discarded.
+    fn expr(&mut self, e: &TExpr) -> Result<Option<Operand>, String> {
+        match &e.kind {
+            TExprKind::Builtin(_, _) | TExprKind::Call(_, _) => self.expr_opt(e),
+            _ if e.ty == Type::Void => self.expr_opt(e),
+            _ => Ok(Some(self.expr_val(e)?)),
+        }
+    }
+
+    fn expr_opt(&mut self, e: &TExpr) -> Result<Option<Operand>, String> {
+        match &e.kind {
+            TExprKind::Call(name, args) => {
+                let ops: Vec<Operand> = args
+                    .iter()
+                    .map(|a| self.expr_val(a))
+                    .collect::<Result<_, _>>()?;
+                let dst = match &e.ty {
+                    Type::Void => None,
+                    t => Some((self.fresh(), t.bit_width())),
+                };
+                self.emit(Inst::Call {
+                    dst,
+                    callee: name.clone(),
+                    args: ops,
+                });
+                Ok(dst.map(|(r, w)| Operand::Reg(r, w)))
+            }
+            TExprKind::Builtin(which, targs) => {
+                let mut args = Vec::with_capacity(targs.len());
+                for a in targs {
+                    args.push(match a {
+                        TArg::Expr(e) => IrArg::Op(self.expr_val(e)?),
+                        TArg::Type(t) => IrArg::Type(t.clone()),
+                        TArg::Str(s) => IrArg::Str(s.clone()),
+                        TArg::FuncRef(f) => IrArg::Func(f.clone()),
+                    });
+                }
+                let dst = match &e.ty {
+                    Type::Void => None,
+                    t => Some((self.fresh(), t.bit_width())),
+                };
+                self.emit(Inst::Builtin {
+                    dst,
+                    which: *which,
+                    args,
+                });
+                Ok(dst.map(|(r, w)| Operand::Reg(r, w)))
+            }
+            _ => Ok(Some(self.expr_val(e)?)),
+        }
+    }
+
+    /// Lowers an expression to a value operand.
+    fn expr_val(&mut self, e: &TExpr) -> Result<Operand, String> {
+        let width = match &e.ty {
+            Type::Void => 8, // void calls handled in expr_opt
+            t => t.bit_width(),
+        };
+        match &e.kind {
+            TExprKind::Const(v) => Ok(Operand::Const {
+                value: *v,
+                width,
+            }),
+            TExprKind::Load(p) => {
+                let addr = self.place_addr(p)?;
+                Ok(self.load(addr, p.ty.bit_width()))
+            }
+            TExprKind::AddrOf(p) => self.place_addr(p),
+            TExprKind::Unary(op, a) => {
+                let av = self.expr_val(a)?;
+                let dst = self.fresh();
+                match op {
+                    TUnOp::Neg => self.emit(Inst::Bin {
+                        dst,
+                        op: BinKind::Sub,
+                        a: Operand::Const { value: 0, width },
+                        b: av,
+                        width,
+                    }),
+                    TUnOp::BitNot => self.emit(Inst::Bin {
+                        dst,
+                        op: BinKind::Xor,
+                        a: av,
+                        b: Operand::Const { value: -1, width },
+                        width,
+                    }),
+                }
+                Ok(Operand::Reg(dst, width))
+            }
+            TExprKind::Binary(op, a, b) => {
+                let aw = a.ty.bit_width();
+                let av = self.expr_val(a)?;
+                let bv = self.expr_val(b)?;
+                let dst = self.fresh();
+                if let Some(pred) = cmp_pred(*op) {
+                    self.emit(Inst::Cmp {
+                        dst,
+                        pred,
+                        a: av,
+                        b: bv,
+                        width: aw,
+                    });
+                    // Comparison yields int (32-bit) in C; widen the 8-bit
+                    // flag.
+                    let wide = self.fresh();
+                    self.emit(Inst::Cast {
+                        dst: wide,
+                        kind: CastKind::ZExt,
+                        src: Operand::Reg(dst, 8),
+                        to_width: 32,
+                    });
+                    return Ok(Operand::Reg(wide, 32));
+                }
+                self.emit(Inst::Bin {
+                    dst,
+                    op: bin_kind(*op),
+                    a: av,
+                    b: bv,
+                    width,
+                });
+                Ok(Operand::Reg(dst, width))
+            }
+            TExprKind::LogAnd(a, b) | TExprKind::LogOr(a, b) => {
+                let is_and = matches!(&e.kind, TExprKind::LogAnd(_, _));
+                let slot = self.scratch_local(32);
+                // Default result: 0 for &&, 1 for ||.
+                let dflt = if is_and { 0 } else { 1 };
+                let addr = self.local_addr(slot);
+                self.store(
+                    addr,
+                    Operand::Const {
+                        value: dflt,
+                        width: 32,
+                    },
+                    32,
+                );
+                let rhs_b = self.new_block();
+                let join = self.new_block();
+                let ca = self.cond_val_of(a)?;
+                if is_and {
+                    self.set_term(Term::CondBr {
+                        cond: ca,
+                        then_b: rhs_b,
+                        else_b: join,
+                    });
+                } else {
+                    self.set_term(Term::CondBr {
+                        cond: ca,
+                        then_b: join,
+                        else_b: rhs_b,
+                    });
+                }
+                self.cur = rhs_b;
+                let cb = self.cond_val_of(b)?;
+                let flip = self.fresh();
+                self.emit(Inst::Cast {
+                    dst: flip,
+                    kind: CastKind::ZExt,
+                    src: cb,
+                    to_width: 32,
+                });
+                let addr2 = self.local_addr(slot);
+                self.store(addr2, Operand::Reg(flip, 32), 32);
+                self.set_term(Term::Br(join));
+                self.cur = join;
+                let addr3 = self.local_addr(slot);
+                Ok(self.load(addr3, 32))
+            }
+            TExprKind::Ternary(c, t, f) => {
+                let w = t.ty.bit_width();
+                let slot = self.scratch_local(w);
+                let cv = self.cond_val(c)?;
+                let then_b = self.new_block();
+                let else_b = self.new_block();
+                let join = self.new_block();
+                self.set_term(Term::CondBr {
+                    cond: cv,
+                    then_b,
+                    else_b,
+                });
+                self.cur = then_b;
+                let tv = self.expr_val(t)?;
+                let a1 = self.local_addr(slot);
+                self.store(a1, tv, w);
+                self.set_term(Term::Br(join));
+                self.cur = else_b;
+                let fv = self.expr_val(f)?;
+                let a2 = self.local_addr(slot);
+                self.store(a2, fv, w);
+                self.set_term(Term::Br(join));
+                self.cur = join;
+                let a3 = self.local_addr(slot);
+                Ok(self.load(a3, w))
+            }
+            TExprKind::Cast(kind, inner) => {
+                let src = self.expr_val(inner)?;
+                let from_w = inner.ty.bit_width();
+                if from_w == width {
+                    return Ok(src);
+                }
+                let dst = self.fresh();
+                let k = match kind {
+                    HCast::Trunc => CastKind::Trunc,
+                    HCast::SExt => CastKind::SExt,
+                    HCast::ZExt => CastKind::ZExt,
+                    HCast::NoOp => {
+                        return Ok(src);
+                    }
+                };
+                self.emit(Inst::Cast {
+                    dst,
+                    kind: k,
+                    src,
+                    to_width: width,
+                });
+                Ok(Operand::Reg(dst, width))
+            }
+            TExprKind::Call(_, _) | TExprKind::Builtin(_, _) => {
+                match self.expr_opt(e)? {
+                    Some(op) => Ok(op),
+                    None => Err("void value used".into()),
+                }
+            }
+            TExprKind::Assign(p, v) => {
+                let val = self.expr_val(v)?;
+                let addr = self.place_addr(p)?;
+                self.store(addr, val, p.ty.bit_width());
+                Ok(val)
+            }
+            TExprKind::IncDec { place, delta, post } => {
+                let w = place.ty.decayed().bit_width();
+                let addr = self.place_addr(place)?;
+                let old = self.load(addr, w);
+                let dst = self.fresh();
+                self.emit(Inst::Bin {
+                    dst,
+                    op: BinKind::Add,
+                    a: old,
+                    b: Operand::Const {
+                        value: *delta,
+                        width: w,
+                    },
+                    width: w,
+                });
+                // Re-evaluate the address: cheap, and places are effect-free.
+                let addr2 = self.place_addr(place)?;
+                self.store(addr2, Operand::Reg(dst, w), w);
+                Ok(if *post { old } else { Operand::Reg(dst, w) })
+            }
+        }
+    }
+
+    fn place_addr(&mut self, p: &TPlace) -> Result<Operand, String> {
+        match &p.kind {
+            TPlaceKind::Local(slot) => Ok(self.local_addr(*slot)),
+            TPlaceKind::Global(name) => {
+                let r = self.fresh();
+                self.emit(Inst::AddrGlobal {
+                    dst: r,
+                    name: name.clone(),
+                });
+                Ok(Operand::Reg(r, 64))
+            }
+            TPlaceKind::Deref(ptr) => self.expr_val(ptr),
+        }
+    }
+
+    fn add_offset(&mut self, base: Operand, off: u64) -> Operand {
+        if off == 0 {
+            return base;
+        }
+        let r = self.fresh();
+        self.emit(Inst::Bin {
+            dst: r,
+            op: BinKind::Add,
+            a: base,
+            b: Operand::Const {
+                value: off as i128,
+                width: 64,
+            },
+            width: 64,
+        });
+        Operand::Reg(r, 64)
+    }
+
+    /// Lowers a condition to an 8-bit 0/1 operand.
+    fn cond_val(&mut self, e: &TExpr) -> Result<Operand, String> {
+        self.cond_val_of(e)
+    }
+
+    fn cond_val_of(&mut self, e: &TExpr) -> Result<Operand, String> {
+        let v = self.expr_val(e)?;
+        let w = v.width();
+        let dst = self.fresh();
+        self.emit(Inst::Cmp {
+            dst,
+            pred: Pred::Ne,
+            a: v,
+            b: Operand::Const { value: 0, width: w },
+            width: w,
+        });
+        Ok(Operand::Reg(dst, 8))
+    }
+}
+
+fn cmp_pred(op: TBinOp) -> Option<Pred> {
+    Some(match op {
+        TBinOp::Eq => Pred::Eq,
+        TBinOp::Ne => Pred::Ne,
+        TBinOp::LtS => Pred::LtS,
+        TBinOp::LtU => Pred::LtU,
+        TBinOp::LeS => Pred::LeS,
+        TBinOp::LeU => Pred::LeU,
+        _ => return None,
+    })
+}
+
+fn bin_kind(op: TBinOp) -> BinKind {
+    match op {
+        TBinOp::Add => BinKind::Add,
+        TBinOp::Sub => BinKind::Sub,
+        TBinOp::Mul => BinKind::Mul,
+        TBinOp::DivS => BinKind::DivS,
+        TBinOp::DivU => BinKind::DivU,
+        TBinOp::RemS => BinKind::RemS,
+        TBinOp::RemU => BinKind::RemU,
+        TBinOp::And => BinKind::And,
+        TBinOp::Or => BinKind::Or,
+        TBinOp::Xor => BinKind::Xor,
+        TBinOp::Shl => BinKind::Shl,
+        TBinOp::ShrA => BinKind::ShrA,
+        TBinOp::ShrL => BinKind::ShrL,
+        _ => unreachable!("comparison handled separately"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lower, Inst, Term};
+    use tpot_cfront::compile;
+
+    fn lower_src(src: &str) -> crate::Module {
+        lower(&compile(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lower_simple_function() {
+        let m = lower_src("int a;\nint get(void) { return a; }\n");
+        let f = m.func("get").unwrap();
+        assert_eq!(f.ret_width, Some(32));
+        // AddrGlobal + Load + Ret.
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::AddrGlobal { name, .. } if name == "a")));
+        assert!(matches!(f.blocks[0].term, Term::Ret(Some(_))));
+    }
+
+    #[test]
+    fn lower_if_makes_blocks() {
+        let m = lower_src("int f(int x) { if (x > 0) return 1; return 2; }\n");
+        let f = m.func("f").unwrap();
+        assert!(f.blocks.len() >= 3);
+    }
+
+    #[test]
+    fn lower_while_loop() {
+        let m = lower_src(
+            "int f(int n) { int i = 0; while (i < n) { i++; } return i; }\n",
+        );
+        let f = m.func("f").unwrap();
+        // head, body, exit + entry.
+        assert!(f.blocks.len() >= 4);
+        let brs = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::CondBr { .. }))
+            .count();
+        assert!(brs >= 1);
+    }
+
+    #[test]
+    fn lower_logical_and_short_circuits() {
+        let m = lower_src("int f(int a, int b) { return a && b; }\n");
+        let f = m.func("f").unwrap();
+        assert!(f.blocks.len() >= 3, "short-circuit needs control flow");
+        // Scratch slot allocated beyond the two parameters.
+        assert!(f.locals.len() > 2);
+    }
+
+    #[test]
+    fn lower_calls() {
+        let m = lower_src("void g(int x) {}\nvoid f(void) { g(3); }\n");
+        let f = m.func("f").unwrap();
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Call { callee, .. } if callee == "g")));
+    }
+
+    #[test]
+    fn lower_builtins() {
+        let m = lower_src("void spec__f(void) { any(int, x); assume(x > 0); assert(x != 0); }\n");
+        let f = m.func("spec__f").unwrap();
+        let builtins = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Builtin { .. }))
+            .count();
+        assert_eq!(builtins, 3);
+    }
+
+    #[test]
+    fn lower_break_continue() {
+        let m = lower_src(
+            "int f(void) { int i; for (i = 0; i < 10; i++) { if (i == 3) break; if (i == 1) continue; } return i; }\n",
+        );
+        assert!(m.func("f").is_some());
+    }
+
+    #[test]
+    fn pots_and_invariants_listed() {
+        let m = lower_src(
+            "int a;\nint inv__z(void) { return a == 0; }\nvoid spec__t(void) { assert(a == 0); }\n",
+        );
+        assert_eq!(m.pot_names(), vec!["spec__t"]);
+        assert_eq!(m.invariant_names(), vec!["inv__z"]);
+    }
+
+    #[test]
+    fn dead_code_after_return_dropped() {
+        let m = lower_src("int f(void) { return 1; return 2; }\n");
+        let f = m.func("f").unwrap();
+        assert!(matches!(f.blocks[0].term, Term::Ret(Some(_))));
+    }
+
+    #[test]
+    fn store_through_cast_pointer() {
+        let m = lower_src(
+            "unsigned long cur;\nvoid f(void) { *(char *)cur = 0; }\n",
+        );
+        let f = m.func("f").unwrap();
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Store { width: 8, .. })));
+    }
+}

@@ -1,0 +1,123 @@
+//! Human-readable TIR printer (debugging and golden tests).
+
+use std::fmt::Write;
+
+use crate::{Inst, IrArg, IrFunc, Module, Operand, Term};
+
+/// Renders one function.
+pub fn func_to_string(f: &IrFunc) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "func {}({} params) -> {:?} {{",
+        f.name, f.n_params, f.ret_width
+    );
+    for (i, l) in f.locals.iter().enumerate() {
+        let _ = writeln!(out, "  local {i}: {} ({} bytes)", l.name, l.size);
+    }
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{bi}:");
+        for inst in &b.insts {
+            let _ = writeln!(out, "  {}", inst_to_string(inst));
+        }
+        let _ = writeln!(out, "  {}", term_to_string(&b.term));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole module.
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let _ = writeln!(out, "global {}: {} ({} bytes)", g.name, g.ty, g.size);
+    }
+    for f in &m.funcs {
+        out.push_str(&func_to_string(f));
+    }
+    out
+}
+
+fn op_str(o: &Operand) -> String {
+    match o {
+        Operand::Const { value, width } => format!("{value}:i{width}"),
+        Operand::Reg(r, w) => format!("%{r}:i{w}"),
+    }
+}
+
+fn inst_to_string(i: &Inst) -> String {
+    match i {
+        Inst::Bin { dst, op, a, b, width } => {
+            format!("%{dst} = {op:?}.i{width} {} {}", op_str(a), op_str(b))
+        }
+        Inst::Cmp { dst, pred, a, b, width } => {
+            format!("%{dst} = cmp.{pred:?}.i{width} {} {}", op_str(a), op_str(b))
+        }
+        Inst::Cast { dst, kind, src, to_width } => {
+            format!("%{dst} = {kind:?} {} to i{to_width}", op_str(src))
+        }
+        Inst::Load { dst, addr, width } => {
+            format!("%{dst} = load.i{width} [{}]", op_str(addr))
+        }
+        Inst::Store { addr, val, width } => {
+            format!("store.i{width} [{}] <- {}", op_str(addr), op_str(val))
+        }
+        Inst::AddrLocal { dst, local } => format!("%{dst} = addr_local {local}"),
+        Inst::AddrGlobal { dst, name } => format!("%{dst} = addr_global {name}"),
+        Inst::Call { dst, callee, args } => {
+            let a: Vec<String> = args.iter().map(op_str).collect();
+            match dst {
+                Some((r, w)) => format!("%{r}:i{w} = call {callee}({})", a.join(", ")),
+                None => format!("call {callee}({})", a.join(", ")),
+            }
+        }
+        Inst::Builtin { dst, which, args } => {
+            let a: Vec<String> = args
+                .iter()
+                .map(|x| match x {
+                    IrArg::Op(o) => op_str(o),
+                    IrArg::Type(t) => format!("type:{t}"),
+                    IrArg::Str(s) => format!("{s:?}"),
+                    IrArg::Func(f) => format!("&{f}"),
+                })
+                .collect();
+            match dst {
+                Some((r, w)) => format!("%{r}:i{w} = {which:?}({})", a.join(", ")),
+                None => format!("{which:?}({})", a.join(", ")),
+            }
+        }
+    }
+}
+
+fn term_to_string(t: &Term) -> String {
+    match t {
+        Term::Br(b) => format!("br bb{b}"),
+        Term::CondBr {
+            cond,
+            then_b,
+            else_b,
+        } => format!("condbr {} bb{then_b} bb{else_b}", op_str(cond)),
+        Term::Ret(None) => "ret".into(),
+        Term::Ret(Some(o)) => format!("ret {}", op_str(o)),
+        Term::Unreachable => "unreachable".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_cfront::compile;
+
+    #[test]
+    fn printer_roundtrip_smoke() {
+        let m = crate::lower(
+            &compile("int a;\nint f(int x) { if (x) return a; return 0; }\n").unwrap(),
+        )
+        .unwrap();
+        let s = module_to_string(&m);
+        assert!(s.contains("global a"));
+        assert!(s.contains("func f"));
+        assert!(s.contains("condbr"));
+        assert!(s.contains("addr_global a"));
+    }
+}

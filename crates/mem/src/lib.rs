@@ -1,0 +1,894 @@
+//! TPot's custom byte memory model (paper §4.2).
+//!
+//! Memory is a set of *objects*, each an SMT array of bytes (KLEE's object
+//! representation) with:
+//!
+//! - **concrete base addresses** for globals and stack frames,
+//! - **symbolic base addresses and sizes** for heap objects,
+//! - a fixed **ordering of heap objects** encoded only over the integer
+//!   images, with unconstrained gaps, so client code cannot unsoundly rely
+//!   on pointer ordering (§4.3, "the bv2int conversion hides the ordering
+//!   of heap objects"),
+//! - **`heap_safe`**: the uninterpreted function underpinning lazy
+//!   materialization,
+//! - TPot *names* on objects (the naming abstraction of §4.1).
+//!
+//! **Addressing.** In the default [`AddrMode::Int`] encoding (the paper's
+//! contribution), object contents are arrays indexed by the *integer image*
+//! of the absolute address: every pointer is passed through
+//! [`Memory::bv2int`] before touching memory, so all resolution and
+//! aliasing queries live in linear integer arithmetic. The
+//! [`AddrMode::Bv`] encoding is the "naive" ablation the paper argues
+//! against: arrays are indexed by raw 64-bit addresses, and resolution
+//! queries bit-blast.
+//!
+//! The `tpot_bv2int` conversion is implemented exactly as the paper
+//! describes: not as a quantified axiom, but as *explicit instantiations of
+//! axiom schemas* (§4.3, Fig. 6) — [`Memory::bv2int`] structurally rewrites
+//! pointer arithmetic (`bvadd`/`bvsub`/constant-scaling/constants) into
+//! integer arithmetic and falls back to the uninterpreted `tpot_bv2int`
+//! (with instantiated range facts) for opaque terms.
+
+use std::collections::HashMap;
+
+use tpot_smt::{FuncId, Kind, Sort, TermArena, TermId};
+
+/// Identifier of a memory object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ObjectId(pub u32);
+
+/// Pointer-encoding mode (the paper's integer encoding vs the naive
+/// bitvector ablation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AddrMode {
+    /// Addresses are converted to mathematical integers during resolution
+    /// (§4.3). Default.
+    Int,
+    /// Addresses stay 64-bit bitvectors end to end (ablation baseline).
+    Bv,
+}
+
+/// What kind of storage an object backs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ObjKind {
+    /// A global variable.
+    Global(String),
+    /// A stack slot (function name, local name).
+    Stack(String, String),
+    /// A heap allocation (malloc or named by an invariant).
+    Heap,
+}
+
+/// A deferred universal property attached to an object by `forall_elem`
+/// (§4.3: instantiated per element at read time, never sent to the solver
+/// as a quantifier).
+#[derive(Clone, Debug)]
+pub struct ForallMarker {
+    /// The condition function's name.
+    pub func: String,
+    /// Element size in bytes.
+    pub elem_size: u64,
+    /// Extra arguments captured at the `forall_elem` site.
+    pub extras: Vec<TermId>,
+    /// The 64-bit array pointer at attach time (element addresses are
+    /// reconstructed relative to it during instantiation).
+    pub attach_ptr: TermId,
+}
+
+/// One memory object.
+#[derive(Clone, Debug)]
+pub struct MemObject {
+    /// Id (index into [`Memory::objects`]).
+    pub id: ObjectId,
+    /// Storage kind.
+    pub kind: ObjKind,
+    /// Concrete base address, if any (globals/stack).
+    pub concrete_base: Option<u64>,
+    /// The object's 64-bit address term (a constant for concrete objects, a
+    /// fresh variable for heap objects).
+    pub base_bv: TermId,
+    /// The resolution-sort image of the base: an `Int` term in
+    /// [`AddrMode::Int`], the `base_bv` itself in [`AddrMode::Bv`].
+    pub base_idx: TermId,
+    /// Size as a term of the resolution sort.
+    pub size_idx: TermId,
+    /// Concrete size if known.
+    pub size_concrete: Option<u64>,
+    /// Current contents: an array from the resolution sort to bytes,
+    /// indexed by *absolute address image* (not offset).
+    pub array: TermId,
+    /// TPot name, recorded when an invariant names the object (§4.1). Used
+    /// for assume-mode reuse and diagnostics; check-mode renaming builds a
+    /// fresh binding instead.
+    pub name: Option<String>,
+    /// Deferred `forall_elem` markers.
+    pub markers: Vec<ForallMarker>,
+    /// True once freed (accesses become use-after-free errors).
+    pub freed: bool,
+    /// True once the owning stack frame popped.
+    pub dead: bool,
+}
+
+impl MemObject {
+    /// True if the object is currently accessible.
+    pub fn live(&self) -> bool {
+        !self.freed && !self.dead
+    }
+
+    /// True for heap objects.
+    pub fn is_heap(&self) -> bool {
+        matches!(self.kind, ObjKind::Heap)
+    }
+}
+
+/// Start of the (concrete) globals segment.
+pub const GLOBAL_BASE: u64 = 0x10_000;
+/// Start of the (concrete) stack segment.
+pub const STACK_BASE: u64 = 0x10_0000_0000;
+/// Lower bound for symbolic heap base addresses.
+pub const HEAP_LO: i128 = 0x100_0000_0000;
+/// Upper bound for the heap (keeps `base + size` far from 2^64, making the
+/// bv2int "+"-schema instantiation sound: no pointer-resolution sum can
+/// overflow).
+pub const HEAP_HI: i128 = 0x7fff_ffff_0000;
+
+/// The object store plus the layout constraints it has emitted.
+#[derive(Clone)]
+pub struct Memory {
+    /// All objects ever created (dead ones included, for diagnostics).
+    pub objects: Vec<MemObject>,
+    /// Constraints the memory model itself requires (heap ordering, range
+    /// bounds, bv2int axiom instantiations). The engine drains these into
+    /// the path condition.
+    pub layout_constraints: Vec<TermId>,
+    /// Addressing mode.
+    pub mode: AddrMode,
+    global_bump: u64,
+    stack_bump: u64,
+    heap_counter: u32,
+    by_global_name: HashMap<String, ObjectId>,
+    /// The `tpot_bv2int` uninterpreted function.
+    pub bv2int_func: FuncId,
+    /// The `heap_safe` uninterpreted function (§4.2).
+    pub heap_safe_func: FuncId,
+    b2i_cache: HashMap<TermId, TermId>,
+    last_heap_end: Option<TermId>,
+}
+
+impl Memory {
+    /// Creates an empty memory in the given addressing mode.
+    pub fn new(arena: &mut TermArena, mode: AddrMode) -> Self {
+        let bv2int_func =
+            arena.declare_func("tpot_bv2int", vec![Sort::BitVec(64)], Sort::Int);
+        let heap_safe_func = arena.declare_func("heap_safe", vec![Sort::Int], Sort::Int);
+        Memory {
+            objects: Vec::new(),
+            layout_constraints: Vec::new(),
+            mode,
+            global_bump: GLOBAL_BASE,
+            stack_bump: STACK_BASE,
+            heap_counter: 0,
+            by_global_name: HashMap::new(),
+            bv2int_func,
+            heap_safe_func,
+            b2i_cache: HashMap::new(),
+            last_heap_end: None,
+        }
+    }
+
+    /// The sort used for addresses in resolution queries and array indices.
+    pub fn index_sort(&self) -> Sort {
+        match self.mode {
+            AddrMode::Int => Sort::Int,
+            AddrMode::Bv => Sort::BitVec(64),
+        }
+    }
+
+    fn array_sort(&self) -> Sort {
+        Sort::Array(Box::new(self.index_sort()), Box::new(Sort::BitVec(8)))
+    }
+
+    /// Looks up an object.
+    pub fn obj(&self, id: ObjectId) -> &MemObject {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Mutable object access.
+    pub fn obj_mut(&mut self, id: ObjectId) -> &mut MemObject {
+        &mut self.objects[id.0 as usize]
+    }
+
+    /// The object backing a global, if allocated.
+    pub fn global(&self, name: &str) -> Option<ObjectId> {
+        self.by_global_name.get(name).copied()
+    }
+
+    /// Finds a live object carrying a TPot name.
+    pub fn find_named(&self, name: &str) -> Option<ObjectId> {
+        self.objects
+            .iter()
+            .find(|o| o.live() && o.name.as_deref() == Some(name))
+            .map(|o| o.id)
+    }
+
+    /// Ids of all live objects.
+    pub fn live_objects(&self) -> Vec<ObjectId> {
+        self.objects
+            .iter()
+            .filter(|o| o.live())
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Converts an address term to the resolution index sort.
+    pub fn addr_index(&mut self, arena: &mut TermArena, addr_bv: TermId) -> TermId {
+        match self.mode {
+            AddrMode::Int => self.bv2int(arena, addr_bv),
+            AddrMode::Bv => addr_bv,
+        }
+    }
+
+    /// `idx + k` in the index sort.
+    pub fn idx_add(&self, arena: &mut TermArena, idx: TermId, k: u64) -> TermId {
+        if k == 0 {
+            return idx;
+        }
+        match self.mode {
+            AddrMode::Int => {
+                let c = arena.int_const(k as i128);
+                arena.int_add2(idx, c)
+            }
+            AddrMode::Bv => {
+                let c = arena.bv64(k);
+                arena.bv_add(idx, c)
+            }
+        }
+    }
+
+    /// A constant of the index sort.
+    pub fn idx_const(&self, arena: &mut TermArena, k: u64) -> TermId {
+        match self.mode {
+            AddrMode::Int => arena.int_const(k as i128),
+            AddrMode::Bv => arena.bv64(k),
+        }
+    }
+
+    /// `a <= b` in the index sort.
+    pub fn idx_le(&self, arena: &mut TermArena, a: TermId, b: TermId) -> TermId {
+        match self.mode {
+            AddrMode::Int => arena.int_le(a, b),
+            AddrMode::Bv => arena.bv_ule(a, b),
+        }
+    }
+
+    /// `a + b` for two index-sorted terms.
+    pub fn idx_add_t(&self, arena: &mut TermArena, a: TermId, b: TermId) -> TermId {
+        match self.mode {
+            AddrMode::Int => arena.int_add2(a, b),
+            AddrMode::Bv => arena.bv_add(a, b),
+        }
+    }
+
+    /// Allocates a global object with a concrete base and fresh symbolic
+    /// contents.
+    pub fn alloc_global(
+        &mut self,
+        arena: &mut TermArena,
+        name: &str,
+        size: u64,
+    ) -> ObjectId {
+        let base = self.bump_concrete(size, true);
+        let id = self.push_concrete(
+            arena,
+            ObjKind::Global(name.to_string()),
+            base,
+            size,
+            &format!("g!{name}"),
+        );
+        self.by_global_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Allocates a stack slot with a concrete base.
+    pub fn alloc_stack(
+        &mut self,
+        arena: &mut TermArena,
+        func: &str,
+        local: &str,
+        size: u64,
+    ) -> ObjectId {
+        let base = self.bump_concrete(size, false);
+        self.push_concrete(
+            arena,
+            ObjKind::Stack(func.to_string(), local.to_string()),
+            base,
+            size,
+            &format!("s!{func}!{local}"),
+        )
+    }
+
+    fn bump_concrete(&mut self, size: u64, global: bool) -> u64 {
+        let bump = if global {
+            &mut self.global_bump
+        } else {
+            &mut self.stack_bump
+        };
+        // 16-byte alignment plus a 16-byte red zone between objects, so
+        // small out-of-bounds offsets never silently land in a neighbor.
+        let base = (*bump + 15) / 16 * 16;
+        *bump = base + size + 16;
+        base
+    }
+
+    fn push_concrete(
+        &mut self,
+        arena: &mut TermArena,
+        kind: ObjKind,
+        base: u64,
+        size: u64,
+        tag: &str,
+    ) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        let base_bv = arena.bv64(base);
+        let (base_idx, size_idx) = match self.mode {
+            AddrMode::Int => (
+                arena.int_const(base as i128),
+                arena.int_const(size as i128),
+            ),
+            AddrMode::Bv => (base_bv, arena.bv64(size)),
+        };
+        let array = arena.fresh_var(&format!("mem!{tag}"), self.array_sort());
+        self.objects.push(MemObject {
+            id,
+            kind,
+            concrete_base: Some(base),
+            base_bv,
+            base_idx,
+            size_idx,
+            size_concrete: Some(size),
+            array,
+            name: None,
+            markers: Vec::new(),
+            freed: false,
+            dead: false,
+        });
+        if self.mode == AddrMode::Int {
+            self.b2i_cache.insert(base_bv, base_idx);
+        }
+        id
+    }
+
+    /// Allocates a heap object with a **symbolic base address** and the
+    /// given size, emitting the layout constraints of §4.2/§4.3.
+    ///
+    /// With `ordered = true` the object joins the fixed heap ordering
+    /// (malloc, fresh named objects). With `ordered = false` (lazy
+    /// materialization of objects whose base equals a program value) the
+    /// object instead gets pairwise-disjointness constraints against all
+    /// live heap objects — TPot may not impose an order on addresses the
+    /// program already stores.
+    pub fn alloc_heap(
+        &mut self,
+        arena: &mut TermArena,
+        size_concrete: u64,
+        tag: &str,
+        ordered: bool,
+    ) -> ObjectId {
+        let n = self.heap_counter;
+        self.heap_counter += 1;
+        let id = ObjectId(self.objects.len() as u32);
+        let base_bv = arena.fresh_var(&format!("objaddr!{tag}!{n}"), Sort::BitVec(64));
+        let (base_idx, size_idx) = match self.mode {
+            AddrMode::Int => (
+                arena.apply(self.bv2int_func, vec![base_bv]),
+                arena.int_const(size_concrete as i128),
+            ),
+            AddrMode::Bv => (base_bv, arena.bv64(size_concrete)),
+        };
+        let array = arena.fresh_var(&format!("mem!h!{tag}!{n}"), self.array_sort());
+        // Range bounds: HEAP_LO <= base and base + size <= HEAP_HI.
+        let lo = self.idx_const(arena, HEAP_LO as u64);
+        let hi = self.idx_const(arena, HEAP_HI as u64);
+        let c1 = self.idx_le(arena, lo, base_idx);
+        let end = self.idx_add(arena, base_idx, size_concrete);
+        let c2 = self.idx_le(arena, end, hi);
+        self.layout_constraints.push(c1);
+        self.layout_constraints.push(c2);
+        if ordered {
+            // Fixed ordering against the previous ordered heap object, with
+            // an unconstrained gap.
+            if let Some(prev_end) = self.last_heap_end {
+                let c = self.idx_le(arena, prev_end, base_idx);
+                self.layout_constraints.push(c);
+            }
+            self.last_heap_end = Some(end);
+        } else {
+            // Pairwise disjointness with every live heap object.
+            let live: Vec<ObjectId> = self
+                .objects
+                .iter()
+                .filter(|o| o.live() && o.is_heap())
+                .map(|o| o.id)
+                .collect();
+            for oid in live {
+                let o = self.obj(oid);
+                let (ob, os) = (o.base_idx, o.size_idx);
+                let oend = self.idx_add_t(arena, ob, os);
+                let before = self.idx_le(arena, end, ob);
+                let after = self.idx_le(arena, oend, base_idx);
+                let disj = arena.or2(before, after);
+                self.layout_constraints.push(disj);
+            }
+        }
+        if self.mode == AddrMode::Int {
+            // heap_safe(base) = size: the §4.2 memory-safety fact that lazy
+            // materialization keys on.
+            let hs = arena.apply(self.heap_safe_func, vec![base_idx]);
+            let sz = arena.int_const(size_concrete as i128);
+            let c = arena.eq(hs, sz);
+            self.layout_constraints.push(c);
+        }
+        // The bitvector image is itself within range (so bv arithmetic on
+        // the pointer value cannot wrap in practice), and in Int mode the
+        // b2i image of the base is consistent with the bv-level bounds —
+        // the paper's "propagates constraints over bitvectors to integers".
+        let lo_bv = arena.bv64(HEAP_LO as u64);
+        let hi_bv = arena.bv64(HEAP_HI as u64);
+        let b1 = arena.bv_ule(lo_bv, base_bv);
+        let b2 = arena.bv_ule(base_bv, hi_bv);
+        self.layout_constraints.push(b1);
+        self.layout_constraints.push(b2);
+        self.objects.push(MemObject {
+            id,
+            kind: ObjKind::Heap,
+            concrete_base: None,
+            base_bv,
+            base_idx,
+            size_idx,
+            size_concrete: Some(size_concrete),
+            array,
+            name: None,
+            markers: Vec::new(),
+            freed: false,
+            dead: false,
+        });
+        if self.mode == AddrMode::Int {
+            self.b2i_cache.insert(base_bv, base_idx);
+        }
+        id
+    }
+
+    /// Drains constraints emitted since the last call (the engine moves
+    /// them into the path condition).
+    pub fn take_constraints(&mut self) -> Vec<TermId> {
+        std::mem::take(&mut self.layout_constraints)
+    }
+
+    // ------------------------------------------------------------ bv2int
+
+    /// The paper's `tpot_bv2int` conversion with explicit axiom-schema
+    /// instantiation (§4.3, Fig. 6), strengthened to an *exact* encoding:
+    /// each arithmetic node's integer image is defined modulo 2^64 through
+    /// an explicit wrap witness, so the conversion is sound in every
+    /// context (the paper restricts the overflow-free schema to pointer
+    /// resolution; the exact form subsumes it — in pointer contexts the
+    /// range facts force the wrap witness to zero).
+    pub fn bv2int(&mut self, arena: &mut TermArena, t: TermId) -> TermId {
+        if let Some(&r) = self.b2i_cache.get(&t) {
+            return r;
+        }
+        let node = arena.term(t).clone();
+        let r = match &node.kind {
+            Kind::BvConst(v) => arena.int_const(*v as i128),
+            Kind::BvAdd => {
+                let a = self.bv2int(arena, node.args[0]);
+                let b = self.bv2int(arena, node.args[1]);
+                let raw = arena.int_add2(a, b);
+                self.define_mod_image(arena, t, raw, 1)
+            }
+            Kind::BvSub => {
+                let a = self.bv2int(arena, node.args[0]);
+                let b = self.bv2int(arena, node.args[1]);
+                let raw = arena.int_sub(a, b);
+                self.define_mod_image(arena, t, raw, -1)
+            }
+            Kind::BvMul => {
+                let (a, b) = (node.args[0], node.args[1]);
+                let ca = arena.term(a).as_bv_const();
+                let cb = arena.term(b).as_bv_const();
+                let scaled = match (ca, cb) {
+                    (Some((_, c)), _) if c < (1 << 20) => Some((c as i128, b)),
+                    (_, Some((_, c))) if c < (1 << 20) => Some((c as i128, a)),
+                    _ => None,
+                };
+                match scaled {
+                    Some((c, x)) => {
+                        let ix = self.bv2int(arena, x);
+                        let ic = arena.int_const(c);
+                        let raw = arena.int_mul(ic, ix);
+                        self.define_mod_image(arena, t, raw, c.max(1))
+                    }
+                    None => self.b2i_opaque(arena, t, 64),
+                }
+            }
+            Kind::ZeroExt { .. } => {
+                let inner = node.args[0];
+                let w = arena.sort(inner).bv_width().unwrap();
+                self.b2i_opaque(arena, t, w)
+            }
+            _ => self.b2i_opaque(arena, t, 64),
+        };
+        self.b2i_cache.insert(t, r);
+        r
+    }
+
+    /// Defines `tpot_bv2int(t)` relative to the raw (unwrapped) integer
+    /// combination of its operands through *conditional* exact facts:
+    ///
+    /// - `0 ≤ raw < 2^64  ⇒  app = raw` (no overflow — the pointer-
+    ///   resolution case the paper's schema covers),
+    /// - `raw ≥ 2^64      ⇒  app = raw − 2^64` (single wrap; exact for
+    ///   addition of two in-range images),
+    /// - `raw < 0         ⇒  app = raw + 2^64` (borrow; exact for
+    ///   subtraction of two in-range images).
+    ///
+    /// Every added fact is a true statement about the unsigned-value
+    /// semantics of `tpot_bv2int`, so the encoding is sound in *all*
+    /// contexts, and exact for add/sub. (`hi` distinguishes scaling, where
+    /// only the no-overflow case is exact; multi-wrap scalings simply stay
+    /// loosely constrained.) Implications keep all LIA coefficients at ±1,
+    /// which the simplex handles without coefficient blow-up.
+    fn define_mod_image(
+        &mut self,
+        arena: &mut TermArena,
+        t: TermId,
+        raw: TermId,
+        hi: i128,
+    ) -> TermId {
+        // Constant raw with in-range value needs no definition.
+        if let Some(v) = arena.term(raw).as_int_const() {
+            if (0..(1i128 << 64)).contains(&v) {
+                return raw;
+            }
+        }
+        let app = arena.apply(self.bv2int_func, vec![t]);
+        let zero = arena.int_const(0);
+        let max = arena.int_const(1i128 << 64);
+        // Range of the image.
+        let r1 = arena.int_le(zero, app);
+        let r2 = arena.int_lt(app, max);
+        self.layout_constraints.push(r1);
+        self.layout_constraints.push(r2);
+        // No-overflow case.
+        let ge0 = arena.int_le(zero, raw);
+        let lt_max = arena.int_lt(raw, max);
+        let in_range = arena.and2(ge0, lt_max);
+        let eq_exact = arena.eq(app, raw);
+        let f1 = arena.implies(in_range, eq_exact);
+        self.layout_constraints.push(f1);
+        if hi >= 0 {
+            // Single-wrap case (exact for addition).
+            let over = arena.int_le(max, raw);
+            let wrapped = arena.int_sub(raw, max);
+            let eq_w = arena.eq(app, wrapped);
+            if hi <= 1 {
+                let f2 = arena.implies(over, eq_w);
+                self.layout_constraints.push(f2);
+            }
+        } else {
+            // Borrow case (exact for subtraction).
+            let neg = arena.int_lt(raw, zero);
+            let wrapped = arena.int_add2(raw, max);
+            let eq_w = arena.eq(app, wrapped);
+            let f2 = arena.implies(neg, eq_w);
+            self.layout_constraints.push(f2);
+        }
+        app
+    }
+
+    /// Fallback: apply the uninterpreted function, instantiating the range
+    /// fact `0 <= tpot_bv2int(x) < 2^bits`.
+    fn b2i_opaque(&mut self, arena: &mut TermArena, t: TermId, bits: u32) -> TermId {
+        let app = arena.apply(self.bv2int_func, vec![t]);
+        let zero = arena.int_const(0);
+        let max = arena.int_const(1i128 << bits);
+        let c1 = arena.int_le(zero, app);
+        let c2 = arena.int_lt(app, max);
+        self.layout_constraints.push(c1);
+        self.layout_constraints.push(c2);
+        app
+    }
+
+    /// The integer image of an arbitrary-width bitvector term (narrower
+    /// terms are zero-extended to 64 bits first). Used by the engine's
+    /// bitvector→integer constraint propagation (§4.3).
+    pub fn bv2int_any(&mut self, arena: &mut TermArena, t: TermId) -> TermId {
+        let w = arena.sort(t).bv_width().expect("bv term");
+        if w == 64 {
+            self.bv2int(arena, t)
+        } else if w < 64 {
+            let wide = arena.zero_ext(t, 64 - w);
+            self.bv2int(arena, wide)
+        } else {
+            let trunc = arena.extract(t, 63, 0);
+            self.bv2int(arena, trunc)
+        }
+    }
+
+    // ------------------------------------------------------------ access
+
+    /// Builds the little-endian read of `len` bytes at index `idx`
+    /// (absolute address image). Returns a `BitVec(len*8)` term.
+    pub fn read_bytes(
+        &self,
+        arena: &mut TermArena,
+        obj: ObjectId,
+        idx: TermId,
+        len: u32,
+    ) -> TermId {
+        let array = self.obj(obj).array;
+        let mut out: Option<TermId> = None;
+        for i in 0..len {
+            let ix = self.idx_add(arena, idx, i as u64);
+            let byte = arena.select(array, ix);
+            out = Some(match out {
+                None => byte,
+                Some(acc) => arena.concat(byte, acc),
+            });
+        }
+        out.expect("zero-length read")
+    }
+
+    /// Writes `value` (a `BitVec(len*8)`) at index `idx`, little-endian.
+    pub fn write_bytes(
+        &mut self,
+        arena: &mut TermArena,
+        obj: ObjectId,
+        idx: TermId,
+        value: TermId,
+        len: u32,
+    ) {
+        let mut array = self.obj(obj).array;
+        for i in 0..len {
+            let byte = arena.extract(value, i * 8 + 7, i * 8);
+            let ix = self.idx_add(arena, idx, i as u64);
+            array = arena.store(array, ix, byte);
+        }
+        self.obj_mut(obj).array = array;
+    }
+
+    /// Replaces the object's contents with a fresh symbolic array (whole
+    /// object havoc).
+    pub fn havoc_object(&mut self, arena: &mut TermArena, obj: ObjectId, tag: &str) {
+        let sort = self.array_sort();
+        let fresh = arena.fresh_var(&format!("havoc!{tag}"), sort);
+        self.obj_mut(obj).array = fresh;
+    }
+
+    /// Havocs `len` bytes starting at index `start` (fresh byte variables).
+    pub fn havoc_range(
+        &mut self,
+        arena: &mut TermArena,
+        obj: ObjectId,
+        start: TermId,
+        len: u64,
+        tag: &str,
+    ) {
+        let mut array = self.obj(obj).array;
+        for i in 0..len {
+            let b = arena.fresh_var(&format!("havoc!{tag}!{i}"), Sort::BitVec(8));
+            let ix = self.idx_add(arena, start, i);
+            array = arena.store(array, ix, b);
+        }
+        self.obj_mut(obj).array = array;
+    }
+
+    /// The in-bounds condition for an access of `len` bytes at index `idx`
+    /// within object `o`: `base ≤ idx ∧ idx + len ≤ base + size`.
+    pub fn in_bounds(
+        &self,
+        arena: &mut TermArena,
+        o: ObjectId,
+        idx: TermId,
+        len: u64,
+    ) -> TermId {
+        let (base, size) = {
+            let obj = self.obj(o);
+            (obj.base_idx, obj.size_idx)
+        };
+        let lo = self.idx_le(arena, base, idx);
+        let end_access = self.idx_add(arena, idx, len);
+        let end_obj = self.idx_add_t(arena, base, size);
+        let hi = self.idx_le(arena, end_access, end_obj);
+        arena.and2(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_smt::print::term_to_string;
+
+    fn setup() -> (TermArena, Memory) {
+        let mut a = TermArena::new();
+        let m = Memory::new(&mut a, AddrMode::Int);
+        (a, m)
+    }
+
+    #[test]
+    fn concrete_objects_do_not_overlap() {
+        let (mut a, mut m) = setup();
+        let g1 = m.alloc_global(&mut a, "x", 8);
+        let g2 = m.alloc_global(&mut a, "y", 8);
+        let b1 = m.obj(g1).concrete_base.unwrap();
+        let b2 = m.obj(g2).concrete_base.unwrap();
+        assert!(b1 + 8 + 16 <= b2, "red zone between globals");
+    }
+
+    #[test]
+    fn global_lookup_and_named_lookup() {
+        let (mut a, mut m) = setup();
+        let g = m.alloc_global(&mut a, "cur", 8);
+        assert_eq!(m.global("cur"), Some(g));
+        let h = m.alloc_heap(&mut a, 16, "p1", true);
+        m.obj_mut(h).name = Some("p1".into());
+        assert_eq!(m.find_named("p1"), Some(h));
+        m.obj_mut(h).freed = true;
+        assert_eq!(m.find_named("p1"), None);
+    }
+
+    #[test]
+    fn heap_ordering_constraints_are_integer_only() {
+        let (mut a, mut m) = setup();
+        let _h1 = m.alloc_heap(&mut a, 64, "p1", true);
+        let h2 = m.alloc_heap(&mut a, 32, "p2", true);
+        let cs = m.take_constraints();
+        let b2s = term_to_string(&a, m.obj(h2).base_idx);
+        let found = cs.iter().any(|&c| {
+            let s = term_to_string(&a, c);
+            s.contains(&b2s) && s.contains("<=") && s.contains("tpot_bv2int")
+        });
+        assert!(found, "integer ordering constraint missing");
+        // No bv-level ordering between the two base variables.
+        let bv_order = cs.iter().any(|&c| {
+            let s = term_to_string(&a, c);
+            s.contains("bvule (objaddr!p1") && s.contains("objaddr!p2")
+        });
+        assert!(!bv_order, "ordering must not leak to bitvector level");
+    }
+
+    #[test]
+    fn unordered_materialization_gets_disjointness() {
+        let (mut a, mut m) = setup();
+        let _h1 = m.alloc_heap(&mut a, 64, "p1", true);
+        m.take_constraints();
+        let _h2 = m.alloc_heap(&mut a, 8, "mat", false);
+        let cs = m.take_constraints();
+        let found = cs.iter().any(|&c| {
+            let s = term_to_string(&a, c);
+            s.contains("or")
+        });
+        assert!(found, "disjointness disjunction missing");
+    }
+
+    #[test]
+    fn read_after_write_roundtrip() {
+        let (mut a, mut m) = setup();
+        let g = m.alloc_global(&mut a, "v", 8);
+        let idx = m.obj(g).base_idx;
+        let val = a.bv64(0xdead_beef_1234_5678);
+        m.write_bytes(&mut a, g, idx, val, 8);
+        let rd = m.read_bytes(&mut a, g, idx, 8);
+        assert_eq!(rd, val, "syntactic read-after-write must fold");
+    }
+
+    #[test]
+    fn partial_read_of_write() {
+        let (mut a, mut m) = setup();
+        let g = m.alloc_global(&mut a, "v", 8);
+        let idx = m.obj(g).base_idx;
+        let val = a.bv_const(32, 0xaabbccdd);
+        m.write_bytes(&mut a, g, idx, val, 4);
+        let rd = m.read_bytes(&mut a, g, idx, 1);
+        assert_eq!(a.term(rd).as_bv_const(), Some((8, 0xdd)));
+        let idx2 = m.idx_add(&mut a, idx, 2);
+        let rd2 = m.read_bytes(&mut a, g, idx2, 1);
+        assert_eq!(a.term(rd2).as_bv_const(), Some((8, 0xbb)));
+    }
+
+    #[test]
+    fn bv2int_structural_addition() {
+        let (mut a, mut m) = setup();
+        let h = m.alloc_heap(&mut a, 64, "p", true);
+        m.take_constraints();
+        let base_bv = m.obj(h).base_bv;
+        let four = a.bv64(4);
+        let p = a.bv_add(base_bv, four);
+        let ip = m.bv2int(&mut a, p);
+        // The image is the canonical UF application, *defined* (via a wrap
+        // witness) to equal the integer sum of the operand images.
+        let s = term_to_string(&a, ip);
+        assert!(s.contains("tpot_bv2int"), "{s}");
+        let cs = m.take_constraints();
+        let has_def = cs.iter().any(|&c| {
+            let t = term_to_string(&a, c);
+            t.contains("(+") && t.contains(&s)
+        });
+        assert!(has_def, "conditional defining sum equation missing");
+    }
+
+    #[test]
+    fn bv2int_constant_and_scaling() {
+        let (mut a, mut m) = setup();
+        let c = a.bv64(0x1000);
+        let i = m.bv2int(&mut a, c);
+        assert_eq!(a.term(i).as_int_const(), Some(0x1000));
+        let x = a.var("idx64", Sort::BitVec(64));
+        let eight = a.bv64(8);
+        let scaled = a.bv_mul(x, eight);
+        let _iscaled = m.bv2int(&mut a, scaled);
+        let cs = m.take_constraints();
+        let has_def = cs.iter().any(|&c| {
+            let t = term_to_string(&a, c);
+            t.contains('*') && t.contains("tpot_bv2int")
+        });
+        assert!(has_def, "constant scaling must stay linear in the defining equation");
+    }
+
+    #[test]
+    fn bv2int_opaque_gets_range_axioms_once() {
+        let (mut a, mut m) = setup();
+        let x = a.var("some_ptr", Sort::BitVec(64));
+        let _ = m.bv2int(&mut a, x);
+        let n1 = m.layout_constraints.len();
+        assert!(n1 >= 2);
+        let _ = m.bv2int(&mut a, x);
+        assert_eq!(m.layout_constraints.len(), n1, "cached, no duplicates");
+    }
+
+    #[test]
+    fn bv_mode_indexes_by_bitvector() {
+        let mut a = TermArena::new();
+        let mut m = Memory::new(&mut a, AddrMode::Bv);
+        let g = m.alloc_global(&mut a, "x", 8);
+        assert_eq!(m.index_sort(), Sort::BitVec(64));
+        assert_eq!(m.obj(g).base_idx, m.obj(g).base_bv);
+        let idx = m.obj(g).base_idx;
+        let v = a.bv_const(16, 0x1234);
+        m.write_bytes(&mut a, g, idx, v, 2);
+        let rd = m.read_bytes(&mut a, g, idx, 2);
+        assert_eq!(rd, v);
+    }
+
+    #[test]
+    fn havoc_replaces_content() {
+        let (mut a, mut m) = setup();
+        let g = m.alloc_global(&mut a, "buf", 16);
+        let before = m.obj(g).array;
+        m.havoc_object(&mut a, g, "t");
+        assert_ne!(m.obj(g).array, before);
+        let idx = m.obj(g).base_idx;
+        m.havoc_range(&mut a, g, idx, 4, "r");
+        assert_ne!(m.obj(g).array, before);
+    }
+
+    #[test]
+    fn in_bounds_condition_shape() {
+        let (mut a, mut m) = setup();
+        let g = m.alloc_global(&mut a, "arr", 32);
+        let ia = a.var("ia", Sort::Int);
+        let c = m.in_bounds(&mut a, g, ia, 4);
+        let s = term_to_string(&a, c);
+        assert!(s.contains("<="));
+    }
+
+    #[test]
+    fn stack_objects_separate_segment() {
+        let (mut a, mut m) = setup();
+        let g = m.alloc_global(&mut a, "g", 8);
+        let s = m.alloc_stack(&mut a, "f", "i", 4);
+        assert!(m.obj(s).concrete_base.unwrap() >= STACK_BASE);
+        assert!(m.obj(g).concrete_base.unwrap() < STACK_BASE);
+        assert!(matches!(m.obj(s).kind, ObjKind::Stack(_, _)));
+    }
+}

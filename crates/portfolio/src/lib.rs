@@ -1,0 +1,387 @@
+//! Solver portfolio racing and the persistent query cache (paper §4.4).
+//!
+//! The paper's TPot *races* 15 differently-configured Z3 instances and takes
+//! the earliest result, and persists query results on disk so CI re-runs
+//! only pay for queries affected by a change. This crate reproduces both:
+//!
+//! - [`Portfolio::check`] clones the term arena per racing instance, runs
+//!   each configured [`SmtSolver`] on its own thread, takes the first
+//!   definitive answer and cancels the losers via a shared flag.
+//! - [`Portfolio::check_validated`] waits for *all* instances and checks
+//!   they agree — the a-posteriori validation the paper recommends because
+//!   "a solver portfolio is more often wrong than an individual solver"
+//!   (§4.4). On a Sat result the winning model is additionally re-evaluated
+//!   against the original assertions.
+//! - [`PersistentCache`] keys Sat/Unsat outcomes by a stable fingerprint of
+//!   the serialized SMT-LIB query. Models are not cached: a hit that needs a
+//!   model re-solves, matching TPot's usage where cached hits dominate on
+//!   unchanged code.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use tpot_smt::print::{query_fingerprint, to_smtlib};
+use tpot_smt::{eval, TermArena, TermId, Value};
+use tpot_solver::{SmtResult, SmtSolver, SolverConfig, SolverError};
+
+/// Outcome stored in the persistent cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CachedOutcome {
+    /// Query was satisfiable.
+    Sat,
+    /// Query was unsatisfiable.
+    Unsat,
+}
+
+/// On-disk query cache (paper §4.4, "Persistent query caching").
+#[derive(Debug, Default)]
+pub struct PersistentCache {
+    path: Option<PathBuf>,
+    map: HashMap<u64, CachedOutcome>,
+    dirty: bool,
+    /// Statistics: cache hits.
+    pub hits: u64,
+    /// Statistics: cache misses.
+    pub misses: u64,
+}
+
+impl PersistentCache {
+    /// In-memory cache (not persisted) — still useful within one run.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Opens (or creates) a cache file.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let map = match std::fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str::<HashMap<String, CachedOutcome>>(&text)
+                .unwrap_or_default()
+                .into_iter()
+                .filter_map(|(k, v)| k.parse::<u64>().ok().map(|k| (k, v)))
+                .collect(),
+            Err(_) => HashMap::new(),
+        };
+        Ok(PersistentCache {
+            path: Some(path),
+            map,
+            dirty: false,
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// Looks up a fingerprint.
+    pub fn get(&mut self, fp: u64) -> Option<CachedOutcome> {
+        let r = self.map.get(&fp).copied();
+        if r.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        r
+    }
+
+    /// Records an outcome.
+    pub fn put(&mut self, fp: u64, outcome: CachedOutcome) {
+        self.map.insert(fp, outcome);
+        self.dirty = true;
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Writes the cache to disk (no-op for in-memory caches).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        if let Some(path) = &self.path {
+            let as_strings: HashMap<String, CachedOutcome> =
+                self.map.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+            std::fs::write(path, serde_json::to_string(&as_strings)?)?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PersistentCache {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// Portfolio statistics.
+#[derive(Clone, Debug, Default)]
+pub struct PortfolioStats {
+    /// Total queries issued (after the cache).
+    pub queries: u64,
+    /// Wins per configuration name.
+    pub wins: HashMap<String, u64>,
+}
+
+/// A racing portfolio of SMT solver instances.
+pub struct Portfolio {
+    configs: Vec<SolverConfig>,
+    /// Optional persistent cache consulted before racing.
+    pub cache: Option<PersistentCache>,
+    /// Statistics.
+    pub stats: PortfolioStats,
+}
+
+impl Portfolio {
+    /// Builds a portfolio from explicit configurations.
+    pub fn new(configs: Vec<SolverConfig>) -> Self {
+        assert!(!configs.is_empty(), "portfolio needs at least one instance");
+        Portfolio {
+            configs,
+            cache: None,
+            stats: PortfolioStats::default(),
+        }
+    }
+
+    /// The default portfolio of `n` diversified instances.
+    pub fn with_instances(n: usize) -> Self {
+        Self::new(SolverConfig::portfolio(n))
+    }
+
+    /// A single-instance "portfolio" (ablation baseline).
+    pub fn single() -> Self {
+        Self::new(vec![SolverConfig::default()])
+    }
+
+    /// Attaches a persistent cache.
+    pub fn with_cache(mut self, cache: PersistentCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Number of configured instances.
+    pub fn num_instances(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Checks satisfiability, racing all instances; the earliest definitive
+    /// answer wins. `need_model = false` allows answering Sat/Unsat straight
+    /// from the cache.
+    ///
+    /// Returns the result plus the serialized query text (the caller's
+    /// serialization-time accounting wraps this call).
+    pub fn check(
+        &mut self,
+        arena: &TermArena,
+        assertions: &[TermId],
+        need_model: bool,
+    ) -> Result<SmtResult, SolverError> {
+        let fp = query_fingerprint(&to_smtlib(arena, assertions));
+        if !need_model {
+            if let Some(cache) = &mut self.cache {
+                match cache.get(fp) {
+                    Some(CachedOutcome::Sat) => {
+                        return Ok(SmtResult::Sat(tpot_smt::Model::new()))
+                    }
+                    Some(CachedOutcome::Unsat) => return Ok(SmtResult::Unsat),
+                    None => {}
+                }
+            }
+        }
+        self.stats.queries += 1;
+        let result = if self.configs.len() == 1 {
+            let mut local = arena.clone();
+            SmtSolver::new(self.configs[0].clone()).check(&mut local, assertions)?
+        } else {
+            self.race(arena, assertions)?
+        };
+        if let Some(cache) = &mut self.cache {
+            match &result {
+                SmtResult::Sat(_) => cache.put(fp, CachedOutcome::Sat),
+                SmtResult::Unsat => cache.put(fp, CachedOutcome::Unsat),
+                SmtResult::Unknown => {}
+            }
+        }
+        Ok(result)
+    }
+
+    fn race(
+        &mut self,
+        arena: &TermArena,
+        assertions: &[TermId],
+    ) -> Result<SmtResult, SolverError> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<(String, Result<SmtResult, SolverError>)>();
+        let n = self.configs.len();
+        for cfg in &self.configs {
+            let mut cfg = cfg.clone();
+            cfg.sat.cancel = Some(cancel.clone());
+            let tx = tx.clone();
+            let mut local = arena.clone();
+            let asserts: Vec<TermId> = assertions.to_vec();
+            std::thread::spawn(move || {
+                let name = cfg.name.clone();
+                let r = SmtSolver::new(cfg).check(&mut local, &asserts);
+                let _ = tx.send((name, r));
+            });
+        }
+        drop(tx);
+        let mut last: Option<Result<SmtResult, SolverError>> = None;
+        for _ in 0..n {
+            let Ok((name, r)) = rx.recv() else { break };
+            match &r {
+                Ok(SmtResult::Sat(_)) | Ok(SmtResult::Unsat) => {
+                    cancel.store(true, Ordering::Relaxed);
+                    *self.stats.wins.entry(name).or_insert(0) += 1;
+                    return r;
+                }
+                _ => last = Some(r),
+            }
+        }
+        last.unwrap_or(Ok(SmtResult::Unknown))
+    }
+
+    /// Runs *all* instances to completion and checks agreement, validating
+    /// any model against the assertions (the paper's recommended CI
+    /// validation job, §4.4).
+    pub fn check_validated(
+        &mut self,
+        arena: &TermArena,
+        assertions: &[TermId],
+    ) -> Result<SmtResult, SolverError> {
+        let mut results: Vec<SmtResult> = Vec::new();
+        for cfg in self.configs.clone() {
+            let mut local = arena.clone();
+            results.push(SmtSolver::new(cfg).check(&mut local, assertions)?);
+        }
+        let mut saw_sat: Option<SmtResult> = None;
+        let mut saw_unsat = false;
+        for r in results {
+            match r {
+                SmtResult::Sat(m) => {
+                    // Validate the model by concrete evaluation.
+                    for &t in assertions {
+                        let v = eval(arena, &m, t)
+                            .map_err(|e| SolverError::Unsupported(format!("{e:?}")))?;
+                        if v != Value::Bool(true) {
+                            return Err(SolverError::Unsupported(
+                                "model validation failed: solver bug detected".into(),
+                            ));
+                        }
+                    }
+                    saw_sat = Some(SmtResult::Sat(m));
+                }
+                SmtResult::Unsat => saw_unsat = true,
+                SmtResult::Unknown => {}
+            }
+        }
+        match (saw_sat, saw_unsat) {
+            (Some(_), true) => Err(SolverError::Unsupported(
+                "portfolio disagreement: solver bug detected".into(),
+            )),
+            (Some(s), false) => Ok(s),
+            (None, true) => Ok(SmtResult::Unsat),
+            (None, false) => Ok(SmtResult::Unknown),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_smt::Sort;
+
+    fn simple_query(arena: &mut TermArena, sat: bool) -> Vec<TermId> {
+        let x = arena.var("x", Sort::BitVec(8));
+        let c = arena.bv_const(8, 5);
+        let eq = arena.eq(x, c);
+        if sat {
+            vec![eq]
+        } else {
+            let ne = arena.neq(x, c);
+            vec![eq, ne]
+        }
+    }
+
+    #[test]
+    fn race_returns_first_answer() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, true);
+        let mut p = Portfolio::with_instances(4);
+        match p.check(&a, &q, true).unwrap() {
+            SmtResult::Sat(m) => {
+                assert_eq!(m.var("x"), Some(&Value::BitVec(8, 5)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.stats.queries, 1);
+        assert_eq!(p.stats.wins.values().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn race_unsat() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, false);
+        let mut p = Portfolio::with_instances(3);
+        assert!(p.check(&a, &q, false).unwrap().is_unsat());
+    }
+
+    #[test]
+    fn validated_agreement() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, true);
+        let mut p = Portfolio::with_instances(3);
+        assert!(p.check_validated(&a, &q).unwrap().is_sat());
+    }
+
+    #[test]
+    fn cache_avoids_resolving() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, false);
+        let mut p = Portfolio::single().with_cache(PersistentCache::in_memory());
+        assert!(p.check(&a, &q, false).unwrap().is_unsat());
+        assert_eq!(p.stats.queries, 1);
+        assert!(p.check(&a, &q, false).unwrap().is_unsat());
+        assert_eq!(p.stats.queries, 1, "second query must hit the cache");
+        let c = p.cache.as_ref().unwrap();
+        assert_eq!(c.hits, 1);
+    }
+
+    #[test]
+    fn persistent_cache_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tpot-cache-{}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        {
+            let mut c = PersistentCache::open(&dir).unwrap();
+            c.put(42, CachedOutcome::Unsat);
+            c.flush().unwrap();
+        }
+        let mut c2 = PersistentCache::open(&dir).unwrap();
+        assert_eq!(c2.get(42), Some(CachedOutcome::Unsat));
+        assert_eq!(c2.get(43), None);
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn model_needed_bypasses_cache() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, true);
+        let mut p = Portfolio::single().with_cache(PersistentCache::in_memory());
+        assert!(p.check(&a, &q, false).unwrap().is_sat());
+        // Need a model: must re-solve even though the outcome is cached.
+        match p.check(&a, &q, true).unwrap() {
+            SmtResult::Sat(m) => assert!(m.var("x").is_some()),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.stats.queries, 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! A CDCL SAT solver.
+//!
+//! This crate is the propositional core of the from-scratch SMT solver that
+//! substitutes for Z3 in this reproduction (see DESIGN.md §1). It implements
+//! the standard modern architecture:
+//!
+//! - two-watched-literal propagation,
+//! - first-UIP conflict analysis with clause minimization,
+//! - VSIDS decision heuristics with exponential decay,
+//! - phase saving,
+//! - Luby-sequence restarts,
+//! - learned-clause activity and periodic database reduction,
+//! - solving under assumptions (used by the SMT layer for theory-guided
+//!   queries).
+//!
+//! Configuration knobs ([`SatConfig`]) exist so the portfolio layer can race
+//! differently-configured instances, reproducing the paper's 15-instance Z3
+//! portfolio (§4.4).
+
+pub mod config;
+pub mod solver;
+
+pub use config::SatConfig;
+pub use solver::{Lit, SatResult, Solver, Var};

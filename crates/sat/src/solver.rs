@@ -1,0 +1,951 @@
+//! The CDCL solver proper.
+
+use crate::config::{luby, SatConfig};
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+/// A literal: a variable with a sign.
+///
+/// Encoded as `var << 1 | negated`, the classic Minisat layout, so literals
+/// index watch lists directly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Literal of `v` with the given sign (`true` = positive).
+    pub fn new(v: Var, sign: bool) -> Lit {
+        if sign {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if the literal is positive.
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Result of a `solve` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The clause set (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The configured conflict budget was exhausted.
+    Unknown,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Assign {
+    Undef,
+    True,
+    False,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// The CDCL SAT solver.
+///
+/// Typical use:
+/// ```
+/// use tpot_sat::{Solver, Lit, SatResult};
+/// let mut s = Solver::default();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(&[]), SatResult::Sat);
+/// assert!(s.model_value(b));
+/// ```
+pub struct Solver {
+    config: SatConfig,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>, // indexed by literal
+    assigns: Vec<Assign>,       // indexed by var
+    phase: Vec<bool>,           // saved phase per var
+    level: Vec<u32>,            // decision level per var
+    reason: Vec<Option<u32>>,   // reason clause per var
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    order_heap: Vec<Var>, // lazy binary heap keyed by activity
+    heap_index: Vec<i32>,
+    ok: bool,
+    rng: u64,
+    conflicts: u64,
+    /// Statistics: total propagations.
+    pub num_propagations: u64,
+    /// Statistics: total decisions.
+    pub num_decisions: u64,
+    /// Statistics: total conflicts.
+    pub num_conflicts: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new(SatConfig::default())
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SatConfig) -> Self {
+        let rng = config.seed | 1;
+        Solver {
+            config,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            phase: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            order_heap: Vec::new(),
+            heap_index: Vec::new(),
+            ok: true,
+            rng,
+            conflicts: 0,
+            num_propagations: 0,
+            num_decisions: 0,
+            num_conflicts: 0,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(Assign::Undef);
+        self.phase.push(self.config.default_phase);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_index.push(-1);
+        self.heap_insert(v);
+        v
+    }
+
+    fn value_lit(&self, l: Lit) -> Assign {
+        match self.assigns[l.var().0 as usize] {
+            Assign::Undef => Assign::Undef,
+            Assign::True => {
+                if l.is_pos() {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+            Assign::False => {
+                if l.is_pos() {
+                    Assign::False
+                } else {
+                    Assign::True
+                }
+            }
+        }
+    }
+
+    /// Adds a clause. Returns `false` if the solver became trivially
+    /// unsatisfiable.
+    ///
+    /// May be called between `solve` calls (e.g. for DPLL(T) blocking
+    /// clauses); the solver backtracks to decision level 0 first, so read
+    /// the model *before* adding clauses.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack(0);
+        if !self.ok {
+            return false;
+        }
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        // Drop clauses satisfied at level 0 and false literals.
+        let mut out: Vec<Lit> = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == l.negate() {
+                return true; // tautology
+            }
+            match self.value_lit(l) {
+                Assign::True => return true,
+                Assign::False => {}
+                Assign::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(out, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        let idx = self.clauses.len() as u32;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.watches[w0.negate().index()].push(Watcher {
+            clause: idx,
+            blocker: w1,
+        });
+        self.watches[w1.negate().index()].push(Watcher {
+            clause: idx,
+            blocker: w0,
+        });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        idx
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        let v = l.var().0 as usize;
+        debug_assert_eq!(self.assigns[v], Assign::Undef);
+        self.assigns[v] = if l.is_pos() {
+            Assign::True
+        } else {
+            Assign::False
+        };
+        self.phase[v] = l.is_pos();
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.num_propagations += 1;
+            let mut i = 0;
+            let mut j = 0;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut conflict: Option<u32> = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value_lit(w.blocker) == Assign::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                // Ensure the false literal is at position 1.
+                let false_lit = p.negate();
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.value_lit(first) == Assign::True {
+                    ws[j] = Watcher {
+                        clause: w.clause,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new watch.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.value_lit(lk) != Assign::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk.negate().index()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Unit or conflicting.
+                ws[j] = Watcher {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value_lit(first) == Assign::False {
+                    // Conflict: copy remaining watchers back.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    conflict = Some(w.clause);
+                } else {
+                    self.unchecked_enqueue(first, Some(w.clause));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.index()] = ws;
+            if let Some(c) = conflict {
+                self.qhead = self.trail.len();
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------ heap
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.0 as usize] > self.activity[b.0 as usize]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_index[v.0 as usize] >= 0 {
+            return;
+        }
+        self.order_heap.push(v);
+        self.heap_index[v.0 as usize] = (self.order_heap.len() - 1) as i32;
+        self.heap_up(self.order_heap.len() - 1);
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.heap_less(self.order_heap[i], self.order_heap[p]) {
+                self.heap_swap(i, p);
+                i = p;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.order_heap.len() && self.heap_less(self.order_heap[l], self.order_heap[best])
+            {
+                best = l;
+            }
+            if r < self.order_heap.len() && self.heap_less(self.order_heap[r], self.order_heap[best])
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.order_heap.swap(i, j);
+        self.heap_index[self.order_heap[i].0 as usize] = i as i32;
+        self.heap_index[self.order_heap[j].0 as usize] = j as i32;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.order_heap.is_empty() {
+            return None;
+        }
+        let top = self.order_heap[0];
+        let last = self.order_heap.pop().unwrap();
+        self.heap_index[top.0 as usize] = -1;
+        if !self.order_heap.is_empty() {
+            self.order_heap[0] = last;
+            self.heap_index[last.0 as usize] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.0 as usize] += self.var_inc;
+        if self.activity[v.0 as usize] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        let hi = self.heap_index[v.0 as usize];
+        if hi >= 0 {
+            self.heap_up(hi as usize);
+        }
+    }
+
+    // ------------------------------------------------------------ analysis
+
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting lit
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl as usize;
+        let mut index = self.trail.len();
+        let cur_level = self.trail_lim.len() as u32;
+
+        loop {
+            self.bump_clause(confl);
+            let start = usize::from(p.is_some());
+            for k in start..self.clauses[confl].lits.len() {
+                let q = self.clauses[confl].lits[k];
+                let v = q.var().0 as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find next literal to expand.
+            loop {
+                index -= 1;
+                if seen[self.trail[index].var().0 as usize] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            p = Some(lit);
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = lit.negate();
+                break;
+            }
+            confl = self.reason[lit.var().0 as usize].expect("UIP literal must have a reason")
+                as usize;
+            seen[lit.var().0 as usize] = false;
+        }
+
+        // Clause minimization: drop literals implied by the rest.
+        let mut minimized: Vec<Lit> = vec![learnt[0]];
+        for &l in &learnt[1..] {
+            if !self.redundant(l, &seen) {
+                minimized.push(l);
+            }
+        }
+
+        // Compute backtrack level (second-highest level in clause).
+        let bt = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().0 as usize]
+                    > self.level[minimized[max_i].var().0 as usize]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().0 as usize]
+        };
+        (minimized, bt)
+    }
+
+    /// A literal is redundant if its reason clause's literals are all marked
+    /// seen (single-step minimization; cheap and sound).
+    fn redundant(&self, l: Lit, seen: &[bool]) -> bool {
+        match self.reason[l.var().0 as usize] {
+            None => false,
+            Some(c) => self.clauses[c as usize].lits.iter().all(|&q| {
+                q.var() == l.var()
+                    || seen[q.var().0 as usize]
+                    || self.level[q.var().0 as usize] == 0
+            }),
+        }
+    }
+
+    fn bump_clause(&mut self, c: usize) {
+        if !self.clauses[c].learnt {
+            return;
+        }
+        self.clauses[c].activity += self.clause_inc;
+        if self.clauses[c].activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if (self.trail_lim.len() as u32) <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().0 as usize;
+            self.assigns[v] = Assign::Undef;
+            self.reason[v] = None;
+            self.heap_insert(l.var());
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        if self.config.random_decision_freq > 0.0 {
+            let r = (self.next_rand() >> 11) as f64 / (1u64 << 53) as f64;
+            if r < self.config.random_decision_freq && !self.order_heap.is_empty() {
+                let i = (self.next_rand() as usize) % self.order_heap.len();
+                let v = self.order_heap[i];
+                if self.assigns[v.0 as usize] == Assign::Undef {
+                    return Some(Lit::new(v, self.phase[v.0 as usize]));
+                }
+            }
+        }
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.0 as usize] == Assign::Undef {
+                return Some(Lit::new(v, self.phase[v.0 as usize]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Remove the less active half of long learnt clauses. Rebuilding the
+        // watch lists wholesale keeps the code simple; reduction is rare.
+        let mut learnt_idx: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && c.lits.len() > 2)
+            .map(|(i, _)| i)
+            .collect();
+        learnt_idx.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap()
+        });
+        let locked: Vec<bool> = learnt_idx
+            .iter()
+            .map(|&i| {
+                let first = self.clauses[i].lits[0];
+                self.reason[first.var().0 as usize] == Some(i as u32)
+                    && self.value_lit(first) == Assign::True
+            })
+            .collect();
+        let half = learnt_idx.len() / 2;
+        let mut remove = vec![false; self.clauses.len()];
+        for (k, &i) in learnt_idx.iter().take(half).enumerate() {
+            if !locked[k] {
+                remove[i] = true;
+            }
+        }
+        // Compact the clause database and remap indices.
+        let mut remap: Vec<i64> = vec![-1; self.clauses.len()];
+        let mut new_clauses: Vec<Clause> = Vec::with_capacity(self.clauses.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if !remove[i] {
+                remap[i] = new_clauses.len() as i64;
+                new_clauses.push(c);
+            }
+        }
+        self.clauses = new_clauses;
+        for r in &mut self.reason {
+            if let Some(c) = *r {
+                let m = remap[c as usize];
+                *r = if m >= 0 { Some(m as u32) } else { None };
+            }
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            let w0 = c.lits[0];
+            let w1 = c.lits[1];
+            self.watches[w0.negate().index()].push(Watcher {
+                clause: i as u32,
+                blocker: w1,
+            });
+            self.watches[w1.negate().index()].push(Watcher {
+                clause: i as u32,
+                blocker: w0,
+            });
+        }
+    }
+
+    /// Solves under the given assumptions.
+    ///
+    /// On [`SatResult::Sat`], the model is available through
+    /// [`Solver::model_value`]. On [`SatResult::Unsat`] with assumptions, the
+    /// clause set is unsatisfiable together with the assumptions (no final
+    /// conflict core is extracted).
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        let mut restarts: u64 = 0;
+        let mut conflicts_since_restart: u64 = 0;
+        let mut max_learnts =
+            (self.clauses.len() as f64 * self.config.learntsize_factor).max(1000.0);
+        let start_conflicts = self.conflicts;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                self.num_conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.trail_lim.is_empty() {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    self.bump_clause(ci as usize);
+                    self.unchecked_enqueue(learnt[0], Some(ci));
+                }
+                self.var_inc /= self.config.var_decay;
+                self.clause_inc /= self.config.clause_decay;
+                if let Some(limit) = self.config.conflict_limit {
+                    if self.conflicts - start_conflicts >= limit {
+                        self.backtrack(0);
+                        return SatResult::Unknown;
+                    }
+                }
+                if self.conflicts % 64 == 0 {
+                    if let Some(c) = &self.config.cancel {
+                        if c.load(std::sync::atomic::Ordering::Relaxed) {
+                            self.backtrack(0);
+                            return SatResult::Unknown;
+                        }
+                    }
+                }
+                let learnt_count = self.clauses.iter().filter(|c| c.learnt).count();
+                if learnt_count as f64 > max_learnts {
+                    self.reduce_db();
+                    max_learnts *= 1.3;
+                }
+            } else {
+                // No conflict: restart check, assumptions, then decide.
+                if conflicts_since_restart >= luby(restarts) * self.config.restart_base {
+                    restarts += 1;
+                    conflicts_since_restart = 0;
+                    self.backtrack(0);
+                    continue;
+                }
+                // Enforce assumptions as pseudo-decisions.
+                let mut all_assumed = true;
+                for &a in assumptions {
+                    match self.value_lit(a) {
+                        Assign::True => {}
+                        Assign::False => {
+                            self.backtrack(0);
+                            return SatResult::Unsat;
+                        }
+                        Assign::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                            all_assumed = false;
+                            break;
+                        }
+                    }
+                }
+                if !all_assumed {
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.num_decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The model value of a variable after [`SatResult::Sat`]. Unassigned
+    /// variables read as their saved phase.
+    pub fn model_value(&self, v: Var) -> bool {
+        match self.assigns[v.0 as usize] {
+            Assign::True => true,
+            Assign::False => false,
+            Assign::Undef => self.phase[v.0 as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32) -> Lit {
+        // DIMACS-style: positive i => positive literal of var i-1.
+        let v = Var((i.unsigned_abs() - 1) as u32);
+        Lit::new(v, i > 0)
+    }
+
+    fn make_solver(nvars: usize) -> Solver {
+        let mut s = Solver::default();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = make_solver(2);
+        assert!(s.add_clause(&[lit(1), lit(2)]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = make_solver(1);
+        s.add_clause(&[lit(1)]);
+        assert!(!s.add_clause(&[lit(-1)]) || s.solve(&[]) == SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = make_solver(4);
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(-1), lit(2)]);
+        s.add_clause(&[lit(-2), lit(3)]);
+        s.add_clause(&[lit(-3), lit(4)]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for v in 0..4 {
+            assert!(s.model_value(Var(v)));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = make_solver(6);
+        let p = |i: u32, j: u32| Lit::pos(Var(i * 2 + j));
+        for i in 0..3 {
+            s.add_clause(&[p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions() {
+        let mut s = make_solver(2);
+        s.add_clause(&[lit(1), lit(2)]);
+        assert_eq!(s.solve(&[lit(-1)]), SatResult::Sat);
+        assert!(s.model_value(Var(1)));
+        // Assumptions are not permanent.
+        assert_eq!(s.solve(&[lit(-2)]), SatResult::Sat);
+        assert!(s.model_value(Var(0)));
+        assert_eq!(s.solve(&[lit(-1), lit(-2)]), SatResult::Unsat);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = make_solver(1);
+        assert!(s.add_clause(&[lit(1), lit(-1)]));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = make_solver(1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 0 is satisfiable.
+        let mut s = make_solver(3);
+        let xor_cnf = |s: &mut Solver, a: i32, b: i32, val: bool| {
+            if val {
+                s.add_clause(&[lit(a), lit(b)]);
+                s.add_clause(&[lit(-a), lit(-b)]);
+            } else {
+                s.add_clause(&[lit(-a), lit(b)]);
+                s.add_clause(&[lit(a), lit(-b)]);
+            }
+        };
+        xor_cnf(&mut s, 1, 2, true);
+        xor_cnf(&mut s, 2, 3, true);
+        xor_cnf(&mut s, 1, 3, false);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        let v = |i: u32| s.model_value(Var(i));
+        assert!(v(0) ^ v(1));
+        assert!(v(1) ^ v(2));
+        assert!(!(v(0) ^ v(2)));
+    }
+
+    #[test]
+    fn php_5_into_4_unsat_exercises_learning() {
+        let n = 5u32;
+        let m = 4u32;
+        let mut s = Solver::default();
+        for _ in 0..(n * m) {
+            s.new_var();
+        }
+        let p = |i: u32, j: u32| Lit::pos(Var(i * m + j));
+        for i in 0..n {
+            let c: Vec<Lit> = (0..m).map(|j| p(i, j)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        assert!(s.num_conflicts > 0);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_random() {
+        // Deterministic pseudo-random 3-SAT near threshold; verify models.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..20 {
+            let nvars = 20;
+            let nclauses = 60 + round;
+            let mut s = make_solver(nvars);
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (next() % nvars as u64) as u32;
+                    let sign = next() % 2 == 0;
+                    c.push(Lit::new(Var(v), sign));
+                }
+                clauses.push(c.clone());
+                s.add_clause(&c);
+            }
+            if s.solve(&[]) == SatResult::Sat {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.model_value(l.var()) == l.is_pos()),
+                        "model violates clause {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_limit_returns_unknown() {
+        let mut cfg = SatConfig::default();
+        cfg.conflict_limit = Some(1);
+        let mut s = Solver::new(cfg);
+        for _ in 0..20 {
+            s.new_var();
+        }
+        // Hard instance: PHP(5,4) embedded.
+        let p = |i: u32, j: u32| Lit::pos(Var(i * 4 + j));
+        for i in 0..5 {
+            let c: Vec<Lit> = (0..4).map(|j| p(i, j)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unknown);
+    }
+}

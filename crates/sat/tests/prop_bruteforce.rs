@@ -1,0 +1,78 @@
+//! Property test: the CDCL solver agrees with a brute-force enumerator on
+//! small random CNF instances, and SAT models actually satisfy the clauses.
+
+use proptest::prelude::*;
+use tpot_sat::{Lit, SatResult, Solver, Var};
+
+/// Brute-force satisfiability for up to 16 variables.
+fn brute_force_sat(nvars: u32, clauses: &[Vec<i32>]) -> bool {
+    for assignment in 0u32..(1 << nvars) {
+        let ok = clauses.iter().all(|c| {
+            c.iter().any(|&l| {
+                let v = l.unsigned_abs() - 1;
+                let val = assignment & (1 << v) != 0;
+                if l > 0 {
+                    val
+                } else {
+                    !val
+                }
+            })
+        });
+        if ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn to_lit(l: i32) -> Lit {
+    Lit::new(Var(l.unsigned_abs() - 1), l > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cdcl_matches_bruteforce(
+        nvars in 1u32..9,
+        raw in prop::collection::vec(prop::collection::vec((1i32..9, prop::bool::ANY), 1..4), 0..24),
+    ) {
+        let clauses: Vec<Vec<i32>> = raw
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&(v, sign)| {
+                        let v = ((v - 1) % nvars as i32) + 1;
+                        if sign { v } else { -v }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut s = Solver::default();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        let mut trivially_unsat = false;
+        for c in &clauses {
+            let lits: Vec<Lit> = c.iter().map(|&l| to_lit(l)).collect();
+            if !s.add_clause(&lits) {
+                trivially_unsat = true;
+            }
+        }
+        let got = if trivially_unsat {
+            SatResult::Unsat
+        } else {
+            s.solve(&[])
+        };
+        let expect = brute_force_sat(nvars, &clauses);
+        prop_assert_eq!(got == SatResult::Sat, expect);
+        if got == SatResult::Sat {
+            for c in &clauses {
+                let satisfied = c
+                    .iter()
+                    .any(|&l| s.model_value(Var(l.unsigned_abs() - 1)) == (l > 0));
+                prop_assert!(satisfied, "model violates clause {:?}", c);
+            }
+        }
+    }
+}

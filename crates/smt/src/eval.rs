@@ -1,0 +1,273 @@
+//! Concrete evaluation of terms under a model.
+//!
+//! Used to (a) validate solver models a posteriori — the paper recommends
+//! validating portfolio results because "a solver portfolio is more often
+//! wrong than an individual solver" (§4.4) — and (b) as the ground-truth
+//! oracle in this repository's property tests.
+
+use std::collections::HashMap;
+
+use crate::arena::TermArena;
+use crate::model::{Model, Value};
+use crate::sort::{bv_mask, bv_signed};
+#[cfg(test)]
+use crate::sort::Sort;
+use crate::term::{Kind, TermId};
+
+/// Errors during concrete evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no value in the model and no default could be used.
+    UnboundVar(String),
+    /// Integer arithmetic left the `i128` range.
+    Overflow,
+}
+
+/// Evaluates `t` under `model`. Unbound variables evaluate to zero of their
+/// sort (solver models are partial: variables absent from a model are
+/// unconstrained).
+pub fn eval(arena: &TermArena, model: &Model, t: TermId) -> Result<Value, EvalError> {
+    let mut cache: HashMap<TermId, Value> = HashMap::new();
+    eval_rec(arena, model, t, &mut cache)
+}
+
+fn eval_rec(
+    arena: &TermArena,
+    model: &Model,
+    t: TermId,
+    cache: &mut HashMap<TermId, Value>,
+) -> Result<Value, EvalError> {
+    if let Some(v) = cache.get(&t) {
+        return Ok(v.clone());
+    }
+    let node = arena.term(t);
+    let mut args: Vec<Value> = Vec::with_capacity(node.args.len());
+    for &a in &node.args {
+        args.push(eval_rec(arena, model, a, cache)?);
+    }
+    let sort = node.sort.clone();
+    let v = match &node.kind {
+        Kind::True => Value::Bool(true),
+        Kind::False => Value::Bool(false),
+        Kind::BvConst(v) => {
+            let w = sort.bv_width().unwrap();
+            Value::BitVec(w, *v)
+        }
+        Kind::IntConst(v) => Value::Int(*v),
+        Kind::Var(_) => {
+            let name = arena.var_name(t);
+            match model.var(name) {
+                Some(v) => v.clone(),
+                None => Value::zero_of(&sort),
+            }
+        }
+        Kind::Not => Value::Bool(!args[0].as_bool()),
+        Kind::And => Value::Bool(args.iter().all(Value::as_bool)),
+        Kind::Or => Value::Bool(args.iter().any(Value::as_bool)),
+        Kind::Xor => Value::Bool(args[0].as_bool() ^ args[1].as_bool()),
+        Kind::Implies => Value::Bool(!args[0].as_bool() || args[1].as_bool()),
+        Kind::Ite => {
+            if args[0].as_bool() {
+                args[1].clone()
+            } else {
+                args[2].clone()
+            }
+        }
+        Kind::Eq => Value::Bool(values_equal(&args[0], &args[1])),
+        Kind::BvNeg => {
+            let (w, v) = args[0].as_bv();
+            Value::BitVec(w, v.wrapping_neg() & bv_mask(w))
+        }
+        Kind::BvAdd => bv_binop(&args, |w, x, y| x.wrapping_add(y) & bv_mask(w)),
+        Kind::BvSub => bv_binop(&args, |w, x, y| x.wrapping_sub(y) & bv_mask(w)),
+        Kind::BvMul => bv_binop(&args, |w, x, y| x.wrapping_mul(y) & bv_mask(w)),
+        Kind::BvUDiv => bv_binop(&args, |w, x, y| if y == 0 { bv_mask(w) } else { x / y }),
+        Kind::BvURem => bv_binop(&args, |_, x, y| if y == 0 { x } else { x % y }),
+        Kind::BvAnd => bv_binop(&args, |_, x, y| x & y),
+        Kind::BvOr => bv_binop(&args, |_, x, y| x | y),
+        Kind::BvXor => bv_binop(&args, |_, x, y| x ^ y),
+        Kind::BvNot => {
+            let (w, v) = args[0].as_bv();
+            Value::BitVec(w, !v & bv_mask(w))
+        }
+        Kind::BvShl => bv_binop(&args, |w, x, y| {
+            if y >= w as u128 {
+                0
+            } else {
+                (x << y) & bv_mask(w)
+            }
+        }),
+        Kind::BvLShr => bv_binop(&args, |w, x, y| if y >= w as u128 { 0 } else { x >> y }),
+        Kind::BvAShr => bv_binop(&args, |w, x, y| {
+            let sx = bv_signed(w, x);
+            let sh = y.min(w as u128 - 1) as u32;
+            ((sx >> sh) as u128) & bv_mask(w)
+        }),
+        Kind::BvUlt => bv_cmp(&args, |_, x, y| x < y),
+        Kind::BvUle => bv_cmp(&args, |_, x, y| x <= y),
+        Kind::BvSlt => bv_cmp(&args, |w, x, y| bv_signed(w, x) < bv_signed(w, y)),
+        Kind::BvSle => bv_cmp(&args, |w, x, y| bv_signed(w, x) <= bv_signed(w, y)),
+        Kind::Concat => {
+            let (wh, vh) = args[0].as_bv();
+            let (wl, vl) = args[1].as_bv();
+            Value::BitVec(wh + wl, (vh << wl) | vl)
+        }
+        Kind::Extract { hi, lo } => {
+            let (_, v) = args[0].as_bv();
+            Value::BitVec(hi - lo + 1, (v >> lo) & bv_mask(hi - lo + 1))
+        }
+        Kind::ZeroExt { extra } => {
+            let (w, v) = args[0].as_bv();
+            Value::BitVec(w + extra, v)
+        }
+        Kind::SignExt { extra } => {
+            let (w, v) = args[0].as_bv();
+            let nw = w + extra;
+            Value::BitVec(nw, (bv_signed(w, v) as u128) & bv_mask(nw))
+        }
+        Kind::IntAdd => {
+            let mut acc: i128 = 0;
+            for a in &args {
+                acc = acc.checked_add(a.as_int()).ok_or(EvalError::Overflow)?;
+            }
+            Value::Int(acc)
+        }
+        Kind::IntSub => Value::Int(
+            args[0]
+                .as_int()
+                .checked_sub(args[1].as_int())
+                .ok_or(EvalError::Overflow)?,
+        ),
+        Kind::IntMul => Value::Int(
+            args[0]
+                .as_int()
+                .checked_mul(args[1].as_int())
+                .ok_or(EvalError::Overflow)?,
+        ),
+        Kind::IntNeg => Value::Int(args[0].as_int().checked_neg().ok_or(EvalError::Overflow)?),
+        Kind::IntLe => Value::Bool(args[0].as_int() <= args[1].as_int()),
+        Kind::IntLt => Value::Bool(args[0].as_int() < args[1].as_int()),
+        Kind::Select => match &args[0] {
+            Value::Array { entries, default } => {
+                let key = args[1].key_repr();
+                entries.get(&key).map(|v| (**v).clone()).unwrap_or_else(|| (**default).clone())
+            }
+            other => panic!("select on non-array value {other:?}"),
+        },
+        Kind::Store => match args[0].clone() {
+            Value::Array {
+                mut entries,
+                default,
+            } => {
+                entries.insert(args[1].key_repr(), Box::new(args[2].clone()));
+                Value::Array { entries, default }
+            }
+            other => panic!("store on non-array value {other:?}"),
+        },
+        Kind::Apply(f) => {
+            let decl = arena.func(*f);
+            model.apply_func(*f, &args, &decl.ret)
+        }
+    };
+    cache.insert(t, v.clone());
+    Ok(v)
+}
+
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Array { .. }, Value::Array { .. }) => {
+            panic!("array extensional equality not supported in eval")
+        }
+        _ => a == b,
+    }
+}
+
+fn bv_binop(args: &[Value], f: impl Fn(u32, u128, u128) -> u128) -> Value {
+    let (w, x) = args[0].as_bv();
+    let (_, y) = args[1].as_bv();
+    Value::BitVec(w, f(w, x, y))
+}
+
+fn bv_cmp(args: &[Value], f: impl Fn(u32, u128, u128) -> bool) -> Value {
+    let (w, x) = args[0].as_bv();
+    let (_, y) = args[1].as_bv();
+    Value::Bool(f(w, x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_arith() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let c = a.bv_const(8, 10);
+        let s = a.bv_add(x, c);
+        let mut m = Model::new();
+        m.set_var("x", Value::BitVec(8, 250));
+        let v = eval(&a, &m, s).unwrap();
+        assert_eq!(v, Value::BitVec(8, 4)); // wraps
+    }
+
+    #[test]
+    fn eval_unbound_defaults_to_zero() {
+        let mut a = TermArena::new();
+        let x = a.var("u", Sort::Int);
+        let one = a.int_const(1);
+        let s = a.int_add2(x, one);
+        let m = Model::new();
+        assert_eq!(eval(&a, &m, s).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn eval_store_select() {
+        let mut a = TermArena::new();
+        let arr = a.var("mem", Sort::byte_array());
+        let i = a.var("i", Sort::BitVec(64));
+        let v = a.bv_const(8, 9);
+        let st = a.store(arr, i, v);
+        let j = a.bv64(3);
+        let rd = a.select(st, j);
+        let mut m = Model::new();
+        m.set_var("i", Value::BitVec(64, 3));
+        assert_eq!(eval(&a, &m, rd).unwrap(), Value::BitVec(8, 9));
+        m.set_var("i", Value::BitVec(64, 4));
+        assert_eq!(eval(&a, &m, rd).unwrap(), Value::BitVec(8, 0));
+    }
+
+    #[test]
+    fn eval_uf() {
+        let mut a = TermArena::new();
+        let f = a.declare_func("h", vec![Sort::Int], Sort::Int);
+        let x = a.int_const(7);
+        let app = a.apply(f, vec![x]);
+        let mut m = Model::new();
+        let mut fi = crate::model::FuncInterp::default();
+        fi.entries.insert(vec![7u128], Value::Int(99));
+        m.funcs.insert(f, fi);
+        assert_eq!(eval(&a, &m, app).unwrap(), Value::Int(99));
+    }
+
+    #[test]
+    fn eval_sign_ops() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let sx = a.sign_ext(x, 8);
+        let mut m = Model::new();
+        m.set_var("x", Value::BitVec(8, 0xff));
+        assert_eq!(eval(&a, &m, sx).unwrap(), Value::BitVec(16, 0xffff));
+    }
+
+    #[test]
+    fn int_overflow_detected() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let m1 = a.int_mul(x, y);
+        let mut m = Model::new();
+        m.set_var("x", Value::Int(i128::MAX));
+        m.set_var("y", Value::Int(2));
+        assert_eq!(eval(&a, &m, m1), Err(EvalError::Overflow));
+    }
+}

@@ -1,0 +1,40 @@
+//! Hash-consed SMT term representation for TPot.
+//!
+//! This crate is the substrate shared by the symbolic-execution engine
+//! (`tpot-engine`), the memory model (`tpot-mem`) and the SMT solver
+//! (`tpot-solver`). It provides:
+//!
+//! - [`Sort`]: booleans, fixed-width bitvectors, mathematical integers and
+//!   arrays.
+//! - [`TermArena`]: a hash-consing arena. Structurally equal terms share one
+//!   [`TermId`], so id equality is structural equality and the engine's
+//!   caches (read-after-write proofs, constant offsets, persistent query
+//!   cache) key directly on ids.
+//! - A building API with local constant folding and peephole simplification,
+//!   mirroring the constant/equality propagation KLEE performs before the
+//!   paper's query simplifier (§4.3) takes over.
+//! - An SMT-LIB2 serializer ([`print`]); serialization time is one of the
+//!   cost buckets of Figure 7.
+//! - A concrete evaluator ([`eval`]) used to validate models a posteriori
+//!   (the paper recommends validating portfolio results, §4.4) and in
+//!   property tests.
+//!
+//! The term language is deliberately quantifier-free: TPot's encoding keeps
+//! quantifiers out of solver queries (§4.3), handling universal properties by
+//! explicit instantiation. The only "quantified" facts are memory-safety
+//! constraints over the `heap_safe` uninterpreted function, which the engine
+//! instantiates itself.
+
+pub mod arena;
+pub mod eval;
+pub mod model;
+pub mod print;
+pub mod sort;
+pub mod subst;
+pub mod term;
+
+pub use arena::{FuncDecl, FuncId, TermArena};
+pub use eval::{eval, EvalError};
+pub use model::{FuncInterp, Model, Value};
+pub use sort::Sort;
+pub use term::{Kind, Term, TermId};

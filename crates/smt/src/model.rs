@@ -1,0 +1,196 @@
+//! Models: satisfying assignments returned by the solver.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::arena::FuncId;
+use crate::sort::Sort;
+
+/// A concrete value of some sort.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Bitvector value (width, zero-extended bits).
+    BitVec(u32, u128),
+    /// Integer value.
+    Int(i128),
+    /// Array value: explicit entries plus a default for all other indices.
+    Array {
+        /// Explicitly stored entries (index value → element value). Index
+        /// values are stored through [`Value::key_repr`].
+        entries: HashMap<u128, Box<Value>>,
+        /// Element value at all indices not in `entries`.
+        default: Box<Value>,
+    },
+}
+
+impl Value {
+    /// Canonical `u128` representation of a value usable as an array index
+    /// key (bitvector bits, or two's-complement integer bits).
+    pub fn key_repr(&self) -> u128 {
+        match self {
+            Value::Bool(b) => *b as u128,
+            Value::BitVec(_, v) => *v,
+            Value::Int(v) => *v as u128,
+            Value::Array { .. } => panic!("array value used as index"),
+        }
+    }
+
+    /// Boolean payload.
+    ///
+    /// # Panics
+    /// Panics if the value is not a boolean.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// Bitvector payload.
+    ///
+    /// # Panics
+    /// Panics if the value is not a bitvector.
+    pub fn as_bv(&self) -> (u32, u128) {
+        match self {
+            Value::BitVec(w, v) => (*w, *v),
+            other => panic!("expected BitVec, got {other:?}"),
+        }
+    }
+
+    /// Integer payload.
+    ///
+    /// # Panics
+    /// Panics if the value is not an integer.
+    pub fn as_int(&self) -> i128 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// A default ("zero") value of the given sort.
+    pub fn zero_of(sort: &Sort) -> Value {
+        match sort {
+            Sort::Bool => Value::Bool(false),
+            Sort::BitVec(w) => Value::BitVec(*w, 0),
+            Sort::Int => Value::Int(0),
+            Sort::Array(_, e) => Value::Array {
+                entries: HashMap::new(),
+                default: Box::new(Value::zero_of(e)),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::BitVec(w, v) => write!(f, "#x{v:0>width$x}", width = (*w as usize).div_ceil(4)),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Array { entries, default } => {
+                write!(f, "[")?;
+                let mut keys: Vec<_> = entries.keys().collect();
+                keys.sort();
+                for k in keys {
+                    write!(f, "{k}:{} ", entries[k])?;
+                }
+                write!(f, "else:{default}]")
+            }
+        }
+    }
+}
+
+/// Interpretation of an uninterpreted function: a finite table plus a
+/// default value.
+#[derive(Clone, Debug, Default)]
+pub struct FuncInterp {
+    /// Argument tuples (via [`Value::key_repr`]) to result.
+    pub entries: HashMap<Vec<u128>, Value>,
+    /// Result for argument tuples not in the table.
+    pub default: Option<Value>,
+}
+
+/// A model: assignment of values to variables and interpretations to
+/// uninterpreted functions.
+///
+/// Models back TPot's counterexamples (§3.2): when a POT fails, the model
+/// over the initial symbolic state *is* the "assignment of values to
+/// variables" the paper reports.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    /// Variable name → value.
+    pub vars: HashMap<String, Value>,
+    /// Function id → interpretation.
+    pub funcs: HashMap<FuncId, FuncInterp>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a variable by name.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Sets a variable's value.
+    pub fn set_var(&mut self, name: &str, v: Value) {
+        self.vars.insert(name.to_string(), v);
+    }
+
+    /// Applies a function interpretation, falling back to the default, then
+    /// to zero of the return sort.
+    pub fn apply_func(&self, f: FuncId, args: &[Value], ret: &Sort) -> Value {
+        let key: Vec<u128> = args.iter().map(Value::key_repr).collect();
+        if let Some(fi) = self.funcs.get(&f) {
+            if let Some(v) = fi.entries.get(&key) {
+                return v.clone();
+            }
+            if let Some(d) = &fi.default {
+                return d.clone();
+            }
+        }
+        Value::zero_of(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero_of(&Sort::Bool), Value::Bool(false));
+        assert_eq!(Value::zero_of(&Sort::BitVec(8)), Value::BitVec(8, 0));
+        match Value::zero_of(&Sort::byte_array()) {
+            Value::Array { default, .. } => assert_eq!(*default, Value::BitVec(8, 0)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn func_interp_lookup() {
+        let mut m = Model::new();
+        let fid = FuncId(0);
+        let mut fi = FuncInterp::default();
+        fi.entries
+            .insert(vec![5u128], Value::Int(42));
+        fi.default = Some(Value::Int(0));
+        m.funcs.insert(fid, fi);
+        let hit = m.apply_func(fid, &[Value::Int(5)], &Sort::Int);
+        assert_eq!(hit, Value::Int(42));
+        let miss = m.apply_func(fid, &[Value::Int(6)], &Sort::Int);
+        assert_eq!(miss, Value::Int(0));
+    }
+
+    #[test]
+    fn display_bv() {
+        assert_eq!(Value::BitVec(8, 0xab).to_string(), "#xab");
+        assert_eq!(Value::BitVec(64, 1).to_string(), "#x0000000000000001");
+    }
+}

@@ -1,0 +1,265 @@
+//! SMT-LIB2 serialization.
+//!
+//! The paper's solver portfolio consumes serialized queries; serialization is
+//! the "Serialization" bucket of Figure 7 (8–28% of verification time). This
+//! module reproduces that cost structure: the engine serializes each query
+//! before handing it to the portfolio, and the benchmark harness measures the
+//! time spent here.
+
+use std::collections::HashSet;
+use std::fmt::Write;
+
+use crate::arena::TermArena;
+use crate::term::{Kind, TermId};
+
+/// Serializes a complete `check-sat` script for the conjunction of
+/// `assertions`, including all required `declare-fun`s.
+pub fn to_smtlib(arena: &TermArena, assertions: &[TermId]) -> String {
+    let mut out = String::new();
+    out.push_str("(set-logic ALL)\n");
+    let mut seen_vars: HashSet<u32> = HashSet::new();
+    let mut seen_funcs: HashSet<u32> = HashSet::new();
+    let mut visited: HashSet<TermId> = HashSet::new();
+    for &t in assertions {
+        collect_decls(arena, t, &mut seen_vars, &mut seen_funcs, &mut visited);
+    }
+    let mut vars: Vec<u32> = seen_vars.into_iter().collect();
+    vars.sort_unstable();
+    for sym in vars {
+        let (name, sort) = &arena.vars()[sym as usize];
+        let _ = writeln!(out, "(declare-const {} {sort})", sanitize(name));
+    }
+    let mut funcs: Vec<u32> = seen_funcs.into_iter().collect();
+    funcs.sort_unstable();
+    for fi in funcs {
+        let d = &arena.funcs()[fi as usize];
+        let _ = write!(out, "(declare-fun {} (", sanitize(&d.name));
+        for (i, s) in d.args.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{s}");
+        }
+        let _ = writeln!(out, ") {})", d.ret);
+    }
+    for &t in assertions {
+        out.push_str("(assert ");
+        write_term(arena, t, &mut out);
+        out.push_str(")\n");
+    }
+    out.push_str("(check-sat)\n");
+    out
+}
+
+fn collect_decls(
+    arena: &TermArena,
+    t: TermId,
+    vars: &mut HashSet<u32>,
+    funcs: &mut HashSet<u32>,
+    visited: &mut HashSet<TermId>,
+) {
+    if !visited.insert(t) {
+        return;
+    }
+    let node = arena.term(t);
+    match &node.kind {
+        Kind::Var(sym) => {
+            vars.insert(*sym);
+        }
+        Kind::Apply(f) => {
+            funcs.insert(f.0);
+        }
+        _ => {}
+    }
+    for &a in &node.args {
+        collect_decls(arena, a, vars, funcs, visited);
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    if name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || "~!@$%^&*_-+=<>.?/".contains(c))
+    {
+        name.to_string()
+    } else {
+        format!("|{name}|")
+    }
+}
+
+/// Writes a single term in SMT-LIB2 syntax.
+pub fn write_term(arena: &TermArena, t: TermId, out: &mut String) {
+    let node = arena.term(t);
+    let op: &str = match &node.kind {
+        Kind::True => {
+            out.push_str("true");
+            return;
+        }
+        Kind::False => {
+            out.push_str("false");
+            return;
+        }
+        Kind::BvConst(v) => {
+            let w = node.sort.bv_width().unwrap();
+            if w % 4 == 0 {
+                let _ = write!(out, "#x{v:0>width$x}", width = (w / 4) as usize);
+            } else {
+                let _ = write!(out, "(_ bv{v} {w})");
+            }
+            return;
+        }
+        Kind::IntConst(v) => {
+            if *v < 0 {
+                let _ = write!(out, "(- {})", v.unsigned_abs());
+            } else {
+                let _ = write!(out, "{v}");
+            }
+            return;
+        }
+        Kind::Var(_) => {
+            out.push_str(&sanitize(arena.var_name(t)));
+            return;
+        }
+        Kind::Not => "not",
+        Kind::And => "and",
+        Kind::Or => "or",
+        Kind::Xor => "xor",
+        Kind::Implies => "=>",
+        Kind::Ite => "ite",
+        Kind::Eq => "=",
+        Kind::BvNeg => "bvneg",
+        Kind::BvAdd => "bvadd",
+        Kind::BvSub => "bvsub",
+        Kind::BvMul => "bvmul",
+        Kind::BvUDiv => "bvudiv",
+        Kind::BvURem => "bvurem",
+        Kind::BvAnd => "bvand",
+        Kind::BvOr => "bvor",
+        Kind::BvXor => "bvxor",
+        Kind::BvNot => "bvnot",
+        Kind::BvShl => "bvshl",
+        Kind::BvLShr => "bvlshr",
+        Kind::BvAShr => "bvashr",
+        Kind::BvUlt => "bvult",
+        Kind::BvUle => "bvule",
+        Kind::BvSlt => "bvslt",
+        Kind::BvSle => "bvsle",
+        Kind::Concat => "concat",
+        Kind::Extract { hi, lo } => {
+            let _ = write!(out, "((_ extract {hi} {lo}) ");
+            write_term(arena, node.args[0], out);
+            out.push(')');
+            return;
+        }
+        Kind::ZeroExt { extra } => {
+            let _ = write!(out, "((_ zero_extend {extra}) ");
+            write_term(arena, node.args[0], out);
+            out.push(')');
+            return;
+        }
+        Kind::SignExt { extra } => {
+            let _ = write!(out, "((_ sign_extend {extra}) ");
+            write_term(arena, node.args[0], out);
+            out.push(')');
+            return;
+        }
+        Kind::IntAdd => "+",
+        Kind::IntSub => "-",
+        Kind::IntMul => "*",
+        Kind::IntNeg => "-",
+        Kind::IntLe => "<=",
+        Kind::IntLt => "<",
+        Kind::Select => "select",
+        Kind::Store => "store",
+        Kind::Apply(f) => {
+            let _ = write!(out, "({}", sanitize(&arena.func(*f).name));
+            for &a in &node.args {
+                out.push(' ');
+                write_term(arena, a, out);
+            }
+            out.push(')');
+            return;
+        }
+    };
+    let _ = write!(out, "({op}");
+    for &a in &node.args {
+        out.push(' ');
+        write_term(arena, a, out);
+    }
+    out.push(')');
+}
+
+/// Serializes a single term to a string (debugging helper).
+pub fn term_to_string(arena: &TermArena, t: TermId) -> String {
+    let mut s = String::new();
+    write_term(arena, t, &mut s);
+    s
+}
+
+/// A stable 64-bit hash of a serialized query, used to key the persistent
+/// query cache (§4.4). FNV-1a over the SMT-LIB text: stable across runs and
+/// processes, unlike `DefaultHasher`.
+pub fn query_fingerprint(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sort;
+
+    #[test]
+    fn serialize_simple_query() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let c = a.bv_const(8, 3);
+        let e = a.bv_ult(x, c);
+        let s = to_smtlib(&a, &[e]);
+        assert!(s.contains("(declare-const x (_ BitVec 8))"));
+        assert!(s.contains("(assert (bvult x #x03))"));
+        assert!(s.contains("(check-sat)"));
+    }
+
+    #[test]
+    fn serialize_uf_and_int() {
+        let mut a = TermArena::new();
+        let f = a.declare_func("tpot_bv2int", vec![Sort::BitVec(64)], Sort::Int);
+        let p = a.var("p", Sort::BitVec(64));
+        let ap = a.apply(f, vec![p]);
+        let neg = a.int_const(-5);
+        let e = a.int_le(neg, ap);
+        let s = to_smtlib(&a, &[e]);
+        assert!(s.contains("(declare-fun tpot_bv2int ((_ BitVec 64)) Int)"));
+        assert!(s.contains("(<= (- 5) (tpot_bv2int p))"));
+    }
+
+    #[test]
+    fn sanitize_odd_names() {
+        let mut a = TermArena::new();
+        let x = a.var("obj[3].field", Sort::Int);
+        let zero = a.int_const(0);
+        let e = a.int_lt(zero, x);
+        let s = to_smtlib(&a, &[e]);
+        assert!(s.contains("|obj[3].field|"));
+    }
+
+    #[test]
+    fn fingerprint_stability() {
+        let h1 = query_fingerprint("(check-sat)");
+        let h2 = query_fingerprint("(check-sat)");
+        assert_eq!(h1, h2);
+        assert_ne!(h1, query_fingerprint("(check-sat) "));
+    }
+
+    #[test]
+    fn odd_width_bv_prints_decimal() {
+        let mut a = TermArena::new();
+        let c = a.bv_const(3, 5);
+        assert_eq!(term_to_string(&a, c), "(_ bv5 3)");
+    }
+}

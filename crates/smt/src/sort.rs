@@ -1,0 +1,133 @@
+//! Sorts (types) of SMT terms.
+
+use std::fmt;
+
+/// The sort of an SMT term.
+///
+/// TPot's encoding (§4.3 of the paper) uses:
+/// - `Bool` for path-condition constraints,
+/// - `BitVec(w)` for all program data (the byte memory model of §4.2 makes
+///   no distinction between pointers and data),
+/// - `Int` for heap addresses and object sizes after the `tpot_bv2int`
+///   conversion performed during pointer resolution, and
+/// - `Array(BV64, BV8)` for memory-object contents, following KLEE's
+///   byte-array object representation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Boolean sort.
+    Bool,
+    /// Fixed-width bitvector; width in bits, `1..=128`.
+    BitVec(u32),
+    /// Mathematical (unbounded) integer. Constants are stored as `i128`;
+    /// the solver rejects computations that would leave `i128` range instead
+    /// of wrapping.
+    Int,
+    /// Array sort with index and element sorts.
+    Array(Box<Sort>, Box<Sort>),
+}
+
+impl Sort {
+    /// Convenience constructor for the byte-array sort used for memory
+    /// object contents: `(Array (_ BitVec 64) (_ BitVec 8))`.
+    pub fn byte_array() -> Sort {
+        Sort::Array(Box::new(Sort::BitVec(64)), Box::new(Sort::BitVec(8)))
+    }
+
+    /// Returns the bitvector width, or `None` for non-bitvector sorts.
+    pub fn bv_width(&self) -> Option<u32> {
+        match self {
+            Sort::BitVec(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// True if this is the boolean sort.
+    pub fn is_bool(&self) -> bool {
+        matches!(self, Sort::Bool)
+    }
+
+    /// True if this is the integer sort.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Sort::Int)
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "Bool"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+            Sort::Int => write!(f, "Int"),
+            Sort::Array(i, e) => write!(f, "(Array {i} {e})"),
+        }
+    }
+}
+
+/// Returns the mask with the low `width` bits set.
+///
+/// Bitvector constants of width `w` are stored in a `u128` with all bits
+/// above `w` clear; every arithmetic operation re-masks through this.
+pub fn bv_mask(width: u32) -> u128 {
+    debug_assert!((1..=128).contains(&width));
+    if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// Sign-extends a `width`-bit value (stored zero-extended in a `u128`) to a
+/// signed `i128`.
+pub fn bv_signed(width: u32, value: u128) -> i128 {
+    debug_assert_eq!(value & !bv_mask(width), 0);
+    if width == 128 {
+        return value as i128;
+    }
+    let sign_bit = 1u128 << (width - 1);
+    if value & sign_bit != 0 {
+        (value | !bv_mask(width)) as i128
+    } else {
+        value as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(bv_mask(1), 1);
+        assert_eq!(bv_mask(8), 0xff);
+        assert_eq!(bv_mask(64), u64::MAX as u128);
+        assert_eq!(bv_mask(128), u128::MAX);
+    }
+
+    #[test]
+    fn signed_interpretation() {
+        assert_eq!(bv_signed(8, 0xff), -1);
+        assert_eq!(bv_signed(8, 0x7f), 127);
+        assert_eq!(bv_signed(8, 0x80), -128);
+        assert_eq!(bv_signed(64, u64::MAX as u128), -1);
+        assert_eq!(bv_signed(1, 1), -1);
+        assert_eq!(bv_signed(1, 0), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::BitVec(64).to_string(), "(_ BitVec 64)");
+        assert_eq!(
+            Sort::byte_array().to_string(),
+            "(Array (_ BitVec 64) (_ BitVec 8))"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Sort::BitVec(32).bv_width(), Some(32));
+        assert_eq!(Sort::Int.bv_width(), None);
+        assert!(Sort::Bool.is_bool());
+        assert!(Sort::Int.is_int());
+        assert!(!Sort::Bool.is_int());
+    }
+}

@@ -1,0 +1,190 @@
+//! Substitution and structural traversal utilities.
+//!
+//! The engine's query simplifier (§4.3, "Constant offsets") rewrites pointer
+//! expressions by substituting resolved offsets into later queries; this
+//! module provides the generic machinery.
+
+use std::collections::HashMap;
+
+use crate::arena::TermArena;
+use crate::term::{Kind, TermId};
+
+/// Rebuilds `t` with every occurrence of a key of `map` replaced by the
+/// associated value. The rebuild goes through the arena builders, so
+/// constant folding applies to rewritten nodes.
+pub fn substitute(arena: &mut TermArena, t: TermId, map: &HashMap<TermId, TermId>) -> TermId {
+    let mut cache: HashMap<TermId, TermId> = HashMap::new();
+    subst_rec(arena, t, map, &mut cache)
+}
+
+fn subst_rec(
+    arena: &mut TermArena,
+    t: TermId,
+    map: &HashMap<TermId, TermId>,
+    cache: &mut HashMap<TermId, TermId>,
+) -> TermId {
+    if let Some(&r) = map.get(&t) {
+        return r;
+    }
+    if let Some(&r) = cache.get(&t) {
+        return r;
+    }
+    let node = arena.term(t).clone();
+    if node.args.is_empty() {
+        cache.insert(t, t);
+        return t;
+    }
+    let new_args: Vec<TermId> = node
+        .args
+        .iter()
+        .map(|&a| subst_rec(arena, a, map, cache))
+        .collect();
+    let r = if new_args == node.args {
+        t
+    } else {
+        rebuild(arena, &node.kind, &new_args)
+    };
+    cache.insert(t, r);
+    r
+}
+
+/// Rebuilds a node of the given kind from (possibly rewritten) arguments via
+/// the folding builders.
+pub fn rebuild(arena: &mut TermArena, kind: &Kind, args: &[TermId]) -> TermId {
+    match kind {
+        Kind::True
+        | Kind::False
+        | Kind::BvConst(_)
+        | Kind::IntConst(_)
+        | Kind::Var(_) => unreachable!("leaf kinds have no arguments"),
+        Kind::Not => arena.not(args[0]),
+        Kind::And => arena.and(args),
+        Kind::Or => arena.or(args),
+        Kind::Xor => arena.xor(args[0], args[1]),
+        Kind::Implies => arena.implies(args[0], args[1]),
+        Kind::Ite => arena.ite(args[0], args[1], args[2]),
+        Kind::Eq => arena.eq(args[0], args[1]),
+        Kind::BvNeg => arena.bv_neg(args[0]),
+        Kind::BvAdd => arena.bv_add(args[0], args[1]),
+        Kind::BvSub => arena.bv_sub(args[0], args[1]),
+        Kind::BvMul => arena.bv_mul(args[0], args[1]),
+        Kind::BvUDiv => arena.bv_udiv(args[0], args[1]),
+        Kind::BvURem => arena.bv_urem(args[0], args[1]),
+        Kind::BvAnd => arena.bv_and(args[0], args[1]),
+        Kind::BvOr => arena.bv_or(args[0], args[1]),
+        Kind::BvXor => arena.bv_xor(args[0], args[1]),
+        Kind::BvNot => arena.bv_not(args[0]),
+        Kind::BvShl => arena.bv_shl(args[0], args[1]),
+        Kind::BvLShr => arena.bv_lshr(args[0], args[1]),
+        Kind::BvAShr => arena.bv_ashr(args[0], args[1]),
+        Kind::BvUlt => arena.bv_ult(args[0], args[1]),
+        Kind::BvUle => arena.bv_ule(args[0], args[1]),
+        Kind::BvSlt => arena.bv_slt(args[0], args[1]),
+        Kind::BvSle => arena.bv_sle(args[0], args[1]),
+        Kind::Concat => arena.concat(args[0], args[1]),
+        Kind::Extract { hi, lo } => arena.extract(args[0], *hi, *lo),
+        Kind::ZeroExt { extra } => arena.zero_ext(args[0], *extra),
+        Kind::SignExt { extra } => arena.sign_ext(args[0], *extra),
+        Kind::IntAdd => arena.int_add(args),
+        Kind::IntSub => arena.int_sub(args[0], args[1]),
+        Kind::IntMul => arena.int_mul(args[0], args[1]),
+        Kind::IntNeg => arena.int_neg(args[0]),
+        Kind::IntLe => arena.int_le(args[0], args[1]),
+        Kind::IntLt => arena.int_lt(args[0], args[1]),
+        Kind::Select => arena.select(args[0], args[1]),
+        Kind::Store => arena.store(args[0], args[1], args[2]),
+        Kind::Apply(f) => arena.apply(*f, args.to_vec()),
+    }
+}
+
+/// Collects every free variable occurring in `t` (as term ids).
+pub fn free_vars(arena: &TermArena, t: TermId) -> Vec<TermId> {
+    let mut out = Vec::new();
+    let mut seen: std::collections::HashSet<TermId> = std::collections::HashSet::new();
+    let mut stack = vec![t];
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur) {
+            continue;
+        }
+        let node = arena.term(cur);
+        if matches!(node.kind, Kind::Var(_)) {
+            out.push(cur);
+        }
+        stack.extend(node.args.iter().copied());
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Counts the number of distinct DAG nodes reachable from `t` (a size metric
+/// for query-complexity statistics).
+pub fn dag_size(arena: &TermArena, t: TermId) -> usize {
+    let mut seen: std::collections::HashSet<TermId> = std::collections::HashSet::new();
+    let mut stack = vec![t];
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur) {
+            continue;
+        }
+        stack.extend(arena.term(cur).args.iter().copied());
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sort;
+
+    #[test]
+    fn substitute_var() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let y = a.var("y", Sort::BitVec(8));
+        let c = a.bv_const(8, 1);
+        let e = a.bv_add(x, c);
+        let mut map = HashMap::new();
+        map.insert(x, y);
+        let r = substitute(&mut a, e, &map);
+        let expect = a.bv_add(y, c);
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn substitute_triggers_folding() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let c2 = a.bv_const(8, 2);
+        let e = a.bv_mul(x, c2);
+        let c3 = a.bv_const(8, 3);
+        let mut map = HashMap::new();
+        map.insert(x, c3);
+        let r = substitute(&mut a, e, &map);
+        assert_eq!(a.term(r).as_bv_const(), Some((8, 6)));
+    }
+
+    #[test]
+    fn free_vars_and_size() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let s = a.int_add2(x, y);
+        let e = a.int_lt(s, x);
+        let fv = free_vars(&a, e);
+        assert_eq!(fv.len(), 2);
+        assert!(dag_size(&a, e) >= 3);
+    }
+
+    #[test]
+    fn substitution_is_simultaneous_not_sequential() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let s = a.int_add2(x, y);
+        // Swap x and y: must not cascade.
+        let mut map = HashMap::new();
+        map.insert(x, y);
+        map.insert(y, x);
+        let r = substitute(&mut a, s, &map);
+        assert_eq!(r, s); // x+y is commutative-normalized, swap is identity
+    }
+}

@@ -1,0 +1,185 @@
+//! Term nodes of the hash-consed DAG.
+
+use crate::arena::FuncId;
+use crate::sort::Sort;
+
+/// Index of a term in a [`crate::TermArena`].
+///
+/// Because terms are hash-consed, `TermId` equality is structural equality of
+/// the underlying terms (within one arena).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The operator / leaf kind of a term node.
+///
+/// N-ary operators (`And`, `Or`, `IntAdd`, …) keep their operands in the
+/// node's argument list; fixed-arity operators document their arity here.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Kind {
+    // -- Leaves --------------------------------------------------------
+    /// Boolean constant `true`.
+    True,
+    /// Boolean constant `false`.
+    False,
+    /// Bitvector constant; the width lives in the node's sort.
+    BvConst(u128),
+    /// Integer constant.
+    IntConst(i128),
+    /// Free variable; the `u32` is an arena-level symbol index
+    /// (see [`crate::TermArena::var`]). The name is stored in the arena.
+    Var(u32),
+
+    // -- Core / Boolean -------------------------------------------------
+    /// Logical negation (1 arg).
+    Not,
+    /// N-ary conjunction.
+    And,
+    /// N-ary disjunction.
+    Or,
+    /// Boolean exclusive or (2 args).
+    Xor,
+    /// Implication (2 args).
+    Implies,
+    /// If-then-else (3 args: cond, then, else); then/else share any sort.
+    Ite,
+    /// Equality (2 args of equal sort).
+    Eq,
+
+    // -- Bitvector ------------------------------------------------------
+    /// Two's-complement negation (1 arg).
+    BvNeg,
+    /// Addition (2 args).
+    BvAdd,
+    /// Subtraction (2 args).
+    BvSub,
+    /// Multiplication (2 args).
+    BvMul,
+    /// Unsigned division (2 args); division by zero yields all-ones, as in
+    /// SMT-LIB.
+    BvUDiv,
+    /// Unsigned remainder (2 args); remainder by zero yields the dividend.
+    BvURem,
+    /// Bitwise and/or/xor/not.
+    BvAnd,
+    /// Bitwise or (2 args).
+    BvOr,
+    /// Bitwise xor (2 args).
+    BvXor,
+    /// Bitwise not (1 arg).
+    BvNot,
+    /// Shift left (2 args); shifts ≥ width yield zero.
+    BvShl,
+    /// Logical shift right (2 args).
+    BvLShr,
+    /// Arithmetic shift right (2 args).
+    BvAShr,
+    /// Unsigned less-than (2 args, Bool result).
+    BvUlt,
+    /// Unsigned less-or-equal.
+    BvUle,
+    /// Signed less-than.
+    BvSlt,
+    /// Signed less-or-equal.
+    BvSle,
+    /// Concatenation (2 args); arg0 becomes the high bits, as in SMT-LIB.
+    Concat,
+    /// Bit extraction; inclusive bit range `[lo, hi]` of arg0.
+    Extract { hi: u32, lo: u32 },
+    /// Zero extension by `extra` bits (1 arg).
+    ZeroExt { extra: u32 },
+    /// Sign extension by `extra` bits (1 arg).
+    SignExt { extra: u32 },
+
+    // -- Integer --------------------------------------------------------
+    /// N-ary integer addition.
+    IntAdd,
+    /// Integer subtraction (2 args).
+    IntSub,
+    /// Integer multiplication (2 args). The solver only supports linear
+    /// occurrences (at least one side a constant at solve time).
+    IntMul,
+    /// Integer negation (1 arg).
+    IntNeg,
+    /// `<=` over integers (2 args, Bool result).
+    IntLe,
+    /// `<` over integers.
+    IntLt,
+
+    // -- Arrays ----------------------------------------------------------
+    /// `(select a i)` (2 args).
+    Select,
+    /// `(store a i v)` (3 args).
+    Store,
+
+    // -- Uninterpreted functions -----------------------------------------
+    /// Application of the declared function `FuncId` to the argument list.
+    ///
+    /// TPot uses two UFs: `tpot_bv2int : (_ BitVec 64) -> Int` (the
+    /// overflow-free bitvector→integer conversion of §4.3) and
+    /// `heap_safe : Int -> Int` (the lazy-materialization safety map of
+    /// §4.2).
+    Apply(FuncId),
+}
+
+impl Kind {
+    /// True for leaf kinds (no arguments).
+    pub fn is_leaf(&self) -> bool {
+        matches!(
+            self,
+            Kind::True | Kind::False | Kind::BvConst(_) | Kind::IntConst(_) | Kind::Var(_)
+        )
+    }
+}
+
+/// A term node: kind, argument list, and sort.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Term {
+    /// Operator or leaf kind.
+    pub kind: Kind,
+    /// Argument term ids (empty for leaves).
+    pub args: Vec<TermId>,
+    /// Sort of the term.
+    pub sort: Sort,
+}
+
+impl Term {
+    /// Bitvector constant value if this node is a `BvConst`.
+    pub fn as_bv_const(&self) -> Option<(u32, u128)> {
+        match (&self.kind, &self.sort) {
+            (Kind::BvConst(v), Sort::BitVec(w)) => Some((*w, *v)),
+            _ => None,
+        }
+    }
+
+    /// Integer constant value if this node is an `IntConst`.
+    pub fn as_int_const(&self) -> Option<i128> {
+        match &self.kind {
+            Kind::IntConst(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Boolean constant value if this node is `True`/`False`.
+    pub fn as_bool_const(&self) -> Option<bool> {
+        match &self.kind {
+            Kind::True => Some(true),
+            Kind::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// True if the node is any constant leaf.
+    pub fn is_const(&self) -> bool {
+        matches!(
+            self.kind,
+            Kind::True | Kind::False | Kind::BvConst(_) | Kind::IntConst(_)
+        )
+    }
+}

@@ -1,0 +1,32 @@
+//! Solver error type.
+
+use std::fmt;
+
+/// Errors the solver can report.
+///
+/// These are *errors*, distinct from `Unknown` results: they indicate the
+/// query left the fragment the solver supports, or exact arithmetic left
+/// `i128` range. TPot's encoder never produces such queries; hitting one is a
+/// bug in the caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// Exact rational/integer arithmetic overflowed `i128`.
+    Overflow,
+    /// The query uses a construct outside the supported fragment.
+    Unsupported(String),
+    /// An integer atom is not linear (e.g. `x * y` with both sides
+    /// symbolic).
+    NonLinear(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Overflow => write!(f, "exact arithmetic overflow"),
+            SolverError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            SolverError::NonLinear(m) => write!(f, "non-linear integer term: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}

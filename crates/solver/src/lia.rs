@@ -1,0 +1,303 @@
+//! Linear *integer* arithmetic on top of the rational simplex.
+//!
+//! Solves conjunctions of normalized `≤`-atoms ([`LeAtom`]) over integer
+//! variables: the LP relaxation runs on the [`Simplex`]; fractional solutions
+//! trigger branch-and-bound. This is the decision procedure behind TPot's
+//! integer-encoded pointer-resolution queries (§4.3): heap base addresses and
+//! object sizes become integer variables here instead of 64-bit bitvectors,
+//! avoiding bit-blasting.
+
+use std::collections::HashMap;
+
+use tpot_smt::TermId;
+
+use crate::error::SolverError;
+use crate::linexpr::LeAtom;
+use crate::rational::Rat;
+use crate::simplex::Simplex;
+
+/// Outcome of an integer-feasibility check.
+#[derive(Clone, Debug)]
+pub enum LiaOutcome {
+    /// Satisfiable with the given integer assignment.
+    Sat(HashMap<TermId, i128>),
+    /// Unsatisfiable. The payload is a subset of input atom indices that is
+    /// jointly infeasible (a conflict core); it may be the full set.
+    Unsat(Vec<usize>),
+    /// Branch-and-bound exceeded its node budget.
+    Unknown,
+}
+
+/// Configuration for the LIA engine.
+#[derive(Clone, Debug)]
+pub struct LiaConfig {
+    /// Maximum number of branch-and-bound nodes before giving up.
+    pub max_nodes: u64,
+    /// Branch on the lowest-index fractional variable (`true`) or the most
+    /// fractional one (`false`) — a portfolio diversification knob.
+    pub branch_lowest_index: bool,
+}
+
+impl Default for LiaConfig {
+    fn default() -> Self {
+        LiaConfig {
+            max_nodes: 10_000,
+            branch_lowest_index: true,
+        }
+    }
+}
+
+/// Checks integer feasibility of the conjunction of `atoms`.
+///
+/// Atom `i`'s tag in conflict cores is its index in the slice.
+pub fn solve_lia(atoms: &[LeAtom], config: &LiaConfig) -> Result<LiaOutcome, SolverError> {
+    // Map term-level variables to simplex variables.
+    let mut var_map: HashMap<TermId, usize> = HashMap::new();
+    let mut rev: Vec<TermId> = Vec::new();
+    let mut sx = Simplex::new();
+    for atom in atoms {
+        for &v in atom.expr.coeffs.keys() {
+            var_map.entry(v).or_insert_with(|| {
+                rev.push(v);
+                sx.new_var()
+            });
+        }
+    }
+    // Assert each atom: single unit-coefficient variables become direct
+    // bounds; general forms get a slack row.
+    for (i, atom) in atoms.iter().enumerate() {
+        if let Some(t) = atom.as_trivial() {
+            if !t {
+                return Ok(LiaOutcome::Unsat(vec![i]));
+            }
+            continue;
+        }
+        let conflict = if atom.expr.coeffs.len() == 1 {
+            let (&v, &c) = atom.expr.coeffs.iter().next().unwrap();
+            let sv = var_map[&v];
+            let bound = Rat::new(atom.bound, c)?;
+            if c > 0 {
+                sx.assert_upper(sv, bound, Some(i))?
+            } else {
+                sx.assert_lower(sv, bound, Some(i))?
+            }
+        } else {
+            let combo: Vec<(usize, Rat)> = atom
+                .expr
+                .coeffs
+                .iter()
+                .map(|(&v, &c)| (var_map[&v], Rat::int(c)))
+                .collect();
+            let slack = sx.add_row(&combo)?;
+            sx.assert_upper(slack, Rat::int(atom.bound), Some(i))?
+        };
+        if let Some(c) = conflict {
+            return Ok(finish_conflict(c, atoms.len()));
+        }
+    }
+    if let Some(c) = sx.check()? {
+        return Ok(finish_conflict(c, atoms.len()));
+    }
+    branch_and_bound(sx, &var_map, config, atoms.len())
+}
+
+/// Iterative depth-first branch-and-bound over simplex snapshots.
+///
+/// Branch bounds are untagged, so an `Unsat` produced here reports the full
+/// atom set as its core (the rational relaxation alone was feasible; no
+/// smaller certificate is available without cut generation).
+fn branch_and_bound(
+    sx: Simplex,
+    var_map: &HashMap<TermId, usize>,
+    config: &LiaConfig,
+    n_atoms: usize,
+) -> Result<LiaOutcome, SolverError> {
+    let mut stack: Vec<Simplex> = vec![sx];
+    let mut nodes = 0u64;
+    while let Some(mut s) = stack.pop() {
+        nodes += 1;
+        if nodes > config.max_nodes {
+            return Ok(LiaOutcome::Unknown);
+        }
+        let pick = pick_fractional(&s, var_map, config);
+        let Some((v, val)) = pick else {
+            let mut model = HashMap::new();
+            for (&t, &sv) in var_map {
+                model.insert(t, s.value(sv).as_integer().expect("integral"));
+            }
+            return Ok(LiaOutcome::Sat(model));
+        };
+        let mut lo = s.clone();
+        if lo.assert_upper(v, Rat::int(val.floor()), None)?.is_none() && lo.check()?.is_none() {
+            stack.push(lo);
+        }
+        if s.assert_lower(v, Rat::int(val.ceil()), None)?.is_none() && s.check()?.is_none() {
+            stack.push(s);
+        }
+    }
+    Ok(LiaOutcome::Unsat((0..n_atoms).collect()))
+}
+
+fn pick_fractional(
+    s: &Simplex,
+    var_map: &HashMap<TermId, usize>,
+    config: &LiaConfig,
+) -> Option<(usize, Rat)> {
+    let mut pick: Option<(usize, Rat)> = None;
+    for &v in var_map.values() {
+        let val = s.value(v);
+        if val.is_integer() {
+            continue;
+        }
+        match (&pick, config.branch_lowest_index) {
+            (None, _) => pick = Some((v, val)),
+            (Some((pv, _)), true) => {
+                if v < *pv {
+                    pick = Some((v, val));
+                }
+            }
+            (Some((_, pval)), false) => {
+                let frac =
+                    |r: &Rat| r.sub(&Rat::int(r.floor())).unwrap_or(Rat::ZERO);
+                if frac(&val) > frac(pval) {
+                    pick = Some((v, val));
+                }
+            }
+        }
+    }
+    pick
+}
+
+fn finish_conflict(c: crate::simplex::Conflict, n_atoms: usize) -> LiaOutcome {
+    if c.tainted {
+        LiaOutcome::Unsat((0..n_atoms).collect())
+    } else {
+        LiaOutcome::Unsat(c.tags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+    use tpot_smt::{Sort, TermArena};
+
+    fn atom(lhs: LinExpr, bound: i128) -> LeAtom {
+        LeAtom { expr: lhs, bound }
+    }
+
+    fn vars(n: usize) -> (TermArena, Vec<TermId>) {
+        let mut a = TermArena::new();
+        let vs = (0..n)
+            .map(|i| a.var(&format!("x{i}"), Sort::Int))
+            .collect();
+        (a, vs)
+    }
+
+    #[test]
+    fn sat_simple() {
+        let (_a, v) = vars(2);
+        // x0 + x1 <= 5, -x0 <= -3 (x0 >= 3), -x1 <= -1 (x1 >= 1)
+        let mut e01 = LinExpr::var(v[0]);
+        e01 = e01.add(&LinExpr::var(v[1])).unwrap();
+        let atoms = vec![
+            atom(e01, 5),
+            atom(LinExpr::var(v[0]).neg().unwrap(), -3),
+            atom(LinExpr::var(v[1]).neg().unwrap(), -1),
+        ];
+        match solve_lia(&atoms, &LiaConfig::default()).unwrap() {
+            LiaOutcome::Sat(m) => {
+                let x0 = m[&v[0]];
+                let x1 = m[&v[1]];
+                assert!(x0 >= 3 && x1 >= 1 && x0 + x1 <= 5);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_with_core() {
+        let (_a, v) = vars(2);
+        let mut e01 = LinExpr::var(v[0]);
+        e01 = e01.add(&LinExpr::var(v[1])).unwrap();
+        let atoms = vec![
+            atom(e01, 3),                                  // x0+x1 <= 3
+            atom(LinExpr::var(v[0]).neg().unwrap(), -2),   // x0 >= 2
+            atom(LinExpr::var(v[1]).neg().unwrap(), -2),   // x1 >= 2
+        ];
+        match solve_lia(&atoms, &LiaConfig::default()).unwrap() {
+            LiaOutcome::Unsat(core) => assert_eq!(core.len(), 3),
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrality_forces_branching() {
+        let (_a, v) = vars(1);
+        // 2x <= 5 and 2x >= 5 has rational solution 5/2 but no integer one.
+        let two_x = LinExpr::var(v[0]).scale(2).unwrap();
+        let atoms = vec![atom(two_x.clone(), 5), atom(two_x.neg().unwrap(), -5)];
+        match solve_lia(&atoms, &LiaConfig::default()).unwrap() {
+            LiaOutcome::Unsat(_) => {}
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrality_sat_after_branch() {
+        let (_a, v) = vars(2);
+        // 2x + 2y <= 5, 2x + 2y >= 3 → x + y must round to 2 (or 1.5..2.5
+        // range contains 2).
+        let mut e = LinExpr::var(v[0]).scale(2).unwrap();
+        e = e.add(&LinExpr::var(v[1]).scale(2).unwrap()).unwrap();
+        let atoms = vec![atom(e.clone(), 5), atom(e.neg().unwrap(), -3)];
+        match solve_lia(&atoms, &LiaConfig::default()).unwrap() {
+            LiaOutcome::Sat(m) => {
+                let s = 2 * (m[&v[0]] + m[&v[1]]);
+                assert!((3..=5).contains(&s));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_sat() {
+        match solve_lia(&[], &LiaConfig::default()).unwrap() {
+            LiaOutcome::Sat(m) => assert!(m.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivially_false_atom() {
+        let atoms = vec![atom(LinExpr::constant(0), -1)];
+        match solve_lia(&atoms, &LiaConfig::default()).unwrap() {
+            LiaOutcome::Unsat(core) => assert_eq!(core, vec![0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn heap_layout_style_query() {
+        // Typical TPot pointer-resolution shape: base1 + 4096 <= base2,
+        // p = base1 + off, 0 <= off < 4096, and ask p >= base2 (must be
+        // unsat).
+        let (_a, v) = vars(3); // base1, base2, p
+        let b1 = LinExpr::var(v[0]);
+        let b2 = LinExpr::var(v[1]);
+        let p = LinExpr::var(v[2]);
+        let mut atoms = Vec::new();
+        // base1 + 4096 - base2 <= 0
+        atoms.push(atom(b1.add(&b2.neg().unwrap()).unwrap(), -4096));
+        // p - base1 >= 0  →  base1 - p <= 0
+        atoms.push(atom(b1.add(&p.neg().unwrap()).unwrap(), 0));
+        // p - base1 <= 4095
+        atoms.push(atom(p.add(&b1.neg().unwrap()).unwrap(), 4095));
+        // p >= base2 → base2 - p <= 0
+        atoms.push(atom(b2.add(&p.neg().unwrap()).unwrap(), 0));
+        match solve_lia(&atoms, &LiaConfig::default()).unwrap() {
+            LiaOutcome::Unsat(_) => {}
+            other => panic!("expected unsat, got {other:?}"),
+        }
+    }
+}

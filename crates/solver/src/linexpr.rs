@@ -1,0 +1,227 @@
+//! Linear integer expressions and atom extraction.
+
+use std::collections::BTreeMap;
+
+use tpot_smt::{Kind, TermArena, TermId};
+
+use crate::error::SolverError;
+
+/// A linear expression `Σ cᵢ·xᵢ + k` over integer variables.
+///
+/// Variables are identified by their (Int-sorted) [`TermId`] — after
+/// preprocessing, every integer leaf is a plain variable.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Variable → coefficient (no zero coefficients stored).
+    pub coeffs: BTreeMap<TermId, i128>,
+    /// Constant term.
+    pub konst: i128,
+}
+
+impl LinExpr {
+    /// The constant expression `k`.
+    pub fn constant(k: i128) -> LinExpr {
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            konst: k,
+        }
+    }
+
+    /// The single-variable expression `x`.
+    pub fn var(x: TermId) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(x, 1);
+        LinExpr { coeffs, konst: 0 }
+    }
+
+    /// True if the expression has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    fn add_term(&mut self, x: TermId, c: i128) -> Result<(), SolverError> {
+        let e = self.coeffs.entry(x).or_insert(0);
+        *e = e.checked_add(c).ok_or(SolverError::Overflow)?;
+        if *e == 0 {
+            self.coeffs.remove(&x);
+        }
+        Ok(())
+    }
+
+    /// `self + o`.
+    pub fn add(&self, o: &LinExpr) -> Result<LinExpr, SolverError> {
+        let mut r = self.clone();
+        for (&x, &c) in &o.coeffs {
+            r.add_term(x, c)?;
+        }
+        r.konst = r.konst.checked_add(o.konst).ok_or(SolverError::Overflow)?;
+        Ok(r)
+    }
+
+    /// `self * c`.
+    pub fn scale(&self, c: i128) -> Result<LinExpr, SolverError> {
+        let mut r = LinExpr::constant(self.konst.checked_mul(c).ok_or(SolverError::Overflow)?);
+        for (&x, &c0) in &self.coeffs {
+            r.add_term(x, c0.checked_mul(c).ok_or(SolverError::Overflow)?)?;
+        }
+        Ok(r)
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Result<LinExpr, SolverError> {
+        self.scale(-1)
+    }
+}
+
+/// Extracts a linear expression from an integer-sorted term.
+///
+/// After preprocessing, integer terms contain only `IntAdd`, `IntMul` (with a
+/// constant side), `IntNeg`, `IntConst`, and `Var`. Anything else is reported
+/// as [`SolverError::NonLinear`] / [`SolverError::Unsupported`].
+pub fn extract_linear(arena: &TermArena, t: TermId) -> Result<LinExpr, SolverError> {
+    let node = arena.term(t);
+    match &node.kind {
+        Kind::IntConst(v) => Ok(LinExpr::constant(*v)),
+        Kind::Var(_) => Ok(LinExpr::var(t)),
+        Kind::IntNeg => extract_linear(arena, node.args[0])?.neg(),
+        Kind::IntAdd => {
+            let mut acc = LinExpr::constant(0);
+            for &a in &node.args {
+                acc = acc.add(&extract_linear(arena, a)?)?;
+            }
+            Ok(acc)
+        }
+        Kind::IntSub => {
+            let l = extract_linear(arena, node.args[0])?;
+            let r = extract_linear(arena, node.args[1])?;
+            l.add(&r.neg()?)
+        }
+        Kind::IntMul => {
+            let l = extract_linear(arena, node.args[0])?;
+            let r = extract_linear(arena, node.args[1])?;
+            if let Some(c) = constant_of(&l) {
+                r.scale(c)
+            } else if let Some(c) = constant_of(&r) {
+                l.scale(c)
+            } else {
+                Err(SolverError::NonLinear(format!("term {t:?}")))
+            }
+        }
+        other => Err(SolverError::Unsupported(format!(
+            "integer term kind {other:?} after preprocessing"
+        ))),
+    }
+}
+
+fn constant_of(e: &LinExpr) -> Option<i128> {
+    if e.is_constant() {
+        Some(e.konst)
+    } else {
+        None
+    }
+}
+
+/// A normalized integer atom `Σ cᵢ·xᵢ ≤ bound`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeAtom {
+    /// Left-hand linear form, constant-free (constant folded into `bound`).
+    pub expr: LinExpr,
+    /// Right-hand constant bound.
+    pub bound: i128,
+}
+
+impl LeAtom {
+    /// Builds `lhs ≤ rhs` in normalized form.
+    pub fn new(lhs: &LinExpr, rhs: &LinExpr) -> Result<LeAtom, SolverError> {
+        let mut e = lhs.add(&rhs.neg()?)?;
+        let bound = e.konst.checked_neg().ok_or(SolverError::Overflow)?;
+        e.konst = 0;
+        Ok(LeAtom { expr: e, bound })
+    }
+
+    /// The negation `¬(e ≤ b)` ≡ `e ≥ b+1` ≡ `-e ≤ -b-1` (integers).
+    pub fn negate(&self) -> Result<LeAtom, SolverError> {
+        Ok(LeAtom {
+            expr: self.expr.neg()?,
+            bound: self
+                .bound
+                .checked_add(1)
+                .and_then(i128::checked_neg)
+                .ok_or(SolverError::Overflow)?,
+        })
+    }
+
+    /// If the atom has no variables, its truth value.
+    pub fn as_trivial(&self) -> Option<bool> {
+        if self.expr.is_constant() {
+            Some(self.expr.konst <= self.bound)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_smt::Sort;
+
+    #[test]
+    fn extract_simple() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let c3 = a.int_const(3);
+        let t1 = a.int_mul(c3, x);
+        let t = a.int_add(&[t1, y, c3]);
+        let e = extract_linear(&a, t).unwrap();
+        assert_eq!(e.konst, 3);
+        assert_eq!(e.coeffs.get(&x), Some(&3));
+        assert_eq!(e.coeffs.get(&y), Some(&1));
+    }
+
+    #[test]
+    fn extract_cancellation() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let nx = a.int_neg(x);
+        let t = a.int_add(&[x, nx]);
+        let e = extract_linear(&a, t).unwrap();
+        assert!(e.is_constant());
+        assert_eq!(e.konst, 0);
+    }
+
+    #[test]
+    fn nonlinear_rejected() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let t = a.int_mul(x, y);
+        assert!(matches!(
+            extract_linear(&a, t),
+            Err(SolverError::NonLinear(_))
+        ));
+    }
+
+    #[test]
+    fn atom_normalization_and_negation() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let lhs = LinExpr::var(x);
+        let rhs = LinExpr::constant(5);
+        let atom = LeAtom::new(&lhs, &rhs).unwrap(); // x <= 5
+        assert_eq!(atom.bound, 5);
+        let neg = atom.negate().unwrap(); // -x <= -6, i.e. x >= 6
+        assert_eq!(neg.bound, -6);
+        assert_eq!(neg.expr.coeffs.get(&x), Some(&-1));
+    }
+
+    #[test]
+    fn trivial_atoms() {
+        let lhs = LinExpr::constant(3);
+        let rhs = LinExpr::constant(5);
+        let atom = LeAtom::new(&lhs, &rhs).unwrap();
+        assert_eq!(atom.as_trivial(), Some(true));
+        assert_eq!(atom.negate().unwrap().as_trivial(), Some(false));
+    }
+}

@@ -1,0 +1,426 @@
+//! Query preprocessing: array elimination, Ackermann expansion, integer
+//! purification.
+//!
+//! TPot's encoding keeps queries quantifier-free (§4.3), which makes eager
+//! elimination of the non-propositional theories sound and cheap:
+//!
+//! 1. **Arrays**: `select`-over-`store` chains are rewritten to `ite`
+//!    cascades; the remaining `select`s over base arrays become fresh
+//!    variables with pairwise congruence constraints (Ackermann reduction
+//!    for the theory of arrays without extensionality).
+//! 2. **Uninterpreted functions** (`tpot_bv2int`, `heap_safe`): each
+//!    application becomes a fresh variable; pairwise congruence axioms
+//!    preserve functional consistency.
+//! 3. **Integer `ite`** purification and **integer relation** lowering
+//!    (`a = b` → `a ≤ b ∧ b ≤ a`; `a < b` → `a+1 ≤ b`), so the LIA engine
+//!    only ever sees `≤`-atoms.
+
+use std::collections::HashMap;
+
+use tpot_smt::subst::rebuild;
+use tpot_smt::{FuncId, Kind, Sort, TermArena, TermId};
+
+use crate::error::SolverError;
+
+/// Output of preprocessing: rewritten assertions plus the bookkeeping needed
+/// to reconstruct array and function interpretations in models.
+#[derive(Default, Debug)]
+pub struct PreprocessOutput {
+    /// The rewritten assertion set (original assertions plus instantiated
+    /// congruence axioms).
+    pub assertions: Vec<TermId>,
+    /// For each base array variable: the `(index term, selected-value
+    /// variable)` pairs introduced by Ackermann reduction.
+    pub array_selects: Vec<(TermId, Vec<(TermId, TermId)>)>,
+    /// For each uninterpreted function: the `(argument terms, result
+    /// variable)` pairs introduced by Ackermann expansion.
+    pub uf_apps: Vec<(FuncId, Vec<(Vec<TermId>, TermId)>)>,
+}
+
+/// Runs the full preprocessing pipeline.
+pub fn preprocess(
+    arena: &mut TermArena,
+    assertions: &[TermId],
+) -> Result<PreprocessOutput, SolverError> {
+    let mut out = PreprocessOutput::default();
+    // Pass 1: push selects through stores.
+    let mut cache = HashMap::new();
+    let mut cur: Vec<TermId> = Vec::with_capacity(assertions.len());
+    for &t in assertions {
+        cur.push(push_selects(arena, t, &mut cache)?);
+    }
+    // Pass 2: Ackermannize base-array selects.
+    let mut sel_map: HashMap<(TermId, TermId), TermId> = HashMap::new();
+    let mut cache2 = HashMap::new();
+    let mut next: Vec<TermId> = Vec::new();
+    for &t in &cur {
+        next.push(ackermannize_selects(arena, t, &mut sel_map, &mut cache2)?);
+    }
+    cur = next;
+    // Group by array and instantiate congruence.
+    let mut per_array: HashMap<TermId, Vec<(TermId, TermId)>> = HashMap::new();
+    for (&(arr, idx), &var) in &sel_map {
+        per_array.entry(arr).or_default().push((idx, var));
+    }
+    for (arr, mut sels) in per_array {
+        sels.sort_unstable();
+        for i in 0..sels.len() {
+            for j in (i + 1)..sels.len() {
+                let (i1, v1) = sels[i];
+                let (i2, v2) = sels[j];
+                let guard = arena.eq(i1, i2);
+                let concl = arena.eq(v1, v2);
+                let axiom = arena.implies(guard, concl);
+                cur.push(axiom);
+            }
+        }
+        out.array_selects.push((arr, sels));
+    }
+    out.array_selects.sort_by_key(|(a, _)| *a);
+    // Pass 3: Ackermannize UF applications.
+    let mut app_map: HashMap<TermId, TermId> = HashMap::new();
+    let mut app_info: HashMap<FuncId, Vec<(Vec<TermId>, TermId)>> = HashMap::new();
+    let mut cache3 = HashMap::new();
+    let mut next: Vec<TermId> = Vec::new();
+    for &t in &cur {
+        next.push(ackermannize_ufs(
+            arena,
+            t,
+            &mut app_map,
+            &mut app_info,
+            &mut cache3,
+        )?);
+    }
+    cur = next;
+    let mut funcs: Vec<FuncId> = app_info.keys().copied().collect();
+    funcs.sort_by_key(|f| f.0);
+    for f in funcs {
+        let apps = &app_info[&f];
+        for i in 0..apps.len() {
+            for j in (i + 1)..apps.len() {
+                let (args1, r1) = &apps[i];
+                let (args2, r2) = &apps[j];
+                let eqs: Vec<TermId> = args1
+                    .iter()
+                    .zip(args2.iter())
+                    .map(|(&a, &b)| arena.eq(a, b))
+                    .collect();
+                let guard = arena.and(&eqs);
+                let concl = arena.eq(*r1, *r2);
+                let axiom = arena.implies(guard, concl);
+                cur.push(axiom);
+            }
+        }
+        out.uf_apps.push((f, apps.clone()));
+    }
+    // Pass 4: purify integer ites, lower integer relations.
+    let mut cache4 = HashMap::new();
+    let mut side: Vec<TermId> = Vec::new();
+    let mut next: Vec<TermId> = Vec::new();
+    for &t in &cur {
+        next.push(lower_ints(arena, t, &mut cache4, &mut side)?);
+    }
+    cur = next;
+    cur.extend(side);
+    out.assertions = cur;
+    Ok(out)
+}
+
+/// Rewrites `select(store(a,i,v), j)` into `ite(i=j, v, select(a,j))`,
+/// bottom-up.
+fn push_selects(
+    arena: &mut TermArena,
+    t: TermId,
+    cache: &mut HashMap<TermId, TermId>,
+) -> Result<TermId, SolverError> {
+    if let Some(&r) = cache.get(&t) {
+        return Ok(r);
+    }
+    let node = arena.term(t).clone();
+    let mut args = Vec::with_capacity(node.args.len());
+    for &a in &node.args {
+        args.push(push_selects(arena, a, cache)?);
+    }
+    let r = if node.kind == Kind::Select {
+        select_through(arena, args[0], args[1])?
+    } else if args == node.args {
+        t
+    } else {
+        rebuild(arena, &node.kind, &args)
+    };
+    cache.insert(t, r);
+    Ok(r)
+}
+
+fn select_through(
+    arena: &mut TermArena,
+    arr: TermId,
+    idx: TermId,
+) -> Result<TermId, SolverError> {
+    let node = arena.term(arr).clone();
+    match node.kind {
+        Kind::Store => {
+            let base = node.args[0];
+            let i = node.args[1];
+            let v = node.args[2];
+            let hit = arena.eq(i, idx);
+            let rest = select_through(arena, base, idx)?;
+            Ok(arena.ite(hit, v, rest))
+        }
+        Kind::Var(_) => Ok(arena.select(arr, idx)),
+        Kind::Ite => {
+            let c = node.args[0];
+            let t = select_through(arena, node.args[1], idx)?;
+            let e = select_through(arena, node.args[2], idx)?;
+            Ok(arena.ite(c, t, e))
+        }
+        other => Err(SolverError::Unsupported(format!(
+            "select over array term kind {other:?}"
+        ))),
+    }
+}
+
+/// Replaces `select(A, i)` (A a base array variable) by a fresh variable.
+fn ackermannize_selects(
+    arena: &mut TermArena,
+    t: TermId,
+    sel_map: &mut HashMap<(TermId, TermId), TermId>,
+    cache: &mut HashMap<TermId, TermId>,
+) -> Result<TermId, SolverError> {
+    if let Some(&r) = cache.get(&t) {
+        return Ok(r);
+    }
+    let node = arena.term(t).clone();
+    let mut args = Vec::with_capacity(node.args.len());
+    for &a in &node.args {
+        args.push(ackermannize_selects(arena, a, sel_map, cache)?);
+    }
+    let r = if node.kind == Kind::Select {
+        let (arr, idx) = (args[0], args[1]);
+        debug_assert!(matches!(arena.term(arr).kind, Kind::Var(_)));
+        if let Some(&v) = sel_map.get(&(arr, idx)) {
+            v
+        } else {
+            let esort = match arena.sort(arr) {
+                Sort::Array(_, e) => (**e).clone(),
+                s => {
+                    return Err(SolverError::Unsupported(format!(
+                        "select on non-array {s}"
+                    )))
+                }
+            };
+            let name = format!("sel!{}!{}", arr.0, idx.0);
+            let v = arena.var(&name, esort);
+            sel_map.insert((arr, idx), v);
+            v
+        }
+    } else if args == node.args {
+        t
+    } else {
+        rebuild(arena, &node.kind, &args)
+    };
+    cache.insert(t, r);
+    Ok(r)
+}
+
+/// Replaces `f(args…)` applications by fresh variables.
+fn ackermannize_ufs(
+    arena: &mut TermArena,
+    t: TermId,
+    app_map: &mut HashMap<TermId, TermId>,
+    app_info: &mut HashMap<FuncId, Vec<(Vec<TermId>, TermId)>>,
+    cache: &mut HashMap<TermId, TermId>,
+) -> Result<TermId, SolverError> {
+    if let Some(&r) = cache.get(&t) {
+        return Ok(r);
+    }
+    let node = arena.term(t).clone();
+    let mut args = Vec::with_capacity(node.args.len());
+    for &a in &node.args {
+        args.push(ackermannize_ufs(arena, a, app_map, app_info, cache)?);
+    }
+    let r = if let Kind::Apply(f) = node.kind {
+        let rebuilt = arena.apply(f, args.clone());
+        if let Some(&v) = app_map.get(&rebuilt) {
+            v
+        } else {
+            let ret = arena.func(f).ret.clone();
+            let fname = arena.func(f).name.clone();
+            let v = arena.fresh_var(&format!("uf!{fname}"), ret);
+            app_map.insert(rebuilt, v);
+            app_info.entry(f).or_default().push((args, v));
+            v
+        }
+    } else if args == node.args {
+        t
+    } else {
+        rebuild(arena, &node.kind, &args)
+    };
+    cache.insert(t, r);
+    Ok(r)
+}
+
+/// Purifies integer `ite`s and lowers integer relations to `≤`-atoms.
+fn lower_ints(
+    arena: &mut TermArena,
+    t: TermId,
+    cache: &mut HashMap<TermId, TermId>,
+    side: &mut Vec<TermId>,
+) -> Result<TermId, SolverError> {
+    if let Some(&r) = cache.get(&t) {
+        return Ok(r);
+    }
+    let node = arena.term(t).clone();
+    let mut args = Vec::with_capacity(node.args.len());
+    for &a in &node.args {
+        args.push(lower_ints(arena, a, cache, side)?);
+    }
+    let r = match &node.kind {
+        Kind::Ite if node.sort == Sort::Int => {
+            let v = arena.fresh_var("k!int", Sort::Int);
+            let eq_t = arena.eq(v, args[1]);
+            let eq_t = lower_int_eq(arena, eq_t);
+            let eq_e = arena.eq(v, args[2]);
+            let eq_e = lower_int_eq(arena, eq_e);
+            let c = args[0];
+            let imp1 = arena.implies(c, eq_t);
+            let nc = arena.not(c);
+            let imp2 = arena.implies(nc, eq_e);
+            side.push(imp1);
+            side.push(imp2);
+            v
+        }
+        Kind::Eq if arena.sort(args[0]).is_int() => {
+            let e = arena.eq(args[0], args[1]);
+            lower_int_eq(arena, e)
+        }
+        Kind::IntLt => {
+            let one = arena.int_const(1);
+            let lhs1 = arena.int_add2(args[0], one);
+            arena.int_le(lhs1, args[1])
+        }
+        _ => {
+            if args == node.args {
+                t
+            } else {
+                rebuild(arena, &node.kind, &args)
+            }
+        }
+    };
+    cache.insert(t, r);
+    Ok(r)
+}
+
+/// Lowers an integer equality term to a conjunction of two `≤`-atoms.
+fn lower_int_eq(arena: &mut TermArena, e: TermId) -> TermId {
+    let node = arena.term(e).clone();
+    if node.kind != Kind::Eq || !arena.sort(node.args[0]).is_int() {
+        return e;
+    }
+    let (a, b) = (node.args[0], node.args[1]);
+    let le1 = arena.int_le(a, b);
+    let le2 = arena.int_le(b, a);
+    arena.and2(le1, le2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_smt::print::term_to_string;
+
+    #[test]
+    fn select_store_becomes_ite() {
+        let mut a = TermArena::new();
+        let arr = a.var("m", Sort::byte_array());
+        let i = a.var("i", Sort::BitVec(64));
+        let j = a.var("j", Sort::BitVec(64));
+        let v = a.bv_const(8, 7);
+        let st = a.store(arr, i, v);
+        let sel = a.select(st, j);
+        let zero = a.bv_const(8, 0);
+        let asrt = a.eq(sel, zero);
+        let out = preprocess(&mut a, &[asrt]).unwrap();
+        for &t in &out.assertions {
+            let s = term_to_string(&a, t);
+            assert!(!s.contains("store"), "store must be eliminated: {s}");
+            assert!(!s.contains("select"), "select must be eliminated: {s}");
+        }
+        // One base select on (m, j) recorded.
+        assert_eq!(out.array_selects.len(), 1);
+        assert_eq!(out.array_selects[0].1.len(), 1);
+    }
+
+    #[test]
+    fn select_congruence_axioms() {
+        let mut a = TermArena::new();
+        let arr = a.var("m", Sort::byte_array());
+        let i = a.var("i", Sort::BitVec(64));
+        let j = a.var("j", Sort::BitVec(64));
+        let s1 = a.select(arr, i);
+        let s2 = a.select(arr, j);
+        let asrt = a.neq(s1, s2);
+        let out = preprocess(&mut a, &[asrt]).unwrap();
+        // Original assertion + one congruence axiom.
+        assert_eq!(out.assertions.len(), 2);
+    }
+
+    #[test]
+    fn uf_congruence() {
+        let mut a = TermArena::new();
+        let f = a.declare_func("h", vec![Sort::Int], Sort::Int);
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let fx = a.apply(f, vec![x]);
+        let fy = a.apply(f, vec![y]);
+        let asrt = a.neq(fx, fy);
+        let out = preprocess(&mut a, &[asrt]).unwrap();
+        assert_eq!(out.uf_apps.len(), 1);
+        assert_eq!(out.uf_apps[0].1.len(), 2);
+        // assertion + congruence axiom
+        assert!(out.assertions.len() >= 2);
+        for &t in &out.assertions {
+            let s = term_to_string(&a, t);
+            assert!(!s.contains("(h "), "apply must be eliminated: {s}");
+        }
+    }
+
+    #[test]
+    fn int_lt_lowered() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let lt = a.int_lt(x, y);
+        let out = preprocess(&mut a, &[lt]).unwrap();
+        let s = term_to_string(&a, out.assertions[0]);
+        assert!(s.contains("<="), "IntLt must lower to IntLe: {s}");
+        assert!(!s.contains("(< "), "no strict comparison: {s}");
+    }
+
+    #[test]
+    fn int_eq_lowered() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let eq = a.eq(x, y);
+        let out = preprocess(&mut a, &[eq]).unwrap();
+        let s = term_to_string(&a, out.assertions[0]);
+        assert_eq!(s.matches("<=").count(), 2, "{s}");
+    }
+
+    #[test]
+    fn int_ite_purified() {
+        let mut a = TermArena::new();
+        let c = a.var("c", Sort::Bool);
+        let x = a.var("x", Sort::Int);
+        let y = a.var("y", Sort::Int);
+        let ite = a.ite(c, x, y);
+        let zero = a.int_const(0);
+        let asrt = a.int_le(ite, zero);
+        let out = preprocess(&mut a, &[asrt]).unwrap();
+        assert_eq!(out.assertions.len(), 3, "assertion + two defining implications");
+        for &t in &out.assertions {
+            let s = term_to_string(&a, t);
+            assert!(!s.contains("(ite "), "int ite must be purified: {s}");
+        }
+    }
+}

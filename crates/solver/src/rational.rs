@@ -1,0 +1,236 @@
+//! Exact rational arithmetic over `i128` with overflow detection.
+//!
+//! The simplex tableau works over rationals. TPot's queries have tiny
+//! coefficients (mostly ±1 and object sizes), so `i128` numerators and
+//! denominators are ample; if a pathological query overflows, the solver
+//! reports [`crate::SolverError::Overflow`] instead of silently wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::SolverError;
+
+/// An exact rational number, always normalized (gcd 1, positive
+/// denominator).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// Zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Constructs an integer rational.
+    pub fn int(v: i128) -> Rat {
+        Rat { num: v, den: 1 }
+    }
+
+    /// Constructs `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Result<Rat, SolverError> {
+        assert!(den != 0, "zero denominator");
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        let (mut n, mut d) = (num / g as i128, den / g as i128);
+        if d < 0 {
+            n = n.checked_neg().ok_or(SolverError::Overflow)?;
+            d = d.checked_neg().ok_or(SolverError::Overflow)?;
+        }
+        Ok(Rat { num: n, den: d })
+    }
+
+    /// Numerator (after normalization).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Integer value, if integral.
+    pub fn as_integer(&self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Floor to an integer.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling to an integer.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Checked addition.
+    pub fn add(&self, o: &Rat) -> Result<Rat, SolverError> {
+        let n1 = self
+            .num
+            .checked_mul(o.den)
+            .ok_or(SolverError::Overflow)?;
+        let n2 = o.num.checked_mul(self.den).ok_or(SolverError::Overflow)?;
+        let num = n1.checked_add(n2).ok_or(SolverError::Overflow)?;
+        let den = self.den.checked_mul(o.den).ok_or(SolverError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(&self, o: &Rat) -> Result<Rat, SolverError> {
+        self.add(&o.neg()?)
+    }
+
+    /// Checked negation.
+    pub fn neg(&self) -> Result<Rat, SolverError> {
+        Ok(Rat {
+            num: self.num.checked_neg().ok_or(SolverError::Overflow)?,
+            den: self.den,
+        })
+    }
+
+    /// Checked multiplication.
+    pub fn mul(&self, o: &Rat) -> Result<Rat, SolverError> {
+        // Cross-reduce first to keep magnitudes small.
+        let g1 = gcd(self.num.unsigned_abs(), o.den.unsigned_abs()) as i128;
+        let g2 = gcd(o.num.unsigned_abs(), self.den.unsigned_abs()) as i128;
+        let num = (self.num / g1)
+            .checked_mul(o.num / g2)
+            .ok_or(SolverError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(o.den / g1)
+            .ok_or(SolverError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Checked division.
+    ///
+    /// # Panics
+    /// Panics if `o` is zero.
+    pub fn div(&self, o: &Rat) -> Result<Rat, SolverError> {
+        assert!(!o.is_zero(), "division by zero rational");
+        self.mul(&Rat::new(o.den, o.num)?)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // den > 0, so cross-multiplication preserves order. Use i128 →
+        // saturating comparison via checked ops, falling back to f64 only
+        // when magnitudes are astronomical (which Overflow prevents earlier).
+        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => {
+                let a = self.num as f64 / self.den as f64;
+                let b = other.num as f64 / other.den as f64;
+                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b.max(1);
+    }
+    if b == 0 {
+        return a;
+    }
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let r = Rat::new(4, -6).unwrap();
+        assert_eq!(r.numer(), -2);
+        assert_eq!(r.denom(), 3);
+        assert_eq!(Rat::new(0, 5).unwrap(), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2).unwrap();
+        let b = Rat::new(1, 3).unwrap();
+        assert_eq!(a.add(&b).unwrap(), Rat::new(5, 6).unwrap());
+        assert_eq!(a.sub(&b).unwrap(), Rat::new(1, 6).unwrap());
+        assert_eq!(a.mul(&b).unwrap(), Rat::new(1, 6).unwrap());
+        assert_eq!(a.div(&b).unwrap(), Rat::new(3, 2).unwrap());
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).unwrap().floor(), 3);
+        assert_eq!(Rat::new(7, 2).unwrap().ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).unwrap().floor(), -4);
+        assert_eq!(Rat::new(-7, 2).unwrap().ceil(), -3);
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(Rat::int(-1) < Rat::ZERO);
+        assert_eq!(Rat::new(2, 4).unwrap(), Rat::new(1, 2).unwrap());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let big = Rat::int(i128::MAX);
+        assert_eq!(big.add(&Rat::ONE), Err(SolverError::Overflow));
+        assert_eq!(big.mul(&Rat::int(2)), Err(SolverError::Overflow));
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(Rat::int(3).is_integer());
+        assert!(!Rat::new(3, 2).unwrap().is_integer());
+        assert_eq!(Rat::new(6, 2).unwrap().as_integer(), Some(3));
+    }
+}

@@ -1,0 +1,473 @@
+//! The top-level SMT solver: DPLL(T) over the bit-blasted core with lazy
+//! linear-integer-arithmetic checks.
+
+use std::collections::HashMap;
+
+use tpot_sat::{Lit, SatResult, Solver};
+use tpot_smt::{eval, Kind, Model, Sort, TermArena, TermId, Value};
+
+use crate::bitblast::BitBlaster;
+use crate::config::SolverConfig;
+use crate::error::SolverError;
+use crate::lia::{solve_lia, LiaOutcome};
+use crate::linexpr::LeAtom;
+use crate::preprocess::{preprocess, PreprocessOutput};
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug)]
+pub enum SmtResult {
+    /// Satisfiable; the model assigns every relevant variable and function.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource limits exhausted (conflict budget or theory rounds).
+    Unknown,
+}
+
+impl SmtResult {
+    /// True for `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+
+    /// True for `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+}
+
+/// A configured SMT solver instance.
+///
+/// Stateless between queries: `check` takes the arena and assertion set. The
+/// engine layers its own caching (§4.3 proof caches, §4.4 persistent query
+/// cache) above this.
+#[derive(Clone, Debug, Default)]
+pub struct SmtSolver {
+    /// Instance configuration.
+    pub config: SolverConfig,
+}
+
+impl SmtSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        SmtSolver { config }
+    }
+
+    /// Checks satisfiability of the conjunction of `assertions`.
+    pub fn check(
+        &self,
+        arena: &mut TermArena,
+        assertions: &[TermId],
+    ) -> Result<SmtResult, SolverError> {
+        // Fast path: constant assertions.
+        if assertions
+            .iter()
+            .any(|&t| arena.term(t).as_bool_const() == Some(false))
+        {
+            return Ok(SmtResult::Unsat);
+        }
+        let pre = preprocess(arena, assertions)?;
+        let arena_ref: &TermArena = arena;
+        let mut bb = BitBlaster::new(arena_ref, Solver::new(self.config.sat.clone()));
+        for &t in &pre.assertions {
+            bb.assert_term(t)?;
+        }
+        let mut rounds = 0u64;
+        loop {
+            rounds += 1;
+            if rounds > self.config.max_theory_rounds {
+                return Ok(SmtResult::Unknown);
+            }
+            match bb.sat.solve(&[]) {
+                SatResult::Unsat => return Ok(SmtResult::Unsat),
+                SatResult::Unknown => return Ok(SmtResult::Unknown),
+                SatResult::Sat => {}
+            }
+            if bb.atoms.is_empty() {
+                let model = build_model(arena_ref, &bb, &pre, &HashMap::new())?;
+                return Ok(SmtResult::Sat(model));
+            }
+            // Collect the effective theory atoms under the SAT model.
+            let mut effective: Vec<LeAtom> = Vec::with_capacity(bb.atoms.len());
+            let mut polarity: Vec<bool> = Vec::with_capacity(bb.atoms.len());
+            for (lit, atom) in &bb.atoms {
+                let asserted = bb.sat.model_value(lit.var()) == lit.is_pos();
+                polarity.push(asserted);
+                effective.push(if asserted {
+                    atom.clone()
+                } else {
+                    atom.negate()?
+                });
+            }
+            match solve_lia(&effective, &self.config.lia)? {
+                LiaOutcome::Sat(int_model) => {
+                    let model = build_model(arena_ref, &bb, &pre, &int_model)?;
+                    return Ok(SmtResult::Sat(model));
+                }
+                LiaOutcome::Unknown => return Ok(SmtResult::Unknown),
+                LiaOutcome::Unsat(mut core) => {
+                    if self.config.minimize_cores && core.len() <= 20 {
+                        core = minimize_core(&effective, core, &self.config)?;
+                    }
+                    // Blocking clause: at least one core atom must flip.
+                    let clause: Vec<Lit> = core
+                        .iter()
+                        .map(|&i| {
+                            let l = bb.atoms[i].0;
+                            if polarity[i] {
+                                l.negate()
+                            } else {
+                                l
+                            }
+                        })
+                        .collect();
+                    if !bb.sat.add_clause(&clause) {
+                        return Ok(SmtResult::Unsat);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Greedy deletion-based minimization of a LIA conflict core.
+fn minimize_core(
+    effective: &[LeAtom],
+    mut core: Vec<usize>,
+    config: &SolverConfig,
+) -> Result<Vec<usize>, SolverError> {
+    let mut i = 0;
+    while i < core.len() && core.len() > 1 {
+        let mut trial = core.clone();
+        trial.remove(i);
+        let atoms: Vec<LeAtom> = trial.iter().map(|&k| effective[k].clone()).collect();
+        match solve_lia(&atoms, &config.lia)? {
+            LiaOutcome::Unsat(_) => {
+                core = trial;
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(core)
+}
+
+/// Reconstructs a full [`Model`] from SAT bits, LIA values, and the
+/// preprocessing bookkeeping.
+fn build_model(
+    arena: &TermArena,
+    bb: &BitBlaster<'_>,
+    pre: &PreprocessOutput,
+    int_model: &HashMap<TermId, i128>,
+) -> Result<Model, SolverError> {
+    let mut model = Model::new();
+    // Bitvector and boolean variables, straight from the SAT model.
+    for t in bb.blasted_bv_terms() {
+        if matches!(arena.term(t).kind, Kind::Var(_)) {
+            if let Some(v) = bb.bv_model_value(t) {
+                let w = arena.sort(t).bv_width().unwrap();
+                model.set_var(arena.var_name(t), Value::BitVec(w, v));
+            }
+        }
+    }
+    for t in bb.blasted_bool_terms() {
+        if matches!(arena.term(t).kind, Kind::Var(_)) {
+            if let Some(v) = bb.bool_model_value(t) {
+                model.set_var(arena.var_name(t), Value::Bool(v));
+            }
+        }
+    }
+    // Integer variables from the LIA model.
+    for (&t, &v) in int_model {
+        if matches!(arena.term(t).kind, Kind::Var(_)) {
+            model.set_var(arena.var_name(t), Value::Int(v));
+        }
+    }
+    // Array interpretations: evaluate recorded index terms under the model
+    // built so far (they contain only variables and operators).
+    for (arr, sels) in &pre.array_selects {
+        let esort = match arena.sort(*arr) {
+            Sort::Array(_, e) => (**e).clone(),
+            _ => unreachable!(),
+        };
+        let mut entries = HashMap::new();
+        for (idx, sel_var) in sels {
+            let iv = eval(arena, &model, *idx).map_err(eval_err)?;
+            let sv = eval(arena, &model, *sel_var).map_err(eval_err)?;
+            entries.insert(iv.key_repr(), Box::new(sv));
+        }
+        model.set_var(
+            arena.var_name(*arr),
+            Value::Array {
+                entries,
+                default: Box::new(Value::zero_of(&esort)),
+            },
+        );
+    }
+    // Function interpretations from the Ackermann records.
+    for (f, apps) in &pre.uf_apps {
+        let mut interp = tpot_smt::FuncInterp::default();
+        for (args, res_var) in apps {
+            let key: Vec<u128> = args
+                .iter()
+                .map(|&a| eval(arena, &model, a).map(|v| v.key_repr()))
+                .collect::<Result<_, _>>()
+                .map_err(eval_err)?;
+            let rv = eval(arena, &model, *res_var).map_err(eval_err)?;
+            interp.entries.insert(key, rv);
+        }
+        model.funcs.insert(*f, interp);
+    }
+    Ok(model)
+}
+
+fn eval_err(e: tpot_smt::EvalError) -> SolverError {
+    match e {
+        tpot_smt::EvalError::Overflow => SolverError::Overflow,
+        tpot_smt::EvalError::UnboundVar(v) => {
+            SolverError::Unsupported(format!("unbound variable in model build: {v}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver() -> SmtSolver {
+        SmtSolver::default()
+    }
+
+    fn check(arena: &mut TermArena, asserts: &[TermId]) -> SmtResult {
+        solver().check(arena, asserts).unwrap()
+    }
+
+    /// Validates a model against the original (pre-preprocessing)
+    /// assertions, as the paper recommends doing for portfolio results.
+    fn assert_model_satisfies(arena: &TermArena, model: &Model, asserts: &[TermId]) {
+        for &t in asserts {
+            let v = eval(arena, model, t).unwrap();
+            assert_eq!(v, Value::Bool(true), "model must satisfy assertion");
+        }
+    }
+
+    #[test]
+    fn pure_bv_sat_with_model() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(16));
+        let c = a.bv_const(16, 1234);
+        let y = a.var("y", Sort::BitVec(16));
+        let sum = a.bv_add(x, y);
+        let eq = a.eq(sum, c);
+        let five = a.bv_const(16, 5);
+        let xc = a.eq(x, five);
+        let asserts = vec![eq, xc];
+        match check(&mut a, &asserts) {
+            SmtResult::Sat(m) => {
+                assert_eq!(m.var("x"), Some(&Value::BitVec(16, 5)));
+                assert_eq!(m.var("y"), Some(&Value::BitVec(16, 1229)));
+                assert_model_satisfies(&a, &m, &asserts);
+            }
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_bv_unsat() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let zero = a.bv_const(8, 0);
+        let lt = a.bv_ult(x, zero); // nothing is < 0 unsigned
+        match check(&mut a, &[lt]) {
+            SmtResult::Unsat => {}
+            other => panic!("expected unsat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lia_sat() {
+        let mut a = TermArena::new();
+        let x = a.var("ix", Sort::Int);
+        let y = a.var("iy", Sort::Int);
+        let c10 = a.int_const(10);
+        let sum = a.int_add2(x, y);
+        let a1 = a.int_le(c10, sum); // x+y >= 10
+        let c3 = a.int_const(3);
+        let a2 = a.int_le(x, c3); // x <= 3
+        let asserts = vec![a1, a2];
+        match check(&mut a, &asserts) {
+            SmtResult::Sat(m) => {
+                let x = m.var("ix").unwrap().as_int();
+                let y = m.var("iy").unwrap().as_int();
+                assert!(x + y >= 10 && x <= 3);
+                assert_model_satisfies(&a, &m, &asserts);
+            }
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lia_unsat_via_blocking() {
+        let mut a = TermArena::new();
+        let x = a.var("ix", Sort::Int);
+        let c0 = a.int_const(0);
+        let c5 = a.int_const(5);
+        let a1 = a.int_le(x, c0);
+        let a2 = a.int_le(c5, x);
+        match check(&mut a, &[a1, a2]) {
+            SmtResult::Unsat => {}
+            other => panic!("expected unsat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_bool_structure_over_lia() {
+        // (x <= 0 or x >= 5) and x = 3 → unsat; x = 7 → sat.
+        let mut a = TermArena::new();
+        let x = a.var("ix", Sort::Int);
+        let c0 = a.int_const(0);
+        let c5 = a.int_const(5);
+        let le = a.int_le(x, c0);
+        let ge = a.int_le(c5, x);
+        let disj = a.or2(le, ge);
+        let c3 = a.int_const(3);
+        let eq3 = a.eq(x, c3);
+        match check(&mut a, &[disj, eq3]) {
+            SmtResult::Unsat => {}
+            other => panic!("expected unsat: {other:?}"),
+        }
+        let c7 = a.int_const(7);
+        let eq7 = a.eq(x, c7);
+        match check(&mut a, &[disj, eq7]) {
+            SmtResult::Sat(m) => assert_eq!(m.var("ix"), Some(&Value::Int(7))),
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uf_congruence_enforced() {
+        let mut a = TermArena::new();
+        let f = a.declare_func("h", vec![Sort::Int], Sort::Int);
+        let x = a.var("hx", Sort::Int);
+        let y = a.var("hy", Sort::Int);
+        let fx = a.apply(f, vec![x]);
+        let fy = a.apply(f, vec![y]);
+        let eq_args = a.eq(x, y);
+        let neq_res = a.neq(fx, fy);
+        match check(&mut a, &[eq_args, neq_res]) {
+            SmtResult::Unsat => {}
+            other => panic!("congruence violated: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uf_model_reconstruction() {
+        let mut a = TermArena::new();
+        let f = a.declare_func("h2", vec![Sort::Int], Sort::Int);
+        let x = a.var("ux", Sort::Int);
+        let fx = a.apply(f, vec![x]);
+        let c5 = a.int_const(5);
+        let c9 = a.int_const(9);
+        let a1 = a.eq(x, c5);
+        let a2 = a.eq(fx, c9);
+        let asserts = vec![a1, a2];
+        match check(&mut a, &asserts) {
+            SmtResult::Sat(m) => {
+                assert_model_satisfies(&a, &m, &asserts);
+            }
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_select_store() {
+        let mut a = TermArena::new();
+        let mem = a.var("mem", Sort::byte_array());
+        let i = a.var("i", Sort::BitVec(64));
+        let j = a.var("j", Sort::BitVec(64));
+        let v = a.bv_const(8, 0xaa);
+        let st = a.store(mem, i, v);
+        let rd = a.select(st, j);
+        let eq_ij = a.eq(i, j);
+        let neq_v = a.neq(rd, v);
+        // i = j but mem[i := v][j] != v is unsat.
+        match check(&mut a, &[eq_ij, neq_v]) {
+            SmtResult::Unsat => {}
+            other => panic!("expected unsat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_model_reconstruction() {
+        let mut a = TermArena::new();
+        let mem = a.var("mem2", Sort::byte_array());
+        let i = a.bv64(4);
+        let rd = a.select(mem, i);
+        let c = a.bv_const(8, 0x5c);
+        let asrt = a.eq(rd, c);
+        let asserts = vec![asrt];
+        match check(&mut a, &asserts) {
+            SmtResult::Sat(m) => {
+                assert_model_satisfies(&a, &m, &asserts);
+                match m.var("mem2").unwrap() {
+                    Value::Array { entries, .. } => {
+                        assert_eq!(entries.get(&4).map(|b| (**b).clone()),
+                            Some(Value::BitVec(8, 0x5c)));
+                    }
+                    other => panic!("expected array value: {other:?}"),
+                }
+            }
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bv2int_style_pointer_query() {
+        // The canonical TPot §4.3 shape: tpot_bv2int maps pointers to ints;
+        // heap layout says b2i(base1) + 8 <= b2i(base2); p inside object 1
+        // can't alias base2.
+        let mut a = TermArena::new();
+        let b2i = a.declare_func("tpot_bv2int", vec![Sort::BitVec(64)], Sort::Int);
+        let base1 = a.var("base1", Sort::BitVec(64));
+        let base2 = a.var("base2", Sort::BitVec(64));
+        let p = a.var("p", Sort::BitVec(64));
+        let ib1 = a.apply(b2i, vec![base1]);
+        let ib2 = a.apply(b2i, vec![base2]);
+        let ip = a.apply(b2i, vec![p]);
+        let c8 = a.int_const(8);
+        let ib1p8 = a.int_add2(ib1, c8);
+        let layout = a.int_le(ib1p8, ib2); // base1 + 8 <= base2
+        let lo = a.int_le(ib1, ip);
+        let hi = a.int_lt(ip, ib1p8); // p within object 1
+        let alias = a.eq(ip, ib2); // claim: p aliases base2
+        match check(&mut a, &[layout, lo, hi, alias]) {
+            SmtResult::Unsat => {}
+            other => panic!("expected unsat: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_true_and_empty() {
+        let mut a = TermArena::new();
+        let t = a.tru();
+        assert!(check(&mut a, &[t]).is_sat());
+        assert!(check(&mut a, &[]).is_sat());
+        let f = a.fls();
+        assert!(check(&mut a, &[f]).is_unsat());
+    }
+
+    #[test]
+    fn bool_var_model() {
+        let mut a = TermArena::new();
+        let p = a.var("p", Sort::Bool);
+        let q = a.var("q", Sort::Bool);
+        let nq = a.not(q);
+        let both = a.and2(p, nq);
+        match check(&mut a, &[both]) {
+            SmtResult::Sat(m) => {
+                assert_eq!(m.var("p"), Some(&Value::Bool(true)));
+                assert_eq!(m.var("q"), Some(&Value::Bool(false)));
+            }
+            other => panic!("expected sat: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! A `cloc`-style line counter (the paper uses cloc [1] for Table 3).
+
+/// Counts non-blank, non-comment lines of C code.
+pub fn count_loc(src: &str) -> u32 {
+    let mut in_block = false;
+    let mut n = 0;
+    for line in src.lines() {
+        let mut code = false;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block {
+                if i + 1 < bytes.len() && &bytes[i..i + 2] == b"*/" {
+                    in_block = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                b' ' | b'\t' => i += 1,
+                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+                b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                    in_block = true;
+                    i += 2;
+                }
+                _ => {
+                    code = true;
+                    i += 1;
+                }
+            }
+        }
+        if code {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// True for lines with only syntactic delimiters (the paper's *Semantic
+/// total* excludes "sole delimiters (e.g., ), :, }, /*@, |}) and
+/// include/import statements").
+pub fn is_syntactic_only(line: &str) -> bool {
+    let t = line.trim();
+    if t.is_empty() {
+        return true;
+    }
+    if t.starts_with("#include") || t.starts_with("#ifndef") || t.starts_with("#endif") {
+        return true;
+    }
+    t.chars().all(|c| "(){};,:".contains(c) || c.is_whitespace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_code_not_comments() {
+        let src = "// header\nint a; /* trailing */\n/* block\n spans */\nint b;\n\n";
+        assert_eq!(count_loc(src), 2);
+    }
+
+    #[test]
+    fn block_comment_with_code_after() {
+        let src = "/* c */ int a;\n";
+        assert_eq!(count_loc(src), 1);
+    }
+
+    #[test]
+    fn syntactic_lines() {
+        assert!(is_syntactic_only("}"));
+        assert!(is_syntactic_only("  );"));
+        assert!(is_syntactic_only("#include <stdio.h>"));
+        assert!(!is_syntactic_only("return a + b;"));
+        assert!(!is_syntactic_only("int x;"));
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's Figure 4 file-manager component: quantified naming over an
+//! array of permission structs (`names_obj_forall_cond`) and `forall_elem`
+//! preconditions.
+//!
+//! ```sh
+//! cargo run --release --example file_manager
+//! ```
+//!
+//! Note: this is the heaviest example — the quantified-naming pledge is
+//! re-verified against every heap object at the end of the POT (several
+//! minutes on a small machine).
+
+use tpot::engine::{PotStatus, Verifier};
+
+const SYSTEM: &str = r#"
+#define MAX_FILES 4
+#define PID_INVALID 0
+
+typedef unsigned long inode_t;
+typedef unsigned long pid_t;
+
+struct file_perm { pid_t owner; };
+struct file {
+  inode_t inode;
+  struct file_perm *permissions;
+};
+
+struct file *files;
+unsigned int num_files;
+
+/* -- Implementation -------------------------------------------------- */
+int create_file(inode_t node, pid_t pid) {
+  if (pid == PID_INVALID)
+    return -1;
+  if (num_files >= MAX_FILES)
+    return -1;
+  int idx = (int)num_files;
+  files[idx].inode = node;
+  files[idx].permissions = (struct file_perm *)malloc(sizeof(struct file_perm));
+  files[idx].permissions->owner = pid;
+  num_files = num_files + 1;
+  return idx;
+}
+
+/* -- Specification (paper Fig. 4) ------------------------------------ */
+struct file_perm *perm_ptr_i(int i) {
+  if (i < 0 || i >= (int)num_files)
+    return (struct file_perm *)0;
+  return files[i].permissions;
+}
+int owner_valid(struct file_perm *p) {
+  return p->owner != PID_INVALID;
+}
+
+int inv__owners(void) {
+  return names_obj(files, struct file[MAX_FILES])
+      && num_files <= MAX_FILES
+      && names_obj_forall_cond(perm_ptr_i, struct file_perm, owner_valid);
+}
+
+void spec__create_file(void) {
+  any(inode_t, node);
+  any(pid_t, pid);
+  assume(pid != PID_INVALID);
+  int idx = create_file(node, pid);
+  if (idx > 0) {
+    assert(files[idx].inode == node);
+    assert(files[idx].permissions->owner == pid);
+  }
+}
+"#;
+
+fn main() {
+    let module = tpot::ir::lower(&tpot::cfront::compile(SYSTEM).unwrap()).unwrap();
+    let v = Verifier::new(module);
+    let r = v.verify_pot("spec__create_file");
+    match &r.status {
+        PotStatus::Proved => println!(
+            "✓ spec__create_file proved in {:?} ({} queries, {} lazy materializations)",
+            r.duration, r.stats.num_queries, r.stats.materializations
+        ),
+        PotStatus::Failed(vs) => println!("✗ spec__create_file: {}", vs[0]),
+        PotStatus::Error(e) => println!("! engine error: {e}"),
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: verify the paper's Figure 1 toy system end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The component keeps two integers whose sum is zero. The TPot
+//! specification consists of two proof-oriented tests (POTs) and one global
+//! invariant; TPot proves every assertion, re-establishes the invariant
+//! after each POT, and — if you break the code — hands back a
+//! counterexample.
+
+use tpot::engine::{PotStatus, Verifier};
+
+const SYSTEM: &str = r#"
+/* -- System implementation (paper Fig. 1a) -------------------------- */
+int a, b;
+void increment(int *p) { *p = *p + 1; }
+void decrement(int *p) { *p = *p - 1; }
+void init(void) { a = 0; b = 0; }
+void transfer(void) {
+  increment(&a);
+  decrement(&b);
+}
+int get_sum(void) { return a + b; }
+
+/* -- TPot specification (paper Fig. 1b) ------------------------------ */
+int inv__sum_zero(void) { return a + b == 0; }
+
+void spec__transfer(void) {
+  int old_a = a, old_b = b;
+  transfer();
+  assert(a == old_a + 1);
+  assert(b == old_b - 1);
+}
+void spec__get_sum(void) {
+  int res = get_sum();
+  assert(res == 0);
+}
+"#;
+
+fn main() {
+    // Compile the C, lower it to TIR, and build a verifier.
+    let checked = tpot::cfront::compile(SYSTEM).expect("frontend");
+    let module = tpot::ir::lower(&checked).expect("lowering");
+    let verifier = Verifier::new(module);
+
+    // Verify every POT. Note there is no specification for increment() or
+    // decrement(): TPot inlines internal functions (paper §4.1).
+    for result in verifier.verify_all() {
+        match &result.status {
+            PotStatus::Proved => {
+                println!(
+                    "✓ {} proved in {:?} ({} solver queries, {} paths)",
+                    result.pot,
+                    result.duration,
+                    result.stats.num_queries,
+                    result.stats.paths
+                );
+            }
+            PotStatus::Failed(violations) => {
+                println!("✗ {} FAILED:", result.pot);
+                for v in violations {
+                    println!("{v}");
+                }
+            }
+            PotStatus::Error(e) => println!("! {}: engine error: {e}", result.pot),
+        }
+    }
+
+    // Now seed the §3.2 bug: drop the invariant and watch spec__get_sum
+    // fail with a concrete counterexample such as (a: 1, b: -1 missing).
+    let buggy = SYSTEM.replace("int inv__sum_zero(void) { return a + b == 0; }", "");
+    let module = tpot::ir::lower(&tpot::cfront::compile(&buggy).unwrap()).unwrap();
+    let r = Verifier::new(module).verify_pot("spec__get_sum");
+    println!("\nWithout inv__sum_zero (paper §3.2):");
+    match r.status {
+        PotStatus::Failed(vs) => println!("{}", vs[0]),
+        other => println!("unexpected: {other:?}"),
+    }
+}

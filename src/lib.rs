@@ -1,0 +1,17 @@
+//! TPot: practical verification of system-software components written in
+//! standard C — a from-scratch Rust reproduction of the SOSP'24 paper.
+//!
+//! This facade crate re-exports the public API of every workspace crate.
+//! Start with [`engine::Verifier`] (once built) or the examples in
+//! `examples/`.
+
+pub use tpot_baseline as baseline;
+pub use tpot_cfront as cfront;
+pub use tpot_engine as engine;
+pub use tpot_ir as ir;
+pub use tpot_mem as mem;
+pub use tpot_portfolio as portfolio;
+pub use tpot_sat as sat;
+pub use tpot_smt as smt;
+pub use tpot_solver as solver;
+pub use tpot_targets as targets;

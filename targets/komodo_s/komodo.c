@@ -1,0 +1,261 @@
+/*
+ * Komodo^S: the Komodo security monitor as ported by the Serval team
+ * (paper §5.1) — "with pointers and virtual-to-physical address translation
+ * removed, to be verifiable by Serval". Secure pages are indices into
+ * global arrays; the page database tracks each page's type and owning
+ * address space; the monitor's SMC API creates enclaves (address spaces,
+ * dispatchers, page tables), maps data pages, and tears enclaves down.
+ *
+ * Reduced port: the SMC surface and the page-database state machine are
+ * kept; SHA-based attestation and the ARM register file are out of scope
+ * (as are the derived refcount-consistency properties, which the paper
+ * also omits).
+ */
+
+#define KOM_PAGE_COUNT 8
+#define KOM_PAGE_WORDS 8
+#define KOM_INSECURE_RESERVED 0
+
+/* Page types (the pagedb state machine). */
+#define KOM_PAGE_FREE 0
+#define KOM_PAGE_ADDRSPACE 1
+#define KOM_PAGE_DISPATCHER 2
+#define KOM_PAGE_L1PTABLE 3
+#define KOM_PAGE_L2PTABLE 4
+#define KOM_PAGE_DATA 5
+
+/* Address-space lifecycle. */
+#define KOM_ADDRSPACE_INIT 0
+#define KOM_ADDRSPACE_FINAL 1
+#define KOM_ADDRSPACE_STOPPED 2
+
+/* SMC error codes. */
+#define KOM_ERR_SUCCESS 0
+#define KOM_ERR_INVALID_PAGENO 1
+#define KOM_ERR_PAGEINUSE 2
+#define KOM_ERR_INVALID_ADDRSPACE 3
+#define KOM_ERR_ALREADY_FINAL 4
+#define KOM_ERR_NOT_FINAL 5
+#define KOM_ERR_NOT_STOPPED 6
+#define KOM_ERR_INVALID_MAPPING 7
+
+struct kom_pagedb_entry {
+  int type;
+  int addrspace; /* owning addrspace page index, or -1 */
+};
+
+struct kom_pagedb_entry pagedb[KOM_PAGE_COUNT];
+
+/* Per-addrspace metadata, indexed by the addrspace page. */
+int as_state[KOM_PAGE_COUNT];
+int as_l1pt[KOM_PAGE_COUNT];
+
+/* Secure page contents (no VA translation in Komodo^S: flat 2-D array). */
+unsigned long secure_pages[KOM_PAGE_COUNT][KOM_PAGE_WORDS];
+
+/* Per-dispatcher entry state. */
+int disp_entered[KOM_PAGE_COUNT];
+
+int kom_valid_pageno(int p) {
+  return p >= 0 && p < KOM_PAGE_COUNT;
+}
+
+int kom_is_free(int p) {
+  return pagedb[p].type == KOM_PAGE_FREE;
+}
+
+int kom_is_addrspace(int p) {
+  return kom_valid_pageno(p) && pagedb[p].type == KOM_PAGE_ADDRSPACE;
+}
+
+void kom_zero_page(int p) {
+  int i;
+  for (i = 0; i < KOM_PAGE_WORDS; i++) {
+    secure_pages[p][i] = 0;
+  }
+}
+
+/* Allocate a secure page into an address space. */
+int kom_allocate_page(int page, int asp, int type) {
+  if (!kom_valid_pageno(page))
+    return KOM_ERR_INVALID_PAGENO;
+  if (!kom_is_free(page))
+    return KOM_ERR_PAGEINUSE;
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  if (as_state[asp] != KOM_ADDRSPACE_INIT)
+    return KOM_ERR_ALREADY_FINAL;
+  kom_zero_page(page);
+  pagedb[page].type = type;
+  pagedb[page].addrspace = asp;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: how many secure pages remain free. */
+int kom_smc_get_secure_pages(void) {
+  int n = 0;
+  int i;
+  for (i = 0; i < KOM_PAGE_COUNT; i++) {
+    if (pagedb[i].type == KOM_PAGE_FREE)
+      n++;
+  }
+  return n;
+}
+
+/* SMC: create an address space rooted at `page` with L1 table `l1pt`. */
+int kom_smc_init_addrspace(int page, int l1pt) {
+  if (!kom_valid_pageno(page) || !kom_valid_pageno(l1pt))
+    return KOM_ERR_INVALID_PAGENO;
+  if (page == l1pt)
+    return KOM_ERR_PAGEINUSE;
+  if (!kom_is_free(page) || !kom_is_free(l1pt))
+    return KOM_ERR_PAGEINUSE;
+  kom_zero_page(page);
+  kom_zero_page(l1pt);
+  pagedb[page].type = KOM_PAGE_ADDRSPACE;
+  pagedb[page].addrspace = page;
+  pagedb[l1pt].type = KOM_PAGE_L1PTABLE;
+  pagedb[l1pt].addrspace = page;
+  as_state[page] = KOM_ADDRSPACE_INIT;
+  as_l1pt[page] = l1pt;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: create a dispatcher (enclave entry point) page. */
+int kom_smc_init_dispatcher(int page, int asp, unsigned long entry) {
+  int err = kom_allocate_page(page, asp, KOM_PAGE_DISPATCHER);
+  if (err != KOM_ERR_SUCCESS)
+    return err;
+  secure_pages[page][0] = entry;
+  disp_entered[page] = 0;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: create an L2 page table page. */
+int kom_smc_init_l2table(int page, int asp, int l1index) {
+  int err;
+  if (l1index < 0 || l1index >= KOM_PAGE_WORDS)
+    return KOM_ERR_INVALID_MAPPING;
+  err = kom_allocate_page(page, asp, KOM_PAGE_L2PTABLE);
+  if (err != KOM_ERR_SUCCESS)
+    return err;
+  secure_pages[as_l1pt[asp]][l1index] = (unsigned long)page;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: map a data page at an L2 slot. */
+int kom_smc_map_secure(int page, int asp, int l2page, int l2index,
+                       unsigned long prot) {
+  int err;
+  if (l2index < 0 || l2index >= KOM_PAGE_WORDS)
+    return KOM_ERR_INVALID_MAPPING;
+  if (!kom_valid_pageno(l2page))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[l2page].type != KOM_PAGE_L2PTABLE
+      || pagedb[l2page].addrspace != asp)
+    return KOM_ERR_INVALID_MAPPING;
+  err = kom_allocate_page(page, asp, KOM_PAGE_DATA);
+  if (err != KOM_ERR_SUCCESS)
+    return err;
+  secure_pages[l2page][l2index] =
+      ((unsigned long)page << 8) | (prot & 0x7) | 0x1;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: map an insecure (shared) page at an L2 slot — no allocation. */
+int kom_smc_map_insecure(int asp, unsigned long phys, int l2page,
+                         int l2index) {
+  if (l2index < 0 || l2index >= KOM_PAGE_WORDS)
+    return KOM_ERR_INVALID_MAPPING;
+  if (!kom_valid_pageno(l2page))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[l2page].type != KOM_PAGE_L2PTABLE
+      || pagedb[l2page].addrspace != asp)
+    return KOM_ERR_INVALID_MAPPING;
+  if (!kom_is_addrspace(asp) || as_state[asp] != KOM_ADDRSPACE_INIT)
+    return KOM_ERR_INVALID_ADDRSPACE;
+  secure_pages[l2page][l2index] = (phys << 8) | 0x2;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: return a page to the free pool (enclave must be stopped). */
+int kom_smc_remove(int page) {
+  int asp;
+  if (!kom_valid_pageno(page))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[page].type == KOM_PAGE_FREE)
+    return KOM_ERR_SUCCESS;
+  asp = pagedb[page].addrspace;
+  if (pagedb[page].type != KOM_PAGE_ADDRSPACE) {
+    if (!kom_is_addrspace(asp))
+      return KOM_ERR_INVALID_ADDRSPACE;
+    if (as_state[asp] != KOM_ADDRSPACE_STOPPED)
+      return KOM_ERR_NOT_STOPPED;
+  }
+  pagedb[page].type = KOM_PAGE_FREE;
+  pagedb[page].addrspace = -1;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: finalize an address space (no more allocation; entry allowed). */
+int kom_smc_finalise(int asp) {
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  if (as_state[asp] != KOM_ADDRSPACE_INIT)
+    return KOM_ERR_ALREADY_FINAL;
+  as_state[asp] = KOM_ADDRSPACE_FINAL;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: stop an address space (tear-down may begin). */
+int kom_smc_stop(int asp) {
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  as_state[asp] = KOM_ADDRSPACE_STOPPED;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: enter an enclave through a dispatcher. */
+int kom_smc_enter(int disp) {
+  int asp;
+  if (!kom_valid_pageno(disp))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[disp].type != KOM_PAGE_DISPATCHER)
+    return KOM_ERR_INVALID_PAGENO;
+  asp = pagedb[disp].addrspace;
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  if (as_state[asp] != KOM_ADDRSPACE_FINAL)
+    return KOM_ERR_NOT_FINAL;
+  if (disp_entered[disp])
+    return KOM_ERR_PAGEINUSE;
+  disp_entered[disp] = 1;
+  return KOM_ERR_SUCCESS;
+}
+
+/* SMC: resume a previously entered dispatcher. */
+int kom_smc_resume(int disp) {
+  int asp;
+  if (!kom_valid_pageno(disp))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[disp].type != KOM_PAGE_DISPATCHER)
+    return KOM_ERR_INVALID_PAGENO;
+  asp = pagedb[disp].addrspace;
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  if (as_state[asp] != KOM_ADDRSPACE_FINAL)
+    return KOM_ERR_NOT_FINAL;
+  if (!disp_entered[disp])
+    return KOM_ERR_PAGEINUSE;
+  return KOM_ERR_SUCCESS;
+}
+
+/* Return from an enclave: mark the dispatcher re-enterable. */
+int kom_svc_exit(int disp) {
+  if (!kom_valid_pageno(disp))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[disp].type != KOM_PAGE_DISPATCHER)
+    return KOM_ERR_INVALID_PAGENO;
+  disp_entered[disp] = 0;
+  return KOM_ERR_SUCCESS;
+}

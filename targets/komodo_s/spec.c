@@ -1,0 +1,305 @@
+/*
+ * TPot specification for Komodo^S: 16 POTs covering the SMC API, ported
+ * from the Serval specifications (paper §5.1). The global invariant keeps
+ * the page database well-formed; each POT specifies one SMC's functional
+ * behavior plus the frame over unrelated pagedb entries.
+ */
+
+int pagedb_entry_ok(struct kom_pagedb_entry *e, unsigned long i) {
+  if (e->type < KOM_PAGE_FREE || e->type > KOM_PAGE_DATA)
+    return 0;
+  if (e->type == KOM_PAGE_FREE)
+    return e->addrspace == -1;
+  if (e->type == KOM_PAGE_ADDRSPACE)
+    return e->addrspace == (int)i;
+  return e->addrspace >= 0 && e->addrspace < KOM_PAGE_COUNT;
+}
+
+int inv__pagedb(void) {
+  return forall_elem(pagedb, &pagedb_entry_ok);
+}
+
+void spec__get_secure_pages(void) {
+  any(int, k);
+  assume(k >= 0 && k < KOM_PAGE_COUNT);
+  int was_free = kom_is_free(k);
+
+  int n = kom_smc_get_secure_pages();
+
+  assert(n >= 0 && n <= KOM_PAGE_COUNT);
+  if (was_free)
+    assert(n > 0);
+}
+
+void spec__init_addrspace_ok(void) {
+  any(int, page);
+  any(int, l1pt);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(l1pt >= 0 && l1pt < KOM_PAGE_COUNT);
+  assume(page != l1pt);
+  assume(pagedb[page].type == KOM_PAGE_FREE);
+  assume(pagedb[l1pt].type == KOM_PAGE_FREE);
+
+  int err = kom_smc_init_addrspace(page, l1pt);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_ADDRSPACE);
+  assert(pagedb[l1pt].type == KOM_PAGE_L1PTABLE);
+  assert(pagedb[l1pt].addrspace == page);
+  assert(as_state[page] == KOM_ADDRSPACE_INIT);
+  assert(as_l1pt[page] == l1pt);
+}
+
+void spec__init_addrspace_inuse(void) {
+  any(int, page);
+  any(int, l1pt);
+  any(int, j);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(l1pt >= 0 && l1pt < KOM_PAGE_COUNT);
+  assume(j >= 0 && j < KOM_PAGE_COUNT);
+  assume(pagedb[page].type != KOM_PAGE_FREE);
+  int old_type = pagedb[j].type;
+
+  int err = kom_smc_init_addrspace(page, l1pt);
+
+  assert(err != KOM_ERR_SUCCESS);
+  /* Failure leaves the page database untouched. */
+  assert(pagedb[j].type == old_type);
+}
+
+void spec__init_dispatcher(void) {
+  any(int, page);
+  any(int, asp);
+  any(unsigned long, entry);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[page].type == KOM_PAGE_FREE);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+
+  int err = kom_smc_init_dispatcher(page, asp, entry);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_DISPATCHER);
+  assert(pagedb[page].addrspace == asp);
+  assert(secure_pages[page][0] == entry);
+  assert(disp_entered[page] == 0);
+}
+
+void spec__init_dispatcher_frame(void) {
+  any(int, page);
+  any(int, asp);
+  any(unsigned long, entry);
+  any(int, j);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(j >= 0 && j < KOM_PAGE_COUNT && j != page);
+  int old_type = pagedb[j].type;
+
+  kom_smc_init_dispatcher(page, asp, entry);
+
+  assert(pagedb[j].type == old_type);
+}
+
+void spec__init_l2table(void) {
+  any(int, page);
+  any(int, asp);
+  any(int, l1index);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(l1index >= 0 && l1index < KOM_PAGE_WORDS);
+  assume(pagedb[page].type == KOM_PAGE_FREE);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+  assume(as_l1pt[asp] >= 0 && as_l1pt[asp] < KOM_PAGE_COUNT);
+
+  int err = kom_smc_init_l2table(page, asp, l1index);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_L2PTABLE);
+  assert(secure_pages[as_l1pt[asp]][l1index] == (unsigned long)page);
+}
+
+void spec__map_secure(void) {
+  any(int, page);
+  any(int, asp);
+  any(int, l2page);
+  any(int, l2index);
+  any(unsigned long, prot);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(l2page >= 0 && l2page < KOM_PAGE_COUNT);
+  assume(l2index >= 0 && l2index < KOM_PAGE_WORDS);
+  assume(pagedb[page].type == KOM_PAGE_FREE);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+  assume(pagedb[l2page].type == KOM_PAGE_L2PTABLE);
+  assume(pagedb[l2page].addrspace == asp);
+
+  int err = kom_smc_map_secure(page, asp, l2page, l2index, prot);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_DATA);
+  assert(pagedb[page].addrspace == asp);
+  /* The PTE encodes the page number, the masked prot bits and VALID. */
+  assert(secure_pages[l2page][l2index]
+         == (((unsigned long)page << 8) | (prot & 0x7) | 0x1));
+}
+
+void spec__map_secure_bad_l2(void) {
+  any(int, page);
+  any(int, asp);
+  any(int, l2page);
+  any(int, l2index);
+  any(unsigned long, prot);
+  assume(l2page >= 0 && l2page < KOM_PAGE_COUNT);
+  assume(l2index >= 0 && l2index < KOM_PAGE_WORDS);
+  assume(pagedb[l2page].type != KOM_PAGE_L2PTABLE);
+
+  int err = kom_smc_map_secure(page, asp, l2page, l2index, prot);
+
+  assert(err != KOM_ERR_SUCCESS);
+}
+
+void spec__map_insecure(void) {
+  any(int, asp);
+  any(unsigned long, phys);
+  any(int, l2page);
+  any(int, l2index);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(l2page >= 0 && l2page < KOM_PAGE_COUNT);
+  assume(l2index >= 0 && l2index < KOM_PAGE_WORDS);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+  assume(pagedb[l2page].type == KOM_PAGE_L2PTABLE);
+  assume(pagedb[l2page].addrspace == asp);
+
+  int err = kom_smc_map_insecure(asp, phys, l2page, l2index);
+
+  assert(err == KOM_ERR_SUCCESS);
+  /* Insecure mappings carry the NS bit, never VALID-secure. */
+  assert((secure_pages[l2page][l2index] & 0x1) == 0);
+  assert((secure_pages[l2page][l2index] & 0x2) != 0);
+}
+
+void spec__remove_stopped(void) {
+  any(int, page);
+  any(int, asp);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[page].type == KOM_PAGE_DATA);
+  assume(pagedb[page].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_STOPPED);
+
+  int err = kom_smc_remove(page);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_FREE);
+  assert(pagedb[page].addrspace == -1);
+}
+
+void spec__remove_running_fails(void) {
+  any(int, page);
+  any(int, asp);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[page].type == KOM_PAGE_DATA);
+  assume(pagedb[page].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_FINAL);
+  int old_type = pagedb[page].type;
+
+  int err = kom_smc_remove(page);
+
+  /* Enclave memory cannot be reclaimed while it may still run. */
+  assert(err == KOM_ERR_NOT_STOPPED);
+  assert(pagedb[page].type == old_type);
+}
+
+void spec__finalise(void) {
+  any(int, asp);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+
+  int err = kom_smc_finalise(asp);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(as_state[asp] == KOM_ADDRSPACE_FINAL);
+}
+
+void spec__finalise_twice_fails(void) {
+  any(int, asp);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_FINAL);
+
+  int err = kom_smc_finalise(asp);
+
+  assert(err == KOM_ERR_ALREADY_FINAL);
+  assert(as_state[asp] == KOM_ADDRSPACE_FINAL);
+}
+
+void spec__stop(void) {
+  any(int, asp);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+
+  int err = kom_smc_stop(asp);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(as_state[asp] == KOM_ADDRSPACE_STOPPED);
+}
+
+void spec__enter(void) {
+  any(int, disp);
+  any(int, asp);
+  assume(disp >= 0 && disp < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[disp].type == KOM_PAGE_DISPATCHER);
+  assume(pagedb[disp].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_FINAL);
+  assume(disp_entered[disp] == 0);
+
+  int err = kom_smc_enter(disp);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(disp_entered[disp] == 1);
+}
+
+void spec__enter_not_final_fails(void) {
+  any(int, disp);
+  any(int, asp);
+  assume(disp >= 0 && disp < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[disp].type == KOM_PAGE_DISPATCHER);
+  assume(pagedb[disp].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] != KOM_ADDRSPACE_FINAL);
+
+  int err = kom_smc_enter(disp);
+
+  assert(err == KOM_ERR_NOT_FINAL);
+  assert(disp_entered[disp] == 0 || disp_entered[disp] == 1);
+}
+
+void spec__resume_exit(void) {
+  any(int, disp);
+  any(int, asp);
+  assume(disp >= 0 && disp < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[disp].type == KOM_PAGE_DISPATCHER);
+  assume(pagedb[disp].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_FINAL);
+  assume(disp_entered[disp] == 1);
+
+  int err = kom_smc_resume(disp);
+  assert(err == KOM_ERR_SUCCESS);
+
+  err = kom_svc_exit(disp);
+  assert(err == KOM_ERR_SUCCESS);
+  assert(disp_entered[disp] == 0);
+}

@@ -1,0 +1,266 @@
+/*
+ * Komodo*: Komodo^S "with the VA-to-PA translation and pointers and
+ * associated arithmetic added back in" (paper §5.1, Table 3). The secure
+ * page pool is a flat region of monitor virtual memory; page contents are
+ * reached by translating page numbers to virtual addresses and casting the
+ * result to word pointers, and page-table entries store *physical*
+ * addresses — exactly the features the Serval port had to remove.
+ */
+
+#define KOM_PAGE_COUNT 8
+#define KOM_PAGE_WORDS 8
+#define KOM_PAGE_SIZE 64
+#define KOM_SECURE_PBASE 0x80000000
+
+#define KOM_PAGE_FREE 0
+#define KOM_PAGE_ADDRSPACE 1
+#define KOM_PAGE_DISPATCHER 2
+#define KOM_PAGE_L1PTABLE 3
+#define KOM_PAGE_L2PTABLE 4
+#define KOM_PAGE_DATA 5
+
+#define KOM_ADDRSPACE_INIT 0
+#define KOM_ADDRSPACE_FINAL 1
+#define KOM_ADDRSPACE_STOPPED 2
+
+#define KOM_ERR_SUCCESS 0
+#define KOM_ERR_INVALID_PAGENO 1
+#define KOM_ERR_PAGEINUSE 2
+#define KOM_ERR_INVALID_ADDRSPACE 3
+#define KOM_ERR_ALREADY_FINAL 4
+#define KOM_ERR_NOT_FINAL 5
+#define KOM_ERR_NOT_STOPPED 6
+#define KOM_ERR_INVALID_MAPPING 7
+
+struct kom_pagedb_entry {
+  int type;
+  int addrspace;
+};
+
+struct kom_pagedb_entry pagedb[KOM_PAGE_COUNT];
+int as_state[KOM_PAGE_COUNT];
+int as_l1pt[KOM_PAGE_COUNT];
+int disp_entered[KOM_PAGE_COUNT];
+
+/* Monitor virtual base of the secure page pool. */
+unsigned long kom_secure_vbase;
+
+/* --- Address translation (the Komodo* additions) ------------------- */
+
+unsigned long kom_page_va(int page) {
+  return kom_secure_vbase + (unsigned long)page * KOM_PAGE_SIZE;
+}
+
+unsigned long kom_page_pa(int page) {
+  return KOM_SECURE_PBASE + (unsigned long)page * KOM_PAGE_SIZE;
+}
+
+/* Monitor page walk: physical secure address back to a page number. */
+int kom_pa_to_page(unsigned long pa) {
+  if (pa < KOM_SECURE_PBASE)
+    return -1;
+  if (pa >= KOM_SECURE_PBASE + KOM_PAGE_COUNT * KOM_PAGE_SIZE)
+    return -1;
+  return (int)((pa - KOM_SECURE_PBASE) / KOM_PAGE_SIZE);
+}
+
+/* Word access through a translated, cast pointer. */
+unsigned long *kom_word_ptr(int page, int idx) {
+  return (unsigned long *)(kom_page_va(page) + (unsigned long)idx * 8);
+}
+
+unsigned long kom_read_word(int page, int idx) {
+  return *kom_word_ptr(page, idx);
+}
+
+void kom_write_word(int page, int idx, unsigned long val) {
+  *kom_word_ptr(page, idx) = val;
+}
+
+/* --- The monitor proper (state machine as in Komodo^S) -------------- */
+
+int kom_valid_pageno(int p) {
+  return p >= 0 && p < KOM_PAGE_COUNT;
+}
+
+int kom_is_free(int p) {
+  return pagedb[p].type == KOM_PAGE_FREE;
+}
+
+int kom_is_addrspace(int p) {
+  return kom_valid_pageno(p) && pagedb[p].type == KOM_PAGE_ADDRSPACE;
+}
+
+int loopinv__zero_page(int *pp, int *ip) {
+  return *ip >= 0 && *ip < KOM_PAGE_WORDS;
+}
+
+void kom_zero_page(int p) {
+  int i;
+  for (i = 0; i < KOM_PAGE_WORDS; i++) {
+    kom_write_word(p, i, 0);
+  }
+}
+
+int kom_allocate_page(int page, int asp, int type) {
+  if (!kom_valid_pageno(page))
+    return KOM_ERR_INVALID_PAGENO;
+  if (!kom_is_free(page))
+    return KOM_ERR_PAGEINUSE;
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  if (as_state[asp] != KOM_ADDRSPACE_INIT)
+    return KOM_ERR_ALREADY_FINAL;
+  kom_zero_page(page);
+  pagedb[page].type = type;
+  pagedb[page].addrspace = asp;
+  return KOM_ERR_SUCCESS;
+}
+
+int kom_smc_init_addrspace(int page, int l1pt) {
+  if (!kom_valid_pageno(page) || !kom_valid_pageno(l1pt))
+    return KOM_ERR_INVALID_PAGENO;
+  if (page == l1pt)
+    return KOM_ERR_PAGEINUSE;
+  if (!kom_is_free(page) || !kom_is_free(l1pt))
+    return KOM_ERR_PAGEINUSE;
+  kom_zero_page(page);
+  kom_zero_page(l1pt);
+  pagedb[page].type = KOM_PAGE_ADDRSPACE;
+  pagedb[page].addrspace = page;
+  pagedb[l1pt].type = KOM_PAGE_L1PTABLE;
+  pagedb[l1pt].addrspace = page;
+  as_state[page] = KOM_ADDRSPACE_INIT;
+  as_l1pt[page] = l1pt;
+  return KOM_ERR_SUCCESS;
+}
+
+int kom_smc_init_dispatcher(int page, int asp, unsigned long entry) {
+  int err = kom_allocate_page(page, asp, KOM_PAGE_DISPATCHER);
+  if (err != KOM_ERR_SUCCESS)
+    return err;
+  kom_write_word(page, 0, entry);
+  disp_entered[page] = 0;
+  return KOM_ERR_SUCCESS;
+}
+
+/* L1 entries store the *physical* address of the L2 table. */
+int kom_smc_init_l2table(int page, int asp, int l1index) {
+  int err;
+  if (l1index < 0 || l1index >= KOM_PAGE_WORDS)
+    return KOM_ERR_INVALID_MAPPING;
+  err = kom_allocate_page(page, asp, KOM_PAGE_L2PTABLE);
+  if (err != KOM_ERR_SUCCESS)
+    return err;
+  kom_write_word(as_l1pt[asp], l1index, kom_page_pa(page) | 0x1);
+  return KOM_ERR_SUCCESS;
+}
+
+/* Map a data page: the L2 PTE packs the physical address with prot bits
+ * (bit-twiddling over a translated address). */
+int kom_smc_map_secure(int page, int asp, int l2page, int l2index,
+                       unsigned long prot) {
+  int err;
+  if (l2index < 0 || l2index >= KOM_PAGE_WORDS)
+    return KOM_ERR_INVALID_MAPPING;
+  if (!kom_valid_pageno(l2page))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[l2page].type != KOM_PAGE_L2PTABLE
+      || pagedb[l2page].addrspace != asp)
+    return KOM_ERR_INVALID_MAPPING;
+  err = kom_allocate_page(page, asp, KOM_PAGE_DATA);
+  if (err != KOM_ERR_SUCCESS)
+    return err;
+  kom_write_word(l2page, l2index, kom_page_pa(page) | (prot & 0x7) | 0x1);
+  return KOM_ERR_SUCCESS;
+}
+
+/* Walk an L2 PTE back to the mapped page number (page walk through the
+ * packed physical address — the feature Serval could not support). */
+int kom_l2_lookup(int l2page, int l2index) {
+  unsigned long pte;
+  if (!kom_valid_pageno(l2page))
+    return -1;
+  if (l2index < 0 || l2index >= KOM_PAGE_WORDS)
+    return -1;
+  pte = kom_read_word(l2page, l2index);
+  if ((pte & 0x1) == 0)
+    return -1;
+  return kom_pa_to_page(pte & ~0xffUL);
+}
+
+int kom_smc_remove(int page) {
+  int asp;
+  if (!kom_valid_pageno(page))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[page].type == KOM_PAGE_FREE)
+    return KOM_ERR_SUCCESS;
+  asp = pagedb[page].addrspace;
+  if (pagedb[page].type != KOM_PAGE_ADDRSPACE) {
+    if (!kom_is_addrspace(asp))
+      return KOM_ERR_INVALID_ADDRSPACE;
+    if (as_state[asp] != KOM_ADDRSPACE_STOPPED)
+      return KOM_ERR_NOT_STOPPED;
+  }
+  pagedb[page].type = KOM_PAGE_FREE;
+  pagedb[page].addrspace = -1;
+  return KOM_ERR_SUCCESS;
+}
+
+int kom_smc_finalise(int asp) {
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  if (as_state[asp] != KOM_ADDRSPACE_INIT)
+    return KOM_ERR_ALREADY_FINAL;
+  as_state[asp] = KOM_ADDRSPACE_FINAL;
+  return KOM_ERR_SUCCESS;
+}
+
+int kom_smc_stop(int asp) {
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  as_state[asp] = KOM_ADDRSPACE_STOPPED;
+  return KOM_ERR_SUCCESS;
+}
+
+int kom_smc_enter(int disp) {
+  int asp;
+  if (!kom_valid_pageno(disp))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[disp].type != KOM_PAGE_DISPATCHER)
+    return KOM_ERR_INVALID_PAGENO;
+  asp = pagedb[disp].addrspace;
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  if (as_state[asp] != KOM_ADDRSPACE_FINAL)
+    return KOM_ERR_NOT_FINAL;
+  if (disp_entered[disp])
+    return KOM_ERR_PAGEINUSE;
+  disp_entered[disp] = 1;
+  return KOM_ERR_SUCCESS;
+}
+
+int kom_smc_resume(int disp) {
+  int asp;
+  if (!kom_valid_pageno(disp))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[disp].type != KOM_PAGE_DISPATCHER)
+    return KOM_ERR_INVALID_PAGENO;
+  asp = pagedb[disp].addrspace;
+  if (!kom_is_addrspace(asp))
+    return KOM_ERR_INVALID_ADDRSPACE;
+  if (as_state[asp] != KOM_ADDRSPACE_FINAL)
+    return KOM_ERR_NOT_FINAL;
+  if (!disp_entered[disp])
+    return KOM_ERR_PAGEINUSE;
+  return KOM_ERR_SUCCESS;
+}
+
+int kom_svc_exit(int disp) {
+  if (!kom_valid_pageno(disp))
+    return KOM_ERR_INVALID_PAGENO;
+  if (pagedb[disp].type != KOM_PAGE_DISPATCHER)
+    return KOM_ERR_INVALID_PAGENO;
+  disp_entered[disp] = 0;
+  return KOM_ERR_SUCCESS;
+}

@@ -1,0 +1,291 @@
+/*
+ * TPot specification for Komodo*: the same 16 obligations as Komodo^S, but
+ * over the pointer/VA-PA implementation (paper §5.1: "we added back the
+ * pointer support and address translation removed for Serval, and
+ * re-verified the same specifications"). The secure-region invariant names
+ * the flat pool; reads go through the translated word pointers.
+ */
+
+int pagedb_entry_ok(struct kom_pagedb_entry *e, unsigned long i) {
+  if (e->type < KOM_PAGE_FREE || e->type > KOM_PAGE_DATA)
+    return 0;
+  if (e->type == KOM_PAGE_FREE)
+    return e->addrspace == -1;
+  if (e->type == KOM_PAGE_ADDRSPACE)
+    return e->addrspace == (int)i;
+  return e->addrspace >= 0 && e->addrspace < KOM_PAGE_COUNT;
+}
+
+int inv__secure_region(void) {
+  return names_obj((char *)kom_secure_vbase,
+                   char[KOM_PAGE_COUNT * KOM_PAGE_SIZE])
+      && forall_elem(pagedb, &pagedb_entry_ok);
+}
+
+void spec__va_pa_roundtrip(void) {
+  any(int, page);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+
+  unsigned long pa = kom_page_pa(page);
+  int back = kom_pa_to_page(pa);
+
+  assert(back == page);
+}
+
+void spec__pa_walk_rejects_insecure(void) {
+  any(unsigned long, pa);
+  assume(pa < KOM_SECURE_PBASE
+         || pa >= KOM_SECURE_PBASE + KOM_PAGE_COUNT * KOM_PAGE_SIZE);
+
+  int page = kom_pa_to_page(pa);
+
+  assert(page == -1);
+}
+
+void spec__word_rw(void) {
+  any(int, page);
+  any(int, idx);
+  any(unsigned long, val);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(idx >= 0 && idx < KOM_PAGE_WORDS);
+
+  kom_write_word(page, idx, val);
+
+  assert(kom_read_word(page, idx) == val);
+}
+
+void spec__word_rw_frame(void) {
+  any(int, page);
+  any(int, idx);
+  any(unsigned long, val);
+  any(int, p2);
+  any(int, i2);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(idx >= 0 && idx < KOM_PAGE_WORDS);
+  assume(p2 >= 0 && p2 < KOM_PAGE_COUNT);
+  assume(i2 >= 0 && i2 < KOM_PAGE_WORDS);
+  assume(p2 != page || i2 != idx);
+  unsigned long old = kom_read_word(p2, i2);
+
+  kom_write_word(page, idx, val);
+
+  assert(kom_read_word(p2, i2) == old);
+}
+
+void spec__init_addrspace_ok(void) {
+  any(int, page);
+  any(int, l1pt);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(l1pt >= 0 && l1pt < KOM_PAGE_COUNT);
+  assume(page != l1pt);
+  assume(pagedb[page].type == KOM_PAGE_FREE);
+  assume(pagedb[l1pt].type == KOM_PAGE_FREE);
+
+  int err = kom_smc_init_addrspace(page, l1pt);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_ADDRSPACE);
+  assert(pagedb[l1pt].type == KOM_PAGE_L1PTABLE);
+  assert(as_state[page] == KOM_ADDRSPACE_INIT);
+  assert(as_l1pt[page] == l1pt);
+}
+
+void spec__init_addrspace_inuse(void) {
+  any(int, page);
+  any(int, l1pt);
+  any(int, j);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(l1pt >= 0 && l1pt < KOM_PAGE_COUNT);
+  assume(j >= 0 && j < KOM_PAGE_COUNT);
+  assume(pagedb[page].type != KOM_PAGE_FREE);
+  int old_type = pagedb[j].type;
+
+  int err = kom_smc_init_addrspace(page, l1pt);
+
+  assert(err != KOM_ERR_SUCCESS);
+  assert(pagedb[j].type == old_type);
+}
+
+void spec__init_dispatcher(void) {
+  any(int, page);
+  any(int, asp);
+  any(unsigned long, entry);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[page].type == KOM_PAGE_FREE);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+
+  int err = kom_smc_init_dispatcher(page, asp, entry);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_DISPATCHER);
+  assert(kom_read_word(page, 0) == entry);
+  assert(disp_entered[page] == 0);
+}
+
+void spec__init_l2table(void) {
+  any(int, page);
+  any(int, asp);
+  any(int, l1index);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(l1index >= 0 && l1index < KOM_PAGE_WORDS);
+  assume(pagedb[page].type == KOM_PAGE_FREE);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+  assume(as_l1pt[asp] >= 0 && as_l1pt[asp] < KOM_PAGE_COUNT);
+  assume(as_l1pt[asp] != page);
+
+  int err = kom_smc_init_l2table(page, asp, l1index);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_L2PTABLE);
+  /* The L1 entry holds the L2 table's *physical* address, valid bit set. */
+  assert(kom_read_word(as_l1pt[asp], l1index)
+         == (kom_page_pa(page) | 0x1));
+}
+
+void spec__map_secure(void) {
+  any(int, page);
+  any(int, asp);
+  any(int, l2page);
+  any(int, l2index);
+  any(unsigned long, prot);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(l2page >= 0 && l2page < KOM_PAGE_COUNT);
+  assume(l2index >= 0 && l2index < KOM_PAGE_WORDS);
+  assume(pagedb[page].type == KOM_PAGE_FREE);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+  assume(pagedb[l2page].type == KOM_PAGE_L2PTABLE);
+  assume(pagedb[l2page].addrspace == asp);
+  assume(l2page != page);
+
+  int err = kom_smc_map_secure(page, asp, l2page, l2index, prot);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_DATA);
+  assert(kom_read_word(l2page, l2index)
+         == (kom_page_pa(page) | (prot & 0x7) | 0x1));
+  /* The page walk recovers the mapped page from the packed PTE. */
+  assert(kom_l2_lookup(l2page, l2index) == page);
+}
+
+void spec__remove_stopped(void) {
+  any(int, page);
+  any(int, asp);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[page].type == KOM_PAGE_DATA);
+  assume(pagedb[page].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_STOPPED);
+
+  int err = kom_smc_remove(page);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(pagedb[page].type == KOM_PAGE_FREE);
+}
+
+void spec__remove_running_fails(void) {
+  any(int, page);
+  any(int, asp);
+  assume(page >= 0 && page < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[page].type == KOM_PAGE_DATA);
+  assume(pagedb[page].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_FINAL);
+
+  int err = kom_smc_remove(page);
+
+  assert(err == KOM_ERR_NOT_STOPPED);
+  assert(pagedb[page].type == KOM_PAGE_DATA);
+}
+
+void spec__finalise(void) {
+  any(int, asp);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_INIT);
+
+  int err = kom_smc_finalise(asp);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(as_state[asp] == KOM_ADDRSPACE_FINAL);
+}
+
+void spec__finalise_twice_fails(void) {
+  any(int, asp);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_FINAL);
+
+  int err = kom_smc_finalise(asp);
+
+  assert(err == KOM_ERR_ALREADY_FINAL);
+}
+
+void spec__stop(void) {
+  any(int, asp);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+
+  int err = kom_smc_stop(asp);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(as_state[asp] == KOM_ADDRSPACE_STOPPED);
+}
+
+void spec__enter(void) {
+  any(int, disp);
+  any(int, asp);
+  assume(disp >= 0 && disp < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[disp].type == KOM_PAGE_DISPATCHER);
+  assume(pagedb[disp].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_FINAL);
+  assume(disp_entered[disp] == 0);
+
+  int err = kom_smc_enter(disp);
+
+  assert(err == KOM_ERR_SUCCESS);
+  assert(disp_entered[disp] == 1);
+}
+
+void spec__enter_not_final_fails(void) {
+  any(int, disp);
+  any(int, asp);
+  assume(disp >= 0 && disp < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[disp].type == KOM_PAGE_DISPATCHER);
+  assume(pagedb[disp].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] != KOM_ADDRSPACE_FINAL);
+
+  int err = kom_smc_enter(disp);
+
+  assert(err == KOM_ERR_NOT_FINAL);
+}
+
+void spec__resume_exit(void) {
+  any(int, disp);
+  any(int, asp);
+  assume(disp >= 0 && disp < KOM_PAGE_COUNT);
+  assume(asp >= 0 && asp < KOM_PAGE_COUNT);
+  assume(pagedb[disp].type == KOM_PAGE_DISPATCHER);
+  assume(pagedb[disp].addrspace == asp);
+  assume(pagedb[asp].type == KOM_PAGE_ADDRSPACE);
+  assume(as_state[asp] == KOM_ADDRSPACE_FINAL);
+  assume(disp_entered[disp] == 1);
+
+  int err = kom_smc_resume(disp);
+  assert(err == KOM_ERR_SUCCESS);
+
+  err = kom_svc_exit(disp);
+  assert(err == KOM_ERR_SUCCESS);
+  assert(disp_entered[disp] == 0);
+}

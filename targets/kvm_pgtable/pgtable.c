@@ -1,0 +1,65 @@
+/*
+ * Port of the KVM page-table case study (paper §5.1), originally verified
+ * with RefinedC. A simplified Linux KVM stage-2 page table: each 64-bit
+ * entry packs a page-aligned physical address with protection bits and a
+ * validity flag; the operations are pure bit-twiddling over the packed
+ * representation (the verification-hostile idiom the paper highlights —
+ * TPot "reasons directly on bitvectors, whereas RefinedC abstracts them
+ * into field-based structures").
+ */
+
+#define PT_ENTRIES 8
+
+#define KVM_PTE_VALID 0x1
+#define KVM_PTE_PROT_SHIFT 2
+#define KVM_PTE_PROT_MASK 0xfc
+#define KVM_PTE_ADDR_MASK 0xfffffffff000
+
+#define KVM_PROT_R 0x1
+#define KVM_PROT_W 0x2
+#define KVM_PROT_X 0x4
+
+unsigned long pgtable[PT_ENTRIES];
+
+/* Pack a physical address and protection bits into a valid PTE. */
+unsigned long kvm_pte_mk(unsigned long pa, unsigned long prot) {
+  return (pa & KVM_PTE_ADDR_MASK)
+       | ((prot << KVM_PTE_PROT_SHIFT) & KVM_PTE_PROT_MASK)
+       | KVM_PTE_VALID;
+}
+
+int kvm_pte_valid(unsigned long pte) {
+  return (pte & KVM_PTE_VALID) != 0;
+}
+
+unsigned long kvm_pte_addr(unsigned long pte) {
+  return pte & KVM_PTE_ADDR_MASK;
+}
+
+unsigned long kvm_pte_prot(unsigned long pte) {
+  return (pte & KVM_PTE_PROT_MASK) >> KVM_PTE_PROT_SHIFT;
+}
+
+/* Install a mapping. */
+void kvm_set_pte(int idx, unsigned long pa, unsigned long prot) {
+  pgtable[idx] = kvm_pte_mk(pa, prot);
+}
+
+/* Invalidate an entry, preserving the address and protection bits (the
+ * Linux pattern for break-before-make). */
+void kvm_set_invalid_pte(int idx) {
+  pgtable[idx] = pgtable[idx] & ~KVM_PTE_VALID;
+}
+
+/* Update only the protection bits of an entry. */
+void kvm_set_prot(int idx, unsigned long prot) {
+  unsigned long pte = pgtable[idx];
+  pte = pte & ~KVM_PTE_PROT_MASK;
+  pte = pte | ((prot << KVM_PTE_PROT_SHIFT) & KVM_PTE_PROT_MASK);
+  pgtable[idx] = pte;
+}
+
+/* Is the page mapped? */
+int kvm_pte_in_use(int idx) {
+  return kvm_pte_valid(pgtable[idx]);
+}

@@ -1,0 +1,63 @@
+/*
+ * TPot specification for the KVM page table (paper §5.1): each function
+ * modifies its PTE as the RefinedC formalization specifies, expressed
+ * directly over the packed bit representation.
+ */
+
+void spec__set_pte(void) {
+  any(int, idx);
+  any(unsigned long, pa);
+  any(unsigned long, prot);
+  any(int, j);
+  assume(idx >= 0 && idx < PT_ENTRIES);
+  assume(j >= 0 && j < PT_ENTRIES);
+  assume((pa & ~KVM_PTE_ADDR_MASK) == 0); /* page-aligned, in range */
+  assume(prot <= (KVM_PROT_R | KVM_PROT_W | KVM_PROT_X));
+  unsigned long old_j = pgtable[j];
+
+  kvm_set_pte(idx, pa, prot);
+
+  assert(kvm_pte_valid(pgtable[idx]));
+  assert(kvm_pte_addr(pgtable[idx]) == pa);
+  assert(kvm_pte_prot(pgtable[idx]) == prot);
+  if (j != idx)
+    assert(pgtable[j] == old_j);
+}
+
+void spec__set_invalid(void) {
+  any(int, idx);
+  any(int, j);
+  assume(idx >= 0 && idx < PT_ENTRIES);
+  assume(j >= 0 && j < PT_ENTRIES);
+  unsigned long old = pgtable[idx];
+  unsigned long old_j = pgtable[j];
+
+  kvm_set_invalid_pte(idx);
+
+  assert(!kvm_pte_valid(pgtable[idx]));
+  /* Break-before-make: address and protection bits survive. */
+  assert(kvm_pte_addr(pgtable[idx]) == kvm_pte_addr(old));
+  assert(kvm_pte_prot(pgtable[idx]) == kvm_pte_prot(old));
+  if (j != idx)
+    assert(pgtable[j] == old_j);
+}
+
+void spec__set_prot(void) {
+  any(int, idx);
+  any(unsigned long, prot);
+  any(int, j);
+  assume(idx >= 0 && idx < PT_ENTRIES);
+  assume(j >= 0 && j < PT_ENTRIES);
+  assume(prot <= (KVM_PROT_R | KVM_PROT_W | KVM_PROT_X));
+  unsigned long old = pgtable[idx];
+  unsigned long old_j = pgtable[j];
+
+  kvm_set_prot(idx, prot);
+
+  assert(kvm_pte_prot(pgtable[idx]) == prot);
+  /* Address and validity are untouched. */
+  assert(kvm_pte_addr(pgtable[idx]) == kvm_pte_addr(old));
+  assert(kvm_pte_valid(pgtable[idx]) == kvm_pte_valid(old));
+  if (j != idx)
+    assert(pgtable[j] == old_j);
+}

@@ -1,0 +1,107 @@
+/*
+ * Port of the pKVM hyp early allocator (paper §5.1, appendix A).
+ *
+ * pKVM uses this allocator during boot to manage a flat region of memory.
+ * There is no reclamation: three long integers track the region (base/end)
+ * and the next free address (cur). Allocation casts the integer address of
+ * the next free page into a pointer and zero-initializes the page — the
+ * int-to-pointer idiom the paper calls out.
+ *
+ * PAGE_SIZE/NUM_PAGES are scaled from 4096/…: the zeroing loop is verified
+ * with a loop invariant (appendix A.2), so the constants only bound the
+ * havoc region, not the proof structure.
+ */
+
+#define PAGE_SIZE 64
+#define NUM_PAGES 4
+#define NULL 0
+
+unsigned long base;
+unsigned long end;
+unsigned long cur;
+
+/* Loop invariant for clear_page: bytes [0, i) of the page are zero. */
+int page_zero_upto(char *p, unsigned long j, unsigned long bound) {
+  if (j >= bound)
+    return 1;
+  return *p == 0;
+}
+
+int loopinv__clear_page(unsigned long *ip, unsigned long *top) {
+  /* Strict bound: the cut point sits inside the body, after the loop
+   * condition has been applied (appendix A.2 walkthrough). */
+  return *ip < PAGE_SIZE
+      && forall_elem((char *)(*top), &page_zero_upto, *ip);
+}
+
+void clear_page(unsigned long to) {
+  unsigned long i = 0;
+  while (i < PAGE_SIZE) {
+    __tpot_inv(&loopinv__clear_page, &i, &to,
+               &i, sizeof(unsigned long), to, PAGE_SIZE);
+    *(char *)(to + i) = 0;
+    i = i + 1;
+  }
+}
+
+char *hyp_early_alloc_contig(unsigned int nr_pages) {
+  unsigned long ret = cur;
+  unsigned long i;
+  unsigned long p;
+
+  if (!nr_pages)
+    return NULL;
+
+  cur = cur + PAGE_SIZE * (unsigned long)nr_pages;
+  if (cur > end) {
+    cur = ret;
+    return NULL;
+  }
+  for (i = 0; i < nr_pages; i++) {
+    /* The havoc region is the whole allocatable buffer: the per-call
+     * sub-range [ret, ret + nr*PAGE_SIZE) has a symbolic extent, and the
+     * invariant reconstructs everything the caller relies on. */
+    __tpot_inv(&loopinv__contig, &i, &ret, &nr_pages,
+               &i, sizeof(unsigned long),
+               base, PAGE_SIZE * NUM_PAGES);
+    p = ret + i * PAGE_SIZE;
+    clear_page(p);
+  }
+  return (char *)ret;
+}
+
+/* Loop invariant for the multi-page loop: pages [0, i) are zeroed. */
+int contig_zero_upto(char *b, unsigned long j, unsigned long pages) {
+  if (j >= pages * PAGE_SIZE)
+    return 1;
+  return *b == 0;
+}
+
+int loopinv__contig(unsigned long *ip, unsigned long *retp,
+                    unsigned int *nrp) {
+  return *ip < (unsigned long)(*nrp)
+      && cur == *retp + PAGE_SIZE * (unsigned long)(*nrp)
+      && forall_elem((char *)(*retp), &contig_zero_upto, *ip);
+}
+
+char *hyp_early_alloc_page(void) {
+  unsigned long ret = cur;
+
+  cur = cur + PAGE_SIZE;
+  if (cur > end) {
+    cur = ret;
+    return NULL;
+  }
+  clear_page(ret);
+  return (char *)ret;
+}
+
+unsigned long hyp_early_alloc_nr_pages(void) {
+  return (cur - base) / PAGE_SIZE;
+}
+
+void hyp_early_alloc_init(unsigned long virt, unsigned long size) {
+  base = virt;
+  end = virt + size;
+  cur = virt;
+}

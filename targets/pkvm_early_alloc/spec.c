@@ -1,0 +1,64 @@
+/*
+ * TPot specification for the pKVM early allocator — the POTs of paper
+ * appendix A.1, ported verbatim modulo the scaled constants.
+ */
+
+/* Global invariant (appendix A.1, inv__early_alloc). */
+int inv__early_alloc(void) {
+  return names_obj((char *)base, char[NUM_PAGES * PAGE_SIZE])
+      && end == base + NUM_PAGES * PAGE_SIZE
+      && cur >= base && cur <= end;
+}
+
+/* Helper passed to forall_elem (appendix A.1, alloc_range_zero). */
+int alloc_range_zero(long i, long start, long stop) {
+  if (i < start || i >= stop)
+    return 1;
+  return ((char *)base)[i] == 0;
+}
+
+void spec__alloc_page(void) {
+  assume(cur + PAGE_SIZE < end);
+
+  unsigned long prev_end = end, prev_cur = cur;
+
+  char *result = hyp_early_alloc_page();
+  assert(result != NULL);
+
+  assert(forall_elem((char *)base, &alloc_range_zero,
+                     (long)(result - (char *)base),
+                     (long)(result - (char *)base) + PAGE_SIZE));
+
+  assert(cur == prev_cur + PAGE_SIZE);
+  assert(end == prev_end);
+}
+
+void spec__alloc_contig(void) {
+  any(unsigned int, nr_pages);
+  assume(nr_pages > 0);
+  assume(cur + PAGE_SIZE * (unsigned long)nr_pages < end);
+
+  unsigned long prev_end = end, prev_cur = cur;
+
+  char *result = hyp_early_alloc_contig(nr_pages);
+
+  assert(result != NULL);
+  assert(forall_elem((char *)base, &alloc_range_zero,
+                     (long)(result - (char *)base),
+                     (long)(result - (char *)base)
+                         + PAGE_SIZE * (long)nr_pages));
+
+  assert(cur == prev_cur + PAGE_SIZE * (unsigned long)nr_pages);
+  assert(end == prev_end);
+}
+
+void spec__nr_pages(void) {
+  unsigned long result = hyp_early_alloc_nr_pages();
+  assert(result == (cur - base) / PAGE_SIZE);
+}
+
+void spec__init(void) {
+  any(unsigned long, virt);
+  assume(names_obj((char *)virt, char[NUM_PAGES * PAGE_SIZE]));
+  hyp_early_alloc_init(virt, NUM_PAGES * PAGE_SIZE);
+}

@@ -1,0 +1,86 @@
+/*
+ * Models of the Linux USB core and input subsystem (paper §5.1): "The
+ * VeriFast specification does not consider the actual implementation of
+ * these Linux functions but relies on trusted VeriFast contracts instead.
+ * We take a similar approach: we model their behavior using simple C
+ * functions." These lines are the "Linux models" annotation category of
+ * Table 4.
+ */
+
+#define NULL 0
+#define EIO 5
+#define ENOMEM 12
+
+/* A USB request block (URB): the unit of USB I/O. */
+struct urb {
+  int submitted;
+  unsigned long transfer_buffer; /* driver's data buffer (address) */
+  int transfer_length;
+  unsigned long context;         /* driver private pointer (address) */
+};
+
+/* A connected USB device, as handed to probe(). */
+struct usb_device {
+  int devnum;
+  int speed;
+};
+
+/* An input-subsystem device. */
+struct input_dev {
+  int registered;
+  int open_count;
+  unsigned long private_data;
+};
+
+struct urb *usb_alloc_urb(void) {
+  struct urb *u = (struct urb *)malloc(sizeof(struct urb));
+  u->submitted = 0;
+  u->transfer_buffer = 0;
+  u->transfer_length = 0;
+  u->context = 0;
+  return u;
+}
+
+void usb_free_urb(struct urb *u) {
+  free(u);
+}
+
+int usb_submit_urb(struct urb *u) {
+  /* Precondition (checked, not assumed): the URB must be filled in. */
+  assert(u->transfer_buffer != 0);
+  u->submitted = 1;
+  return 0;
+}
+
+void usb_kill_urb(struct urb *u) {
+  u->submitted = 0;
+}
+
+char *usb_alloc_coherent(unsigned long size) {
+  return (char *)malloc(size);
+}
+
+void usb_free_coherent(char *p) {
+  free(p);
+}
+
+struct input_dev *input_allocate_device(void) {
+  struct input_dev *d = (struct input_dev *)malloc(sizeof(struct input_dev));
+  d->registered = 0;
+  d->open_count = 0;
+  d->private_data = 0;
+  return d;
+}
+
+void input_free_device(struct input_dev *d) {
+  free(d);
+}
+
+int input_register_device(struct input_dev *d) {
+  d->registered = 1;
+  return 0;
+}
+
+void input_unregister_device(struct input_dev *d) {
+  d->registered = 0;
+}

@@ -1,0 +1,80 @@
+/*
+ * TPot specification for the USB mouse driver (paper §5.1): opening/closing
+ * submits/cancels URBs; probing initializes the device and allocates the
+ * data structures; disconnection frees them all; and the driver meets the
+ * (modeled) Linux API preconditions.
+ */
+
+/* Global invariant: either no device is bound, or the full object graph is
+ * allocated and wired (the naming also gives non-aliasing, §4.1). */
+int inv__mouse(void) {
+  return mouse == NULL
+      || (names_obj(mouse, struct usb_mouse)
+          && names_obj(mouse->irq, struct urb)
+          && names_obj(mouse->dev, struct input_dev)
+          && names_obj(mouse->data, char[MOUSE_DATA_LEN])
+          && mouse->irq->transfer_buffer == (unsigned long)mouse->data
+          && mouse->open_count >= 0);
+}
+
+void spec__open(void) {
+  assume(mouse != NULL);
+  int old_count = mouse->open_count;
+  assume(old_count < 1000000);
+
+  int r = usb_mouse_open();
+
+  assert(r == 0);
+  assert(mouse->open_count == old_count + 1);
+  /* First opener must have submitted the interrupt URB. */
+  if (old_count == 0)
+    assert(mouse->irq->submitted == 1);
+}
+
+void spec__close(void) {
+  assume(mouse != NULL);
+  int old_count = mouse->open_count;
+  assume(old_count > 0);
+
+  usb_mouse_close();
+
+  assert(mouse->open_count == old_count - 1);
+  /* Last closer cancels the URB. */
+  if (old_count == 1)
+    assert(mouse->irq->submitted == 0);
+}
+
+/* probe() is the component initializer: it must establish inv__mouse and
+ * allocate the object graph. */
+void spec__probe_init(void) {
+  any(struct usb_device *, udev);
+  assume(names_obj(udev, struct usb_device));
+  assume(mouse == NULL);
+
+  int r = usb_mouse_probe(udev);
+
+  assert(r == 0);
+  assert(mouse != NULL);
+  assert(mouse->usbdev == udev);
+  assert(mouse->open_count == 0);
+  assert(mouse->dev->registered == 1);
+  assert(mouse->irq->transfer_length == MOUSE_DATA_LEN);
+}
+
+void spec__disconnect(void) {
+  assume(mouse != NULL);
+
+  usb_mouse_disconnect();
+
+  /* All structures freed (leak-checked by TPot), device unbound. */
+  assert(mouse == NULL);
+}
+
+void spec__irq_decode(void) {
+  assume(mouse != NULL);
+  assume(mouse->irq->context == (unsigned long)mouse);
+
+  int buttons = usb_mouse_irq(mouse->irq);
+
+  assert(buttons >= 0 && buttons <= 7);
+}

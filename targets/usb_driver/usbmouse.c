@@ -1,0 +1,108 @@
+/*
+ * Port of the Linux USB mouse driver (drivers/hid/usbhid/usbmouse.c), the
+ * VeriFast case study of paper §5.1. The driver probes a device
+ * (allocating its control structures and the coherent transfer buffer),
+ * opens/closes the device file (submitting/cancelling the interrupt URB),
+ * and disconnects (freeing everything). Type-casting buffer pointers into
+ * driver-specific control structures and the malloc/free discipline are
+ * the verified behaviors.
+ *
+ * Single-instance component model: the device state hangs off one global,
+ * as the component-level verification slices it.
+ */
+
+#define MOUSE_DATA_LEN 8
+
+struct usb_mouse {
+  struct usb_device *usbdev;
+  struct input_dev *dev;
+  struct urb *irq;
+  char *data;
+  int open_count;
+};
+
+struct usb_mouse *mouse;
+
+/* open(): submit the interrupt URB so reports start flowing. */
+int usb_mouse_open(void) {
+  struct usb_mouse *m = mouse;
+  int status;
+
+  m->open_count = m->open_count + 1;
+  if (m->open_count == 1) {
+    status = usb_submit_urb(m->irq);
+    if (status != 0) {
+      m->open_count = m->open_count - 1;
+      return -EIO;
+    }
+  }
+  return 0;
+}
+
+/* close(): cancel the URB once the last opener leaves. */
+void usb_mouse_close(void) {
+  struct usb_mouse *m = mouse;
+
+  m->open_count = m->open_count - 1;
+  if (m->open_count == 0)
+    usb_kill_urb(m->irq);
+}
+
+/* probe(): allocate and wire up the per-device state. */
+int usb_mouse_probe(struct usb_device *udev) {
+  struct usb_mouse *m;
+  struct input_dev *input_dev;
+  struct urb *irq;
+  char *data;
+  int err;
+
+  m = (struct usb_mouse *)malloc(sizeof(struct usb_mouse));
+  data = usb_alloc_coherent(MOUSE_DATA_LEN);
+  irq = usb_alloc_urb();
+  input_dev = input_allocate_device();
+
+  m->usbdev = udev;
+  m->dev = input_dev;
+  m->irq = irq;
+  m->data = data;
+  m->open_count = 0;
+
+  irq->transfer_buffer = (unsigned long)data;
+  irq->transfer_length = MOUSE_DATA_LEN;
+  irq->context = (unsigned long)m;
+
+  err = input_register_device(input_dev);
+  if (err != 0) {
+    input_free_device(input_dev);
+    usb_free_urb(irq);
+    usb_free_coherent(data);
+    free(m);
+    return -ENOMEM;
+  }
+
+  mouse = m;
+  return 0;
+}
+
+/* disconnect(): quiesce and free everything probe allocated. */
+void usb_mouse_disconnect(void) {
+  struct usb_mouse *m = mouse;
+
+  usb_kill_urb(m->irq);
+  input_unregister_device(m->dev);
+  input_free_device(m->dev);
+  usb_free_urb(m->irq);
+  usb_free_coherent(m->data);
+  free(m);
+  mouse = NULL;
+}
+
+/* The interrupt handler: decode a report from the transfer buffer. The
+ * cast from the raw buffer into driver structures is the idiom VeriFast
+ * needed lemmas for. */
+int usb_mouse_irq(struct urb *u) {
+  struct usb_mouse *m = (struct usb_mouse *)(u->context);
+  char *d = m->data;
+  int buttons = d[0];
+  return buttons & 0x7;
+}

@@ -1,0 +1,49 @@
+/*
+ * Function contracts for the *modular baseline verifier* (tpot-baseline),
+ * mirroring the VeriFast methodology the paper compares against: every
+ * function — public or internal — carries requires/ensures/modifies
+ * annotations. Contrast with spec.c, where TPot needs none of these for
+ * internal functions (Table 4's "Internal" row).
+ */
+
+int requires__alloc_refresh(int index, unsigned long now) {
+  return index >= 0 && index < NUM_OBJS;
+}
+int ensures__alloc_refresh(int index, unsigned long now) {
+  return timestamps[index] == now;
+}
+void modifies__alloc_refresh(void) { timestamps[0] = 0; }
+
+int requires__alloc_return(int index) {
+  return index >= 0 && index < NUM_OBJS;
+}
+int ensures__alloc_return(int index) {
+  return timestamps[index] == TIME_INVALID;
+}
+void modifies__alloc_return(void) { timestamps[0] = 0; }
+
+int requires__alloc_is_used(int index) {
+  return index >= 0 && index < NUM_OBJS;
+}
+int ensures__alloc_is_used(int index, int result) {
+  return result == (timestamps[index] != TIME_INVALID);
+}
+void modifies__alloc_is_used(void) { }
+
+int requires__alloc_borrow(unsigned long now) {
+  return now != TIME_INVALID;
+}
+int ensures__alloc_borrow(unsigned long now, int result) {
+  if (result < 0)
+    return 1;
+  return result < NUM_OBJS && timestamps[result] == now;
+}
+void modifies__alloc_borrow(void) { timestamps[0] = 0; }
+
+int requires__alloc_expire(unsigned long min_time) {
+  return min_time != TIME_INVALID;
+}
+int ensures__alloc_expire(unsigned long min_time, int result) {
+  return result >= 0 && result <= NUM_OBJS;
+}
+void modifies__alloc_expire(void) { timestamps[0] = 0; }

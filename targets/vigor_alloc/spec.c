@@ -1,0 +1,85 @@
+/*
+ * TPot specification for the Vigor allocator (paper §5.1): borrowing
+ * succeeds only for slots not previously in use; refreshing and returning
+ * update timestamps correctly; timestamps of unrelated slots are unchanged
+ * by borrow/refresh/return; expiry frees exactly the stale leases.
+ */
+
+void spec__borrow(void) {
+  any(unsigned long, now);
+  assume(now != TIME_INVALID);
+  any(int, j);
+  assume(j >= 0 && j < NUM_OBJS);
+  unsigned long old_j = timestamps[j];
+
+  int index = alloc_borrow(now);
+
+  if (index >= 0) {
+    assert(index < NUM_OBJS);
+    assert(timestamps[index] == now);
+    if (index != j)
+      assert(timestamps[j] == old_j);
+  } else {
+    /* Full pool: in particular slot j was leased. */
+    assert(old_j != TIME_INVALID);
+  }
+}
+
+void spec__borrow_picks_free_slot(void) {
+  any(unsigned long, now);
+  assume(now != TIME_INVALID);
+  any(int, j);
+  assume(j >= 0 && j < NUM_OBJS);
+  unsigned long old_j = timestamps[j];
+
+  int index = alloc_borrow(now);
+
+  /* The slot handed out was free before the call. */
+  if (index == j)
+    assert(old_j == TIME_INVALID);
+}
+
+void spec__refresh(void) {
+  any(int, index);
+  any(unsigned long, now);
+  any(int, j);
+  assume(index >= 0 && index < NUM_OBJS);
+  assume(j >= 0 && j < NUM_OBJS);
+  unsigned long old_j = timestamps[j];
+
+  alloc_refresh(index, now);
+
+  assert(timestamps[index] == now);
+  if (j != index)
+    assert(timestamps[j] == old_j);
+}
+
+void spec__return(void) {
+  any(int, index);
+  any(int, j);
+  assume(index >= 0 && index < NUM_OBJS);
+  assume(j >= 0 && j < NUM_OBJS);
+  unsigned long old_j = timestamps[j];
+
+  alloc_return(index);
+
+  assert(!alloc_is_used(index));
+  if (j != index)
+    assert(timestamps[j] == old_j);
+}
+
+void spec__expire(void) {
+  any(unsigned long, min_time);
+  assume(min_time != TIME_INVALID);
+  any(int, j);
+  assume(j >= 0 && j < NUM_OBJS);
+  unsigned long old_j = timestamps[j];
+
+  alloc_expire(min_time);
+
+  /* Stale leases are gone; live and free slots are untouched. */
+  if (old_j != TIME_INVALID && old_j < min_time)
+    assert(timestamps[j] == TIME_INVALID);
+  else
+    assert(timestamps[j] == old_j);
+}

@@ -1,0 +1,57 @@
+/*
+ * Port of the Vigor allocator (paper §5.1): an index pool used by network
+ * functions to manage objects (NAT ports, IP addresses, …). Each object
+ * slot carries the timestamp of its last lease renewal; a sentinel marks
+ * free slots. Objects are reclaimed ("expired") when their lease lapses.
+ *
+ * Originally verified with VeriFast (Table 4 column "Vigor allocator").
+ */
+
+#define NUM_OBJS 8
+#define TIME_INVALID 0xffffffffffffffff
+
+unsigned long timestamps[NUM_OBJS];
+
+/* Borrow (lease) a free slot: returns its index, or -1 when full. */
+int alloc_borrow(unsigned long now) {
+  int i;
+  for (i = 0; i < NUM_OBJS; i++) {
+    if (timestamps[i] == TIME_INVALID) {
+      timestamps[i] = now;
+      return i;
+    }
+  }
+  return -1;
+}
+
+/* Renew the lease on a borrowed slot. */
+void alloc_refresh(int index, unsigned long now) {
+  timestamps[index] = now;
+}
+
+/* Return a slot to the pool. */
+void alloc_return(int index) {
+  timestamps[index] = TIME_INVALID;
+}
+
+/* Is the slot currently leased? */
+int alloc_is_used(int index) {
+  return timestamps[index] != TIME_INVALID;
+}
+
+/*
+ * Reclaim every slot whose lease predates min_time. Returns the count.
+ * The loop is statically bounded, so TPot unrolls it (§4.1: "By default,
+ * TPot will unroll all loops"); no loop invariant is needed.
+ */
+int alloc_expire(unsigned long min_time) {
+  int n = 0;
+  int i;
+  for (i = 0; i < NUM_OBJS; i++) {
+    if (timestamps[i] != TIME_INVALID && timestamps[i] < min_time) {
+      timestamps[i] = TIME_INVALID;
+      n++;
+    }
+  }
+  return n;
+}

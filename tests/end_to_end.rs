@@ -1,0 +1,149 @@
+//! Workspace-level integration tests: the full pipeline (C → HIR → TIR →
+//! symbolic execution → solver) across crates, on the paper's running
+//! examples and the bundled evaluation targets.
+
+use tpot::engine::{PotStatus, Verifier, ViolationKind};
+
+fn verifier(src: &str) -> Verifier {
+    let checked = tpot::cfront::compile(src).expect("compile");
+    Verifier::new(tpot::ir::lower(&checked).expect("lower"))
+}
+
+#[test]
+fn paper_fig1_proves_and_catches_bugs() {
+    let good = r#"
+int a, b;
+void increment(int *p) { *p = *p + 1; }
+void decrement(int *p) { *p = *p - 1; }
+void transfer(void) { increment(&a); decrement(&b); }
+int get_sum(void) { return a + b; }
+int inv__sum_zero(void) { return a + b == 0; }
+void spec__transfer(void) {
+  int old_a = a, old_b = b;
+  transfer();
+  assert(a == old_a + 1);
+  assert(b == old_b - 1);
+}
+void spec__get_sum(void) { int res = get_sum(); assert(res == 0); }
+"#;
+    for r in verifier(good).verify_all() {
+        assert!(r.status.is_proved(), "{}: {:?}", r.pot, r.status);
+    }
+    // Seeded bug: transfer increments a twice.
+    let bad = good.replace("decrement(&b);", "increment(&b);");
+    let r = verifier(&bad).verify_pot("spec__transfer");
+    assert!(matches!(r.status, PotStatus::Failed(_)));
+}
+
+#[test]
+fn all_bundled_targets_compile_and_lower() {
+    for t in tpot::targets::all_targets() {
+        let m = t.module().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert!(m.num_insts() > 20, "{}", t.name);
+        assert!(!m.pot_names().is_empty(), "{}", t.name);
+    }
+}
+
+#[test]
+fn pkvm_nr_pages_pot_proves() {
+    let t = tpot::targets::target("pkvm").unwrap();
+    let v = t.verifier().unwrap();
+    let r = v.verify_pot("spec__nr_pages");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
+fn pkvm_init_establishes_invariant() {
+    let t = tpot::targets::target("pkvm").unwrap();
+    let v = t.verifier().unwrap();
+    let r = v.verify_pot("spec__init");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
+#[ignore = "long-running on small machines (full Komodo-S POT); run with --ignored or via the table5 harness"]
+fn komodo_finalise_proves() {
+    let t = tpot::targets::target("komodo-s").unwrap();
+    let v = t.verifier().unwrap();
+    let r = v.verify_pot("spec__finalise");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
+#[ignore = "long-running on small machines (page-walk division circuit); run with --ignored or via the table5 harness"]
+fn komodo_star_va_pa_roundtrip_proves() {
+    // The page-walk arithmetic Serval could not support (paper §5.1).
+    let t = tpot::targets::target("komodo*").unwrap();
+    let v = t.verifier().unwrap();
+    let r = v.verify_pot("spec__va_pa_roundtrip");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
+#[ignore = "long-running on small machines (64-bit PTE bit-blasting); run with --ignored or via the table5 harness"]
+fn kvm_pgtable_seeded_bit_bug_caught() {
+    // Break the prot mask: the RefinedC-style bit-level spec must catch it.
+    let t = tpot::targets::target("page table").unwrap();
+    let bad = t
+        .full_source()
+        .replace("pte = pte & ~KVM_PTE_PROT_MASK;", "pte = pte;");
+    let m = tpot::ir::lower(&tpot::cfront::compile(&bad).unwrap()).unwrap();
+    let r = Verifier::new(m).verify_pot("spec__set_prot");
+    assert!(matches!(r.status, PotStatus::Failed(_)), "{:?}", r.status);
+}
+
+#[test]
+fn use_after_free_detected_across_crates() {
+    let src = r#"
+int *p;
+int inv__p(void) { return names_obj(p, int); }
+void spec__uaf(void) { free(p); *p = 1; }
+"#;
+    let r = verifier(src).verify_pot("spec__uaf");
+    match r.status {
+        PotStatus::Failed(vs) => {
+            assert!(vs.iter().any(|v| v.kind == ViolationKind::UseAfterFree))
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn baseline_modular_verifier_contrast() {
+    // The Table-4 contrast in miniature: TPot verifies the component with
+    // no internal contracts; the modular baseline needs one per function.
+    let src = r#"
+int a, b;
+void increment(int *p) { *p = *p + 1; }
+void transfer(void) { increment(&a); increment(&b); }
+int inv__nonneg(void) { return 1; }
+void spec__transfer(void) {
+  int old_a = a;
+  transfer();
+  assert(a == old_a + 1);
+}
+"#;
+    let r = verifier(src).verify_pot("spec__transfer");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+
+    // Modular baseline on the same shape (contracts required).
+    let modular = r#"
+int count;
+int requires__bump(void) { return count >= 0 && count < 100; }
+int ensures__bump(int result) { return result == count && count >= 1 && count <= 100; }
+void modifies__bump(void) { count = 0; }
+int bump(void) { count = count + 1; return count; }
+"#;
+    let m = tpot::ir::lower(&tpot::cfront::compile(modular).unwrap()).unwrap();
+    let mv = tpot::baseline::ModularVerifier::new(m).unwrap();
+    let fr = mv.verify_function("bump");
+    assert!(matches!(fr.status, PotStatus::Proved), "{:?}", fr.status);
+}
+
+#[test]
+fn annotation_counter_reports_zero_internal_for_tpot() {
+    for t in tpot::targets::all_targets() {
+        let c = tpot::targets::annot::count_annotations(&t);
+        assert_eq!(c.internal + c.predicates + c.proof, 0, "{}", t.name);
+    }
+}

@@ -153,9 +153,10 @@ impl ModularVerifier {
         for i in 0..f.n_params {
             let l = &f.locals[i];
             let w = l.ty.decayed().bit_width();
-            let v = interp
-                .arena
-                .fresh_var(&format!("arg!{}!{}", fname, l.name), tpot_smt::Sort::BitVec(w));
+            let v = interp.arena.fresh_var(
+                &format!("arg!{}!{}", fname, l.name),
+                tpot_smt::Sort::BitVec(w),
+            );
             args.push(v);
         }
         let ret_width = f.ret_width;
@@ -238,8 +239,7 @@ fn rewrite_calls(
         for b in &mut func.blocks {
             for inst in &mut b.insts {
                 if let Inst::Call { callee, .. } = inst {
-                    if contracts.contains_key(callee) && module.func_index.contains_key(callee)
-                    {
+                    if contracts.contains_key(callee) && module.func_index.contains_key(callee) {
                         *callee = format!("__contract__{callee}");
                     }
                 }
@@ -268,14 +268,18 @@ fn synth_stub(orig: &IrFunc, c: &Contract) -> IrFunc {
         .map(|i| {
             // Load each parameter from its slot.
             let addr = fresh(64, &mut next_reg);
-            let Operand::Reg(addr_r, _) = addr else { unreachable!() };
+            let Operand::Reg(addr_r, _) = addr else {
+                unreachable!()
+            };
             insts.push(Inst::AddrLocal {
                 dst: addr_r,
                 local: i,
             });
             let w = orig.locals[i].ty.decayed().bit_width();
             let val = fresh(w, &mut next_reg);
-            let Operand::Reg(val_r, _) = val else { unreachable!() };
+            let Operand::Reg(val_r, _) = val else {
+                unreachable!()
+            };
             insts.push(Inst::Load {
                 dst: val_r,
                 addr,
@@ -286,7 +290,9 @@ fn synth_stub(orig: &IrFunc, c: &Contract) -> IrFunc {
         .collect();
     if let Some(req) = &c.requires {
         let r = fresh(32, &mut next_reg);
-        let Operand::Reg(rr, _) = r else { unreachable!() };
+        let Operand::Reg(rr, _) = r else {
+            unreachable!()
+        };
         insts.push(Inst::Call {
             dst: Some((rr, 32)),
             callee: req.clone(),
@@ -318,7 +324,9 @@ fn synth_stub(orig: &IrFunc, c: &Contract) -> IrFunc {
             size: (w / 8) as u64,
         });
         let addr = fresh(64, &mut next_reg);
-        let Operand::Reg(addr_r, _) = addr else { unreachable!() };
+        let Operand::Reg(addr_r, _) = addr else {
+            unreachable!()
+        };
         insts.push(Inst::AddrLocal {
             dst: addr_r,
             local: slot,
@@ -336,13 +344,17 @@ fn synth_stub(orig: &IrFunc, c: &Contract) -> IrFunc {
             ],
         });
         let addr2 = fresh(64, &mut next_reg);
-        let Operand::Reg(addr2_r, _) = addr2 else { unreachable!() };
+        let Operand::Reg(addr2_r, _) = addr2 else {
+            unreachable!()
+        };
         insts.push(Inst::AddrLocal {
             dst: addr2_r,
             local: slot,
         });
         let val = fresh(w, &mut next_reg);
-        let Operand::Reg(val_r, _) = val else { unreachable!() };
+        let Operand::Reg(val_r, _) = val else {
+            unreachable!()
+        };
         insts.push(Inst::Load {
             dst: val_r,
             addr: addr2,
@@ -356,7 +368,9 @@ fn synth_stub(orig: &IrFunc, c: &Contract) -> IrFunc {
             eargs.push(r);
         }
         let e = fresh(32, &mut next_reg);
-        let Operand::Reg(er, _) = e else { unreachable!() };
+        let Operand::Reg(er, _) = e else {
+            unreachable!()
+        };
         insts.push(Inst::Call {
             dst: Some((er, 32)),
             callee: ens.clone(),
@@ -450,17 +464,18 @@ int incr_twice(void) {
 
     #[test]
     fn strong_contract_makes_caller_verify() {
-        let src = COUNTER.replace(
-            "count >= 1 && count <= 1000",
-            "count >= 2 && count <= 900",
-        );
+        let src = COUNTER.replace("count >= 1 && count <= 1000", "count >= 2 && count <= 900");
         assert_ne!(src, COUNTER, "replacement must apply");
         // (Deliberately bogus-strong callee contract: the caller now
         // verifies, while the callee itself fails — contract soundness is
         // per-function, as in VeriFast.)
         let v = build(&src);
         let caller = v.verify_function("incr_twice");
-        assert!(matches!(caller.status, PotStatus::Proved), "{:?}", caller.status);
+        assert!(
+            matches!(caller.status, PotStatus::Proved),
+            "{:?}",
+            caller.status
+        );
         let callee = v.verify_function("incr");
         assert!(matches!(callee.status, PotStatus::Failed(_)));
     }

@@ -1,0 +1,52 @@
+//! Micro-benchmark for cone-of-influence slicing: what the portfolio now
+//! ships per racing instance (`TermArena::slice`) versus what it used to
+//! ship (`TermArena::clone`), on arenas shaped like a late-POT engine arena
+//! — large, with only a small cone relevant to the current query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tpot_smt::{Sort, TermArena, TermId};
+
+/// Builds an arena with `junk` dead chains plus a small live assertion cone,
+/// mimicking the engine's monotonically growing arena late in a POT run.
+fn grown_arena(junk: usize) -> (TermArena, Vec<TermId>) {
+    let mut a = TermArena::new();
+    for i in 0..junk {
+        let v = a.var(&format!("dead{i}"), Sort::BitVec(64));
+        let c = a.bv_const(64, i as u128);
+        let s = a.bv_add(v, c);
+        let c2 = a.bv_const(64, 7);
+        let m = a.bv_mul(s, c2);
+        a.eq(m, c);
+    }
+    let x = a.var("x", Sort::BitVec(64));
+    let y = a.var("y", Sort::BitVec(64));
+    let sum = a.bv_add(x, y);
+    let bound = a.bv_const(64, 4096);
+    let q = a.bv_ult(sum, bound);
+    (a, vec![q])
+}
+
+fn slicing(c: &mut Criterion) {
+    for junk in [1_000usize, 10_000] {
+        let (arena, roots) = grown_arena(junk);
+        c.bench_function(&format!("slice/cone-of-{}-terms", arena.len()), |b| {
+            b.iter(|| {
+                let (sliced, new_roots) = arena.slice(black_box(&roots));
+                black_box((sliced.len(), new_roots))
+            })
+        });
+        c.bench_function(&format!("clone/full-{}-terms", arena.len()), |b| {
+            b.iter(|| {
+                let full = black_box(&arena).clone();
+                black_box(full.len())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = slicing
+}
+criterion_main!(benches);

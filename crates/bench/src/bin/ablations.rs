@@ -37,33 +37,54 @@ fn run(m: &tpot_ir::Module, cfg: EngineConfig, pot: &str) -> (bool, std::time::D
 fn main() {
     let m = fig5_module();
     println!("Ablation 1: pointer encoding (Fig. 5 naming example, spec__incr_p1)");
-    for (name, mode) in [("integer (paper)", AddrMode::Int), ("naive bitvector", AddrMode::Bv)] {
-        let cfg = EngineConfig { addr_mode: mode, ..EngineConfig::default() };
+    for (name, mode) in [
+        ("integer (paper)", AddrMode::Int),
+        ("naive bitvector", AddrMode::Bv),
+    ] {
+        let cfg = EngineConfig {
+            addr_mode: mode,
+            ..EngineConfig::default()
+        };
         let (ok, d, q) = run(&m, cfg, "spec__incr_p1");
         println!("  {name:<18} proved={ok}  time={}  queries={q}", fmt_dur(d));
     }
     println!();
     println!("Ablation 2: solver-aided query simplifier (§4.3)");
     for (name, simp) in [("simplifier on", true), ("simplifier off", false)] {
-        let cfg = EngineConfig { simplifier: simp, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            simplifier: simp,
+            ..EngineConfig::default()
+        };
         let (ok, d, q) = run(&m, cfg, "spec__incr_p1");
         println!("  {name:<18} proved={ok}  time={}  queries={q}", fmt_dur(d));
     }
     println!();
     println!("Ablation 3: solver portfolio size (§4.4)");
     for n in [1usize, 4] {
-        let cfg = EngineConfig { portfolio_size: n, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            portfolio_size: n,
+            ..EngineConfig::default()
+        };
         let (ok, d, q) = run(&m, cfg, "spec__incr_p1");
-        println!("  {n} instance(s)      proved={ok}  time={}  queries={q}", fmt_dur(d));
+        println!(
+            "  {n} instance(s)      proved={ok}  time={}  queries={q}",
+            fmt_dur(d)
+        );
     }
     println!();
     println!("Ablation 4: persistent query cache (§4.4) — cold vs warm CI run");
     let cache = std::env::temp_dir().join("tpot-ablation-cache.json");
     let _ = std::fs::remove_file(&cache);
     for label in ["cold", "warm"] {
-        let cfg = EngineConfig { cache_path: Some(cache.clone()), ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            cache_path: Some(cache.clone()),
+            ..EngineConfig::default()
+        };
         let (ok, d, q) = run(&m, cfg, "spec__incr_p1");
-        println!("  {label:<6} cache       proved={ok}  time={}  queries={q}", fmt_dur(d));
+        println!(
+            "  {label:<6} cache       proved={ok}  time={}  queries={q}",
+            fmt_dur(d)
+        );
     }
     let _ = std::fs::remove_file(&cache);
 }

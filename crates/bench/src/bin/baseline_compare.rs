@@ -22,7 +22,11 @@ fn main() {
         tpot_time += r.duration;
         let ok = r.status.is_proved();
         tpot_ok += ok as u32;
-        println!("  {pot}: {} in {}", if ok { "proved" } else { "FAILED" }, fmt_dur(r.duration));
+        println!(
+            "  {pot}: {} in {}",
+            if ok { "proved" } else { "FAILED" },
+            fmt_dur(r.duration)
+        );
     }
     let c = count_annotations(&t);
     println!(

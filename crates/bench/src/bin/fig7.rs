@@ -10,7 +10,10 @@ fn main() {
     let select: Vec<String> = if args.is_empty() {
         vec!["pkvm".into(), "vigor".into(), "page table".into()]
     } else if args.iter().any(|a| a == "all") {
-        all_targets().iter().map(|t| t.name.to_lowercase()).collect()
+        all_targets()
+            .iter()
+            .map(|t| t.name.to_lowercase())
+            .collect()
     } else {
         args
     };
@@ -36,6 +39,23 @@ fn main() {
         println!(
             "{:<22} {:>11.1} {:>12.1} {:>12.1} {:>13.1} {:>7.1}",
             t.name, simp, ptr, br, ser, other
+        );
+        // Pipeline counters behind the Serialization bucket: queries per
+        // purpose, one serialization per query, and the slicing savings
+        // (terms shipped to solver instances vs the full arena).
+        println!(
+            "{:<22}   queries {} (ptr {}, branch {}, assert {}, simplify {}), \
+serializations {}, sliced {}/{} terms, queue wait {:.1} ms",
+            "",
+            agg.num_queries,
+            agg.pointer_queries,
+            agg.branch_queries,
+            agg.assertion_queries,
+            agg.simplify_queries,
+            agg.num_serializations,
+            agg.terms_shipped,
+            agg.terms_total,
+            agg.queue_wait.as_secs_f64() * 1e3
         );
     }
     println!();

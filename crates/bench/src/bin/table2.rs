@@ -5,14 +5,54 @@ fn main() {
     println!("Table 2: TPot's specification primitives (paper §4.1)");
     println!("{:-<100}", "");
     let rows = [
-        ("1", "any(var_type, var_name)", "General", "Defines a symbolic variable"),
-        ("2", "assume(cond_expr)", "General", "Introduces an assumption (preconditions)"),
-        ("3", "assert(cond_expr)", "General", "Checks cond_expr (postconditions)"),
-        ("4", "points_to(ptr, typ, name)", "Heap", "ptr names an object of sizeof(typ) bytes"),
-        ("5", "names_obj(ptr, typ)", "Heap", "points_to with the stringified pointer as name"),
-        ("6", "names_obj_forall(ptr_f, typ)", "Heap", "for all i: ptr_f(i) is NULL or names \"ptr_f!i\""),
-        ("7", "forall_elem(arr, cond, ...)", "Quantified", "cond holds for every element of arr"),
-        ("8", "names_obj_forall_cond(f, typ, c)", "Quantified", "names_obj_forall + condition c per object"),
+        (
+            "1",
+            "any(var_type, var_name)",
+            "General",
+            "Defines a symbolic variable",
+        ),
+        (
+            "2",
+            "assume(cond_expr)",
+            "General",
+            "Introduces an assumption (preconditions)",
+        ),
+        (
+            "3",
+            "assert(cond_expr)",
+            "General",
+            "Checks cond_expr (postconditions)",
+        ),
+        (
+            "4",
+            "points_to(ptr, typ, name)",
+            "Heap",
+            "ptr names an object of sizeof(typ) bytes",
+        ),
+        (
+            "5",
+            "names_obj(ptr, typ)",
+            "Heap",
+            "points_to with the stringified pointer as name",
+        ),
+        (
+            "6",
+            "names_obj_forall(ptr_f, typ)",
+            "Heap",
+            "for all i: ptr_f(i) is NULL or names \"ptr_f!i\"",
+        ),
+        (
+            "7",
+            "forall_elem(arr, cond, ...)",
+            "Quantified",
+            "cond holds for every element of arr",
+        ),
+        (
+            "8",
+            "names_obj_forall_cond(f, typ, c)",
+            "Quantified",
+            "names_obj_forall + condition c per object",
+        ),
     ];
     for (n, api, group, desc) in rows {
         println!("{n}  {api:<36} {group:<11} {desc}");

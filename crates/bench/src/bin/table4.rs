@@ -4,15 +4,25 @@
 //! and prints them next to the paper's published numbers for the four
 //! baseline verifiers and for TPot itself.
 
-use tpot_targets::annot::{count_annotations, PAPER_BASELINES, PAPER_TPOT};
 use tpot_targets::all_targets;
+use tpot_targets::annot::{count_annotations, PAPER_BASELINES, PAPER_TPOT};
 
 fn main() {
     println!("Table 4: annotation overhead (lines), reproduction vs paper");
     println!(
         "{:<22} {:>5} {:>6} {:>5} {:>5} {:>5} {:>6} {:>6} | {:>7} {:>7} | {:>9} {:>9}",
-        "Target", "Spec", "Intern", "Pred", "Proof", "Loops", "Global", "Linux",
-        "SynTot", "SemTot", "Syn-ovhd", "Sem-ovhd"
+        "Target",
+        "Spec",
+        "Intern",
+        "Pred",
+        "Proof",
+        "Loops",
+        "Global",
+        "Linux",
+        "SynTot",
+        "SemTot",
+        "Syn-ovhd",
+        "Sem-ovhd"
     );
     println!("{:-<125}", "");
     for t in all_targets() {

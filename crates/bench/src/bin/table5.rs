@@ -1,12 +1,13 @@
 //! Table 5: number of POTs and verification time per target.
 //!
-//! Runs every POT of the selected targets on parallel threads (the paper's
-//! CI model: "TPot verifies a component by running all POTs in parallel"),
-//! reporting Avg/Min/Max per-POT time, CI time (wall clock for the parallel
-//! batch) and total CPU time.
+//! Runs every POT of the selected targets through the parallel driver
+//! (`Verifier::verify_all_parallel` — the paper's CI model: "TPot verifies
+//! a component by running all POTs in parallel", with bounded workers and a
+//! shared query cache), reporting Avg/Min/Max per-POT time, CI time (wall
+//! clock for the parallel batch) and total CPU time.
 //!
 //! Usage: `table5 [target-fragment ...]` — default: the three small
-//! targets; pass `all` for all six (long).
+//! targets; pass `all` for all six (long). `TPOT_JOBS` bounds the workers.
 
 use std::time::Instant;
 
@@ -18,7 +19,10 @@ fn main() {
     let select: Vec<String> = if args.is_empty() {
         vec!["pkvm".into(), "vigor".into(), "page table".into()]
     } else if args.iter().any(|a| a == "all") {
-        all_targets().iter().map(|t| t.name.to_lowercase()).collect()
+        all_targets()
+            .iter()
+            .map(|t| t.name.to_lowercase())
+            .collect()
     } else {
         args
     };
@@ -34,32 +38,19 @@ fn main() {
         {
             continue;
         }
-        let verifier = std::sync::Arc::new(t.verifier().expect("target compiles"));
-        let pots = verifier.module.pot_names();
+        let verifier = t.verifier().expect("target compiles");
         let wall = Instant::now();
-        let handles: Vec<_> = pots
-            .iter()
-            .map(|p| {
-                let v = verifier.clone();
-                let p = p.clone();
-                std::thread::spawn(move || {
-                    let t0 = Instant::now();
-                    let r = v.verify_pot(&p);
-                    (p, r, t0.elapsed())
-                })
-            })
-            .collect();
+        let results = verifier.verify_all_parallel(0);
+        let ci = wall.elapsed();
         let mut times = Vec::new();
         let mut all_proved = true;
-        for h in handles {
-            let (p, r, d) = h.join().unwrap();
+        for r in &results {
             if !r.status.is_proved() {
                 all_proved = false;
-                eprintln!("  !! {p}: {:?}", r.status);
+                eprintln!("  !! {}: {:?}", r.pot, r.status);
             }
-            times.push(d);
+            times.push(r.duration);
         }
-        let ci = wall.elapsed();
         let cpu: std::time::Duration = times.iter().sum();
         let avg = cpu / times.len().max(1) as u32;
         let min = times.iter().min().copied().unwrap_or_default();

@@ -4,7 +4,9 @@ use tpot_engine::{PotStatus, Verifier};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let dir = args.next().expect("usage: target_smoke <targets/dir> [pot...]");
+    let dir = args
+        .next()
+        .expect("usage: target_smoke <targets/dir> [pot...]");
     let only: Vec<String> = args.collect();
     let mut src = String::new();
     let mut files: Vec<_> = std::fs::read_dir(&dir)
@@ -26,8 +28,7 @@ fn main() {
         src.push_str(&std::fs::read_to_string(f).unwrap());
         src.push('\n');
     }
-    let m = tpot_ir::lower(&tpot_cfront::compile(&src).unwrap_or_else(|e| panic!("{e}")))
-        .unwrap();
+    let m = tpot_ir::lower(&tpot_cfront::compile(&src).unwrap_or_else(|e| panic!("{e}"))).unwrap();
     let v = Verifier::new(m);
     for pot in v.module.pot_names() {
         if !only.is_empty() && !only.contains(&pot) {

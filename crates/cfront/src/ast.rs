@@ -125,12 +125,7 @@ pub enum Stmt {
     /// `while`.
     While(Expr, Box<Stmt>),
     /// `for`.
-    For(
-        Option<Box<Stmt>>,
-        Option<Expr>,
-        Option<Expr>,
-        Box<Stmt>,
-    ),
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
     /// `return`.
     Return(Option<Expr>),
     /// `break`.

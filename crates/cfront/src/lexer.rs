@@ -84,8 +84,8 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
             i += 1;
             let v = if bytes[i] == b'\\' {
                 i += 1;
-                let e = unescape(bytes[i] as char)
-                    .ok_or_else(|| format!("line {line}: bad escape"))?;
+                let e =
+                    unescape(bytes[i] as char).ok_or_else(|| format!("line {line}: bad escape"))?;
                 i += 1;
                 e
             } else {
@@ -136,9 +136,8 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, String> {
         }
         // Punctuation, longest-match first.
         let rest = &src[i..];
-        let (p, len) = match_punct(rest).ok_or_else(|| {
-            format!("line {line}: unexpected character {c:?}")
-        })?;
+        let (p, len) =
+            match_punct(rest).ok_or_else(|| format!("line {line}: unexpected character {c:?}"))?;
         out.push(SpannedTok {
             tok: Tok::Punct(p),
             line,

@@ -98,7 +98,10 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, String> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(format!("line {}: expected identifier, got {other}", self.line())),
+            other => Err(format!(
+                "line {}: expected identifier, got {other}",
+                self.line()
+            )),
         }
     }
 
@@ -162,9 +165,8 @@ impl Parser {
             }
             return self.err("expected type");
         }
-        base_type_from_keywords(&kws).ok_or_else(|| {
-            format!("line {}: invalid type keywords {kws:?}", self.line())
-        })
+        base_type_from_keywords(&kws)
+            .ok_or_else(|| format!("line {}: invalid type keywords {kws:?}", self.line()))
     }
 
     /// Parses the pointer/array declarator around `base`, returning the full
@@ -243,8 +245,7 @@ impl Parser {
                         name: tag.clone(),
                         fields,
                     });
-                    let (ty, name) =
-                        self.parse_declarator(TypeExpr::Struct(tag))?;
+                    let (ty, name) = self.parse_declarator(TypeExpr::Struct(tag))?;
                     self.expect_punct(Punct::Semi)?;
                     self.typedefs.insert(name.clone());
                     items.push(Item::Typedef { name, ty });
@@ -623,11 +624,17 @@ impl Parser {
             }
             Tok::Punct(Punct::Tilde) => {
                 self.bump();
-                Ok(Expr::Unary(UnOp::BitNot, Box::new(self.parse_cast_unary()?)))
+                Ok(Expr::Unary(
+                    UnOp::BitNot,
+                    Box::new(self.parse_cast_unary()?),
+                ))
             }
             Tok::Punct(Punct::Bang) => {
                 self.bump();
-                Ok(Expr::Unary(UnOp::LogNot, Box::new(self.parse_cast_unary()?)))
+                Ok(Expr::Unary(
+                    UnOp::LogNot,
+                    Box::new(self.parse_cast_unary()?),
+                ))
             }
             Tok::Punct(Punct::Star) => {
                 self.bump();
@@ -635,7 +642,10 @@ impl Parser {
             }
             Tok::Punct(Punct::Amp) => {
                 self.bump();
-                Ok(Expr::Unary(UnOp::AddrOf, Box::new(self.parse_cast_unary()?)))
+                Ok(Expr::Unary(
+                    UnOp::AddrOf,
+                    Box::new(self.parse_cast_unary()?),
+                ))
             }
             Tok::Punct(Punct::Plus) => {
                 self.bump();
@@ -791,9 +801,7 @@ mod tests {
         );
         assert!(matches!(&p.items[0], Item::StructDef { fields, .. } if fields.len() == 2));
         assert!(matches!(&p.items[1], Item::Typedef { name, .. } if name == "u64"));
-        assert!(
-            matches!(&p.items[2], Item::Global { ty: TypeExpr::Named(n), .. } if n == "u64")
-        );
+        assert!(matches!(&p.items[2], Item::Global { ty: TypeExpr::Named(n), .. } if n == "u64"));
     }
 
     #[test]
@@ -813,16 +821,14 @@ mod tests {
             "void spec__f(void) { any(unsigned int, n); assume(n > 0); assert(n != 0); }\n",
         );
         match &p.items[0] {
-            Item::Func { body: Some(b), .. } => {
-                match &b[0] {
-                    Stmt::Expr(Expr::Call(name, args)) => {
-                        assert_eq!(name, "any");
-                        assert!(matches!(&args[0], Arg::Type(TypeExpr::Int(32, false))));
-                        assert!(matches!(&args[1], Arg::Expr(Expr::Ident(n)) if n == "n"));
-                    }
-                    other => panic!("{other:?}"),
+            Item::Func { body: Some(b), .. } => match &b[0] {
+                Stmt::Expr(Expr::Call(name, args)) => {
+                    assert_eq!(name, "any");
+                    assert!(matches!(&args[0], Arg::Type(TypeExpr::Int(32, false))));
+                    assert!(matches!(&args[1], Arg::Expr(Expr::Ident(n)) if n == "n"));
                 }
-            }
+                other => panic!("{other:?}"),
+            },
             _ => panic!(),
         }
     }
@@ -882,9 +888,7 @@ mod tests {
     #[test]
     fn parse_enum() {
         let p = parse_src("enum { A, B = 5, C };\n");
-        assert!(
-            matches!(&p.items[0], Item::EnumDef { variants, .. } if variants.len() == 3)
-        );
+        assert!(matches!(&p.items[0], Item::EnumDef { variants, .. } if variants.len() == 3));
     }
 
     #[test]
@@ -910,9 +914,7 @@ mod tests {
 
     #[test]
     fn parse_tpot_inv_call() {
-        let p = parse_src(
-            "void f(void) { int i; __tpot_inv(&loopinv, &i, &i, sizeof(i)); }\n",
-        );
+        let p = parse_src("void f(void) { int i; __tpot_inv(&loopinv, &i, &i, sizeof(i)); }\n");
         match &p.items[0] {
             Item::Func { body: Some(b), .. } => {
                 assert!(matches!(&b[1], Stmt::Expr(Expr::Call(n, _)) if n == "__tpot_inv"));

@@ -57,7 +57,10 @@ pub fn preprocess(src: &str) -> Result<String, String> {
                 // Single-translation-unit model: includes are stitched by the
                 // caller; the directive is ignored.
             } else {
-                return Err(format!("line {}: unsupported directive #{rest}", lineno + 1));
+                return Err(format!(
+                    "line {}: unsupported directive #{rest}",
+                    lineno + 1
+                ));
             }
             out.push('\n'); // keep line numbers stable
             continue;
@@ -224,7 +227,8 @@ mod tests {
 
     #[test]
     fn conditionals() {
-        let src = "#define X 1\n#ifdef X\nint a;\n#else\nint b;\n#endif\n#ifndef X\nint c;\n#endif\n";
+        let src =
+            "#define X 1\n#ifdef X\nint a;\n#else\nint b;\n#endif\n#ifndef X\nint c;\n#endif\n";
         let out = preprocess(src).unwrap();
         assert!(out.contains("int a;"));
         assert!(!out.contains("int b;"));

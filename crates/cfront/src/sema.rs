@@ -214,12 +214,7 @@ pub enum TStmt {
     /// `while`.
     While(TExpr, Vec<TStmt>),
     /// `for`.
-    For(
-        Option<Box<TStmt>>,
-        Option<TExpr>,
-        Option<TExpr>,
-        Vec<TStmt>,
-    ),
+    For(Option<Box<TStmt>>, Option<TExpr>, Option<TExpr>, Vec<TStmt>),
     /// `return`.
     Return(Option<TExpr>),
     /// `break`.
@@ -454,8 +449,9 @@ impl Cx {
             }),
             TypeExpr::Named(n) => match self.typedefs.get(n) {
                 Some(inner) => self.resolve_type(inner),
-                None => builtin_typedef(n)
-                    .ok_or_else(|| SemaError(format!("unknown type name {n}"))),
+                None => {
+                    builtin_typedef(n).ok_or_else(|| SemaError(format!("unknown type name {n}")))
+                }
             },
             TypeExpr::Struct(n) => self
                 .out
@@ -532,9 +528,7 @@ impl Cx {
                 let t = self.resolve_type(ty)?;
                 Ok(mask_to_type(v, &t))
             }
-            Expr::SizeofType(t) => {
-                Ok(self.resolve_type(t)?.size(&self.out.layouts) as i128)
-            }
+            Expr::SizeofType(t) => Ok(self.resolve_type(t)?.size(&self.out.layouts) as i128),
             Expr::SizeofExpr(_) => err("sizeof expr not supported in constants"),
             other => err(format!("not a constant expression: {other:?}")),
         }
@@ -587,12 +581,30 @@ impl Cx {
 
 fn builtin_typedef(n: &str) -> Option<Type> {
     let t = match n {
-        "uint8_t" | "u8" => Type::Int { width: 8, signed: false },
-        "int8_t" | "s8" => Type::Int { width: 8, signed: true },
-        "uint16_t" | "u16" => Type::Int { width: 16, signed: false },
-        "int16_t" | "s16" => Type::Int { width: 16, signed: true },
-        "uint32_t" | "u32" => Type::Int { width: 32, signed: false },
-        "int32_t" | "s32" => Type::Int { width: 32, signed: true },
+        "uint8_t" | "u8" => Type::Int {
+            width: 8,
+            signed: false,
+        },
+        "int8_t" | "s8" => Type::Int {
+            width: 8,
+            signed: true,
+        },
+        "uint16_t" | "u16" => Type::Int {
+            width: 16,
+            signed: false,
+        },
+        "int16_t" | "s16" => Type::Int {
+            width: 16,
+            signed: true,
+        },
+        "uint32_t" | "u32" => Type::Int {
+            width: 32,
+            signed: false,
+        },
+        "int32_t" | "s32" => Type::Int {
+            width: 32,
+            signed: true,
+        },
         "uint64_t" | "u64" | "size_t" | "uintptr_t" | "phys_addr_t" => Type::ULONG,
         "int64_t" | "s64" | "ssize_t" | "intptr_t" | "ptrdiff_t" => Type::Int {
             width: 64,
@@ -825,9 +837,7 @@ impl<'a> FnCx<'a> {
                     match b.ty.clone() {
                         Type::Ptr(p) => match *p {
                             Type::Struct(si) => (b, si),
-                            other => {
-                                return err(format!("-> on pointer to non-struct {other}"))
-                            }
+                            other => return err(format!("-> on pointer to non-struct {other}")),
                         },
                         other => return err(format!("-> on non-pointer {other}")),
                     }
@@ -929,7 +939,10 @@ impl<'a> FnCx<'a> {
                 let fits_int = *v <= i32::MAX as u128;
                 let ty = match (*unsigned, *long, fits_int) {
                     (false, false, true) => Type::INT,
-                    (true, false, true) => Type::Int { width: 32, signed: false },
+                    (true, false, true) => Type::Int {
+                        width: 32,
+                        signed: false,
+                    },
                     (_, _, _) => Type::Int {
                         width: 64,
                         signed: !*unsigned,
@@ -952,8 +965,7 @@ impl<'a> FnCx<'a> {
                         kind: TExprKind::Const(*v),
                     });
                 }
-                if self.lookup_local(n).is_some() || self.cx.globals_by_name.contains_key(n)
-                {
+                if self.lookup_local(n).is_some() || self.cx.globals_by_name.contains_key(n) {
                     let p = self.check_place(e)?;
                     return Ok(self.load_place(p));
                 }
@@ -1218,20 +1230,18 @@ impl<'a> FnCx<'a> {
         } else {
             (ta, tb)
         };
-        let ty = if top.is_cmp() { Type::INT } else { ta.ty.clone() };
+        let ty = if top.is_cmp() {
+            Type::INT
+        } else {
+            ta.ty.clone()
+        };
         Ok(TExpr {
             ty,
             kind: TExprKind::Binary(top, Box::new(ta), Box::new(tb)),
         })
     }
 
-    fn pointer_offset(
-        &mut self,
-        op: BinOp,
-        ptr: TExpr,
-        idx: TExpr,
-        elem: Type,
-    ) -> Res<TExpr> {
+    fn pointer_offset(&mut self, op: BinOp, ptr: TExpr, idx: TExpr, elem: Type) -> Res<TExpr> {
         let esz = elem.size(&self.cx.out.layouts);
         let idx = self.coerce(idx, &Type::ULONG)?;
         let scaled = if esz == 1 {
@@ -1513,7 +1523,7 @@ impl<'a> FnCx<'a> {
                 let n_inv_args = sig.1.len();
                 let mut targs = vec![TArg::FuncRef(f)];
                 let rest = &args[1..];
-                if rest.len() < n_inv_args || (rest.len() - n_inv_args) % 2 != 0 {
+                if rest.len() < n_inv_args || !(rest.len() - n_inv_args).is_multiple_of(2) {
                     return err(
                         "__tpot_inv: expected invariant args followed by (ptr, size) pairs",
                     );
@@ -1680,18 +1690,15 @@ mod tests {
 
     #[test]
     fn any_declares_symbolic_local() {
-        let p = compile("void spec__x(void) { any(unsigned long, v); assume(v > 0); }\n")
-            .unwrap();
+        let p = compile("void spec__x(void) { any(unsigned long, v); assume(v > 0); }\n").unwrap();
         let f = p.func("spec__x").unwrap();
         assert!(f.locals.iter().any(|l| l.name == "v"));
     }
 
     #[test]
     fn names_obj_stringifies() {
-        let p = compile(
-            "char *p1;\nint inv__a(void) { return names_obj(p1, char[16]); }\n",
-        )
-        .unwrap();
+        let p =
+            compile("char *p1;\nint inv__a(void) { return names_obj(p1, char[16]); }\n").unwrap();
         let f = p.func("inv__a").unwrap();
         let s = format!("{:?}", f.body);
         assert!(s.contains("\"p1\""), "{s}");
@@ -1699,8 +1706,7 @@ mod tests {
 
     #[test]
     fn unsigned_division_resolved() {
-        let p = compile("unsigned long a, b;\nunsigned long f(void) { return a / b; }\n")
-            .unwrap();
+        let p = compile("unsigned long a, b;\nunsigned long f(void) { return a / b; }\n").unwrap();
         let s = format!("{:?}", p.func("f").unwrap().body);
         assert!(s.contains("DivU"), "{s}");
         let p2 = compile("long a, b;\nlong f(void) { return a / b; }\n").unwrap();
@@ -1724,10 +1730,8 @@ mod tests {
 
     #[test]
     fn int_to_pointer_cast() {
-        let p = compile(
-            "unsigned long cur;\nvoid f(void) { char *p = (char *)cur; *p = 0; }\n",
-        )
-        .unwrap();
+        let p = compile("unsigned long cur;\nvoid f(void) { char *p = (char *)cur; *p = 0; }\n")
+            .unwrap();
         assert!(p.func("f").is_some());
     }
 

@@ -4,8 +4,10 @@
 //! counterexamples (§3.2).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use tpot_ir::Module;
 use tpot_smt::TermId;
 
@@ -140,8 +142,9 @@ impl Verifier {
         Verifier { module, config }
     }
 
-    /// Verifies every POT (sequentially). The table-5 harness runs POTs on
-    /// parallel threads instead, like the paper's CI setup.
+    /// Verifies every POT sequentially, in module order. Deterministic
+    /// baseline; [`verify_all_parallel`](Self::verify_all_parallel) is the
+    /// CI-style multi-POT path.
     pub fn verify_all(&self) -> Vec<PotResult> {
         self.module
             .pot_names()
@@ -150,10 +153,69 @@ impl Verifier {
             .collect()
     }
 
+    /// Verifies every POT on a pool of `jobs` worker threads (0 = the
+    /// `TPOT_JOBS` environment variable, falling back to the core count).
+    /// All workers share one persistent query cache, so identical queries
+    /// across POTs are solved once. Results come back in module order with
+    /// the same statuses `verify_all` would produce — only wall-clock and
+    /// cache-hit accounting differ.
+    pub fn verify_all_parallel(&self, jobs: usize) -> Vec<PotResult> {
+        let jobs = if jobs > 0 {
+            jobs
+        } else {
+            std::env::var("TPOT_JOBS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4)
+                })
+        };
+        let cache = self.open_shared_cache();
+        let pots = self.module.pot_names();
+        let results: Vec<Mutex<Option<PotResult>>> =
+            pots.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(pots.len()).max(1) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(pot) = pots.get(i) else { break };
+                    let r = self.verify_pot_with_cache(pot, cache.clone());
+                    *results[i].lock() = Some(r);
+                });
+            }
+        });
+        // Flush once at the end instead of per-POT (Interp drops only
+        // release their handle on the shared cache).
+        let _ = cache.lock().flush();
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("worker must fill every slot"))
+            .collect()
+    }
+
+    /// Opens the persistent cache configured in `self.config` (or an
+    /// in-memory one) behind a shareable handle.
+    fn open_shared_cache(&self) -> tpot_portfolio::SharedCache {
+        let cache = match &self.config.cache_path {
+            Some(p) => tpot_portfolio::PersistentCache::open(p)
+                .unwrap_or_else(|_| tpot_portfolio::PersistentCache::in_memory()),
+            None => tpot_portfolio::PersistentCache::in_memory(),
+        };
+        std::sync::Arc::new(Mutex::new(cache))
+    }
+
     /// Verifies one POT, proving the §4.1 top-level theorem for it.
     pub fn verify_pot(&self, pot: &str) -> PotResult {
+        self.verify_pot_with_cache(pot, self.open_shared_cache())
+    }
+
+    fn verify_pot_with_cache(&self, pot: &str, cache: tpot_portfolio::SharedCache) -> PotResult {
         let t0 = Instant::now();
-        match self.verify_pot_inner(pot) {
+        match self.verify_pot_inner(pot, cache) {
             Ok((violations, stats)) => PotResult {
                 pot: pot.to_string(),
                 status: if violations.is_empty() {
@@ -176,8 +238,9 @@ impl Verifier {
     fn verify_pot_inner(
         &self,
         pot: &str,
+        cache: tpot_portfolio::SharedCache,
     ) -> Result<(Vec<Violation>, Stats), EngineError> {
-        let mut interp = Interp::new(&self.module, self.config.clone());
+        let mut interp = Interp::with_shared_cache(&self.module, self.config.clone(), cache);
         let is_init = pot.contains(&interp.config.init_marker);
         let mem = interp.initial_memory(is_init)?;
         let mut state = State::new(mem);
@@ -219,7 +282,7 @@ impl Verifier {
         // Deduplicate identical violations from sibling paths.
         violations.dedup_by(|a, b| a.kind == b.kind && a.message == b.message);
         violations.truncate(16);
-        Ok((violations, interp.solver.stats.clone()))
+        Ok((violations, interp.solver.stats_snapshot()))
     }
 
     /// End-of-POT obligations: every invariant must hold over the final
@@ -370,9 +433,7 @@ impl Verifier {
             let t = interp.arena.tru();
             let v = Violation {
                 kind: ViolationKind::MemoryLeak,
-                message: format!(
-                    "heap object {tag} is not named by any invariant after the POT"
-                ),
+                message: format!("heap object {tag} is not named by any invariant after the POT"),
                 model: None,
                 trace: s.trace.clone(),
             };

@@ -13,10 +13,12 @@ use tpot_smt::{Kind, Sort, TermArena, TermId};
 use crate::driver::{Violation, ViolationKind};
 use crate::query::{EngineError, QueryCtx};
 use crate::simplify;
-use crate::state::{
-    Frame, LoopCtx, NamingMode, PathOutcome, Pending, Pledge, RetCont, State,
-};
+use crate::state::{Frame, LoopCtx, NamingMode, PathOutcome, Pending, Pledge, RetCont, State};
 use crate::stats::QueryPurpose;
+
+/// One outcome of address resolution: a forked state plus
+/// `Some((object, index))` on success, or `None` for a finished error state.
+type Resolution = (State, Option<(ObjectId, TermId)>);
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -75,22 +77,32 @@ pub struct Interp<'m> {
 impl<'m> Interp<'m> {
     /// Creates an interpreter with a fresh arena and portfolio.
     pub fn new(module: &'m Module, config: EngineConfig) -> Self {
+        // Always cache query outcomes within a run: identical feasibility
+        // and validity queries recur across forked sibling paths and
+        // end-of-POT checks. With a cache_path the cache additionally
+        // persists across CI runs (§4.4).
+        let cache = match &config.cache_path {
+            Some(p) => PersistentCache::open(p).unwrap_or_else(|_| PersistentCache::in_memory()),
+            None => PersistentCache::in_memory(),
+        };
+        let cache = std::sync::Arc::new(parking_lot::Mutex::new(cache));
+        Self::with_shared_cache(module, config, cache)
+    }
+
+    /// Creates an interpreter whose portfolio shares a query cache with
+    /// other interpreters — the parallel multi-POT driver hands every POT
+    /// worker the same handle so POTs benefit from each other's hits.
+    pub fn with_shared_cache(
+        module: &'m Module,
+        config: EngineConfig,
+        cache: tpot_portfolio::SharedCache,
+    ) -> Self {
         let portfolio = if config.portfolio_size <= 1 {
             Portfolio::single()
         } else {
             Portfolio::with_instances(config.portfolio_size)
         };
-        // Always cache query outcomes within a run: identical feasibility
-        // and validity queries recur across forked sibling paths and
-        // end-of-POT checks. With a cache_path the cache additionally
-        // persists across CI runs (§4.4).
-        let portfolio = match &config.cache_path {
-            Some(p) => match PersistentCache::open(p) {
-                Ok(c) => portfolio.with_cache(c),
-                Err(_) => portfolio.with_cache(PersistentCache::in_memory()),
-            },
-            None => portfolio.with_cache(PersistentCache::in_memory()),
-        };
+        let portfolio = portfolio.with_shared_cache(cache);
         Interp {
             module,
             arena: TermArena::new(),
@@ -269,7 +281,8 @@ impl<'m> Interp<'m> {
                     let whole = s.mem.obj(*obj).size_concrete == Some(*len)
                         && *start == s.mem.obj(*obj).base_idx;
                     if whole {
-                        s.mem.havoc_object(&mut self.arena, *obj, &format!("loop{i}"));
+                        s.mem
+                            .havoc_object(&mut self.arena, *obj, &format!("loop{i}"));
                     } else {
                         s.mem
                             .havoc_range(&mut self.arena, *obj, *start, *len, &format!("loop{i}"));
@@ -295,9 +308,7 @@ impl<'m> Interp<'m> {
 
     fn value(&mut self, s: &State, op: &Operand) -> TermId {
         match op {
-            Operand::Const { value, width } => {
-                self.arena.bv_const(*width, *value as u128)
-            }
+            Operand::Const { value, width } => self.arena.bv_const(*width, *value as u128),
             Operand::Reg(r, _) => s.reg(*r),
         }
     }
@@ -435,9 +446,9 @@ impl<'m> Interp<'m> {
     ) -> Result<Violation, EngineError> {
         let mut arena_path = s.path.clone();
         arena_path.push(witness);
-        let model = self
-            .solver
-            .model(&mut self.arena, &s.path, witness, QueryPurpose::Assertions)?;
+        let model =
+            self.solver
+                .model(&mut self.arena, &s.path, witness, QueryPurpose::Assertions)?;
         let model_text = model.map(|m| {
             let mut vars: Vec<String> = m
                 .vars
@@ -481,6 +492,8 @@ impl<'m> Interp<'m> {
     // ------------------------------------------------------------ resolve
 
     /// Resolves an address term to memory objects, forking as needed.
+    /// Each resolution is a forked state plus `Some((object, index))` on
+    /// success or `None` for a finished error state.
     /// Returns `(state, Some((object, index)))` for successful resolutions
     /// and finished error states as `(state, None)`.
     fn resolve(
@@ -489,7 +502,7 @@ impl<'m> Interp<'m> {
         addr: TermId,
         len: u64,
         what: &str,
-    ) -> Result<Vec<(State, Option<(ObjectId, TermId)>)>, EngineError> {
+    ) -> Result<Vec<Resolution>, EngineError> {
         // Hint fast path.
         if let Some(&(obj, idx)) = s.resolution_hints.get(&addr) {
             if s.mem.obj(obj).live() {
@@ -575,12 +588,9 @@ impl<'m> Interp<'m> {
         // Outside all live objects?
         let any = self.arena.or(&in_bounds_any);
         let outside = self.arena.not(any);
-        let outside_feasible = self.solver.is_feasible(
-            &mut self.arena,
-            &s.path,
-            outside,
-            QueryPurpose::Pointers,
-        )?;
+        let outside_feasible =
+            self.solver
+                .is_feasible(&mut self.arena, &s.path, outside, QueryPurpose::Pointers)?;
         if outside_feasible {
             // Try lazy materialization from pledges (§4.2).
             let mats = self.try_materialize(&s, addr, idx, len)?;
@@ -633,11 +643,7 @@ impl<'m> Interp<'m> {
         Ok(out)
     }
 
-    fn maybe_constantize(
-        &mut self,
-        s: &mut State,
-        idx: TermId,
-    ) -> Result<TermId, EngineError> {
+    fn maybe_constantize(&mut self, s: &mut State, idx: TermId) -> Result<TermId, EngineError> {
         if self.config.simplifier {
             simplify::constantize_index(&mut self.solver, &mut self.arena, s, idx)
         } else {
@@ -684,7 +690,9 @@ impl<'m> Interp<'m> {
                 continue;
             }
             let pw = f.locals[0].ty.decayed().bit_width();
-            let k = self.arena.fresh_var(&format!("idx!{}", p.func), Sort::BitVec(pw));
+            let k = self
+                .arena
+                .fresh_var(&format!("idx!{}", p.func), Sort::BitVec(pw));
             let subs = self.eval_fn_paths(s, &p.func, &[k])?;
             for sub in subs {
                 let Some(ret) = sub.last_ret else { continue };
@@ -714,9 +722,9 @@ impl<'m> Interp<'m> {
                     continue;
                 }
                 m.assume(cond);
-                let obj =
-                    m.mem
-                        .alloc_heap(&mut self.arena, p.obj_size, &p.func, false);
+                let obj = m
+                    .mem
+                    .alloc_heap(&mut self.arena, p.obj_size, &p.func, false);
                 let base_bv = m.mem.obj(obj).base_bv;
                 let base_idx = m.mem.obj(obj).base_idx;
                 let eq_bv = self.arena.eq(base_bv, ret);
@@ -766,9 +774,7 @@ impl<'m> Interp<'m> {
         let finished = self.run(c)?;
         Ok(finished
             .into_iter()
-            .filter(|st| {
-                matches!(st.done, Some(PathOutcome::Completed)) && st.last_ret.is_some()
-            })
+            .filter(|st| matches!(st.done, Some(PathOutcome::Completed)) && st.last_ret.is_some())
             .collect())
     }
 
@@ -856,9 +862,10 @@ impl<'m> Interp<'m> {
                 Ok(vec![s])
             }
             Inst::AddrGlobal { dst, name } => {
-                let o = s.mem.global(&name).ok_or_else(|| {
-                    EngineError::Internal(format!("global {name} not allocated"))
-                })?;
+                let o = s
+                    .mem
+                    .global(&name)
+                    .ok_or_else(|| EngineError::Internal(format!("global {name} not allocated")))?;
                 let b = s.mem.obj(o).base_bv;
                 s.set_reg(dst, b);
                 Ok(vec![s])
@@ -994,9 +1001,12 @@ impl<'m> Interp<'m> {
                     None => nc,
                 };
                 self.drain_mem_constraints(&mut s);
-                let t_ok =
-                    self.solver
-                        .is_feasible(&mut self.arena, &s.path, c_q, QueryPurpose::Branches)?;
+                let t_ok = self.solver.is_feasible(
+                    &mut self.arena,
+                    &s.path,
+                    c_q,
+                    QueryPurpose::Branches,
+                )?;
                 let f_ok = if t_ok {
                     self.solver.is_feasible(
                         &mut self.arena,
@@ -1078,9 +1088,8 @@ impl<'m> Interp<'m> {
                 Ok(vec![s])
             }
             RetCont::AssumeTrue => {
-                let v = val.ok_or_else(|| {
-                    EngineError::Internal("AssumeTrue on void function".into())
-                })?;
+                let v =
+                    val.ok_or_else(|| EngineError::Internal("AssumeTrue on void function".into()))?;
                 let c = self.nonzero(v);
                 if !self.solver.is_feasible(
                     &mut self.arena,
@@ -1098,9 +1107,8 @@ impl<'m> Interp<'m> {
                 Ok(vec![s])
             }
             RetCont::CheckTrue(desc) => {
-                let v = val.ok_or_else(|| {
-                    EngineError::Internal("CheckTrue on void function".into())
-                })?;
+                let v =
+                    val.ok_or_else(|| EngineError::Internal("CheckTrue on void function".into()))?;
                 let c = self.nonzero(v);
                 if self
                     .solver
@@ -1113,12 +1121,7 @@ impl<'m> Interp<'m> {
                     return Ok(vec![s]);
                 }
                 let nc = self.arena.not(c);
-                let viol = self.violation(
-                    &s,
-                    ViolationKind::InvariantViolated,
-                    desc,
-                    nc,
-                )?;
+                let viol = self.violation(&s, ViolationKind::InvariantViolated, desc, nc)?;
                 s.finish(PathOutcome::Error(viol));
                 Ok(vec![s])
             }
@@ -1188,11 +1191,8 @@ impl<'m> Interp<'m> {
                                     .fresh_var(&format!("any!{name}"), Sort::BitVec(w));
                                 st.mem.write_bytes(&mut self.arena, obj, idx, v, w / 8);
                             } else {
-                                st.mem.havoc_object(
-                                    &mut self.arena,
-                                    obj,
-                                    &format!("any!{name}"),
-                                );
+                                st.mem
+                                    .havoc_object(&mut self.arena, obj, &format!("any!{name}"));
                             }
                             out.push(st);
                         }
@@ -1203,13 +1203,9 @@ impl<'m> Interp<'m> {
             Builtin::Malloc => {
                 let size = self.arg_op(&s, &args, 0)?;
                 let Some((_, sz)) = self.arena.term(size).as_bv_const() else {
-                    return Err(EngineError::Unsupported(
-                        "malloc with symbolic size".into(),
-                    ));
+                    return Err(EngineError::Unsupported("malloc with symbolic size".into()));
                 };
-                let obj = s
-                    .mem
-                    .alloc_heap(&mut self.arena, sz as u64, "malloc", true);
+                let obj = s.mem.alloc_heap(&mut self.arena, sz as u64, "malloc", true);
                 self.drain_mem_constraints(&mut s);
                 let b = s.mem.obj(obj).base_bv;
                 if let Some((r, _)) = dst {
@@ -1246,12 +1242,10 @@ impl<'m> Interp<'m> {
                 }
                 Ok(vec![s])
             }
-            Builtin::ForallElem => {
-                match s.naming_mode {
-                    NamingMode::Assume => self.forall_attach(s, dst, &args),
-                    NamingMode::Check => self.forall_check(s, dst, &args),
-                }
-            }
+            Builtin::ForallElem => match s.naming_mode {
+                NamingMode::Assume => self.forall_attach(s, dst, &args),
+                NamingMode::Check => self.forall_check(s, dst, &args),
+            },
             Builtin::ForallElemAssume => self.forall_attach(s, dst, &args),
             Builtin::ForallElemAssert => self.forall_check(s, dst, &args),
             Builtin::TpotInv => self.exec_tpot_inv(s, &args),
@@ -1260,7 +1254,8 @@ impl<'m> Interp<'m> {
                 let obj = s.mem.global(&name).ok_or_else(|| {
                     EngineError::Internal(format!("havoc of unknown global {name}"))
                 })?;
-                s.mem.havoc_object(&mut self.arena, obj, &format!("contract!{name}"));
+                s.mem
+                    .havoc_object(&mut self.arena, obj, &format!("contract!{name}"));
                 if s.log_writes {
                     let start = s.mem.obj(obj).base_idx;
                     let len = s.mem.obj(obj).size_concrete.unwrap_or(0);
@@ -1538,9 +1533,9 @@ impl<'m> Interp<'m> {
             pi += 1;
         }
         for (j, &e) in extras.iter().enumerate() {
-            let want = params
-                .get(pi + j)
-                .ok_or_else(|| EngineError::Unsupported(format!("{fname}: too many forall_elem extras")))?;
+            let want = params.get(pi + j).ok_or_else(|| {
+                EngineError::Unsupported(format!("{fname}: too many forall_elem extras"))
+            })?;
             let have_w = self.arena.sort(e).bv_width().unwrap_or(64);
             let want_w = want.bit_width();
             let v = if have_w == want_w {
@@ -1637,11 +1632,7 @@ impl<'m> Interp<'m> {
     // ---------------------------------------------------- loop invariants
 
     /// `__tpot_inv(&inv, args…, (ptr, size)…)` — appendix A.2 semantics.
-    fn exec_tpot_inv(
-        &mut self,
-        mut s: State,
-        args: &[IrArg],
-    ) -> Result<Vec<State>, EngineError> {
+    fn exec_tpot_inv(&mut self, mut s: State, args: &[IrArg]) -> Result<Vec<State>, EngineError> {
         let inv = self.arg_func(args, 0)?;
         let (_, f) = self.func_by_name(&inv)?;
         let n_inv = f.n_params;
@@ -1705,7 +1696,7 @@ impl<'m> Interp<'m> {
         }
         // First encounter: resolve the havoc regions.
         let pairs = &rest[n_inv..];
-        if pairs.len() % 2 != 0 {
+        if !pairs.len().is_multiple_of(2) {
             return Err(EngineError::Internal("__tpot_inv: odd region list".into()));
         }
         let mut work: Vec<(TermId, u64)> = Vec::new();
@@ -1888,12 +1879,11 @@ fn extract_elem_index_bv(
             if let Some((_, cv)) = arena.term(c).as_bv_const() {
                 let mnode = arena.term(m).clone();
                 if mnode.kind == Kind::BvMul {
-                    for (x, y) in
-                        [(mnode.args[0], mnode.args[1]), (mnode.args[1], mnode.args[0])]
-                    {
-                        if arena.term(x).as_bv_const().map(|c| c.1)
-                            == Some(elem_size as u128)
-                        {
+                    for (x, y) in [
+                        (mnode.args[0], mnode.args[1]),
+                        (mnode.args[1], mnode.args[0]),
+                    ] {
+                        if arena.term(x).as_bv_const().map(|c| c.1) == Some(elem_size as u128) {
                             let base_elems = cv as u64 / elem_size;
                             let add = arena.bv64(base_elems);
                             return Some(arena.bv_add(y, add));

@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use tpot_portfolio::Portfolio;
-use tpot_smt::print::to_smtlib;
+use tpot_smt::print::{query_fingerprint, to_smtlib};
 use tpot_smt::{Model, TermArena, TermId};
 use tpot_solver::{SmtResult, SolverError};
 
@@ -68,15 +68,34 @@ impl QueryCtx {
         purpose: QueryPurpose,
         need_model: bool,
     ) -> Result<SmtResult, EngineError> {
-        // Serialization happens unconditionally (it is how queries reach the
-        // paper's portfolio); its cost is the Fig. 7 "Serialization" bucket.
+        // Serialization happens exactly once per solver call: the text both
+        // pays the Fig. 7 "Serialization" bucket and yields the cache
+        // fingerprint handed to the portfolio, which therefore never
+        // re-serializes.
         let t0 = Instant::now();
-        let _text_len = to_smtlib(arena, assertions).len();
+        let fp = query_fingerprint(&to_smtlib(arena, assertions));
         self.stats.serialization_time += t0.elapsed();
+        self.stats.num_serializations += 1;
         let t1 = Instant::now();
-        let r = self.portfolio.check(arena, assertions, need_model)?;
+        let r = self
+            .portfolio
+            .check_fingerprinted(arena, assertions, need_model, fp)?;
         self.stats.add_query_time(purpose, t1.elapsed());
         Ok(r)
+    }
+
+    /// The engine stats plus the portfolio-side counters (slicing savings,
+    /// queue wait, any portfolio-internal serializations) folded in.
+    pub fn stats_snapshot(&self) -> Stats {
+        let mut s = self.stats.clone();
+        let ps = &self.portfolio.stats;
+        s.num_serializations += ps.serializations;
+        s.terms_total = ps.terms_total;
+        s.terms_shipped = ps.terms_shipped;
+        s.bytes_total = ps.bytes_total;
+        s.bytes_shipped = ps.bytes_shipped;
+        s.queue_wait = ps.queue_wait;
+        s
     }
 
     /// Is `path ∧ extra` satisfiable?
@@ -170,6 +189,31 @@ mod tests {
             .unwrap());
         assert!(q.stats.num_queries >= 3);
         assert!(q.stats.serialization_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn each_query_serialized_exactly_once() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int_const(0);
+        let pos = a.int_lt(zero, x);
+        let mut q = QueryCtx::new(Portfolio::with_instances(3));
+        assert!(q
+            .is_feasible(&mut a, &[], pos, QueryPurpose::Branches)
+            .unwrap());
+        let ge = a.int_le(zero, x);
+        assert!(q
+            .is_valid(&mut a, &[pos], ge, QueryPurpose::Assertions)
+            .unwrap());
+        // The engine serializes once per query; the portfolio, handed the
+        // fingerprint, must not serialize at all.
+        assert_eq!(q.stats.num_serializations, q.stats.num_queries);
+        assert_eq!(q.portfolio.stats.serializations, 0);
+        let snap = q.stats_snapshot();
+        assert_eq!(snap.num_serializations, snap.num_queries);
+        assert_eq!(snap.branch_queries, 1);
+        assert_eq!(snap.assertion_queries, 1);
+        assert!(snap.terms_shipped > 0 && snap.terms_shipped <= snap.terms_total);
     }
 
     #[test]

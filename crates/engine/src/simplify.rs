@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn raw_simplifies_provably_equal_indices() {
         let (mut a, mut st, mut q) = setup();
-        let arr = a.var("arr", Sort::Array(Box::new(Sort::Int), Box::new(Sort::BitVec(8))));
+        let arr = a.var(
+            "arr",
+            Sort::Array(Box::new(Sort::Int), Box::new(Sort::BitVec(8))),
+        );
         let i = a.var("i", Sort::Int);
         let j = a.var("j", Sort::Int);
         let v = a.bv_const(8, 0x2a);
@@ -201,7 +204,10 @@ mod tests {
     #[test]
     fn raw_skips_provably_distinct_store() {
         let (mut a, mut st, mut q) = setup();
-        let arr = a.var("arr2", Sort::Array(Box::new(Sort::Int), Box::new(Sort::BitVec(8))));
+        let arr = a.var(
+            "arr2",
+            Sort::Array(Box::new(Sort::Int), Box::new(Sort::BitVec(8))),
+        );
         let i = a.var("i2", Sort::Int);
         let j = a.var("j2", Sort::Int);
         let v = a.bv_const(8, 1);
@@ -218,7 +224,10 @@ mod tests {
     #[test]
     fn raw_leaves_ambiguous_reads() {
         let (mut a, mut st, mut q) = setup();
-        let arr = a.var("arr3", Sort::Array(Box::new(Sort::Int), Box::new(Sort::BitVec(8))));
+        let arr = a.var(
+            "arr3",
+            Sort::Array(Box::new(Sort::Int), Box::new(Sort::BitVec(8))),
+        );
         let i = a.var("i3", Sort::Int);
         let j = a.var("j3", Sort::Int);
         let v = a.bv_const(8, 1);

@@ -39,6 +39,29 @@ pub struct Stats {
     pub other_time: Duration,
     /// Total number of solver queries.
     pub num_queries: u64,
+    /// SMT-LIB serializations performed. The pipeline serializes each query
+    /// exactly once (for fingerprinting + Fig. 7 accounting), so this equals
+    /// `num_queries`; the portfolio's own `serializations` counter stays 0.
+    pub num_serializations: u64,
+    /// Queries issued for pointer resolution.
+    pub pointer_queries: u64,
+    /// Queries issued for branch feasibility.
+    pub branch_queries: u64,
+    /// Queries issued for assertions/invariants.
+    pub assertion_queries: u64,
+    /// Queries issued by the query simplifier.
+    pub simplify_queries: u64,
+    /// Cone-of-influence slicing: terms in the full arena, summed over
+    /// solver-bound queries (what per-instance clones used to copy).
+    pub terms_total: u64,
+    /// Terms actually shipped to solver instances after slicing.
+    pub terms_shipped: u64,
+    /// Approximate full-arena bytes, summed over solver-bound queries.
+    pub bytes_total: u64,
+    /// Approximate bytes shipped after slicing.
+    pub bytes_shipped: u64,
+    /// Time queries spent waiting in the worker-pool queue.
+    pub queue_wait: Duration,
     /// Queries answered by the read-after-write proof cache.
     pub raw_cache_hits: u64,
     /// Successful read-after-write simplifications.
@@ -60,10 +83,22 @@ impl Stats {
     pub fn add_query_time(&mut self, purpose: QueryPurpose, d: Duration) {
         self.num_queries += 1;
         match purpose {
-            QueryPurpose::Pointers => self.pointer_time += d,
-            QueryPurpose::Branches => self.branch_time += d,
-            QueryPurpose::Assertions => self.assertion_time += d,
-            QueryPurpose::Simplify => self.simplify_time += d,
+            QueryPurpose::Pointers => {
+                self.pointer_queries += 1;
+                self.pointer_time += d;
+            }
+            QueryPurpose::Branches => {
+                self.branch_queries += 1;
+                self.branch_time += d;
+            }
+            QueryPurpose::Assertions => {
+                self.assertion_queries += 1;
+                self.assertion_time += d;
+            }
+            QueryPurpose::Simplify => {
+                self.simplify_queries += 1;
+                self.simplify_time += d;
+            }
         }
     }
 
@@ -86,6 +121,16 @@ impl Stats {
         self.serialization_time += o.serialization_time;
         self.other_time += o.other_time;
         self.num_queries += o.num_queries;
+        self.num_serializations += o.num_serializations;
+        self.pointer_queries += o.pointer_queries;
+        self.branch_queries += o.branch_queries;
+        self.assertion_queries += o.assertion_queries;
+        self.simplify_queries += o.simplify_queries;
+        self.terms_total += o.terms_total;
+        self.terms_shipped += o.terms_shipped;
+        self.bytes_total += o.bytes_total;
+        self.bytes_shipped += o.bytes_shipped;
+        self.queue_wait += o.queue_wait;
         self.raw_cache_hits += o.raw_cache_hits;
         self.raw_simplifications += o.raw_simplifications;
         self.const_offset_hits += o.const_offset_hits;

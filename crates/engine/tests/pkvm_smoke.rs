@@ -40,6 +40,17 @@ fn pkvm_init() {
         PotStatus::Failed(vs) => panic!("failed: {}", vs[0]),
         PotStatus::Error(e) => panic!("error: {e}"),
     }
+    // Cone-of-influence slicing must ship strictly fewer terms to the
+    // solvers than the full (monotonically growing) arena holds.
+    assert!(r.stats.terms_shipped > 0);
+    assert!(
+        r.stats.terms_shipped < r.stats.terms_total,
+        "slicing shipped {} of {} terms",
+        r.stats.terms_shipped,
+        r.stats.terms_total
+    );
+    // And the pipeline serialized each solver call exactly once.
+    assert_eq!(r.stats.num_serializations, r.stats.num_queries);
 }
 
 #[test]

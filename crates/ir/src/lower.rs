@@ -1,14 +1,13 @@
 //! Lowering from the typed HIR (`tpot-cfront`) into TIR.
 
 use tpot_cfront::sema::{
-    CastKind as HCast, CheckedProgram, LocalSlot, TArg, TBinOp, TExpr, TExprKind, TFunc,
-    TPlace, TPlaceKind, TStmt, TUnOp,
+    CastKind as HCast, CheckedProgram, LocalSlot, TArg, TBinOp, TExpr, TExprKind, TFunc, TPlace,
+    TPlaceKind, TStmt, TUnOp,
 };
 use tpot_cfront::types::Type;
 
 use crate::{
-    BinKind, Block, BlockId, CastKind, Inst, IrArg, IrFunc, Module, Operand, Pred, RegId,
-    Term,
+    BinKind, Block, BlockId, CastKind, Inst, IrArg, IrFunc, Module, Operand, Pred, RegId, Term,
 };
 
 /// Lowers all functions of a checked program.
@@ -124,7 +123,10 @@ impl<'a> FnLower<'a> {
 
     fn local_addr(&mut self, slot: usize) -> Operand {
         let r = self.fresh();
-        self.emit(Inst::AddrLocal { dst: r, local: slot });
+        self.emit(Inst::AddrLocal {
+            dst: r,
+            local: slot,
+        });
         Operand::Reg(r, 64)
     }
 
@@ -258,18 +260,12 @@ impl<'a> FnLower<'a> {
                 Ok(())
             }
             TStmt::Break => {
-                let (exit, _) = *self
-                    .loop_stack
-                    .last()
-                    .ok_or("break outside of a loop")?;
+                let (exit, _) = *self.loop_stack.last().ok_or("break outside of a loop")?;
                 self.set_term(Term::Br(exit));
                 Ok(())
             }
             TStmt::Continue => {
-                let (_, cont) = *self
-                    .loop_stack
-                    .last()
-                    .ok_or("continue outside of a loop")?;
+                let (_, cont) = *self.loop_stack.last().ok_or("continue outside of a loop")?;
                 self.set_term(Term::Br(cont));
                 Ok(())
             }
@@ -338,10 +334,7 @@ impl<'a> FnLower<'a> {
             t => t.bit_width(),
         };
         match &e.kind {
-            TExprKind::Const(v) => Ok(Operand::Const {
-                value: *v,
-                width,
-            }),
+            TExprKind::Const(v) => Ok(Operand::Const { value: *v, width }),
             TExprKind::Load(p) => {
                 let addr = self.place_addr(p)?;
                 Ok(self.load(addr, p.ty.bit_width()))
@@ -496,12 +489,10 @@ impl<'a> FnLower<'a> {
                 });
                 Ok(Operand::Reg(dst, width))
             }
-            TExprKind::Call(_, _) | TExprKind::Builtin(_, _) => {
-                match self.expr_opt(e)? {
-                    Some(op) => Ok(op),
-                    None => Err("void value used".into()),
-                }
-            }
+            TExprKind::Call(_, _) | TExprKind::Builtin(_, _) => match self.expr_opt(e)? {
+                Some(op) => Ok(op),
+                None => Err("void value used".into()),
+            },
             TExprKind::Assign(p, v) => {
                 let val = self.expr_val(v)?;
                 let addr = self.place_addr(p)?;
@@ -646,9 +637,7 @@ mod tests {
 
     #[test]
     fn lower_while_loop() {
-        let m = lower_src(
-            "int f(int n) { int i = 0; while (i < n) { i++; } return i; }\n",
-        );
+        let m = lower_src("int f(int n) { int i = 0; while (i < n) { i++; } return i; }\n");
         let f = m.func("f").unwrap();
         // head, body, exit + entry.
         assert!(f.blocks.len() >= 4);
@@ -717,9 +706,7 @@ mod tests {
 
     #[test]
     fn store_through_cast_pointer() {
-        let m = lower_src(
-            "unsigned long cur;\nvoid f(void) { *(char *)cur = 0; }\n",
-        );
+        let m = lower_src("unsigned long cur;\nvoid f(void) { *(char *)cur = 0; }\n");
         let f = m.func("f").unwrap();
         assert!(f.blocks[0]
             .insts

@@ -47,13 +47,30 @@ fn op_str(o: &Operand) -> String {
 
 fn inst_to_string(i: &Inst) -> String {
     match i {
-        Inst::Bin { dst, op, a, b, width } => {
+        Inst::Bin {
+            dst,
+            op,
+            a,
+            b,
+            width,
+        } => {
             format!("%{dst} = {op:?}.i{width} {} {}", op_str(a), op_str(b))
         }
-        Inst::Cmp { dst, pred, a, b, width } => {
+        Inst::Cmp {
+            dst,
+            pred,
+            a,
+            b,
+            width,
+        } => {
             format!("%{dst} = cmp.{pred:?}.i{width} {} {}", op_str(a), op_str(b))
         }
-        Inst::Cast { dst, kind, src, to_width } => {
+        Inst::Cast {
+            dst,
+            kind,
+            src,
+            to_width,
+        } => {
             format!("%{dst} = {kind:?} {} to i{to_width}", op_str(src))
         }
         Inst::Load { dst, addr, width } => {

@@ -158,8 +158,7 @@ pub struct Memory {
 impl Memory {
     /// Creates an empty memory in the given addressing mode.
     pub fn new(arena: &mut TermArena, mode: AddrMode) -> Self {
-        let bv2int_func =
-            arena.declare_func("tpot_bv2int", vec![Sort::BitVec(64)], Sort::Int);
+        let bv2int_func = arena.declare_func("tpot_bv2int", vec![Sort::BitVec(64)], Sort::Int);
         let heap_safe_func = arena.declare_func("heap_safe", vec![Sort::Int], Sort::Int);
         Memory {
             objects: Vec::new(),
@@ -271,12 +270,7 @@ impl Memory {
 
     /// Allocates a global object with a concrete base and fresh symbolic
     /// contents.
-    pub fn alloc_global(
-        &mut self,
-        arena: &mut TermArena,
-        name: &str,
-        size: u64,
-    ) -> ObjectId {
+    pub fn alloc_global(&mut self, arena: &mut TermArena, name: &str, size: u64) -> ObjectId {
         let base = self.bump_concrete(size, true);
         let id = self.push_concrete(
             arena,
@@ -315,7 +309,7 @@ impl Memory {
         };
         // 16-byte alignment plus a 16-byte red zone between objects, so
         // small out-of-bounds offsets never silently land in a neighbor.
-        let base = (*bump + 15) / 16 * 16;
+        let base = bump.div_ceil(16) * 16;
         *bump = base + size + 16;
         base
     }
@@ -331,10 +325,7 @@ impl Memory {
         let id = ObjectId(self.objects.len() as u32);
         let base_bv = arena.bv64(base);
         let (base_idx, size_idx) = match self.mode {
-            AddrMode::Int => (
-                arena.int_const(base as i128),
-                arena.int_const(size as i128),
-            ),
+            AddrMode::Int => (arena.int_const(base as i128), arena.int_const(size as i128)),
             AddrMode::Bv => (base_bv, arena.bv64(size)),
         };
         let array = arena.fresh_var(&format!("mem!{tag}"), self.array_sort());
@@ -685,13 +676,7 @@ impl Memory {
 
     /// The in-bounds condition for an access of `len` bytes at index `idx`
     /// within object `o`: `base ≤ idx ∧ idx + len ≤ base + size`.
-    pub fn in_bounds(
-        &self,
-        arena: &mut TermArena,
-        o: ObjectId,
-        idx: TermId,
-        len: u64,
-    ) -> TermId {
+    pub fn in_bounds(&self, arena: &mut TermArena, o: ObjectId, idx: TermId, len: u64) -> TermId {
         let (base, size) = {
             let obj = self.obj(o);
             (obj.base_idx, obj.size_idx)
@@ -832,7 +817,10 @@ mod tests {
             let t = term_to_string(&a, c);
             t.contains('*') && t.contains("tpot_bv2int")
         });
-        assert!(has_def, "constant scaling must stay linear in the defining equation");
+        assert!(
+            has_def,
+            "constant scaling must stay linear in the defining equation"
+        );
     }
 
     #[test]

@@ -2,34 +2,52 @@
 //!
 //! The paper's TPot *races* 15 differently-configured Z3 instances and takes
 //! the earliest result, and persists query results on disk so CI re-runs
-//! only pay for queries affected by a change. This crate reproduces both:
+//! only pay for queries affected by a change. This crate reproduces both,
+//! with an engine-level performance pipeline the seed lacked:
 //!
-//! - [`Portfolio::check`] clones the term arena per racing instance, runs
-//!   each configured [`SmtSolver`] on its own thread, takes the first
-//!   definitive answer and cancels the losers via a shared flag.
-//! - [`Portfolio::check_validated`] waits for *all* instances and checks
-//!   they agree — the a-posteriori validation the paper recommends because
-//!   "a solver portfolio is more often wrong than an individual solver"
-//!   (§4.4). On a Sat result the winning model is additionally re-evaluated
-//!   against the original assertions.
+//! - **Cone-of-influence slicing**: instead of cloning the full (monotonically
+//!   growing) term arena per racing instance, [`Portfolio::check`] ships each
+//!   instance a [`TermArena::slice`] containing only the terms reachable from
+//!   the assertions. Late queries in a POT run no longer pay
+//!   O(all terms ever created × instances) of setup.
+//! - **Persistent worker pool**: racing instances run on the long-lived
+//!   [`WorkerPool`] (shared process-wide by default) instead of freshly
+//!   spawned OS threads; losers observe a shared cancel flag — skipped
+//!   outright if still queued, aborted at the next conflict-poll if running.
+//! - [`Portfolio::check_validated`] runs *all* instances (concurrently, on
+//!   the pool) and checks they agree — the a-posteriori validation the paper
+//!   recommends because "a solver portfolio is more often wrong than an
+//!   individual solver" (§4.4). A Sat model is re-evaluated against the
+//!   original assertions.
 //! - [`PersistentCache`] keys Sat/Unsat outcomes by a stable fingerprint of
-//!   the serialized SMT-LIB query. Models are not cached: a hit that needs a
-//!   model re-solves, matching TPot's usage where cached hits dominate on
-//!   unchanged code.
+//!   the serialized SMT-LIB query. The cache sits behind a
+//!   `parking_lot::Mutex` so parallel POT verification shares one cache and
+//!   every POT benefits from its siblings' hits; flushes are crash-safe
+//!   (temp file + atomic rename) and merge with concurrent writers instead
+//!   of overwriting them.
+//!
+//! Serialization happens exactly once per solver call: the engine serializes
+//! for accounting, fingerprints the text, and passes the fingerprint to
+//! [`Portfolio::check_fingerprinted`] — the portfolio itself never
+//! re-serializes (its `stats.serializations` counter stays 0 on that path).
+
+mod pool;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use serde::{Deserialize, Serialize};
+use parking_lot::Mutex;
 use tpot_smt::print::{query_fingerprint, to_smtlib};
 use tpot_smt::{eval, TermArena, TermId, Value};
-use tpot_solver::{SmtResult, SmtSolver, SolverConfig, SolverError};
+use tpot_solver::{SmtResult, SolverError};
+
+pub use pool::{Job, Reply, WorkerPool};
 
 /// Outcome stored in the persistent cache.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CachedOutcome {
     /// Query was satisfiable.
     Sat,
@@ -38,6 +56,12 @@ pub enum CachedOutcome {
 }
 
 /// On-disk query cache (paper §4.4, "Persistent query caching").
+///
+/// The file format is a plain line-oriented text format
+/// (`<fingerprint> sat|unsat`), hand-rolled because the build environment
+/// vendors no serde. [`flush`](Self::flush) is safe against crashes and
+/// concurrent flushers: it merges with whatever is on disk, writes a
+/// temporary file, and renames it into place atomically.
 #[derive(Debug, Default)]
 pub struct PersistentCache {
     path: Option<PathBuf>,
@@ -47,6 +71,48 @@ pub struct PersistentCache {
     pub hits: u64,
     /// Statistics: cache misses.
     pub misses: u64,
+}
+
+fn parse_cache(text: &str) -> HashMap<u64, CachedOutcome> {
+    let mut map = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(fp), Some(outcome)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let Ok(fp) = fp.parse::<u64>() else { continue };
+        match outcome {
+            "sat" => {
+                map.insert(fp, CachedOutcome::Sat);
+            }
+            "unsat" => {
+                map.insert(fp, CachedOutcome::Unsat);
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+fn render_cache(map: &HashMap<u64, CachedOutcome>) -> String {
+    let mut entries: Vec<(&u64, &CachedOutcome)> = map.iter().collect();
+    entries.sort_unstable_by_key(|(fp, _)| **fp);
+    let mut out = String::with_capacity(entries.len() * 24 + 32);
+    out.push_str("# tpot query cache v1\n");
+    for (fp, outcome) in entries {
+        out.push_str(&fp.to_string());
+        out.push(' ');
+        out.push_str(match outcome {
+            CachedOutcome::Sat => "sat",
+            CachedOutcome::Unsat => "unsat",
+        });
+        out.push('\n');
+    }
+    out
 }
 
 impl PersistentCache {
@@ -59,11 +125,7 @@ impl PersistentCache {
     pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
         let path = path.into();
         let map = match std::fs::read_to_string(&path) {
-            Ok(text) => serde_json::from_str::<HashMap<String, CachedOutcome>>(&text)
-                .unwrap_or_default()
-                .into_iter()
-                .filter_map(|(k, v)| k.parse::<u64>().ok().map(|k| (k, v)))
-                .collect(),
+            Ok(text) => parse_cache(&text),
             Err(_) => HashMap::new(),
         };
         Ok(PersistentCache {
@@ -103,16 +165,28 @@ impl PersistentCache {
     }
 
     /// Writes the cache to disk (no-op for in-memory caches).
+    ///
+    /// Crash/concurrency-safe: merges with any entries another process (or a
+    /// parallel POT worker flushing the same path) wrote since we opened the
+    /// file, then writes a temp file and renames it into place atomically.
+    /// Our own entries win fingerprint collisions — outcomes for a given
+    /// fingerprint are deterministic, so a collision means equal values
+    /// anyway.
     pub fn flush(&mut self) -> std::io::Result<()> {
         if !self.dirty {
             return Ok(());
         }
         if let Some(path) = &self.path {
-            let as_strings: HashMap<String, CachedOutcome> =
-                self.map.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-            std::fs::write(path, serde_json::to_string(&as_strings)?)?;
-            self.dirty = false;
+            if let Ok(text) = std::fs::read_to_string(path) {
+                for (fp, outcome) in parse_cache(&text) {
+                    self.map.entry(fp).or_insert(outcome);
+                }
+            }
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            std::fs::write(&tmp, render_cache(&self.map))?;
+            std::fs::rename(&tmp, path)?;
         }
+        self.dirty = false;
         Ok(())
     }
 }
@@ -123,6 +197,10 @@ impl Drop for PersistentCache {
     }
 }
 
+/// A shareable handle to a [`PersistentCache`]. Parallel POT verification
+/// clones one handle into every worker so POTs see each other's hits.
+pub type SharedCache = Arc<Mutex<PersistentCache>>;
+
 /// Portfolio statistics.
 #[derive(Clone, Debug, Default)]
 pub struct PortfolioStats {
@@ -130,41 +208,70 @@ pub struct PortfolioStats {
     pub queries: u64,
     /// Wins per configuration name.
     pub wins: HashMap<String, u64>,
+    /// SMT-LIB serializations performed *inside* the portfolio. Stays 0 when
+    /// callers pass a fingerprint (the engine's single-serialization path).
+    pub serializations: u64,
+    /// Terms in the caller's full arena, summed over solver-bound queries.
+    pub terms_total: u64,
+    /// Terms actually shipped to solvers (cone-of-influence slices).
+    pub terms_shipped: u64,
+    /// Approximate bytes of the caller's full arena, summed over queries.
+    pub bytes_total: u64,
+    /// Approximate bytes shipped per query after slicing.
+    pub bytes_shipped: u64,
+    /// Time jobs spent waiting in the worker-pool queue (summed over
+    /// observed replies).
+    pub queue_wait: Duration,
 }
 
 /// A racing portfolio of SMT solver instances.
 pub struct Portfolio {
-    configs: Vec<SolverConfig>,
-    /// Optional persistent cache consulted before racing.
-    pub cache: Option<PersistentCache>,
+    configs: Vec<tpot_solver::SolverConfig>,
+    /// Optional persistent cache consulted before racing. Shared: parallel
+    /// POT drivers hand every portfolio the same handle.
+    pub cache: Option<SharedCache>,
     /// Statistics.
     pub stats: PortfolioStats,
+    pool: Arc<WorkerPool>,
 }
 
 impl Portfolio {
     /// Builds a portfolio from explicit configurations.
-    pub fn new(configs: Vec<SolverConfig>) -> Self {
+    pub fn new(configs: Vec<tpot_solver::SolverConfig>) -> Self {
         assert!(!configs.is_empty(), "portfolio needs at least one instance");
         Portfolio {
             configs,
             cache: None,
             stats: PortfolioStats::default(),
+            pool: WorkerPool::global(),
         }
     }
 
     /// The default portfolio of `n` diversified instances.
     pub fn with_instances(n: usize) -> Self {
-        Self::new(SolverConfig::portfolio(n))
+        Self::new(tpot_solver::SolverConfig::portfolio(n))
     }
 
     /// A single-instance "portfolio" (ablation baseline).
     pub fn single() -> Self {
-        Self::new(vec![SolverConfig::default()])
+        Self::new(vec![tpot_solver::SolverConfig::default()])
     }
 
-    /// Attaches a persistent cache.
-    pub fn with_cache(mut self, cache: PersistentCache) -> Self {
+    /// Attaches a private persistent cache.
+    pub fn with_cache(self, cache: PersistentCache) -> Self {
+        self.with_shared_cache(Arc::new(Mutex::new(cache)))
+    }
+
+    /// Attaches a cache shared with other portfolios (parallel POT runs).
+    pub fn with_shared_cache(mut self, cache: SharedCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Runs this portfolio's instances on a specific pool instead of the
+    /// process-wide one (deterministic scheduling in tests).
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -177,98 +284,132 @@ impl Portfolio {
     /// answer wins. `need_model = false` allows answering Sat/Unsat straight
     /// from the cache.
     ///
-    /// Returns the result plus the serialized query text (the caller's
-    /// serialization-time accounting wraps this call).
+    /// This convenience entry serializes the query to compute its cache
+    /// fingerprint; callers that already serialized (the engine does, for
+    /// Fig. 7 accounting) should call [`check_fingerprinted`]
+    /// (Self::check_fingerprinted) to avoid double serialization.
     pub fn check(
         &mut self,
         arena: &TermArena,
         assertions: &[TermId],
         need_model: bool,
     ) -> Result<SmtResult, SolverError> {
+        self.stats.serializations += 1;
         let fp = query_fingerprint(&to_smtlib(arena, assertions));
+        self.check_fingerprinted(arena, assertions, need_model, fp)
+    }
+
+    /// [`check`](Self::check) with a caller-computed query fingerprint — the
+    /// single-serialization fast path.
+    pub fn check_fingerprinted(
+        &mut self,
+        arena: &TermArena,
+        assertions: &[TermId],
+        need_model: bool,
+        fp: u64,
+    ) -> Result<SmtResult, SolverError> {
         if !need_model {
-            if let Some(cache) = &mut self.cache {
-                match cache.get(fp) {
-                    Some(CachedOutcome::Sat) => {
-                        return Ok(SmtResult::Sat(tpot_smt::Model::new()))
-                    }
+            if let Some(cache) = &self.cache {
+                match cache.lock().get(fp) {
+                    Some(CachedOutcome::Sat) => return Ok(SmtResult::Sat(tpot_smt::Model::new())),
                     Some(CachedOutcome::Unsat) => return Ok(SmtResult::Unsat),
                     None => {}
                 }
             }
         }
         self.stats.queries += 1;
+        let (sliced, roots) = arena.slice(assertions);
+        self.stats.terms_total += arena.len() as u64;
+        self.stats.terms_shipped += sliced.len() as u64;
+        self.stats.bytes_total += arena.approx_bytes() as u64;
+        self.stats.bytes_shipped += sliced.approx_bytes() as u64;
         let result = if self.configs.len() == 1 {
-            let mut local = arena.clone();
-            SmtSolver::new(self.configs[0].clone()).check(&mut local, assertions)?
+            // No race: solve on the slice directly, no clone at all.
+            let mut local = sliced;
+            tpot_solver::SmtSolver::new(self.configs[0].clone()).check(&mut local, &roots)?
         } else {
-            self.race(arena, assertions)?
+            self.race(&sliced, &roots)?
         };
-        if let Some(cache) = &mut self.cache {
+        if let Some(cache) = &self.cache {
             match &result {
-                SmtResult::Sat(_) => cache.put(fp, CachedOutcome::Sat),
-                SmtResult::Unsat => cache.put(fp, CachedOutcome::Unsat),
+                SmtResult::Sat(_) => cache.lock().put(fp, CachedOutcome::Sat),
+                SmtResult::Unsat => cache.lock().put(fp, CachedOutcome::Unsat),
                 SmtResult::Unknown => {}
             }
         }
         Ok(result)
     }
 
-    fn race(
-        &mut self,
-        arena: &TermArena,
-        assertions: &[TermId],
-    ) -> Result<SmtResult, SolverError> {
-        let cancel = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::channel::<(String, Result<SmtResult, SolverError>)>();
-        let n = self.configs.len();
+    /// Submits one job per configuration to the worker pool, each with its
+    /// own clone of the (small) slice and a shared cancel flag.
+    fn submit_all(
+        &self,
+        sliced: &TermArena,
+        roots: &[TermId],
+        cancel: &Arc<AtomicBool>,
+    ) -> crossbeam::channel::Receiver<Reply> {
+        let (tx, rx) = crossbeam::channel::unbounded::<Reply>();
         for cfg in &self.configs {
             let mut cfg = cfg.clone();
             cfg.sat.cancel = Some(cancel.clone());
-            let tx = tx.clone();
-            let mut local = arena.clone();
-            let asserts: Vec<TermId> = assertions.to_vec();
-            std::thread::spawn(move || {
-                let name = cfg.name.clone();
-                let r = SmtSolver::new(cfg).check(&mut local, &asserts);
-                let _ = tx.send((name, r));
+            self.pool.submit(Job {
+                cfg,
+                arena: sliced.clone(),
+                assertions: roots.to_vec(),
+                cancel: cancel.clone(),
+                reply: tx.clone(),
+                enqueued: Instant::now(),
             });
         }
-        drop(tx);
+        rx
+    }
+
+    fn race(&mut self, sliced: &TermArena, roots: &[TermId]) -> Result<SmtResult, SolverError> {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let rx = self.submit_all(sliced, roots, &cancel);
         let mut last: Option<Result<SmtResult, SolverError>> = None;
-        for _ in 0..n {
-            let Ok((name, r)) = rx.recv() else { break };
-            match &r {
+        for _ in 0..self.configs.len() {
+            let Ok(reply) = rx.recv() else { break };
+            self.stats.queue_wait += reply.queue_wait;
+            match &reply.result {
                 Ok(SmtResult::Sat(_)) | Ok(SmtResult::Unsat) => {
                     cancel.store(true, Ordering::Relaxed);
-                    *self.stats.wins.entry(name).or_insert(0) += 1;
-                    return r;
+                    *self.stats.wins.entry(reply.name).or_insert(0) += 1;
+                    return reply.result;
                 }
-                _ => last = Some(r),
+                _ => last = Some(reply.result),
             }
         }
+        // Nothing definitive: losers were all Unknown or errors.
         last.unwrap_or(Ok(SmtResult::Unknown))
     }
 
-    /// Runs *all* instances to completion and checks agreement, validating
-    /// any model against the assertions (the paper's recommended CI
-    /// validation job, §4.4).
+    /// Runs *all* instances to completion (concurrently, on the pool) and
+    /// checks agreement, validating any model against the assertions (the
+    /// paper's recommended CI validation job, §4.4).
     pub fn check_validated(
         &mut self,
         arena: &TermArena,
         assertions: &[TermId],
     ) -> Result<SmtResult, SolverError> {
+        let (sliced, roots) = arena.slice(assertions);
+        // Never set: validation wants every instance to finish.
+        let cancel = Arc::new(AtomicBool::new(false));
+        let rx = self.submit_all(&sliced, &roots, &cancel);
         let mut results: Vec<SmtResult> = Vec::new();
-        for cfg in self.configs.clone() {
-            let mut local = arena.clone();
-            results.push(SmtSolver::new(cfg).check(&mut local, assertions)?);
+        for _ in 0..self.configs.len() {
+            let Ok(reply) = rx.recv() else { break };
+            self.stats.queue_wait += reply.queue_wait;
+            results.push(reply.result?);
         }
         let mut saw_sat: Option<SmtResult> = None;
         let mut saw_unsat = false;
         for r in results {
             match r {
                 SmtResult::Sat(m) => {
-                    // Validate the model by concrete evaluation.
+                    // Validate the model by concrete evaluation against the
+                    // *original* arena and assertions (slicing keeps variable
+                    // names and FuncIds stable, so the model transfers).
                     for &t in assertions {
                         let v = eval(arena, &m, t)
                             .map_err(|e| SolverError::Unsupported(format!("{e:?}")))?;
@@ -312,6 +453,32 @@ mod tests {
         }
     }
 
+    /// Pigeonhole principle php(holes+1, holes): unsat, and exponentially
+    /// hard for CDCL — a reliable "slow query" for cancellation tests.
+    fn pigeonhole(arena: &mut TermArena, holes: usize) -> Vec<TermId> {
+        let pigeons = holes + 1;
+        let p: Vec<Vec<TermId>> = (0..pigeons)
+            .map(|i| {
+                (0..holes)
+                    .map(|j| arena.var(&format!("p_{i}_{j}"), Sort::Bool))
+                    .collect()
+            })
+            .collect();
+        let mut asserts = Vec::new();
+        for row in &p {
+            asserts.push(arena.or(row));
+        }
+        for j in 0..holes {
+            for i in 0..pigeons {
+                for k in (i + 1)..pigeons {
+                    let both = arena.and(&[p[i][j], p[k][j]]);
+                    asserts.push(arena.not(both));
+                }
+            }
+        }
+        asserts
+    }
+
     #[test]
     fn race_returns_first_answer() {
         let mut a = TermArena::new();
@@ -352,23 +519,39 @@ mod tests {
         assert_eq!(p.stats.queries, 1);
         assert!(p.check(&a, &q, false).unwrap().is_unsat());
         assert_eq!(p.stats.queries, 1, "second query must hit the cache");
-        let c = p.cache.as_ref().unwrap();
-        assert_eq!(c.hits, 1);
+        assert_eq!(p.cache.as_ref().unwrap().lock().hits, 1);
     }
 
     #[test]
     fn persistent_cache_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("tpot-cache-{}", std::process::id()));
-        let _ = std::fs::remove_file(&dir);
+        let path = std::env::temp_dir().join(format!("tpot-cache-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
         {
-            let mut c = PersistentCache::open(&dir).unwrap();
+            let mut c = PersistentCache::open(&path).unwrap();
             c.put(42, CachedOutcome::Unsat);
             c.flush().unwrap();
         }
-        let mut c2 = PersistentCache::open(&dir).unwrap();
+        let mut c2 = PersistentCache::open(&path).unwrap();
         assert_eq!(c2.get(42), Some(CachedOutcome::Unsat));
         assert_eq!(c2.get(43), None);
-        let _ = std::fs::remove_file(&dir);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_merges_concurrent_writers() {
+        let path = std::env::temp_dir().join(format!("tpot-cache-merge-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut a = PersistentCache::open(&path).unwrap();
+        let mut b = PersistentCache::open(&path).unwrap();
+        a.put(1, CachedOutcome::Sat);
+        a.flush().unwrap();
+        // b never saw a's entry in memory; its flush must not clobber it.
+        b.put(2, CachedOutcome::Unsat);
+        b.flush().unwrap();
+        let mut c = PersistentCache::open(&path).unwrap();
+        assert_eq!(c.get(1), Some(CachedOutcome::Sat));
+        assert_eq!(c.get(2), Some(CachedOutcome::Unsat));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -383,5 +566,146 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(p.stats.queries, 2);
+    }
+
+    #[test]
+    fn slicing_ships_fewer_terms() {
+        let mut a = TermArena::new();
+        // Junk terms outside the assertion cone: simulates the engine's
+        // monotonically growing arena.
+        for i in 0..100 {
+            let v = a.var(&format!("junk{i}"), Sort::BitVec(32));
+            let c = a.bv_const(32, i);
+            a.eq(v, c);
+        }
+        let q = simple_query(&mut a, true);
+        let mut p = Portfolio::with_instances(3);
+        assert!(p.check(&a, &q, false).unwrap().is_sat());
+        assert_eq!(p.stats.terms_total, a.len() as u64);
+        assert!(
+            p.stats.terms_shipped < p.stats.terms_total / 10,
+            "slice should drop the junk cone: shipped {} of {}",
+            p.stats.terms_shipped,
+            p.stats.terms_total
+        );
+        assert!(p.stats.bytes_shipped < p.stats.bytes_total);
+    }
+
+    #[test]
+    fn fingerprinted_path_never_serializes() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, false);
+        let fp = query_fingerprint(&to_smtlib(&a, &q));
+        let mut p = Portfolio::single();
+        assert!(p.check_fingerprinted(&a, &q, false, fp).unwrap().is_unsat());
+        assert_eq!(
+            p.stats.serializations, 0,
+            "the fingerprinted path must not re-serialize the query"
+        );
+        assert_eq!(p.stats.queries, 1);
+    }
+
+    #[test]
+    fn pool_skips_jobs_cancelled_while_queued() {
+        let pool = WorkerPool::new(1);
+        let cancel = Arc::new(AtomicBool::new(true)); // already settled
+        let (tx, rx) = crossbeam::channel::unbounded::<Reply>();
+        let mut arena = TermArena::new();
+        let q = simple_query(&mut arena, true);
+        for _ in 0..4 {
+            pool.submit(Job {
+                cfg: tpot_solver::SolverConfig::default(),
+                arena: arena.clone(),
+                assertions: q.clone(),
+                cancel: cancel.clone(),
+                reply: tx.clone(),
+                enqueued: Instant::now(),
+            });
+        }
+        for _ in 0..4 {
+            let reply = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("cancelled job must still reply");
+            assert!(reply.cancelled);
+            assert!(matches!(reply.result, Ok(SmtResult::Unknown)));
+        }
+        assert_eq!(pool.cancelled_jobs(), 4);
+    }
+
+    #[test]
+    fn cancel_aborts_running_solver_promptly() {
+        // One worker, four hard pigeonhole jobs sharing a cancel flag. The
+        // worker starts job 1; we set the flag while it runs. The solver's
+        // conflict-poll aborts it and the remaining jobs are skipped at
+        // dequeue — so the total wall clock stays far below the time four
+        // uncancelled php(10,9) solves would take.
+        let pool = WorkerPool::new(1);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = crossbeam::channel::unbounded::<Reply>();
+        let mut arena = TermArena::new();
+        let q = pigeonhole(&mut arena, 9);
+        for _ in 0..4 {
+            let mut cfg = tpot_solver::SolverConfig::default();
+            cfg.sat.cancel = Some(cancel.clone());
+            pool.submit(Job {
+                cfg,
+                arena: arena.clone(),
+                assertions: q.clone(),
+                cancel: cancel.clone(),
+                reply: tx.clone(),
+                enqueued: Instant::now(),
+            });
+        }
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_millis(100));
+        cancel.store(true, Ordering::Relaxed);
+        let mut unknowns = 0;
+        for _ in 0..4 {
+            let reply = rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("cancelled race must drain all replies");
+            match reply.result {
+                Ok(SmtResult::Unknown) => unknowns += 1,
+                Ok(SmtResult::Unsat) => {} // solved before the flag flipped
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+        assert!(unknowns >= 3, "queued losers must be skipped, not solved");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "cancellation failed to bound race wall-clock: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn race_winner_cancels_queued_losers() {
+        // Eight instances race a ~300ms query on two workers. When the
+        // winner returns, at most one other job is mid-solve (it aborts at
+        // the next conflict poll); the rest are still queued and must be
+        // skipped at dequeue, not solved. Without cancellation the race
+        // would serialize all eight solves over two workers.
+        let pool = WorkerPool::new(2);
+        let mut a = TermArena::new();
+        let q = pigeonhole(&mut a, 8);
+        let mut p = Portfolio::with_instances(8).with_pool(pool.clone());
+        let start = Instant::now();
+        assert!(p.check(&a, &q, false).unwrap().is_unsat());
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "race wall-clock not bounded: {:?}",
+            start.elapsed()
+        );
+        // The worker threads drain the queue after `check` returns; wait for
+        // the skipped losers to be counted.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while pool.cancelled_jobs() < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            pool.cancelled_jobs() >= 4,
+            "queued losers must be skipped without solving (got {})",
+            pool.cancelled_jobs()
+        );
     }
 }

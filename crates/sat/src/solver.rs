@@ -386,11 +386,13 @@ impl Solver {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut best = i;
-            if l < self.order_heap.len() && self.heap_less(self.order_heap[l], self.order_heap[best])
+            if l < self.order_heap.len()
+                && self.heap_less(self.order_heap[l], self.order_heap[best])
             {
                 best = l;
             }
-            if r < self.order_heap.len() && self.heap_less(self.order_heap[r], self.order_heap[best])
+            if r < self.order_heap.len()
+                && self.heap_less(self.order_heap[r], self.order_heap[best])
             {
                 best = r;
             }
@@ -478,8 +480,8 @@ impl Solver {
                 learnt[0] = lit.negate();
                 break;
             }
-            confl = self.reason[lit.var().0 as usize].expect("UIP literal must have a reason")
-                as usize;
+            confl =
+                self.reason[lit.var().0 as usize].expect("UIP literal must have a reason") as usize;
             seen[lit.var().0 as usize] = false;
         }
 
@@ -688,7 +690,7 @@ impl Solver {
                         return SatResult::Unknown;
                     }
                 }
-                if self.conflicts % 64 == 0 {
+                if self.conflicts.is_multiple_of(64) {
                     if let Some(c) = &self.config.cancel {
                         if c.load(std::sync::atomic::Ordering::Relaxed) {
                             self.backtrack(0);

@@ -1,8 +1,30 @@
 //! Property test: the CDCL solver agrees with a brute-force enumerator on
 //! small random CNF instances, and SAT models actually satisfy the clauses.
+//!
+//! Uses a local deterministic xorshift generator instead of `proptest` (the
+//! build environment is offline); 256 seeded cases cover the same space the
+//! previous proptest strategy did.
 
-use proptest::prelude::*;
 use tpot_sat::{Lit, SatResult, Solver, Var};
+
+/// Deterministic xorshift64* PRNG — no external crates.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform-ish value in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
 
 /// Brute-force satisfiability for up to 16 variables.
 fn brute_force_sat(nvars: u32, clauses: &[Vec<i32>]) -> bool {
@@ -29,21 +51,23 @@ fn to_lit(l: i32) -> Lit {
     Lit::new(Var(l.unsigned_abs() - 1), l > 0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cdcl_matches_bruteforce(
-        nvars in 1u32..9,
-        raw in prop::collection::vec(prop::collection::vec((1i32..9, prop::bool::ANY), 1..4), 0..24),
-    ) {
-        let clauses: Vec<Vec<i32>> = raw
-            .iter()
-            .map(|c| {
-                c.iter()
-                    .map(|&(v, sign)| {
-                        let v = ((v - 1) % nvars as i32) + 1;
-                        if sign { v } else { -v }
+#[test]
+fn cdcl_matches_bruteforce() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+    for case in 0..256 {
+        let nvars = 1 + rng.below(8) as u32; // 1..9
+        let nclauses = rng.below(24) as usize;
+        let clauses: Vec<Vec<i32>> = (0..nclauses)
+            .map(|_| {
+                let len = 1 + rng.below(3) as usize; // 1..4
+                (0..len)
+                    .map(|_| {
+                        let v = 1 + rng.below(nvars as u64) as i32;
+                        if rng.below(2) == 0 {
+                            v
+                        } else {
+                            -v
+                        }
                     })
                     .collect()
             })
@@ -65,13 +89,17 @@ proptest! {
             s.solve(&[])
         };
         let expect = brute_force_sat(nvars, &clauses);
-        prop_assert_eq!(got == SatResult::Sat, expect);
+        assert_eq!(
+            got == SatResult::Sat,
+            expect,
+            "case {case}: solver disagrees with brute force on {clauses:?}"
+        );
         if got == SatResult::Sat {
             for c in &clauses {
                 let satisfied = c
                     .iter()
                     .any(|&l| s.model_value(Var(l.unsigned_abs() - 1)) == (l > 0));
-                prop_assert!(satisfied, "model violates clause {:?}", c);
+                assert!(satisfied, "case {case}: model violates clause {c:?}");
             }
         }
     }

@@ -203,7 +203,12 @@ impl TermArena {
     /// Applies a declared function.
     pub fn apply(&mut self, f: FuncId, args: Vec<TermId>) -> TermId {
         let decl = &self.funcs[f.0 as usize];
-        debug_assert_eq!(decl.args.len(), args.len(), "arity mismatch for {}", decl.name);
+        debug_assert_eq!(
+            decl.args.len(),
+            args.len(),
+            "arity mismatch for {}",
+            decl.name
+        );
         let ret = decl.ret.clone();
         self.mk(Kind::Apply(f), args, ret)
     }
@@ -454,7 +459,13 @@ impl TermArena {
                 }
             }
         }
-        self.bv_binop(Kind::BvAdd, a, b, |w, x, y| x.wrapping_add(y) & bv_mask(w), true)
+        self.bv_binop(
+            Kind::BvAdd,
+            a,
+            b,
+            |w, x, y| x.wrapping_add(y) & bv_mask(w),
+            true,
+        )
     }
 
     /// Bitvector subtraction.
@@ -488,7 +499,13 @@ impl TermArena {
                 }
             }
         }
-        self.bv_binop(Kind::BvMul, a, b, |w, x, y| x.wrapping_mul(y) & bv_mask(w), true)
+        self.bv_binop(
+            Kind::BvMul,
+            a,
+            b,
+            |w, x, y| x.wrapping_mul(y) & bv_mask(w),
+            true,
+        )
     }
 
     /// Unsigned bitvector division (SMT-LIB semantics: `x / 0 = all-ones`).
@@ -497,7 +514,7 @@ impl TermArena {
             Kind::BvUDiv,
             a,
             b,
-            |w, x, y| if y == 0 { bv_mask(w) } else { x / y },
+            |w, x, y| x.checked_div(y).unwrap_or_else(|| bv_mask(w)),
             false,
         )
     }
@@ -706,10 +723,8 @@ impl TermArena {
         {
             return self.bv_const(w, (x << wl) | y);
         }
-        if let (
-            Kind::Extract { hi: h1, lo: l1 },
-            Kind::Extract { hi: h2, lo: l2 },
-        ) = (self.term(hi).kind.clone(), self.term(lo).kind.clone())
+        if let (Kind::Extract { hi: h1, lo: l1 }, Kind::Extract { hi: h2, lo: l2 }) =
+            (self.term(hi).kind.clone(), self.term(lo).kind.clone())
         {
             let (s1, s2) = (self.term(hi).args[0], self.term(lo).args[0]);
             if s1 == s2 && l1 == h2 + 1 {
@@ -805,9 +820,7 @@ impl TermArena {
         let mut acc: i128 = 0;
         for &p in parts {
             match &self.term(p).kind {
-                Kind::IntConst(v) => {
-                    acc = acc.checked_add(*v).expect("integer constant overflow")
-                }
+                Kind::IntConst(v) => acc = acc.checked_add(*v).expect("integer constant overflow"),
                 Kind::IntAdd => {
                     for &q in &self.term(p).args.clone() {
                         if let Kind::IntConst(v) = self.term(q).kind {
@@ -985,6 +998,84 @@ impl TermArena {
         let sort = self.sort(arr).clone();
         debug_assert!(matches!(sort, Sort::Array(_, _)));
         self.mk(Kind::Store, vec![arr, idx, val], sort)
+    }
+
+    // ---------------------------------------------------------------- slicing
+
+    /// Cone-of-influence slice: a new arena holding only the terms reachable
+    /// from `roots`, plus the remapped root ids.
+    ///
+    /// The arena grows monotonically over a POT run, so late queries assert
+    /// over a tiny fraction of the terms ever built; shipping a slice to each
+    /// racing portfolio instance instead of cloning the full arena makes
+    /// per-query setup proportional to the query, not to the run's history.
+    ///
+    /// Invariants preserved:
+    /// - term *structure* is copied verbatim (no re-simplification), so the
+    ///   sliced query serializes to the same SMT-LIB assertions;
+    /// - **all** function declarations are copied so `FuncId`s stay stable —
+    ///   models key UF interpretations by `FuncId` and callers evaluate those
+    ///   models against the original arena;
+    /// - variables keep their names (models are name-keyed), and the fresh-
+    ///   name counter carries over so downstream fresh vars cannot collide.
+    pub fn slice(&self, roots: &[TermId]) -> (TermArena, Vec<TermId>) {
+        let mut out = TermArena {
+            funcs: self.funcs.clone(),
+            func_map: self.func_map.clone(),
+            fresh_counter: self.fresh_counter,
+            ..TermArena::default()
+        };
+        let mut remap: HashMap<TermId, TermId> = HashMap::new();
+        // Iterative post-order DFS (terms can nest deeply).
+        let mut stack: Vec<(TermId, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
+        while let Some((t, expanded)) = stack.pop() {
+            if remap.contains_key(&t) {
+                continue;
+            }
+            let node = self.term(t);
+            if !expanded {
+                stack.push((t, true));
+                for &a in node.args.iter().rev() {
+                    if !remap.contains_key(&a) {
+                        stack.push((a, false));
+                    }
+                }
+                continue;
+            }
+            let new_id = match &node.kind {
+                Kind::Var(sym) => {
+                    let (name, sort) = self.vars[*sym as usize].clone();
+                    out.var(&name, sort)
+                }
+                kind => {
+                    let args: Vec<TermId> = node.args.iter().map(|a| remap[a]).collect();
+                    out.mk(kind.clone(), args, node.sort.clone())
+                }
+            };
+            remap.insert(t, new_id);
+        }
+        let new_roots = roots.iter().map(|r| remap[r]).collect();
+        (out, new_roots)
+    }
+
+    /// Rough in-memory footprint estimate in bytes (terms, hash-cons map,
+    /// interned names). Used by the slicing statistics to report arena bytes
+    /// shipped per query versus the full arena.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Each term appears twice: in the vec and as a hash-cons map key.
+        let mut b = self.terms.len() * 2 * size_of::<Term>();
+        for t in &self.terms {
+            b += t.args.len() * 2 * size_of::<TermId>();
+        }
+        for (name, _) in &self.vars {
+            // name in vars + var_map key + map entry overhead.
+            b += 2 * name.len() + 2 * size_of::<(String, Sort)>();
+        }
+        for f in &self.funcs {
+            b += 2 * f.name.len() + size_of::<FuncDecl>() + f.args.len() * size_of::<Sort>();
+        }
+        b
     }
 }
 
@@ -1199,5 +1290,80 @@ mod tests {
         let mut a = TermArena::new();
         let _ = a.var("x", Sort::Int);
         let _ = a.var("x", Sort::Bool);
+    }
+
+    #[test]
+    fn slice_extracts_cone_only() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(64));
+        let y = a.var("y", Sort::BitVec(64));
+        let sum = a.bv_add(x, y);
+        let c = a.bv64(7);
+        let root = a.bv_ult(sum, c);
+        // Unrelated garbage the cone must not ship.
+        for i in 0..100 {
+            let v = a.var(&format!("junk{i}"), Sort::Int);
+            let k = a.int_const(i);
+            let _ = a.int_le(v, k);
+        }
+        let total = a.len();
+        let (sliced, roots) = a.slice(&[root]);
+        assert_eq!(roots.len(), 1);
+        // x, y, sum, 7, root = 5 terms.
+        assert_eq!(sliced.len(), 5);
+        assert!(sliced.len() < total);
+        assert_eq!(sliced.vars().len(), 2);
+        assert!(sliced.approx_bytes() < a.approx_bytes());
+        // The sliced root serializes to the identical assertion.
+        let orig = crate::print::to_smtlib(&a, &[root]);
+        let new = crate::print::to_smtlib(&sliced, &roots);
+        assert_eq!(orig, new);
+    }
+
+    #[test]
+    fn slice_preserves_func_ids() {
+        let mut a = TermArena::new();
+        let f = a.declare_func("f_unused", vec![Sort::Int], Sort::Int);
+        let g = a.declare_func("g_used", vec![Sort::Int], Sort::Int);
+        let x = a.var("x", Sort::Int);
+        let gx = a.apply(g, vec![x]);
+        let zero = a.int_const(0);
+        let root = a.int_le(zero, gx);
+        let (sliced, roots) = a.slice(&[root]);
+        // FuncIds stay stable even when earlier funcs are unreachable: the
+        // Apply node in the slice still refers to `g_used`.
+        assert_eq!(sliced.func(g).name, "g_used");
+        assert_eq!(sliced.func(f).name, "f_unused");
+        match &sliced.term(roots[0]).kind {
+            Kind::IntLe => {}
+            k => panic!("unexpected kind {k:?}"),
+        }
+        let txt = crate::print::to_smtlib(&sliced, &roots);
+        assert!(txt.contains("g_used"));
+        assert!(!txt.contains("f_unused"), "unused UF must not be declared");
+    }
+
+    #[test]
+    fn slice_shares_structure() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let y = a.var("y", Sort::BitVec(8));
+        let s = a.bv_add(x, y);
+        let t = a.bv_mul(s, s); // shared subterm
+        let c = a.bv_const(8, 3);
+        let root = a.eq(t, c);
+        let (sliced, roots) = a.slice(&[root, root]);
+        assert_eq!(roots[0], roots[1], "duplicate roots map to one id");
+        // x, y, s, t, 3, root: sharing preserved, nothing duplicated.
+        assert_eq!(sliced.len(), 6);
+    }
+
+    #[test]
+    fn slice_empty_roots() {
+        let mut a = TermArena::new();
+        let _ = a.var("x", Sort::Int);
+        let (sliced, roots) = a.slice(&[]);
+        assert!(sliced.is_empty());
+        assert!(roots.is_empty());
     }
 }

@@ -9,9 +9,9 @@ use std::collections::HashMap;
 
 use crate::arena::TermArena;
 use crate::model::{Model, Value};
-use crate::sort::{bv_mask, bv_signed};
 #[cfg(test)]
 use crate::sort::Sort;
+use crate::sort::{bv_mask, bv_signed};
 use crate::term::{Kind, TermId};
 
 /// Errors during concrete evaluation.
@@ -81,7 +81,9 @@ fn eval_rec(
         Kind::BvAdd => bv_binop(&args, |w, x, y| x.wrapping_add(y) & bv_mask(w)),
         Kind::BvSub => bv_binop(&args, |w, x, y| x.wrapping_sub(y) & bv_mask(w)),
         Kind::BvMul => bv_binop(&args, |w, x, y| x.wrapping_mul(y) & bv_mask(w)),
-        Kind::BvUDiv => bv_binop(&args, |w, x, y| if y == 0 { bv_mask(w) } else { x / y }),
+        Kind::BvUDiv => bv_binop(&args, |w, x, y| {
+            x.checked_div(y).unwrap_or_else(|| bv_mask(w))
+        }),
         Kind::BvURem => bv_binop(&args, |_, x, y| if y == 0 { x } else { x % y }),
         Kind::BvAnd => bv_binop(&args, |_, x, y| x & y),
         Kind::BvOr => bv_binop(&args, |_, x, y| x | y),
@@ -150,7 +152,10 @@ fn eval_rec(
         Kind::Select => match &args[0] {
             Value::Array { entries, default } => {
                 let key = args[1].key_repr();
-                entries.get(&key).map(|v| (**v).clone()).unwrap_or_else(|| (**default).clone())
+                entries
+                    .get(&key)
+                    .map(|v| (**v).clone())
+                    .unwrap_or_else(|| (**default).clone())
             }
             other => panic!("select on non-array value {other:?}"),
         },

@@ -178,8 +178,7 @@ mod tests {
         let mut m = Model::new();
         let fid = FuncId(0);
         let mut fi = FuncInterp::default();
-        fi.entries
-            .insert(vec![5u128], Value::Int(42));
+        fi.entries.insert(vec![5u128], Value::Int(42));
         fi.default = Some(Value::Int(0));
         m.funcs.insert(fid, fi);
         let hit = m.apply_func(fid, &[Value::Int(5)], &Sort::Int);

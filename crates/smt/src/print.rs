@@ -101,7 +101,7 @@ pub fn write_term(arena: &TermArena, t: TermId, out: &mut String) {
         }
         Kind::BvConst(v) => {
             let w = node.sort.bv_width().unwrap();
-            if w % 4 == 0 {
+            if w.is_multiple_of(4) {
                 let _ = write!(out, "#x{v:0>width$x}", width = (w / 4) as usize);
             } else {
                 let _ = write!(out, "(_ bv{v} {w})");

@@ -52,11 +52,9 @@ fn subst_rec(
 /// the folding builders.
 pub fn rebuild(arena: &mut TermArena, kind: &Kind, args: &[TermId]) -> TermId {
     match kind {
-        Kind::True
-        | Kind::False
-        | Kind::BvConst(_)
-        | Kind::IntConst(_)
-        | Kind::Var(_) => unreachable!("leaf kinds have no arguments"),
+        Kind::True | Kind::False | Kind::BvConst(_) | Kind::IntConst(_) | Kind::Var(_) => {
+            unreachable!("leaf kinds have no arguments")
+        }
         Kind::Not => arena.not(args[0]),
         Kind::And => arena.and(args),
         Kind::Or => arena.or(args),

@@ -277,13 +277,7 @@ impl<'a> BitBlaster<'a> {
         (q, r)
     }
 
-    fn shift_vec(
-        &mut self,
-        a: &[Lit],
-        sh: &[Lit],
-        left: bool,
-        arith: bool,
-    ) -> Vec<Lit> {
+    fn shift_vec(&mut self, a: &[Lit], sh: &[Lit], left: bool, arith: bool) -> Vec<Lit> {
         let w = a.len();
         let fill = if arith { a[w - 1] } else { self.lit_false() };
         let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2 w)
@@ -313,8 +307,9 @@ impl<'a> BitBlaster<'a> {
         // Any shift-amount bit at or above `stages` zeroes (or sign-fills)
         // everything; also amounts in [w, 2^stages) must saturate.
         let mut too_big = self.lit_false();
-        for j in stages as usize..w {
-            too_big = self.mk_or(too_big, sh[j]);
+        let high_bits: Vec<_> = sh[stages as usize..w].to_vec();
+        for bit in high_bits {
+            too_big = self.mk_or(too_big, bit);
         }
         if (1usize << stages) > w {
             // Amounts between w and 2^stages-1: compare low bits >= w.
@@ -431,13 +426,13 @@ impl<'a> BitBlaster<'a> {
             Kind::ZeroExt { extra } => {
                 let mut a = self.bv_bits(node.args[0])?;
                 let f = self.lit_false();
-                a.extend(std::iter::repeat(f).take(*extra as usize));
+                a.extend(std::iter::repeat_n(f, *extra as usize));
                 a
             }
             Kind::SignExt { extra } => {
                 let mut a = self.bv_bits(node.args[0])?;
                 let s = *a.last().unwrap();
-                a.extend(std::iter::repeat(s).take(*extra as usize));
+                a.extend(std::iter::repeat_n(s, *extra as usize));
                 a
             }
             Kind::Ite => {

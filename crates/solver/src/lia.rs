@@ -157,8 +157,7 @@ fn pick_fractional(
                 }
             }
             (Some((_, pval)), false) => {
-                let frac =
-                    |r: &Rat| r.sub(&Rat::int(r.floor())).unwrap_or(Rat::ZERO);
+                let frac = |r: &Rat| r.sub(&Rat::int(r.floor())).unwrap_or(Rat::ZERO);
                 if frac(&val) > frac(pval) {
                     pick = Some((v, val));
                 }
@@ -188,9 +187,7 @@ mod tests {
 
     fn vars(n: usize) -> (TermArena, Vec<TermId>) {
         let mut a = TermArena::new();
-        let vs = (0..n)
-            .map(|i| a.var(&format!("x{i}"), Sort::Int))
-            .collect();
+        let vs = (0..n).map(|i| a.var(&format!("x{i}"), Sort::Int)).collect();
         (a, vs)
     }
 
@@ -221,9 +218,9 @@ mod tests {
         let mut e01 = LinExpr::var(v[0]);
         e01 = e01.add(&LinExpr::var(v[1])).unwrap();
         let atoms = vec![
-            atom(e01, 3),                                  // x0+x1 <= 3
-            atom(LinExpr::var(v[0]).neg().unwrap(), -2),   // x0 >= 2
-            atom(LinExpr::var(v[1]).neg().unwrap(), -2),   // x1 >= 2
+            atom(e01, 3),                                // x0+x1 <= 3
+            atom(LinExpr::var(v[0]).neg().unwrap(), -2), // x0 >= 2
+            atom(LinExpr::var(v[1]).neg().unwrap(), -2), // x1 >= 2
         ];
         match solve_lia(&atoms, &LiaConfig::default()).unwrap() {
             LiaOutcome::Unsat(core) => assert_eq!(core.len(), 3),

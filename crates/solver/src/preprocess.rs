@@ -34,8 +34,11 @@ pub struct PreprocessOutput {
     pub array_selects: Vec<(TermId, Vec<(TermId, TermId)>)>,
     /// For each uninterpreted function: the `(argument terms, result
     /// variable)` pairs introduced by Ackermann expansion.
-    pub uf_apps: Vec<(FuncId, Vec<(Vec<TermId>, TermId)>)>,
+    pub uf_apps: Vec<(FuncId, Vec<UfApp>)>,
 }
+
+/// One Ackermann-expanded application: `(argument terms, result variable)`.
+pub type UfApp = (Vec<TermId>, TermId);
 
 /// Runs the full preprocessing pipeline.
 pub fn preprocess(
@@ -152,11 +155,7 @@ fn push_selects(
     Ok(r)
 }
 
-fn select_through(
-    arena: &mut TermArena,
-    arr: TermId,
-    idx: TermId,
-) -> Result<TermId, SolverError> {
+fn select_through(arena: &mut TermArena, arr: TermId, idx: TermId) -> Result<TermId, SolverError> {
     let node = arena.term(arr).clone();
     match node.kind {
         Kind::Store => {
@@ -203,11 +202,7 @@ fn ackermannize_selects(
         } else {
             let esort = match arena.sort(arr) {
                 Sort::Array(_, e) => (**e).clone(),
-                s => {
-                    return Err(SolverError::Unsupported(format!(
-                        "select on non-array {s}"
-                    )))
-                }
+                s => return Err(SolverError::Unsupported(format!("select on non-array {s}"))),
             };
             let name = format!("sel!{}!{}", arr.0, idx.0);
             let v = arena.var(&name, esort);
@@ -417,7 +412,11 @@ mod tests {
         let zero = a.int_const(0);
         let asrt = a.int_le(ite, zero);
         let out = preprocess(&mut a, &[asrt]).unwrap();
-        assert_eq!(out.assertions.len(), 3, "assertion + two defining implications");
+        assert_eq!(
+            out.assertions.len(),
+            3,
+            "assertion + two defining implications"
+        );
         for &t in &out.assertions {
             let s = term_to_string(&a, t);
             assert!(!s.contains("(ite "), "int ite must be purified: {s}");

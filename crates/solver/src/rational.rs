@@ -85,10 +85,7 @@ impl Rat {
 
     /// Checked addition.
     pub fn add(&self, o: &Rat) -> Result<Rat, SolverError> {
-        let n1 = self
-            .num
-            .checked_mul(o.den)
-            .ok_or(SolverError::Overflow)?;
+        let n1 = self.num.checked_mul(o.den).ok_or(SolverError::Overflow)?;
         let n2 = o.num.checked_mul(self.den).ok_or(SolverError::Overflow)?;
         let num = n1.checked_add(n2).ok_or(SolverError::Overflow)?;
         let den = self.den.checked_mul(o.den).ok_or(SolverError::Overflow)?;
@@ -143,7 +140,10 @@ impl Ord for Rat {
         // den > 0, so cross-multiplication preserves order. Use i128 →
         // saturating comparison via checked ops, falling back to f64 only
         // when magnitudes are astronomical (which Overflow prevents earlier).
-        match (self.num.checked_mul(other.den), other.num.checked_mul(self.den)) {
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
             (Some(a), Some(b)) => a.cmp(&b),
             _ => {
                 let a = self.num as f64 / self.den as f64;

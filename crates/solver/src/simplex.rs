@@ -320,11 +320,7 @@ impl Simplex {
     }
 }
 
-fn add_coeff(
-    map: &mut BTreeMap<usize, Rat>,
-    k: usize,
-    c: &Rat,
-) -> Result<(), SolverError> {
+fn add_coeff(map: &mut BTreeMap<usize, Rat>, k: usize, c: &Rat) -> Result<(), SolverError> {
     if c.is_zero() {
         return Ok(());
     }
@@ -385,10 +381,7 @@ mod tests {
         let mut s = Simplex::new();
         let x = s.new_var();
         s.assert_lower(x, r(5), Some(1)).unwrap();
-        let c = s
-            .assert_upper(x, r(3), Some(2))
-            .unwrap()
-            .expect("conflict");
+        let c = s.assert_upper(x, r(3), Some(2)).unwrap().expect("conflict");
         let mut tags = c.tags;
         tags.sort_unstable();
         assert_eq!(tags, vec![1, 2]);

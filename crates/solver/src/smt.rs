@@ -410,8 +410,10 @@ mod tests {
                 assert_model_satisfies(&a, &m, &asserts);
                 match m.var("mem2").unwrap() {
                     Value::Array { entries, .. } => {
-                        assert_eq!(entries.get(&4).map(|b| (**b).clone()),
-                            Some(Value::BitVec(8, 0x5c)));
+                        assert_eq!(
+                            entries.get(&4).map(|b| (**b).clone()),
+                            Some(Value::BitVec(8, 0x5c))
+                        );
                     }
                     other => panic!("expected array value: {other:?}"),
                 }

@@ -198,7 +198,8 @@ fn is_loopinv_helper(name: &str, impl_src: &str) -> bool {
         if in_loopinv && line.contains(name) && !line.contains(&format!("{name}(")) {
             // referenced as &name
         }
-        if in_loopinv && (line.contains(&format!("&{name}")) || line.contains(&format!(", {name}"))) {
+        if in_loopinv && (line.contains(&format!("&{name}")) || line.contains(&format!(", {name}")))
+        {
             return true;
         }
         for ch in line.chars() {

@@ -149,11 +149,7 @@ mod tests {
     fn all_targets_compile() {
         for t in all_targets() {
             let m = t.module().unwrap_or_else(|e| panic!("{}: {e}", t.name));
-            assert!(
-                !m.pot_names().is_empty(),
-                "{} must define POTs",
-                t.name
-            );
+            assert!(!m.pot_names().is_empty(), "{} must define POTs", t.name);
         }
     }
 

@@ -49,7 +49,8 @@ pub fn is_syntactic_only(line: &str) -> bool {
     if t.starts_with("#include") || t.starts_with("#ifndef") || t.starts_with("#endif") {
         return true;
     }
-    t.chars().all(|c| "(){};,:".contains(c) || c.is_whitespace())
+    t.chars()
+        .all(|c| "(){};,:".contains(c) || c.is_whitespace())
 }
 
 #[cfg(test)]

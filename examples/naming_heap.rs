@@ -47,7 +47,8 @@ fn main() {
             "{} {pot}: {:?} in {:?}",
             if r.status.is_proved() { "✓" } else { "✗" },
             match &r.status {
-                PotStatus::Proved => "proved (naming ⇒ non-aliasing, renaming ⇒ init ok)".to_string(),
+                PotStatus::Proved =>
+                    "proved (naming ⇒ non-aliasing, renaming ⇒ init ok)".to_string(),
                 other => format!("{other:?}"),
             },
             r.duration

@@ -11,7 +11,10 @@ use tpot::targets::target;
 
 fn main() {
     let t = target("pkvm").expect("bundled target");
-    println!("Target: {} ({}, previously verified with {})", t.name, t.category, t.previously_verified_with);
+    println!(
+        "Target: {} ({}, previously verified with {})",
+        t.name, t.category, t.previously_verified_with
+    );
     let v = t.verifier().expect("compiles");
 
     // The appendix proves spec__alloc_page: assuming one page is left,

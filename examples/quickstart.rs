@@ -52,10 +52,7 @@ fn main() {
             PotStatus::Proved => {
                 println!(
                     "✓ {} proved in {:?} ({} solver queries, {} paths)",
-                    result.pot,
-                    result.duration,
-                    result.stats.num_queries,
-                    result.stats.paths
+                    result.pot, result.duration, result.stats.num_queries, result.stats.paths
                 );
             }
             PotStatus::Failed(violations) => {

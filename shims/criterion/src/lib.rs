@@ -1,0 +1,137 @@
+//! Offline shim for the `criterion` bench harness.
+//!
+//! The build container has no crates.io access; this vendors the small API
+//! subset the workspace benches use (`Criterion::bench_function`,
+//! `Bencher::iter`, the `criterion_group!`/`criterion_main!` macros and
+//! `black_box`). Timing is a plain median-of-samples loop: good enough for
+//! the relative comparisons the benches make, with the same source-level
+//! interface as the real crate so the path dependency can be swapped later.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-sample timing collected by [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `sample_size` executions of `f` (after one warm-up run).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints a `median (min .. max)` line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        b.samples.sort_unstable();
+        let median = b.samples[b.samples.len() / 2];
+        let min = b.samples[0];
+        let max = *b.samples.last().unwrap();
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt(min),
+            fmt(median),
+            fmt(max)
+        );
+    }
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!` (both invocation forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("shim/self-test", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

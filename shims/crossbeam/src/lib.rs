@@ -1,0 +1,216 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The build container has no crates.io access; this vendors the one piece
+//! the workspace uses — `crossbeam::channel` with clonable senders *and*
+//! receivers (MPMC) — implemented over `Mutex<VecDeque>` + `Condvar`. The
+//! portfolio's worker pool feeds long-lived workers through it. Swap this
+//! path dependency for the real crate when a registry is available.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait timed out with the channel still open.
+        Timeout,
+        /// Every sender disconnected and the queue drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Every sender disconnected and the queue drained.
+        Disconnected,
+    }
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded MPMC channel.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half of an unbounded MPMC channel.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, waking one waiting receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.0.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::AcqRel);
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender gone: wake all blocked receivers so they can
+                // observe disconnection.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.0.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .0
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = q.pop_front() {
+                return Ok(v);
+            }
+            if self.0.senders.load(Ordering::Acquire) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::AtomicU64;
+
+        #[test]
+        fn mpmc_fan_out() {
+            let (tx, rx) = unbounded::<u64>();
+            let sum = Arc::new(AtomicU64::new(0));
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let sum = sum.clone();
+                    std::thread::spawn(move || {
+                        while let Ok(v) = rx.recv() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 1..=100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        }
+
+        #[test]
+        fn disconnect_reported() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_to_closed_fails() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(9).is_err());
+        }
+
+        #[test]
+        fn timeout_elapses() {
+            let (_tx, rx) = unbounded::<u8>();
+            let r = rx.recv_timeout(Duration::from_millis(20));
+            assert_eq!(r, Err(RecvTimeoutError::Timeout));
+        }
+    }
+}

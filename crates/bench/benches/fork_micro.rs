@@ -1,0 +1,119 @@
+//! Fork-cost microbenchmarks: copy-on-write [`State::fork`] against what
+//! the pre-refactor representation's `Clone` had to copy (every memory
+//! object, path term, trace line and cache entry, by value), at growing
+//! object counts. The COW fork's cost is O(frames) and flat in the object
+//! count; the deep clone grows linearly.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tpot_engine::state::{Frame, RetCont, State};
+use tpot_mem::{AddrMode, MemObject, Memory};
+use tpot_smt::{Sort, TermArena, TermId};
+
+fn build_state(arena: &mut TermArena, n: usize) -> State {
+    let mut mem = Memory::new(arena, AddrMode::Int);
+    for i in 0..n {
+        mem.alloc_global(arena, &format!("g{i}"), 8);
+    }
+    let mut s = State::new(mem);
+    for i in 0..n {
+        let c = arena.var(&format!("p{i}"), Sort::Bool);
+        s.assume(c);
+        s.trace_step(format!("bb{i}"));
+        let k1 = arena.var(&format!("a{i}"), Sort::Bool);
+        let k2 = arena.var(&format!("b{i}"), Sort::Bool);
+        s.raw_proofs.insert((k1, k2), i % 2 == 0);
+    }
+    s.frames.push(Frame {
+        func: 0,
+        block: 0,
+        ip: 0,
+        regs: vec![None; 16],
+        local_objs: vec![],
+        ret_reg: None,
+        on_return: RetCont::Normal,
+        pending: Default::default(),
+        loops: Default::default(),
+        prev_naming: None,
+    });
+    s
+}
+
+type DeepPayload = (
+    Vec<MemObject>,
+    Vec<TermId>,
+    Vec<String>,
+    HashMap<(TermId, TermId), bool>,
+    Vec<Frame>,
+);
+
+/// Materializes owned copies of everything the old `Vec`/`HashMap`-backed
+/// `State` deep-copied on every fork.
+fn deep_clone_payload(s: &State) -> DeepPayload {
+    (
+        s.mem.objects.iter().cloned().collect(),
+        s.path.to_vec(),
+        s.trace.to_vec(),
+        s.raw_proofs.iter().map(|(k, v)| (*k, *v)).collect(),
+        s.frames.clone(),
+    )
+}
+
+fn fork(c: &mut Criterion) {
+    for n in [10usize, 100, 1000] {
+        let mut arena = TermArena::new();
+        let s = build_state(&mut arena, n);
+        c.bench_function(&format!("fork/cow/{n}-objects"), |b| {
+            b.iter(|| black_box(s.fork()))
+        });
+        c.bench_function(&format!("fork/deep/{n}-objects"), |b| {
+            b.iter(|| black_box(deep_clone_payload(&s)))
+        });
+    }
+}
+
+/// Median nanoseconds per call, batching `BATCH` calls per sample so the
+/// sub-microsecond COW fork stays above timer resolution.
+fn median_ns<F: FnMut()>(mut f: F) -> f64 {
+    const BATCH: usize = 16;
+    const SAMPLES: usize = 61;
+    f();
+    let mut v = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            f();
+        }
+        v.push(t0.elapsed().as_nanos() as f64 / BATCH as f64);
+    }
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn speedup(_c: &mut Criterion) {
+    for n in [10usize, 100, 1000] {
+        let mut arena = TermArena::new();
+        let s = build_state(&mut arena, n);
+        let cow = median_ns(|| {
+            black_box(s.fork());
+        });
+        let deep = median_ns(|| {
+            black_box(deep_clone_payload(&s));
+        });
+        println!(
+            "fork/speedup/{n}-objects                      {:.1}x (deep {:.0} ns vs cow {:.0} ns)",
+            deep / cow.max(1.0),
+            deep,
+            cow
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = fork, speedup
+}
+criterion_main!(benches);

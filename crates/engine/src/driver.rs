@@ -160,6 +160,15 @@ impl Verifier {
     /// the same statuses `verify_all` would produce — only wall-clock and
     /// cache-hit accounting differ.
     pub fn verify_all_parallel(&self, jobs: usize) -> Vec<PotResult> {
+        self.verify_pots_parallel(&self.module.pot_names(), jobs)
+    }
+
+    /// Verifies the given POTs (in the given order) on a pool of `jobs`
+    /// worker threads sharing one persistent query cache — the subset
+    /// variant of [`verify_all_parallel`](Self::verify_all_parallel), for
+    /// harnesses that exclude individual POTs (e.g. known solver-unknown
+    /// outliers) while keeping sequential/parallel outcome parity.
+    pub fn verify_pots_parallel(&self, pots: &[String], jobs: usize) -> Vec<PotResult> {
         let jobs = if jobs > 0 {
             jobs
         } else {
@@ -174,7 +183,6 @@ impl Verifier {
                 })
         };
         let cache = self.open_shared_cache();
-        let pots = self.module.pot_names();
         let results: Vec<Mutex<Option<PotResult>>> =
             pots.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -377,7 +385,7 @@ impl Verifier {
                 let subs = interp.eval_fn_paths(s, &p.func, &[k])?;
                 for sub in subs {
                     let Some(ret) = sub.last_ret else { continue };
-                    let delta: Vec<TermId> = sub.path[s.path.len()..].to_vec();
+                    let delta: Vec<TermId> = sub.path.tail_from(s.path.len());
                     let zero = interp.arena.bv64(0);
                     let nn = interp.arena.neq(ret, zero);
                     let ridx = s.mem.addr_index(&mut interp.arena, ret);
@@ -401,7 +409,7 @@ impl Verifier {
                         s.assume(cond);
                         // Per-object condition must hold.
                         if let Some(cf) = p.cond.clone() {
-                            let mut c2 = s.clone();
+                            let mut c2 = interp.fork(s);
                             c2.done = None;
                             interp.push_call(
                                 &mut c2,
@@ -435,7 +443,7 @@ impl Verifier {
                 kind: ViolationKind::MemoryLeak,
                 message: format!("heap object {tag} is not named by any invariant after the POT"),
                 model: None,
-                trace: s.trace.clone(),
+                trace: s.trace.to_vec(),
             };
             let _ = t;
             violations.push(v);

@@ -1,0 +1,606 @@
+//! Instruction execution: operand evaluation, arithmetic, casts,
+//! loads/stores, terminators and returns, plus the condition-translation
+//! machinery (§4.3 integer constraint propagation) and error reporting.
+
+use tpot_cfront::types::Type;
+use tpot_ir::{BinKind, CastKind, Inst, IrArg, Operand, Pred, Term};
+use tpot_smt::{Kind, TermId};
+
+use crate::driver::{Violation, ViolationKind};
+use crate::query::EngineError;
+use crate::simplify;
+use crate::state::{PathOutcome, RetCont, State};
+use crate::stats::QueryPurpose;
+
+use super::ExecCtx;
+
+impl<'m> ExecCtx<'m> {
+    // ------------------------------------------------------------ values
+
+    pub(super) fn value(&mut self, s: &State, op: &Operand) -> TermId {
+        match op {
+            Operand::Const { value, width } => self.arena.bv_const(*width, *value as u128),
+            Operand::Reg(r, _) => s.reg(*r),
+        }
+    }
+
+    pub(super) fn bool_to_bv8(&mut self, b: TermId) -> TermId {
+        let one = self.arena.bv_const(8, 1);
+        let zero = self.arena.bv_const(8, 0);
+        self.arena.ite(b, one, zero)
+    }
+
+    /// `v != 0` as a boolean, peeling the `zext(ite(c, 1, 0))` shape that
+    /// comparison results take so branch conditions stay structural
+    /// (smaller queries and precise integer propagation).
+    pub(super) fn nonzero(&mut self, v: TermId) -> TermId {
+        let mut t = v;
+        loop {
+            let node = self.arena.term(t).clone();
+            match node.kind {
+                Kind::ZeroExt { .. } => t = node.args[0],
+                Kind::Ite => {
+                    let c1 = self.arena.term(node.args[1]).as_bv_const();
+                    let c2 = self.arena.term(node.args[2]).as_bv_const();
+                    match (c1, c2) {
+                        (Some((_, 1)), Some((_, 0))) => return node.args[0],
+                        (Some((_, 0)), Some((_, 1))) => return self.arena.not(node.args[0]),
+                        _ => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        let w = self.arena.sort(t).bv_width().expect("scalar");
+        let zero = self.arena.bv_const(w, 0);
+        self.arena.neq(t, zero)
+    }
+
+    /// Assumes `c` *and* its exact integer translation (§4.3: "TPot
+    /// explicitly adds the corresponding integer constraints whenever TPot
+    /// adds a bitvector constraint to the path condition").
+    pub(super) fn assume_with_ints(&mut self, s: &mut State, c: TermId) {
+        s.assume(c);
+        if let Some(f) = self.translate_cond(s, c, false) {
+            s.assume(f);
+        }
+        self.drain_mem_constraints(s);
+    }
+
+    /// Exact integer translation of a boolean condition over bitvector
+    /// comparisons. With `exact = false` (top level), conjunctions may drop
+    /// untranslatable parts; under negation/disjunction the translation
+    /// must be exact or is abandoned.
+    pub(super) fn translate_cond(
+        &mut self,
+        s: &mut State,
+        c: TermId,
+        exact: bool,
+    ) -> Option<TermId> {
+        let node = self.arena.term(c).clone();
+        match &node.kind {
+            Kind::True | Kind::False => Some(c),
+            Kind::And => {
+                let mut parts = Vec::new();
+                for &a in &node.args {
+                    match self.translate_cond(s, a, exact) {
+                        Some(t) => parts.push(t),
+                        None if exact => return None,
+                        None => {}
+                    }
+                }
+                Some(self.arena.and(&parts))
+            }
+            Kind::Or => {
+                let mut parts = Vec::new();
+                for &a in &node.args {
+                    parts.push(self.translate_cond(s, a, true)?);
+                }
+                Some(self.arena.or(&parts))
+            }
+            Kind::Not => {
+                let inner = self.translate_cond(s, node.args[0], true)?;
+                Some(self.arena.not(inner))
+            }
+            Kind::BvUlt => {
+                let (a, b) = (node.args[0], node.args[1]);
+                let ia = s.mem.bv2int_any(&mut self.arena, a);
+                let ib = s.mem.bv2int_any(&mut self.arena, b);
+                Some(self.arena.int_lt(ia, ib))
+            }
+            Kind::BvUle => {
+                let (a, b) = (node.args[0], node.args[1]);
+                let ia = s.mem.bv2int_any(&mut self.arena, a);
+                let ib = s.mem.bv2int_any(&mut self.arena, b);
+                Some(self.arena.int_le(ia, ib))
+            }
+            Kind::BvSlt | Kind::BvSle => {
+                let w = self.arena.sort(node.args[0]).bv_width()?;
+                let (a, b) = (node.args[0], node.args[1]);
+                let sa = self.signed_image(s, a, w);
+                let sb = self.signed_image(s, b, w);
+                Some(if node.kind == Kind::BvSlt {
+                    self.arena.int_lt(sa, sb)
+                } else {
+                    self.arena.int_le(sa, sb)
+                })
+            }
+            Kind::Eq if self.arena.sort(node.args[0]).bv_width().is_some() => {
+                let (a, b) = (node.args[0], node.args[1]);
+                let ia = s.mem.bv2int_any(&mut self.arena, a);
+                let ib = s.mem.bv2int_any(&mut self.arena, b);
+                Some(self.arena.eq(ia, ib))
+            }
+            _ => None,
+        }
+    }
+
+    /// The signed integer value of a bitvector: `u < 2^(w-1) ? u : u - 2^w`.
+    fn signed_image(&mut self, s: &mut State, t: TermId, w: u32) -> TermId {
+        let u = s.mem.bv2int_any(&mut self.arena, t);
+        let half = self.arena.int_const(1i128 << (w - 1));
+        let full = self.arena.int_const(1i128 << w);
+        let is_neg = self.arena.int_le(half, u);
+        let shifted = self.arena.int_sub(u, full);
+        self.arena.ite(is_neg, shifted, u)
+    }
+
+    pub(super) fn drain_mem_constraints(&mut self, s: &mut State) {
+        for c in s.mem.take_constraints() {
+            s.assume(c);
+        }
+    }
+
+    // ------------------------------------------------------------ errors
+
+    pub(super) fn violation(
+        &mut self,
+        s: &State,
+        kind: ViolationKind,
+        msg: String,
+        witness: TermId,
+    ) -> Result<Violation, EngineError> {
+        let model =
+            self.solver
+                .model(&mut self.arena, &s.path, witness, QueryPurpose::Assertions)?;
+        let model_text = model.map(|m| {
+            let mut vars: Vec<String> = m
+                .vars
+                .iter()
+                .filter(|(k, _)| !k.starts_with("mem!") && !k.starts_with("havoc!"))
+                .map(|(k, v)| format!("{k} = {v}"))
+                .collect();
+            vars.sort();
+            vars.join(", ")
+        });
+        Ok(Violation {
+            kind,
+            message: msg,
+            model: model_text,
+            trace: s.trace.to_vec(),
+        })
+    }
+
+    pub(super) fn error_fork(
+        &mut self,
+        s: &State,
+        constraint: TermId,
+        kind: ViolationKind,
+        msg: String,
+    ) -> Result<Option<State>, EngineError> {
+        if !self.solver.is_feasible(
+            &mut self.arena,
+            &s.path,
+            constraint,
+            QueryPurpose::Assertions,
+        )? {
+            return Ok(None);
+        }
+        let v = self.violation(s, kind, msg, constraint)?;
+        let mut e = self.fork(s);
+        e.assume(constraint);
+        e.finish(PathOutcome::Error(v));
+        Ok(Some(e))
+    }
+
+    // ------------------------------------------------------------ insts
+
+    pub(super) fn exec_inst(
+        &mut self,
+        mut s: State,
+        inst: Inst,
+    ) -> Result<Vec<State>, EngineError> {
+        match inst {
+            Inst::Bin {
+                dst,
+                op,
+                a,
+                b,
+                width,
+            } => {
+                let av = self.value(&s, &a);
+                let bv = self.value(&s, &b);
+                match op {
+                    BinKind::DivU | BinKind::DivS | BinKind::RemU | BinKind::RemS => {
+                        let zero = self.arena.bv_const(width, 0);
+                        let is_zero = self.arena.eq(bv, zero);
+                        let mut out = Vec::new();
+                        if let Some(e) = self.error_fork(
+                            &s,
+                            is_zero,
+                            ViolationKind::DivisionByZero,
+                            "division by zero".into(),
+                        )? {
+                            let nz = self.arena.neq(bv, zero);
+                            s.assume(nz);
+                            out.push(e);
+                        }
+                        let r = self.arith_divrem(op, av, bv, width);
+                        s.set_reg(dst, r);
+                        out.push(s);
+                        Ok(out)
+                    }
+                    _ => {
+                        let r = self.arith_bin(op, av, bv);
+                        s.set_reg(dst, r);
+                        Ok(vec![s])
+                    }
+                }
+            }
+            Inst::Cmp {
+                dst,
+                pred,
+                a,
+                b,
+                width: _,
+            } => {
+                let av = self.value(&s, &a);
+                let bv = self.value(&s, &b);
+                let c = match pred {
+                    Pred::Eq => self.arena.eq(av, bv),
+                    Pred::Ne => self.arena.neq(av, bv),
+                    Pred::LtU => self.arena.bv_ult(av, bv),
+                    Pred::LeU => self.arena.bv_ule(av, bv),
+                    Pred::LtS => self.arena.bv_slt(av, bv),
+                    Pred::LeS => self.arena.bv_sle(av, bv),
+                };
+                let r = self.bool_to_bv8(c);
+                s.set_reg(dst, r);
+                Ok(vec![s])
+            }
+            Inst::Cast {
+                dst,
+                kind,
+                src,
+                to_width,
+            } => {
+                let v = self.value(&s, &src);
+                let from = self.arena.sort(v).bv_width().unwrap();
+                let r = match kind {
+                    CastKind::ZExt => self.arena.zero_ext(v, to_width - from),
+                    CastKind::SExt => self.arena.sign_ext(v, to_width - from),
+                    CastKind::Trunc => self.arena.extract(v, to_width - 1, 0),
+                };
+                s.set_reg(dst, r);
+                Ok(vec![s])
+            }
+            Inst::AddrLocal { dst, local } => {
+                let o = s.frame().local_objs[local];
+                let b = s.mem.obj(o).base_bv;
+                s.set_reg(dst, b);
+                Ok(vec![s])
+            }
+            Inst::AddrGlobal { dst, name } => {
+                let o = s
+                    .mem
+                    .global(&name)
+                    .ok_or_else(|| EngineError::Internal(format!("global {name} not allocated")))?;
+                let b = s.mem.obj(o).base_bv;
+                s.set_reg(dst, b);
+                Ok(vec![s])
+            }
+            Inst::Load { dst, addr, width } => {
+                let a = self.value(&s, &addr);
+                let resolved = self.resolve(s, a, (width / 8) as u64, "load")?;
+                let mut out = Vec::new();
+                for (mut st, r) in resolved {
+                    match r {
+                        None => out.push(st),
+                        Some((obj, idx)) => {
+                            self.instantiate_markers(&mut st, obj, a, idx)?;
+                            let raw = st.mem.read_bytes(&mut self.arena, obj, idx, width / 8);
+                            let v = if self.config.simplifier {
+                                simplify::simplify_read(
+                                    &mut self.solver,
+                                    &mut self.arena,
+                                    &mut st,
+                                    raw,
+                                )?
+                            } else {
+                                raw
+                            };
+                            st.set_reg(dst, v);
+                            out.push(st);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Inst::Store { addr, val, width } => {
+                let a = self.value(&s, &addr);
+                let v = self.value(&s, &val);
+                let resolved = self.resolve(s, a, (width / 8) as u64, "store")?;
+                let mut out = Vec::new();
+                for (mut st, r) in resolved {
+                    match r {
+                        None => out.push(st),
+                        Some((obj, idx)) => {
+                            st.mem.write_bytes(&mut self.arena, obj, idx, v, width / 8);
+                            if st.log_writes {
+                                st.writes_log.push((obj, idx, (width / 8) as u64));
+                            }
+                            out.push(st);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Inst::Call { dst, callee, args } => {
+                let argv: Vec<TermId> = args.iter().map(|a| self.value(&s, a)).collect();
+                self.push_call(&mut s, &callee, &argv, dst, RetCont::Normal)?;
+                Ok(vec![s])
+            }
+            Inst::Builtin { dst, which, args } => self.exec_builtin(s, dst, which, args),
+        }
+    }
+
+    fn arith_bin(&mut self, op: BinKind, a: TermId, b: TermId) -> TermId {
+        match op {
+            BinKind::Add => self.arena.bv_add(a, b),
+            BinKind::Sub => self.arena.bv_sub(a, b),
+            BinKind::Mul => self.arena.bv_mul(a, b),
+            BinKind::And => self.arena.bv_and(a, b),
+            BinKind::Or => self.arena.bv_or(a, b),
+            BinKind::Xor => self.arena.bv_xor(a, b),
+            BinKind::Shl => self.arena.bv_shl(a, b),
+            BinKind::ShrL => self.arena.bv_lshr(a, b),
+            BinKind::ShrA => self.arena.bv_ashr(a, b),
+            _ => unreachable!("division handled separately"),
+        }
+    }
+
+    /// Signed/unsigned division and remainder built from the unsigned
+    /// primitives (C99 truncating semantics).
+    fn arith_divrem(&mut self, op: BinKind, a: TermId, b: TermId, w: u32) -> TermId {
+        match op {
+            BinKind::DivU => self.arena.bv_udiv(a, b),
+            BinKind::RemU => self.arena.bv_urem(a, b),
+            BinKind::DivS | BinKind::RemS => {
+                let zero = self.arena.bv_const(w, 0);
+                let sa = self.arena.bv_slt(a, zero);
+                let sb = self.arena.bv_slt(b, zero);
+                let na = self.arena.bv_neg(a);
+                let nb = self.arena.bv_neg(b);
+                let absa = self.arena.ite(sa, na, a);
+                let absb = self.arena.ite(sb, nb, b);
+                if op == BinKind::DivS {
+                    let q = self.arena.bv_udiv(absa, absb);
+                    let nq = self.arena.bv_neg(q);
+                    let sign = self.arena.xor(sa, sb);
+                    self.arena.ite(sign, nq, q)
+                } else {
+                    let r = self.arena.bv_urem(absa, absb);
+                    let nr = self.arena.bv_neg(r);
+                    self.arena.ite(sa, nr, r)
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // ------------------------------------------------------------ terms
+
+    pub(super) fn exec_terminator(
+        &mut self,
+        mut s: State,
+        term: Term,
+    ) -> Result<Vec<State>, EngineError> {
+        match term {
+            Term::Br(b) => {
+                self.enter_block(&mut s, b);
+                Ok(vec![s])
+            }
+            Term::CondBr {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let cv = self.value(&s, &cond);
+                let c = self.nonzero(cv);
+                if let Some(b) = self.arena.term(c).as_bool_const() {
+                    self.enter_block(&mut s, if b { then_b } else { else_b });
+                    return Ok(vec![s]);
+                }
+                let nc = self.arena.not(c);
+                // Feasibility queries include the exact integer translation
+                // (implied by the condition, so this only removes spurious
+                // models — §4.3 constraint propagation).
+                let c_q = match self.translate_cond(&mut s, c, false) {
+                    Some(t) => self.arena.and2(c, t),
+                    None => c,
+                };
+                let nc_q = match self.translate_cond(&mut s, nc, false) {
+                    Some(t) => self.arena.and2(nc, t),
+                    None => nc,
+                };
+                self.drain_mem_constraints(&mut s);
+                let t_ok = self.solver.is_feasible(
+                    &mut self.arena,
+                    &s.path,
+                    c_q,
+                    QueryPurpose::Branches,
+                )?;
+                let f_ok = if t_ok {
+                    self.solver.is_feasible(
+                        &mut self.arena,
+                        &s.path,
+                        nc_q,
+                        QueryPurpose::Branches,
+                    )?
+                } else {
+                    true // path feasible and c infeasible ⇒ ¬c holds
+                };
+                match (t_ok, f_ok) {
+                    (true, false) => {
+                        self.assume_with_ints(&mut s, c);
+                        self.enter_block(&mut s, then_b);
+                        Ok(vec![s])
+                    }
+                    (false, true) => {
+                        self.assume_with_ints(&mut s, nc);
+                        self.enter_block(&mut s, else_b);
+                        Ok(vec![s])
+                    }
+                    (true, true) => {
+                        let mut t = self.fork(&s);
+                        self.assume_with_ints(&mut t, c);
+                        self.enter_block(&mut t, then_b);
+                        self.assume_with_ints(&mut s, nc);
+                        self.enter_block(&mut s, else_b);
+                        Ok(vec![t, s])
+                    }
+                    (false, false) => {
+                        s.finish(PathOutcome::Infeasible);
+                        Ok(vec![s])
+                    }
+                }
+            }
+            Term::Ret(op) => {
+                let val = op.map(|o| self.value(&s, &o));
+                self.do_ret(s, val)
+            }
+            Term::Unreachable => Err(EngineError::Internal(
+                "executed unreachable terminator".into(),
+            )),
+        }
+    }
+
+    fn enter_block(&mut self, s: &mut State, b: usize) {
+        let f = s.frame().func;
+        s.trace_step(format!("{}:bb{b}", self.module.funcs[f].name));
+        let fr = s.frame_mut();
+        fr.block = b;
+        fr.ip = 0;
+    }
+
+    fn do_ret(&mut self, mut s: State, val: Option<TermId>) -> Result<Vec<State>, EngineError> {
+        let frame = s.frames.pop().expect("ret without frame");
+        // Locals die with the frame.
+        for o in &frame.local_objs {
+            s.mem.obj_mut(*o).dead = true;
+        }
+        if let Some(prev) = frame.prev_naming {
+            s.naming_mode = prev;
+        }
+        match frame.on_return {
+            RetCont::Normal => {
+                if let (Some((r, _w)), Some(v)) = (frame.ret_reg, val) {
+                    if !s.frames.is_empty() {
+                        s.set_reg(r, v);
+                    }
+                }
+                if s.frames.is_empty() {
+                    s.last_ret = val;
+                    s.finish(PathOutcome::Completed);
+                }
+                Ok(vec![s])
+            }
+            RetCont::Stop => {
+                s.last_ret = val;
+                s.finish(PathOutcome::Completed);
+                Ok(vec![s])
+            }
+            RetCont::AssumeTrue => {
+                let v =
+                    val.ok_or_else(|| EngineError::Internal("AssumeTrue on void function".into()))?;
+                let c = self.nonzero(v);
+                if !self.solver.is_feasible(
+                    &mut self.arena,
+                    &s.path,
+                    c,
+                    QueryPurpose::Assertions,
+                )? {
+                    s.finish(PathOutcome::Infeasible);
+                    return Ok(vec![s]);
+                }
+                self.assume_with_ints(&mut s, c);
+                if s.frames.is_empty() {
+                    s.finish(PathOutcome::Completed);
+                }
+                Ok(vec![s])
+            }
+            RetCont::CheckTrue(desc) => {
+                let v =
+                    val.ok_or_else(|| EngineError::Internal("CheckTrue on void function".into()))?;
+                let c = self.nonzero(v);
+                if self
+                    .solver
+                    .is_valid(&mut self.arena, &s.path, c, QueryPurpose::Assertions)?
+                {
+                    self.assume_with_ints(&mut s, c);
+                    if s.frames.is_empty() {
+                        s.finish(PathOutcome::Completed);
+                    }
+                    return Ok(vec![s]);
+                }
+                let nc = self.arena.not(c);
+                let viol = self.violation(&s, ViolationKind::InvariantViolated, desc, nc)?;
+                s.finish(PathOutcome::Error(viol));
+                Ok(vec![s])
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ args
+
+    pub(super) fn arg_op(
+        &mut self,
+        s: &State,
+        args: &[IrArg],
+        i: usize,
+    ) -> Result<TermId, EngineError> {
+        match args.get(i) {
+            Some(IrArg::Op(o)) => Ok(self.value(s, o)),
+            other => Err(EngineError::Internal(format!(
+                "builtin: expected operand at {i}, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(super) fn arg_type(&self, args: &[IrArg], i: usize) -> Result<Type, EngineError> {
+        match args.get(i) {
+            Some(IrArg::Type(t)) => Ok(t.clone()),
+            other => Err(EngineError::Internal(format!(
+                "builtin: expected type at {i}, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(super) fn arg_str(&self, args: &[IrArg], i: usize) -> Result<String, EngineError> {
+        match args.get(i) {
+            Some(IrArg::Str(s)) => Ok(s.clone()),
+            other => Err(EngineError::Internal(format!(
+                "builtin: expected string at {i}, got {other:?}"
+            ))),
+        }
+    }
+
+    pub(super) fn arg_func(&self, args: &[IrArg], i: usize) -> Result<String, EngineError> {
+        match args.get(i) {
+            Some(IrArg::Func(f)) => Ok(f.clone()),
+            other => Err(EngineError::Internal(format!(
+                "builtin: expected function ref at {i}, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The naming primitives (§4.1) and deferred `forall_elem` markers
+//! (§4.3): `points_to` in assume and check (greedy renaming) modes,
+//! marker attachment and universal checking by skolemization, and marker
+//! instantiation at reads.
+
+use tpot_cfront::types::Type;
+use tpot_ir::IrArg;
+use tpot_mem::{ForallMarker, ObjectId};
+use tpot_smt::{Kind, Sort, TermArena, TermId};
+
+use crate::query::EngineError;
+use crate::state::{NamingMode, Pending, RetCont, State};
+use crate::stats::QueryPurpose;
+
+use super::ExecCtx;
+
+impl<'m> ExecCtx<'m> {
+    /// `points_to(p, T, name)` — the naming primitive (§4.1).
+    pub(super) fn exec_points_to(
+        &mut self,
+        mut s: State,
+        dst: Option<(u32, u32)>,
+        args: &[IrArg],
+    ) -> Result<Vec<State>, EngineError> {
+        let p = self.arg_op(&s, args, 0)?;
+        let ty = self.arg_type(args, 1)?;
+        let name = self.arg_str(args, 2)?;
+        let size = ty.size(&self.module.layouts).max(1);
+        let result: TermId = match s.naming_mode {
+            NamingMode::Assume => {
+                let obj = match s.mem.find_named(&name) {
+                    Some(o) => o,
+                    None => {
+                        let o = s.mem.alloc_heap(&mut self.arena, size, &name, true);
+                        s.mem.obj_mut(o).name = Some(name.clone());
+                        self.drain_mem_constraints(&mut s);
+                        o
+                    }
+                };
+                let base_idx = s.mem.obj(obj).base_idx;
+                let pidx = s.mem.addr_index(&mut self.arena, p);
+                self.drain_mem_constraints(&mut s);
+                let zero = self.arena.bv64(0);
+                let nn = self.arena.neq(p, zero);
+                let at = self.arena.eq(pidx, base_idx);
+                // Tie the bitvector image too, so later loads through
+                // syntactically different pointers still resolve.
+                let base_bv = s.mem.obj(obj).base_bv;
+                let at_bv = self.arena.eq(p, base_bv);
+                self.arena.and(&[nn, at, at_bv])
+            }
+            NamingMode::Check => {
+                let pidx = s.mem.addr_index(&mut self.arena, p);
+                self.drain_mem_constraints(&mut s);
+                self.check_points_to(&mut s, p, pidx, size, &name)?
+            }
+        };
+        if let Some((r, _)) = dst {
+            let v = self.bool_to_bv8(result);
+            s.set_reg(r, v);
+        }
+        Ok(vec![s])
+    }
+
+    /// Check-mode `points_to`: greedy renaming (§4.1, "Renaming").
+    fn check_points_to(
+        &mut self,
+        s: &mut State,
+        p: TermId,
+        pidx: TermId,
+        size: u64,
+        name: &str,
+    ) -> Result<TermId, EngineError> {
+        // Find an object whose base provably equals the pointer.
+        let live = s.mem.live_objects();
+        let mut provable: Option<ObjectId> = None;
+        for oid in live {
+            let base = s.mem.obj(oid).base_idx;
+            let eq = self.arena.eq(pidx, base);
+            if !self
+                .solver
+                .is_feasible(&mut self.arena, &s.path, eq, QueryPurpose::Pointers)?
+            {
+                continue;
+            }
+            if self
+                .solver
+                .is_valid(&mut self.arena, &s.path, eq, QueryPurpose::Pointers)?
+            {
+                provable = Some(oid);
+                break;
+            }
+        }
+        let Some(obj) = provable else {
+            // No provable target: the name cannot be established.
+            return Ok(self.arena.fls());
+        };
+        // Size must match.
+        if s.mem.obj(obj).size_concrete != Some(size) {
+            let sz = s.mem.obj(obj).size_idx;
+            let want = s.mem.idx_const(&mut self.arena, size);
+            let eq = self.arena.eq(sz, want);
+            if !self
+                .solver
+                .is_valid(&mut self.arena, &s.path, eq, QueryPurpose::Pointers)?
+            {
+                return Ok(self.arena.fls());
+            }
+        }
+        // Renaming: name ↦ object must be consistent and injective.
+        if let Some(&bound) = s.check_bindings.get(name) {
+            if bound != obj {
+                return Ok(self.arena.fls());
+            }
+        } else if s.check_bindings.values().any(|&o| o == obj) {
+            return Ok(self.arena.fls());
+        } else {
+            s.check_bindings.insert(name.to_string(), obj);
+        }
+        let zero = self.arena.bv64(0);
+        Ok(self.arena.neq(p, zero))
+    }
+
+    // ---------------------------------------------------- forall_elem
+
+    /// Attaches a deferred `forall_elem` marker (assume semantics, §4.3).
+    pub(super) fn forall_attach(
+        &mut self,
+        s: State,
+        dst: Option<(u32, u32)>,
+        args: &[IrArg],
+    ) -> Result<Vec<State>, EngineError> {
+        let arr = self.arg_op(&s, args, 0)?;
+        let f = self.arg_func(args, 1)?;
+        let ty = self.arg_type(args, 2)?;
+        let extras: Vec<TermId> = args[3..]
+            .iter()
+            .map(|a| match a {
+                IrArg::Op(o) => Ok(self.value(&s, o)),
+                _ => Err(EngineError::Internal("bad forall_elem extra".into())),
+            })
+            .collect::<Result<_, _>>()?;
+        let elem_size = ty.size(&self.module.layouts).max(1);
+        let resolved = self.resolve(s, arr, 1, "forall_elem")?;
+        let mut out = Vec::new();
+        for (mut st, r) in resolved {
+            match r {
+                None => out.push(st),
+                Some((obj, _idx)) => {
+                    st.mem.obj_mut(obj).markers.push(ForallMarker {
+                        func: f.clone(),
+                        elem_size,
+                        extras: extras.clone(),
+                        attach_ptr: arr,
+                    });
+                    if let Some((reg, _)) = dst {
+                        let one = self.arena.bv_const(8, 1);
+                        st.set_reg(reg, one);
+                    }
+                    out.push(st);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Checks a `forall_elem` universally by skolemization (§4.3 /
+    /// appendix A.2: "executes the body … with a fresh k").
+    pub(super) fn forall_check(
+        &mut self,
+        mut s: State,
+        dst: Option<(u32, u32)>,
+        args: &[IrArg],
+    ) -> Result<Vec<State>, EngineError> {
+        let arr = self.arg_op(&s, args, 0)?;
+        let f = self.arg_func(args, 1)?;
+        let ty = self.arg_type(args, 2)?;
+        let extras: Vec<TermId> = args[3..]
+            .iter()
+            .map(|a| match a {
+                IrArg::Op(o) => Ok(self.value(&s, o)),
+                _ => Err(EngineError::Internal("bad forall_elem extra".into())),
+            })
+            .collect::<Result<_, _>>()?;
+        let elem_size = ty.size(&self.module.layouts).max(1);
+        let k = self.arena.fresh_var("forall!k", Sort::BitVec(64));
+        let call_args = self.marker_call_args(&s, &f, arr, k, elem_size, &extras)?;
+        s.frame_mut().pending.push_back(Pending::CallBool {
+            func: f,
+            args: call_args,
+            cont: RetCont::CheckTrue("forall_elem assertion".into()),
+        });
+        if let Some((reg, _)) = dst {
+            let one = self.arena.bv_const(8, 1);
+            s.set_reg(reg, one);
+        }
+        Ok(vec![s])
+    }
+
+    /// Builds the argument list for a `forall_elem` condition function from
+    /// its parameter types: `(elem_ptr?, index?, extras…)`.
+    fn marker_call_args(
+        &mut self,
+        _s: &State,
+        fname: &str,
+        arr_ptr: TermId,
+        k: TermId, // 64-bit element index
+        elem_size: u64,
+        extras: &[TermId],
+    ) -> Result<Vec<TermId>, EngineError> {
+        let (_, f) = self.func_by_name(fname)?;
+        let mut out: Vec<TermId> = Vec::new();
+        let mut pi = 0;
+        let n_params = f.n_params;
+        let params: Vec<Type> = f.locals[..n_params]
+            .iter()
+            .map(|l| l.ty.decayed())
+            .collect();
+        if pi < n_params && params[pi].is_pointer() {
+            let es = self.arena.bv64(elem_size);
+            let scaled = self.arena.bv_mul(k, es);
+            let ep = self.arena.bv_add(arr_ptr, scaled);
+            out.push(ep);
+            pi += 1;
+        }
+        // An integer parameter before the extras receives the index.
+        if pi + extras.len() < n_params {
+            let w = params[pi].bit_width();
+            let kk = if w == 64 {
+                k
+            } else {
+                self.arena.extract(k, w - 1, 0)
+            };
+            out.push(kk);
+            pi += 1;
+        }
+        for (j, &e) in extras.iter().enumerate() {
+            let want = params.get(pi + j).ok_or_else(|| {
+                EngineError::Unsupported(format!("{fname}: too many forall_elem extras"))
+            })?;
+            let have_w = self.arena.sort(e).bv_width().unwrap_or(64);
+            let want_w = want.bit_width();
+            let v = if have_w == want_w {
+                e
+            } else if have_w > want_w {
+                self.arena.extract(e, want_w - 1, 0)
+            } else {
+                self.arena.zero_ext(e, want_w - have_w)
+            };
+            out.push(v);
+        }
+        if out.len() != n_params {
+            return Err(EngineError::Unsupported(format!(
+                "{fname}: forall_elem argument mismatch (built {}, needs {})",
+                out.len(),
+                n_params
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Instantiates deferred `forall_elem` markers for a read at `addr`
+    /// (§4.3: "when a byte associated with a forall_elem is read, TPot
+    /// computes the property over the specific byte or object and adds it
+    /// to the path condition").
+    pub(super) fn instantiate_markers(
+        &mut self,
+        s: &mut State,
+        obj: ObjectId,
+        addr: TermId,
+        _idx: TermId,
+    ) -> Result<(), EngineError> {
+        if s.mem.obj(obj).markers.is_empty() || s.marker_guard.contains(&obj) {
+            return Ok(());
+        }
+        let markers = s.mem.obj(obj).markers.clone();
+        s.marker_guard.push(obj);
+        for (mi, m) in markers.iter().enumerate() {
+            let Some(k) = extract_elem_index_bv(&mut self.arena, addr, m.attach_ptr, m.elem_size)
+            else {
+                if std::env::var_os("TPOT_DEBUG").is_some() {
+                    eprintln!("[marker] obj#{} f={} NO ELEM INDEX", obj.0, m.func);
+                }
+                continue;
+            };
+            if !s.instantiated.insert((obj, mi, k)) {
+                continue;
+            }
+            let call_args =
+                self.marker_call_args(s, &m.func, m.attach_ptr, k, m.elem_size, &m.extras)?;
+            // Evaluate the property on a fork and assume the merged
+            // formula (the condition functions are pure).
+            let subs = self.eval_fn_paths(s, &m.func, &call_args)?;
+            let mut disj: Vec<TermId> = Vec::new();
+            for sub in subs {
+                let Some(ret) = sub.last_ret else { continue };
+                let delta: Vec<TermId> = sub.path.tail_from(s.path.len());
+                let nz = self.nonzero(ret);
+                let mut conj = delta;
+                conj.push(nz);
+                // Bridge each instantiated disjunct to the integer theory
+                // (§4.3 constraint propagation): sound because each added
+                // translation is implied by its disjunct.
+                let mut translated = Vec::new();
+                for &c in &conj {
+                    if let Some(t) = self.translate_cond(s, c, false) {
+                        translated.push(t);
+                    }
+                }
+                conj.extend(translated);
+                disj.push(self.arena.and(&conj));
+            }
+            if !disj.is_empty() {
+                let formula = self.arena.or(&disj);
+                if std::env::var_os("TPOT_DEBUG").is_some() {
+                    eprintln!(
+                        "[marker] obj#{} f={} k={} formula={}",
+                        obj.0,
+                        m.func,
+                        tpot_smt::print::term_to_string(&self.arena, k),
+                        tpot_smt::print::term_to_string(&self.arena, formula)
+                    );
+                }
+                s.assume(formula);
+                self.drain_mem_constraints(s);
+            } else if std::env::var_os("TPOT_DEBUG").is_some() {
+                eprintln!("[marker] obj#{} f={} NO SUBPATHS", obj.0, m.func);
+            }
+        }
+        s.marker_guard.pop();
+        Ok(())
+    }
+}
+
+/// Structurally extracts the element index of `addr` relative to
+/// `attach_ptr` with elements of `elem_size` bytes. Returns a 64-bit term.
+fn extract_elem_index_bv(
+    arena: &mut TermArena,
+    addr: TermId,
+    attach_ptr: TermId,
+    elem_size: u64,
+) -> Option<TermId> {
+    if addr == attach_ptr {
+        return Some(arena.bv64(0));
+    }
+    // addr = attach + rel?
+    let structural_rel: Option<TermId> = {
+        let node = arena.term(addr).clone();
+        if node.kind == Kind::BvAdd && node.args[0] == attach_ptr {
+            Some(node.args[1])
+        } else if node.kind == Kind::BvAdd && node.args[1] == attach_ptr {
+            Some(node.args[0])
+        } else if let (Some((_, a)), Some((_, b))) = (
+            arena.term(addr).as_bv_const(),
+            arena.term(attach_ptr).as_bv_const(),
+        ) {
+            if a < b {
+                None
+            } else {
+                Some(arena.bv64((a - b) as u64))
+            }
+        } else if let Some((_, b)) = arena.term(attach_ptr).as_bv_const() {
+            // Constant attach pointer (global arrays): constant folding has
+            // merged the base into the address's constant part, so peel it
+            // back out: `x + c  ==  attach + (x + (c - attach))`.
+            if node.kind == Kind::BvAdd {
+                let (x, c) = (node.args[0], node.args[1]);
+                match arena.term(c).as_bv_const() {
+                    Some((_, cv)) => {
+                        let off = arena.bv64((cv as u64).wrapping_sub(b as u64));
+                        Some(arena.bv_add(x, off))
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    };
+    let rel: TermId = match structural_rel {
+        Some(r) => r,
+        // Byte arrays: the relative index is the raw pointer difference,
+        // structured or not (the `a + (b - a) → b` arena fold keeps the
+        // rebuilt element pointer identical to the read address).
+        None if elem_size == 1 => return Some(arena.bv_sub(addr, attach_ptr)),
+        None => return None,
+    };
+    if elem_size == 1 {
+        return Some(rel);
+    }
+    // rel = k * es (+ c)?
+    let node = arena.term(rel).clone();
+    if let Some((_, c)) = node.as_bv_const() {
+        return Some(arena.bv64(c as u64 / elem_size));
+    }
+    if node.kind == Kind::BvMul {
+        for (x, y) in [(node.args[0], node.args[1]), (node.args[1], node.args[0])] {
+            if arena.term(x).as_bv_const().map(|c| c.1) == Some(elem_size as u128) {
+                return Some(y);
+            }
+        }
+    }
+    if node.kind == Kind::BvAdd {
+        let (a, b) = (node.args[0], node.args[1]);
+        for (m, c) in [(a, b), (b, a)] {
+            if let Some((_, cv)) = arena.term(c).as_bv_const() {
+                let mnode = arena.term(m).clone();
+                if mnode.kind == Kind::BvMul {
+                    for (x, y) in [
+                        (mnode.args[0], mnode.args[1]),
+                        (mnode.args[1], mnode.args[0]),
+                    ] {
+                        if arena.term(x).as_bv_const().map(|c| c.1) == Some(elem_size as u128) {
+                            let base_elems = cv as u64 / elem_size;
+                            let add = arena.bv64(base_elems);
+                            return Some(arena.bv_add(y, add));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_elem_index_patterns() {
+        let mut a = TermArena::new();
+        let base = a.var("arrp", Sort::BitVec(64));
+        // addr == base → 0
+        let k = extract_elem_index_bv(&mut a, base, base, 8).unwrap();
+        assert_eq!(a.term(k).as_bv_const(), Some((64, 0)));
+        // base + i*8 → i
+        let i = a.var("iv", Sort::BitVec(64));
+        let e8 = a.bv64(8);
+        let scaled = a.bv_mul(i, e8);
+        let addr = a.bv_add(base, scaled);
+        let k2 = extract_elem_index_bv(&mut a, addr, base, 8).unwrap();
+        assert_eq!(k2, i);
+        // base + 24 with elem 8 → 3
+        let c24 = a.bv64(24);
+        let addr2 = a.bv_add(base, c24);
+        let k3 = extract_elem_index_bv(&mut a, addr2, base, 8).unwrap();
+        assert_eq!(a.term(k3).as_bv_const(), Some((64, 3)));
+        // byte arrays: base + x → x
+        let x = a.var("xv", Sort::BitVec(64));
+        let addr3 = a.bv_add(base, x);
+        let k4 = extract_elem_index_bv(&mut a, addr3, base, 1).unwrap();
+        assert_eq!(k4, x);
+    }
+
+    #[test]
+    fn extract_elem_index_with_field_offset() {
+        let mut a = TermArena::new();
+        let base = a.var("arrq", Sort::BitVec(64));
+        let i = a.var("iw", Sort::BitVec(64));
+        let e16 = a.bv64(16);
+        let scaled = a.bv_mul(i, e16);
+        let c8 = a.bv64(8); // field at offset 8 inside a 16-byte element
+        let off = a.bv_add(scaled, c8);
+        let addr = a.bv_add(base, off);
+        // The arena reassociates (base + (i*16 + 8)); accept either failing
+        // gracefully or extracting i.
+        if let Some(k) = extract_elem_index_bv(&mut a, addr, base, 16) {
+            assert_eq!(k, i);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Specification builtins: `assert`/`assume`/`any`, heap allocation and
+//! `free` checking, and the `__tpot_inv` loop-invariant protocol
+//! (appendix A.2: entry check, havoc, assume, write-logged body, frame
+//! check, maintenance check, path cut). The naming-related builtins
+//! dispatch into `naming.rs`.
+
+use tpot_ir::{Builtin, IrArg};
+use tpot_mem::ObjectId;
+use tpot_smt::{Sort, TermId};
+
+use crate::driver::ViolationKind;
+use crate::query::EngineError;
+use crate::state::{LoopCtx, NamingMode, PathOutcome, Pending, Pledge, RetCont, State};
+use crate::stats::QueryPurpose;
+
+use super::ExecCtx;
+
+impl<'m> ExecCtx<'m> {
+    pub(super) fn exec_builtin(
+        &mut self,
+        mut s: State,
+        dst: Option<(u32, u32)>,
+        which: Builtin,
+        args: Vec<IrArg>,
+    ) -> Result<Vec<State>, EngineError> {
+        match which {
+            Builtin::Assert => {
+                let v = self.arg_op(&s, &args, 0)?;
+                let c = self.nonzero(v);
+                if self
+                    .solver
+                    .is_valid(&mut self.arena, &s.path, c, QueryPurpose::Assertions)?
+                {
+                    self.assume_with_ints(&mut s, c);
+                    return Ok(vec![s]);
+                }
+                let nc = self.arena.not(c);
+                let viol = self.violation(
+                    &s,
+                    ViolationKind::AssertFailed,
+                    "assertion failed".into(),
+                    nc,
+                )?;
+                s.finish(PathOutcome::Error(viol));
+                Ok(vec![s])
+            }
+            Builtin::Assume => {
+                let v = self.arg_op(&s, &args, 0)?;
+                let c = self.nonzero(v);
+                if !self.solver.is_feasible(
+                    &mut self.arena,
+                    &s.path,
+                    c,
+                    QueryPurpose::Assertions,
+                )? {
+                    s.finish(PathOutcome::Infeasible);
+                    return Ok(vec![s]);
+                }
+                self.assume_with_ints(&mut s, c);
+                Ok(vec![s])
+            }
+            Builtin::Any => {
+                // args: Type, AddrOf(local), Str(name).
+                let ty = self.arg_type(&args, 0)?;
+                let addr = self.arg_op(&s, &args, 1)?;
+                let name = self.arg_str(&args, 2)?;
+                let resolved = self.resolve(s, addr, 1, "any")?;
+                let mut out = Vec::new();
+                for (mut st, r) in resolved {
+                    match r {
+                        None => out.push(st),
+                        Some((obj, idx)) => {
+                            if ty.is_scalar() {
+                                let w = ty.bit_width();
+                                let v = self
+                                    .arena
+                                    .fresh_var(&format!("any!{name}"), Sort::BitVec(w));
+                                st.mem.write_bytes(&mut self.arena, obj, idx, v, w / 8);
+                            } else {
+                                st.mem
+                                    .havoc_object(&mut self.arena, obj, &format!("any!{name}"));
+                            }
+                            out.push(st);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Builtin::Malloc => {
+                let size = self.arg_op(&s, &args, 0)?;
+                let Some((_, sz)) = self.arena.term(size).as_bv_const() else {
+                    return Err(EngineError::Unsupported("malloc with symbolic size".into()));
+                };
+                let obj = s.mem.alloc_heap(&mut self.arena, sz as u64, "malloc", true);
+                self.drain_mem_constraints(&mut s);
+                let b = s.mem.obj(obj).base_bv;
+                if let Some((r, _)) = dst {
+                    s.set_reg(r, b);
+                }
+                Ok(vec![s])
+            }
+            Builtin::Free => {
+                let p = self.arg_op(&s, &args, 0)?;
+                self.exec_free(s, p)
+            }
+            Builtin::PointsTo => self.exec_points_to(s, dst, &args),
+            Builtin::NamesObjForall | Builtin::NamesObjForallCond => {
+                let f = self.arg_func(&args, 0)?;
+                let ty = self.arg_type(&args, 1)?;
+                let cond = if which == Builtin::NamesObjForallCond {
+                    Some(self.arg_func(&args, 2)?)
+                } else {
+                    None
+                };
+                if s.naming_mode == NamingMode::Assume {
+                    let obj_size = ty.size(&self.module.layouts);
+                    s.pledges.push(Pledge {
+                        func: f,
+                        obj_size,
+                        cond,
+                        materialized: Vec::new(),
+                    });
+                }
+                // Check mode: verified during end checks (driver).
+                if let Some((r, _)) = dst {
+                    let one = self.arena.bv_const(8, 1);
+                    s.set_reg(r, one);
+                }
+                Ok(vec![s])
+            }
+            Builtin::ForallElem => match s.naming_mode {
+                NamingMode::Assume => self.forall_attach(s, dst, &args),
+                NamingMode::Check => self.forall_check(s, dst, &args),
+            },
+            Builtin::ForallElemAssume => self.forall_attach(s, dst, &args),
+            Builtin::ForallElemAssert => self.forall_check(s, dst, &args),
+            Builtin::TpotInv => self.exec_tpot_inv(s, &args),
+            Builtin::HavocGlobal => {
+                let name = self.arg_str(&args, 0)?;
+                let obj = s.mem.global(&name).ok_or_else(|| {
+                    EngineError::Internal(format!("havoc of unknown global {name}"))
+                })?;
+                s.mem
+                    .havoc_object(&mut self.arena, obj, &format!("contract!{name}"));
+                if s.log_writes {
+                    let start = s.mem.obj(obj).base_idx;
+                    let len = s.mem.obj(obj).size_concrete.unwrap_or(0);
+                    s.writes_log.push((obj, start, len));
+                }
+                Ok(vec![s])
+            }
+        }
+    }
+
+    fn exec_free(&mut self, s: State, p: TermId) -> Result<Vec<State>, EngineError> {
+        let resolved = self.resolve(s, p, 1, "free")?;
+        let mut out = Vec::new();
+        for (mut st, r) in resolved {
+            match r {
+                None => out.push(st),
+                Some((obj, idx)) => {
+                    let o = st.mem.obj(obj);
+                    if !o.is_heap() {
+                        let t = self.arena.tru();
+                        let viol = self.violation(
+                            &st,
+                            ViolationKind::InvalidFree,
+                            "free of non-heap pointer".into(),
+                            t,
+                        )?;
+                        st.finish(PathOutcome::Error(viol));
+                        out.push(st);
+                        continue;
+                    }
+                    let base = o.base_idx;
+                    let at_base = self.arena.eq(idx, base);
+                    if !self.solver.is_valid(
+                        &mut self.arena,
+                        &st.path,
+                        at_base,
+                        QueryPurpose::Assertions,
+                    )? {
+                        let n = self.arena.not(at_base);
+                        let viol = self.violation(
+                            &st,
+                            ViolationKind::InvalidFree,
+                            "free of interior pointer".into(),
+                            n,
+                        )?;
+                        st.finish(PathOutcome::Error(viol));
+                        out.push(st);
+                        continue;
+                    }
+                    st.mem.obj_mut(obj).freed = true;
+                    out.push(st);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ---------------------------------------------------- loop invariants
+
+    /// `__tpot_inv(&inv, args…, (ptr, size)…)` — appendix A.2 semantics.
+    fn exec_tpot_inv(&mut self, mut s: State, args: &[IrArg]) -> Result<Vec<State>, EngineError> {
+        let inv = self.arg_func(args, 0)?;
+        let (_, f) = self.func_by_name(&inv)?;
+        let n_inv = f.n_params;
+        let rest = &args[1..];
+        let inv_args: Vec<TermId> = rest[..n_inv]
+            .iter()
+            .map(|a| match a {
+                IrArg::Op(o) => Ok(self.value(&s, o)),
+                _ => Err(EngineError::Internal("bad __tpot_inv arg".into())),
+            })
+            .collect::<Result<_, _>>()?;
+        let key = {
+            let fr = s.frame();
+            (fr.block, fr.ip - 1)
+        };
+        if let Some(ctx) = s.frame().loops.get(&key).cloned() {
+            // Back edge: check the body only wrote havocked regions, check
+            // the invariant is maintained, and cut the path.
+            let log = s.writes_log.tail_from(ctx.log_start);
+            for (wobj, widx, wlen) in log {
+                // Writes to objects that are dead by the cut point (callee
+                // stack frames) cannot leak out of the loop body.
+                if !s.mem.obj(wobj).live() {
+                    continue;
+                }
+                let mut any_ok: Vec<TermId> = Vec::new();
+                for (hobj, hstart, hlen) in &ctx.havoc {
+                    if *hobj != wobj {
+                        continue;
+                    }
+                    let lo = s.mem.idx_le(&mut self.arena, *hstart, widx);
+                    let wend = s.mem.idx_add(&mut self.arena, widx, wlen);
+                    let hend = s.mem.idx_add(&mut self.arena, *hstart, *hlen);
+                    let hi = s.mem.idx_le(&mut self.arena, wend, hend);
+                    any_ok.push(self.arena.and2(lo, hi));
+                }
+                let ok = self.arena.or(&any_ok);
+                if !self
+                    .solver
+                    .is_valid(&mut self.arena, &s.path, ok, QueryPurpose::Assertions)?
+                {
+                    let n = self.arena.not(ok);
+                    let viol = self.violation(
+                        &s,
+                        ViolationKind::LoopInvariantViolated,
+                        "loop body writes outside the regions declared in __tpot_inv".into(),
+                        n,
+                    )?;
+                    s.finish(PathOutcome::Error(viol));
+                    return Ok(vec![s]);
+                }
+            }
+            let fr = s.frame_mut();
+            fr.pending.push_back(Pending::CallBool {
+                func: inv,
+                args: inv_args,
+                cont: RetCont::CheckTrue("loop invariant not maintained".into()),
+            });
+            fr.pending.push_back(Pending::EndPathLoopCut);
+            return Ok(vec![s]);
+        }
+        // First encounter: resolve the havoc regions.
+        let pairs = &rest[n_inv..];
+        if !pairs.len().is_multiple_of(2) {
+            return Err(EngineError::Internal("__tpot_inv: odd region list".into()));
+        }
+        let mut work: Vec<(TermId, u64)> = Vec::new();
+        for pair in pairs.chunks(2) {
+            let (pop, sop) = match (&pair[0], &pair[1]) {
+                (IrArg::Op(p), IrArg::Op(sz)) => (p, sz),
+                _ => return Err(EngineError::Internal("__tpot_inv: bad region".into())),
+            };
+            let pv = self.value(&s, pop);
+            let sv = self.value(&s, sop);
+            let Some((_, sz)) = self.arena.term(sv).as_bv_const() else {
+                return Err(EngineError::Unsupported(
+                    "__tpot_inv: symbolic region size".into(),
+                ));
+            };
+            work.push((pv, sz as u64));
+        }
+        // Resolve each region pointer. Error forks (e.g. the region might
+        // be out of bounds under a weak invariant) continue as sibling
+        // error paths; the unique successful resolution proceeds.
+        let mut regions: Vec<(ObjectId, TermId, u64)> = Vec::new();
+        let mut cur = s;
+        let mut side_errors: Vec<State> = Vec::new();
+        for (pv, sz) in work {
+            let resolved = self.resolve(cur, pv, sz.max(1), "__tpot_inv region")?;
+            let mut ok: Vec<(State, ObjectId, TermId)> = Vec::new();
+            for (st, r) in resolved {
+                match r {
+                    Some((obj, idx)) => ok.push((st, obj, idx)),
+                    None => side_errors.push(st),
+                }
+            }
+            if ok.len() != 1 {
+                return Err(EngineError::Unsupported(format!(
+                    "__tpot_inv: region pointer resolved to {} objects",
+                    ok.len()
+                )));
+            }
+            let (st, obj, idx) = ok.pop().unwrap();
+            cur = st;
+            regions.push((obj, idx, sz));
+        }
+        let log_start = cur.writes_log.len();
+        let fr = cur.frame_mut();
+        fr.loops.insert(
+            key,
+            LoopCtx {
+                havoc: regions.clone(),
+                log_start,
+            },
+        );
+        fr.pending.push_back(Pending::CallBool {
+            func: inv.clone(),
+            args: inv_args.clone(),
+            cont: RetCont::CheckTrue("loop invariant does not hold on entry".into()),
+        });
+        fr.pending.push_back(Pending::Havoc(regions));
+        fr.pending.push_back(Pending::CallBool {
+            func: inv,
+            args: inv_args,
+            cont: RetCont::AssumeTrue,
+        });
+        fr.pending.push_back(Pending::StartWriteLog);
+        side_errors.push(cur);
+        Ok(side_errors)
+    }
+}

@@ -1,0 +1,314 @@
+//! Pointer resolution (§4.2): mapping address terms to memory objects,
+//! forking per feasible candidate, detecting out-of-bounds and
+//! use-after-free accesses, and lazily materializing objects from
+//! quantified-naming pledges. Also hosts nested spec-function evaluation
+//! ([`ExecCtx::eval_fn_paths`]), which pledge materialization and marker
+//! instantiation both build on.
+
+use tpot_mem::ObjectId;
+use tpot_smt::{Sort, TermId};
+
+use crate::driver::ViolationKind;
+use crate::query::EngineError;
+use crate::simplify;
+use crate::state::{PathOutcome, Pending, RetCont, State};
+use crate::stats::QueryPurpose;
+
+use super::ExecCtx;
+
+/// One outcome of address resolution: a forked state plus
+/// `Some((object, index))` on success, or `None` for a finished error state.
+pub(super) type Resolution = (State, Option<(ObjectId, TermId)>);
+
+impl<'m> ExecCtx<'m> {
+    /// Resolves an address term to memory objects, forking as needed.
+    /// Each resolution is a forked state plus `Some((object, index))` on
+    /// success or `None` for a finished error state.
+    /// Returns `(state, Some((object, index)))` for successful resolutions
+    /// and finished error states as `(state, None)`.
+    pub(super) fn resolve(
+        &mut self,
+        mut s: State,
+        addr: TermId,
+        len: u64,
+        what: &str,
+    ) -> Result<Vec<Resolution>, EngineError> {
+        // Hint fast path.
+        if let Some(&(obj, idx)) = s.resolution_hints.get(&addr) {
+            if s.mem.obj(obj).live() {
+                return Ok(vec![(s, Some((obj, idx)))]);
+            }
+        }
+        // Concrete fast path.
+        if let Some((_, c)) = self.arena.term(addr).as_bv_const() {
+            let c = c as u64;
+            for o in &s.mem.objects {
+                if let (Some(base), Some(size)) = (o.concrete_base, o.size_concrete) {
+                    if base <= c && c + len <= base + size {
+                        if !o.live() {
+                            let t = self.arena.tru();
+                            let e = self.error_fork(
+                                &s,
+                                t,
+                                ViolationKind::UseAfterFree,
+                                format!("{what}: access to dead object {:?}", o.kind),
+                            )?;
+                            return Ok(e.into_iter().map(|e| (e, None)).collect());
+                        }
+                        let id = o.id;
+                        let idx = s.mem.idx_const(&mut self.arena, c);
+                        s.resolution_hints.insert(addr, (id, idx));
+                        return Ok(vec![(s, Some((id, idx)))]);
+                    }
+                }
+            }
+        }
+        // Structural fast path: the address mentions exactly one heap
+        // object-address variable.
+        if let Some(obj) = self.single_objaddr_candidate(&s, addr) {
+            if s.mem.obj(obj).live() {
+                let idx = s.mem.addr_index(&mut self.arena, addr);
+                self.drain_mem_constraints(&mut s);
+                let ib = s.mem.in_bounds(&mut self.arena, obj, idx, len);
+                if self
+                    .solver
+                    .is_valid(&mut self.arena, &s.path, ib, QueryPurpose::Pointers)?
+                {
+                    let idx = self.maybe_constantize(&mut s, idx)?;
+                    s.resolution_hints.insert(addr, (obj, idx));
+                    return Ok(vec![(s, Some((obj, idx)))]);
+                }
+            }
+        }
+        // General resolution.
+        let idx = s.mem.addr_index(&mut self.arena, addr);
+        self.drain_mem_constraints(&mut s);
+        let mut out: Vec<(State, Option<(ObjectId, TermId)>)> = Vec::new();
+        let mut in_bounds_any: Vec<TermId> = Vec::new();
+        let mut candidates: Vec<(ObjectId, TermId)> = Vec::new();
+        for oid in s.mem.live_objects() {
+            let ib = s.mem.in_bounds(&mut self.arena, oid, idx, len);
+            if self
+                .solver
+                .is_feasible(&mut self.arena, &s.path, ib, QueryPurpose::Pointers)?
+            {
+                candidates.push((oid, ib));
+            }
+            in_bounds_any.push(ib);
+        }
+        // Use-after-free / dangling-stack detection.
+        let dead: Vec<ObjectId> = s
+            .mem
+            .objects
+            .iter()
+            .filter(|o| !o.live())
+            .map(|o| o.id)
+            .collect();
+        for oid in dead {
+            let ib = s.mem.in_bounds(&mut self.arena, oid, idx, len);
+            if let Some(e) = self.error_fork(
+                &s,
+                ib,
+                ViolationKind::UseAfterFree,
+                format!("{what}: possible access to freed/dead object"),
+            )? {
+                out.push((e, None));
+            }
+        }
+        // Outside all live objects?
+        let any = self.arena.or(&in_bounds_any);
+        let outside = self.arena.not(any);
+        let outside_feasible =
+            self.solver
+                .is_feasible(&mut self.arena, &s.path, outside, QueryPurpose::Pointers)?;
+        if outside_feasible {
+            // Try lazy materialization from pledges (§4.2).
+            let mats = self.try_materialize(&s, addr, idx, len)?;
+            let found_mat = !mats.is_empty();
+            let mut mat_bounds: Vec<TermId> = Vec::new();
+            for (m, obj, midx) in mats {
+                let ib = m.mem.in_bounds(&mut self.arena, obj, midx, len);
+                mat_bounds.push(ib);
+                out.push((m, Some((obj, midx))));
+            }
+            // Error fork: outside everything, including materialized
+            // objects.
+            let mut parts = vec![outside];
+            for b in &mat_bounds {
+                let nb = self.arena.not(*b);
+                parts.push(nb);
+            }
+            let still_outside = self.arena.and(&parts);
+            if let Some(e) = self.error_fork(
+                &s,
+                still_outside,
+                ViolationKind::OutOfBounds,
+                format!("{what}: pointer may not point to any live object"),
+            )? {
+                out.push((e, None));
+            } else if !found_mat && candidates.is_empty() {
+                // Outside was feasible but unprovable as an error after all
+                // — should not happen; treat as out-of-bounds anyway.
+            }
+        }
+        if candidates.len() == 1 && !outside_feasible {
+            let (oid, _) = candidates[0];
+            let cidx = self.maybe_constantize(&mut s, idx)?;
+            s.resolution_hints.insert(addr, (oid, cidx));
+            out.push((s, Some((oid, cidx))));
+        } else if !candidates.is_empty() {
+            for (oid, ib) in candidates {
+                let mut c = self.fork(&s);
+                c.assume(ib);
+                let cidx = self.maybe_constantize(&mut c, idx)?;
+                c.resolution_hints.insert(addr, (oid, cidx));
+                out.push((c, Some((oid, cidx))));
+            }
+        } else if out.is_empty() {
+            // Pointer resolves nowhere and even the error fork was
+            // infeasible: path is vacuous.
+            s.finish(PathOutcome::Infeasible);
+            out.push((s, None));
+        }
+        Ok(out)
+    }
+
+    pub(super) fn maybe_constantize(
+        &mut self,
+        s: &mut State,
+        idx: TermId,
+    ) -> Result<TermId, EngineError> {
+        if self.config.simplifier {
+            simplify::constantize_index(&mut self.solver, &mut self.arena, s, idx)
+        } else {
+            Ok(idx)
+        }
+    }
+
+    /// Finds the unique heap object whose address variable occurs in
+    /// `addr`, if exactly one does.
+    fn single_objaddr_candidate(&self, s: &State, addr: TermId) -> Option<ObjectId> {
+        let vars = tpot_smt::subst::free_vars(&self.arena, addr);
+        let mut found: Option<ObjectId> = None;
+        for v in vars {
+            let name = self.arena.var_name(v);
+            if name.starts_with("objaddr!") {
+                let obj = s.mem.objects.iter().find(|o| o.base_bv == v)?;
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(obj.id);
+            }
+        }
+        found
+    }
+
+    /// Lazy object materialization (§4.2): if a pledge's pointer function
+    /// can return an object containing the access, fork a state in which
+    /// that object exists.
+    fn try_materialize(
+        &mut self,
+        s: &State,
+        _addr: TermId,
+        idx: TermId,
+        len: u64,
+    ) -> Result<Vec<(State, ObjectId, TermId)>, EngineError> {
+        let mut out = Vec::new();
+        let pledges = s.pledges.clone();
+        for (pi, p) in pledges.iter().enumerate() {
+            if len > p.obj_size {
+                continue;
+            }
+            let (_, f) = self.func_by_name(&p.func)?;
+            if f.n_params != 1 {
+                continue;
+            }
+            let pw = f.locals[0].ty.decayed().bit_width();
+            let k = self
+                .arena
+                .fresh_var(&format!("idx!{}", p.func), Sort::BitVec(pw));
+            let subs = self.eval_fn_paths(s, &p.func, &[k])?;
+            for sub in subs {
+                let Some(ret) = sub.last_ret else { continue };
+                let delta: Vec<TermId> = sub.path.tail_from(s.path.len());
+                let zero = self.arena.bv64(0);
+                let nonnull = self.arena.neq(ret, zero);
+                // Hypothetical object at base ret: does it contain the
+                // access?
+                let mut m = self.fork(s);
+                let rbase = m.mem.addr_index(&mut self.arena, ret);
+                let lo = m.mem.idx_le(&mut self.arena, rbase, idx);
+                let end_a = m.mem.idx_add(&mut self.arena, idx, len);
+                let end_o = m.mem.idx_add(&mut self.arena, rbase, p.obj_size);
+                let hi = m.mem.idx_le(&mut self.arena, end_a, end_o);
+                let mut conj = delta.clone();
+                conj.push(nonnull);
+                conj.push(lo);
+                conj.push(hi);
+                let cond = self.arena.and(&conj);
+                self.drain_mem_constraints(&mut m);
+                if !self.solver.is_feasible(
+                    &mut self.arena,
+                    &m.path,
+                    cond,
+                    QueryPurpose::Pointers,
+                )? {
+                    continue;
+                }
+                m.assume(cond);
+                let obj = m
+                    .mem
+                    .alloc_heap(&mut self.arena, p.obj_size, &p.func, false);
+                let base_bv = m.mem.obj(obj).base_bv;
+                let base_idx = m.mem.obj(obj).base_idx;
+                let eq_bv = self.arena.eq(base_bv, ret);
+                m.assume(eq_bv);
+                let eq_idx = self.arena.eq(base_idx, rbase);
+                m.assume(eq_idx);
+                self.drain_mem_constraints(&mut m);
+                m.pledges[pi].materialized.push((k, obj));
+                self.solver.stats.materializations += 1;
+                // Assume the per-object condition (names_obj_forall_cond).
+                if let Some(cf) = &p.cond {
+                    m.frame_mut().pending.push_back(Pending::CallBool {
+                        func: cf.clone(),
+                        args: vec![ret],
+                        cont: RetCont::AssumeTrue,
+                    });
+                }
+                let midx = m.mem.obj(obj).base_idx;
+                let off = {
+                    // Access index within the new object is just `idx`.
+                    let _ = midx;
+                    idx
+                };
+                out.push((m, obj, off));
+                if out.len() >= 4 {
+                    return Ok(out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a function on a fork of `s`, returning every completed
+    /// sub-state (with `last_ret` holding the return value).
+    pub fn eval_fn_paths(
+        &mut self,
+        s: &State,
+        fname: &str,
+        args: &[TermId],
+    ) -> Result<Vec<State>, EngineError> {
+        let mut c = self.fork(s);
+        c.done = None;
+        c.last_ret = None;
+        // A synthetic bottom frame so pending-queues of the original frames
+        // are not disturbed.
+        self.push_call(&mut c, fname, args, None, RetCont::Stop)?;
+        let finished = self.run(c)?;
+        Ok(finished
+            .into_iter()
+            .filter(|st| matches!(st.done, Some(PathOutcome::Completed)) && st.last_ret.is_some())
+            .collect())
+    }
+}

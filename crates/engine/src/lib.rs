@@ -38,6 +38,6 @@ pub mod state;
 pub mod stats;
 
 pub use driver::{PotResult, PotStatus, Verifier, Violation, ViolationKind};
-pub use interp::{AddrMode, EngineConfig};
+pub use interp::{AddrMode, EngineConfig, ExecCtx, Interp};
 pub use query::EngineError;
 pub use stats::{QueryPurpose, Stats};

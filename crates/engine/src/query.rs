@@ -12,6 +12,7 @@ use tpot_smt::print::{query_fingerprint, to_smtlib};
 use tpot_smt::{Model, TermArena, TermId};
 use tpot_solver::{SmtResult, SolverError};
 
+use crate::state::PathCond;
 use crate::stats::{QueryPurpose, Stats};
 
 /// Errors surfaced by the engine.
@@ -99,10 +100,14 @@ impl QueryCtx {
     }
 
     /// Is `path ∧ extra` satisfiable?
+    ///
+    /// The path condition arrives as the engine's fork-shared [`PathCond`];
+    /// it is materialized into a contiguous assertion list exactly once,
+    /// here (the pre-COW code paid the same copy per query).
     pub fn is_feasible(
         &mut self,
         arena: &mut TermArena,
-        path: &[TermId],
+        path: &PathCond,
         extra: TermId,
         purpose: QueryPurpose,
     ) -> Result<bool, EngineError> {
@@ -130,7 +135,7 @@ impl QueryCtx {
     pub fn is_valid(
         &mut self,
         arena: &mut TermArena,
-        path: &[TermId],
+        path: &PathCond,
         cond: TermId,
         purpose: QueryPurpose,
     ) -> Result<bool, EngineError> {
@@ -145,7 +150,7 @@ impl QueryCtx {
     pub fn model(
         &mut self,
         arena: &mut TermArena,
-        path: &[TermId],
+        path: &PathCond,
         extra: TermId,
         purpose: QueryPurpose,
     ) -> Result<Option<Model>, EngineError> {
@@ -173,19 +178,21 @@ mod tests {
         let zero = a.int_const(0);
         let pos = a.int_lt(zero, x);
         let mut q = QueryCtx::new(Portfolio::single());
+        let empty = PathCond::new();
+        let on_pos = PathCond::from(vec![pos]);
         assert!(q
-            .is_feasible(&mut a, &[], pos, QueryPurpose::Branches)
+            .is_feasible(&mut a, &empty, pos, QueryPurpose::Branches)
             .unwrap());
         // path: x > 0 entails x >= 0.
         let ge = a.int_le(zero, x);
         assert!(q
-            .is_valid(&mut a, &[pos], ge, QueryPurpose::Assertions)
+            .is_valid(&mut a, &on_pos, ge, QueryPurpose::Assertions)
             .unwrap());
         // but not x > 1.
         let one = a.int_const(1);
         let gt1 = a.int_lt(one, x);
         assert!(!q
-            .is_valid(&mut a, &[pos], gt1, QueryPurpose::Assertions)
+            .is_valid(&mut a, &on_pos, gt1, QueryPurpose::Assertions)
             .unwrap());
         assert!(q.stats.num_queries >= 3);
         assert!(q.stats.serialization_time.as_nanos() > 0);
@@ -199,11 +206,16 @@ mod tests {
         let pos = a.int_lt(zero, x);
         let mut q = QueryCtx::new(Portfolio::with_instances(3));
         assert!(q
-            .is_feasible(&mut a, &[], pos, QueryPurpose::Branches)
+            .is_feasible(&mut a, &PathCond::new(), pos, QueryPurpose::Branches)
             .unwrap());
         let ge = a.int_le(zero, x);
         assert!(q
-            .is_valid(&mut a, &[pos], ge, QueryPurpose::Assertions)
+            .is_valid(
+                &mut a,
+                &PathCond::from(vec![pos]),
+                ge,
+                QueryPurpose::Assertions
+            )
             .unwrap());
         // The engine serializes once per query; the portfolio, handed the
         // fingerprint, must not serialize at all.
@@ -225,7 +237,12 @@ mod tests {
         let mut q = QueryCtx::new(Portfolio::single());
         let t = a.tru();
         let m = q
-            .model(&mut a, &[eq], t, QueryPurpose::Assertions)
+            .model(
+                &mut a,
+                &PathCond::from(vec![eq]),
+                t,
+                QueryPurpose::Assertions,
+            )
             .unwrap()
             .unwrap();
         assert_eq!(m.var("mx"), Some(&tpot_smt::Value::BitVec(8, 9)));

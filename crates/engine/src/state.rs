@@ -1,11 +1,30 @@
 //! Symbolic execution states.
+//!
+//! A [`State`] is forked at every feasible branch, pointer-resolution
+//! candidate, and error check, so its representation is built for cheap
+//! forking: the bulky, mostly-append-only parts (memory objects, path
+//! condition, trace, write log, proof/hint caches) live in persistent
+//! containers from `tpot-persist` that share structure across forks.
+//! [`State::fork`] is O(frames) pointer bumps — only the call stack is
+//! deep-copied, because registers are freely overwritten after a fork.
+//! Everything else is copy-on-write: a fork pays for exactly the objects
+//! and cache entries it later mutates, never for what it merely inherits.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use tpot_mem::{Memory, ObjectId};
+use tpot_persist::{CowMap, CowSet, ShareList};
 use tpot_smt::TermId;
 
 use crate::driver::Violation;
+
+/// A path condition: a conjunction of boolean terms, append-only, with
+/// fork-shared prefix storage.
+pub type PathCond = ShareList<TermId>;
+
+/// Maximum number of recorded trace steps per path (counterexamples only
+/// ever print the tail; unbounded traces would make long loops quadratic).
+pub const TRACE_MAX: usize = 512;
 
 /// A pledge recorded by `names_obj_forall` / `names_obj_forall_cond`
 /// (paper §4.1, "Quantified naming"): the pointer-returning function `f`
@@ -123,36 +142,50 @@ pub enum PathOutcome {
     Infeasible,
 }
 
+/// Approximate byte cost of one [`State::fork`], split into what the fork
+/// *shares* with its parent (persistent structures: one pointer bump each)
+/// and what it *copies* (the call stack). Computed from container lengths
+/// only — O(frames), never walking the shared payloads.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForkCost {
+    /// Bytes reachable through structurally shared containers (what a
+    /// deep clone would have copied).
+    pub shared_bytes: u64,
+    /// Bytes actually copied by the fork (frames, pledges, guards).
+    pub copied_bytes: u64,
+}
+
 /// A symbolic execution state: call stack + memory + path condition.
 #[derive(Clone)]
 pub struct State {
-    /// Memory objects.
+    /// Memory objects (persistent; forks share objects copy-on-write).
     pub mem: Memory,
     /// Call stack; index 0 is the entry (POT) frame.
     pub frames: Vec<Frame>,
-    /// Path condition (a conjunction).
-    pub path: Vec<TermId>,
+    /// Path condition (a conjunction; prefix shared across forks).
+    pub path: PathCond,
     /// Quantified-naming pledges.
     pub pledges: Vec<Pledge>,
     /// Read-after-write proof cache: `(store-index, read-index)` →
     /// proven-equal? Sound to inherit across forks because the path
     /// condition only strengthens (§4.3, "TPot caches simplification
     /// proofs").
-    pub raw_proofs: HashMap<(TermId, TermId), bool>,
+    pub raw_proofs: CowMap<(TermId, TermId), bool>,
     /// Constant-offset cache: address term → proven-constant index term
     /// (§4.3, "Constant offsets").
-    pub const_offsets: HashMap<TermId, TermId>,
+    pub const_offsets: CowMap<TermId, TermId>,
     /// Resolution hints: address term → (object, index term), valid for
     /// this path.
-    pub resolution_hints: HashMap<TermId, (ObjectId, TermId)>,
-    /// Block-level trace for counterexamples.
-    pub trace: Vec<String>,
+    pub resolution_hints: CowMap<TermId, (ObjectId, TermId)>,
+    /// Block-level trace for counterexamples (bounded by [`TRACE_MAX`];
+    /// prefix strings are shared across forks, never re-cloned).
+    pub trace: ShareList<String>,
     /// Naming mode for `points_to` and friends.
     pub naming_mode: NamingMode,
     /// Greedy renaming built during final invariant checks: name → object.
-    pub check_bindings: HashMap<String, ObjectId>,
+    pub check_bindings: CowMap<String, ObjectId>,
     /// Write log (active while `log_writes`): (object, index, length).
-    pub writes_log: Vec<(ObjectId, TermId, u64)>,
+    pub writes_log: ShareList<(ObjectId, TermId, u64)>,
     /// When true, stores are recorded in `writes_log`.
     pub log_writes: bool,
     /// Objects whose `forall_elem` markers are currently being
@@ -160,7 +193,7 @@ pub struct State {
     pub marker_guard: Vec<ObjectId>,
     /// Marker instantiations already performed on this path:
     /// (object, marker index, element-index term).
-    pub instantiated: HashSet<(ObjectId, usize, TermId)>,
+    pub instantiated: CowSet<(ObjectId, usize, TermId)>,
     /// Return value of a `RetCont::Stop` frame.
     pub last_ret: Option<TermId>,
     /// Set when the path has terminated.
@@ -173,31 +206,101 @@ impl State {
         State {
             mem,
             frames: Vec::new(),
-            path: Vec::new(),
+            path: PathCond::new(),
             pledges: Vec::new(),
-            raw_proofs: HashMap::new(),
-            const_offsets: HashMap::new(),
-            resolution_hints: HashMap::new(),
-            trace: Vec::new(),
+            raw_proofs: CowMap::new(),
+            const_offsets: CowMap::new(),
+            resolution_hints: CowMap::new(),
+            trace: ShareList::new(),
             naming_mode: NamingMode::Assume,
-            check_bindings: HashMap::new(),
-            writes_log: Vec::new(),
+            check_bindings: CowMap::new(),
+            writes_log: ShareList::new(),
             log_writes: false,
             marker_guard: Vec::new(),
-            instantiated: HashSet::new(),
+            instantiated: CowSet::new(),
             last_ret: None,
             done: None,
         }
     }
 
+    /// Forks the state: the child starts semantically identical to the
+    /// parent and the two diverge independently from here on.
+    ///
+    /// Cost: O(frames) — the call stack (registers are overwritten in
+    /// place after a fork, so it cannot be shared) plus one reference
+    /// bump per persistent container. Memory objects, the path condition,
+    /// the trace, the write log and the proof caches are all structurally
+    /// shared until one side mutates them.
+    ///
+    /// Prefer [`crate::interp::ExecCtx::fork`] inside the engine — it
+    /// additionally records fork-cost accounting in the run's `Stats`.
+    pub fn fork(&self) -> State {
+        self.clone()
+    }
+
+    /// Estimates the byte cost of forking this state right now, without
+    /// walking any shared structure (lengths only, O(frames)).
+    pub fn fork_cost(&self) -> ForkCost {
+        use std::mem::size_of;
+        let mut copied = size_of::<State>() as u64;
+        for f in &self.frames {
+            copied += size_of::<Frame>() as u64
+                + (f.regs.len() * size_of::<Option<TermId>>()) as u64
+                + (f.local_objs.len() * size_of::<ObjectId>()) as u64
+                + (f.pending.len() * size_of::<Pending>()) as u64
+                + (f.loops.len() * (size_of::<(usize, usize)>() + size_of::<LoopCtx>())) as u64;
+        }
+        copied += (self.pledges.len() * size_of::<Pledge>()) as u64;
+        copied += (self.marker_guard.len() * size_of::<ObjectId>()) as u64;
+        // Shared payloads, estimated per entry (strings and markers are
+        // approximated by a fixed overhead — this feeds accounting, not
+        // allocation).
+        const STR_EST: u64 = 48;
+        let shared = self.mem.approx_shared_bytes()
+            + (self.path.len() * size_of::<TermId>()) as u64
+            + self.trace.len() as u64 * STR_EST
+            + (self.writes_log.len() * size_of::<(ObjectId, TermId, u64)>()) as u64
+            + (self.raw_proofs.len() * size_of::<((TermId, TermId), bool)>()) as u64
+            + (self.const_offsets.len() * size_of::<(TermId, TermId)>()) as u64
+            + (self.resolution_hints.len() * size_of::<(TermId, (ObjectId, TermId))>()) as u64
+            + self.check_bindings.len() as u64 * STR_EST
+            + (self.instantiated.len() * size_of::<(ObjectId, usize, TermId)>()) as u64;
+        ForkCost {
+            shared_bytes: shared,
+            copied_bytes: copied,
+        }
+    }
+
     /// The active frame.
+    ///
+    /// # Panics
+    /// Panics with the path outcome and trace tail if the call stack is
+    /// empty (a lowering or driver bug).
     pub fn frame(&self) -> &Frame {
-        self.frames.last().expect("no active frame")
+        match self.frames.last() {
+            Some(f) => f,
+            None => panic!(
+                "no active frame (done: {:?}, trace tail: {:?})",
+                self.done,
+                self.trace.tail_from(self.trace.len().saturating_sub(4)),
+            ),
+        }
     }
 
     /// The active frame, mutably.
+    ///
+    /// # Panics
+    /// Panics with the path outcome and trace tail if the call stack is
+    /// empty (a lowering or driver bug).
     pub fn frame_mut(&mut self) -> &mut Frame {
-        self.frames.last_mut().expect("no active frame")
+        if self.frames.is_empty() {
+            panic!(
+                "no active frame (done: {:?}, trace tail: {:?})",
+                self.done,
+                self.trace.tail_from(self.trace.len().saturating_sub(4)),
+            );
+        }
+        self.frames.last_mut().unwrap()
     }
 
     /// Appends a constraint to the path condition.
@@ -206,8 +309,30 @@ impl State {
     }
 
     /// Reads a register in the active frame.
+    ///
+    /// # Panics
+    /// Panics with the function index, block, and instruction pointer if
+    /// the register was never written (a lowering bug — the location makes
+    /// it diagnosable from the message alone).
     pub fn reg(&self, r: u32) -> TermId {
-        self.frame().regs[r as usize].expect("read of unset register")
+        let f = self.frame();
+        match f.regs.get(r as usize) {
+            Some(Some(v)) => *v,
+            Some(None) => panic!(
+                "read of unset register r{r} at func#{} bb{} ip{} (trace tail: {:?})",
+                f.func,
+                f.block,
+                f.ip,
+                self.trace.tail_from(self.trace.len().saturating_sub(4)),
+            ),
+            None => panic!(
+                "register r{r} out of range ({} regs) at func#{} bb{} ip{}",
+                f.regs.len(),
+                f.func,
+                f.block,
+                f.ip,
+            ),
+        }
     }
 
     /// Writes a register in the active frame.
@@ -216,9 +341,9 @@ impl State {
         f.regs[r as usize] = Some(v);
     }
 
-    /// Records a trace step (bounded).
+    /// Records a trace step (bounded by [`TRACE_MAX`]).
     pub fn trace_step(&mut self, s: String) {
-        if self.trace.len() < 512 {
+        if self.trace.len() < TRACE_MAX {
             self.trace.push(s);
         }
     }
@@ -228,5 +353,89 @@ impl State {
         if self.done.is_none() {
             self.done = Some(outcome);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_mem::AddrMode;
+    use tpot_smt::TermArena;
+
+    fn fresh_state() -> (TermArena, State) {
+        let mut a = TermArena::new();
+        let mem = Memory::new(&mut a, AddrMode::Int);
+        (a, State::new(mem))
+    }
+
+    #[test]
+    fn fork_shares_path_and_trace_storage() {
+        let (mut a, mut s) = fresh_state();
+        let x = a.var("x", tpot_smt::Sort::Int);
+        let zero = a.int_const(0);
+        let c = a.int_le(zero, x);
+        s.assume(c);
+        for i in 0..16 {
+            s.trace_step(format!("bb{i}"));
+        }
+        let child = s.fork();
+        assert!(s.path.shares_storage_with(&child.path));
+        assert!(s.trace.shares_storage_with(&child.trace));
+        // Divergence keeps the prefix shared.
+        let mut child = child;
+        child.trace_step("child-only".into());
+        s.trace_step("parent-only".into());
+        assert!(s.trace.shares_storage_with(&child.trace));
+        assert_eq!(child.trace.get(16).map(String::as_str), Some("child-only"));
+        assert_eq!(s.trace.get(16).map(String::as_str), Some("parent-only"));
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let (_a, mut s) = fresh_state();
+        for i in 0..(TRACE_MAX + 100) {
+            s.trace_step(format!("{i}"));
+        }
+        assert_eq!(s.trace.len(), TRACE_MAX);
+    }
+
+    #[test]
+    fn fork_cost_is_cheap_to_compute_and_split() {
+        let (mut a, mut s) = fresh_state();
+        for i in 0..50 {
+            let g = s.mem.alloc_global(&mut a, &format!("g{i}"), 8);
+            let _ = g;
+        }
+        let c = s.fork_cost();
+        assert!(c.shared_bytes > 0, "objects must count as shared");
+        assert!(c.copied_bytes > 0);
+        // Shared part dominates once there are many objects.
+        assert!(c.shared_bytes > c.copied_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "read of unset register r3 at func#7 bb2 ip5")]
+    fn unset_register_panic_names_location() {
+        let (_a, mut s) = fresh_state();
+        s.frames.push(Frame {
+            func: 7,
+            block: 2,
+            ip: 5,
+            regs: vec![None; 4],
+            local_objs: vec![],
+            ret_reg: None,
+            on_return: RetCont::Normal,
+            pending: VecDeque::new(),
+            loops: HashMap::new(),
+            prev_naming: None,
+        });
+        let _ = s.reg(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no active frame")]
+    fn missing_frame_panic_mentions_outcome() {
+        let (_a, s) = fresh_state();
+        let _ = s.frame();
     }
 }

@@ -72,6 +72,14 @@ pub struct Stats {
     pub paths: u64,
     /// Number of state forks.
     pub forks: u64,
+    /// Bytes structurally shared across forks instead of copied (estimated
+    /// at fork time from container lengths; what a deep clone would have
+    /// paid).
+    pub fork_bytes_shared: u64,
+    /// Bytes actually copied per fork (call stack and friends).
+    pub fork_bytes_copied: u64,
+    /// Peak number of simultaneously live states in the run loop.
+    pub live_peak: u64,
     /// Instructions interpreted.
     pub insts: u64,
     /// Lazily materialized heap objects (§4.2).
@@ -136,6 +144,9 @@ impl Stats {
         self.const_offset_hits += o.const_offset_hits;
         self.paths += o.paths;
         self.forks += o.forks;
+        self.fork_bytes_shared += o.fork_bytes_shared;
+        self.fork_bytes_copied += o.fork_bytes_copied;
+        self.live_peak = self.live_peak.max(o.live_peak);
         self.insts += o.insts;
         self.materializations += o.materializations;
     }

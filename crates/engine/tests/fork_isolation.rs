@@ -1,0 +1,306 @@
+//! Fork-isolation property tests: mutations in a forked child must never
+//! become visible in the parent or in sibling forks, even though all of
+//! them share storage copy-on-write. Also checks the soundness side of
+//! cache inheritance: entries present *before* a fork are visible in every
+//! descendant (that is what makes sharing `raw_proofs` worthwhile), while
+//! entries added *after* stay fork-local.
+
+use tpot_engine::state::State;
+use tpot_mem::{AddrMode, Memory, ObjectId};
+use tpot_smt::{Sort, TermArena, TermId};
+
+fn fresh_state(arena: &mut TermArena, n_globals: u64) -> State {
+    let mut mem = Memory::new(arena, AddrMode::Int);
+    for i in 0..n_globals {
+        mem.alloc_global(arena, &format!("g{i}"), 8);
+    }
+    State::new(mem)
+}
+
+/// Writes one byte `val` at offset `off` of object `o` through `s`.
+fn poke(arena: &mut TermArena, s: &mut State, o: ObjectId, off: u64, val: u8) {
+    let base = s
+        .mem
+        .obj(o)
+        .concrete_base
+        .expect("global has concrete base");
+    let idx = s.mem.idx_const(arena, base + off);
+    let v = arena.bv_const(8, val as u128);
+    s.mem.write_bytes(arena, o, idx, v, 1);
+}
+
+#[test]
+fn child_memory_writes_do_not_leak_into_parent_or_sibling() {
+    let mut a = TermArena::new();
+    let parent = fresh_state(&mut a, 8);
+    let n = parent.mem.objects.len();
+    let before: Vec<TermId> = parent.mem.objects.iter().map(|o| o.array).collect();
+
+    let mut child = parent.fork();
+    let sibling = parent.fork();
+    assert!(parent.mem.objects.ptr_eq(&child.mem.objects));
+    assert!(parent.mem.objects.ptr_eq(&sibling.mem.objects));
+
+    let victim = ObjectId(3);
+    poke(&mut a, &mut child, victim, 2, 0xab);
+
+    // The child sees its own write; nobody else's array term moved.
+    assert_ne!(child.mem.obj(victim).array, before[3]);
+    for (i, o) in parent.mem.objects.iter().enumerate() {
+        assert_eq!(
+            o.array, before[i],
+            "parent object {i} changed under a child write"
+        );
+    }
+    for (i, o) in sibling.mem.objects.iter().enumerate() {
+        assert_eq!(
+            o.array, before[i],
+            "sibling object {i} changed under a child write"
+        );
+    }
+    // COW granularity: exactly the mutated element was copied; every other
+    // object is still physically the parent's.
+    for i in 0..n {
+        assert_eq!(
+            child.mem.objects.element_shared(&parent.mem.objects, i),
+            i != 3,
+            "object {i}: wrong sharing after single-object write"
+        );
+    }
+    assert!(sibling.mem.objects.ptr_eq(&parent.mem.objects));
+}
+
+#[test]
+fn child_freed_flag_does_not_leak() {
+    let mut a = TermArena::new();
+    let parent = fresh_state(&mut a, 4);
+    let mut child = parent.fork();
+    child.mem.obj_mut(ObjectId(1)).freed = true;
+    assert!(child.mem.obj(ObjectId(1)).freed);
+    assert!(
+        !parent.mem.obj(ObjectId(1)).freed,
+        "freed flag leaked into parent"
+    );
+}
+
+#[test]
+fn cache_mutations_are_fork_local() {
+    let mut a = TermArena::new();
+    let parent = fresh_state(&mut a, 2);
+    let t1 = a.var("t1", Sort::Bool);
+    let t2 = a.var("t2", Sort::Bool);
+
+    let mut child = parent.fork();
+    let sibling = parent.fork();
+    assert!(parent.raw_proofs.ptr_eq(&child.raw_proofs));
+    assert!(parent.resolution_hints.ptr_eq(&child.resolution_hints));
+    assert!(parent.instantiated.ptr_eq(&child.instantiated));
+
+    child.raw_proofs.insert((t1, t2), true);
+    child.const_offsets.insert(t1, t2);
+    child.resolution_hints.insert(t1, (ObjectId(0), t2));
+    child.check_bindings.insert("x".to_string(), ObjectId(1));
+    child.instantiated.insert((ObjectId(0), 0, t1));
+
+    for s in [&parent, &sibling] {
+        assert_eq!(s.raw_proofs.len(), 0);
+        assert_eq!(s.const_offsets.len(), 0);
+        assert_eq!(s.resolution_hints.len(), 0);
+        assert_eq!(s.check_bindings.len(), 0);
+        assert_eq!(s.instantiated.len(), 0);
+    }
+    assert_eq!(child.raw_proofs.get(&(t1, t2)), Some(&true));
+    assert!(child.instantiated.contains(&(ObjectId(0), 0, t1)));
+}
+
+#[test]
+fn raw_proofs_inheritance_is_sound_under_cow() {
+    let mut a = TermArena::new();
+    let mut parent = fresh_state(&mut a, 2);
+    let t1 = a.var("u1", Sort::Bool);
+    let t2 = a.var("u2", Sort::Bool);
+    let t3 = a.var("u3", Sort::Bool);
+    // Proof established before the fork: both descendants inherit it —
+    // sound because forks only ever strengthen the path condition (§4.3).
+    parent.raw_proofs.insert((t1, t2), true);
+    parent.check_bindings.insert("b".to_string(), ObjectId(0));
+
+    let mut child = parent.fork();
+    assert_eq!(child.raw_proofs.get(&(t1, t2)), Some(&true));
+    assert!(
+        child.raw_proofs.ptr_eq(&parent.raw_proofs),
+        "inheritance must not copy"
+    );
+
+    // The child strengthens its path and learns a new proof; the parent
+    // must not observe it (its weaker path might not entail it).
+    let c = a.var("branch", Sort::Bool);
+    child.assume(c);
+    child.raw_proofs.insert((t2, t3), false);
+    assert_eq!(parent.raw_proofs.len(), 1);
+    assert_eq!(parent.raw_proofs.get(&(t2, t3)), None);
+
+    // Clearing the child's greedy-renaming bindings (a per-check reset the
+    // driver performs) leaves the parent's bindings intact.
+    child.check_bindings.clear();
+    assert_eq!(parent.check_bindings.get("b"), Some(&ObjectId(0)));
+}
+
+#[test]
+fn register_and_frame_mutations_do_not_leak() {
+    use std::collections::HashMap;
+    use std::collections::VecDeque;
+    use tpot_engine::state::{Frame, RetCont};
+
+    let mut a = TermArena::new();
+    let mut parent = fresh_state(&mut a, 1);
+    let v0 = a.bv_const(64, 7);
+    parent.frames.push(Frame {
+        func: 0,
+        block: 0,
+        ip: 0,
+        regs: vec![Some(v0), None],
+        local_objs: vec![],
+        ret_reg: None,
+        on_return: RetCont::Normal,
+        pending: VecDeque::new(),
+        loops: HashMap::new(),
+        prev_naming: None,
+    });
+
+    let mut child = parent.fork();
+    let v1 = a.bv_const(64, 99);
+    child.set_reg(0, v1);
+    child.set_reg(1, v1);
+    child.frame_mut().ip = 5;
+
+    assert_eq!(parent.reg(0), v0);
+    assert_eq!(parent.frame().regs[1], None);
+    assert_eq!(parent.frame().ip, 0);
+    assert_eq!(child.reg(0), v1);
+    assert_eq!(child.frame().ip, 5);
+}
+
+/// A deterministic LCG so the randomized test needs no external crates.
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Plain deep-copied mirror of the fork-visible pieces of a [`State`].
+#[derive(Clone)]
+struct Model {
+    arrays: Vec<TermId>,
+    path: Vec<TermId>,
+    trace: Vec<String>,
+    proofs: Vec<((TermId, TermId), bool)>,
+}
+
+impl Model {
+    fn of(s: &State) -> Model {
+        Model {
+            arrays: s.mem.objects.iter().map(|o| o.array).collect(),
+            path: s.path.to_vec(),
+            trace: s.trace.to_vec(),
+            proofs: Vec::new(),
+        }
+    }
+
+    fn check(&self, s: &State, who: usize) {
+        let arrays: Vec<TermId> = s.mem.objects.iter().map(|o| o.array).collect();
+        assert_eq!(
+            arrays, self.arrays,
+            "state {who}: memory diverged from model"
+        );
+        assert_eq!(
+            s.path.to_vec(),
+            self.path,
+            "state {who}: path diverged from model"
+        );
+        assert_eq!(
+            s.trace.to_vec(),
+            self.trace,
+            "state {who}: trace diverged from model"
+        );
+        for (k, v) in &self.proofs {
+            assert_eq!(
+                s.raw_proofs.get(k),
+                Some(v),
+                "state {who}: lost a proof entry"
+            );
+        }
+        assert_eq!(
+            s.raw_proofs.len(),
+            self.proofs.len(),
+            "state {who}: extra proof entries"
+        );
+    }
+}
+
+/// Randomized interleaving of forks and mutations across a growing family
+/// of states, checked against independently maintained deep-copy models.
+/// Any COW aliasing bug (a write through one handle visible through
+/// another) diverges a state from its model.
+#[test]
+fn randomized_fork_mutate_matches_deep_copy_model() {
+    const OBJS: u64 = 6;
+    const OPS: usize = 400;
+    const MAX_STATES: usize = 24;
+
+    let mut a = TermArena::new();
+    let root = fresh_state(&mut a, OBJS);
+    let root_model = Model::of(&root);
+    let mut family: Vec<(State, Model)> = vec![(root, root_model)];
+    let mut rng = Lcg(0x5eed_1234_abcd_0042);
+
+    for op in 0..OPS {
+        let i = (rng.next() as usize) % family.len();
+        match rng.next() % 5 {
+            0 if family.len() < MAX_STATES => {
+                // Fork: the child starts with an identical model.
+                let (s, m) = &family[i];
+                let child = s.fork();
+                let cm = m.clone();
+                family.push((child, cm));
+            }
+            1 => {
+                let (s, m) = &mut family[i];
+                let o = ObjectId((rng.next() % OBJS) as u32);
+                poke(&mut a, s, o, rng.next() % 8, (op & 0xff) as u8);
+                m.arrays[o.0 as usize] = s.mem.obj(o).array;
+            }
+            2 => {
+                let (s, m) = &mut family[i];
+                let t = a.var(&format!("c{op}"), Sort::Bool);
+                s.assume(t);
+                m.path.push(t);
+            }
+            3 => {
+                let (s, m) = &mut family[i];
+                let line = format!("bb{op}");
+                s.trace_step(line.clone());
+                m.trace.push(line);
+            }
+            _ => {
+                let (s, m) = &mut family[i];
+                let k1 = a.var(&format!("k{op}a"), Sort::Bool);
+                let k2 = a.var(&format!("k{op}b"), Sort::Bool);
+                let v = op % 2 == 0;
+                s.raw_proofs.insert((k1, k2), v);
+                m.proofs.push(((k1, k2), v));
+            }
+        }
+        // Every state must still match its own model after every op —
+        // this is where cross-handle leaks show up.
+        for (who, (s, m)) in family.iter().enumerate() {
+            m.check(s, who);
+        }
+    }
+    assert!(family.len() > 4, "fork op never fired; test is vacuous");
+}

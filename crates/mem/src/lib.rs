@@ -29,8 +29,7 @@
 //! integer arithmetic and falls back to the uninterpreted `tpot_bv2int`
 //! (with instantiated range facts) for opaque terms.
 
-use std::collections::HashMap;
-
+use tpot_persist::{CowMap, PVec};
 use tpot_smt::{FuncId, Kind, Sort, TermArena, TermId};
 
 /// Identifier of a memory object.
@@ -133,10 +132,16 @@ pub const HEAP_LO: i128 = 0x100_0000_0000;
 pub const HEAP_HI: i128 = 0x7fff_ffff_0000;
 
 /// The object store plus the layout constraints it has emitted.
+///
+/// `Memory` is cloned at every execution-state fork, so its bulky parts
+/// are persistent containers: `clone` bumps a handful of reference counts
+/// and the fork pays only for the objects it subsequently mutates
+/// ([`Memory::obj_mut`] copies exactly one object on first write).
 #[derive(Clone)]
 pub struct Memory {
     /// All objects ever created (dead ones included, for diagnostics).
-    pub objects: Vec<MemObject>,
+    /// Persistent: forks share every object until one of them writes it.
+    pub objects: PVec<MemObject>,
     /// Constraints the memory model itself requires (heap ordering, range
     /// bounds, bv2int axiom instantiations). The engine drains these into
     /// the path condition.
@@ -146,12 +151,12 @@ pub struct Memory {
     global_bump: u64,
     stack_bump: u64,
     heap_counter: u32,
-    by_global_name: HashMap<String, ObjectId>,
+    by_global_name: CowMap<String, ObjectId>,
     /// The `tpot_bv2int` uninterpreted function.
     pub bv2int_func: FuncId,
     /// The `heap_safe` uninterpreted function (§4.2).
     pub heap_safe_func: FuncId,
-    b2i_cache: HashMap<TermId, TermId>,
+    b2i_cache: CowMap<TermId, TermId>,
     last_heap_end: Option<TermId>,
 }
 
@@ -161,16 +166,16 @@ impl Memory {
         let bv2int_func = arena.declare_func("tpot_bv2int", vec![Sort::BitVec(64)], Sort::Int);
         let heap_safe_func = arena.declare_func("heap_safe", vec![Sort::Int], Sort::Int);
         Memory {
-            objects: Vec::new(),
+            objects: PVec::new(),
             layout_constraints: Vec::new(),
             mode,
             global_bump: GLOBAL_BASE,
             stack_bump: STACK_BASE,
             heap_counter: 0,
-            by_global_name: HashMap::new(),
+            by_global_name: CowMap::new(),
             bv2int_func,
             heap_safe_func,
-            b2i_cache: HashMap::new(),
+            b2i_cache: CowMap::new(),
             last_heap_end: None,
         }
     }
@@ -192,9 +197,11 @@ impl Memory {
         &self.objects[id.0 as usize]
     }
 
-    /// Mutable object access.
+    /// Mutable object access. Copy-on-write: if the object is still shared
+    /// with a forked sibling state, that *one* object is cloned here — the
+    /// rest of the store stays shared.
     pub fn obj_mut(&mut self, id: ObjectId) -> &mut MemObject {
-        &mut self.objects[id.0 as usize]
+        self.objects.get_mut(id.0 as usize)
     }
 
     /// The object backing a global, if allocated.
@@ -208,6 +215,19 @@ impl Memory {
             .iter()
             .find(|o| o.live() && o.name.as_deref() == Some(name))
             .map(|o| o.id)
+    }
+
+    /// Estimated bytes a fork shares with its parent through this memory's
+    /// persistent containers (what a deep clone would copy). Computed from
+    /// container lengths only — O(1), feeds fork-cost accounting.
+    pub fn approx_shared_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        // Name strings and marker vectors are approximated by a fixed
+        // per-object overhead.
+        const OBJ_EST: u64 = size_of::<MemObject>() as u64 + 64;
+        self.objects.len() as u64 * OBJ_EST
+            + self.by_global_name.len() as u64 * (size_of::<(String, ObjectId)>() as u64 + 24)
+            + (self.b2i_cache.len() * size_of::<(TermId, TermId)>()) as u64
     }
 
     /// Ids of all live objects.

@@ -1,0 +1,213 @@
+//! Copy-on-write hash map and set.
+
+use std::borrow::Borrow;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A hash map behind one `Arc`: `clone` is O(1); the first mutation after
+/// a clone copies the whole table once (`Arc::make_mut`), after which
+/// mutations are ordinary hash-map operations.
+///
+/// Backs the engine's per-path proof/hint caches (read-after-write proofs,
+/// constant offsets, resolution hints): forks inherit the parent's cache
+/// for free and pay only when they *learn* something new on their own
+/// path.
+pub struct CowMap<K, V> {
+    table: Arc<HashMap<K, V>>,
+}
+
+impl<K, V> CowMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        CowMap {
+            table: Arc::new(HashMap::new()),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// True if `self` and `other` share the same table allocation.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.table, &other.table)
+    }
+}
+
+impl<K: Eq + Hash, V> CowMap<K, V> {
+    /// Looks up a key.
+    pub fn get<Q>(&self, k: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.table.get(k)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key<Q>(&self, k: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.table.contains_key(k)
+    }
+
+    /// Iterates over `(key, value)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.table.iter()
+    }
+
+    /// Iterates over the values (arbitrary order).
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.table.values()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> CowMap<K, V> {
+    /// Inserts a key/value pair, copying the table first if shared.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        Arc::make_mut(&mut self.table).insert(k, v)
+    }
+
+    /// Removes every entry. Cheap when the table was shared (drops the
+    /// reference instead of copying).
+    pub fn clear(&mut self) {
+        if self.table.is_empty() {
+            return;
+        }
+        self.table = Arc::new(HashMap::new());
+    }
+}
+
+impl<K, V> Clone for CowMap<K, V> {
+    fn clone(&self) -> Self {
+        CowMap {
+            table: Arc::clone(&self.table),
+        }
+    }
+}
+
+impl<K, V> Default for CowMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: std::fmt::Debug, V: std::fmt::Debug> std::fmt::Debug for CowMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.table.iter()).finish()
+    }
+}
+
+/// A hash set behind one `Arc`, with the same copy-on-write behavior as
+/// [`CowMap`].
+pub struct CowSet<T> {
+    table: Arc<HashSet<T>>,
+}
+
+impl<T> CowSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        CowSet {
+            table: Arc::new(HashSet::new()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// True if `self` and `other` share the same table allocation.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.table, &other.table)
+    }
+}
+
+impl<T: Eq + Hash> CowSet<T> {
+    /// True if the value is present.
+    pub fn contains(&self, v: &T) -> bool {
+        self.table.contains(v)
+    }
+}
+
+impl<T: Eq + Hash + Clone> CowSet<T> {
+    /// Inserts a value, copying the table first if shared. Returns true if
+    /// the value was newly inserted.
+    pub fn insert(&mut self, v: T) -> bool {
+        Arc::make_mut(&mut self.table).insert(v)
+    }
+}
+
+impl<T> Clone for CowSet<T> {
+    fn clone(&self) -> Self {
+        CowSet {
+            table: Arc::clone(&self.table),
+        }
+    }
+}
+
+impl<T> Default for CowSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CowSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.table.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_cow_isolation() {
+        let mut a = CowMap::new();
+        a.insert("k", 1);
+        let mut b = a.clone();
+        assert!(a.ptr_eq(&b));
+        b.insert("k2", 2);
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.get(&"k2"), None, "parent must not see child insert");
+        assert_eq!(b.get(&"k"), Some(&1), "child inherits parent entries");
+    }
+
+    #[test]
+    fn map_clear_does_not_touch_sibling() {
+        let mut a = CowMap::new();
+        a.insert(1u32, 1u32);
+        let mut b = a.clone();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn set_cow_isolation() {
+        let mut a = CowSet::new();
+        assert!(a.insert(7));
+        assert!(!a.insert(7));
+        let mut b = a.clone();
+        assert!(b.insert(8));
+        assert!(a.contains(&7) && !a.contains(&8));
+        assert!(b.contains(&7) && b.contains(&8));
+    }
+}

@@ -1,0 +1,32 @@
+//! Arc-based persistent containers for copy-on-write execution states.
+//!
+//! The symbolic executor forks a state at every feasible branch, pointer
+//! resolution candidate, and error check. A deep `Clone` of the state
+//! (every memory object, every cache entry, every trace line) makes each
+//! fork O(state size); persistent, structurally shared containers make it
+//! O(1) pointer bumps instead, paying only for what a path actually
+//! *mutates* after the fork:
+//!
+//! - [`PVec`]: a persistent vector of `Arc`-boxed elements. `clone` is one
+//!   atomic increment; [`PVec::get_mut`] copies *one* element (plus, at
+//!   most once per fork, the spine of pointers).
+//! - [`CowMap`] / [`CowSet`]: copy-on-write hash map/set behind one `Arc`.
+//!   `clone` is one atomic increment; the first insert after a fork copies
+//!   the table once, later inserts are ordinary hash-map inserts.
+//! - [`ShareList`]: an append-only list whose clones share their common
+//!   prefix chunks forever. Pushing never copies inherited elements, so a
+//!   forked path extends its own path condition / trace / write log while
+//!   physically sharing everything recorded before the fork.
+//!
+//! All three are single-threaded value types (no locks); `Arc` is used for
+//! its cheap shared ownership and `make_mut` COW semantics, and keeps the
+//! containers `Send + Sync` so forked states can move across driver
+//! threads.
+
+mod cow;
+mod list;
+mod pvec;
+
+pub use cow::{CowMap, CowSet};
+pub use list::ShareList;
+pub use pvec::PVec;

@@ -1,0 +1,304 @@
+//! Append-only list with shared-tail structural sharing.
+
+use std::sync::Arc;
+
+/// An append-only list whose clones permanently share their common prefix.
+///
+/// Storage is a backwards-linked chain of *chunks*. A handle pushes into
+/// its head chunk in place while it is the chunk's unique owner; the
+/// moment the chunk is shared (another handle cloned the list, or the
+/// chunk became some handle's frozen prefix), the next push starts a
+/// fresh chunk instead. Elements recorded before a fork are therefore
+/// never copied or moved again — forked execution paths extend their own
+/// path condition, trace, or write log while physically sharing
+/// everything from before the fork.
+///
+/// `clone` is O(1). `push` is amortized O(1). [`ShareList::tail_from`] and
+/// iteration walk the chunk chain (O(chunks) + O(items yielded)).
+pub struct ShareList<T> {
+    head: Option<Arc<Chunk<T>>>,
+    len: usize,
+}
+
+struct Chunk<T> {
+    prev: Option<Arc<Chunk<T>>>,
+    /// Index of `items[0]` in the whole list.
+    start: usize,
+    items: Vec<T>,
+}
+
+impl<T> ShareList<T> {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        ShareList { head: None, len: 0 }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element.
+    ///
+    /// A chunk is mutated in place only while this handle is its unique
+    /// owner, so elements visible to any clone are immutable from the
+    /// clone's point of view.
+    pub fn push(&mut self, v: T) {
+        if let Some(head) = self.head.as_mut() {
+            if let Some(c) = Arc::get_mut(head) {
+                c.items.push(v);
+                self.len += 1;
+                return;
+            }
+        }
+        let prev = self.head.take();
+        self.head = Some(Arc::new(Chunk {
+            prev,
+            start: self.len,
+            items: vec![v],
+        }));
+        self.len += 1;
+    }
+
+    /// The chunks of this list, oldest first.
+    fn chunks(&self) -> Vec<&Chunk<T>> {
+        let mut out = Vec::new();
+        let mut cur = self.head.as_deref();
+        while let Some(c) = cur {
+            out.push(c);
+            cur = c.prev.as_deref();
+        }
+        out.reverse();
+        debug_assert_eq!(
+            self.len,
+            out.last().map(|c| c.start + c.items.len()).unwrap_or(0),
+            "chunk chain out of sync with len"
+        );
+        out
+    }
+
+    /// Iterates over the elements, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks().into_iter().flat_map(|c| c.items.iter())
+    }
+
+    /// The element at index `i`, or `None` out of bounds.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        let mut cur = self.head.as_deref();
+        while let Some(c) = cur {
+            if i >= c.start {
+                return c.items.get(i - c.start);
+            }
+            cur = c.prev.as_deref();
+        }
+        None
+    }
+
+    /// The number of storage chunks (diagnostic; sharing assertions).
+    pub fn chunk_count(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head.as_deref();
+        while let Some(c) = cur {
+            n += 1;
+            cur = c.prev.as_deref();
+        }
+        n
+    }
+
+    /// True if any storage chunk is physically shared between the two
+    /// lists — i.e. they descend from a common fork and still share their
+    /// prefix. Diagnostic helper for sharing assertions in tests.
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        let mut a = self.head.as_ref();
+        while let Some(ca) = a {
+            let mut b = other.head.as_ref();
+            while let Some(cb) = b {
+                if Arc::ptr_eq(ca, cb) {
+                    return true;
+                }
+                b = cb.prev.as_ref();
+            }
+            a = ca.prev.as_ref();
+        }
+        false
+    }
+}
+
+impl<T: Clone> ShareList<T> {
+    /// Copies the whole list into a `Vec`, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in self.chunks() {
+            out.extend(c.items.iter().cloned());
+        }
+        out
+    }
+
+    /// Copies the elements from index `from` (inclusive) to the end.
+    /// Equivalent to `self.to_vec()[from..].to_vec()` without copying the
+    /// shared prefix.
+    pub fn tail_from(&self, from: usize) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len.saturating_sub(from));
+        for c in self.chunks() {
+            if c.start + c.items.len() <= from {
+                continue;
+            }
+            let lo = from.saturating_sub(c.start);
+            out.extend(c.items[lo..].iter().cloned());
+        }
+        out
+    }
+}
+
+impl<T> Clone for ShareList<T> {
+    fn clone(&self) -> Self {
+        ShareList {
+            head: self.head.clone(),
+            len: self.len,
+        }
+    }
+}
+
+impl<T> Default for ShareList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FromIterator<T> for ShareList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let items: Vec<T> = iter.into_iter().collect();
+        if items.is_empty() {
+            return ShareList::new();
+        }
+        let len = items.len();
+        ShareList {
+            head: Some(Arc::new(Chunk {
+                prev: None,
+                start: 0,
+                items,
+            })),
+            len,
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for ShareList<T> {
+    fn from(items: Vec<T>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ShareList<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_iter_get() {
+        let mut l = ShareList::new();
+        assert!(l.is_empty());
+        for i in 0..100 {
+            l.push(i);
+        }
+        assert_eq!(l.len(), 100);
+        let v: Vec<i32> = l.iter().copied().collect();
+        assert_eq!(v, (0..100).collect::<Vec<_>>());
+        assert_eq!(l.get(0), Some(&0));
+        assert_eq!(l.get(99), Some(&99));
+        assert_eq!(l.get(100), None);
+        // All pushes while unique: one chunk.
+        assert_eq!(l.chunk_count(), 1);
+    }
+
+    #[test]
+    fn forks_share_prefix_and_diverge_independently() {
+        let mut parent: ShareList<String> = ShareList::new();
+        parent.push("a".into());
+        parent.push("b".into());
+        let mut child = parent.clone();
+        // Divergent pushes land in private chunks.
+        parent.push("p".into());
+        child.push("c".into());
+        assert_eq!(parent.to_vec(), vec!["a", "b", "p"]);
+        assert_eq!(child.to_vec(), vec!["a", "b", "c"]);
+        // The prefix chunk is physically shared, not copied.
+        assert!(parent.shares_storage_with(&child));
+        assert_eq!(parent.chunk_count(), 2);
+        assert_eq!(child.chunk_count(), 2);
+    }
+
+    #[test]
+    fn tail_from_spans_chunks() {
+        let mut l = ShareList::new();
+        l.push(0);
+        l.push(1);
+        let mut m = l.clone(); // freeze chunk 0
+        for i in 2..6 {
+            m.push(i);
+        }
+        let _ = &l;
+        assert_eq!(m.tail_from(0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(m.tail_from(1), vec![1, 2, 3, 4, 5]);
+        assert_eq!(m.tail_from(2), vec![2, 3, 4, 5]);
+        assert_eq!(m.tail_from(5), vec![5]);
+        assert_eq!(m.tail_from(6), Vec::<i32>::new());
+        assert_eq!(m.tail_from(99), Vec::<i32>::new());
+    }
+
+    /// Model-based property test: random interleavings of push/clone over
+    /// a family of handles always agree with plain `Vec` semantics.
+    #[test]
+    fn random_push_clone_matches_vec_model() {
+        // Deterministic LCG; no external RNG crates in this workspace.
+        let mut seed: u64 = 0x9e3779b97f4a7c15;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        let mut lists: Vec<ShareList<u64>> = vec![ShareList::new()];
+        let mut models: Vec<Vec<u64>> = vec![Vec::new()];
+        for step in 0..2000 {
+            let i = rng() % lists.len();
+            match rng() % 4 {
+                // Push to a random handle (3x more likely than clone).
+                0 | 1 | 2 => {
+                    lists[i].push(step as u64);
+                    models[i].push(step as u64);
+                }
+                _ => {
+                    if lists.len() < 16 {
+                        lists.push(lists[i].clone());
+                        models.push(models[i].clone());
+                    } else {
+                        // Replace one handle to also exercise drops.
+                        let j = rng() % lists.len();
+                        lists[j] = lists[i].clone();
+                        models[j] = models[i].clone();
+                    }
+                }
+            }
+        }
+        for (l, m) in lists.iter().zip(models.iter()) {
+            assert_eq!(l.len(), m.len());
+            assert_eq!(&l.to_vec(), m);
+            let cut = if m.is_empty() { 0 } else { m.len() / 2 };
+            assert_eq!(l.tail_from(cut), m[cut..].to_vec());
+        }
+    }
+}

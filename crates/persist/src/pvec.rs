@@ -1,0 +1,171 @@
+//! Persistent vector with per-element copy-on-write.
+
+use std::sync::Arc;
+
+/// A persistent vector of `Arc`-boxed elements.
+///
+/// `clone` is O(1) (one atomic increment on the spine). Reads are O(1).
+/// [`PVec::get_mut`] is the copy-on-write mutation path: it clones the
+/// spine (a `Vec` of pointers — one atomic increment per element) the
+/// first time a shared handle mutates, and deep-clones only the *one*
+/// element being written if that element is still shared with another
+/// handle. A fork that touches k of n elements therefore copies k
+/// elements, not n.
+pub struct PVec<T> {
+    spine: Arc<Vec<Arc<T>>>,
+}
+
+impl<T> PVec<T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        PVec {
+            spine: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.spine.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.spine.is_empty()
+    }
+
+    /// The element at `i`, or `None` out of bounds.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.spine.get(i).map(|a| &**a)
+    }
+
+    /// Iterates over the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.spine.iter().map(|a| &**a)
+    }
+
+    /// True if `self` and `other` share the same spine allocation (no
+    /// element has been copied between them). Diagnostic helper for
+    /// sharing assertions in tests.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.spine, &other.spine)
+    }
+
+    /// True if element `i` is physically shared with `other`'s element `i`.
+    pub fn element_shared(&self, other: &Self, i: usize) -> bool {
+        match (self.spine.get(i), other.spine.get(i)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl<T: Clone> PVec<T> {
+    /// Appends an element.
+    pub fn push(&mut self, v: T) {
+        Arc::make_mut(&mut self.spine).push(Arc::new(v));
+    }
+
+    /// Mutable access to element `i`, copying it first if shared.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        let spine = Arc::make_mut(&mut self.spine);
+        Arc::make_mut(&mut spine[i])
+    }
+}
+
+impl<T> Clone for PVec<T> {
+    fn clone(&self) -> Self {
+        PVec {
+            spine: Arc::clone(&self.spine),
+        }
+    }
+}
+
+impl<T> Default for PVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::ops::Index<usize> for PVec<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.spine[i]
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, Arc<T>>, fn(&'a Arc<T>) -> &'a T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.spine.iter().map(|a| &**a)
+    }
+}
+
+impl<T: Clone> FromIterator<T> for PVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        PVec {
+            spine: Arc::new(iter.into_iter().map(Arc::new).collect()),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for PVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_iter() {
+        let mut v = PVec::new();
+        assert!(v.is_empty());
+        v.push(10);
+        v.push(20);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 10);
+        assert_eq!(v.get(1), Some(&20));
+        assert_eq!(v.get(2), None);
+        let all: Vec<i32> = v.iter().copied().collect();
+        assert_eq!(all, vec![10, 20]);
+    }
+
+    #[test]
+    fn clone_shares_spine_until_mutation() {
+        let mut a = PVec::new();
+        for i in 0..10 {
+            a.push(i);
+        }
+        let b = a.clone();
+        assert!(a.ptr_eq(&b), "clone must share the spine");
+        // Mutating one element splits the spine but copies only that
+        // element; all others remain physically shared.
+        *a.get_mut(3) = 99;
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a[3], 99);
+        assert_eq!(b[3], 3, "clone unaffected");
+        for i in 0..10 {
+            if i != 3 {
+                assert!(a.element_shared(&b, i), "element {i} must stay shared");
+            }
+        }
+        assert!(!a.element_shared(&b, 3));
+    }
+
+    #[test]
+    fn push_after_clone_does_not_leak() {
+        let mut a: PVec<String> = PVec::new();
+        a.push("x".into());
+        let mut b = a.clone();
+        b.push("y".into());
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert!(a.element_shared(&b, 0));
+    }
+}

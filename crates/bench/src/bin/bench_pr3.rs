@@ -1,0 +1,115 @@
+//! PR3 harness: deep differential-fuzz run over the solver stack and the
+//! symbolic engine (see DESIGN.md §5).
+//!
+//! Runs every fuzz mode (grounded brute-force differential, slice-vs-full,
+//! LIA-vs-BV, metamorphic, state fork-vs-replay) at a fixed seed and
+//! records per-mode iteration and discrepancy counts. The run must end
+//! with zero discrepancies; any repro files are written to `fuzz-failures/`.
+//!
+//! Usage: `bench_pr3 [--smoke] [--iters N] [--seed S] [--out PATH]`
+//! (default: 10000 iterations, seed 42, BENCH_PR3.json; `--smoke` drops to
+//! 1000 iterations for CI.)
+
+use std::process::exit;
+
+use tpot_fuzz::runner::{report_json, run, RunConfig};
+
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut iters: u64 = 10_000;
+    let mut seed: u64 = 42;
+    let mut out = String::from("BENCH_PR3.json");
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => iters = v,
+                None => {
+                    eprintln!("--iters needs a number");
+                    exit(2);
+                }
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed needs a number");
+                    exit(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => {
+                    eprintln!("--out needs a path");
+                    exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench_pr3 [--smoke] [--iters N] [--seed S] [--out PATH]");
+                exit(2);
+            }
+        }
+    }
+    if smoke {
+        iters = iters.min(1000);
+    }
+
+    eprintln!("bench_pr3: {iters} iterations, seed {seed}");
+    let cfg = RunConfig::new(iters, seed);
+    let report = run(&cfg);
+
+    for (m, s) in &report.stats {
+        eprintln!(
+            "  {:<12} runs {:>6}  sat {:>6}  unsat {:>6}  skipped {:>4}  discrepancies {}",
+            m.name(),
+            s.runs,
+            s.sat,
+            s.unsat,
+            s.skipped,
+            s.discrepancies
+        );
+    }
+
+    let extra = [
+        ("smoke", smoke.to_string()),
+        ("peak_rss_kb", peak_rss_kb().to_string()),
+        (
+            "iters_per_sec",
+            format!(
+                "{:.1}",
+                report.iters as f64 / (report.elapsed_ms / 1000.0).max(1e-9)
+            ),
+        ),
+    ];
+    let json = report_json(&report, &extra);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    }
+    eprintln!("wrote {out}");
+
+    let total = report.total_discrepancies();
+    if total > 0 {
+        eprintln!("bench_pr3: {total} discrepancies (repros under fuzz-failures/)");
+        exit(1);
+    }
+    eprintln!(
+        "bench_pr3: OK ({} iterations, {:.1} s, 0 discrepancies)",
+        report.iters,
+        report.elapsed_ms / 1000.0
+    );
+}

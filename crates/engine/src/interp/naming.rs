@@ -166,9 +166,16 @@ impl<'m> ExecCtx<'m> {
 
     /// Checks a `forall_elem` universally by skolemization (§4.3 /
     /// appendix A.2: "executes the body … with a fresh k").
+    ///
+    /// The skolem index is assumed to lie within the attached array: assume
+    /// mode only ever instantiates the condition at in-object reads, so the
+    /// universal fact consumers rely on ranges over the array's elements and
+    /// nothing beyond. Without the bound, conditions that dereference their
+    /// element pointer unconditionally (e.g. Komodo's `pagedb_entry_ok`)
+    /// fail spuriously with out-of-range skolem values.
     pub(super) fn forall_check(
         &mut self,
-        mut s: State,
+        s: State,
         dst: Option<(u32, u32)>,
         args: &[IrArg],
     ) -> Result<Vec<State>, EngineError> {
@@ -184,17 +191,31 @@ impl<'m> ExecCtx<'m> {
             .collect::<Result<_, _>>()?;
         let elem_size = ty.size(&self.module.layouts).max(1);
         let k = self.arena.fresh_var("forall!k", Sort::BitVec(64));
-        let call_args = self.marker_call_args(&s, &f, arr, k, elem_size, &extras)?;
-        s.frame_mut().pending.push_back(Pending::CallBool {
-            func: f,
-            args: call_args,
-            cont: RetCont::CheckTrue("forall_elem assertion".into()),
-        });
-        if let Some((reg, _)) = dst {
-            let one = self.arena.bv_const(8, 1);
-            s.set_reg(reg, one);
+        let resolved = self.resolve(s, arr, 1, "forall_elem")?;
+        let mut out = Vec::new();
+        for (mut st, r) in resolved {
+            let Some((obj, _idx)) = r else {
+                out.push(st);
+                continue;
+            };
+            if let Some(size) = st.mem.obj(obj).size_concrete {
+                let n = self.arena.bv64(size / elem_size);
+                let in_range = self.arena.bv_ult(k, n);
+                st.assume(in_range);
+            }
+            let call_args = self.marker_call_args(&st, &f, arr, k, elem_size, &extras)?;
+            st.frame_mut().pending.push_back(Pending::CallBool {
+                func: f.clone(),
+                args: call_args,
+                cont: RetCont::CheckTrue("forall_elem assertion".into()),
+            });
+            if let Some((reg, _)) = dst {
+                let one = self.arena.bv_const(8, 1);
+                st.set_reg(reg, one);
+            }
+            out.push(st);
         }
-        Ok(vec![s])
+        Ok(out)
     }
 
     /// Builds the argument list for a `forall_elem` condition function from

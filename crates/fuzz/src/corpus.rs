@@ -1,0 +1,85 @@
+//! Regression-corpus generation: reduced, verdict-labelled SMT-LIB cases
+//! harvested from the grounded generator. `crates/solver/tests/corpus/`
+//! holds the committed output; its test re-checks every case's `; expect:`
+//! verdict against both the solver and (where enumerable) brute force.
+
+use std::path::{Path, PathBuf};
+
+use tpot_smt::subst::dag_size;
+use tpot_smt::TermArena;
+
+use crate::diff::solve;
+use crate::gen::{GenConfig, TermGen};
+use crate::oracle::{brute_force, Verdict};
+use crate::reduce::{reduce, write_repro};
+use crate::rng::Rng;
+use crate::runner::BRUTE_CAP;
+use tpot_solver::SmtResult;
+
+fn verdict(arena: &TermArena, asserts: &[tpot_smt::TermId]) -> Option<Verdict> {
+    let mut work = arena.clone();
+    match solve(&mut work, asserts).ok()? {
+        SmtResult::Sat(_) => Some(Verdict::Sat),
+        SmtResult::Unsat => Some(Verdict::Unsat),
+        SmtResult::Unknown => None,
+    }
+}
+
+/// Writes `count` reduced cases (balanced between sat and unsat as far as
+/// the stream allows) to `dir`, each prefixed with `; expect: sat|unsat`.
+/// Every case is cross-checked solver-vs-brute before being written; a
+/// disagreement would be a finding, not a corpus entry.
+pub fn make_corpus(seed: u64, count: usize, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut written = Vec::new();
+    let (mut n_sat, mut n_unsat) = (0usize, 0usize);
+    let want_each = count.div_ceil(2);
+    let mut iter = 0u64;
+    while written.len() < count && iter < 10_000 {
+        let mut rng = Rng::for_iteration(seed, iter);
+        iter += 1;
+        let mut arena = TermArena::new();
+        let cfg = GenConfig::grounded();
+        let mut g = TermGen::new(&mut arena, &cfg);
+        let q = g.generate(&mut rng);
+        let Some(v) = verdict(&arena, &q.assertions) else {
+            continue;
+        };
+        let Some(brute) = brute_force(&arena, &q.assertions, &q.domains, BRUTE_CAP) else {
+            continue;
+        };
+        if brute.verdict != v {
+            // A real discrepancy: leave it to the fuzzing run to report.
+            continue;
+        }
+        match v {
+            Verdict::Sat if n_sat >= want_each && n_unsat < want_each => continue,
+            Verdict::Unsat if n_unsat >= want_each && n_sat < want_each => continue,
+            _ => {}
+        }
+
+        let split = cfg.n_assertions.min(q.assertions.len());
+        let (payload, pinned) = q.assertions.split_at(split);
+        let (small, roots) = reduce(&arena, payload, pinned, |ar, cand| {
+            // Verdict-preserving shrink that refuses to go trivial: the
+            // committed case must still exercise the solver.
+            verdict(ar, cand) == Some(v) && cand.iter().take(split).any(|&t| dag_size(ar, t) > 1)
+        });
+
+        let label = match v {
+            Verdict::Sat => "sat",
+            Verdict::Unsat => "unsat",
+        };
+        let name = format!("case{:02}_{label}", written.len());
+        let header = vec![
+            format!("expect: {label}"),
+            format!("reduced fuzz corpus (seed {seed}, iteration {})", iter - 1),
+        ];
+        let path = write_repro(dir, &name, &small, &roots, &header)?;
+        written.push(path);
+        match v {
+            Verdict::Sat => n_sat += 1,
+            Verdict::Unsat => n_unsat += 1,
+        }
+    }
+    Ok(written)
+}

@@ -1,0 +1,147 @@
+//! Differential harnesses. Each one runs a query through two (or three)
+//! independently implemented semantics and returns `Err(detail)` on any
+//! verdict or model-validation disagreement; the runner turns that into a
+//! reduced repro.
+
+use tpot_smt::{print::to_smtlib, TermArena, TermId};
+use tpot_solver::{SmtResult, SmtSolver, SolverConfig};
+
+use crate::gen::{Domain, PairedQuery};
+use crate::oracle::{brute_force, model_satisfies, Verdict};
+
+/// Per-harness outcome counted by the runner. `Skipped` covers boxes over
+/// the enumeration cap and solver `Unknown`s (recorded, never silently
+/// dropped); everything else is a definite agreement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Agreement {
+    Sat,
+    Unsat,
+    Skipped,
+}
+
+pub fn solve(arena: &mut TermArena, assertions: &[TermId]) -> Result<SmtResult, String> {
+    let solver = SmtSolver::new(SolverConfig::default());
+    solver
+        .check(arena, assertions)
+        .map_err(|e| format!("solver error: {e}"))
+}
+
+fn verdict_of(r: &SmtResult) -> Option<Verdict> {
+    match r {
+        SmtResult::Sat(_) => Some(Verdict::Sat),
+        SmtResult::Unsat => Some(Verdict::Unsat),
+        SmtResult::Unknown => None,
+    }
+}
+
+/// DPLL(T) solver vs exhaustive enumeration on an enumerable query.
+/// Also validates any solver model against `eval` — a solver that answers
+/// "sat" for the right reason with a wrong witness is still broken.
+pub fn solver_vs_brute(
+    arena: &mut TermArena,
+    assertions: &[TermId],
+    domains: &[(String, Domain)],
+    cap: u64,
+) -> Result<Agreement, String> {
+    let Some(brute) = brute_force(arena, assertions, domains, cap) else {
+        return Ok(Agreement::Skipped);
+    };
+    let res = solve(arena, assertions)?;
+    let Some(v) = verdict_of(&res) else {
+        return Ok(Agreement::Skipped);
+    };
+    if v != brute.verdict {
+        return Err(format!(
+            "solver says {v:?} but brute force over {} assignments says {:?}",
+            brute.assignments_tried, brute.verdict
+        ));
+    }
+    if let SmtResult::Sat(m) = &res {
+        if let Err(i) = model_satisfies(arena, m, assertions) {
+            return Err(format!(
+                "solver model does not satisfy assertion #{i} under eval"
+            ));
+        }
+    }
+    Ok(match v {
+        Verdict::Sat => Agreement::Sat,
+        Verdict::Unsat => Agreement::Unsat,
+    })
+}
+
+/// Cone-of-influence slicing must be invisible: the sliced arena prints the
+/// same SMT-LIB text, and solving the slice gives the same verdict (with a
+/// valid model) as solving in the original arena.
+pub fn sliced_vs_full(arena: &mut TermArena, assertions: &[TermId]) -> Result<Agreement, String> {
+    let (mut sliced, roots) = arena.slice(assertions);
+    let full_text = to_smtlib(arena, assertions);
+    let sliced_text = to_smtlib(&sliced, &roots);
+    if full_text != sliced_text {
+        return Err("sliced arena prints different SMT-LIB than full arena".to_string());
+    }
+
+    let full_res = solve(arena, assertions)?;
+    let sliced_res = solve(&mut sliced, &roots)?;
+    let (fv, sv) = (verdict_of(&full_res), verdict_of(&sliced_res));
+    match (fv, sv) {
+        (Some(a), Some(b)) if a != b => {
+            return Err(format!("full arena says {a:?} but sliced arena says {b:?}"))
+        }
+        (None, _) | (_, None) => return Ok(Agreement::Skipped),
+        _ => {}
+    }
+    if let SmtResult::Sat(m) = &full_res {
+        if let Err(i) = model_satisfies(arena, m, assertions) {
+            return Err(format!("full-arena model fails assertion #{i} under eval"));
+        }
+    }
+    if let SmtResult::Sat(m) = &sliced_res {
+        if let Err(i) = model_satisfies(&sliced, m, &roots) {
+            return Err(format!(
+                "sliced-arena model fails assertion #{i} under eval"
+            ));
+        }
+    }
+    Ok(match fv.unwrap() {
+        Verdict::Sat => Agreement::Sat,
+        Verdict::Unsat => Agreement::Unsat,
+    })
+}
+
+/// Simplex (LIA path) vs bit-blasting on structurally parallel queries
+/// that are equisatisfiable by construction (`gen::gen_paired`). On
+/// disagreement, brute force over the integer box adjudicates which
+/// encoding is lying.
+pub fn lia_vs_bv(arena: &mut TermArena, q: &PairedQuery, cap: u64) -> Result<Agreement, String> {
+    let int_res = solve(arena, &q.int_assertions)?;
+    let bv_res = solve(arena, &q.bv_assertions)?;
+    let (iv, bv) = (verdict_of(&int_res), verdict_of(&bv_res));
+    match (iv, bv) {
+        (Some(a), Some(b)) if a != b => {
+            let truth = brute_force(arena, &q.int_assertions, &q.domains, cap)
+                .map(|o| format!("{:?}", o.verdict))
+                .unwrap_or_else(|| "unadjudicated".to_string());
+            return Err(format!(
+                "LIA path says {a:?} but bit-blasting says {b:?} (brute force: {truth})"
+            ));
+        }
+        (None, _) | (_, None) => return Ok(Agreement::Skipped),
+        _ => {}
+    }
+    if let SmtResult::Sat(m) = &int_res {
+        if let Err(i) = model_satisfies(arena, m, &q.int_assertions) {
+            return Err(format!("LIA model fails int assertion #{i} under eval"));
+        }
+    }
+    if let SmtResult::Sat(m) = &bv_res {
+        if let Err(i) = model_satisfies(arena, m, &q.bv_assertions) {
+            return Err(format!(
+                "bit-blasted model fails bv assertion #{i} under eval"
+            ));
+        }
+    }
+    Ok(match iv.unwrap() {
+        Verdict::Sat => Agreement::Sat,
+        Verdict::Unsat => Agreement::Unsat,
+    })
+}

@@ -1,0 +1,607 @@
+//! Seeded random query generation over the engine's exact term fragment:
+//! quantifier-free bool + bitvectors + linear integer arithmetic + arrays +
+//! uninterpreted functions, built through `TermArena`'s hash-consing
+//! builders (so generated queries hit the same folding/peephole paths the
+//! symbolic executor does, not an idealized AST).
+//!
+//! Two generators live here:
+//!
+//! * [`TermGen`] — free-form queries. In *grounded* configurations every
+//!   integer variable gets explicit range-bound assertions, which makes the
+//!   query's satisfiability decidable by exhaustive enumeration
+//!   (`crate::oracle::brute_force`) and turns `tpot_smt::eval` into a
+//!   ground-truth oracle for the whole solver stack.
+//! * [`gen_paired`] — structurally parallel LIA / wide-bitvector query
+//!   pairs with bounds that provably exclude overflow, so the simplex path
+//!   and the bit-blasting path must agree on the verdict.
+
+use tpot_smt::{FuncId, Sort, TermArena, TermId};
+
+use crate::rng::Rng;
+
+/// Finite domain of one variable, for brute-force enumeration.
+#[derive(Clone, Copy, Debug)]
+pub enum Domain {
+    Bool,
+    Bv(u32),
+    Int(i64, i64),
+}
+
+impl Domain {
+    pub fn size(&self) -> u64 {
+        match *self {
+            Domain::Bool => 2,
+            Domain::Bv(w) => 1u64 << w.min(63),
+            Domain::Int(lo, hi) => (hi - lo + 1) as u64,
+        }
+    }
+}
+
+/// A generated query: assertions plus the enumerable variable domains
+/// (empty for configurations with arrays/UFs, which brute force skips).
+pub struct GenQuery {
+    pub assertions: Vec<TermId>,
+    pub domains: Vec<(String, Domain)>,
+}
+
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    pub max_depth: u32,
+    pub n_bool_vars: usize,
+    pub n_bv_vars: usize,
+    pub n_int_vars: usize,
+    pub bv_width: u32,
+    pub int_lo: i64,
+    pub int_hi: i64,
+    pub n_assertions: usize,
+    pub arrays: bool,
+    pub ufs: bool,
+}
+
+impl GenConfig {
+    /// Small, fully enumerable fragment: the brute-force oracle is exact.
+    /// Domain product: 2^2 * 16^2 * 4 = 4096 assignments.
+    pub fn grounded() -> Self {
+        GenConfig {
+            max_depth: 4,
+            n_bool_vars: 2,
+            n_bv_vars: 2,
+            n_int_vars: 1,
+            bv_width: 4,
+            int_lo: 0,
+            int_hi: 3,
+            arrays: false,
+            ufs: false,
+            n_assertions: 3,
+        }
+    }
+
+    /// Full fragment (arrays + UFs, wider bitvectors); used by the
+    /// slice-vs-full and metamorphic harnesses, which need no enumeration.
+    pub fn full() -> Self {
+        GenConfig {
+            max_depth: 5,
+            n_bool_vars: 3,
+            n_bv_vars: 3,
+            n_int_vars: 2,
+            bv_width: 8,
+            int_lo: -4,
+            int_hi: 4,
+            arrays: true,
+            ufs: true,
+            n_assertions: 4,
+        }
+    }
+}
+
+pub struct TermGen<'a> {
+    arena: &'a mut TermArena,
+    cfg: GenConfig,
+    bool_vars: Vec<TermId>,
+    bv_vars: Vec<TermId>,
+    int_vars: Vec<TermId>,
+    arr_var: Option<TermId>,
+    f_bv: Option<FuncId>,
+    f_int: Option<FuncId>,
+}
+
+impl<'a> TermGen<'a> {
+    /// Declares the variable/function pools. Names are deterministic
+    /// (`fb0…`, `fv0…`, `fi0…`) so hash-consing makes repeated generation
+    /// from the same seed bit-identical.
+    pub fn new(arena: &'a mut TermArena, cfg: &GenConfig) -> Self {
+        let w = cfg.bv_width;
+        let bool_vars = (0..cfg.n_bool_vars)
+            .map(|i| arena.var(&format!("fb{i}"), Sort::Bool))
+            .collect();
+        let bv_vars = (0..cfg.n_bv_vars)
+            .map(|i| arena.var(&format!("fv{i}"), Sort::BitVec(w)))
+            .collect();
+        let int_vars = (0..cfg.n_int_vars)
+            .map(|i| arena.var(&format!("fi{i}"), Sort::Int))
+            .collect();
+        let arr_var = cfg.arrays.then(|| {
+            arena.var(
+                "fa0",
+                Sort::Array(Box::new(Sort::BitVec(w)), Box::new(Sort::BitVec(w))),
+            )
+        });
+        let f_bv = cfg
+            .ufs
+            .then(|| arena.declare_func("ffbv", vec![Sort::BitVec(w)], Sort::BitVec(w)));
+        let f_int = cfg
+            .ufs
+            .then(|| arena.declare_func("ffint", vec![Sort::Int], Sort::Int));
+        TermGen {
+            arena,
+            cfg: cfg.clone(),
+            bool_vars,
+            bv_vars,
+            int_vars,
+            arr_var,
+            f_bv,
+            f_int,
+        }
+    }
+
+    /// Generates a query: `n_assertions` random boolean assertions, plus —
+    /// when the configuration is enumerable (no arrays/UFs) — range-bound
+    /// assertions `lo <= x <= hi` for every integer variable, which is what
+    /// makes the brute-force box exact rather than an under-approximation.
+    pub fn generate(&mut self, rng: &mut Rng) -> GenQuery {
+        let mut assertions = Vec::new();
+        for _ in 0..self.cfg.n_assertions {
+            let t = self.gen_bool(rng, self.cfg.max_depth);
+            assertions.push(t);
+        }
+        let enumerable = !self.cfg.arrays && !self.cfg.ufs;
+        let mut domains = Vec::new();
+        if enumerable {
+            for &x in &self.int_vars.clone() {
+                let lo = self.arena.int_const(self.cfg.int_lo as i128);
+                let hi = self.arena.int_const(self.cfg.int_hi as i128);
+                assertions.push(self.arena.int_le(lo, x));
+                assertions.push(self.arena.int_le(x, hi));
+            }
+            for &v in &self.bool_vars {
+                domains.push((self.arena.var_name(v).to_string(), Domain::Bool));
+            }
+            for &v in &self.bv_vars {
+                domains.push((
+                    self.arena.var_name(v).to_string(),
+                    Domain::Bv(self.cfg.bv_width),
+                ));
+            }
+            for &v in &self.int_vars {
+                domains.push((
+                    self.arena.var_name(v).to_string(),
+                    Domain::Int(self.cfg.int_lo, self.cfg.int_hi),
+                ));
+            }
+        }
+        GenQuery {
+            assertions,
+            domains,
+        }
+    }
+
+    pub fn gen_bool(&mut self, rng: &mut Rng, depth: u32) -> TermId {
+        if depth == 0 {
+            return match rng.below(8) {
+                0 | 1 | 2 => *rng.pick(&self.bool_vars),
+                3 => self.arena.bool_const(rng.chance(1, 2)),
+                4 | 5 => {
+                    let a = self.gen_bv(rng, 0);
+                    let b = self.gen_bv(rng, 0);
+                    self.bv_cmp(rng, a, b)
+                }
+                _ if !self.int_vars.is_empty() => {
+                    let a = self.gen_int(rng, 0);
+                    let b = self.gen_int(rng, 0);
+                    self.int_cmp(rng, a, b)
+                }
+                _ => *rng.pick(&self.bool_vars),
+            };
+        }
+        let d = depth - 1;
+        match rng.below(12) {
+            0 => {
+                let a = self.gen_bool(rng, d);
+                self.arena.not(a)
+            }
+            1 | 2 => {
+                let n = 2 + rng.below(2) as usize;
+                let parts: Vec<TermId> = (0..n).map(|_| self.gen_bool(rng, d)).collect();
+                self.arena.and(&parts)
+            }
+            3 | 4 => {
+                let n = 2 + rng.below(2) as usize;
+                let parts: Vec<TermId> = (0..n).map(|_| self.gen_bool(rng, d)).collect();
+                self.arena.or(&parts)
+            }
+            5 => {
+                let a = self.gen_bool(rng, d);
+                let b = self.gen_bool(rng, d);
+                self.arena.xor(a, b)
+            }
+            6 => {
+                let a = self.gen_bool(rng, d);
+                let b = self.gen_bool(rng, d);
+                self.arena.implies(a, b)
+            }
+            7 => {
+                let c = self.gen_bool(rng, d);
+                let a = self.gen_bool(rng, d);
+                let b = self.gen_bool(rng, d);
+                self.arena.ite(c, a, b)
+            }
+            8 => {
+                let a = self.gen_bool(rng, d);
+                let b = self.gen_bool(rng, d);
+                self.arena.eq(a, b)
+            }
+            9 | 10 => {
+                let a = self.gen_bv(rng, d);
+                let b = self.gen_bv(rng, d);
+                if rng.chance(1, 3) {
+                    self.arena.eq(a, b)
+                } else {
+                    self.bv_cmp(rng, a, b)
+                }
+            }
+            _ => {
+                if self.int_vars.is_empty() {
+                    let a = self.gen_bv(rng, d);
+                    let b = self.gen_bv(rng, d);
+                    self.bv_cmp(rng, a, b)
+                } else {
+                    let a = self.gen_int(rng, d);
+                    let b = self.gen_int(rng, d);
+                    if rng.chance(1, 4) {
+                        self.arena.eq(a, b)
+                    } else {
+                        self.int_cmp(rng, a, b)
+                    }
+                }
+            }
+        }
+    }
+
+    fn bv_cmp(&mut self, rng: &mut Rng, a: TermId, b: TermId) -> TermId {
+        match rng.below(4) {
+            0 => self.arena.bv_ult(a, b),
+            1 => self.arena.bv_ule(a, b),
+            2 => self.arena.bv_slt(a, b),
+            _ => self.arena.bv_sle(a, b),
+        }
+    }
+
+    fn int_cmp(&mut self, rng: &mut Rng, a: TermId, b: TermId) -> TermId {
+        match rng.below(4) {
+            0 => self.arena.int_le(a, b),
+            1 => self.arena.int_lt(a, b),
+            2 => self.arena.int_ge(a, b),
+            _ => self.arena.int_gt(a, b),
+        }
+    }
+
+    pub fn gen_bv(&mut self, rng: &mut Rng, depth: u32) -> TermId {
+        let w = self.cfg.bv_width;
+        if depth == 0 {
+            return if rng.chance(2, 3) {
+                *rng.pick(&self.bv_vars)
+            } else {
+                let mask = if w >= 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << w) - 1
+                };
+                self.arena.bv_const(w, rng.next_u64() as u128 & mask)
+            };
+        }
+        let d = depth - 1;
+        match rng.below(16) {
+            0 | 1 => {
+                let a = self.gen_bv(rng, d);
+                let b = self.gen_bv(rng, d);
+                self.arena.bv_add(a, b)
+            }
+            2 => {
+                let a = self.gen_bv(rng, d);
+                let b = self.gen_bv(rng, d);
+                self.arena.bv_sub(a, b)
+            }
+            3 => {
+                let a = self.gen_bv(rng, d);
+                let b = self.gen_bv(rng, d);
+                self.arena.bv_mul(a, b)
+            }
+            4 => {
+                let a = self.gen_bv(rng, d);
+                let b = self.gen_bv(rng, d);
+                if rng.chance(1, 2) {
+                    self.arena.bv_udiv(a, b)
+                } else {
+                    self.arena.bv_urem(a, b)
+                }
+            }
+            5 => {
+                let a = self.gen_bv(rng, d);
+                let b = self.gen_bv(rng, d);
+                match rng.below(3) {
+                    0 => self.arena.bv_and(a, b),
+                    1 => self.arena.bv_or(a, b),
+                    _ => self.arena.bv_xor(a, b),
+                }
+            }
+            6 => {
+                let a = self.gen_bv(rng, d);
+                if rng.chance(1, 2) {
+                    self.arena.bv_not(a)
+                } else {
+                    self.arena.bv_neg(a)
+                }
+            }
+            7 => {
+                let a = self.gen_bv(rng, d);
+                // Shift by a small constant: symbolic shift amounts are
+                // legal but make brute-force-vs-solver cases explode in
+                // bit-blast size for no extra coverage.
+                let s = self.arena.bv_const(w, rng.below(w as u64) as u128);
+                match rng.below(3) {
+                    0 => self.arena.bv_shl(a, s),
+                    1 => self.arena.bv_lshr(a, s),
+                    _ => self.arena.bv_ashr(a, s),
+                }
+            }
+            8 => {
+                let c = self.gen_bool(rng, d);
+                let a = self.gen_bv(rng, d);
+                let b = self.gen_bv(rng, d);
+                self.arena.ite(c, a, b)
+            }
+            9 if w >= 2 => {
+                // Round-trip through extract + extension back to width w,
+                // exercising the extract/concat peepholes.
+                let a = self.gen_bv(rng, d);
+                let half = w / 2;
+                let low = self.arena.extract(a, half - 1, 0);
+                if rng.chance(1, 2) {
+                    self.arena.zero_ext(low, w - half)
+                } else {
+                    self.arena.sign_ext(low, w - half)
+                }
+            }
+            10 if w % 2 == 0 => {
+                let a = self.gen_bv(rng, d);
+                let b = self.gen_bv(rng, d);
+                let hi = self.arena.extract(a, w - 1, w / 2);
+                let lo = self.arena.extract(b, w / 2 - 1, 0);
+                self.arena.concat(hi, lo)
+            }
+            11 if self.arr_var.is_some() => {
+                let arr = self.gen_array(rng, d);
+                let idx = self.gen_bv(rng, d.min(1));
+                self.arena.select(arr, idx)
+            }
+            12 if self.f_bv.is_some() => {
+                let a = self.gen_bv(rng, d);
+                self.arena.apply(self.f_bv.unwrap(), vec![a])
+            }
+            _ => self.gen_bv(rng, 0),
+        }
+    }
+
+    /// Array terms are only ever variables or store-chains: the solver's
+    /// preprocessor (select-over-store rewriting) supports exactly
+    /// store/var/ite array skeletons, matching what the memory model emits.
+    fn gen_array(&mut self, rng: &mut Rng, depth: u32) -> TermId {
+        let base = self.arr_var.expect("arrays enabled");
+        if depth == 0 || rng.chance(1, 3) {
+            return base;
+        }
+        let arr = self.gen_array(rng, depth - 1);
+        let idx = self.gen_bv(rng, 1);
+        let val = self.gen_bv(rng, 1);
+        self.arena.store(arr, idx, val)
+    }
+
+    pub fn gen_int(&mut self, rng: &mut Rng, depth: u32) -> TermId {
+        if depth == 0 {
+            return if !self.int_vars.is_empty() && rng.chance(2, 3) {
+                *rng.pick(&self.int_vars)
+            } else {
+                self.arena.int_const(rng.range_i64(-8, 8) as i128)
+            };
+        }
+        let d = depth - 1;
+        match rng.below(8) {
+            0 | 1 => {
+                let n = 2 + rng.below(2) as usize;
+                let parts: Vec<TermId> = (0..n).map(|_| self.gen_int(rng, d)).collect();
+                self.arena.int_add(&parts)
+            }
+            2 => {
+                let a = self.gen_int(rng, d);
+                let b = self.gen_int(rng, d);
+                self.arena.int_sub(a, b)
+            }
+            3 => {
+                let a = self.gen_int(rng, d);
+                self.arena.int_neg(a)
+            }
+            4 => {
+                // LIA: multiplication only by constants.
+                let c = self.arena.int_const(rng.range_i64(-3, 3) as i128);
+                let a = self.gen_int(rng, d);
+                self.arena.int_mul(c, a)
+            }
+            5 => {
+                let c = self.gen_bool(rng, d);
+                let a = self.gen_int(rng, d);
+                let b = self.gen_int(rng, d);
+                self.arena.ite(c, a, b)
+            }
+            6 if self.f_int.is_some() => {
+                let a = self.gen_int(rng, d);
+                self.arena.apply(self.f_int.unwrap(), vec![a])
+            }
+            _ => self.gen_int(rng, 0),
+        }
+    }
+}
+
+/// A structurally parallel LIA / bitvector query pair. `int_assertions`
+/// and `bv_assertions` have identical boolean skeletons; integer variable
+/// `pi{k}` corresponds to 16-bit signed variable `pv{k}`, both constrained
+/// to `[0, bound]`. With expression depth ≤ 3 and leaf magnitudes ≤ 8 the
+/// worst-case intermediate magnitude is 8·3³ = 216 « 2¹⁵, so two's
+/// complement arithmetic never wraps and the two queries are
+/// equisatisfiable by construction.
+pub struct PairedQuery {
+    pub int_assertions: Vec<TermId>,
+    pub bv_assertions: Vec<TermId>,
+    pub domains: Vec<(String, Domain)>,
+}
+
+pub const PAIRED_WIDTH: u32 = 16;
+const PAIRED_BOUND: i64 = 7;
+const PAIRED_DEPTH: u32 = 3;
+
+struct PairedGen<'a> {
+    arena: &'a mut TermArena,
+    vars: Vec<(TermId, TermId)>,
+}
+
+impl<'a> PairedGen<'a> {
+    fn const_pair(&mut self, c: i64) -> (TermId, TermId) {
+        let i = self.arena.int_const(c as i128);
+        let b = self
+            .arena
+            .bv_const(PAIRED_WIDTH, (c as i128 as u128) & 0xffff);
+        (i, b)
+    }
+
+    fn expr(&mut self, rng: &mut Rng, depth: u32) -> (TermId, TermId) {
+        if depth == 0 {
+            return if rng.chance(2, 3) {
+                *rng.pick(&self.vars)
+            } else {
+                let c = rng.range_i64(-4, 8);
+                self.const_pair(c)
+            };
+        }
+        let d = depth - 1;
+        match rng.below(6) {
+            0 | 1 => {
+                let (ia, ba) = self.expr(rng, d);
+                let (ib, bb) = self.expr(rng, d);
+                (self.arena.int_add2(ia, ib), self.arena.bv_add(ba, bb))
+            }
+            2 => {
+                let (ia, ba) = self.expr(rng, d);
+                let (ib, bb) = self.expr(rng, d);
+                (self.arena.int_sub(ia, ib), self.arena.bv_sub(ba, bb))
+            }
+            3 => {
+                let (ia, ba) = self.expr(rng, d);
+                (self.arena.int_neg(ia), self.arena.bv_neg(ba))
+            }
+            4 => {
+                let c = rng.range_i64(-3, 3);
+                let (ci, cb) = self.const_pair(c);
+                let (ia, ba) = self.expr(rng, d);
+                (self.arena.int_mul(ci, ia), self.arena.bv_mul(cb, ba))
+            }
+            _ => {
+                let (ic, bc) = self.atom(rng, d);
+                let (ia, ba) = self.expr(rng, d);
+                let (ib, bb) = self.expr(rng, d);
+                (self.arena.ite(ic, ia, ib), self.arena.ite(bc, ba, bb))
+            }
+        }
+    }
+
+    fn atom(&mut self, rng: &mut Rng, depth: u32) -> (TermId, TermId) {
+        let (ia, ba) = self.expr(rng, depth);
+        let (ib, bb) = self.expr(rng, depth);
+        match rng.below(3) {
+            0 => (self.arena.int_le(ia, ib), self.arena.bv_sle(ba, bb)),
+            1 => (self.arena.int_lt(ia, ib), self.arena.bv_slt(ba, bb)),
+            _ => (self.arena.eq(ia, ib), self.arena.eq(ba, bb)),
+        }
+    }
+
+    fn formula(&mut self, rng: &mut Rng, depth: u32) -> (TermId, TermId) {
+        if depth == 0 {
+            return self.atom(rng, PAIRED_DEPTH.min(2));
+        }
+        let d = depth - 1;
+        match rng.below(5) {
+            0 => {
+                let (ia, ba) = self.formula(rng, d);
+                let (ib, bb) = self.formula(rng, d);
+                (self.arena.and2(ia, ib), self.arena.and2(ba, bb))
+            }
+            1 => {
+                let (ia, ba) = self.formula(rng, d);
+                let (ib, bb) = self.formula(rng, d);
+                (self.arena.or2(ia, ib), self.arena.or2(ba, bb))
+            }
+            2 => {
+                let (ia, ba) = self.formula(rng, d);
+                (self.arena.not(ia), self.arena.not(ba))
+            }
+            3 => {
+                let (ia, ba) = self.formula(rng, d);
+                let (ib, bb) = self.formula(rng, d);
+                (self.arena.implies(ia, ib), self.arena.implies(ba, bb))
+            }
+            _ => self.atom(rng, PAIRED_DEPTH.min(2)),
+        }
+    }
+}
+
+pub fn gen_paired(arena: &mut TermArena, rng: &mut Rng) -> PairedQuery {
+    let n_vars = 2 + rng.below(2) as usize;
+    let vars: Vec<(TermId, TermId)> = (0..n_vars)
+        .map(|k| {
+            let i = arena.var(&format!("pi{k}"), Sort::Int);
+            let b = arena.var(&format!("pv{k}"), Sort::BitVec(PAIRED_WIDTH));
+            (i, b)
+        })
+        .collect();
+    let mut g = PairedGen { arena, vars };
+
+    let mut int_assertions = Vec::new();
+    let mut bv_assertions = Vec::new();
+    let n_formulas = 1 + rng.below(2) as usize;
+    for _ in 0..n_formulas {
+        let (fi, fb) = g.formula(rng, 2);
+        int_assertions.push(fi);
+        bv_assertions.push(fb);
+    }
+
+    // Bounds 0 <= x <= PAIRED_BOUND on both sides. On the bitvector side
+    // the bounds are signed comparisons, which pins the sign bit to 0 and
+    // makes the signed 16-bit value literally equal to the integer.
+    let mut domains = Vec::new();
+    let (zero_i, zero_b) = g.const_pair(0);
+    let (bound_i, bound_b) = g.const_pair(PAIRED_BOUND);
+    for &(xi, xb) in &g.vars.clone() {
+        int_assertions.push(g.arena.int_le(zero_i, xi));
+        int_assertions.push(g.arena.int_le(xi, bound_i));
+        bv_assertions.push(g.arena.bv_sle(zero_b, xb));
+        bv_assertions.push(g.arena.bv_sle(xb, bound_b));
+        domains.push((
+            g.arena.var_name(xi).to_string(),
+            Domain::Int(0, PAIRED_BOUND),
+        ));
+    }
+
+    PairedQuery {
+        int_assertions,
+        bv_assertions,
+        domains,
+    }
+}

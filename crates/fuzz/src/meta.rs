@@ -1,0 +1,128 @@
+//! Metamorphic oracles: verdict-preserving transformations of a query.
+//! The solver must answer identically on the original and every variant.
+//!
+//! One honesty note, recorded here because it shaped the transformations:
+//! the arena's builders fold literal double negation (`not(not t)` hash-
+//! conses straight back to `t`), so "assert ¬¬t" is checked as a *builder
+//! identity* rather than as a solver variant, and the fold-resistant
+//! equivalents — xor-involution `(t ⊕ q) ⊕ q`, absorption `t ∧ (t ∨ q)`,
+//! and the case split `(¬q ∨ t) ∧ (q ∨ t)` — carry the actual metamorphic
+//! load.
+
+use tpot_smt::subst::{free_vars, substitute};
+use tpot_smt::{Sort, TermArena, TermId};
+use tpot_solver::SmtResult;
+
+use crate::diff::{solve, Agreement};
+use crate::rng::Rng;
+
+fn verdict_name(r: &SmtResult) -> &'static str {
+    match r {
+        SmtResult::Sat(_) => "sat",
+        SmtResult::Unsat => "unsat",
+        SmtResult::Unknown => "unknown",
+    }
+}
+
+/// Renames every free variable to a fresh name of the same sort via
+/// simultaneous substitution. Alpha-renaming cannot change satisfiability.
+pub fn rename_vars(arena: &mut TermArena, assertions: &[TermId]) -> Vec<TermId> {
+    let mut map = std::collections::HashMap::new();
+    for &a in assertions {
+        for v in free_vars(arena, a) {
+            if !map.contains_key(&v) {
+                let name = format!("mr_{}", arena.var_name(v));
+                let sort = arena.sort(v).clone();
+                let fresh = arena.var(&name, sort);
+                map.insert(v, fresh);
+            }
+        }
+    }
+    assertions
+        .iter()
+        .map(|&a| substitute(arena, a, &map))
+        .collect()
+}
+
+/// Wraps each assertion in a randomly chosen equivalence-preserving shape.
+/// `q` is a fresh boolean variable per assertion; since it is otherwise
+/// unconstrained, none of the wraps changes satisfiability.
+pub fn wrap_assertions(arena: &mut TermArena, assertions: &[TermId], rng: &mut Rng) -> Vec<TermId> {
+    assertions
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let q = arena.var(&format!("mw{i}"), Sort::Bool);
+            match rng.below(3) {
+                0 => {
+                    // xor-involution: (t ⊕ q) ⊕ q ≡ t.
+                    let x = arena.xor(t, q);
+                    arena.xor(x, q)
+                }
+                1 => {
+                    // absorption: t ∧ (t ∨ q) ≡ t.
+                    let o = arena.or2(t, q);
+                    arena.and2(t, o)
+                }
+                _ => {
+                    // case split on q: (¬q ∨ t) ∧ (q ∨ t) ≡ t.
+                    let nq = arena.not(q);
+                    let l = arena.or2(nq, t);
+                    let r = arena.or2(q, t);
+                    arena.and2(l, r)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs the base query and three metamorphic variants (shuffled assertion
+/// order, alpha-renamed variables, equivalence-wrapped assertions) and
+/// demands identical verdicts. Builder identities (double negation folds
+/// to the identity) are asserted inline for free.
+pub fn metamorphic(
+    arena: &mut TermArena,
+    assertions: &[TermId],
+    rng: &mut Rng,
+) -> Result<Agreement, String> {
+    for &t in assertions {
+        let n = arena.not(t);
+        let nn = arena.not(n);
+        if nn != t {
+            return Err("builder identity violated: not(not t) != t".to_string());
+        }
+    }
+
+    let base = solve(arena, assertions)?;
+    let base_v = verdict_name(&base);
+    if base_v == "unknown" {
+        return Ok(Agreement::Skipped);
+    }
+
+    let mut shuffled = assertions.to_vec();
+    rng.shuffle(&mut shuffled);
+    let renamed = rename_vars(arena, assertions);
+    let wrapped = wrap_assertions(arena, assertions, rng);
+
+    for (label, variant) in [
+        ("shuffled", shuffled),
+        ("renamed", renamed),
+        ("wrapped", wrapped),
+    ] {
+        let res = solve(arena, &variant)?;
+        let v = verdict_name(&res);
+        if v == "unknown" {
+            continue;
+        }
+        if v != base_v {
+            return Err(format!(
+                "metamorphic variant '{label}' says {v} but base query says {base_v}"
+            ));
+        }
+    }
+    Ok(if base_v == "sat" {
+        Agreement::Sat
+    } else {
+        Agreement::Unsat
+    })
+}

@@ -1,0 +1,101 @@
+//! Brute-force ground truth: exhaustive enumeration of every assignment in
+//! a finite variable box, evaluated with `tpot_smt::eval` — the one piece
+//! of semantics in the tree simple enough to audit by eye. Whatever the
+//! solver stack answers, it must agree with this on enumerable queries.
+
+use tpot_smt::{eval, Model, TermArena, TermId, Value};
+
+use crate::gen::Domain;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    Sat,
+    Unsat,
+}
+
+pub struct BruteOutcome {
+    pub verdict: Verdict,
+    /// A satisfying assignment, when one exists.
+    pub witness: Option<Model>,
+    pub assignments_tried: u64,
+}
+
+fn value_at(dom: &Domain, idx: u64) -> Value {
+    match *dom {
+        Domain::Bool => Value::Bool(idx != 0),
+        Domain::Bv(w) => Value::BitVec(w, idx as u128),
+        Domain::Int(lo, _) => Value::Int(lo as i128 + idx as i128),
+    }
+}
+
+/// Enumerates the full box. Returns `None` when the box exceeds `cap`
+/// assignments or an assertion fails to evaluate (the caller counts these
+/// as skips, not verdicts). The enumeration is exact for generator output:
+/// every integer variable carries range-bound assertions matching its
+/// declared domain, so no satisfying assignment can live outside the box.
+pub fn brute_force(
+    arena: &TermArena,
+    assertions: &[TermId],
+    domains: &[(String, Domain)],
+    cap: u64,
+) -> Option<BruteOutcome> {
+    let mut total: u64 = 1;
+    for (_, d) in domains {
+        total = total.checked_mul(d.size())?;
+        if total > cap {
+            return None;
+        }
+    }
+
+    let mut tried = 0u64;
+    for combo in 0..total {
+        let mut model = Model::new();
+        let mut rest = combo;
+        for (name, d) in domains {
+            let sz = d.size();
+            model.set_var(name, value_at(d, rest % sz));
+            rest /= sz;
+        }
+        tried += 1;
+        let mut all_true = true;
+        for &a in assertions {
+            match eval(arena, &model, a) {
+                Ok(Value::Bool(true)) => {}
+                Ok(_) => {
+                    all_true = false;
+                    break;
+                }
+                Err(_) => return None,
+            }
+        }
+        if all_true {
+            return Some(BruteOutcome {
+                verdict: Verdict::Sat,
+                witness: Some(model),
+                assignments_tried: tried,
+            });
+        }
+    }
+    Some(BruteOutcome {
+        verdict: Verdict::Unsat,
+        witness: None,
+        assignments_tried: tried,
+    })
+}
+
+/// Checks that `model` makes every assertion true under `eval`. Returns the
+/// first offending assertion's index on failure. Unbound variables default
+/// to zero inside `eval`, mirroring how the solver treats don't-cares.
+pub fn model_satisfies(
+    arena: &TermArena,
+    model: &Model,
+    assertions: &[TermId],
+) -> Result<(), usize> {
+    for (i, &a) in assertions.iter().enumerate() {
+        match eval(arena, model, a) {
+            Ok(Value::Bool(true)) => {}
+            _ => return Err(i),
+        }
+    }
+    Ok(())
+}

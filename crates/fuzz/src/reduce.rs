@@ -1,0 +1,129 @@
+//! Delta-debugging reducer: shrinks a failing query to a minimal SMT-LIB
+//! repro while preserving the failure (the classic ddmin contract — every
+//! reduction step re-runs the differential that disagreed).
+//!
+//! Two shrink dimensions, applied to fixpoint:
+//!  1. drop whole assertions;
+//!  2. replace an assertion by one of its own boolean-sorted proper
+//!     subterms (structure-directed shrinking — much faster to a minimal
+//!     core than bit-level mutations on a hash-consed DAG).
+//! The survivor set is then cone-of-influence sliced into a fresh arena so
+//! the repro file contains nothing but the reachable terms.
+
+use std::path::{Path, PathBuf};
+
+use tpot_smt::print::to_smtlib;
+use tpot_smt::{Sort, TermArena, TermId};
+
+/// Upper bound on predicate evaluations per reduction; each evaluation
+/// re-runs a solver differential, so this caps reducer cost on stubborn
+/// cases.
+const MAX_CHECKS: usize = 400;
+
+/// Collects boolean-sorted proper subterms of `t` (excluding `t` itself),
+/// deduplicated, in DFS order.
+fn bool_subterms(arena: &TermArena, t: TermId) -> Vec<TermId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut stack: Vec<TermId> = arena.term(t).args.clone();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        if *arena.sort(x) == Sort::Bool {
+            out.push(x);
+        }
+        stack.extend(arena.term(x).args.iter().copied());
+    }
+    out
+}
+
+/// Shrinks `payload` while `still_fails` keeps returning true, then slices
+/// the survivors into a minimal arena. `pinned` assertions are appended to
+/// every candidate and to the result but are never shrunk themselves —
+/// the grounded harness pins its integer range bounds there, because
+/// dropping a bound makes the brute-force box an under-approximation and
+/// would let the reducer "preserve" a disagreement that is no longer a
+/// bug. The predicate receives a candidate (arena, payload ++ pinned) and
+/// must be deterministic.
+pub fn reduce<F>(
+    arena: &TermArena,
+    payload: &[TermId],
+    pinned: &[TermId],
+    mut still_fails: F,
+) -> (TermArena, Vec<TermId>)
+where
+    F: FnMut(&TermArena, &[TermId]) -> bool,
+{
+    let with_pinned = |p: &[TermId]| -> Vec<TermId> {
+        let mut v = p.to_vec();
+        v.extend_from_slice(pinned);
+        v
+    };
+    let mut cur: Vec<TermId> = payload.to_vec();
+    let mut checks = 0usize;
+
+    // Phase 1: drop assertions to fixpoint.
+    let mut progress = true;
+    while progress && checks < MAX_CHECKS {
+        progress = false;
+        let mut i = 0;
+        while i < cur.len() && cur.len() > 1 && checks < MAX_CHECKS {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            checks += 1;
+            if still_fails(arena, &with_pinned(&cand)) {
+                cur = cand;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Phase 2: replace assertions by boolean subterms, to fixpoint.
+    progress = true;
+    while progress && checks < MAX_CHECKS {
+        progress = false;
+        for i in 0..cur.len() {
+            for sub in bool_subterms(arena, cur[i]) {
+                if checks >= MAX_CHECKS {
+                    break;
+                }
+                let mut cand = cur.clone();
+                cand[i] = sub;
+                checks += 1;
+                if still_fails(arena, &with_pinned(&cand)) {
+                    cur = cand;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    arena.slice(&with_pinned(&cur))
+}
+
+/// Writes a reduced repro as a standalone SMT-LIB file under `dir`,
+/// prefixed with comment lines describing the discrepancy and the
+/// `(seed, iteration, mode)` that reproduces it. Returns the path.
+pub fn write_repro(
+    dir: &Path,
+    name: &str,
+    arena: &TermArena,
+    assertions: &[TermId],
+    header_lines: &[String],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let mut text = String::new();
+    for l in header_lines {
+        text.push_str("; ");
+        text.push_str(l);
+        text.push('\n');
+    }
+    text.push_str(&to_smtlib(arena, assertions));
+    let path = dir.join(format!("{name}.smt2"));
+    std::fs::write(&path, text)?;
+    Ok(path)
+}

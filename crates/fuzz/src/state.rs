@@ -1,0 +1,160 @@
+//! Fork-then-merge state equivalence: a COW `State::fork` followed by a
+//! suffix of operations must be observationally identical to deep
+//! re-execution of the whole operation sequence in an independent world
+//! (fresh arena, fresh memory), and the parent must be left untouched.
+//!
+//! Operations are described arena-independently (object index, offset,
+//! byte, variable name, trace string) so the same script can be applied in
+//! two different arenas; observables are compared *printed*, which makes
+//! the comparison independent of TermId numbering while still being exact
+//! on structure.
+
+use tpot_engine::state::State;
+use tpot_mem::{AddrMode, Memory, ObjectId};
+use tpot_smt::print::term_to_string;
+use tpot_smt::{Sort, TermArena};
+
+use crate::rng::Rng;
+
+const N_GLOBALS: u64 = 4;
+const OBJ_SIZE: u64 = 8;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Write one byte at `(obj, off)`.
+    Poke { obj: u64, off: u64, val: u8 },
+    /// Strengthen the path condition with a named boolean variable.
+    Assume { name: String },
+    /// Append to the execution trace.
+    Trace { msg: String },
+    /// Mark an object freed.
+    Free { obj: u64 },
+}
+
+fn random_op(rng: &mut Rng, k: usize) -> Op {
+    match rng.below(8) {
+        0..=3 => Op::Poke {
+            obj: rng.below(N_GLOBALS),
+            off: rng.below(OBJ_SIZE),
+            val: rng.next_u64() as u8,
+        },
+        4 | 5 => Op::Assume {
+            name: format!("ac{k}"),
+        },
+        6 => Op::Trace {
+            msg: format!("step-{k}"),
+        },
+        _ => Op::Free {
+            obj: rng.below(N_GLOBALS),
+        },
+    }
+}
+
+fn fresh_state(arena: &mut TermArena) -> State {
+    let mut mem = Memory::new(arena, AddrMode::Int);
+    for i in 0..N_GLOBALS {
+        mem.alloc_global(arena, &format!("g{i}"), OBJ_SIZE);
+    }
+    State::new(mem)
+}
+
+fn apply(arena: &mut TermArena, s: &mut State, op: &Op) {
+    match op {
+        Op::Poke { obj, off, val } => {
+            let o = ObjectId(*obj as u32);
+            let base = s
+                .mem
+                .obj(o)
+                .concrete_base
+                .expect("global has concrete base");
+            let idx = s.mem.idx_const(arena, base + off);
+            let v = arena.bv_const(8, *val as u128);
+            s.mem.write_bytes(arena, o, idx, v, 1);
+        }
+        Op::Assume { name } => {
+            let c = arena.var(name, Sort::Bool);
+            s.assume(c);
+        }
+        Op::Trace { msg } => s.trace_step(msg.clone()),
+        Op::Free { obj } => {
+            s.mem.obj_mut(ObjectId(*obj as u32)).freed = true;
+        }
+    }
+}
+
+/// Everything a POT verdict can depend on, rendered arena-independently.
+#[derive(PartialEq, Eq, Debug)]
+struct Observables {
+    arrays: Vec<String>,
+    freed: Vec<bool>,
+    path: Vec<String>,
+    trace: Vec<String>,
+}
+
+fn observe(arena: &TermArena, s: &State) -> Observables {
+    Observables {
+        arrays: s
+            .mem
+            .objects
+            .iter()
+            .map(|o| term_to_string(arena, o.array))
+            .collect(),
+        freed: s.mem.objects.iter().map(|o| o.freed).collect(),
+        path: s
+            .path
+            .to_vec()
+            .iter()
+            .map(|&t| term_to_string(arena, t))
+            .collect(),
+        trace: s.trace.to_vec(),
+    }
+}
+
+/// One round: random prefix P and suffix S of operations.
+/// In world A: base ← P; child = base.fork(); child ← S.
+/// In world B (fresh arena + memory): replay ← P ++ S.
+/// Demands child ≡ replay (fork is semantically a deep copy) and that the
+/// parent still equals a world-B replay of P alone (no write-through).
+pub fn fork_vs_replay(rng: &mut Rng) -> Result<(), String> {
+    let n_prefix = rng.below(6) as usize;
+    let n_suffix = 1 + rng.below(6) as usize;
+    let prefix: Vec<Op> = (0..n_prefix).map(|k| random_op(rng, k)).collect();
+    let suffix: Vec<Op> = (0..n_suffix)
+        .map(|k| random_op(rng, n_prefix + k))
+        .collect();
+
+    // World A: COW fork.
+    let mut arena_a = TermArena::new();
+    let mut base = fresh_state(&mut arena_a);
+    for op in &prefix {
+        apply(&mut arena_a, &mut base, op);
+    }
+    let parent_snapshot = observe(&arena_a, &base);
+    let mut child = base.fork();
+    for op in &suffix {
+        apply(&mut arena_a, &mut child, op);
+    }
+    let child_obs = observe(&arena_a, &child);
+    let parent_obs = observe(&arena_a, &base);
+
+    if parent_obs != parent_snapshot {
+        return Err(format!(
+            "child mutations leaked into parent after fork:\n  before: {parent_snapshot:?}\n  after:  {parent_obs:?}"
+        ));
+    }
+
+    // World B: deep re-execution.
+    let mut arena_b = TermArena::new();
+    let mut replay = fresh_state(&mut arena_b);
+    for op in prefix.iter().chain(suffix.iter()) {
+        apply(&mut arena_b, &mut replay, op);
+    }
+    let replay_obs = observe(&arena_b, &replay);
+
+    if child_obs != replay_obs {
+        return Err(format!(
+            "forked child diverges from deep re-execution:\n  fork:   {child_obs:?}\n  replay: {replay_obs:?}"
+        ));
+    }
+    Ok(())
+}

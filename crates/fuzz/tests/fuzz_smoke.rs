@@ -1,0 +1,62 @@
+//! Fixed-seed smoke run of the differential fuzzer, wired into tier-1.
+//!
+//! A small deterministic slice of every mode runs on each `cargo test`;
+//! the deep run (`tpot-fuzz run --iters 10000` or `bench_pr3`) covers the
+//! long tail. Iteration count is budgeted for debug builds (~10–20 s).
+
+use tpot_fuzz::{run, Mode, RunConfig};
+
+#[test]
+fn fuzz_smoke_fixed_seed_finds_no_discrepancies() {
+    let mut cfg = RunConfig::new(250, 42);
+    cfg.write_repros = false; // never litter the repo from a test run
+    let report = run(&cfg);
+
+    let details: Vec<String> = report
+        .discrepancies
+        .iter()
+        .map(|d| format!("{} iter {}: {}", d.mode.name(), d.iter, d.detail))
+        .collect();
+    assert_eq!(
+        report.total_discrepancies(),
+        0,
+        "fuzz smoke found discrepancies: {details:?}"
+    );
+
+    let stats_for = |mode: Mode| {
+        report
+            .stats
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| panic!("{} missing from report", mode.name()))
+    };
+    // Every mode must actually have run and produced verdicts.
+    for mode in [
+        Mode::Grounded,
+        Mode::SliceFull,
+        Mode::LiaBv,
+        Mode::Metamorphic,
+        Mode::StateFork,
+    ] {
+        let stats = stats_for(mode);
+        assert!(stats.runs > 0, "{} never ran", mode.name());
+        assert!(
+            stats.skipped < stats.runs,
+            "{} skipped every iteration",
+            mode.name()
+        );
+    }
+    // The differential modes must exercise both verdicts; a generator
+    // regression that makes everything trivially sat (or unsat) would
+    // silently gut the oracle, so fail loudly instead.
+    for mode in [Mode::Grounded, Mode::SliceFull, Mode::LiaBv] {
+        let stats = stats_for(mode);
+        assert!(stats.sat > 0, "{} produced no sat verdicts", mode.name());
+        assert!(
+            stats.unsat > 0,
+            "{} produced no unsat verdicts",
+            mode.name()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! A DIMACS CNF reader.
+//!
+//! Exists for the test suite and for feeding the solver crafted instances
+//! (pigeonhole, chains, …) written in the standard interchange format, so
+//! regression instances can live as plain text next to the tests instead of
+//! as builder code.
+
+use std::fmt;
+
+use crate::config::SatConfig;
+use crate::solver::{Lit, Solver, Var};
+
+/// A parsed DIMACS CNF instance.
+#[derive(Clone, Debug, Default)]
+pub struct Dimacs {
+    /// Number of variables declared in the `p cnf` header.
+    pub num_vars: usize,
+    /// Clauses, as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Error from [`parse_dimacs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsError(pub String);
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIMACS parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// Accepts `c` comment lines, one `p cnf <vars> <clauses>` header, and
+/// zero-terminated clauses (a clause may span lines). Literals outside the
+/// declared variable range are an error; a clause-count mismatch with the
+/// header is an error too, so truncated files are caught.
+pub fn parse_dimacs(text: &str) -> Result<Dimacs, DimacsError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if header.is_some() {
+                return Err(DimacsError("duplicate `p` header".into()));
+            }
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            match fields.as_slice() {
+                ["cnf", v, c] => {
+                    let nv = v
+                        .parse()
+                        .map_err(|_| DimacsError(format!("bad var count {v:?}")))?;
+                    let nc = c
+                        .parse()
+                        .map_err(|_| DimacsError(format!("bad clause count {c:?}")))?;
+                    header = Some((nv, nc));
+                }
+                _ => return Err(DimacsError(format!("malformed header {line:?}"))),
+            }
+            continue;
+        }
+        let (num_vars, _) =
+            header.ok_or_else(|| DimacsError("clause before `p cnf` header".into()))?;
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| DimacsError(format!("bad literal {tok:?}")))?;
+            if n == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let v = n.unsigned_abs() as usize;
+                if v > num_vars {
+                    return Err(DimacsError(format!(
+                        "literal {n} out of range (header declares {num_vars} vars)"
+                    )));
+                }
+                current.push(Lit::new(Var((v - 1) as u32), n > 0));
+            }
+        }
+    }
+
+    let (num_vars, num_clauses) =
+        header.ok_or_else(|| DimacsError("missing `p cnf` header".into()))?;
+    if !current.is_empty() {
+        return Err(DimacsError(
+            "unterminated clause (missing trailing 0)".into(),
+        ));
+    }
+    if clauses.len() != num_clauses {
+        return Err(DimacsError(format!(
+            "header declares {num_clauses} clauses, found {}",
+            clauses.len()
+        )));
+    }
+    Ok(Dimacs { num_vars, clauses })
+}
+
+/// Builds a [`Solver`] loaded with the instance.
+pub fn solver_from_dimacs(config: SatConfig, inst: &Dimacs) -> Solver {
+    let mut s = Solver::new(config);
+    for _ in 0..inst.num_vars {
+        s.new_var();
+    }
+    for c in &inst.clauses {
+        if !s.add_clause(c) {
+            break; // trivially unsat; solve() will report it
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_multiline_clauses() {
+        let inst = parse_dimacs("c a comment\np cnf 3 2\n1 -2\n3 0\n-1 2 0\n").unwrap();
+        assert_eq!(inst.num_vars, 3);
+        assert_eq!(inst.clauses.len(), 2);
+        assert_eq!(
+            inst.clauses[0],
+            vec![Lit::pos(Var(0)), Lit::neg(Var(1)), Lit::pos(Var(2))]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_dimacs("1 2 0\n").is_err(), "clause before header");
+        assert!(
+            parse_dimacs("p cnf 2 1\n1 3 0\n").is_err(),
+            "literal out of range"
+        );
+        assert!(
+            parse_dimacs("p cnf 2 2\n1 2 0\n").is_err(),
+            "clause count mismatch"
+        );
+        assert!(
+            parse_dimacs("p cnf 2 1\n1 2\n").is_err(),
+            "unterminated clause"
+        );
+        assert!(
+            parse_dimacs("p dnf 2 1\n1 2 0\n").is_err(),
+            "wrong format tag"
+        );
+    }
+}

@@ -18,7 +18,9 @@
 //! portfolio (§4.4).
 
 pub mod config;
+pub mod dimacs;
 pub mod solver;
 
 pub use config::SatConfig;
+pub use dimacs::{parse_dimacs, solver_from_dimacs, Dimacs, DimacsError};
 pub use solver::{Lit, SatResult, Solver, Var};

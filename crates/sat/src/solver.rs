@@ -123,6 +123,11 @@ pub struct Solver {
     pub num_decisions: u64,
     /// Statistics: total conflicts.
     pub num_conflicts: u64,
+    /// Statistics: total restarts (cumulative over `solve` calls).
+    pub num_restarts: u64,
+    /// Statistics: total clauses learned from conflicts (including
+    /// unit-length learnt clauses, which are enqueued rather than stored).
+    pub num_learned: u64,
 }
 
 impl Default for Solver {
@@ -157,6 +162,8 @@ impl Solver {
             num_propagations: 0,
             num_decisions: 0,
             num_conflicts: 0,
+            num_restarts: 0,
+            num_learned: 0,
         }
     }
 
@@ -675,6 +682,7 @@ impl Solver {
                 }
                 let (learnt, bt) = self.analyze(confl);
                 self.backtrack(bt);
+                self.num_learned += 1;
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
@@ -707,6 +715,7 @@ impl Solver {
                 // No conflict: restart check, assumptions, then decide.
                 if conflicts_since_restart >= luby(restarts) * self.config.restart_base {
                     restarts += 1;
+                    self.num_restarts += 1;
                     conflicts_since_restart = 0;
                     self.backtrack(0);
                     continue;

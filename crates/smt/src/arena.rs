@@ -5,7 +5,7 @@
 //! (the engine's query simplifier, the solver's preprocessor) see normalized
 //! terms. Commutative operators sort their operands by id, improving sharing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::sort::{bv_mask, bv_signed, Sort};
 use crate::term::{Kind, Term, TermId};
@@ -1017,7 +1017,15 @@ impl TermArena {
     ///   models key UF interpretations by `FuncId` and callers evaluate those
     ///   models against the original arena;
     /// - variables keep their names (models are name-keyed), and the fresh-
-    ///   name counter carries over so downstream fresh vars cannot collide.
+    ///   name counter carries over so downstream fresh vars cannot collide;
+    /// - the cone's variables are registered in their original relative
+    ///   declaration order. The serializer prints `declare-const`s sorted
+    ///   by symbol index, so preserving the order is what makes a slice
+    ///   print byte-identically to the full arena — which the persistent
+    ///   query cache relies on, since it keys on the serialized text's
+    ///   fingerprint. (Found by the `slice_vs_full` fuzzing harness: a
+    ///   DFS-order registration reorders declarations whenever the first
+    ///   variable reached in the cone is not the first one declared.)
     pub fn slice(&self, roots: &[TermId]) -> (TermArena, Vec<TermId>) {
         let mut out = TermArena {
             funcs: self.funcs.clone(),
@@ -1025,6 +1033,27 @@ impl TermArena {
             fresh_counter: self.fresh_counter,
             ..TermArena::default()
         };
+        let mut cone_syms: Vec<u32> = Vec::new();
+        {
+            let mut seen: HashSet<TermId> = HashSet::new();
+            let mut walk: Vec<TermId> = roots.to_vec();
+            while let Some(t) = walk.pop() {
+                if !seen.insert(t) {
+                    continue;
+                }
+                let node = self.term(t);
+                if let Kind::Var(sym) = node.kind {
+                    cone_syms.push(sym);
+                }
+                walk.extend(node.args.iter().copied());
+            }
+        }
+        cone_syms.sort_unstable();
+        cone_syms.dedup();
+        for sym in cone_syms {
+            let (name, sort) = self.vars[sym as usize].clone();
+            out.var(&name, sort);
+        }
         let mut remap: HashMap<TermId, TermId> = HashMap::new();
         // Iterative post-order DFS (terms can nest deeply).
         let mut stack: Vec<(TermId, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
@@ -1356,6 +1385,36 @@ mod tests {
         assert_eq!(roots[0], roots[1], "duplicate roots map to one id");
         // x, y, s, t, 3, root: sharing preserved, nothing duplicated.
         assert_eq!(sliced.len(), 6);
+    }
+
+    #[test]
+    fn slice_is_serialization_transparent_regardless_of_visit_order() {
+        // Regression (found by tpot-fuzz, slice_vs_full): the serializer
+        // prints `declare-const`s sorted by variable symbol index, so the
+        // slice must register cone variables in their original relative
+        // declaration order — not in DFS-encounter order. Here the DFS
+        // from the root reaches `b` before `a`; before the fix the sliced
+        // arena printed `(declare-const b ...)` first, so the same query
+        // produced two different texts (and two different persistent-cache
+        // fingerprints) depending on whether it had been sliced.
+        let mut a = TermArena::new();
+        let va = a.var("a", Sort::BitVec(8));
+        let vb = a.var("b", Sort::BitVec(8));
+        let vc = a.var("c", Sort::BitVec(8));
+        // bv_ult(b, a): args visited b-first from the root.
+        let cmp = a.bv_ult(vb, va);
+        let e = a.eq(vc, va);
+        let root = a.and2(cmp, e);
+        let (sliced, roots) = a.slice(&[root]);
+        let orig = crate::print::to_smtlib(&a, &[root]);
+        let new = crate::print::to_smtlib(&sliced, &roots);
+        assert_eq!(orig, new, "slice must not reorder declarations");
+        assert_eq!(
+            crate::print::query_fingerprint(&orig),
+            crate::print::query_fingerprint(&new)
+        );
+        let names: Vec<&str> = sliced.vars().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
     }
 
     #[test]

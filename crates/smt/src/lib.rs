@@ -28,6 +28,7 @@
 pub mod arena;
 pub mod eval;
 pub mod model;
+pub mod parse;
 pub mod print;
 pub mod sort;
 pub mod subst;
@@ -36,5 +37,6 @@ pub mod term;
 pub use arena::{FuncDecl, FuncId, TermArena};
 pub use eval::{eval, EvalError};
 pub use model::{FuncInterp, Model, Value};
+pub use parse::{parse_script, ParseError};
 pub use sort::Sort;
 pub use term::{Kind, Term, TermId};

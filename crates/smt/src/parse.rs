@@ -1,0 +1,515 @@
+//! SMT-LIB2 parsing for the subset [`crate::print`] emits.
+//!
+//! The printer is the single serialization point of the pipeline (every
+//! solver query and every persistent-cache key goes through it), so its
+//! output grammar doubles as the repo's query interchange format: reduced
+//! fuzz repros, the committed regression corpus, and the print→reparse
+//! round-trip property tests all parse with this module. It is a *reader
+//! for our own writer* — full SMT-LIB (let-bindings, annotations, push/pop)
+//! is intentionally out of scope.
+//!
+//! Terms are rebuilt through the arena's simplifying builders, so a parsed
+//! script is logically equivalent to its source but not necessarily
+//! node-identical; one print→parse round normalizes a script onto the
+//! builder-canonical form (see the fingerprint-stability property test).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::arena::{FuncId, TermArena};
+use crate::sort::Sort;
+use crate::term::TermId;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "smtlib parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+// ------------------------------------------------------------------ sexps
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sexp {
+    Atom(String),
+    List(Vec<Sexp>),
+}
+
+fn tokenize(text: &str) -> Result<Vec<String>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' | ')' => {
+                toks.push(c.to_string());
+                chars.next();
+            }
+            '|' => {
+                // Quoted symbol: everything up to the closing bar, bars
+                // stripped (the arena stores the raw name).
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('|') => break,
+                        Some(c) => s.push(c),
+                        None => return err("unterminated |quoted| symbol"),
+                    }
+                }
+                toks.push(s);
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '(' || c == ')' || c == ';' || c == '|' {
+                        break;
+                    }
+                    s.push(c);
+                    chars.next();
+                }
+                toks.push(s);
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn parse_sexps(toks: &[String]) -> Result<Vec<Sexp>, ParseError> {
+    let mut stack: Vec<Vec<Sexp>> = vec![Vec::new()];
+    for t in toks {
+        match t.as_str() {
+            "(" => stack.push(Vec::new()),
+            ")" => {
+                let done = stack.pop().ok_or_else(|| ParseError("stray ')'".into()))?;
+                let top = stack
+                    .last_mut()
+                    .ok_or_else(|| ParseError("unbalanced ')'".into()))?;
+                top.push(Sexp::List(done));
+            }
+            _ => stack
+                .last_mut()
+                .expect("stack never empty")
+                .push(Sexp::Atom(t.clone())),
+        }
+    }
+    if stack.len() != 1 {
+        return err("unbalanced '('");
+    }
+    Ok(stack.pop().unwrap())
+}
+
+// ------------------------------------------------------------------ sorts
+
+fn parse_sort(s: &Sexp) -> Result<Sort, ParseError> {
+    match s {
+        Sexp::Atom(a) => match a.as_str() {
+            "Bool" => Ok(Sort::Bool),
+            "Int" => Ok(Sort::Int),
+            other => err(format!("unknown sort {other}")),
+        },
+        Sexp::List(items) => match items.as_slice() {
+            [Sexp::Atom(u), Sexp::Atom(bv), Sexp::Atom(w)] if u == "_" && bv == "BitVec" => {
+                let w: u32 = w
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad bitvector width {w}")))?;
+                Ok(Sort::BitVec(w))
+            }
+            [Sexp::Atom(arr), i, e] if arr == "Array" => Ok(Sort::Array(
+                Box::new(parse_sort(i)?),
+                Box::new(parse_sort(e)?),
+            )),
+            _ => err(format!("unknown sort {items:?}")),
+        },
+    }
+}
+
+// ------------------------------------------------------------------ terms
+
+struct Env {
+    funcs: HashMap<String, FuncId>,
+    vars: HashMap<String, Sort>,
+}
+
+fn parse_term(arena: &mut TermArena, env: &Env, s: &Sexp) -> Result<TermId, ParseError> {
+    match s {
+        Sexp::Atom(a) => parse_atom(arena, env, a),
+        Sexp::List(items) => {
+            if items.is_empty() {
+                return err("empty application");
+            }
+            // Indexed operators: ((_ extract h l) t) etc., and the
+            // standalone bitvector literal (_ bvN w).
+            if let Sexp::List(head) = &items[0] {
+                return parse_indexed(arena, env, head, &items[1..]);
+            }
+            let Sexp::Atom(op) = &items[0] else {
+                return err("bad application head");
+            };
+            if op == "_" {
+                // (_ bvN w) literal in head position.
+                return parse_underscore(arena, &items[1..]);
+            }
+            let args: Vec<TermId> = items[1..]
+                .iter()
+                .map(|a| parse_term(arena, env, a))
+                .collect::<Result<_, _>>()?;
+            apply_op(arena, env, op, &args)
+        }
+    }
+}
+
+fn parse_atom(arena: &mut TermArena, env: &Env, a: &str) -> Result<TermId, ParseError> {
+    match a {
+        "true" => return Ok(arena.tru()),
+        "false" => return Ok(arena.fls()),
+        _ => {}
+    }
+    if let Some(hex) = a.strip_prefix("#x") {
+        let v = u128::from_str_radix(hex, 16)
+            .map_err(|_| ParseError(format!("bad hex literal {a}")))?;
+        return Ok(arena.bv_const(4 * hex.len() as u32, v));
+    }
+    if let Some(bits) = a.strip_prefix("#b") {
+        let v = u128::from_str_radix(bits, 2)
+            .map_err(|_| ParseError(format!("bad binary literal {a}")))?;
+        return Ok(arena.bv_const(bits.len() as u32, v));
+    }
+    if a.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        let v: i128 = a
+            .parse()
+            .map_err(|_| ParseError(format!("bad numeral {a}")))?;
+        return Ok(arena.int_const(v));
+    }
+    if let Some(sort) = env.vars.get(a) {
+        return Ok(arena.var(a, sort.clone()));
+    }
+    err(format!("undeclared symbol {a}"))
+}
+
+fn parse_underscore(arena: &mut TermArena, rest: &[Sexp]) -> Result<TermId, ParseError> {
+    match rest {
+        [Sexp::Atom(bv), Sexp::Atom(w)] if bv.starts_with("bv") => {
+            let v: u128 = bv[2..]
+                .parse()
+                .map_err(|_| ParseError(format!("bad bv literal bv{}", &bv[2..])))?;
+            let w: u32 = w
+                .parse()
+                .map_err(|_| ParseError(format!("bad bv literal width {w}")))?;
+            Ok(arena.bv_const(w, v))
+        }
+        _ => err(format!("unknown (_ ...) form {rest:?}")),
+    }
+}
+
+fn parse_indexed(
+    arena: &mut TermArena,
+    env: &Env,
+    head: &[Sexp],
+    args: &[Sexp],
+) -> Result<TermId, ParseError> {
+    let atoms: Vec<&str> = head
+        .iter()
+        .map(|s| match s {
+            Sexp::Atom(a) => Ok(a.as_str()),
+            _ => err("nested list in indexed operator"),
+        })
+        .collect::<Result<_, _>>()?;
+    let targs: Vec<TermId> = args
+        .iter()
+        .map(|a| parse_term(arena, env, a))
+        .collect::<Result<_, _>>()?;
+    match (atoms.as_slice(), targs.as_slice()) {
+        (["_", "extract", h, l], [t]) => {
+            let h: u32 = h.parse().map_err(|_| ParseError("bad extract hi".into()))?;
+            let l: u32 = l.parse().map_err(|_| ParseError("bad extract lo".into()))?;
+            Ok(arena.extract(*t, h, l))
+        }
+        (["_", "zero_extend", n], [t]) => {
+            let n: u32 = n
+                .parse()
+                .map_err(|_| ParseError("bad zero_extend".into()))?;
+            Ok(arena.zero_ext(*t, n))
+        }
+        (["_", "sign_extend", n], [t]) => {
+            let n: u32 = n
+                .parse()
+                .map_err(|_| ParseError("bad sign_extend".into()))?;
+            Ok(arena.sign_ext(*t, n))
+        }
+        _ => err(format!("unknown indexed operator {atoms:?}")),
+    }
+}
+
+fn apply_op(
+    arena: &mut TermArena,
+    env: &Env,
+    op: &str,
+    args: &[TermId],
+) -> Result<TermId, ParseError> {
+    let bin = |args: &[TermId]| -> Result<(TermId, TermId), ParseError> {
+        match args {
+            [a, b] => Ok((*a, *b)),
+            _ => err(format!(
+                "operator {op} expects 2 arguments, got {}",
+                args.len()
+            )),
+        }
+    };
+    let un = |args: &[TermId]| -> Result<TermId, ParseError> {
+        match args {
+            [a] => Ok(*a),
+            _ => err(format!(
+                "operator {op} expects 1 argument, got {}",
+                args.len()
+            )),
+        }
+    };
+    Ok(match op {
+        "not" => {
+            let a = un(args)?;
+            arena.not(a)
+        }
+        "and" => arena.and(args),
+        "or" => arena.or(args),
+        "xor" => {
+            let (a, b) = bin(args)?;
+            arena.xor(a, b)
+        }
+        "=>" => {
+            let (a, b) = bin(args)?;
+            arena.implies(a, b)
+        }
+        "ite" => match args {
+            [c, t, e] => arena.ite(*c, *t, *e),
+            _ => return err("ite expects 3 arguments"),
+        },
+        "=" => {
+            let (a, b) = bin(args)?;
+            arena.eq(a, b)
+        }
+        "distinct" => {
+            let (a, b) = bin(args)?;
+            arena.neq(a, b)
+        }
+        "bvneg" => arena.bv_neg(un(args)?),
+        "bvnot" => arena.bv_not(un(args)?),
+        "bvadd" => {
+            let (a, b) = bin(args)?;
+            arena.bv_add(a, b)
+        }
+        "bvsub" => {
+            let (a, b) = bin(args)?;
+            arena.bv_sub(a, b)
+        }
+        "bvmul" => {
+            let (a, b) = bin(args)?;
+            arena.bv_mul(a, b)
+        }
+        "bvudiv" => {
+            let (a, b) = bin(args)?;
+            arena.bv_udiv(a, b)
+        }
+        "bvurem" => {
+            let (a, b) = bin(args)?;
+            arena.bv_urem(a, b)
+        }
+        "bvand" => {
+            let (a, b) = bin(args)?;
+            arena.bv_and(a, b)
+        }
+        "bvor" => {
+            let (a, b) = bin(args)?;
+            arena.bv_or(a, b)
+        }
+        "bvxor" => {
+            let (a, b) = bin(args)?;
+            arena.bv_xor(a, b)
+        }
+        "bvshl" => {
+            let (a, b) = bin(args)?;
+            arena.bv_shl(a, b)
+        }
+        "bvlshr" => {
+            let (a, b) = bin(args)?;
+            arena.bv_lshr(a, b)
+        }
+        "bvashr" => {
+            let (a, b) = bin(args)?;
+            arena.bv_ashr(a, b)
+        }
+        "bvult" => {
+            let (a, b) = bin(args)?;
+            arena.bv_ult(a, b)
+        }
+        "bvule" => {
+            let (a, b) = bin(args)?;
+            arena.bv_ule(a, b)
+        }
+        "bvslt" => {
+            let (a, b) = bin(args)?;
+            arena.bv_slt(a, b)
+        }
+        "bvsle" => {
+            let (a, b) = bin(args)?;
+            arena.bv_sle(a, b)
+        }
+        "concat" => {
+            let (a, b) = bin(args)?;
+            arena.concat(a, b)
+        }
+        "+" => arena.int_add(args),
+        "-" => match args {
+            [a] => arena.int_neg(*a),
+            [a, b] => arena.int_sub(*a, *b),
+            _ => return err("- expects 1 or 2 arguments"),
+        },
+        "*" => {
+            let (a, b) = bin(args)?;
+            arena.int_mul(a, b)
+        }
+        "<=" => {
+            let (a, b) = bin(args)?;
+            arena.int_le(a, b)
+        }
+        "<" => {
+            let (a, b) = bin(args)?;
+            arena.int_lt(a, b)
+        }
+        "select" => {
+            let (a, b) = bin(args)?;
+            arena.select(a, b)
+        }
+        "store" => match args {
+            [a, i, v] => arena.store(*a, *i, *v),
+            _ => return err("store expects 3 arguments"),
+        },
+        name => {
+            let Some(&f) = env.funcs.get(name) else {
+                return err(format!("unknown operator or function {name}"));
+            };
+            arena.apply(f, args.to_vec())
+        }
+    })
+}
+
+// ---------------------------------------------------------------- scripts
+
+/// Parses a full `check-sat` script as produced by [`crate::print::to_smtlib`]
+/// into `arena`, returning the asserted terms in order. `declare-const` and
+/// `declare-fun` register variables/functions in the arena; `set-logic`,
+/// `check-sat` and `exit` are accepted and ignored.
+pub fn parse_script(arena: &mut TermArena, text: &str) -> Result<Vec<TermId>, ParseError> {
+    let sexps = parse_sexps(&tokenize(text)?)?;
+    let mut env = Env {
+        funcs: HashMap::new(),
+        vars: HashMap::new(),
+    };
+    let mut assertions = Vec::new();
+    for cmd in &sexps {
+        let Sexp::List(items) = cmd else {
+            return err(format!("top-level atom {cmd:?}"));
+        };
+        let Some(Sexp::Atom(head)) = items.first() else {
+            return err("empty or malformed command");
+        };
+        match head.as_str() {
+            "set-logic" | "check-sat" | "exit" | "set-option" | "set-info" => {}
+            "declare-const" => match items.as_slice() {
+                [_, Sexp::Atom(name), sort] => {
+                    let sort = parse_sort(sort)?;
+                    arena.var(name, sort.clone());
+                    env.vars.insert(name.clone(), sort);
+                }
+                _ => return err("malformed declare-const"),
+            },
+            "declare-fun" => match items.as_slice() {
+                [_, Sexp::Atom(name), Sexp::List(argsorts), ret] => {
+                    let ret = parse_sort(ret)?;
+                    if argsorts.is_empty() {
+                        // Nullary declare-fun is just a variable.
+                        arena.var(name, ret.clone());
+                        env.vars.insert(name.clone(), ret);
+                    } else {
+                        let args: Vec<Sort> =
+                            argsorts.iter().map(parse_sort).collect::<Result<_, _>>()?;
+                        let f = arena.declare_func(name, args, ret);
+                        env.funcs.insert(name.clone(), f);
+                    }
+                }
+                _ => return err("malformed declare-fun"),
+            },
+            "assert" => match items.as_slice() {
+                [_, t] => assertions.push(parse_term(arena, &env, t)?),
+                _ => return err("malformed assert"),
+            },
+            other => return err(format!("unsupported command {other}")),
+        }
+    }
+    Ok(assertions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::to_smtlib;
+
+    #[test]
+    fn round_trips_a_printed_script() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let y = a.var("y", Sort::BitVec(8));
+        let n = a.var("n", Sort::Int);
+        let f = a.declare_func("f", vec![Sort::BitVec(8)], Sort::BitVec(8));
+        let fx = a.apply(f, vec![x]);
+        let sum = a.bv_add(fx, y);
+        let c = a.bv_const(8, 0x2a);
+        let e1 = a.eq(sum, c);
+        let five = a.int_const(-5);
+        let e2 = a.int_lt(five, n);
+        let text = to_smtlib(&a, &[e1, e2]);
+
+        let mut b = TermArena::new();
+        let roots = parse_script(&mut b, &text).expect("parses own output");
+        assert_eq!(roots.len(), 2);
+        assert_eq!(to_smtlib(&b, &roots), text);
+    }
+
+    #[test]
+    fn parses_indexed_and_literals() {
+        let mut a = TermArena::new();
+        let text = "(set-logic ALL)\n\
+                    (declare-const v (_ BitVec 7))\n\
+                    (declare-const w (_ BitVec 8))\n\
+                    (assert (= ((_ zero_extend 1) v) w))\n\
+                    (assert (distinct (_ bv3 8) ((_ extract 7 0) (concat #b1 w))))\n\
+                    (check-sat)\n";
+        let roots = parse_script(&mut a, text).expect("parses");
+        assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn rejects_undeclared_and_garbage() {
+        let mut a = TermArena::new();
+        assert!(parse_script(&mut a, "(assert x)").is_err());
+        assert!(parse_script(&mut a, "(assert (").is_err());
+        assert!(parse_script(&mut a, "(frob x)").is_err());
+    }
+}

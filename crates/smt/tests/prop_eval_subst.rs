@@ -1,0 +1,352 @@
+//! Property tests for `subst` and `eval` (and the print → reparse cycle):
+//!
+//! 1. Substitution and evaluation commute:
+//!    `eval(t[x := s], m)  ==  eval(t, m[x := eval(s, m)])`.
+//! 2. Printing → reparsing is semantics-preserving and becomes
+//!    *textually* stable after one round: terms are rebuilt through the
+//!    simplifying builders on parse, so the first round may normalize
+//!    (commutative-operand sorting keys on arena-local TermIds), but the
+//!    normalized form must reprint identically — that is what makes
+//!    `query_fingerprint` a usable persistent-cache key across processes.
+//!
+//! The generator is deliberately tiny (bool/bv/int, no arrays or UFs):
+//! these are *algebraic* properties of the term layer; the fuzz crate
+//! covers the full fragment end-to-end.
+
+use std::collections::HashMap;
+
+use tpot_smt::print::{query_fingerprint, to_smtlib};
+use tpot_smt::subst::{free_vars, substitute};
+use tpot_smt::{eval, parse_script, Model, Sort, TermArena, TermId, Value};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        // xorshift64*; plenty for test-case generation.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const W: u32 = 8;
+
+fn vars(a: &mut TermArena) -> Vec<TermId> {
+    vec![
+        a.var("pb0", Sort::Bool),
+        a.var("pb1", Sort::Bool),
+        a.var("pv0", Sort::BitVec(W)),
+        a.var("pv1", Sort::BitVec(W)),
+        a.var("pi0", Sort::Int),
+        a.var("pi1", Sort::Int),
+    ]
+}
+
+fn gen_sorted(a: &mut TermArena, rng: &mut Rng, sort: &Sort, depth: u32) -> TermId {
+    match sort {
+        Sort::Bool => gen_bool(a, rng, depth),
+        Sort::BitVec(_) => gen_bv(a, rng, depth),
+        Sort::Int => gen_int(a, rng, depth),
+        Sort::Array(..) => unreachable!("generator is scalar-only"),
+    }
+}
+
+fn gen_bool(a: &mut TermArena, rng: &mut Rng, depth: u32) -> TermId {
+    if depth == 0 {
+        return match rng.below(3) {
+            0 => a.var("pb0", Sort::Bool),
+            1 => a.var("pb1", Sort::Bool),
+            _ => a.bool_const(rng.below(2) == 0),
+        };
+    }
+    let d = depth - 1;
+    match rng.below(10) {
+        0 => {
+            let x = gen_bool(a, rng, d);
+            a.not(x)
+        }
+        1 | 2 => {
+            let x = gen_bool(a, rng, d);
+            let y = gen_bool(a, rng, d);
+            a.and2(x, y)
+        }
+        3 => {
+            let x = gen_bool(a, rng, d);
+            let y = gen_bool(a, rng, d);
+            a.or2(x, y)
+        }
+        4 => {
+            let x = gen_bool(a, rng, d);
+            let y = gen_bool(a, rng, d);
+            a.xor(x, y)
+        }
+        5 => {
+            let x = gen_bool(a, rng, d);
+            let y = gen_bool(a, rng, d);
+            a.implies(x, y)
+        }
+        6 => {
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            if rng.below(2) == 0 {
+                a.bv_ult(x, y)
+            } else {
+                a.bv_sle(x, y)
+            }
+        }
+        7 => {
+            let x = gen_int(a, rng, d);
+            let y = gen_int(a, rng, d);
+            if rng.below(2) == 0 {
+                a.int_le(x, y)
+            } else {
+                a.int_lt(x, y)
+            }
+        }
+        8 => {
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            a.eq(x, y)
+        }
+        _ => {
+            let c = gen_bool(a, rng, d);
+            let x = gen_bool(a, rng, d);
+            let y = gen_bool(a, rng, d);
+            a.ite(c, x, y)
+        }
+    }
+}
+
+fn gen_bv(a: &mut TermArena, rng: &mut Rng, depth: u32) -> TermId {
+    if depth == 0 {
+        return match rng.below(3) {
+            0 => a.var("pv0", Sort::BitVec(W)),
+            1 => a.var("pv1", Sort::BitVec(W)),
+            _ => a.bv_const(W, rng.next() as u128 & 0xff),
+        };
+    }
+    let d = depth - 1;
+    match rng.below(10) {
+        0 | 1 => {
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            a.bv_add(x, y)
+        }
+        2 => {
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            a.bv_sub(x, y)
+        }
+        3 => {
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            a.bv_mul(x, y)
+        }
+        4 => {
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            match rng.below(3) {
+                0 => a.bv_and(x, y),
+                1 => a.bv_or(x, y),
+                _ => a.bv_xor(x, y),
+            }
+        }
+        5 => {
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            if rng.below(2) == 0 {
+                a.bv_udiv(x, y)
+            } else {
+                a.bv_urem(x, y)
+            }
+        }
+        6 => {
+            let x = gen_bv(a, rng, d);
+            if rng.below(2) == 0 {
+                a.bv_not(x)
+            } else {
+                a.bv_neg(x)
+            }
+        }
+        7 => {
+            let x = gen_bv(a, rng, d);
+            let lo = a.extract(x, W / 2 - 1, 0);
+            if rng.below(2) == 0 {
+                a.zero_ext(lo, W / 2)
+            } else {
+                a.sign_ext(lo, W / 2)
+            }
+        }
+        8 => {
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            let hi = a.extract(x, W - 1, W / 2);
+            let lo = a.extract(y, W / 2 - 1, 0);
+            a.concat(hi, lo)
+        }
+        _ => {
+            let c = gen_bool(a, rng, d);
+            let x = gen_bv(a, rng, d);
+            let y = gen_bv(a, rng, d);
+            a.ite(c, x, y)
+        }
+    }
+}
+
+fn gen_int(a: &mut TermArena, rng: &mut Rng, depth: u32) -> TermId {
+    if depth == 0 {
+        return match rng.below(3) {
+            0 => a.var("pi0", Sort::Int),
+            1 => a.var("pi1", Sort::Int),
+            _ => a.int_const(rng.below(17) as i128 - 8),
+        };
+    }
+    let d = depth - 1;
+    match rng.below(6) {
+        0 | 1 => {
+            let x = gen_int(a, rng, d);
+            let y = gen_int(a, rng, d);
+            a.int_add2(x, y)
+        }
+        2 => {
+            let x = gen_int(a, rng, d);
+            let y = gen_int(a, rng, d);
+            a.int_sub(x, y)
+        }
+        3 => {
+            let x = gen_int(a, rng, d);
+            a.int_neg(x)
+        }
+        4 => {
+            let c = a.int_const(rng.below(7) as i128 - 3);
+            let x = gen_int(a, rng, d);
+            a.int_mul(c, x)
+        }
+        _ => {
+            let c = gen_bool(a, rng, d);
+            let x = gen_int(a, rng, d);
+            let y = gen_int(a, rng, d);
+            a.ite(c, x, y)
+        }
+    }
+}
+
+fn random_model(a: &TermArena, rng: &mut Rng) -> Model {
+    let mut m = Model::new();
+    for (name, sort) in a.vars() {
+        let v = match sort {
+            Sort::Bool => Value::Bool(rng.below(2) == 0),
+            Sort::BitVec(w) => Value::BitVec(*w, rng.next() as u128 & ((1 << w) - 1)),
+            Sort::Int => Value::Int(rng.below(17) as i128 - 8),
+            Sort::Array(..) => unreachable!(),
+        };
+        m.set_var(name, v);
+    }
+    m
+}
+
+/// eval(t[x := s], m) == eval(t, m[x := eval(s, m)]), for every sort of
+/// substituted variable and replacement term.
+#[test]
+fn substitution_and_evaluation_commute() {
+    let mut rng = Rng(0x5eed_0001);
+    for case in 0..600 {
+        let mut a = TermArena::new();
+        let pool = vars(&mut a);
+        let t = gen_bool(&mut a, &mut rng, 4);
+        let fv = free_vars(&a, t);
+        let x = if fv.is_empty() {
+            pool[rng.below(pool.len() as u64) as usize]
+        } else {
+            fv[rng.below(fv.len() as u64) as usize]
+        };
+        let x_sort = a.sort(x).clone();
+        let s = gen_sorted(&mut a, &mut rng, &x_sort, 3);
+
+        let mut map = HashMap::new();
+        map.insert(x, s);
+        let t_sub = substitute(&mut a, t, &map);
+
+        let m = random_model(&a, &mut rng);
+        let s_val = eval(&a, &m, s).expect("replacement evaluates");
+        let mut m2 = m.clone();
+        m2.set_var(a.var_name(x), s_val);
+
+        let lhs = eval(&a, &m, t_sub).expect("substituted term evaluates");
+        let rhs = eval(&a, &m2, t).expect("original term evaluates");
+        assert_eq!(
+            lhs,
+            rhs,
+            "case {case}: subst/eval do not commute for x={} in {}",
+            a.var_name(x),
+            tpot_smt::print::term_to_string(&a, t)
+        );
+    }
+}
+
+/// Substituting a variable for itself is the identity (hash-consing makes
+/// this literal id equality, not just logical equivalence).
+#[test]
+fn self_substitution_is_identity() {
+    let mut rng = Rng(0x5eed_0002);
+    for _ in 0..200 {
+        let mut a = TermArena::new();
+        vars(&mut a);
+        let t = gen_bool(&mut a, &mut rng, 4);
+        let map: HashMap<TermId, TermId> = free_vars(&a, t).into_iter().map(|v| (v, v)).collect();
+        assert_eq!(substitute(&mut a, t, &map), t);
+    }
+}
+
+/// print → parse → print reaches a textual fixpoint after one round, and
+/// the reparsed query is semantically identical to the original under
+/// random models (checked by name, so the comparison crosses arenas).
+#[test]
+fn print_reparse_fingerprint_stable_and_semantics_preserved() {
+    let mut rng = Rng(0x5eed_0003);
+    for case in 0..300 {
+        let mut a = TermArena::new();
+        vars(&mut a);
+        let t1 = gen_bool(&mut a, &mut rng, 4);
+        let t2 = gen_bool(&mut a, &mut rng, 3);
+        let s1 = to_smtlib(&a, &[t1, t2]);
+
+        let mut b = TermArena::new();
+        let rb = parse_script(&mut b, &s1).unwrap_or_else(|e| panic!("case {case}: {e}\n{s1}"));
+        let s2 = to_smtlib(&b, &rb);
+
+        let mut c = TermArena::new();
+        let rc = parse_script(&mut c, &s2).unwrap_or_else(|e| panic!("case {case}: {e}\n{s2}"));
+        let s3 = to_smtlib(&c, &rc);
+
+        // One round may normalize; after that the text — and hence the
+        // persistent-cache fingerprint — must be stable.
+        assert_eq!(
+            s2, s3,
+            "case {case}: print→parse→print not idempotent after one round"
+        );
+        assert_eq!(query_fingerprint(&s2), query_fingerprint(&s3));
+
+        // Semantic equivalence of original and reparsed, on random models.
+        for _ in 0..16 {
+            let m = random_model(&a, &mut rng);
+            let orig: Vec<Value> = [t1, t2]
+                .iter()
+                .map(|&t| eval(&a, &m, t).expect("evaluates"))
+                .collect();
+            let re: Vec<Value> = rb
+                .iter()
+                .map(|&t| eval(&b, &m, t).expect("reparsed evaluates"))
+                .collect();
+            assert_eq!(orig, re, "case {case}: reparse changed semantics\n{s1}");
+        }
+    }
+}

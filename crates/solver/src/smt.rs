@@ -182,8 +182,31 @@ fn build_model(
             model.set_var(arena.var_name(t), Value::Int(v));
         }
     }
+    // Function interpretations from the Ackermann records. Built *before*
+    // the array interpretations: UF argument terms are recorded after
+    // select elimination (pass 2), so they contain only variables and
+    // operators — but array index terms are recorded *before* UF
+    // Ackermannization (pass 3) and may still contain `Apply` nodes, e.g.
+    // `(select a (f x))`. Evaluating such an index with the function table
+    // still empty silently falls back to the default interpretation and
+    // keys the array entry at the wrong index, producing a "sat" model
+    // that fails validation. (Found by the fuzzer's model-validation
+    // oracle; regression: crates/solver/tests/corpus_regressions.rs.)
+    for (f, apps) in &pre.uf_apps {
+        let mut interp = tpot_smt::FuncInterp::default();
+        for (args, res_var) in apps {
+            let key: Vec<u128> = args
+                .iter()
+                .map(|&a| eval(arena, &model, a).map(|v| v.key_repr()))
+                .collect::<Result<_, _>>()
+                .map_err(eval_err)?;
+            let rv = eval(arena, &model, *res_var).map_err(eval_err)?;
+            interp.entries.insert(key, rv);
+        }
+        model.funcs.insert(*f, interp);
+    }
     // Array interpretations: evaluate recorded index terms under the model
-    // built so far (they contain only variables and operators).
+    // built so far.
     for (arr, sels) in &pre.array_selects {
         let esort = match arena.sort(*arr) {
             Sort::Array(_, e) => (**e).clone(),
@@ -202,20 +225,6 @@ fn build_model(
                 default: Box::new(Value::zero_of(&esort)),
             },
         );
-    }
-    // Function interpretations from the Ackermann records.
-    for (f, apps) in &pre.uf_apps {
-        let mut interp = tpot_smt::FuncInterp::default();
-        for (args, res_var) in apps {
-            let key: Vec<u128> = args
-                .iter()
-                .map(|&a| eval(arena, &model, a).map(|v| v.key_repr()))
-                .collect::<Result<_, _>>()
-                .map_err(eval_err)?;
-            let rv = eval(arena, &model, *res_var).map_err(eval_err)?;
-            interp.entries.insert(key, rv);
-        }
-        model.funcs.insert(*f, interp);
     }
     Ok(model)
 }

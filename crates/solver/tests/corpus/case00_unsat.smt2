@@ -1,0 +1,8 @@
+; expect: unsat
+; reduced fuzz corpus (seed 42, iteration 0)
+(set-logic ALL)
+(declare-const fi0 Int)
+(assert (< fi0 (+ fi0 (* fi0 2) (* fi0 (- 3)))))
+(assert (<= 0 fi0))
+(assert (<= fi0 3))
+(check-sat)

@@ -1,0 +1,8 @@
+; expect: unsat
+; reduced fuzz corpus (seed 42, iteration 1)
+(set-logic ALL)
+(declare-const fi0 Int)
+(assert (<= 8 fi0))
+(assert (<= 0 fi0))
+(assert (<= fi0 3))
+(check-sat)

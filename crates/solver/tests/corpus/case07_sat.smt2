@@ -1,0 +1,8 @@
+; expect: sat
+; reduced fuzz corpus (seed 42, iteration 7)
+(set-logic ALL)
+(declare-const fi0 Int)
+(assert (< (* fi0 (- 3)) (- 1)))
+(assert (<= 0 fi0))
+(assert (<= fi0 3))
+(check-sat)

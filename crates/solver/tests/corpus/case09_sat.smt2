@@ -1,0 +1,9 @@
+; expect: sat
+; reduced fuzz corpus (seed 42, iteration 13)
+(set-logic ALL)
+(declare-const fb1 Bool)
+(declare-const fi0 Int)
+(assert fb1)
+(assert (<= 0 fi0))
+(assert (<= fi0 3))
+(check-sat)

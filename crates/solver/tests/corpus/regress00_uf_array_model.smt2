@@ -1,0 +1,16 @@
+; expect: sat
+; Regression: build_model used to construct array interpretations before
+; UF interpretations. Array index terms are recorded during select
+; Ackermannization (before UFs are eliminated), so they may contain Apply
+; nodes; evaluating them against a model with an empty function table
+; silently defaulted every application to zero, keying the array entries
+; at the wrong indexes and producing a model that fails its own assertion.
+; Found by tpot-fuzz (slice_vs_full, seed 42, iteration 376) and reduced.
+(set-logic ALL)
+(declare-const fv0 (_ BitVec 8))
+(declare-const fv1 (_ BitVec 8))
+(declare-const fv2 (_ BitVec 8))
+(declare-const fa0 (Array (_ BitVec 8) (_ BitVec 8)))
+(declare-fun ffbv ((_ BitVec 8)) (_ BitVec 8))
+(assert (= ((_ zero_extend 4) ((_ extract 3 0) (bvurem (bvor (concat ((_ extract 7 4) fv0) #xd) (bvadd fv1 fv2)) (bvand (bvadd fv0 #x18) (bvmul fv2 #x77))))) (select (store (store fa0 (ffbv fv2) ((_ zero_extend 4) ((_ extract 3 0) fv2))) (ffbv fv0) (ffbv fv1)) (ffbv #x23))))
+(check-sat)

@@ -2,11 +2,30 @@
 //! symbolic execution → solver) across crates, on the paper's running
 //! examples and the bundled evaluation targets.
 
-use tpot::engine::{PotStatus, Verifier, ViolationKind};
+use tpot::engine::{AddrMode, EngineConfig, PotStatus, Verifier, ViolationKind};
 
 fn verifier(src: &str) -> Verifier {
     let checked = tpot::cfront::compile(src).expect("compile");
     Verifier::new(tpot::ir::lower(&checked).expect("lower"))
+}
+
+/// Verifier with the bitvector address encoding (§4.3's ablation baseline).
+///
+/// The heavyweight targets below use it in tier-1 for two reasons: their
+/// queries are pure bit-twiddling, where the bitvector encoding is orders
+/// of magnitude faster than the integer encoding's `tpot_bv2int` detour,
+/// and the integer encoding's conditional bv2int axiom instantiation is
+/// incomplete on the compound index terms a skolemized `forall_elem`
+/// re-check builds for Komodo* (spurious countermodels; DESIGN.md §5.2,
+/// open item). The default integer encoding is exercised on the same
+/// sources by the `slow-tests`-gated variants at the end of this file.
+fn bv_verifier(src: &str) -> Verifier {
+    let checked = tpot::cfront::compile(src).expect("compile");
+    let cfg = EngineConfig {
+        addr_mode: AddrMode::Bv,
+        ..EngineConfig::default()
+    };
+    Verifier::with_config(tpot::ir::lower(&checked).expect("lower"), cfg)
 }
 
 #[test]
@@ -60,35 +79,136 @@ fn pkvm_init_establishes_invariant() {
     assert!(r.status.is_proved(), "{:?}", r.status);
 }
 
+// The three heavyweight POTs formerly sat behind bare `#[ignore]` and had
+// bit-rotted: the full-bound proofs did not actually go through (the
+// skolemized `forall_elem` re-check used an unbounded index — fixed in
+// `interp/naming.rs` — and the integer pointer encoding's bv2int axioms
+// are incomplete on Komodo*'s re-check terms, still open). Each now runs
+// in three variants: full-bound + reduced-bound in tier-1 under the
+// bitvector address encoding (seconds each), and the default integer
+// encoding under `--features slow-tests` (minutes each) where it proves.
+
+/// Shrinks Komodo-S/Komodo* page pools: 2 pages of 2 words each. The page
+/// *size* stays 64 so Komodo*'s VA/PA arithmetic (divide/multiply by the
+/// page size) is unchanged; only the pool and per-page word loops shrink.
+fn reduced_komodo(src: &str) -> String {
+    src.replace("#define KOM_PAGE_COUNT 8", "#define KOM_PAGE_COUNT 2")
+        .replace("#define KOM_PAGE_WORDS 8", "#define KOM_PAGE_WORDS 2")
+}
+
 #[test]
-#[ignore = "long-running on small machines (full Komodo-S POT); run with --ignored or via the table5 harness"]
 fn komodo_finalise_proves() {
     let t = tpot::targets::target("komodo-s").unwrap();
-    let v = t.verifier().unwrap();
-    let r = v.verify_pot("spec__finalise");
+    let r = bv_verifier(&t.full_source()).verify_pot("spec__finalise");
     assert!(r.status.is_proved(), "{:?}", r.status);
 }
 
 #[test]
-#[ignore = "long-running on small machines (page-walk division circuit); run with --ignored or via the table5 harness"]
+fn komodo_finalise_proves_reduced_bounds() {
+    let t = tpot::targets::target("komodo-s").unwrap();
+    let src = reduced_komodo(&t.full_source());
+    let r = bv_verifier(&src).verify_pot("spec__finalise");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
 fn komodo_star_va_pa_roundtrip_proves() {
     // The page-walk arithmetic Serval could not support (paper §5.1).
     let t = tpot::targets::target("komodo*").unwrap();
-    let v = t.verifier().unwrap();
-    let r = v.verify_pot("spec__va_pa_roundtrip");
+    let r = bv_verifier(&t.full_source()).verify_pot("spec__va_pa_roundtrip");
     assert!(r.status.is_proved(), "{:?}", r.status);
 }
 
 #[test]
-#[ignore = "long-running on small machines (64-bit PTE bit-blasting); run with --ignored or via the table5 harness"]
+fn komodo_star_va_pa_roundtrip_proves_reduced_bounds() {
+    let t = tpot::targets::target("komodo*").unwrap();
+    let src = reduced_komodo(&t.full_source());
+    let r = bv_verifier(&src).verify_pot("spec__va_pa_roundtrip");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
 fn kvm_pgtable_seeded_bit_bug_caught() {
     // Break the prot mask: the RefinedC-style bit-level spec must catch it.
     let t = tpot::targets::target("page table").unwrap();
     let bad = t
         .full_source()
         .replace("pte = pte & ~KVM_PTE_PROT_MASK;", "pte = pte;");
-    let m = tpot::ir::lower(&tpot::cfront::compile(&bad).unwrap()).unwrap();
-    let r = Verifier::new(m).verify_pot("spec__set_prot");
+    let r = bv_verifier(&bad).verify_pot("spec__set_prot");
+    assert!(matches!(r.status, PotStatus::Failed(_)), "{:?}", r.status);
+}
+
+#[test]
+fn kvm_pgtable_set_prot_proves() {
+    // The unbroken source must still prove, so the seeded-bug test above
+    // can't pass vacuously.
+    let t = tpot::targets::target("page table").unwrap();
+    let r = bv_verifier(&t.full_source()).verify_pot("spec__set_prot");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
+fn kvm_pgtable_seeded_bit_bug_caught_reduced_bounds() {
+    let t = tpot::targets::target("page table").unwrap();
+    let bad = t
+        .full_source()
+        .replace("#define PT_ENTRIES 8", "#define PT_ENTRIES 2")
+        .replace("pte = pte & ~KVM_PTE_PROT_MASK;", "pte = pte;");
+    let r = bv_verifier(&bad).verify_pot("spec__set_prot");
+    assert!(matches!(r.status, PotStatus::Failed(_)), "{:?}", r.status);
+}
+
+#[test]
+fn kvm_pgtable_set_prot_proves_reduced_bounds() {
+    let t = tpot::targets::target("page table").unwrap();
+    let src = t
+        .full_source()
+        .replace("#define PT_ENTRIES 8", "#define PT_ENTRIES 2");
+    let r = bv_verifier(&src).verify_pot("spec__set_prot");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+// Default integer-encoding variants (the paper's primary §4.3 encoding),
+// multi-minute in release: `cargo test --release --features slow-tests`.
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "integer-encoding Komodo-S proof is ~3 min in release; tier-1 covers the same POT under the bitvector encoding"
+)]
+fn komodo_finalise_proves_reduced_bounds_int_encoding() {
+    let t = tpot::targets::target("komodo-s").unwrap();
+    let src = reduced_komodo(&t.full_source());
+    let r = verifier(&src).verify_pot("spec__finalise");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "integer-encoding PTE proof is ~1 min in release; tier-1 covers the same POT under the bitvector encoding"
+)]
+fn kvm_pgtable_set_prot_proves_reduced_bounds_int_encoding() {
+    let t = tpot::targets::target("page table").unwrap();
+    let src = t
+        .full_source()
+        .replace("#define PT_ENTRIES 8", "#define PT_ENTRIES 2");
+    let r = verifier(&src).verify_pot("spec__set_prot");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
+
+#[test]
+#[cfg_attr(
+    not(feature = "slow-tests"),
+    ignore = "integer-encoding seeded-bug run is ~30 s in release; tier-1 covers the same POT under the bitvector encoding"
+)]
+fn kvm_pgtable_seeded_bit_bug_caught_reduced_bounds_int_encoding() {
+    let t = tpot::targets::target("page table").unwrap();
+    let bad = t
+        .full_source()
+        .replace("#define PT_ENTRIES 8", "#define PT_ENTRIES 2")
+        .replace("pte = pte & ~KVM_PTE_PROT_MASK;", "pte = pte;");
+    let r = verifier(&bad).verify_pot("spec__set_prot");
     assert!(matches!(r.status, PotStatus::Failed(_)), "{:?}", r.status);
 }
 

@@ -1,5 +1,6 @@
 //! PR 1 performance harness: sequential vs parallel multi-POT verification
-//! and cone-of-influence slicing savings, written to `BENCH_PR1.json`.
+//! and cone-of-influence slicing savings, written to `BENCH_PR1.json` in
+//! the unified `tpot-bench/v1` schema (see `tpot_bench::report`).
 //!
 //! For each selected target it runs `Verifier::verify_all` (the
 //! deterministic sequential driver) and `Verifier::verify_all_parallel`
@@ -12,40 +13,13 @@
 //! (default: the three small targets, `TPOT_JOBS`/core-count jobs,
 //! `BENCH_PR1.json` in the current directory).
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
-use tpot_engine::{PotResult, PotStatus, Stats};
+use tpot_bench::report::{
+    int, merged_stats, num, outcomes_match, stats_fields, BenchReport, TargetReport,
+};
+use tpot_obs::json::Value;
 use tpot_targets::all_targets;
-
-fn status_key(s: &PotStatus) -> String {
-    match s {
-        PotStatus::Proved => "proved".into(),
-        PotStatus::Failed(_) => "failed".into(),
-        PotStatus::Error(e) => format!("error:{e}"),
-    }
-}
-
-fn merged_stats(results: &[PotResult]) -> Stats {
-    let mut agg = Stats::default();
-    for r in results {
-        agg.merge(&r.stats);
-    }
-    agg
-}
-
-struct TargetRow {
-    name: String,
-    pots: usize,
-    sequential_ms: f64,
-    parallel_ms: f64,
-    outcomes_match: bool,
-    stats: Stats,
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
 
 fn main() {
     let mut select: Vec<String> = Vec::new();
@@ -70,11 +44,23 @@ fn main() {
             .unwrap_or(4)
     };
 
-    let mut rows: Vec<TargetRow> = Vec::new();
+    let mut report = BenchReport::new("bench_pr1");
+    report.meta("jobs", int(effective_jobs as u64));
+    // Parallel speedup needs ≥ 2 cores; on a single-core host the parallel
+    // driver can only match sequential wall-clock (its win there is the
+    // shared query cache), so record the core count next to the numbers.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    report.meta("cores", int(cores as u64));
+
+    let mut tot_seq = 0.0f64;
+    let mut tot_par = 0.0f64;
+    let mut all_match = true;
     for t in all_targets() {
         if !select
             .iter()
-            .any(|s| t.name.to_lowercase().contains(&s.to_lowercase()))
+            .any(|sel| t.name.to_lowercase().contains(&sel.to_lowercase()))
         {
             continue;
         }
@@ -85,11 +71,7 @@ fn main() {
         let t1 = Instant::now();
         let par = v.verify_all_parallel(jobs);
         let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
-        let outcomes_match = seq.len() == par.len()
-            && seq
-                .iter()
-                .zip(par.iter())
-                .all(|(a, b)| a.pot == b.pot && status_key(&a.status) == status_key(&b.status));
+        let matches = outcomes_match(&seq, &par);
         let stats = merged_stats(&par);
         println!(
             "{}: {} POTs, sequential {:.0} ms, parallel {:.0} ms ({:.2}x), \
@@ -101,81 +83,32 @@ fn main() {
             sequential_ms / parallel_ms.max(1e-9),
             stats.terms_shipped,
             stats.terms_total,
-            outcomes_match
+            matches
         );
-        rows.push(TargetRow {
-            name: t.name.to_string(),
-            pots: seq.len(),
-            sequential_ms,
-            parallel_ms,
-            outcomes_match,
-            stats,
-        });
+        let mut row = TargetReport::new(t.name);
+        row.field("pots", int(seq.len() as u64));
+        row.field("sequential_ms", num(sequential_ms));
+        row.field("parallel_ms", num(parallel_ms));
+        row.field("speedup", num(sequential_ms / parallel_ms.max(1e-9)));
+        row.field("outcomes_match", Value::Bool(matches));
+        row.fields.extend(stats_fields(&stats));
+        report.targets.push(row);
+        tot_seq += sequential_ms;
+        tot_par += parallel_ms;
+        all_match &= matches;
     }
 
-    if rows.is_empty() {
+    if report.targets.is_empty() {
         eprintln!("bench_pr1: no target matches {select:?}; nothing measured");
         std::process::exit(2);
     }
 
-    let mut j = String::new();
-    let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"harness\": \"bench_pr1\",");
-    let _ = writeln!(j, "  \"jobs\": {effective_jobs},");
-    // Parallel speedup needs ≥ 2 cores; on a single-core host the parallel
-    // driver can only match sequential wall-clock (its win there is the
-    // shared query cache), so record the core count next to the numbers.
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let _ = writeln!(j, "  \"cores\": {cores},");
-    let _ = writeln!(j, "  \"targets\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let s = &r.stats;
-        let _ = writeln!(j, "    {{");
-        let _ = writeln!(j, "      \"name\": \"{}\",", json_escape(&r.name));
-        let _ = writeln!(j, "      \"pots\": {},", r.pots);
-        let _ = writeln!(j, "      \"sequential_ms\": {:.1},", r.sequential_ms);
-        let _ = writeln!(j, "      \"parallel_ms\": {:.1},", r.parallel_ms);
-        let _ = writeln!(
-            j,
-            "      \"speedup\": {:.2},",
-            r.sequential_ms / r.parallel_ms.max(1e-9)
-        );
-        let _ = writeln!(j, "      \"outcomes_match\": {},", r.outcomes_match);
-        let _ = writeln!(j, "      \"queries\": {},", s.num_queries);
-        let _ = writeln!(j, "      \"serializations\": {},", s.num_serializations);
-        let _ = writeln!(j, "      \"pointer_queries\": {},", s.pointer_queries);
-        let _ = writeln!(j, "      \"branch_queries\": {},", s.branch_queries);
-        let _ = writeln!(j, "      \"assertion_queries\": {},", s.assertion_queries);
-        let _ = writeln!(j, "      \"simplify_queries\": {},", s.simplify_queries);
-        let _ = writeln!(j, "      \"terms_total\": {},", s.terms_total);
-        let _ = writeln!(j, "      \"terms_shipped\": {},", s.terms_shipped);
-        let _ = writeln!(j, "      \"arena_bytes_total\": {},", s.bytes_total);
-        let _ = writeln!(j, "      \"arena_bytes_shipped\": {},", s.bytes_shipped);
-        let _ = writeln!(
-            j,
-            "      \"queue_wait_ms\": {:.1}",
-            s.queue_wait.as_secs_f64() * 1e3
-        );
-        let _ = writeln!(j, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
-    }
-    let _ = writeln!(j, "  ],");
-    let all_match = rows.iter().all(|r| r.outcomes_match);
-    let tot_seq: f64 = rows.iter().map(|r| r.sequential_ms).sum();
-    let tot_par: f64 = rows.iter().map(|r| r.parallel_ms).sum();
-    let _ = writeln!(j, "  \"summary\": {{");
-    let _ = writeln!(j, "    \"all_outcomes_match\": {all_match},");
-    let _ = writeln!(j, "    \"total_sequential_ms\": {tot_seq:.1},");
-    let _ = writeln!(j, "    \"total_parallel_ms\": {tot_par:.1},");
-    let _ = writeln!(
-        j,
-        "    \"total_speedup\": {:.2}",
-        tot_seq / tot_par.max(1e-9)
-    );
-    let _ = writeln!(j, "  }}");
-    let _ = writeln!(j, "}}");
-    std::fs::write(&out, &j).expect("write results");
+    report.summary("all_outcomes_match", Value::Bool(all_match));
+    report.summary("total_sequential_ms", num(tot_seq));
+    report.summary("total_parallel_ms", num(tot_par));
+    report.summary("total_speedup", num(tot_seq / tot_par.max(1e-9)));
+    report.write(&out).expect("write results");
+    let _ = tpot_obs::flush();
     println!("wrote {out}");
     assert!(all_match, "parallel and sequential outcomes diverged");
 }

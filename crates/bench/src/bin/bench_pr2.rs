@@ -1,14 +1,14 @@
 //! PR 2 performance harness: copy-on-write fork accounting per target,
-//! written to `BENCH_PR2.json`.
+//! written to `BENCH_PR2.json` in the unified `tpot-bench/v1` schema (see
+//! `tpot_bench::report`).
 //!
 //! For each selected target it runs the sequential and parallel drivers,
 //! checks they report identical POT outcomes (the COW state representation
 //! must not change any verdict), and records wall-clock, the fork counters
 //! (`forks`, `fork_bytes_shared`, `fork_bytes_copied`, `live_peak`) and
-//! the process peak RSS (`VmHWM` from `/proc/self/status`; 0 where
-//! unavailable). `fork_bytes_shared / (shared + copied)` is the fraction
-//! of state bytes a deep-clone engine would have copied on every fork but
-//! the persistent representation shares.
+//! the process peak RSS. `fork_bytes_shared / (shared + copied)` is the
+//! fraction of state bytes a deep-clone engine would have copied on every
+//! fork but the persistent representation shares.
 //!
 //! Usage: `bench_pr2 [target-fragment ...] [--smoke] [--skip-pot FRAG]
 //! [--out PATH]` (default: every target and every POT; `--smoke` narrows
@@ -16,61 +16,15 @@
 //! `alloc_contig`, keeping the step CI-sized — every other target has
 //! multi-minute POTs on a single core).
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
-use tpot_engine::{PotResult, PotStatus, Stats};
+use tpot_bench::report::{
+    int, merged_stats, num, outcomes_match, peak_rss_kb, s, stats_fields, status_key, BenchReport,
+    TargetReport,
+};
+use tpot_engine::PotResult;
+use tpot_obs::json::Value;
 use tpot_targets::all_targets;
-
-fn status_key(s: &PotStatus) -> String {
-    match s {
-        PotStatus::Proved => "proved".into(),
-        PotStatus::Failed(_) => "failed".into(),
-        PotStatus::Error(e) => format!("error:{e}"),
-    }
-}
-
-fn merged_stats(results: &[PotResult]) -> Stats {
-    let mut agg = Stats::default();
-    for r in results {
-        agg.merge(&r.stats);
-    }
-    agg
-}
-
-/// Peak resident set size of this process in kilobytes, from Linux's
-/// `VmHWM` line. Monotone over the process lifetime; 0 on other platforms.
-fn peak_rss_kb() -> u64 {
-    let Ok(s) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in s.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            return rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-        }
-    }
-    0
-}
-
-struct TargetRow {
-    name: String,
-    pots: usize,
-    statuses: Vec<(String, String)>,
-    sequential_ms: f64,
-    parallel_ms: f64,
-    outcomes_match: bool,
-    peak_rss_kb: u64,
-    stats: Stats,
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
 
 fn main() {
     let mut select: Vec<String> = Vec::new();
@@ -91,17 +45,25 @@ fn main() {
             select = vec!["pkvm".into()];
         }
         // `spec__alloc_contig` hits a solver-unknown after ~13 min of
-        // search (a pre-existing solver limitation, identical before and
-        // after the COW refactor); it would dominate a CI smoke run.
+        // search (a pre-existing solver limitation; its query is captured
+        // as a corpus artifact by the tpot-obs slow-query watchdog — see
+        // crates/solver/tests/corpus/slow/); it would dominate a CI smoke
+        // run.
         skip_pots.push("alloc_contig".into());
     }
 
-    let mut rows: Vec<TargetRow> = Vec::new();
+    let mut report = BenchReport::new("bench_pr2");
+    report.meta("smoke", Value::Bool(smoke));
+
+    let mut all_match = true;
+    let mut tot_forks = 0u64;
+    let mut tot_shared = 0u64;
+    let mut tot_copied = 0u64;
     for t in all_targets() {
         if !select.is_empty()
             && !select
                 .iter()
-                .any(|s| t.name.to_lowercase().contains(&s.to_lowercase()))
+                .any(|sel| t.name.to_lowercase().contains(&sel.to_lowercase()))
         {
             continue;
         }
@@ -121,11 +83,7 @@ fn main() {
         let t1 = Instant::now();
         let par = v.verify_pots_parallel(&pots, 0);
         let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
-        let outcomes_match = seq.len() == par.len()
-            && seq
-                .iter()
-                .zip(par.iter())
-                .all(|(a, b)| a.pot == b.pot && status_key(&a.status) == status_key(&b.status));
+        let matches = outcomes_match(&seq, &par);
         let stats = merged_stats(&seq);
         let shared = stats.fork_bytes_shared;
         let copied = stats.fork_bytes_copied;
@@ -142,82 +100,46 @@ fn main() {
             copied / 1024,
             100.0 * shared as f64 / ((shared + copied).max(1)) as f64,
             stats.live_peak,
-            outcomes_match
+            matches
         );
-        rows.push(TargetRow {
-            name: t.name.to_string(),
-            pots: seq.len(),
-            statuses: seq
-                .iter()
-                .map(|r| (r.pot.clone(), status_key(&r.status)))
-                .collect(),
-            sequential_ms,
-            parallel_ms,
-            outcomes_match,
-            peak_rss_kb: peak_rss_kb(),
-            stats,
-        });
+        let mut row = TargetReport::new(t.name);
+        row.field("pots", int(seq.len() as u64));
+        row.field(
+            "outcomes",
+            Value::Obj(
+                seq.iter()
+                    .map(|r| (r.pot.clone(), s(status_key(&r.status))))
+                    .collect(),
+            ),
+        );
+        row.field("sequential_ms", num(sequential_ms));
+        row.field("parallel_ms", num(parallel_ms));
+        row.field("outcomes_match", Value::Bool(matches));
+        row.field(
+            "fork_shared_fraction",
+            num(shared as f64 / ((shared + copied).max(1)) as f64),
+        );
+        row.field("peak_rss_kb", int(peak_rss_kb()));
+        row.fields.extend(stats_fields(&stats));
+        report.targets.push(row);
+        all_match &= matches;
+        tot_forks += stats.forks;
+        tot_shared += shared;
+        tot_copied += copied;
     }
 
-    if rows.is_empty() {
+    if report.targets.is_empty() {
         eprintln!("bench_pr2: no target matches {select:?}; nothing measured");
         std::process::exit(2);
     }
 
-    let mut j = String::new();
-    let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"harness\": \"bench_pr2\",");
-    let _ = writeln!(j, "  \"smoke\": {smoke},");
-    let _ = writeln!(j, "  \"targets\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let s = &r.stats;
-        let shared = s.fork_bytes_shared;
-        let copied = s.fork_bytes_copied;
-        let _ = writeln!(j, "    {{");
-        let _ = writeln!(j, "      \"name\": \"{}\",", json_escape(&r.name));
-        let _ = writeln!(j, "      \"pots\": {},", r.pots);
-        let _ = writeln!(j, "      \"outcomes\": {{");
-        for (k, (pot, st)) in r.statuses.iter().enumerate() {
-            let _ = writeln!(
-                j,
-                "        \"{}\": \"{}\"{}",
-                json_escape(pot),
-                json_escape(st),
-                if k + 1 < r.statuses.len() { "," } else { "" }
-            );
-        }
-        let _ = writeln!(j, "      }},");
-        let _ = writeln!(j, "      \"sequential_ms\": {:.1},", r.sequential_ms);
-        let _ = writeln!(j, "      \"parallel_ms\": {:.1},", r.parallel_ms);
-        let _ = writeln!(j, "      \"outcomes_match\": {},", r.outcomes_match);
-        let _ = writeln!(j, "      \"paths\": {},", s.paths);
-        let _ = writeln!(j, "      \"forks\": {},", s.forks);
-        let _ = writeln!(j, "      \"fork_bytes_shared\": {shared},");
-        let _ = writeln!(j, "      \"fork_bytes_copied\": {copied},");
-        let _ = writeln!(
-            j,
-            "      \"fork_shared_fraction\": {:.4},",
-            shared as f64 / ((shared + copied).max(1)) as f64
-        );
-        let _ = writeln!(j, "      \"live_peak\": {},", s.live_peak);
-        let _ = writeln!(j, "      \"queries\": {},", s.num_queries);
-        let _ = writeln!(j, "      \"peak_rss_kb\": {}", r.peak_rss_kb);
-        let _ = writeln!(j, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
-    }
-    let _ = writeln!(j, "  ],");
-    let all_match = rows.iter().all(|r| r.outcomes_match);
-    let tot_forks: u64 = rows.iter().map(|r| r.stats.forks).sum();
-    let tot_shared: u64 = rows.iter().map(|r| r.stats.fork_bytes_shared).sum();
-    let tot_copied: u64 = rows.iter().map(|r| r.stats.fork_bytes_copied).sum();
-    let _ = writeln!(j, "  \"summary\": {{");
-    let _ = writeln!(j, "    \"all_outcomes_match\": {all_match},");
-    let _ = writeln!(j, "    \"total_forks\": {tot_forks},");
-    let _ = writeln!(j, "    \"total_fork_bytes_shared\": {tot_shared},");
-    let _ = writeln!(j, "    \"total_fork_bytes_copied\": {tot_copied},");
-    let _ = writeln!(j, "    \"peak_rss_kb\": {}", peak_rss_kb());
-    let _ = writeln!(j, "  }}");
-    let _ = writeln!(j, "}}");
-    std::fs::write(&out, &j).expect("write results");
+    report.summary("all_outcomes_match", Value::Bool(all_match));
+    report.summary("total_forks", int(tot_forks));
+    report.summary("total_fork_bytes_shared", int(tot_shared));
+    report.summary("total_fork_bytes_copied", int(tot_copied));
+    report.summary("peak_rss_kb", int(peak_rss_kb()));
+    report.write(&out).expect("write results");
+    let _ = tpot_obs::flush();
     println!("wrote {out}");
     assert!(all_match, "sequential and parallel outcomes diverged");
 }

@@ -1,5 +1,7 @@
 //! PR3 harness: deep differential-fuzz run over the solver stack and the
-//! symbolic engine (see DESIGN.md §5).
+//! symbolic engine (see DESIGN.md §5), written to `BENCH_PR3.json` in the
+//! unified `tpot-bench/v1` schema (rows are fuzz modes, not verification
+//! targets).
 //!
 //! Runs every fuzz mode (grounded brute-force differential, slice-vs-full,
 //! LIA-vs-BV, metamorphic, state fork-vs-replay) at a fixed seed and
@@ -12,19 +14,9 @@
 
 use std::process::exit;
 
-use tpot_fuzz::runner::{report_json, run, RunConfig};
-
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-        })
-        .unwrap_or(0)
-}
+use tpot_bench::report::{int, num, peak_rss_kb, s, BenchReport, TargetReport};
+use tpot_fuzz::runner::{run, RunConfig};
+use tpot_obs::json::Value;
 
 fn main() {
     let mut iters: u64 = 10_000;
@@ -70,46 +62,77 @@ fn main() {
 
     eprintln!("bench_pr3: {iters} iterations, seed {seed}");
     let cfg = RunConfig::new(iters, seed);
-    let report = run(&cfg);
+    let fuzz = run(&cfg);
 
-    for (m, s) in &report.stats {
+    let mut report = BenchReport::new("bench_pr3");
+    report.meta("smoke", Value::Bool(smoke));
+    report.meta("seed", int(fuzz.seed));
+    report.meta("iters", int(fuzz.iters));
+
+    for (m, st) in &fuzz.stats {
         eprintln!(
             "  {:<12} runs {:>6}  sat {:>6}  unsat {:>6}  skipped {:>4}  discrepancies {}",
             m.name(),
-            s.runs,
-            s.sat,
-            s.unsat,
-            s.skipped,
-            s.discrepancies
+            st.runs,
+            st.sat,
+            st.unsat,
+            st.skipped,
+            st.discrepancies
         );
+        let mut row = TargetReport::new(m.name());
+        row.field("runs", int(st.runs));
+        row.field("sat", int(st.sat));
+        row.field("unsat", int(st.unsat));
+        row.field("skipped", int(st.skipped));
+        row.field("discrepancies", int(st.discrepancies));
+        report.targets.push(row);
     }
 
-    let extra = [
-        ("smoke", smoke.to_string()),
-        ("peak_rss_kb", peak_rss_kb().to_string()),
-        (
-            "iters_per_sec",
-            format!(
-                "{:.1}",
-                report.iters as f64 / (report.elapsed_ms / 1000.0).max(1e-9)
-            ),
+    let total = fuzz.total_discrepancies();
+    report.summary("discrepancies", int(total));
+    report.summary(
+        "discrepancy_detail",
+        Value::Arr(
+            fuzz.discrepancies
+                .iter()
+                .map(|d| {
+                    Value::Obj(vec![
+                        ("mode".to_string(), s(d.mode.name())),
+                        ("iter".to_string(), int(d.iter)),
+                        ("detail".to_string(), s(&d.detail)),
+                        (
+                            "repro".to_string(),
+                            d.repro
+                                .as_ref()
+                                .map(|p| s(p.display().to_string()))
+                                .unwrap_or(Value::Null),
+                        ),
+                    ])
+                })
+                .collect(),
         ),
-    ];
-    let json = report_json(&report, &extra);
-    if let Err(e) = std::fs::write(&out, &json) {
+    );
+    report.summary("elapsed_ms", num(fuzz.elapsed_ms));
+    report.summary(
+        "iters_per_sec",
+        num(fuzz.iters as f64 / (fuzz.elapsed_ms / 1000.0).max(1e-9)),
+    );
+    report.summary("peak_rss_kb", int(peak_rss_kb()));
+
+    if let Err(e) = report.write(&out) {
         eprintln!("cannot write {out}: {e}");
         exit(1);
     }
+    let _ = tpot_obs::flush();
     eprintln!("wrote {out}");
 
-    let total = report.total_discrepancies();
     if total > 0 {
         eprintln!("bench_pr3: {total} discrepancies (repros under fuzz-failures/)");
         exit(1);
     }
     eprintln!(
         "bench_pr3: OK ({} iterations, {:.1} s, 0 discrepancies)",
-        report.iters,
-        report.elapsed_ms / 1000.0
+        fuzz.iters,
+        fuzz.elapsed_ms / 1000.0
     );
 }

@@ -1,0 +1,196 @@
+//! PR 4 harness: observability parity and solver time-attribution
+//! coverage, written to `BENCH_PR4.json` in the unified `tpot-bench/v1`
+//! schema with the full `tpot-obs` metrics registry embedded.
+//!
+//! Two in-process phases over the same POTs:
+//!
+//! 1. **Baseline** — spans disabled (the production default). Records the
+//!    per-POT outcomes and wall-clock.
+//! 2. **Traced** — span collection forced on ([`ObsConfig::collect_spans`],
+//!    no file sinks). Records outcomes, wall-clock, and the raw events.
+//!
+//! The harness then asserts the two invariants PR 4 promises:
+//!
+//! - **Parity**: tracing never changes a verification outcome (same POTs,
+//!   same statuses in both phases).
+//! - **Attribution coverage**: the matched `solver`/`query` spans account
+//!   for ≥ 95% of the solver wall time the engine's own [`Stats`] timers
+//!   measured (the span wraps serialization + solve, the stats timer only
+//!   the solve, so coverage may exceed 100%).
+//!
+//! Usage: `bench_pr4 [target-fragment ...] [--skip-pot FRAG] [--out PATH]`
+//! (default: the pKVM allocator minus the known solver-unknown outlier
+//! `alloc_contig`; see crates/solver/tests/corpus/slow/).
+
+use std::time::Instant;
+
+use tpot_bench::report::{
+    int, merged_stats, num, outcomes_match, peak_rss_kb, s, status_key, BenchReport, TargetReport,
+};
+use tpot_engine::PotResult;
+use tpot_obs::json::Value;
+use tpot_obs::{ObsConfig, Phase};
+use tpot_targets::all_targets;
+
+/// Sums the durations (µs) of matched Begin/End pairs with category
+/// `solver` and name `query`, via a per-thread stack (the per-thread event
+/// order is the collection order, so pairs nest properly per tid).
+fn solver_span_us(events: &[tpot_obs::Event]) -> u64 {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<u64, Vec<(&str, &str, u64)>> = HashMap::new();
+    let mut total = 0u64;
+    for ev in events {
+        match ev.phase {
+            Phase::Begin => stacks
+                .entry(ev.tid)
+                .or_default()
+                .push((ev.cat, &ev.name, ev.ts_us)),
+            Phase::End => {
+                if let Some((cat, name, t0)) = stacks.entry(ev.tid).or_default().pop() {
+                    if cat == "solver" && name == "query" {
+                        total += ev.ts_us.saturating_sub(t0);
+                    }
+                }
+            }
+            Phase::Instant => {}
+        }
+    }
+    total
+}
+
+fn main() {
+    let mut select: Vec<String> = Vec::new();
+    let mut skip_pots: Vec<String> = vec!["alloc_contig".into()];
+    let mut out = "BENCH_PR4.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--skip-pot" => skip_pots.extend(args.next()),
+            "--out" => out = args.next().unwrap_or(out),
+            _ => select.push(a),
+        }
+    }
+    if select.is_empty() {
+        select = vec!["pkvm".into()];
+    }
+
+    let mut report = BenchReport::new("bench_pr4");
+    report.meta(
+        "skip_pots",
+        Value::Arr(skip_pots.iter().map(|p| s(p.clone())).collect()),
+    );
+
+    let mut all_parity = true;
+    let mut tot_span_us = 0u64;
+    let mut tot_measured_us = 0u64;
+    for t in all_targets() {
+        if !select
+            .iter()
+            .any(|sel| t.name.to_lowercase().contains(&sel.to_lowercase()))
+        {
+            continue;
+        }
+        let v = t.verifier().expect("target compiles");
+        let pots: Vec<String> = v
+            .module
+            .pot_names()
+            .into_iter()
+            .filter(|p| !skip_pots.iter().any(|f| p.contains(f.as_str())))
+            .collect();
+        if pots.is_empty() {
+            continue;
+        }
+
+        // Phase 1: spans off (the default; configure defensively in case a
+        // TPOT_TRACE/TPOT_SPANS environment leaked in).
+        tpot_obs::configure(ObsConfig::default());
+        tpot_obs::take_events();
+        let t0 = Instant::now();
+        let base: Vec<PotResult> = pots.iter().map(|p| v.verify_pot(p)).collect();
+        let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Phase 2: span collection forced on, no file sinks.
+        tpot_obs::configure(ObsConfig {
+            collect_spans: true,
+            ..ObsConfig::default()
+        });
+        let t1 = Instant::now();
+        let traced: Vec<PotResult> = pots.iter().map(|p| v.verify_pot(p)).collect();
+        let traced_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let events = tpot_obs::take_events();
+        tpot_obs::configure(ObsConfig::default());
+
+        let parity = outcomes_match(&base, &traced);
+        let stats = merged_stats(&traced);
+        let span_us = solver_span_us(&events);
+        let measured_us =
+            (stats.simplify_time + stats.pointer_time + stats.branch_time + stats.assertion_time)
+                .as_micros() as u64;
+        let coverage = span_us as f64 / (measured_us.max(1)) as f64;
+        println!(
+            "{}: {} POTs, baseline {:.0} ms, traced {:.0} ms, {} events, \
+             solver spans {:.1} ms vs measured {:.1} ms ({:.1}% coverage), \
+             parity: {}",
+            t.name,
+            base.len(),
+            baseline_ms,
+            traced_ms,
+            events.len(),
+            span_us as f64 / 1e3,
+            measured_us as f64 / 1e3,
+            100.0 * coverage,
+            parity
+        );
+
+        let mut row = TargetReport::new(t.name);
+        row.field("pots", int(base.len() as u64));
+        row.field(
+            "outcomes",
+            Value::Obj(
+                base.iter()
+                    .map(|r| (r.pot.clone(), s(status_key(&r.status))))
+                    .collect(),
+            ),
+        );
+        row.field("baseline_ms", num(baseline_ms));
+        row.field("traced_ms", num(traced_ms));
+        row.field(
+            "tracing_overhead",
+            num(traced_ms / baseline_ms.max(1e-9) - 1.0),
+        );
+        row.field("events", int(events.len() as u64));
+        row.field("parity", Value::Bool(parity));
+        row.field("solver_span_us", int(span_us));
+        row.field("measured_solver_us", int(measured_us));
+        row.field("solver_span_coverage", num(coverage));
+        report.targets.push(row);
+
+        all_parity &= parity;
+        tot_span_us += span_us;
+        tot_measured_us += measured_us;
+    }
+
+    if report.targets.is_empty() {
+        eprintln!("bench_pr4: no target matches {select:?}; nothing measured");
+        std::process::exit(2);
+    }
+
+    let coverage = tot_span_us as f64 / tot_measured_us.max(1) as f64;
+    let coverage_ok = coverage >= 0.95;
+    report.summary("parity", Value::Bool(all_parity));
+    report.summary("solver_span_us", int(tot_span_us));
+    report.summary("measured_solver_us", int(tot_measured_us));
+    report.summary("solver_span_coverage", num(coverage));
+    report.summary("coverage_ok", Value::Bool(coverage_ok));
+    report.summary("peak_rss_kb", int(peak_rss_kb()));
+    report.embed_metrics();
+    report.write(&out).expect("write results");
+    println!("wrote {out}");
+
+    assert!(all_parity, "tracing changed a verification outcome");
+    assert!(
+        coverage_ok,
+        "solver spans cover only {:.1}% of measured solver time",
+        100.0 * coverage
+    );
+}

@@ -1,0 +1,96 @@
+//! CI validator for Chrome-trace files produced by `TPOT_TRACE=...`.
+//!
+//! Checks that the trace (a) parses as the Chrome Trace Event Format
+//! document `tpot-obs` emits, (b) has properly nested Begin/End pairs per
+//! thread — an End that does not match the innermost open Begin is fatal —
+//! and (c) contains at least one `solver`-category span: the whole point
+//! of the artifact is solver time-attribution, so a trace without solver
+//! spans means the instrumentation regressed. Spans still open at the end
+//! of the file are reported but tolerated: the engine flushes sinks after
+//! every POT, so a trace is a snapshot and may capture in-flight work
+//! (e.g. a cancelled portfolio job that has not yet observed its cancel
+//! flag). Perfetto renders such spans as running to the trace end.
+//!
+//! Usage: `trace_check TRACE.json`; exits nonzero on any violation.
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use tpot_obs::json::{parse, Value};
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    exit(1);
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check TRACE.json");
+        exit(2);
+    };
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc = parse(&text).unwrap_or_else(|e| die(&format!("{path} is not valid JSON: {e}")));
+
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_arr) else {
+        die(&format!("{path} has no traceEvents array"));
+    };
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0) as u64;
+
+    // Per-tid stacks; events are sorted by timestamp with per-thread order
+    // preserved, so each thread's B/E pairs must nest.
+    let mut stacks: HashMap<u64, Vec<(String, String)>> = HashMap::new();
+    let mut matched = 0u64;
+    let mut instants = 0u64;
+    let mut solver_spans = 0u64;
+    let mut last_ts = f64::MIN;
+    for (i, ev) in events.iter().enumerate() {
+        let field = |k: &str| ev.get(k).and_then(Value::as_str).map(str::to_string);
+        let ph = field("ph").unwrap_or_else(|| die(&format!("event {i} has no ph")));
+        let name = field("name").unwrap_or_else(|| die(&format!("event {i} has no name")));
+        let cat = field("cat").unwrap_or_else(|| die(&format!("event {i} has no cat")));
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| die(&format!("event {i} has no numeric ts")));
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| die(&format!("event {i} has no numeric tid")))
+            as u64;
+        if ts < last_ts {
+            die(&format!("event {i} out of timestamp order"));
+        }
+        last_ts = ts;
+        match ph.as_str() {
+            "B" => {
+                if cat == "solver" {
+                    solver_spans += 1;
+                }
+                stacks.entry(tid).or_default().push((cat, name));
+            }
+            "E" => match stacks.entry(tid).or_default().pop() {
+                Some((_, open)) if open == name => matched += 1,
+                Some((_, open)) => die(&format!(
+                    "event {i}: End of {name:?} but {open:?} is open on tid {tid}"
+                )),
+                None => die(&format!("event {i}: End of {name:?} with no open span")),
+            },
+            "i" => instants += 1,
+            other => die(&format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    let open: u64 = stacks.values().map(|s| s.len() as u64).sum();
+    if solver_spans == 0 {
+        die("no solver-category spans — solver time-attribution is missing");
+    }
+    println!(
+        "trace_check: OK ({} events, {matched} matched spans, {instants} instants, \
+         {solver_spans} solver spans, {open} still open, {dropped} dropped)",
+        events.len()
+    );
+}

@@ -222,8 +222,19 @@ impl Verifier {
     }
 
     fn verify_pot_with_cache(&self, pot: &str, cache: tpot_portfolio::SharedCache) -> PotResult {
+        let result = self.verify_pot_traced(pot, cache);
+        // Rewrite any configured sink (TPOT_TRACE/TPOT_SPANS/TPOT_METRICS)
+        // after every POT: driver binaries then produce their files without
+        // an explicit flush, and a partial trace survives a hung later POT.
+        // No-op (one mutex lock) when no sink is configured.
+        let _ = tpot_obs::flush();
+        result
+    }
+
+    fn verify_pot_traced(&self, pot: &str, cache: tpot_portfolio::SharedCache) -> PotResult {
+        let _span = tpot_obs::span_args("engine", "verify_pot", &[("pot", pot.to_string())]);
         let t0 = Instant::now();
-        match self.verify_pot_inner(pot, cache) {
+        let result = match self.verify_pot_inner(pot, cache) {
             Ok((violations, stats)) => PotResult {
                 pot: pot.to_string(),
                 status: if violations.is_empty() {
@@ -234,13 +245,37 @@ impl Verifier {
                 stats,
                 duration: t0.elapsed(),
             },
-            Err(e) => PotResult {
-                pot: pot.to_string(),
-                status: PotStatus::Error(e.to_string()),
-                stats: Stats::default(),
-                duration: t0.elapsed(),
+            Err(e) => {
+                tpot_obs::obs_error!("engine", "POT {pot}: {e}");
+                PotResult {
+                    pot: pot.to_string(),
+                    status: PotStatus::Error(e.to_string()),
+                    stats: Stats::default(),
+                    duration: t0.elapsed(),
+                }
+            }
+        };
+        // Mirror the per-POT record into the process-wide registry and
+        // count outcomes; the registry is what `TPOT_METRICS` dumps.
+        result.stats.publish_metrics();
+        let outcome = match &result.status {
+            PotStatus::Proved => "engine.pots_proved",
+            PotStatus::Failed(_) => "engine.pots_failed",
+            PotStatus::Error(_) => "engine.pots_errored",
+        };
+        tpot_obs::metrics::counter(outcome).inc();
+        tpot_obs::obs_info!(
+            "engine",
+            "POT {pot}: {} in {:.2}s ({} queries)",
+            match &result.status {
+                PotStatus::Proved => "proved".to_string(),
+                PotStatus::Failed(vs) => format!("{} violation(s)", vs.len()),
+                PotStatus::Error(e) => format!("error: {e}"),
             },
-        }
+            result.duration.as_secs_f64(),
+            result.stats.num_queries
+        );
+        result
     }
 
     fn verify_pot_inner(

@@ -186,6 +186,16 @@ impl<'m> ExecCtx<'m> {
         self.solver.stats.forks += 1;
         self.solver.stats.fork_bytes_shared += cost.shared_bytes;
         self.solver.stats.fork_bytes_copied += cost.copied_bytes;
+        if tpot_obs::tracing_enabled() {
+            tpot_obs::instant(
+                "engine",
+                "fork",
+                &[
+                    ("pc_depth", s.path.len().to_string()),
+                    ("frames", s.frames.len().to_string()),
+                ],
+            );
+        }
         s.fork()
     }
 
@@ -258,8 +268,24 @@ impl<'m> ExecCtx<'m> {
         let mut finished = Vec::new();
         while let Some(s) = stack.pop() {
             self.solver.stats.live_peak = self.solver.stats.live_peak.max(stack.len() as u64 + 1);
-            if s.done.is_some() {
+            if let Some(done) = &s.done {
                 self.solver.stats.paths += 1;
+                if tpot_obs::tracing_enabled() {
+                    let outcome = match done {
+                        PathOutcome::Completed => "completed",
+                        PathOutcome::Error(_) => "error",
+                        PathOutcome::LoopCut => "loop_cut",
+                        PathOutcome::Infeasible => "infeasible",
+                    };
+                    tpot_obs::instant(
+                        "engine",
+                        "path_done",
+                        &[
+                            ("outcome", outcome.to_string()),
+                            ("pc_depth", s.path.len().to_string()),
+                        ],
+                    );
+                }
                 finished.push(s);
                 continue;
             }

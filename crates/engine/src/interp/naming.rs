@@ -299,9 +299,7 @@ impl<'m> ExecCtx<'m> {
         for (mi, m) in markers.iter().enumerate() {
             let Some(k) = extract_elem_index_bv(&mut self.arena, addr, m.attach_ptr, m.elem_size)
             else {
-                if std::env::var_os("TPOT_DEBUG").is_some() {
-                    eprintln!("[marker] obj#{} f={} NO ELEM INDEX", obj.0, m.func);
-                }
+                tpot_obs::obs_debug!("marker", "obj#{} f={} no elem index", obj.0, m.func);
                 continue;
             };
             if !s.instantiated.insert((obj, mi, k)) {
@@ -333,19 +331,18 @@ impl<'m> ExecCtx<'m> {
             }
             if !disj.is_empty() {
                 let formula = self.arena.or(&disj);
-                if std::env::var_os("TPOT_DEBUG").is_some() {
-                    eprintln!(
-                        "[marker] obj#{} f={} k={} formula={}",
-                        obj.0,
-                        m.func,
-                        tpot_smt::print::term_to_string(&self.arena, k),
-                        tpot_smt::print::term_to_string(&self.arena, formula)
-                    );
-                }
+                tpot_obs::obs_debug!(
+                    "marker",
+                    "obj#{} f={} k={} formula={}",
+                    obj.0,
+                    m.func,
+                    tpot_smt::print::term_to_string(&self.arena, k),
+                    tpot_smt::print::term_to_string(&self.arena, formula)
+                );
                 s.assume(formula);
                 self.drain_mem_constraints(s);
-            } else if std::env::var_os("TPOT_DEBUG").is_some() {
-                eprintln!("[marker] obj#{} f={} NO SUBPATHS", obj.0, m.func);
+            } else {
+                tpot_obs::obs_debug!("marker", "obj#{} f={} no subpaths", obj.0, m.func);
             }
         }
         s.marker_guard.pop();

@@ -12,8 +12,13 @@ use tpot_smt::print::{query_fingerprint, to_smtlib};
 use tpot_smt::{Model, TermArena, TermId};
 use tpot_solver::{SmtResult, SolverError};
 
+use tpot_obs::metrics::LazyHistogram;
+
 use crate::state::PathCond;
 use crate::stats::{QueryPurpose, Stats};
+
+/// End-to-end solver-call latency (µs), across every purpose.
+static QUERY_US: LazyHistogram = LazyHistogram::new("engine.query_us");
 
 /// Errors surfaced by the engine.
 #[derive(Clone, Debug)]
@@ -72,16 +77,30 @@ impl QueryCtx {
         // Serialization happens exactly once per solver call: the text both
         // pays the Fig. 7 "Serialization" bucket and yields the cache
         // fingerprint handed to the portfolio, which therefore never
-        // re-serializes.
+        // re-serializes. The same text is what the slow-query watchdog
+        // dumps, so watchdog registration costs one Arc, never a re-print.
         let t0 = Instant::now();
-        let fp = query_fingerprint(&to_smtlib(arena, assertions));
+        let text = std::sync::Arc::new(to_smtlib(arena, assertions));
+        let fp = query_fingerprint(&text);
         self.stats.serialization_time += t0.elapsed();
         self.stats.num_serializations += 1;
+        let _span = tpot_obs::span_args(
+            "solver",
+            "query",
+            &[
+                ("purpose", purpose.name().to_string()),
+                ("fingerprint", format!("{fp:016x}")),
+                ("asserts", assertions.len().to_string()),
+            ],
+        );
+        let _watch = tpot_obs::watchdog::register(fp, text);
         let t1 = Instant::now();
         let r = self
             .portfolio
             .check_fingerprinted(arena, assertions, need_model, fp)?;
-        self.stats.add_query_time(purpose, t1.elapsed());
+        let elapsed = t1.elapsed();
+        self.stats.add_query_time(purpose, elapsed);
+        QUERY_US.observe(elapsed.as_micros() as u64);
         Ok(r)
     }
 

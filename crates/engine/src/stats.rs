@@ -22,6 +22,18 @@ pub enum QueryPurpose {
     Simplify,
 }
 
+impl QueryPurpose {
+    /// Stable lowercase name (span args, metrics keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryPurpose::Pointers => "pointers",
+            QueryPurpose::Branches => "branches",
+            QueryPurpose::Assertions => "assertions",
+            QueryPurpose::Simplify => "simplify",
+        }
+    }
+}
+
 /// Accumulated engine statistics.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
@@ -149,6 +161,40 @@ impl Stats {
         self.live_peak = self.live_peak.max(o.live_peak);
         self.insts += o.insts;
         self.materializations += o.materializations;
+    }
+
+    /// Mirrors this record into the process-wide metrics registry
+    /// (`tpot-obs`), under `engine.*` names. The per-POT [`Stats`] stays
+    /// the per-POT view; the registry accumulates across POTs and
+    /// processes-wide subsystems and is what `TPOT_METRICS` dumps.
+    pub fn publish_metrics(&self) {
+        use tpot_obs::metrics::counter;
+        let us = |d: Duration| d.as_micros() as u64;
+        counter("engine.time.simplify_us").add(us(self.simplify_time));
+        counter("engine.time.pointers_us").add(us(self.pointer_time));
+        counter("engine.time.branches_us").add(us(self.branch_time));
+        counter("engine.time.assertions_us").add(us(self.assertion_time));
+        counter("engine.time.serialization_us").add(us(self.serialization_time));
+        counter("engine.queries").add(self.num_queries);
+        counter("engine.queries.pointers").add(self.pointer_queries);
+        counter("engine.queries.branches").add(self.branch_queries);
+        counter("engine.queries.assertions").add(self.assertion_queries);
+        counter("engine.queries.simplify").add(self.simplify_queries);
+        counter("engine.serializations").add(self.num_serializations);
+        counter("engine.slice.terms_total").add(self.terms_total);
+        counter("engine.slice.terms_shipped").add(self.terms_shipped);
+        counter("engine.slice.bytes_total").add(self.bytes_total);
+        counter("engine.slice.bytes_shipped").add(self.bytes_shipped);
+        counter("engine.queue_wait_us").add(us(self.queue_wait));
+        counter("engine.raw_cache_hits").add(self.raw_cache_hits);
+        counter("engine.raw_simplifications").add(self.raw_simplifications);
+        counter("engine.const_offset_hits").add(self.const_offset_hits);
+        counter("engine.paths").add(self.paths);
+        counter("engine.forks").add(self.forks);
+        counter("engine.fork_bytes_shared").add(self.fork_bytes_shared);
+        counter("engine.fork_bytes_copied").add(self.fork_bytes_copied);
+        counter("engine.insts").add(self.insts);
+        counter("engine.materializations").add(self.materializations);
     }
 
     /// Percentage breakdown in the paper's Figure 7 buckets:

@@ -89,6 +89,7 @@ fn main() {
                 std::fs::write(&path, report_json(&report, &[])).expect("write json report");
                 println!("wrote {path}");
             }
+            let _ = tpot_obs::flush();
             if report.total_discrepancies() > 0 {
                 std::process::exit(1);
             }

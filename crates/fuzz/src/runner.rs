@@ -55,7 +55,7 @@ impl Mode {
     }
 }
 
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
 pub struct ModeStats {
     pub runs: u64,
     pub sat: u64,
@@ -203,6 +203,14 @@ fn run_one(
 }
 
 pub fn run(cfg: &RunConfig) -> FuzzReport {
+    let _span = tpot_obs::span_args(
+        "fuzz",
+        "run",
+        &[
+            ("iters", cfg.iters.to_string()),
+            ("seed", cfg.seed.to_string()),
+        ],
+    );
     let t0 = Instant::now();
     let mut stats: Vec<(Mode, ModeStats)> = cfg
         .modes
@@ -241,8 +249,9 @@ pub fn run(cfg: &RunConfig) -> FuzzReport {
                     }
                     _ => None,
                 };
-                eprintln!(
-                    "DISCREPANCY [{} iter {}]: {}{}",
+                tpot_obs::obs_warn!(
+                    "fuzz",
+                    "discrepancy [{} iter {}]: {}{}",
                     mode.name(),
                     iter,
                     detail,

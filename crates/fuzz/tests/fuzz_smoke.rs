@@ -60,3 +60,48 @@ fn fuzz_smoke_fixed_seed_finds_no_discrepancies() {
         );
     }
 }
+
+/// PR 4's observability parity guarantee, enforced at the fuzzer level:
+/// running the identical fixed-seed slice with span collection forced on
+/// must produce byte-identical per-mode statistics and the same (empty)
+/// discrepancy set as the quiet default. Instrumentation only observes.
+#[test]
+fn tracing_does_not_change_fuzz_outcomes() {
+    let mut cfg = RunConfig::new(120, 7);
+    cfg.write_repros = false;
+
+    tpot_obs::configure(tpot_obs::ObsConfig::default());
+    let quiet = run(&cfg);
+
+    tpot_obs::configure(tpot_obs::ObsConfig {
+        collect_spans: true,
+        ..Default::default()
+    });
+    let traced = run(&cfg);
+    let events = tpot_obs::take_events();
+    tpot_obs::configure(tpot_obs::ObsConfig::default());
+
+    assert!(
+        !events.is_empty(),
+        "span collection was on but no events were recorded"
+    );
+    assert_eq!(
+        quiet.total_discrepancies(),
+        0,
+        "baseline fuzz run found discrepancies"
+    );
+    assert_eq!(
+        traced.total_discrepancies(),
+        0,
+        "traced fuzz run found discrepancies"
+    );
+    for ((m_q, s_q), (m_t, s_t)) in quiet.stats.iter().zip(traced.stats.iter()) {
+        assert_eq!(m_q.name(), m_t.name());
+        assert_eq!(
+            s_q,
+            s_t,
+            "{}: stats diverged between quiet and traced runs",
+            m_q.name()
+        );
+    }
+}

@@ -309,5 +309,6 @@ impl Module {
 
 /// Lowers a checked program into a [`Module`].
 pub fn lower(prog: &CheckedProgram) -> Result<Module, String> {
+    let _span = tpot_obs::span("ir", "lower");
     lower::lower_program(prog)
 }

@@ -1,0 +1,180 @@
+//! Exporters: Chrome-trace JSON (Perfetto-loadable) and span JSONL.
+//!
+//! Chrome trace format reference: the "Trace Event Format" document. We
+//! emit `B`/`E` duration events and `i` instant events with explicit
+//! microsecond timestamps. Per-thread well-formedness (every `E` closes
+//! the most recent open `B` on its tid) follows from the RAII span guards;
+//! the exporter stable-sorts by timestamp, which preserves each thread's
+//! event order for equal timestamps.
+
+use crate::json::{self, Value};
+use crate::span::{Event, Phase};
+
+fn event_value(e: &Event) -> Value {
+    let mut obj = vec![
+        ("ph".to_string(), Value::Str(e.phase.ph().to_string())),
+        ("name".to_string(), Value::Str(e.name.clone())),
+        ("cat".to_string(), Value::Str(e.cat.to_string())),
+        ("ts".to_string(), Value::Num(e.ts_us as f64)),
+        ("pid".to_string(), Value::Num(1.0)),
+        ("tid".to_string(), Value::Num(e.tid as f64)),
+    ];
+    if e.phase == Phase::Instant {
+        // Thread-scoped instant.
+        obj.push(("s".to_string(), Value::Str("t".to_string())));
+    }
+    if !e.args.is_empty() {
+        obj.push((
+            "args".to_string(),
+            Value::Obj(
+                e.args
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Obj(obj)
+}
+
+/// Renders a complete Chrome-trace document for `events`.
+pub fn chrome_trace_json(events: &[Event], dropped: u64) -> String {
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|e| e.ts_us); // stable: preserves per-thread order
+    let arr: Vec<Value> = sorted.into_iter().map(event_value).collect();
+    Value::Obj(vec![
+        ("traceEvents".to_string(), Value::Arr(arr)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        (
+            "otherData".to_string(),
+            Value::Obj(vec![
+                ("producer".to_string(), Value::Str("tpot-obs".to_string())),
+                ("dropped_events".to_string(), Value::Num(dropped as f64)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Renders events as JSONL: one JSON object per line, in collection order.
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_value(e).render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL span stream back into events (round-trip tests, offline
+/// analysis). Unknown phases and malformed lines are errors — a sink that
+/// silently skips lines would mask serialization bugs.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(parse_event(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Interns the category string back to the static names the pipeline uses.
+/// Categories form a small closed set; an unknown one maps to `"other"`.
+fn intern_cat(s: &str) -> &'static str {
+    for known in [
+        "cfront",
+        "ir",
+        "engine",
+        "smt",
+        "portfolio",
+        "solver",
+        "sat",
+        "fuzz",
+        "bench",
+        "log",
+        "obs",
+        "test",
+    ] {
+        if s == known {
+            return known;
+        }
+    }
+    "other"
+}
+
+fn parse_event(v: &Value) -> Result<Event, String> {
+    let phase = match v.get("ph").and_then(Value::as_str) {
+        Some("B") => Phase::Begin,
+        Some("E") => Phase::End,
+        Some("i") => Phase::Instant,
+        other => return Err(format!("bad phase {other:?}")),
+    };
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("missing name")?
+        .to_string();
+    let cat = intern_cat(v.get("cat").and_then(Value::as_str).unwrap_or("other"));
+    let ts_us = v.get("ts").and_then(Value::as_f64).ok_or("missing ts")? as u64;
+    let tid = v.get("tid").and_then(Value::as_f64).ok_or("missing tid")? as u64;
+    let args = match v.get("args") {
+        Some(Value::Obj(m)) => m
+            .iter()
+            .map(|(k, v)| {
+                Ok((
+                    k.clone(),
+                    v.as_str().ok_or("non-string arg value")?.to_string(),
+                ))
+            })
+            .collect::<Result<Vec<_>, &str>>()
+            .map_err(str::to_string)?,
+        _ => Vec::new(),
+    };
+    Ok(Event {
+        phase,
+        cat,
+        name,
+        ts_us,
+        tid,
+        args,
+    })
+}
+
+/// Per-tid begin/end well-formedness check: every `E` must close the most
+/// recently opened `B` with the same name, and no span may stay open.
+/// Returns the number of matched spans, or the first violation.
+pub fn check_well_formed(events: &[Event]) -> Result<usize, String> {
+    use std::collections::HashMap;
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|e| e.ts_us);
+    let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
+    let mut matched = 0usize;
+    for e in sorted {
+        match e.phase {
+            Phase::Begin => stacks.entry(e.tid).or_default().push(&e.name),
+            Phase::End => {
+                let stack = stacks.entry(e.tid).or_default();
+                match stack.pop() {
+                    Some(open) if open == e.name => matched += 1,
+                    Some(open) => {
+                        return Err(format!(
+                            "tid {}: E {:?} closes open span {:?}",
+                            e.tid, e.name, open
+                        ))
+                    }
+                    None => return Err(format!("tid {}: E {:?} with no open span", e.tid, e.name)),
+                }
+            }
+            Phase::Instant => {}
+        }
+    }
+    for (tid, stack) in stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid}: spans left open: {stack:?}"));
+        }
+    }
+    Ok(matched)
+}

@@ -1,0 +1,195 @@
+//! The slow-query watchdog.
+//!
+//! The engine registers every solver-bound query (its already-serialized
+//! SMT-LIB text plus the calling thread's span ancestry) before dispatch
+//! and deregisters it on completion. A monitor thread wakes periodically;
+//! any query in flight longer than `TPOT_SLOW_QUERY_MS` is dumped — *while
+//! still running* — as a replayable `.smt2` file under
+//! `TPOT_SLOW_QUERY_DIR` (default `tpot-slow-queries/`). This is what
+//! turns a 13-minute `unknown` mystery into a committed artifact: the
+//! repro exists minutes before the solver gives up, and the header records
+//! which POT, path and purpose produced it.
+//!
+//! Queries that finish just past the threshold without being seen by the
+//! monitor are dumped at deregistration, so the set of dumped queries is
+//! exactly "everything that ever exceeded the threshold".
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::metrics::LazyCounter;
+use crate::slow_query_ms;
+
+static SLOW_QUERIES: LazyCounter = LazyCounter::new("obs.slow_queries");
+static DUMPED: LazyCounter = LazyCounter::new("obs.slow_query_dumps");
+
+struct InFlight {
+    fingerprint: u64,
+    smtlib: Arc<String>,
+    ancestry: Vec<String>,
+    start: Instant,
+    dumped: bool,
+}
+
+#[derive(Default)]
+struct WatchdogState {
+    inflight: HashMap<u64, InFlight>,
+}
+
+static STATE: OnceLock<Mutex<WatchdogState>> = OnceLock::new();
+static NEXT_KEY: AtomicU64 = AtomicU64::new(1);
+static MONITOR_RUNNING: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static Mutex<WatchdogState> {
+    STATE.get_or_init(|| Mutex::new(WatchdogState::default()))
+}
+
+/// Where dumps land.
+pub fn dump_dir() -> PathBuf {
+    std::env::var_os("TPOT_SLOW_QUERY_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("tpot-slow-queries"))
+}
+
+/// Registers an in-flight query. Inert (returns a no-op guard) when the
+/// watchdog is disabled. `smtlib` is the already-serialized query text —
+/// the engine serializes every query once anyway, so registration adds an
+/// `Arc` clone, never a re-serialization.
+pub fn register(fingerprint: u64, smtlib: Arc<String>) -> Guard {
+    let threshold = slow_query_ms();
+    if threshold == 0 {
+        return Guard { key: None };
+    }
+    ensure_monitor(threshold);
+    let key = NEXT_KEY.fetch_add(1, Ordering::Relaxed);
+    state().lock().unwrap().inflight.insert(
+        key,
+        InFlight {
+            fingerprint,
+            smtlib,
+            ancestry: crate::ancestry(),
+            start: Instant::now(),
+            dumped: false,
+        },
+    );
+    Guard { key: Some(key) }
+}
+
+/// Deregistration guard returned by [`register`].
+pub struct Guard {
+    key: Option<u64>,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        let Some(key) = self.key else { return };
+        let entry = state().lock().unwrap().inflight.remove(&key);
+        if let Some(q) = entry {
+            let threshold = slow_query_ms();
+            if !q.dumped && threshold > 0 && q.start.elapsed() >= Duration::from_millis(threshold) {
+                dump(&q);
+            }
+        }
+    }
+}
+
+fn ensure_monitor(threshold_ms: u64) {
+    if MONITOR_RUNNING.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let poll = Duration::from_millis((threshold_ms / 4).clamp(50, 1000));
+    let _ = std::thread::Builder::new()
+        .name("tpot-obs-watchdog".into())
+        .spawn(move || loop {
+            std::thread::sleep(poll);
+            let threshold = Duration::from_millis(slow_query_ms().max(1));
+            let mut st = state().lock().unwrap();
+            // Collect dumps under the lock, write files outside it.
+            let mut due: Vec<(u64, Arc<String>, Vec<String>, Duration)> = Vec::new();
+            for q in st.inflight.values_mut() {
+                if !q.dumped && q.start.elapsed() >= threshold {
+                    q.dumped = true;
+                    due.push((
+                        q.fingerprint,
+                        q.smtlib.clone(),
+                        q.ancestry.clone(),
+                        q.start.elapsed(),
+                    ));
+                }
+            }
+            drop(st);
+            for (fp, text, ancestry, elapsed) in due {
+                write_dump(fp, &text, &ancestry, elapsed, true);
+            }
+        });
+}
+
+fn dump(q: &InFlight) {
+    write_dump(
+        q.fingerprint,
+        &q.smtlib,
+        &q.ancestry,
+        q.start.elapsed(),
+        false,
+    );
+}
+
+fn write_dump(fp: u64, smtlib: &str, ancestry: &[String], elapsed: Duration, in_flight: bool) {
+    SLOW_QUERIES.add(1);
+    let dir = dump_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("slow-{fp:016x}.smt2"));
+    if path.exists() {
+        return; // one dump per fingerprint
+    }
+    let mut out = String::new();
+    out.push_str("; tpot-obs slow-query repro\n");
+    out.push_str(&format!("; fingerprint: {fp}\n"));
+    out.push_str(&format!(
+        "; elapsed at dump: {:.1} s ({})\n",
+        elapsed.as_secs_f64(),
+        if in_flight {
+            "still running"
+        } else {
+            "at completion"
+        }
+    ));
+    if ancestry.is_empty() {
+        out.push_str("; span ancestry: (tracing disabled)\n");
+    } else {
+        for (i, a) in ancestry.iter().enumerate() {
+            out.push_str(&format!("; span[{i}]: {a}\n"));
+        }
+    }
+    out.push_str(smtlib);
+    if std::fs::write(&path, out).is_ok() {
+        DUMPED.add(1);
+        crate::obs_warn!(
+            "watchdog",
+            "query {fp:016x} exceeded {} ms (elapsed {:.1} s); repro dumped to {}",
+            slow_query_ms(),
+            elapsed.as_secs_f64(),
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_watchdog_is_inert() {
+        // No TPOT_SLOW_QUERY_MS in the test environment: register must be
+        // a no-op and never spawn the monitor.
+        let g = register(42, Arc::new("(check-sat)\n".into()));
+        drop(g);
+        assert_eq!(SLOW_QUERIES.get(), 0);
+    }
+}

@@ -44,7 +44,13 @@ use tpot_smt::print::{query_fingerprint, to_smtlib};
 use tpot_smt::{eval, TermArena, TermId, Value};
 use tpot_solver::{SmtResult, SolverError};
 
+use tpot_obs::metrics::LazyCounter;
+
 pub use pool::{Job, Reply, WorkerPool};
+
+static CACHE_HITS: LazyCounter = LazyCounter::new("portfolio.cache.hits");
+static CACHE_MISSES: LazyCounter = LazyCounter::new("portfolio.cache.misses");
+static RACES: LazyCounter = LazyCounter::new("portfolio.races");
 
 /// Outcome stored in the persistent cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -310,10 +316,17 @@ impl Portfolio {
     ) -> Result<SmtResult, SolverError> {
         if !need_model {
             if let Some(cache) = &self.cache {
-                match cache.lock().get(fp) {
-                    Some(CachedOutcome::Sat) => return Ok(SmtResult::Sat(tpot_smt::Model::new())),
-                    Some(CachedOutcome::Unsat) => return Ok(SmtResult::Unsat),
-                    None => {}
+                let hit = cache.lock().get(fp);
+                match hit {
+                    Some(CachedOutcome::Sat) => {
+                        CACHE_HITS.add(1);
+                        return Ok(SmtResult::Sat(tpot_smt::Model::new()));
+                    }
+                    Some(CachedOutcome::Unsat) => {
+                        CACHE_HITS.add(1);
+                        return Ok(SmtResult::Unsat);
+                    }
+                    None => CACHE_MISSES.add(1),
                 }
             }
         }
@@ -365,6 +378,12 @@ impl Portfolio {
     }
 
     fn race(&mut self, sliced: &TermArena, roots: &[TermId]) -> Result<SmtResult, SolverError> {
+        RACES.add(1);
+        let _span = tpot_obs::span_args(
+            "portfolio",
+            "race",
+            &[("instances", self.configs.len().to_string())],
+        );
         let cancel = Arc::new(AtomicBool::new(false));
         let rx = self.submit_all(sliced, roots, &cancel);
         let mut last: Option<Result<SmtResult, SolverError>> = None;
@@ -374,6 +393,9 @@ impl Portfolio {
             match &reply.result {
                 Ok(SmtResult::Sat(_)) | Ok(SmtResult::Unsat) => {
                     cancel.store(true, Ordering::Relaxed);
+                    if tpot_obs::tracing_enabled() {
+                        tpot_obs::instant("portfolio", "win", &[("instance", reply.name.clone())]);
+                    }
                     *self.stats.wins.entry(reply.name).or_insert(0) += 1;
                     return reply.result;
                 }

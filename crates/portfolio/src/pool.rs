@@ -20,8 +20,13 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
+use tpot_obs::metrics::{LazyCounter, LazyHistogram};
 use tpot_smt::{TermArena, TermId};
 use tpot_solver::{SmtResult, SmtSolver, SolverConfig, SolverError};
+
+static JOBS_RUN: LazyCounter = LazyCounter::new("portfolio.pool.jobs_run");
+static JOBS_SKIPPED: LazyCounter = LazyCounter::new("portfolio.pool.jobs_skipped");
+static QUEUE_WAIT_US: LazyHistogram = LazyHistogram::new("portfolio.pool.queue_wait_us");
 
 /// One racing solver instance's unit of work.
 pub struct Job {
@@ -129,9 +134,11 @@ fn worker_loop(rx: Receiver<Job>, cancelled: Arc<AtomicU64>) {
             enqueued,
         } = job;
         let queue_wait = enqueued.elapsed();
+        QUEUE_WAIT_US.observe(queue_wait.as_micros() as u64);
         let name = cfg.name.clone();
         if cancel.load(Ordering::Relaxed) {
             cancelled.fetch_add(1, Ordering::Relaxed);
+            JOBS_SKIPPED.add(1);
             let _ = reply.send(Reply {
                 name,
                 result: Ok(SmtResult::Unknown),
@@ -140,7 +147,11 @@ fn worker_loop(rx: Receiver<Job>, cancelled: Arc<AtomicU64>) {
             });
             continue;
         }
-        let result = SmtSolver::new(cfg).check(&mut arena, &assertions);
+        JOBS_RUN.add(1);
+        let result = {
+            let _span = tpot_obs::span_args("portfolio", "job", &[("instance", name.clone())]);
+            SmtSolver::new(cfg).check(&mut arena, &assertions)
+        };
         let _ = reply.send(Reply {
             name,
             result,

@@ -661,6 +661,29 @@ impl Solver {
     /// clause set is unsatisfiable together with the assumptions (no final
     /// conflict core is extracted).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        // Snapshot the per-instance counters so the process-wide registry
+        // receives exact deltas, with zero cost on the inner loops.
+        let (c0, d0, r0, l0, p0) = (
+            self.num_conflicts,
+            self.num_decisions,
+            self.num_restarts,
+            self.num_learned,
+            self.num_propagations,
+        );
+        let result = self.solve_inner(assumptions);
+        {
+            use tpot_obs::metrics::counter;
+            counter("sat.conflicts").add(self.num_conflicts - c0);
+            counter("sat.decisions").add(self.num_decisions - d0);
+            counter("sat.restarts").add(self.num_restarts - r0);
+            counter("sat.learned_clauses").add(self.num_learned - l0);
+            counter("sat.propagations").add(self.num_propagations - p0);
+            counter("sat.solves").inc();
+        }
+        result
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -717,6 +740,17 @@ impl Solver {
                     restarts += 1;
                     self.num_restarts += 1;
                     conflicts_since_restart = 0;
+                    if tpot_obs::tracing_enabled() {
+                        tpot_obs::instant(
+                            "sat",
+                            "restart",
+                            &[
+                                ("restarts", restarts.to_string()),
+                                ("conflicts", self.num_conflicts.to_string()),
+                                ("learned", self.num_learned.to_string()),
+                            ],
+                        );
+                    }
                     self.backtrack(0);
                     continue;
                 }

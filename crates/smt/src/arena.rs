@@ -1027,6 +1027,14 @@ impl TermArena {
     ///   DFS-order registration reorders declarations whenever the first
     ///   variable reached in the cone is not the first one declared.)
     pub fn slice(&self, roots: &[TermId]) -> (TermArena, Vec<TermId>) {
+        let _span = tpot_obs::span_args(
+            "smt",
+            "slice",
+            &[
+                ("roots", roots.len().to_string()),
+                ("arena_terms", self.len().to_string()),
+            ],
+        );
         let mut out = TermArena {
             funcs: self.funcs.clone(),
             func_map: self.func_map.clone(),

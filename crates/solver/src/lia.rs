@@ -9,12 +9,16 @@
 
 use std::collections::HashMap;
 
+use tpot_obs::metrics::LazyCounter;
 use tpot_smt::TermId;
 
 use crate::error::SolverError;
 use crate::linexpr::LeAtom;
 use crate::rational::Rat;
 use crate::simplex::Simplex;
+
+static LIA_CALLS: LazyCounter = LazyCounter::new("solver.lia.calls");
+static BNB_NODES: LazyCounter = LazyCounter::new("solver.lia.bnb_nodes");
 
 /// Outcome of an integer-feasibility check.
 #[derive(Clone, Debug)]
@@ -51,6 +55,8 @@ impl Default for LiaConfig {
 ///
 /// Atom `i`'s tag in conflict cores is its index in the slice.
 pub fn solve_lia(atoms: &[LeAtom], config: &LiaConfig) -> Result<LiaOutcome, SolverError> {
+    LIA_CALLS.add(1);
+    let _span = tpot_obs::span_args("solver", "lia", &[("atoms", atoms.len().to_string())]);
     // Map term-level variables to simplex variables.
     let mut var_map: HashMap<TermId, usize> = HashMap::new();
     let mut rev: Vec<TermId> = Vec::new();
@@ -116,6 +122,7 @@ fn branch_and_bound(
     let mut nodes = 0u64;
     while let Some(mut s) = stack.pop() {
         nodes += 1;
+        BNB_NODES.add(1);
         if nodes > config.max_nodes {
             return Ok(LiaOutcome::Unknown);
         }

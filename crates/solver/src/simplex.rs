@@ -10,8 +10,14 @@
 
 use std::collections::BTreeMap;
 
+use tpot_obs::metrics::LazyCounter;
+
 use crate::error::SolverError;
 use crate::rational::Rat;
+
+/// Process-wide pivot count (the per-instance `num_pivots` resets with each
+/// branch-and-bound clone; this one is what `TPOT_METRICS` reports).
+static PIVOTS: LazyCounter = LazyCounter::new("solver.simplex.pivots");
 
 /// A conflict explanation: tags of the bounds that are jointly infeasible.
 #[derive(Clone, Debug)]
@@ -274,6 +280,7 @@ impl Simplex {
 
     fn pivot_and_update(&mut self, xi: usize, xj: usize, v: Rat) -> Result<(), SolverError> {
         self.num_pivots += 1;
+        PIVOTS.add(1);
         let aij = self.rows[&xi][&xj];
         let theta = v.sub(&self.beta[xi])?.div(&aij)?;
         self.beta[xi] = v;

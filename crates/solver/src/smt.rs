@@ -66,12 +66,20 @@ impl SmtSolver {
         {
             return Ok(SmtResult::Unsat);
         }
-        let pre = preprocess(arena, assertions)?;
+        let pre = {
+            let _span = tpot_obs::span("solver", "preprocess");
+            preprocess(arena, assertions)?
+        };
         let arena_ref: &TermArena = arena;
         let mut bb = BitBlaster::new(arena_ref, Solver::new(self.config.sat.clone()));
-        for &t in &pre.assertions {
-            bb.assert_term(t)?;
+        {
+            let _span = tpot_obs::span("solver", "bitblast");
+            for &t in &pre.assertions {
+                bb.assert_term(t)?;
+            }
         }
+        let _span =
+            tpot_obs::span_args("solver", "dpllt", &[("instance", self.config.name.clone())]);
         let mut rounds = 0u64;
         loop {
             rounds += 1;

@@ -2,8 +2,8 @@
 //! and cone-of-influence slicing savings, written to `BENCH_PR1.json` in
 //! the unified `tpot-bench/v1` schema (see `tpot_bench::report`).
 //!
-//! For each selected target it runs `Verifier::verify_all` (the
-//! deterministic sequential driver) and `Verifier::verify_all_parallel`
+//! For each selected target it runs `Verifier::verify` with `jobs: 1` (the
+//! deterministic sequential baseline) and with the configured job count
 //! (the shared-cache worker-pool driver), checks the two report identical
 //! POT outcomes, and records wall-clock plus the slicing counters (terms
 //! and approximate bytes shipped to solver instances versus the full arena
@@ -66,10 +66,10 @@ fn main() {
         }
         let v = t.verifier().expect("target compiles");
         let t0 = Instant::now();
-        let seq = v.verify_all();
+        let seq = v.verify(&tpot_engine::VerifyOptions::new().jobs(1));
         let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let par = v.verify_all_parallel(jobs);
+        let par = v.verify(&tpot_engine::VerifyOptions::new().jobs(jobs));
         let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
         let matches = outcomes_match(&seq, &par);
         let stats = merged_stats(&par);

@@ -81,7 +81,7 @@ fn main() {
         let seq: Vec<PotResult> = pots.iter().map(|p| v.verify_pot(p)).collect();
         let sequential_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = Instant::now();
-        let par = v.verify_pots_parallel(&pots, 0);
+        let par = v.verify(&tpot_engine::VerifyOptions::new().pots(pots.iter().cloned()));
         let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
         let matches = outcomes_match(&seq, &par);
         let stats = merged_stats(&seq);

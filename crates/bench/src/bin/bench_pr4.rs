@@ -14,7 +14,8 @@
 //! - **Parity**: tracing never changes a verification outcome (same POTs,
 //!   same statuses in both phases).
 //! - **Attribution coverage**: the matched `solver`/`query` spans account
-//!   for ≥ 95% of the solver wall time the engine's own [`Stats`] timers
+//!   for ≥ 95% of the solver wall time the engine's own
+//!   [`Stats`](tpot_engine::Stats) timers
 //!   measured (the span wraps serialization + solve, the stats timer only
 //!   the solve, so coverage may exceed 100%).
 //!

@@ -1,7 +1,7 @@
 //! Table 5: number of POTs and verification time per target.
 //!
 //! Runs every POT of the selected targets through the parallel driver
-//! (`Verifier::verify_all_parallel` — the paper's CI model: "TPot verifies
+//! (`Verifier::verify` with auto job count — the paper's CI model: "TPot verifies
 //! a component by running all POTs in parallel", with bounded workers and a
 //! shared query cache), reporting Avg/Min/Max per-POT time, CI time (wall
 //! clock for the parallel batch) and total CPU time.
@@ -40,7 +40,7 @@ fn main() {
         }
         let verifier = t.verifier().expect("target compiles");
         let wall = Instant::now();
-        let results = verifier.verify_all_parallel(0);
+        let results = verifier.verify(&tpot_engine::VerifyOptions::new());
         let ci = wall.elapsed();
         let mut times = Vec::new();
         let mut all_proved = true;

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use tpot_ir::Module;
 use tpot_smt::TermId;
 
-use crate::interp::{EngineConfig, Interp};
+use crate::interp::{AddrMode, EngineConfig, Interp};
 use crate::query::EngineError;
 use crate::state::{NamingMode, PathOutcome, Pledge, RetCont, State};
 use crate::stats::{QueryPurpose, Stats};
@@ -120,6 +120,63 @@ pub struct PotResult {
     pub duration: Duration,
 }
 
+/// Options for a [`Verifier::verify`] run.
+///
+/// The single verification entry point replaces the old
+/// `verify_all` / `verify_all_parallel` / `verify_pots_parallel` trio:
+/// every axis those encoded (POT subset, parallelism, cache location,
+/// address encoding) is a field here, with `Default` reproducing the
+/// CI-style "all POTs, auto parallelism, config as constructed" run.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyOptions {
+    /// Verify only these POTs, in this order. `None` verifies every POT in
+    /// module order.
+    pub pots: Option<Vec<String>>,
+    /// Worker threads: `0` resolves from the `TPOT_JOBS` environment
+    /// variable, falling back to the core count; `1` is the deterministic
+    /// sequential baseline.
+    pub jobs: usize,
+    /// Overrides the configured persistent query-cache path for this run.
+    pub cache_path: Option<std::path::PathBuf>,
+    /// Overrides the configured pointer encoding for this run.
+    pub addr_mode: Option<AddrMode>,
+}
+
+impl VerifyOptions {
+    /// All POTs, auto parallelism, no overrides.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts the run to the given POTs (in the given order).
+    pub fn pots<I, S>(mut self, pots: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.pots = Some(pots.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = auto, `1` = sequential).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Overrides the persistent query-cache path.
+    pub fn cache_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Overrides the pointer encoding.
+    pub fn addr_mode(mut self, mode: AddrMode) -> Self {
+        self.addr_mode = Some(mode);
+        self
+    }
+}
+
 /// The top-level verifier (paper Fig. 3: the TPot box).
 pub struct Verifier {
     /// The lowered component (implementation + specification).
@@ -142,47 +199,37 @@ impl Verifier {
         Verifier { module, config }
     }
 
-    /// Verifies every POT sequentially, in module order. Deterministic
-    /// baseline; [`verify_all_parallel`](Self::verify_all_parallel) is the
-    /// CI-style multi-POT path.
-    pub fn verify_all(&self) -> Vec<PotResult> {
-        self.module
-            .pot_names()
-            .iter()
-            .map(|p| self.verify_pot(p))
-            .collect()
-    }
-
-    /// Verifies every POT on a pool of `jobs` worker threads (0 = the
-    /// `TPOT_JOBS` environment variable, falling back to the core count).
-    /// All workers share one persistent query cache, so identical queries
-    /// across POTs are solved once. Results come back in module order with
-    /// the same statuses `verify_all` would produce — only wall-clock and
-    /// cache-hit accounting differ.
-    pub fn verify_all_parallel(&self, jobs: usize) -> Vec<PotResult> {
-        self.verify_pots_parallel(&self.module.pot_names(), jobs)
-    }
-
-    /// Verifies the given POTs (in the given order) on a pool of `jobs`
-    /// worker threads sharing one persistent query cache — the subset
-    /// variant of [`verify_all_parallel`](Self::verify_all_parallel), for
-    /// harnesses that exclude individual POTs (e.g. known solver-unknown
-    /// outliers) while keeping sequential/parallel outcome parity.
-    pub fn verify_pots_parallel(&self, pots: &[String], jobs: usize) -> Vec<PotResult> {
-        let jobs = if jobs > 0 {
-            jobs
-        } else {
-            std::env::var("TPOT_JOBS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(4)
-                })
+    /// The single verification entry point: verifies the selected POTs on a
+    /// pool of worker threads sharing one persistent query cache, applying
+    /// any per-run config overrides from `opts`.
+    ///
+    /// Results come back in POT order regardless of `opts.jobs`, with the
+    /// same statuses a sequential run would produce — only wall-clock and
+    /// cache-hit accounting differ. With `jobs: 1` the run is the
+    /// deterministic sequential baseline.
+    pub fn verify(&self, opts: &VerifyOptions) -> Vec<PotResult> {
+        let mut config = self.config.clone();
+        if let Some(p) = &opts.cache_path {
+            config.cache_path = Some(p.clone());
+        }
+        if let Some(m) = opts.addr_mode {
+            config.addr_mode = m;
+        }
+        let pots: Vec<String> = match &opts.pots {
+            Some(p) => p.clone(),
+            None => self.module.pot_names(),
         };
-        let cache = self.open_shared_cache();
+        let jobs = if opts.jobs > 0 {
+            opts.jobs
+        } else {
+            // The `TPOT_JOBS` knob, parsed once into the typed obs config.
+            tpot_obs::config().jobs.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+        };
+        let cache = Self::open_cache(&config);
         let results: Vec<Mutex<Option<PotResult>>> =
             pots.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
@@ -191,7 +238,7 @@ impl Verifier {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(pot) = pots.get(i) else { break };
-                    let r = self.verify_pot_with_cache(pot, cache.clone());
+                    let r = self.verify_pot_with_cache(&config, pot, cache.clone());
                     *results[i].lock() = Some(r);
                 });
             }
@@ -205,10 +252,28 @@ impl Verifier {
             .collect()
     }
 
-    /// Opens the persistent cache configured in `self.config` (or an
-    /// in-memory one) behind a shareable handle.
-    fn open_shared_cache(&self) -> tpot_portfolio::SharedCache {
-        let cache = match &self.config.cache_path {
+    /// Verifies every POT sequentially, in module order.
+    #[deprecated(note = "use `Verifier::verify(&VerifyOptions::new().jobs(1))`")]
+    pub fn verify_all(&self) -> Vec<PotResult> {
+        self.verify(&VerifyOptions::new().jobs(1))
+    }
+
+    /// Verifies every POT on `jobs` worker threads.
+    #[deprecated(note = "use `Verifier::verify(&VerifyOptions::new().jobs(jobs))`")]
+    pub fn verify_all_parallel(&self, jobs: usize) -> Vec<PotResult> {
+        self.verify(&VerifyOptions::new().jobs(jobs))
+    }
+
+    /// Verifies the given POTs on `jobs` worker threads.
+    #[deprecated(note = "use `Verifier::verify(&VerifyOptions::new().pots(...).jobs(jobs))`")]
+    pub fn verify_pots_parallel(&self, pots: &[String], jobs: usize) -> Vec<PotResult> {
+        self.verify(&VerifyOptions::new().pots(pots.iter().cloned()).jobs(jobs))
+    }
+
+    /// Opens the persistent cache configured in `config` (or an in-memory
+    /// one) behind a shareable handle.
+    fn open_cache(config: &EngineConfig) -> tpot_portfolio::SharedCache {
+        let cache = match &config.cache_path {
             Some(p) => tpot_portfolio::PersistentCache::open(p)
                 .unwrap_or_else(|_| tpot_portfolio::PersistentCache::in_memory()),
             None => tpot_portfolio::PersistentCache::in_memory(),
@@ -218,11 +283,16 @@ impl Verifier {
 
     /// Verifies one POT, proving the §4.1 top-level theorem for it.
     pub fn verify_pot(&self, pot: &str) -> PotResult {
-        self.verify_pot_with_cache(pot, self.open_shared_cache())
+        self.verify_pot_with_cache(&self.config, pot, Self::open_cache(&self.config))
     }
 
-    fn verify_pot_with_cache(&self, pot: &str, cache: tpot_portfolio::SharedCache) -> PotResult {
-        let result = self.verify_pot_traced(pot, cache);
+    fn verify_pot_with_cache(
+        &self,
+        config: &EngineConfig,
+        pot: &str,
+        cache: tpot_portfolio::SharedCache,
+    ) -> PotResult {
+        let result = self.verify_pot_traced(config, pot, cache);
         // Rewrite any configured sink (TPOT_TRACE/TPOT_SPANS/TPOT_METRICS)
         // after every POT: driver binaries then produce their files without
         // an explicit flush, and a partial trace survives a hung later POT.
@@ -231,10 +301,15 @@ impl Verifier {
         result
     }
 
-    fn verify_pot_traced(&self, pot: &str, cache: tpot_portfolio::SharedCache) -> PotResult {
+    fn verify_pot_traced(
+        &self,
+        config: &EngineConfig,
+        pot: &str,
+        cache: tpot_portfolio::SharedCache,
+    ) -> PotResult {
         let _span = tpot_obs::span_args("engine", "verify_pot", &[("pot", pot.to_string())]);
         let t0 = Instant::now();
-        let result = match self.verify_pot_inner(pot, cache) {
+        let result = match self.verify_pot_inner(config, pot, cache) {
             Ok((violations, stats)) => PotResult {
                 pot: pot.to_string(),
                 status: if violations.is_empty() {
@@ -280,10 +355,11 @@ impl Verifier {
 
     fn verify_pot_inner(
         &self,
+        config: &EngineConfig,
         pot: &str,
         cache: tpot_portfolio::SharedCache,
     ) -> Result<(Vec<Violation>, Stats), EngineError> {
-        let mut interp = Interp::with_shared_cache(&self.module, self.config.clone(), cache);
+        let mut interp = Interp::with_shared_cache(&self.module, config.clone(), cache);
         let is_init = pot.contains(&interp.config.init_marker);
         let mem = interp.initial_memory(is_init)?;
         let mut state = State::new(mem);

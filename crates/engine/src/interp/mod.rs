@@ -48,6 +48,11 @@ pub struct EngineConfig {
     pub simplifier: bool,
     /// Number of portfolio instances (1 = single solver).
     pub portfolio_size: usize,
+    /// Route queries through incremental [`tpot_solver::SolveSession`]s
+    /// (push/pop along the path prefix, bit-blast reuse). Only engages for
+    /// single-instance portfolios; racing portfolios fall back to one-shot
+    /// checks regardless. Disabling it is an ablation.
+    pub incremental: bool,
     /// Optional persistent query-cache path (§4.4).
     pub cache_path: Option<std::path::PathBuf>,
     /// Safety valve: maximum number of live forked states.
@@ -69,6 +74,9 @@ impl Default for EngineConfig {
             addr_mode: AddrMode::Int,
             simplifier: true,
             portfolio_size: 1,
+            // On by default; `TPOT_INCREMENTAL=0` (via the typed obs
+            // config) is the environment-level ablation switch.
+            incremental: tpot_obs::config().incremental.unwrap_or(true),
             cache_path: None,
             max_states: 4096,
             max_insts: 2_000_000,
@@ -127,7 +135,7 @@ impl<'m> ExecCtx<'m> {
         ExecCtx {
             module,
             arena: TermArena::new(),
-            solver: QueryCtx::new(portfolio),
+            solver: QueryCtx::new(portfolio).with_incremental(config.incremental),
             config,
             insts_executed: 0,
         }

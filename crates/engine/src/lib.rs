@@ -37,7 +37,7 @@ pub mod simplify;
 pub mod state;
 pub mod stats;
 
-pub use driver::{PotResult, PotStatus, Verifier, Violation, ViolationKind};
+pub use driver::{PotResult, PotStatus, Verifier, VerifyOptions, Violation, ViolationKind};
 pub use interp::{AddrMode, EngineConfig, ExecCtx, Interp};
 pub use query::EngineError;
 pub use stats::{QueryPurpose, Stats};

@@ -56,20 +56,34 @@ pub struct QueryCtx {
     pub portfolio: Portfolio,
     /// Accumulated statistics.
     pub stats: Stats,
+    /// Route queries through the portfolio's incremental session broker
+    /// (path prefix pushed/popped, only the branch condition re-blasted).
+    incremental: bool,
 }
 
 impl QueryCtx {
-    /// Wraps a portfolio.
+    /// Wraps a portfolio. Incremental sessions start disabled; enable them
+    /// with [`with_incremental`](Self::with_incremental).
     pub fn new(portfolio: Portfolio) -> Self {
         QueryCtx {
             portfolio,
             stats: Stats::default(),
+            incremental: false,
         }
+    }
+
+    /// Enables (or disables) the incremental-session query path. The engine
+    /// sets this from [`EngineConfig::incremental`](crate::interp::EngineConfig);
+    /// the portfolio still falls back to one-shot checks whenever sessions
+    /// don't apply (racing portfolios, session `Unknown`, solver errors).
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
     }
 
     fn run(
         &mut self,
-        arena: &TermArena,
+        arena: &mut TermArena,
         assertions: &[TermId],
         purpose: QueryPurpose,
         need_model: bool,
@@ -95,9 +109,20 @@ impl QueryCtx {
         );
         let _watch = tpot_obs::watchdog::register(fp, text);
         let t1 = Instant::now();
-        let r = self
-            .portfolio
-            .check_fingerprinted(arena, assertions, need_model, fp)?;
+        // The query arrives as `path-prefix ∧ extra`: the prefix is shared
+        // with sibling queries along the same execution path, so the
+        // incremental route hands it to the session broker, which pops to
+        // the common prefix and re-blasts only the new terms. The broker
+        // falls back to the one-shot path internally when sessions don't
+        // apply; both routes share `fp`-keyed cache entries.
+        let r = if self.incremental && !assertions.is_empty() {
+            let (prefix, last) = assertions.split_at(assertions.len() - 1);
+            self.portfolio
+                .check_incremental(arena, prefix, last[0], need_model, fp)?
+        } else {
+            self.portfolio
+                .check_fingerprinted(arena, assertions, need_model, fp)?
+        };
         let elapsed = t1.elapsed();
         self.stats.add_query_time(purpose, elapsed);
         QUERY_US.observe(elapsed.as_micros() as u64);
@@ -115,6 +140,11 @@ impl QueryCtx {
         s.bytes_total = ps.bytes_total;
         s.bytes_shipped = ps.bytes_shipped;
         s.queue_wait = ps.queue_wait;
+        let ss = &self.portfolio.sessions.stats;
+        s.session_hits = ss.hits;
+        s.session_misses = ss.misses;
+        s.session_fallbacks = ss.fallbacks;
+        s.session_reblasted_terms = ss.reblasted_terms;
         s
     }
 
@@ -245,6 +275,34 @@ mod tests {
         assert_eq!(snap.branch_queries, 1);
         assert_eq!(snap.assertion_queries, 1);
         assert!(snap.terms_shipped > 0 && snap.terms_shipped <= snap.terms_total);
+    }
+
+    #[test]
+    fn incremental_sessions_answer_path_queries() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::Int);
+        let zero = a.int_const(0);
+        let one = a.int_const(1);
+        let pos = a.int_lt(zero, x);
+        let mut q = QueryCtx::new(Portfolio::single()).with_incremental(true);
+        let on_pos = PathCond::from(vec![pos]);
+        let gt1 = a.int_lt(one, x);
+        assert!(q
+            .is_feasible(&mut a, &on_pos, gt1, QueryPurpose::Branches)
+            .unwrap());
+        let ge = a.int_le(zero, x);
+        assert!(q
+            .is_valid(&mut a, &on_pos, ge, QueryPurpose::Assertions)
+            .unwrap());
+        // Same serialize-once invariant as the one-shot path.
+        assert_eq!(q.stats.num_serializations, q.stats.num_queries);
+        assert_eq!(q.portfolio.stats.serializations, 0);
+        let bs = &q.portfolio.sessions.stats;
+        assert!(bs.hits + bs.misses >= 2);
+        assert!(
+            bs.hits >= 1,
+            "second query along the same path must reuse a session"
+        );
     }
 
     #[test]

@@ -74,6 +74,18 @@ pub struct Stats {
     pub bytes_shipped: u64,
     /// Time queries spent waiting in the worker-pool queue.
     pub queue_wait: Duration,
+    /// Queries answered by an existing incremental solve session (the
+    /// session broker found a usable asserted prefix).
+    pub session_hits: u64,
+    /// Queries that had to open a fresh solve session.
+    pub session_misses: u64,
+    /// Sessions retired mid-query (Unknown or error), falling back to the
+    /// one-shot path.
+    pub session_fallbacks: u64,
+    /// Terms bit-blasted by sessions, cache misses only — the incremental
+    /// analogue of `terms_shipped` (a one-shot check re-blasts the whole
+    /// sliced query; a session re-blasts only what push/pop exposed).
+    pub session_reblasted_terms: u64,
     /// Queries answered by the read-after-write proof cache.
     pub raw_cache_hits: u64,
     /// Successful read-after-write simplifications.
@@ -151,6 +163,10 @@ impl Stats {
         self.bytes_total += o.bytes_total;
         self.bytes_shipped += o.bytes_shipped;
         self.queue_wait += o.queue_wait;
+        self.session_hits += o.session_hits;
+        self.session_misses += o.session_misses;
+        self.session_fallbacks += o.session_fallbacks;
+        self.session_reblasted_terms += o.session_reblasted_terms;
         self.raw_cache_hits += o.raw_cache_hits;
         self.raw_simplifications += o.raw_simplifications;
         self.const_offset_hits += o.const_offset_hits;
@@ -236,11 +252,15 @@ mod tests {
 
     #[test]
     fn merge_sums() {
-        let mut a = Stats::default();
-        a.paths = 2;
-        let mut b = Stats::default();
-        b.paths = 3;
-        b.forks = 1;
+        let mut a = Stats {
+            paths: 2,
+            ..Stats::default()
+        };
+        let b = Stats {
+            paths: 3,
+            forks: 1,
+            ..Stats::default()
+        };
         a.merge(&b);
         assert_eq!(a.paths, 5);
         assert_eq!(a.forks, 1);

@@ -2,7 +2,7 @@
 //! POTs, same order, same statuses — only wall-clock and cache accounting
 //! may differ.
 
-use tpot_engine::{PotStatus, Verifier};
+use tpot_engine::{PotStatus, Verifier, VerifyOptions};
 use tpot_ir::lower;
 
 /// Fig. 1 extended with extra POTs (one of them failing) so the parallel
@@ -62,8 +62,8 @@ fn status_key(s: &PotStatus) -> String {
 fn parallel_matches_sequential() {
     let m = module();
     let v = Verifier::new(m);
-    let seq = v.verify_all();
-    let par = v.verify_all_parallel(4);
+    let seq = v.verify(&VerifyOptions::new().jobs(1));
+    let par = v.verify(&VerifyOptions::new().jobs(4));
     assert_eq!(seq.len(), par.len());
     for (s, p) in seq.iter().zip(par.iter()) {
         assert_eq!(s.pot, p.pot, "parallel driver must keep module order");
@@ -81,16 +81,34 @@ fn parallel_matches_sequential() {
 }
 
 #[test]
+fn verify_options_subset_and_overrides() {
+    let m = module();
+    let v = Verifier::new(m);
+    let sub = v.verify(&VerifyOptions::new().pots(["spec__get_sum"]).jobs(1));
+    assert_eq!(sub.len(), 1);
+    assert_eq!(sub[0].pot, "spec__get_sum");
+    assert!(sub[0].status.is_proved());
+    // Per-run addr-mode override: the bitvector ablation must agree.
+    let bv = v.verify(
+        &VerifyOptions::new()
+            .pots(["spec__get_sum"])
+            .jobs(1)
+            .addr_mode(tpot_engine::AddrMode::Bv),
+    );
+    assert!(bv[0].status.is_proved());
+}
+
+#[test]
 fn parallel_shares_one_persistent_cache() {
     let dir = std::env::temp_dir().join(format!("tpot-par-cache-{}", std::process::id()));
     let _ = std::fs::remove_file(&dir);
     let m = module();
     let mut v = Verifier::new(m);
     v.config.cache_path = Some(dir.clone());
-    let first = v.verify_all_parallel(2);
+    let first = v.verify(&VerifyOptions::new().jobs(2));
     assert!(first.iter().any(|r| r.status.is_proved()));
     // The shared cache must have been flushed once at the end of the run.
-    let mut cache = tpot_portfolio::PersistentCache::open(&dir).unwrap();
+    let cache = tpot_portfolio::PersistentCache::open(&dir).unwrap();
     assert!(
         !cache.is_empty(),
         "parallel run must persist query outcomes"
@@ -98,7 +116,7 @@ fn parallel_shares_one_persistent_cache() {
     let entries = cache.len();
     // A re-run is answered from the persistent cache: same statuses, and the
     // cache does not lose entries.
-    let second = v.verify_all_parallel(2);
+    let second = v.verify(&VerifyOptions::new().jobs(2));
     for (a, b) in first.iter().zip(second.iter()) {
         assert_eq!(a.status.is_proved(), b.status.is_proved());
     }

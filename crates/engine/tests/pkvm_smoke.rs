@@ -2,7 +2,7 @@
 //! walkthrough). The full evaluation harness lives in tpot-targets; this
 //! test exercises the single-page POTs end to end.
 
-use tpot_engine::{PotStatus, Verifier};
+use tpot_engine::{EngineConfig, PotStatus, Verifier};
 use tpot_ir::lower;
 
 fn module() -> tpot_ir::Module {
@@ -40,6 +40,35 @@ fn pkvm_init() {
         PotStatus::Failed(vs) => panic!("failed: {}", vs[0]),
         PotStatus::Error(e) => panic!("error: {e}"),
     }
+    // The default configuration routes path queries through incremental
+    // solve sessions: consecutive queries along a path must reuse an
+    // asserted prefix rather than re-blasting from scratch.
+    assert!(r.stats.session_hits + r.stats.session_misses > 0);
+    assert!(
+        r.stats.session_hits > 0,
+        "path queries must reuse sessions ({} hits / {} misses)",
+        r.stats.session_hits,
+        r.stats.session_misses
+    );
+    // And the pipeline serialized each solver call exactly once.
+    assert_eq!(r.stats.num_serializations, r.stats.num_queries);
+}
+
+#[test]
+fn pkvm_init_oneshot_slicing() {
+    // The incremental-sessions ablation: one-shot checks slice each query
+    // down to its cone of influence before shipping it to the solver.
+    let m = module();
+    let cfg = EngineConfig {
+        incremental: false,
+        ..EngineConfig::default()
+    };
+    let r = Verifier::with_config(m, cfg).verify_pot("spec__init");
+    match &r.status {
+        PotStatus::Proved => {}
+        PotStatus::Failed(vs) => panic!("failed: {}", vs[0]),
+        PotStatus::Error(e) => panic!("error: {e}"),
+    }
     // Cone-of-influence slicing must ship strictly fewer terms to the
     // solvers than the full (monotonically growing) arena holds.
     assert!(r.stats.terms_shipped > 0);
@@ -49,8 +78,8 @@ fn pkvm_init() {
         r.stats.terms_shipped,
         r.stats.terms_total
     );
-    // And the pipeline serialized each solver call exactly once.
     assert_eq!(r.stats.num_serializations, r.stats.num_queries);
+    assert_eq!(r.stats.session_hits + r.stats.session_misses, 0);
 }
 
 #[test]

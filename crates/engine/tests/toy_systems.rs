@@ -1,13 +1,13 @@
 //! End-to-end verification of the paper's running examples (Fig. 1 and
 //! Fig. 5) plus seeded-bug variants.
 
-use tpot_engine::{PotStatus, Verifier, ViolationKind};
+use tpot_engine::{PotStatus, Verifier, VerifyOptions, ViolationKind};
 use tpot_ir::lower;
 
 fn verify(src: &str) -> Vec<tpot_engine::PotResult> {
     let checked = tpot_cfront::compile(src).expect("compile");
     let module = lower(&checked).expect("lower");
-    Verifier::new(module).verify_all()
+    Verifier::new(module).verify(&VerifyOptions::new().jobs(1))
 }
 
 fn assert_all_proved(results: &[tpot_engine::PotResult]) {

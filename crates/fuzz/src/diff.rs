@@ -4,10 +4,11 @@
 //! reduced repro.
 
 use tpot_smt::{print::to_smtlib, TermArena, TermId};
-use tpot_solver::{SmtResult, SmtSolver, SolverConfig};
+use tpot_solver::{SmtResult, SmtSolver, SolveSession, SolverConfig};
 
 use crate::gen::{Domain, PairedQuery};
 use crate::oracle::{brute_force, model_satisfies, Verdict};
+use crate::rng::Rng;
 
 /// Per-harness outcome counted by the runner. `Skipped` covers boxes over
 /// the enumeration cap and solver `Unknown`s (recorded, never silently
@@ -106,6 +107,102 @@ pub fn sliced_vs_full(arena: &mut TermArena, assertions: &[TermId]) -> Result<Ag
         Verdict::Sat => Agreement::Sat,
         Verdict::Unsat => Agreement::Unsat,
     })
+}
+
+/// Incremental [`SolveSession`] vs from-scratch one-shot solving.
+///
+/// Replays the assertion stream through one long-lived session under a
+/// randomized interleaving of `push`, `pop`, scoped `assert`, and
+/// `check_assuming` (with not-yet-asserted stream terms as assumption
+/// literals). At every checkpoint the session's verdict must match a fresh
+/// one-shot `check` over exactly the assertions currently in scope plus
+/// the assumptions — the session's retained learned clauses, persistent
+/// bit-blast cache, and popped-scope activation guards must all be
+/// verdict-invisible. Sat models from the session are validated under
+/// `eval` against the in-scope assertions and assumptions.
+pub fn incremental_vs_oneshot(
+    arena: &mut TermArena,
+    assertions: &[TermId],
+    rng: &mut Rng,
+) -> Result<Agreement, String> {
+    let config = SolverConfig::default();
+    let mut session = SolveSession::new(config.clone());
+    // scopes[0] is the base; scopes[1..] mirror session push/pop depth.
+    let mut scopes: Vec<Vec<TermId>> = vec![Vec::new()];
+    let mut any_unknown = false;
+
+    let checkpoint = |session: &mut SolveSession,
+                      scopes: &[Vec<TermId>],
+                      assumptions: &[TermId],
+                      arena: &mut TermArena,
+                      any_unknown: &mut bool|
+     -> Result<Agreement, String> {
+        let inc = session
+            .check_assuming(arena, assumptions, true)
+            .map_err(|e| format!("session error: {e}"))?;
+        let mut in_scope: Vec<TermId> = scopes.iter().flatten().copied().collect();
+        in_scope.extend_from_slice(assumptions);
+        let one = SmtSolver::new(config.clone())
+            .check(arena, &in_scope)
+            .map_err(|e| format!("one-shot error: {e}"))?;
+        let (iv, ov) = (verdict_of(&inc), verdict_of(&one));
+        match (iv, ov) {
+            (Some(a), Some(b)) if a != b => {
+                return Err(format!(
+                    "session (depth {}, {} assumptions) says {a:?} but one-shot says {b:?}",
+                    scopes.len() - 1,
+                    assumptions.len()
+                ));
+            }
+            (None, _) | (_, None) => {
+                *any_unknown = true;
+                return Ok(Agreement::Skipped);
+            }
+            _ => {}
+        }
+        if let SmtResult::Sat(m) = &inc {
+            if let Err(i) = model_satisfies(arena, m, &in_scope) {
+                return Err(format!(
+                    "session model fails in-scope assertion #{i} under eval"
+                ));
+            }
+        }
+        Ok(match iv.unwrap() {
+            Verdict::Sat => Agreement::Sat,
+            Verdict::Unsat => Agreement::Unsat,
+        })
+    };
+
+    for (i, &t) in assertions.iter().enumerate() {
+        // Occasionally open a scope before asserting (bounded depth).
+        if scopes.len() < 4 && rng.chance(1, 3) {
+            session.push();
+            scopes.push(Vec::new());
+        }
+        session
+            .assert(arena, t)
+            .map_err(|e| format!("session assert error: {e}"))?;
+        scopes.last_mut().unwrap().push(t);
+        // Occasionally check, with up to two not-yet-asserted stream terms
+        // as assumptions.
+        if rng.chance(1, 3) {
+            let rest = &assertions[i + 1..];
+            let n = (rng.below(3) as usize).min(rest.len());
+            let assumptions: Vec<TermId> = rest[..n].to_vec();
+            checkpoint(&mut session, &scopes, &assumptions, arena, &mut any_unknown)?;
+        }
+        // Occasionally pop a scope (its assertions leave the one-shot set).
+        if scopes.len() > 1 && rng.chance(1, 4) {
+            session.pop();
+            scopes.pop();
+        }
+    }
+    // Final checkpoint over whatever remains in scope.
+    let last = checkpoint(&mut session, &scopes, &[], arena, &mut any_unknown)?;
+    if any_unknown {
+        return Ok(Agreement::Skipped);
+    }
+    Ok(last)
 }
 
 /// Simplex (LIA path) vs bit-blasting on structurally parallel queries

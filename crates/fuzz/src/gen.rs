@@ -188,7 +188,7 @@ impl<'a> TermGen<'a> {
     pub fn gen_bool(&mut self, rng: &mut Rng, depth: u32) -> TermId {
         if depth == 0 {
             return match rng.below(8) {
-                0 | 1 | 2 => *rng.pick(&self.bool_vars),
+                0..=2 => *rng.pick(&self.bool_vars),
                 3 => self.arena.bool_const(rng.chance(1, 2)),
                 4 | 5 => {
                     let a = self.gen_bv(rng, 0);
@@ -372,7 +372,7 @@ impl<'a> TermGen<'a> {
                     self.arena.sign_ext(low, w - half)
                 }
             }
-            10 if w % 2 == 0 => {
+            10 if w.is_multiple_of(2) => {
                 let a = self.gen_bv(rng, d);
                 let b = self.gen_bv(rng, d);
                 let hi = self.arena.extract(a, w - 1, w / 2);

@@ -30,12 +30,11 @@ pub fn rename_vars(arena: &mut TermArena, assertions: &[TermId]) -> Vec<TermId> 
     let mut map = std::collections::HashMap::new();
     for &a in assertions {
         for v in free_vars(arena, a) {
-            if !map.contains_key(&v) {
+            map.entry(v).or_insert_with(|| {
                 let name = format!("mr_{}", arena.var_name(v));
                 let sort = arena.sort(v).clone();
-                let fresh = arena.var(&name, sort);
-                map.insert(v, fresh);
-            }
+                arena.var(&name, sort)
+            });
         }
     }
     assertions

@@ -7,6 +7,7 @@
 //!  2. replace an assertion by one of its own boolean-sorted proper
 //!     subterms (structure-directed shrinking — much faster to a minimal
 //!     core than bit-level mutations on a hash-consed DAG).
+//!
 //! The survivor set is then cone-of-influence sliced into a fresh arena so
 //! the repro file contains nothing but the reachable terms.
 

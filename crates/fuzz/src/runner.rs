@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use tpot_smt::TermArena;
 
-use crate::diff::{lia_vs_bv, sliced_vs_full, solver_vs_brute, Agreement};
+use crate::diff::{incremental_vs_oneshot, lia_vs_bv, sliced_vs_full, solver_vs_brute, Agreement};
 use crate::gen::{gen_paired, GenConfig, TermGen};
 use crate::meta::metamorphic;
 use crate::reduce::{reduce, write_repro};
@@ -33,14 +33,18 @@ pub enum Mode {
     Metamorphic,
     /// COW `State::fork` vs deep re-execution.
     StateFork,
+    /// Incremental solve session (randomized push/pop/check_assuming
+    /// interleavings) vs from-scratch one-shot checks.
+    IncrementalOneshot,
 }
 
-pub const ALL_MODES: [Mode; 5] = [
+pub const ALL_MODES: [Mode; 6] = [
     Mode::Grounded,
     Mode::SliceFull,
     Mode::LiaBv,
     Mode::Metamorphic,
     Mode::StateFork,
+    Mode::IncrementalOneshot,
 ];
 
 impl Mode {
@@ -51,6 +55,7 @@ impl Mode {
             Mode::LiaBv => "lia_vs_bv",
             Mode::Metamorphic => "metamorphic",
             Mode::StateFork => "state_fork",
+            Mode::IncrementalOneshot => "incremental_vs_oneshot",
         }
     }
 }
@@ -115,13 +120,14 @@ fn record(stats: &mut ModeStats, outcome: &Agreement) {
     }
 }
 
+/// Discrepancy detail plus, for term-level modes, a reduced repro
+/// (arena + assertions). Boxed at the return boundary: the repro arena is
+/// large and the error path is cold.
+type Failure = (String, Option<(TermArena, Vec<tpot_smt::TermId>)>);
+
 /// Runs one iteration of `mode`; on failure returns the discrepancy detail
 /// plus, for term-level modes, a reduced repro (arena + assertions).
-fn run_one(
-    mode: Mode,
-    seed: u64,
-    iter: u64,
-) -> Result<Agreement, (String, Option<(TermArena, Vec<tpot_smt::TermId>)>)> {
+fn run_one(mode: Mode, seed: u64, iter: u64) -> Result<Agreement, Box<Failure>> {
     let mut rng = Rng::for_iteration(seed, iter);
     match mode {
         Mode::Grounded => {
@@ -140,7 +146,7 @@ fn run_one(
                         let mut a2 = ar.clone();
                         solver_vs_brute(&mut a2, cand, &domains, BRUTE_CAP).is_err()
                     });
-                    Err((detail, Some(reduced)))
+                    Err(Box::new((detail, Some(reduced))))
                 }
             }
         }
@@ -157,7 +163,7 @@ fn run_one(
                         let mut a2 = ar.clone();
                         sliced_vs_full(&mut a2, cand).is_err()
                     });
-                    Err((detail, Some(reduced)))
+                    Err(Box::new((detail, Some(reduced))))
                 }
             }
         }
@@ -172,7 +178,7 @@ fn run_one(
                     // reduction; ship both sides sliced but unshrunk.
                     let mut roots = q.int_assertions.clone();
                     roots.extend_from_slice(&q.bv_assertions);
-                    Err((detail, Some(arena.slice(&roots))))
+                    Err(Box::new((detail, Some(arena.slice(&roots)))))
                 }
             }
         }
@@ -191,14 +197,35 @@ fn run_one(
                         let mut r2 = Rng::for_iteration(seed ^ 0x6d65_7461, iter);
                         metamorphic(&mut a2, cand, &mut r2).is_err()
                     });
-                    Err((detail, Some(reduced)))
+                    Err(Box::new((detail, Some(reduced))))
                 }
             }
         }
         Mode::StateFork => match fork_vs_replay(&mut rng) {
             Ok(()) => Ok(Agreement::Skipped),
-            Err(detail) => Err((detail, None)),
+            Err(detail) => Err(Box::new((detail, None))),
         },
+        Mode::IncrementalOneshot => {
+            let mut arena = TermArena::new();
+            let cfg = GenConfig::full();
+            let mut g = TermGen::new(&mut arena, &cfg);
+            let q = g.generate(&mut rng);
+            let mut work = arena.clone();
+            // The interleaving stream is decorrelated from the generation
+            // stream so reduction replays the same push/pop schedule.
+            let mut irng = Rng::for_iteration(seed ^ 0x696e_6372, iter);
+            match incremental_vs_oneshot(&mut work, &q.assertions, &mut irng) {
+                Ok(a) => Ok(a),
+                Err(detail) => {
+                    let reduced = reduce(&arena, &q.assertions, &[], |ar, cand| {
+                        let mut a2 = ar.clone();
+                        let mut r2 = Rng::for_iteration(seed ^ 0x696e_6372, iter);
+                        incremental_vs_oneshot(&mut a2, cand, &mut r2).is_err()
+                    });
+                    Err(Box::new((detail, Some(reduced))))
+                }
+            }
+        }
     }
 }
 
@@ -231,7 +258,8 @@ pub fn run(cfg: &RunConfig) -> FuzzReport {
                     record(&mut stats[slot].1, &outcome);
                 }
             }
-            Err((detail, reduced)) => {
+            Err(fail) => {
+                let (detail, reduced) = *fail;
                 stats[slot].1.discrepancies += 1;
                 let repro = match (&reduced, cfg.write_repros) {
                     (Some((arena, asserts)), true) => {

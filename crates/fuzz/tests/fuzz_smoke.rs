@@ -38,6 +38,7 @@ fn fuzz_smoke_fixed_seed_finds_no_discrepancies() {
         Mode::LiaBv,
         Mode::Metamorphic,
         Mode::StateFork,
+        Mode::IncrementalOneshot,
     ] {
         let stats = stats_for(mode);
         assert!(stats.runs > 0, "{} never ran", mode.name());
@@ -50,7 +51,12 @@ fn fuzz_smoke_fixed_seed_finds_no_discrepancies() {
     // The differential modes must exercise both verdicts; a generator
     // regression that makes everything trivially sat (or unsat) would
     // silently gut the oracle, so fail loudly instead.
-    for mode in [Mode::Grounded, Mode::SliceFull, Mode::LiaBv] {
+    for mode in [
+        Mode::Grounded,
+        Mode::SliceFull,
+        Mode::LiaBv,
+        Mode::IncrementalOneshot,
+    ] {
         let stats = stats_for(mode);
         assert!(stats.sat > 0, "{} produced no sat verdicts", mode.name());
         assert!(

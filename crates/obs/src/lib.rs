@@ -5,7 +5,7 @@
 //! internals — reports into this crate instead of ad-hoc `eprintln!`s and
 //! scattered stat fields. Four facilities, all zero-cost when disabled:
 //!
-//! - **Structured spans** ([`span`], [`instant`]): begin/end events with a
+//! - **Structured spans** ([`fn@span`], [`instant`]): begin/end events with a
 //!   category, name and key/value args (POT name, path id, query
 //!   fingerprint). Collected in-process and exported as a span JSONL file
 //!   (`TPOT_SPANS=spans.jsonl`) and/or a Chrome-trace file loadable in
@@ -66,10 +66,19 @@ impl Level {
     }
 }
 
-/// Runtime configuration, normally read once from the environment but
-/// overridable programmatically (tests, parity harnesses).
+/// The single typed home of every `TPOT_*` runtime knob.
+///
+/// The environment is parsed exactly once — in [`Config::from_env`], on
+/// first obs use — and every subsystem reads the parsed value from the
+/// active config ([`config`]) instead of re-reading `std::env`: the obs
+/// sinks and watchdog here, the portfolio's worker-pool sizing
+/// (`TPOT_POOL_THREADS`), the multi-POT driver's job count (`TPOT_JOBS`),
+/// and the engine's incremental-session toggle (`TPOT_INCREMENTAL`).
+/// Harnesses and tests override programmatically with the builder methods
+/// plus [`configure`]. The full knob table lives in the README
+/// ("Runtime knobs").
 #[derive(Clone, Debug, Default)]
-pub struct ObsConfig {
+pub struct Config {
     /// Chrome-trace (Perfetto-loadable) output path (`TPOT_TRACE`).
     pub trace_path: Option<PathBuf>,
     /// Span JSONL output path (`TPOT_SPANS`).
@@ -86,9 +95,20 @@ pub struct ObsConfig {
     /// Force span collection even without an output path (tests and
     /// harnesses that read events programmatically via [`take_events`]).
     pub collect_spans: bool,
+    /// Solver worker-pool size (`TPOT_POOL_THREADS`); `None` = core count.
+    pub pool_threads: Option<usize>,
+    /// Parallel POT jobs in the multi-POT driver (`TPOT_JOBS`); `None` =
+    /// core count.
+    pub jobs: Option<usize>,
+    /// Incremental solve sessions in the engine (`TPOT_INCREMENTAL`,
+    /// `0|false|off` / `1|true|on`); `None` = the engine's default (on).
+    pub incremental: Option<bool>,
 }
 
-impl ObsConfig {
+/// The historical name of [`Config`].
+pub type ObsConfig = Config;
+
+impl Config {
     /// Reads the configuration from `TPOT_*` environment variables.
     pub fn from_env() -> Self {
         let path = |k: &str| {
@@ -105,7 +125,22 @@ impl ObsConfig {
                 _ => None,
             }
         });
-        ObsConfig {
+        let count = |k: &str| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        };
+        let toggle = |k: &str| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| match v.trim().to_ascii_lowercase().as_str() {
+                    "0" | "false" | "off" | "no" => Some(false),
+                    "1" | "true" | "on" | "yes" => Some(true),
+                    _ => None,
+                })
+        };
+        Config {
             trace_path: path("TPOT_TRACE"),
             spans_path: path("TPOT_SPANS"),
             metrics_path: path("TPOT_METRICS"),
@@ -116,13 +151,77 @@ impl ObsConfig {
                 .filter(|&n| n > 0),
             slow_query_dir: path("TPOT_SLOW_QUERY_DIR"),
             collect_spans: false,
+            pool_threads: count("TPOT_POOL_THREADS"),
+            jobs: count("TPOT_JOBS"),
+            incremental: toggle("TPOT_INCREMENTAL"),
         }
+    }
+
+    /// Sets the Chrome-trace output path.
+    pub fn trace(mut self, p: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(p.into());
+        self
+    }
+
+    /// Sets the span JSONL output path.
+    pub fn spans(mut self, p: impl Into<PathBuf>) -> Self {
+        self.spans_path = Some(p.into());
+        self
+    }
+
+    /// Sets the metrics dump path.
+    pub fn metrics_out(mut self, p: impl Into<PathBuf>) -> Self {
+        self.metrics_path = Some(p.into());
+        self
+    }
+
+    /// Sets the log level.
+    pub fn log(mut self, level: Level) -> Self {
+        self.log_level = Some(level);
+        self
+    }
+
+    /// Sets the slow-query watchdog threshold (ms; 0 disables).
+    pub fn slow_query(mut self, ms: u64) -> Self {
+        self.slow_query_ms = Some(ms).filter(|&n| n > 0);
+        self
+    }
+
+    /// Forces span collection without an output path.
+    pub fn collect(mut self, on: bool) -> Self {
+        self.collect_spans = on;
+        self
+    }
+
+    /// Sets the solver worker-pool size.
+    pub fn pool(mut self, threads: usize) -> Self {
+        self.pool_threads = Some(threads);
+        self
+    }
+
+    /// Sets the parallel POT job count.
+    pub fn parallel_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Enables or disables incremental solve sessions in the engine.
+    pub fn incremental_sessions(mut self, on: bool) -> Self {
+        self.incremental = Some(on);
+        self
     }
 
     /// True when span collection should be active.
     fn tracing(&self) -> bool {
         self.collect_spans || self.trace_path.is_some() || self.spans_path.is_some()
     }
+}
+
+/// A snapshot of the active configuration — the environment as parsed on
+/// first use, or whatever [`configure`] last installed. Subsystems read
+/// their knobs from here instead of `std::env`.
+pub fn config() -> Config {
+    obs().cfg.lock().unwrap().clone()
 }
 
 /// Hard cap on buffered events; beyond it, events are counted as dropped
@@ -135,7 +234,7 @@ pub(crate) struct Obs {
     tracing: AtomicBool,
     log_level: AtomicU8,
     watchdog_ms: AtomicU64,
-    cfg: Mutex<ObsConfig>,
+    cfg: Mutex<Config>,
     pub(crate) events: Mutex<Vec<Event>>,
     pub(crate) dropped: AtomicU64,
 }
@@ -144,7 +243,7 @@ static OBS: OnceLock<Obs> = OnceLock::new();
 
 pub(crate) fn obs() -> &'static Obs {
     OBS.get_or_init(|| {
-        let cfg = ObsConfig::from_env();
+        let cfg = Config::from_env();
         Obs {
             epoch: Instant::now(),
             tracing: AtomicBool::new(cfg.tracing()),
@@ -161,7 +260,7 @@ pub(crate) fn obs() -> &'static Obs {
 /// environment — used by tests and the parity harnesses). Does not clear
 /// already-collected events or metrics; see [`take_events`] and
 /// [`metrics::reset`].
-pub fn configure(cfg: ObsConfig) {
+pub fn configure(cfg: Config) {
     let o = obs();
     o.tracing.store(cfg.tracing(), Ordering::Relaxed);
     o.log_level.store(
@@ -271,7 +370,7 @@ pub fn take_events() -> Vec<Event> {
     std::mem::take(&mut *obs().events.lock().unwrap())
 }
 
-/// Number of events dropped at the [`MAX_EVENTS`] cap so far.
+/// Number of events dropped at the `MAX_EVENTS` cap so far.
 pub fn dropped_events() -> u64 {
     obs().dropped.load(Ordering::Relaxed)
 }

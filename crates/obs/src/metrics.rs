@@ -4,7 +4,7 @@
 //! never gate), but only *exported* when `TPOT_METRICS` is set or a
 //! harness calls [`to_json`]. This registry replaces the scattered ad-hoc
 //! counters that used to live in `portfolio/pool.rs` and the bench
-//! binaries; the engine's per-POT [`Stats`] record remains the per-POT
+//! binaries; the engine's per-POT `Stats` record remains the per-POT
 //! view and is mirrored in here per run (see `tpot-engine`).
 //!
 //! Histograms use 64 log₂ buckets: bucket *i* counts observations `v`

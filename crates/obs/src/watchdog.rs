@@ -47,11 +47,10 @@ fn state() -> &'static Mutex<WatchdogState> {
     STATE.get_or_init(|| Mutex::new(WatchdogState::default()))
 }
 
-/// Where dumps land.
+/// Where dumps land (from the active [`crate::Config`]).
 pub fn dump_dir() -> PathBuf {
-    std::env::var_os("TPOT_SLOW_QUERY_DIR")
-        .filter(|v| !v.is_empty())
-        .map(PathBuf::from)
+    crate::config()
+        .slow_query_dir
         .unwrap_or_else(|| PathBuf::from("tpot-slow-queries"))
 }
 

@@ -277,7 +277,7 @@ mod tests {
             let i = rng() % lists.len();
             match rng() % 4 {
                 // Push to a random handle (3x more likely than clone).
-                0 | 1 | 2 => {
+                0..=2 => {
                     lists[i].push(step as u64);
                     models[i].push(step as u64);
                 }

@@ -42,7 +42,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use tpot_smt::print::{query_fingerprint, to_smtlib};
 use tpot_smt::{eval, TermArena, TermId, Value};
-use tpot_solver::{SmtResult, SolverError};
+use tpot_solver::{SmtResult, SolveSession, SolverError};
 
 use tpot_obs::metrics::LazyCounter;
 
@@ -51,6 +51,9 @@ pub use pool::{Job, Reply, WorkerPool};
 static CACHE_HITS: LazyCounter = LazyCounter::new("portfolio.cache.hits");
 static CACHE_MISSES: LazyCounter = LazyCounter::new("portfolio.cache.misses");
 static RACES: LazyCounter = LazyCounter::new("portfolio.races");
+static SESSION_HITS: LazyCounter = LazyCounter::new("solver.session.hit");
+static SESSION_MISSES: LazyCounter = LazyCounter::new("solver.session.miss");
+static SESSION_REBLASTED: LazyCounter = LazyCounter::new("solver.session.reblasted_terms");
 
 /// Outcome stored in the persistent cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -230,6 +233,174 @@ pub struct PortfolioStats {
     pub queue_wait: Duration,
 }
 
+/// Broker statistics (see the `solver.session.*` metrics for the
+/// process-wide view).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionBrokerStats {
+    /// Queries served by a session sharing a non-empty prefix.
+    pub hits: u64,
+    /// Queries that had to open a fresh session.
+    pub misses: u64,
+    /// Terms lowered to CNF across all session queries (cache misses in the
+    /// bit-blaster). One-shot solving re-lowers a query's full cone every
+    /// time; the ratio of this counter to the one-shot equivalent is the
+    /// headline reuse number.
+    pub reblasted_terms: u64,
+    /// Session queries that fell back to one-shot solving (Unknown result,
+    /// cancellation, or solver error).
+    pub fallbacks: u64,
+}
+
+/// Keeps a small LRU set of [`SolveSession`]s keyed by their asserted
+/// path-condition prefix.
+///
+/// Consecutive queries along one symbolic-execution path share a growing
+/// assertion prefix; the broker routes each query to the live session with
+/// the longest common prefix, pops the session down to the shared part, and
+/// pushes only what is new — so the solver re-lowers (and re-learns) only
+/// the delta. All sessions operate directly on the caller's term arena;
+/// a broker must therefore only ever see queries from **one** arena (the
+/// engine satisfies this structurally: one arena, one `QueryCtx`, one
+/// portfolio per POT).
+pub struct SessionBroker {
+    entries: Vec<SessionEntry>,
+    clock: u64,
+    cap: usize,
+    /// Counters.
+    pub stats: SessionBrokerStats,
+}
+
+struct SessionEntry {
+    session: SolveSession,
+    /// Path terms currently asserted, one scope per term.
+    prefix: Vec<TermId>,
+    last_used: u64,
+}
+
+impl Default for SessionBroker {
+    fn default() -> Self {
+        SessionBroker::new(8)
+    }
+}
+
+fn common_prefix_len(a: &[TermId], b: &[TermId]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+impl SessionBroker {
+    /// Creates a broker holding at most `cap` live sessions.
+    pub fn new(cap: usize) -> Self {
+        SessionBroker {
+            entries: Vec::new(),
+            clock: 0,
+            cap: cap.max(1),
+            stats: SessionBrokerStats::default(),
+        }
+    }
+
+    /// Checks `prefix ∧ extra`, with `extra` passed as a transient
+    /// assumption (the push → assume → check → pop shape branch feasibility
+    /// wants, without the pop: the prefix scopes stay open for the next
+    /// query).
+    ///
+    /// Returns `None` when the session answered `Unknown` or errored — the
+    /// session is retired and the caller should fall back to one-shot
+    /// solving.
+    pub fn check(
+        &mut self,
+        config: &tpot_solver::SolverConfig,
+        arena: &mut TermArena,
+        prefix: &[TermId],
+        extra: TermId,
+        need_model: bool,
+    ) -> Option<Result<SmtResult, SolverError>> {
+        self.clock += 1;
+        let mut best: Option<(usize, usize)> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            let lcp = common_prefix_len(&e.prefix, prefix);
+            if best.is_none_or(|(_, b)| lcp > b) {
+                best = Some((i, lcp));
+            }
+        }
+        let (idx, lcp) = match best {
+            // Reuse only when something is actually shared; a zero-overlap
+            // session would pay pops and GC for nothing.
+            Some((i, l)) if l > 0 || prefix.is_empty() => {
+                self.stats.hits += 1;
+                SESSION_HITS.add(1);
+                (i, l)
+            }
+            _ => {
+                self.stats.misses += 1;
+                SESSION_MISSES.add(1);
+                if self.entries.len() >= self.cap {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("cap >= 1");
+                    self.entries.swap_remove(lru);
+                }
+                self.entries.push(SessionEntry {
+                    session: SolveSession::new(config.clone()),
+                    prefix: Vec::new(),
+                    last_used: self.clock,
+                });
+                (self.entries.len() - 1, 0)
+            }
+        };
+        let _span = tpot_obs::span_args(
+            "solver",
+            "session",
+            &[
+                ("lcp", lcp.to_string()),
+                ("prefix", prefix.len().to_string()),
+            ],
+        );
+        let entry = &mut self.entries[idx];
+        entry.last_used = self.clock;
+        let before = entry.session.terms_blasted();
+        let result = (|| {
+            while entry.prefix.len() > lcp {
+                entry.session.pop();
+                entry.prefix.pop();
+            }
+            for &t in &prefix[lcp..] {
+                entry.session.push();
+                entry.session.assert(arena, t)?;
+                entry.prefix.push(t);
+            }
+            entry.session.check_assuming(arena, &[extra], need_model)
+        })();
+        let delta = entry.session.terms_blasted() - before;
+        self.stats.reblasted_terms += delta;
+        SESSION_REBLASTED.add(delta);
+        match result {
+            Ok(SmtResult::Unknown) | Err(_) => {
+                // Unknown may mean cancellation or a wedged instance; either
+                // way the session's learned state is suspect value — retire
+                // it and let the caller run one-shot.
+                self.entries.swap_remove(idx);
+                self.stats.fallbacks += 1;
+                None
+            }
+            ok => Some(ok),
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A racing portfolio of SMT solver instances.
 pub struct Portfolio {
     configs: Vec<tpot_solver::SolverConfig>,
@@ -238,6 +409,9 @@ pub struct Portfolio {
     pub cache: Option<SharedCache>,
     /// Statistics.
     pub stats: PortfolioStats,
+    /// Incremental solve sessions, used by [`Portfolio::check_incremental`]
+    /// when the portfolio has exactly one configuration.
+    pub sessions: SessionBroker,
     pool: Arc<WorkerPool>,
 }
 
@@ -249,6 +423,7 @@ impl Portfolio {
             configs,
             cache: None,
             stats: PortfolioStats::default(),
+            sessions: SessionBroker::default(),
             pool: WorkerPool::global(),
         }
     }
@@ -292,7 +467,7 @@ impl Portfolio {
     ///
     /// This convenience entry serializes the query to compute its cache
     /// fingerprint; callers that already serialized (the engine does, for
-    /// Fig. 7 accounting) should call [`check_fingerprinted`]
+    /// Fig. 7 accounting) should call [`Portfolio::check_fingerprinted`]
     /// (Self::check_fingerprinted) to avoid double serialization.
     pub fn check(
         &mut self,
@@ -343,6 +518,71 @@ impl Portfolio {
         } else {
             self.race(&sliced, &roots)?
         };
+        if let Some(cache) = &self.cache {
+            match &result {
+                SmtResult::Sat(_) => cache.lock().put(fp, CachedOutcome::Sat),
+                SmtResult::Unsat => cache.lock().put(fp, CachedOutcome::Unsat),
+                SmtResult::Unknown => {}
+            }
+        }
+        Ok(result)
+    }
+
+    /// Checks `prefix ∧ extra` through an incremental [`SolveSession`],
+    /// falling back to the one-shot [`Portfolio::check_fingerprinted`]
+    /// (Self::check_fingerprinted) path when sessions don't apply.
+    ///
+    /// The session path engages only for single-configuration portfolios —
+    /// racing instances each keep private learned state, and a race's
+    /// cancellation would poison a long-lived session — and only after the
+    /// persistent cache misses (`fp` is the fingerprint of the full
+    /// `prefix ∧ extra` query, identical to the one-shot path's, so cache
+    /// entries are shared between both paths). Fallback triggers on session
+    /// `Unknown` (resource limits or cancellation) and on solver errors.
+    ///
+    /// All sessions operate directly on `arena`; callers must pass the same
+    /// arena for the lifetime of this portfolio (the engine does: one arena
+    /// and one portfolio per POT).
+    pub fn check_incremental(
+        &mut self,
+        arena: &mut TermArena,
+        prefix: &[TermId],
+        extra: TermId,
+        need_model: bool,
+        fp: u64,
+    ) -> Result<SmtResult, SolverError> {
+        let one_shot = |p: &mut Self, arena: &mut TermArena| {
+            let mut q: Vec<TermId> = prefix.to_vec();
+            q.push(extra);
+            p.check_fingerprinted(arena, &q, need_model, fp)
+        };
+        if self.configs.len() != 1 {
+            return one_shot(self, arena);
+        }
+        if !need_model {
+            if let Some(cache) = &self.cache {
+                let hit = cache.lock().get(fp);
+                match hit {
+                    Some(CachedOutcome::Sat) => {
+                        CACHE_HITS.add(1);
+                        return Ok(SmtResult::Sat(tpot_smt::Model::new()));
+                    }
+                    Some(CachedOutcome::Unsat) => {
+                        CACHE_HITS.add(1);
+                        return Ok(SmtResult::Unsat);
+                    }
+                    None => CACHE_MISSES.add(1),
+                }
+            }
+        }
+        let session_result =
+            self.sessions
+                .check(&self.configs[0], arena, prefix, extra, need_model);
+        let Some(result) = session_result else {
+            return one_shot(self, arena);
+        };
+        let result = result?;
+        self.stats.queries += 1;
         if let Some(cache) = &self.cache {
             match &result {
                 SmtResult::Sat(_) => cache.lock().put(fp, CachedOutcome::Sat),
@@ -490,10 +730,12 @@ mod tests {
         for row in &p {
             asserts.push(arena.or(row));
         }
-        for j in 0..holes {
-            for i in 0..pigeons {
-                for k in (i + 1)..pigeons {
-                    let both = arena.and(&[p[i][j], p[k][j]]);
+        for i in 0..pigeons {
+            for k in (i + 1)..pigeons {
+                let pairs: Vec<(TermId, TermId)> =
+                    p[i].iter().copied().zip(p[k].iter().copied()).collect();
+                for (a, b) in pairs {
+                    let both = arena.and(&[a, b]);
                     asserts.push(arena.not(both));
                 }
             }
@@ -625,6 +867,174 @@ mod tests {
             "the fingerprinted path must not re-serialize the query"
         );
         assert_eq!(p.stats.queries, 1);
+    }
+
+    #[test]
+    fn incremental_reuses_sessions_along_a_path() {
+        let mut a = TermArena::new();
+        let x = a.var("ix", Sort::Int);
+        let y = a.var("iy", Sort::Int);
+        let c0 = a.int_const(0);
+        let c10 = a.int_const(10);
+        let sum = a.int_add2(x, y);
+        let p0 = a.int_le(c0, x); // x >= 0
+        let p1 = a.int_le(c0, y); // y >= 0
+        let p2 = a.int_le(sum, c10); // x + y <= 10
+        let mut p = Portfolio::single();
+        // Growing path prefix, like branch feasibility along one path.
+        let q1 = a.int_le(x, c10);
+        let fp1 = query_fingerprint(&to_smtlib(&a, &[p0, q1]));
+        assert!(p
+            .check_incremental(&mut a, &[p0], q1, false, fp1)
+            .unwrap()
+            .is_sat());
+        let c20 = a.int_const(20);
+        let q2 = a.int_le(c20, sum); // x + y >= 20 contradicts p2
+        let fp2 = query_fingerprint(&to_smtlib(&a, &[p0, p1, p2, q2]));
+        assert!(p
+            .check_incremental(&mut a, &[p0, p1, p2], q2, false, fp2)
+            .unwrap()
+            .is_unsat());
+        // Same prefix again: pure session hit, nothing re-blasted.
+        let before = p.sessions.stats.reblasted_terms;
+        let q3 = a.int_le(c0, sum);
+        let fp3 = query_fingerprint(&to_smtlib(&a, &[p0, p1, p2, q3]));
+        assert!(p
+            .check_incremental(&mut a, &[p0, p1, p2], q3, false, fp3)
+            .unwrap()
+            .is_sat());
+        assert!(p.sessions.stats.hits >= 2);
+        assert_eq!(p.sessions.len(), 1, "one path, one session");
+        let delta = p.sessions.stats.reblasted_terms - before;
+        assert!(
+            delta <= 3,
+            "repeat prefix must not re-blast (delta {delta})"
+        );
+    }
+
+    #[test]
+    fn incremental_pops_to_shared_prefix() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let c1 = a.bv_const(8, 1);
+        let c2 = a.bv_const(8, 2);
+        let c3 = a.bv_const(8, 3);
+        let p0 = a.bv_ult(c1, x); // x > 1
+        let br_a = a.eq(x, c2);
+        let br_b = a.eq(x, c3);
+        let t = a.tru();
+        let mut p = Portfolio::single();
+        let fp = |a: &TermArena, q: &[TermId]| query_fingerprint(&to_smtlib(a, q));
+        // Branch A then sibling branch B: the broker pops A, pushes B.
+        let f1 = fp(&a, &[p0, br_a, t]);
+        assert!(p
+            .check_incremental(&mut a, &[p0, br_a], t, false, f1)
+            .unwrap()
+            .is_sat());
+        let f2 = fp(&a, &[p0, br_b, t]);
+        assert!(p
+            .check_incremental(&mut a, &[p0, br_b], t, false, f2)
+            .unwrap()
+            .is_sat());
+        assert_eq!(p.sessions.len(), 1, "sibling branches share one session");
+        // Contradictory sibling is still answered correctly after the pop.
+        let ne = a.neq(x, c3);
+        let f3 = fp(&a, &[p0, br_b, ne]);
+        assert!(p
+            .check_incremental(&mut a, &[p0, br_b], ne, false, f3)
+            .unwrap()
+            .is_unsat());
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_outcomes() {
+        // The same queries through sessions and through plain check must
+        // agree (spot check; the fuzzer's incremental-vs-oneshot mode does
+        // this at scale).
+        let mut a = TermArena::new();
+        let x = a.var("ix", Sort::Int);
+        let c0 = a.int_const(0);
+        let c5 = a.int_const(5);
+        let le = a.int_le(x, c0);
+        let ge = a.int_le(c5, x);
+        let disj = a.or2(le, ge);
+        let c3 = a.int_const(3);
+        let eq3 = a.eq(x, c3);
+        let c7 = a.int_const(7);
+        let eq7 = a.eq(x, c7);
+        let cases: Vec<(Vec<TermId>, TermId)> =
+            vec![(vec![disj], eq3), (vec![disj], eq7), (vec![], disj)];
+        let mut inc = Portfolio::single();
+        for (prefix, extra) in cases {
+            let mut full = prefix.clone();
+            full.push(extra);
+            let fp = query_fingerprint(&to_smtlib(&a, &full));
+            let r_inc = inc
+                .check_incremental(&mut a, &prefix, extra, true, fp)
+                .unwrap();
+            let r_one = Portfolio::single().check(&a, &full, true).unwrap();
+            assert_eq!(
+                r_inc.is_sat(),
+                r_one.is_sat(),
+                "session/one-shot disagree on {full:?}"
+            );
+            assert_eq!(r_inc.is_unsat(), r_one.is_unsat());
+        }
+    }
+
+    #[test]
+    fn incremental_racing_portfolio_falls_back_to_oneshot() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, false);
+        let (prefix, extra) = (&q[..1], q[1]);
+        let fp = query_fingerprint(&to_smtlib(&a, &q));
+        let mut p = Portfolio::with_instances(3);
+        assert!(p
+            .check_incremental(&mut a, prefix, extra, false, fp)
+            .unwrap()
+            .is_unsat());
+        assert!(
+            p.sessions.is_empty(),
+            "racing portfolios must not open sessions"
+        );
+        assert_eq!(p.stats.queries, 1);
+    }
+
+    #[test]
+    fn incremental_shares_cache_with_oneshot() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, false);
+        let fp = query_fingerprint(&to_smtlib(&a, &q));
+        let mut p = Portfolio::single().with_cache(PersistentCache::in_memory());
+        assert!(p.check_fingerprinted(&a, &q, false, fp).unwrap().is_unsat());
+        // The cached one-shot outcome answers the incremental call without
+        // ever opening a session.
+        assert!(p
+            .check_incremental(&mut a, &q[..1], q[1], false, fp)
+            .unwrap()
+            .is_unsat());
+        assert!(p.sessions.is_empty());
+        assert_eq!(p.stats.queries, 1);
+        assert_eq!(p.cache.as_ref().unwrap().lock().hits, 1);
+    }
+
+    #[test]
+    fn broker_evicts_least_recently_used() {
+        let mut a = TermArena::new();
+        let mut broker = SessionBroker::new(2);
+        let cfg = tpot_solver::SolverConfig::default();
+        let t = a.tru();
+        let mut prefixes = Vec::new();
+        for i in 0..3 {
+            let v = a.var(&format!("b{i}"), Sort::Bool);
+            prefixes.push(vec![v]);
+        }
+        for pfx in &prefixes {
+            let r = broker.check(&cfg, &mut a, pfx, t, false).unwrap().unwrap();
+            assert!(r.is_sat());
+        }
+        assert_eq!(broker.len(), 2, "cap must hold");
+        assert_eq!(broker.stats.misses, 3, "disjoint prefixes never hit");
     }
 
     #[test]

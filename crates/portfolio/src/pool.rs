@@ -87,15 +87,15 @@ impl WorkerPool {
         })
     }
 
-    /// The process-wide shared pool. Sized by `TPOT_POOL_THREADS` when set,
-    /// otherwise the available core count (minimum 2).
+    /// The process-wide shared pool. Sized by the `TPOT_POOL_THREADS` knob
+    /// (via the typed [`tpot_obs::Config`]) when set, otherwise the
+    /// available core count (minimum 2).
     pub fn global() -> Arc<WorkerPool> {
         static GLOBAL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
         GLOBAL
             .get_or_init(|| {
-                let n = std::env::var("TPOT_POOL_THREADS")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
+                let n = tpot_obs::config()
+                    .pool_threads
                     .unwrap_or_else(|| {
                         std::thread::available_parallelism()
                             .map(|n| n.get())

@@ -621,7 +621,19 @@ impl Solver {
                 remove[i] = true;
             }
         }
-        // Compact the clause database and remap indices.
+        self.purge(&remove);
+    }
+
+    /// Physically deletes every clause whose index is marked in `remove`,
+    /// compacting the clause database, remapping reason pointers (reasons of
+    /// deleted clauses become `None` — sound, since only level-0 assignments
+    /// can outlive their reasons here and conflict analysis never expands
+    /// level-0 literals), and rebuilding the watch lists wholesale.
+    ///
+    /// Shared by learnt-clause reduction ([`Solver::reduce_db`]) and the
+    /// scope GC used by incremental sessions
+    /// ([`Solver::purge_level0_satisfied`]).
+    fn purge(&mut self, remove: &[bool]) {
         let mut remap: Vec<i64> = vec![-1; self.clauses.len()];
         let mut new_clauses: Vec<Clause> = Vec::with_capacity(self.clauses.len());
         for (i, c) in self.clauses.drain(..).enumerate() {
@@ -652,6 +664,43 @@ impl Solver {
                 blocker: w0,
             });
         }
+    }
+
+    /// Scope GC for incremental sessions: physically removes every clause
+    /// that is satisfied at decision level 0, returning how many were
+    /// deleted.
+    ///
+    /// When a session pops a scope it adds the unit clause `¬act` for the
+    /// scope's activation literal; every clause guarded by that scope
+    /// (`l ∨ ¬act`) becomes root-satisfied and is dead weight for all future
+    /// checks, as are learnt clauses subsumed by it. Calling this after the
+    /// unit propagates reclaims them. Backtracks to level 0 first.
+    pub fn purge_level0_satisfied(&mut self) -> usize {
+        self.backtrack(0);
+        if !self.ok {
+            return 0;
+        }
+        let mut remove = vec![false; self.clauses.len()];
+        let mut n = 0usize;
+        for (i, c) in self.clauses.iter().enumerate() {
+            if c.lits
+                .iter()
+                .any(|&l| self.level[l.var().0 as usize] == 0 && self.value_lit(l) == Assign::True)
+            {
+                remove[i] = true;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.purge(&remove);
+        }
+        n
+    }
+
+    /// Number of clauses currently attached (excludes units absorbed into
+    /// the level-0 trail).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
     }
 
     /// Solves under the given assumptions.
@@ -803,7 +852,7 @@ mod tests {
 
     fn lit(i: i32) -> Lit {
         // DIMACS-style: positive i => positive literal of var i-1.
-        let v = Var((i.unsigned_abs() - 1) as u32);
+        let v = Var(i.unsigned_abs() - 1);
         Lit::new(v, i > 0)
     }
 
@@ -971,9 +1020,66 @@ mod tests {
     }
 
     #[test]
+    fn purge_level0_satisfied_removes_guarded_clauses() {
+        // Activation-literal scoping: clauses guarded by ¬act become
+        // root-satisfied once the unit ¬act is added, and the GC deletes
+        // them without disturbing satisfiability of the rest.
+        let mut s = make_solver(4);
+        let act = lit(4);
+        s.add_clause(&[lit(1), lit(2)]); // permanent
+        s.add_clause(&[lit(-1), lit(3), act.negate()]); // scoped
+        s.add_clause(&[lit(-3), lit(-2), act.negate()]); // scoped
+        assert_eq!(s.num_clauses(), 3);
+        assert_eq!(s.solve(&[act]), SatResult::Sat);
+        // Pop the scope: permanently disable act, then GC.
+        assert!(s.add_clause(&[act.negate()]));
+        assert_eq!(s.purge_level0_satisfied(), 2);
+        assert_eq!(s.num_clauses(), 1);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(s.model_value(Var(0)) || s.model_value(Var(1)));
+    }
+
+    #[test]
+    fn purge_keeps_solver_correct_after_learning() {
+        // Learn clauses on a hard instance, then purge after forcing a
+        // root-level assignment; solving again must stay consistent.
+        let n = 5u32;
+        let m = 4u32;
+        let mut s = Solver::default();
+        for _ in 0..(n * m + 1) {
+            s.new_var();
+        }
+        let act = Lit::pos(Var(n * m));
+        let p = |i: u32, j: u32| Lit::pos(Var(i * m + j));
+        for i in 0..n {
+            let mut c: Vec<Lit> = (0..m).map(|j| p(i, j)).collect();
+            c.push(act.negate());
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate(), act.negate()]);
+                }
+            }
+        }
+        // Under the activation literal the embedded PHP(5,4) is unsat.
+        assert_eq!(s.solve(&[act]), SatResult::Unsat);
+        // Without it the guards satisfy everything.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        // Pop: disable the scope and GC; everything was guarded.
+        assert!(s.add_clause(&[act.negate()]));
+        let removed = s.purge_level0_satisfied();
+        assert!(removed > 0);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
     fn conflict_limit_returns_unknown() {
-        let mut cfg = SatConfig::default();
-        cfg.conflict_limit = Some(1);
+        let cfg = SatConfig {
+            conflict_limit: Some(1),
+            ..SatConfig::default()
+        };
         let mut s = Solver::new(cfg);
         for _ in 0..20 {
             s.new_var();

@@ -13,9 +13,9 @@
 //! - A building API with local constant folding and peephole simplification,
 //!   mirroring the constant/equality propagation KLEE performs before the
 //!   paper's query simplifier (§4.3) takes over.
-//! - An SMT-LIB2 serializer ([`print`]); serialization time is one of the
+//! - An SMT-LIB2 serializer ([`mod@print`]); serialization time is one of the
 //!   cost buckets of Figure 7.
-//! - A concrete evaluator ([`eval`]) used to validate models a posteriori
+//! - A concrete evaluator ([`mod@eval`]) used to validate models a posteriori
 //!   (the paper recommends validating portfolio results, §4.4) and in
 //!   property tests.
 //!

@@ -21,8 +21,14 @@ use crate::error::SolverError;
 use crate::linexpr::{extract_linear, LeAtom};
 
 /// Bit-blasting context that owns its SAT solver.
-pub struct BitBlaster<'a> {
-    arena: &'a TermArena,
+///
+/// The blaster holds no reference to the [`TermArena`]; every entry point
+/// takes the arena as an argument instead. This is what lets an incremental
+/// [`crate::SolveSession`] keep one blaster alive across many checks while
+/// preprocessing keeps appending fresh terms to the (hash-consed,
+/// append-only) arena in between — the `TermId`-keyed caches stay valid, so
+/// a term lowered to CNF in an earlier check is never re-blasted.
+pub struct BitBlaster {
     /// The underlying SAT solver; the DPLL(T) loop calls `solve` and adds
     /// blocking clauses directly.
     pub sat: Solver,
@@ -33,16 +39,19 @@ pub struct BitBlaster<'a> {
     /// Collected integer theory atoms: SAT literal ↔ normalized `≤`-atom.
     pub atoms: Vec<(Lit, LeAtom)>,
     atom_cache: HashMap<TermId, Lit>,
+    /// Number of terms lowered to CNF (cache misses in `bv_bits` /
+    /// `bool_lit`). Sessions read the delta per check to attribute
+    /// re-blasting work.
+    pub terms_blasted: u64,
 }
 
 const G_AND: u8 = 0;
 const G_XOR: u8 = 1;
 
-impl<'a> BitBlaster<'a> {
+impl BitBlaster {
     /// Creates a bit-blaster over `sat`.
-    pub fn new(arena: &'a TermArena, sat: Solver) -> Self {
+    pub fn new(sat: Solver) -> Self {
         BitBlaster {
-            arena,
             sat,
             bv_cache: HashMap::new(),
             bool_cache: HashMap::new(),
@@ -50,6 +59,7 @@ impl<'a> BitBlaster<'a> {
             true_lit: None,
             atoms: Vec::new(),
             atom_cache: HashMap::new(),
+            terms_blasted: 0,
         }
     }
 
@@ -333,11 +343,12 @@ impl<'a> BitBlaster<'a> {
 
     /// Bit-blasts a bitvector-sorted term into its literal vector
     /// (little-endian).
-    pub fn bv_bits(&mut self, t: TermId) -> Result<Vec<Lit>, SolverError> {
+    pub fn bv_bits(&mut self, arena: &TermArena, t: TermId) -> Result<Vec<Lit>, SolverError> {
         if let Some(bits) = self.bv_cache.get(&t) {
             return Ok(bits.clone());
         }
-        let node = self.arena.term(t).clone();
+        self.terms_blasted += 1;
+        let node = arena.term(t).clone();
         let w = node
             .sort
             .bv_width()
@@ -346,28 +357,28 @@ impl<'a> BitBlaster<'a> {
             Kind::BvConst(v) => self.const_vec(*v, w),
             Kind::Var(_) => (0..w).map(|_| Lit::pos(self.sat.new_var())).collect(),
             Kind::BvNeg => {
-                let a = self.bv_bits(node.args[0])?;
+                let a = self.bv_bits(arena, node.args[0])?;
                 self.neg_vec(&a)
             }
             Kind::BvAdd => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 let zero = self.lit_false();
                 self.add_vec(&a, &b, zero)
             }
             Kind::BvSub => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 self.sub_vec(&a, &b)
             }
             Kind::BvMul => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 self.mul_vec(&a, &b)
             }
             Kind::BvUDiv | Kind::BvURem => {
-                let x = self.bv_bits(node.args[0])?;
-                let d = self.bv_bits(node.args[1])?;
+                let x = self.bv_bits(arena, node.args[0])?;
+                let d = self.bv_bits(arena, node.args[1])?;
                 let (q, r) = self.divrem_vec(&x, &d);
                 let zero = self.const_vec(0, w);
                 let dz = self.eq_vec(&d, &zero);
@@ -379,66 +390,66 @@ impl<'a> BitBlaster<'a> {
                 }
             }
             Kind::BvAnd => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 (0..w as usize).map(|i| self.mk_and(a[i], b[i])).collect()
             }
             Kind::BvOr => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 (0..w as usize).map(|i| self.mk_or(a[i], b[i])).collect()
             }
             Kind::BvXor => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 (0..w as usize).map(|i| self.mk_xor(a[i], b[i])).collect()
             }
             Kind::BvNot => {
-                let a = self.bv_bits(node.args[0])?;
+                let a = self.bv_bits(arena, node.args[0])?;
                 a.iter().map(|l| l.negate()).collect()
             }
             Kind::BvShl => {
-                let a = self.bv_bits(node.args[0])?;
-                let s = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let s = self.bv_bits(arena, node.args[1])?;
                 self.shift_vec(&a, &s, true, false)
             }
             Kind::BvLShr => {
-                let a = self.bv_bits(node.args[0])?;
-                let s = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let s = self.bv_bits(arena, node.args[1])?;
                 self.shift_vec(&a, &s, false, false)
             }
             Kind::BvAShr => {
-                let a = self.bv_bits(node.args[0])?;
-                let s = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let s = self.bv_bits(arena, node.args[1])?;
                 self.shift_vec(&a, &s, false, true)
             }
             Kind::Concat => {
-                let hi = self.bv_bits(node.args[0])?;
-                let lo = self.bv_bits(node.args[1])?;
+                let hi = self.bv_bits(arena, node.args[0])?;
+                let lo = self.bv_bits(arena, node.args[1])?;
                 let mut bits = lo;
                 bits.extend(hi);
                 bits
             }
             Kind::Extract { hi, lo } => {
-                let a = self.bv_bits(node.args[0])?;
+                let a = self.bv_bits(arena, node.args[0])?;
                 a[*lo as usize..=*hi as usize].to_vec()
             }
             Kind::ZeroExt { extra } => {
-                let mut a = self.bv_bits(node.args[0])?;
+                let mut a = self.bv_bits(arena, node.args[0])?;
                 let f = self.lit_false();
                 a.extend(std::iter::repeat_n(f, *extra as usize));
                 a
             }
             Kind::SignExt { extra } => {
-                let mut a = self.bv_bits(node.args[0])?;
+                let mut a = self.bv_bits(arena, node.args[0])?;
                 let s = *a.last().unwrap();
                 a.extend(std::iter::repeat_n(s, *extra as usize));
                 a
             }
             Kind::Ite => {
-                let c = self.bool_lit(node.args[0])?;
-                let tt = self.bv_bits(node.args[1])?;
-                let ee = self.bv_bits(node.args[2])?;
+                let c = self.bool_lit(arena, node.args[0])?;
+                let tt = self.bv_bits(arena, node.args[1])?;
+                let ee = self.bv_bits(arena, node.args[2])?;
                 self.mux_vec(c, &tt, &ee)
             }
             other => {
@@ -453,21 +464,22 @@ impl<'a> BitBlaster<'a> {
     }
 
     /// Converts a boolean-sorted term into a SAT literal.
-    pub fn bool_lit(&mut self, t: TermId) -> Result<Lit, SolverError> {
+    pub fn bool_lit(&mut self, arena: &TermArena, t: TermId) -> Result<Lit, SolverError> {
         if let Some(&l) = self.bool_cache.get(&t) {
             return Ok(l);
         }
-        let node = self.arena.term(t).clone();
+        self.terms_blasted += 1;
+        let node = arena.term(t).clone();
         let l: Lit = match &node.kind {
             Kind::True => self.lit_true(),
             Kind::False => self.lit_false(),
             Kind::Var(_) => Lit::pos(self.sat.new_var()),
-            Kind::Not => self.bool_lit(node.args[0])?.negate(),
+            Kind::Not => self.bool_lit(arena, node.args[0])?.negate(),
             Kind::And => {
                 let lits: Vec<Lit> = node
                     .args
                     .iter()
-                    .map(|&a| self.bool_lit(a))
+                    .map(|&a| self.bool_lit(arena, a))
                     .collect::<Result<_, _>>()?;
                 self.mk_and_many(&lits)
             }
@@ -475,37 +487,37 @@ impl<'a> BitBlaster<'a> {
                 let lits: Vec<Lit> = node
                     .args
                     .iter()
-                    .map(|&a| self.bool_lit(a))
+                    .map(|&a| self.bool_lit(arena, a))
                     .collect::<Result<_, _>>()?;
                 self.mk_or_many(&lits)
             }
             Kind::Xor => {
-                let a = self.bool_lit(node.args[0])?;
-                let b = self.bool_lit(node.args[1])?;
+                let a = self.bool_lit(arena, node.args[0])?;
+                let b = self.bool_lit(arena, node.args[1])?;
                 self.mk_xor(a, b)
             }
             Kind::Implies => {
-                let a = self.bool_lit(node.args[0])?;
-                let b = self.bool_lit(node.args[1])?;
+                let a = self.bool_lit(arena, node.args[0])?;
+                let b = self.bool_lit(arena, node.args[1])?;
                 self.mk_or(a.negate(), b)
             }
             Kind::Ite => {
-                let c = self.bool_lit(node.args[0])?;
-                let a = self.bool_lit(node.args[1])?;
-                let b = self.bool_lit(node.args[2])?;
+                let c = self.bool_lit(arena, node.args[0])?;
+                let a = self.bool_lit(arena, node.args[1])?;
+                let b = self.bool_lit(arena, node.args[2])?;
                 self.mk_ite(c, a, b)
             }
             Kind::Eq => {
-                let s = self.arena.sort(node.args[0]).clone();
+                let s = arena.sort(node.args[0]).clone();
                 match s {
                     Sort::Bool => {
-                        let a = self.bool_lit(node.args[0])?;
-                        let b = self.bool_lit(node.args[1])?;
+                        let a = self.bool_lit(arena, node.args[0])?;
+                        let b = self.bool_lit(arena, node.args[1])?;
                         self.mk_xor(a, b).negate()
                     }
                     Sort::BitVec(_) => {
-                        let a = self.bv_bits(node.args[0])?;
-                        let b = self.bv_bits(node.args[1])?;
+                        let a = self.bv_bits(arena, node.args[0])?;
+                        let b = self.bv_bits(arena, node.args[1])?;
                         self.eq_vec(&a, &b)
                     }
                     Sort::Int => {
@@ -521,28 +533,28 @@ impl<'a> BitBlaster<'a> {
                 }
             }
             Kind::BvUlt => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 self.ult_vec(&a, &b)
             }
             Kind::BvUle => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 self.ult_vec(&b, &a).negate()
             }
             Kind::BvSlt => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 self.slt_vec(&a, &b)
             }
             Kind::BvSle => {
-                let a = self.bv_bits(node.args[0])?;
-                let b = self.bv_bits(node.args[1])?;
+                let a = self.bv_bits(arena, node.args[0])?;
+                let b = self.bv_bits(arena, node.args[1])?;
                 self.slt_vec(&b, &a).negate()
             }
             Kind::IntLe => {
-                let lhs = extract_linear(self.arena, node.args[0])?;
-                let rhs = extract_linear(self.arena, node.args[1])?;
+                let lhs = extract_linear(arena, node.args[0])?;
+                let rhs = extract_linear(arena, node.args[1])?;
                 let atom = LeAtom::new(&lhs, &rhs)?;
                 match atom.as_trivial() {
                     Some(true) => self.lit_true(),
@@ -575,8 +587,8 @@ impl<'a> BitBlaster<'a> {
     }
 
     /// Asserts a boolean term as a unit clause.
-    pub fn assert_term(&mut self, t: TermId) -> Result<(), SolverError> {
-        let l = self.bool_lit(t)?;
+    pub fn assert_term(&mut self, arena: &TermArena, t: TermId) -> Result<(), SolverError> {
+        let l = self.bool_lit(arena, t)?;
         self.sat.add_clause(&[l]);
         Ok(())
     }
@@ -621,8 +633,8 @@ mod tests {
     fn check_valid(arena: &mut TermArena, t: TermId) -> bool {
         // Valid iff negation unsat.
         let neg = arena.not(t);
-        let mut bb = BitBlaster::new(arena, Solver::default());
-        bb.assert_term(neg).unwrap();
+        let mut bb = BitBlaster::new(Solver::default());
+        bb.assert_term(arena, neg).unwrap();
         assert!(bb.atoms.is_empty(), "pure BV test");
         bb.sat.solve(&[]) == SatResult::Unsat
     }
@@ -727,11 +739,11 @@ mod tests {
         let x = a.var("ix", Sort::Int);
         let c = a.int_const(5);
         let le = a.int_le(x, c);
-        let mut bb = BitBlaster::new(&a, Solver::default());
-        let _l = bb.bool_lit(le).unwrap();
+        let mut bb = BitBlaster::new(Solver::default());
+        let _l = bb.bool_lit(&a, le).unwrap();
         assert_eq!(bb.atoms.len(), 1);
         // Second reference reuses the literal.
-        let _l2 = bb.bool_lit(le).unwrap();
+        let _l2 = bb.bool_lit(&a, le).unwrap();
         assert_eq!(bb.atoms.len(), 1);
     }
 
@@ -741,8 +753,8 @@ mod tests {
         let x = a.var("x", Sort::BitVec(8));
         let c = a.bv_const(8, 42);
         let eq = a.eq(x, c);
-        let mut bb = BitBlaster::new(&a, Solver::default());
-        bb.assert_term(eq).unwrap();
+        let mut bb = BitBlaster::new(Solver::default());
+        bb.assert_term(&a, eq).unwrap();
         assert_eq!(bb.sat.solve(&[]), SatResult::Sat);
         assert_eq!(bb.bv_model_value(x), Some(42));
     }

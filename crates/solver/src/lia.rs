@@ -19,6 +19,8 @@ use crate::simplex::Simplex;
 
 static LIA_CALLS: LazyCounter = LazyCounter::new("solver.lia.calls");
 static BNB_NODES: LazyCounter = LazyCounter::new("solver.lia.bnb_nodes");
+static ROWS_EXTENDED: LazyCounter = LazyCounter::new("solver.lia.rows_extended");
+static ROWS_REUSED: LazyCounter = LazyCounter::new("solver.lia.rows_reused");
 
 /// Outcome of an integer-feasibility check.
 #[derive(Clone, Debug)]
@@ -53,58 +55,146 @@ impl Default for LiaConfig {
 
 /// Checks integer feasibility of the conjunction of `atoms`.
 ///
-/// Atom `i`'s tag in conflict cores is its index in the slice.
+/// Atom `i`'s tag in conflict cores is its index in the slice. One-shot
+/// wrapper over a fresh [`IncLia`]; sessions keep the `IncLia` alive so the
+/// tableau is extended rather than rebuilt across checks.
 pub fn solve_lia(atoms: &[LeAtom], config: &LiaConfig) -> Result<LiaOutcome, SolverError> {
-    LIA_CALLS.add(1);
-    let _span = tpot_obs::span_args("solver", "lia", &[("atoms", atoms.len().to_string())]);
-    // Map term-level variables to simplex variables.
-    let mut var_map: HashMap<TermId, usize> = HashMap::new();
-    let mut rev: Vec<TermId> = Vec::new();
-    let mut sx = Simplex::new();
-    for atom in atoms {
-        for &v in atom.expr.coeffs.keys() {
-            var_map.entry(v).or_insert_with(|| {
-                rev.push(v);
-                sx.new_var()
-            });
+    IncLia::new().check(atoms, config)
+}
+
+/// Incremental LIA context.
+///
+/// The underlying [`Simplex`] can only ever *tighten* bounds (there is no
+/// retraction), so incrementality lives one level up: the context keeps a
+/// *template* tableau holding one simplex variable per integer term variable
+/// and one slack row per distinct linear form, registered the first time any
+/// check mentions that form. The template itself is never pivoted — bounds
+/// are asserted on a clone per check — so a check is: extend the template
+/// with whatever forms are new (the atom-set delta), clone, assert the
+/// current polarities' bounds, solve. Atoms shared with earlier checks reuse
+/// their registered rows, and an atom and its negation share one row (the
+/// form is sign-canonicalized; the negation becomes a lower bound).
+pub struct IncLia {
+    var_map: HashMap<TermId, usize>,
+    /// Sign-canonical linear form → slack variable in the template.
+    row_map: HashMap<Vec<(TermId, i128)>, usize>,
+    template: Simplex,
+    /// Rows added to the template over its lifetime.
+    pub rows_extended: u64,
+    /// Row lookups served by an already-registered form.
+    pub rows_reused: u64,
+}
+
+impl Default for IncLia {
+    fn default() -> Self {
+        IncLia::new()
+    }
+}
+
+impl IncLia {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        IncLia {
+            var_map: HashMap::new(),
+            row_map: HashMap::new(),
+            template: Simplex::new(),
+            rows_extended: 0,
+            rows_reused: 0,
         }
     }
-    // Assert each atom: single unit-coefficient variables become direct
-    // bounds; general forms get a slack row.
-    for (i, atom) in atoms.iter().enumerate() {
-        if let Some(t) = atom.as_trivial() {
-            if !t {
-                return Ok(LiaOutcome::Unsat(vec![i]));
+
+    /// Sign-canonical key for a (non-unit) linear form: coefficients in
+    /// `TermId` order with the leading coefficient positive. Returns the key
+    /// and whether the form was negated to canonicalize it.
+    fn canon_key(atom: &LeAtom) -> (Vec<(TermId, i128)>, bool) {
+        let mut items: Vec<(TermId, i128)> =
+            atom.expr.coeffs.iter().map(|(&t, &c)| (t, c)).collect();
+        let negated = items[0].1 < 0;
+        if negated {
+            for (_, c) in &mut items {
+                *c = -*c;
             }
-            continue;
         }
-        let conflict = if atom.expr.coeffs.len() == 1 {
-            let (&v, &c) = atom.expr.coeffs.iter().next().unwrap();
-            let sv = var_map[&v];
-            let bound = Rat::new(atom.bound, c)?;
-            if c > 0 {
-                sx.assert_upper(sv, bound, Some(i))?
-            } else {
-                sx.assert_lower(sv, bound, Some(i))?
+        (items, negated)
+    }
+
+    /// Checks integer feasibility of the conjunction of `atoms`, extending
+    /// the template with any new variables/forms first. Atom `i`'s tag in
+    /// conflict cores is its index in the slice.
+    pub fn check(
+        &mut self,
+        atoms: &[LeAtom],
+        config: &LiaConfig,
+    ) -> Result<LiaOutcome, SolverError> {
+        LIA_CALLS.add(1);
+        let _span = tpot_obs::span_args("solver", "lia", &[("atoms", atoms.len().to_string())]);
+        // Phase 1: extend the template with new variables and slack rows.
+        // `live` collects the term variables this check actually constrains;
+        // branch-and-bound only enforces integrality on those (the template
+        // may carry variables only dead atoms from earlier checks mention).
+        let mut live: HashMap<TermId, usize> = HashMap::new();
+        for atom in atoms {
+            for &v in atom.expr.coeffs.keys() {
+                let var_map = &mut self.var_map;
+                let template = &mut self.template;
+                let sv = *var_map.entry(v).or_insert_with(|| template.new_var());
+                live.insert(v, sv);
             }
-        } else {
-            let combo: Vec<(usize, Rat)> = atom
-                .expr
-                .coeffs
-                .iter()
-                .map(|(&v, &c)| (var_map[&v], Rat::int(c)))
-                .collect();
-            let slack = sx.add_row(&combo)?;
-            sx.assert_upper(slack, Rat::int(atom.bound), Some(i))?
-        };
-        if let Some(c) = conflict {
+            if atom.expr.coeffs.len() > 1 && atom.as_trivial().is_none() {
+                let (key, _) = Self::canon_key(atom);
+                if let Some(_slack) = self.row_map.get(&key) {
+                    self.rows_reused += 1;
+                    ROWS_REUSED.add(1);
+                } else {
+                    let combo: Vec<(usize, Rat)> = key
+                        .iter()
+                        .map(|&(t, c)| (self.var_map[&t], Rat::int(c)))
+                        .collect();
+                    let slack = self.template.add_row(&combo)?;
+                    self.row_map.insert(key, slack);
+                    self.rows_extended += 1;
+                    ROWS_EXTENDED.add(1);
+                }
+            }
+        }
+        // Phase 2: assert this check's bounds on a clone of the template.
+        let mut sx = self.template.clone();
+        for (i, atom) in atoms.iter().enumerate() {
+            if let Some(t) = atom.as_trivial() {
+                if !t {
+                    return Ok(LiaOutcome::Unsat(vec![i]));
+                }
+                continue;
+            }
+            let conflict = if atom.expr.coeffs.len() == 1 {
+                let (&v, &c) = atom.expr.coeffs.iter().next().unwrap();
+                let sv = self.var_map[&v];
+                let bound = Rat::new(atom.bound, c)?;
+                if c > 0 {
+                    sx.assert_upper(sv, bound, Some(i))?
+                } else {
+                    sx.assert_lower(sv, bound, Some(i))?
+                }
+            } else {
+                let (key, negated) = Self::canon_key(atom);
+                let slack = self.row_map[&key];
+                if negated {
+                    // Row holds -expr; expr ≤ b ⇔ row ≥ -b.
+                    let b = atom.bound.checked_neg().ok_or(SolverError::Overflow)?;
+                    sx.assert_lower(slack, Rat::int(b), Some(i))?
+                } else {
+                    sx.assert_upper(slack, Rat::int(atom.bound), Some(i))?
+                }
+            };
+            if let Some(c) = conflict {
+                return Ok(finish_conflict(c, atoms.len()));
+            }
+        }
+        if let Some(c) = sx.check()? {
             return Ok(finish_conflict(c, atoms.len()));
         }
+        branch_and_bound(sx, &live, config, atoms.len())
     }
-    if let Some(c) = sx.check()? {
-        return Ok(finish_conflict(c, atoms.len()));
-    }
-    branch_and_bound(sx, &var_map, config, atoms.len())
 }
 
 /// Iterative depth-first branch-and-bound over simplex snapshots.
@@ -278,6 +368,47 @@ mod tests {
         match solve_lia(&atoms, &LiaConfig::default()).unwrap() {
             LiaOutcome::Unsat(core) => assert_eq!(core, vec![0]),
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_extends_rather_than_rebuilds() {
+        let (_a, v) = vars(2);
+        let mut e01 = LinExpr::var(v[0]);
+        e01 = e01.add(&LinExpr::var(v[1])).unwrap();
+        let a_sum = atom(e01.clone(), 5); // x0+x1 <= 5
+        let a_x0 = atom(LinExpr::var(v[0]).neg().unwrap(), -3); // x0 >= 3
+        let a_x1 = atom(LinExpr::var(v[1]).neg().unwrap(), -3); // x1 >= 3
+        let a_neg_sum = atom(e01.neg().unwrap(), -7); // x0+x1 >= 7
+        let mut inc = IncLia::new();
+        // First check registers the sum row.
+        assert!(matches!(
+            inc.check(&[a_sum.clone(), a_x0.clone()], &LiaConfig::default())
+                .unwrap(),
+            LiaOutcome::Sat(_)
+        ));
+        assert_eq!(inc.rows_extended, 1);
+        // Second check re-uses it and finds the joint conflict.
+        match inc
+            .check(&[a_sum.clone(), a_x0.clone(), a_x1], &LiaConfig::default())
+            .unwrap()
+        {
+            LiaOutcome::Unsat(core) => assert_eq!(core.len(), 3),
+            other => panic!("expected unsat, got {other:?}"),
+        }
+        assert_eq!(inc.rows_extended, 1);
+        assert!(inc.rows_reused >= 1);
+        // The negated form shares the same canonical row.
+        assert!(matches!(
+            inc.check(&[a_neg_sum], &LiaConfig::default()).unwrap(),
+            LiaOutcome::Sat(_)
+        ));
+        assert_eq!(inc.rows_extended, 1);
+        // Dropping atoms between checks needs no retraction: the earlier
+        // x0 >= 3 bound is gone, so x0+x1 <= 2 alone is satisfiable.
+        match inc.check(&[atom(e01, 2)], &LiaConfig::default()).unwrap() {
+            LiaOutcome::Sat(m) => assert!(m[&v[0]] + m[&v[1]] <= 2),
+            other => panic!("expected sat, got {other:?}"),
         }
     }
 

@@ -32,9 +32,11 @@ pub mod lia;
 pub mod linexpr;
 pub mod preprocess;
 pub mod rational;
+pub mod session;
 pub mod simplex;
 pub mod smt;
 
 pub use config::SolverConfig;
 pub use error::SolverError;
+pub use session::{SessionStats, SolveSession};
 pub use smt::{SmtResult, SmtSolver};

@@ -40,93 +40,197 @@ pub struct PreprocessOutput {
 /// One Ackermann-expanded application: `(argument terms, result variable)`.
 pub type UfApp = (Vec<TermId>, TermId);
 
-/// Runs the full preprocessing pipeline.
+/// Runs the full preprocessing pipeline (one-shot).
+///
+/// Thin wrapper over a fresh [`IncPreprocess`]; incremental sessions keep
+/// the `IncPreprocess` alive so rewrite caches, Ackermann maps, and the
+/// congruence-axiom high-water marks persist across checks.
 pub fn preprocess(
     arena: &mut TermArena,
     assertions: &[TermId],
 ) -> Result<PreprocessOutput, SolverError> {
-    let mut out = PreprocessOutput::default();
-    // Pass 1: push selects through stores.
-    let mut cache = HashMap::new();
-    let mut cur: Vec<TermId> = Vec::with_capacity(assertions.len());
-    for &t in assertions {
-        cur.push(push_selects(arena, t, &mut cache)?);
+    let mut inc = IncPreprocess::new();
+    let delta = inc.process(arena, assertions)?;
+    let mut all = delta.assertions;
+    all.extend(delta.defs);
+    Ok(PreprocessOutput {
+        assertions: all,
+        array_selects: inc.array_selects(),
+        uf_apps: inc.uf_apps(),
+    })
+}
+
+/// Output of one incremental preprocessing step.
+#[derive(Default, Debug)]
+pub struct PreprocessDelta {
+    /// Lowered forms of the input assertions, in input order. These carry
+    /// the input's truth value and must be asserted under the caller's
+    /// current scope.
+    pub assertions: Vec<TermId>,
+    /// Definitional side constraints: congruence axioms for newly seen
+    /// select/application pairs and integer-`ite` purification implications.
+    /// These are valid independent of any scope (they only define fresh
+    /// variables or state theory-valid facts about them), so a session
+    /// asserts them unguarded and keeps them across `pop`.
+    pub defs: Vec<TermId>,
+}
+
+/// Incremental preprocessing state for a solve session.
+///
+/// All rewrite caches and Ackermann maps persist, so a term preprocessed in
+/// an earlier check maps to the *same* rewritten term (and the same fresh
+/// `sel!`/`uf!`/`k!int` variables) in every later check — which is what
+/// keeps the bit-blast cache downstream valid. Congruence axioms are
+/// instantiated pairwise exactly once per pair, tracked by per-array /
+/// per-function high-water marks.
+#[derive(Default, Debug)]
+pub struct IncPreprocess {
+    cache1: HashMap<TermId, TermId>,
+    sel_map: HashMap<(TermId, TermId), TermId>,
+    cache2: HashMap<TermId, TermId>,
+    app_map: HashMap<TermId, TermId>,
+    app_info: HashMap<FuncId, Vec<UfApp>>,
+    cache3: HashMap<TermId, TermId>,
+    cache4: HashMap<TermId, TermId>,
+    /// Per-array select lists in discovery order; all pairs among the first
+    /// `sel_done[arr]` entries already have congruence axioms.
+    sels: HashMap<TermId, Vec<(TermId, TermId)>>,
+    sel_done: HashMap<TermId, usize>,
+    uf_done: HashMap<FuncId, usize>,
+}
+
+impl IncPreprocess {
+    /// Creates empty preprocessing state.
+    pub fn new() -> Self {
+        IncPreprocess::default()
     }
-    // Pass 2: Ackermannize base-array selects.
-    let mut sel_map: HashMap<(TermId, TermId), TermId> = HashMap::new();
-    let mut cache2 = HashMap::new();
-    let mut next: Vec<TermId> = Vec::new();
-    for &t in &cur {
-        next.push(ackermannize_selects(arena, t, &mut sel_map, &mut cache2)?);
-    }
-    cur = next;
-    // Group by array and instantiate congruence.
-    let mut per_array: HashMap<TermId, Vec<(TermId, TermId)>> = HashMap::new();
-    for (&(arr, idx), &var) in &sel_map {
-        per_array.entry(arr).or_default().push((idx, var));
-    }
-    for (arr, mut sels) in per_array {
-        sels.sort_unstable();
-        for i in 0..sels.len() {
-            for j in (i + 1)..sels.len() {
-                let (i1, v1) = sels[i];
-                let (i2, v2) = sels[j];
-                let guard = arena.eq(i1, i2);
-                let concl = arena.eq(v1, v2);
-                let axiom = arena.implies(guard, concl);
-                cur.push(axiom);
+
+    /// Preprocesses `assertions`, reusing all prior state. Returns the
+    /// lowered assertions plus any *new* definitional constraints.
+    pub fn process(
+        &mut self,
+        arena: &mut TermArena,
+        assertions: &[TermId],
+    ) -> Result<PreprocessDelta, SolverError> {
+        // Pass 1: push selects through stores.
+        let mut cur: Vec<TermId> = Vec::with_capacity(assertions.len());
+        for &t in assertions {
+            cur.push(push_selects(arena, t, &mut self.cache1)?);
+        }
+        // Pass 2: Ackermannize base-array selects.
+        let mut next: Vec<TermId> = Vec::with_capacity(cur.len());
+        for &t in &cur {
+            next.push(ackermannize_selects(
+                arena,
+                t,
+                &mut self.sel_map,
+                &mut self.cache2,
+            )?);
+        }
+        cur = next;
+        // New select congruence axioms (new pairs only). The sel lists grow
+        // monotonically in discovery order; re-sync them from sel_map.
+        let mut axioms: Vec<TermId> = Vec::new();
+        for (&(arr, idx), &var) in &self.sel_map {
+            let list = self.sels.entry(arr).or_default();
+            if !list.iter().any(|&(i, _)| i == idx) {
+                list.push((idx, var));
             }
         }
-        out.array_selects.push((arr, sels));
-    }
-    out.array_selects.sort_by_key(|(a, _)| *a);
-    // Pass 3: Ackermannize UF applications.
-    let mut app_map: HashMap<TermId, TermId> = HashMap::new();
-    let mut app_info: HashMap<FuncId, Vec<(Vec<TermId>, TermId)>> = HashMap::new();
-    let mut cache3 = HashMap::new();
-    let mut next: Vec<TermId> = Vec::new();
-    for &t in &cur {
-        next.push(ackermannize_ufs(
-            arena,
-            t,
-            &mut app_map,
-            &mut app_info,
-            &mut cache3,
-        )?);
-    }
-    cur = next;
-    let mut funcs: Vec<FuncId> = app_info.keys().copied().collect();
-    funcs.sort_by_key(|f| f.0);
-    for f in funcs {
-        let apps = &app_info[&f];
-        for i in 0..apps.len() {
-            for j in (i + 1)..apps.len() {
-                let (args1, r1) = &apps[i];
-                let (args2, r2) = &apps[j];
-                let eqs: Vec<TermId> = args1
-                    .iter()
-                    .zip(args2.iter())
-                    .map(|(&a, &b)| arena.eq(a, b))
-                    .collect();
-                let guard = arena.and(&eqs);
-                let concl = arena.eq(*r1, *r2);
-                let axiom = arena.implies(guard, concl);
-                cur.push(axiom);
+        let mut arrays: Vec<TermId> = self.sels.keys().copied().collect();
+        arrays.sort_unstable();
+        for arr in arrays {
+            let list = self.sels[&arr].clone();
+            let done = *self.sel_done.get(&arr).unwrap_or(&0);
+            for j in done..list.len() {
+                for i in 0..j {
+                    let (i1, v1) = list[i];
+                    let (i2, v2) = list[j];
+                    let guard = arena.eq(i1, i2);
+                    let concl = arena.eq(v1, v2);
+                    axioms.push(arena.implies(guard, concl));
+                }
             }
+            self.sel_done.insert(arr, list.len());
         }
-        out.uf_apps.push((f, apps.clone()));
+        // Pass 3: Ackermannize UF applications — over the rewritten
+        // assertions *and* the new array axioms (whose index terms may
+        // contain `Apply` nodes).
+        cur.extend(axioms);
+        let n_main = assertions.len();
+        let mut next: Vec<TermId> = Vec::with_capacity(cur.len());
+        for &t in &cur {
+            next.push(ackermannize_ufs(
+                arena,
+                t,
+                &mut self.app_map,
+                &mut self.app_info,
+                &mut self.cache3,
+            )?);
+        }
+        cur = next;
+        // New UF congruence axioms.
+        let mut funcs: Vec<FuncId> = self.app_info.keys().copied().collect();
+        funcs.sort_by_key(|f| f.0);
+        for f in funcs {
+            let apps = self.app_info[&f].clone();
+            let done = *self.uf_done.get(&f).unwrap_or(&0);
+            for j in done..apps.len() {
+                for i in 0..j {
+                    let (args1, r1) = &apps[i];
+                    let (args2, r2) = &apps[j];
+                    let eqs: Vec<TermId> = args1
+                        .iter()
+                        .zip(args2.iter())
+                        .map(|(&a, &b)| arena.eq(a, b))
+                        .collect();
+                    let guard = arena.and(&eqs);
+                    let concl = arena.eq(*r1, *r2);
+                    cur.push(arena.implies(guard, concl));
+                }
+            }
+            self.uf_done.insert(f, apps.len());
+        }
+        // Pass 4: purify integer ites, lower integer relations — over
+        // everything (axioms contain integer equalities to lower).
+        let mut side: Vec<TermId> = Vec::new();
+        let mut next: Vec<TermId> = Vec::with_capacity(cur.len());
+        for &t in &cur {
+            next.push(lower_ints(arena, t, &mut self.cache4, &mut side)?);
+        }
+        let defs: Vec<TermId> = next.split_off(n_main).into_iter().chain(side).collect();
+        Ok(PreprocessDelta {
+            assertions: next,
+            defs,
+        })
     }
-    // Pass 4: purify integer ites, lower integer relations.
-    let mut cache4 = HashMap::new();
-    let mut side: Vec<TermId> = Vec::new();
-    let mut next: Vec<TermId> = Vec::new();
-    for &t in &cur {
-        next.push(lower_ints(arena, t, &mut cache4, &mut side)?);
+
+    /// Accumulated `(array, (index, select-var))` records, sorted for
+    /// deterministic model reconstruction.
+    pub fn array_selects(&self) -> Vec<(TermId, Vec<(TermId, TermId)>)> {
+        let mut out: Vec<(TermId, Vec<(TermId, TermId)>)> = self
+            .sels
+            .iter()
+            .map(|(&arr, list)| {
+                let mut l = list.clone();
+                l.sort_unstable();
+                (arr, l)
+            })
+            .collect();
+        out.sort_by_key(|(a, _)| *a);
+        out
     }
-    cur = next;
-    cur.extend(side);
-    out.assertions = cur;
-    Ok(out)
+
+    /// Accumulated `(function, applications)` records, sorted by function.
+    pub fn uf_apps(&self) -> Vec<(FuncId, Vec<UfApp>)> {
+        let mut out: Vec<(FuncId, Vec<UfApp>)> = self
+            .app_info
+            .iter()
+            .map(|(&f, apps)| (f, apps.clone()))
+            .collect();
+        out.sort_by_key(|(f, _)| f.0);
+        out
+    }
 }
 
 /// Rewrites `select(store(a,i,v), j)` into `ite(i=j, v, select(a,j))`,

@@ -1,17 +1,11 @@
 //! The top-level SMT solver: DPLL(T) over the bit-blasted core with lazy
 //! linear-integer-arithmetic checks.
 
-use std::collections::HashMap;
+use tpot_smt::{Model, TermArena, TermId};
 
-use tpot_sat::{Lit, SatResult, Solver};
-use tpot_smt::{eval, Kind, Model, Sort, TermArena, TermId, Value};
-
-use crate::bitblast::BitBlaster;
 use crate::config::SolverConfig;
 use crate::error::SolverError;
-use crate::lia::{solve_lia, LiaOutcome};
-use crate::linexpr::LeAtom;
-use crate::preprocess::{preprocess, PreprocessOutput};
+use crate::session::SolveSession;
 
 /// Result of a satisfiability check.
 #[derive(Clone, Debug)]
@@ -38,7 +32,9 @@ impl SmtResult {
 
 /// A configured SMT solver instance.
 ///
-/// Stateless between queries: `check` takes the arena and assertion set. The
+/// Stateless between queries: `check` takes the arena and assertion set, and
+/// is a thin one-shot wrapper over a fresh single-scope [`SolveSession`] —
+/// callers that issue related queries should hold a session instead. The
 /// engine layers its own caching (§4.3 proof caches, §4.4 persistent query
 /// cache) above this.
 #[derive(Clone, Debug, Default)]
@@ -66,189 +62,16 @@ impl SmtSolver {
         {
             return Ok(SmtResult::Unsat);
         }
-        let pre = {
-            let _span = tpot_obs::span("solver", "preprocess");
-            preprocess(arena, assertions)?
-        };
-        let arena_ref: &TermArena = arena;
-        let mut bb = BitBlaster::new(arena_ref, Solver::new(self.config.sat.clone()));
-        {
-            let _span = tpot_obs::span("solver", "bitblast");
-            for &t in &pre.assertions {
-                bb.assert_term(t)?;
-            }
-        }
-        let _span =
-            tpot_obs::span_args("solver", "dpllt", &[("instance", self.config.name.clone())]);
-        let mut rounds = 0u64;
-        loop {
-            rounds += 1;
-            if rounds > self.config.max_theory_rounds {
-                return Ok(SmtResult::Unknown);
-            }
-            match bb.sat.solve(&[]) {
-                SatResult::Unsat => return Ok(SmtResult::Unsat),
-                SatResult::Unknown => return Ok(SmtResult::Unknown),
-                SatResult::Sat => {}
-            }
-            if bb.atoms.is_empty() {
-                let model = build_model(arena_ref, &bb, &pre, &HashMap::new())?;
-                return Ok(SmtResult::Sat(model));
-            }
-            // Collect the effective theory atoms under the SAT model.
-            let mut effective: Vec<LeAtom> = Vec::with_capacity(bb.atoms.len());
-            let mut polarity: Vec<bool> = Vec::with_capacity(bb.atoms.len());
-            for (lit, atom) in &bb.atoms {
-                let asserted = bb.sat.model_value(lit.var()) == lit.is_pos();
-                polarity.push(asserted);
-                effective.push(if asserted {
-                    atom.clone()
-                } else {
-                    atom.negate()?
-                });
-            }
-            match solve_lia(&effective, &self.config.lia)? {
-                LiaOutcome::Sat(int_model) => {
-                    let model = build_model(arena_ref, &bb, &pre, &int_model)?;
-                    return Ok(SmtResult::Sat(model));
-                }
-                LiaOutcome::Unknown => return Ok(SmtResult::Unknown),
-                LiaOutcome::Unsat(mut core) => {
-                    if self.config.minimize_cores && core.len() <= 20 {
-                        core = minimize_core(&effective, core, &self.config)?;
-                    }
-                    // Blocking clause: at least one core atom must flip.
-                    let clause: Vec<Lit> = core
-                        .iter()
-                        .map(|&i| {
-                            let l = bb.atoms[i].0;
-                            if polarity[i] {
-                                l.negate()
-                            } else {
-                                l
-                            }
-                        })
-                        .collect();
-                    if !bb.sat.add_clause(&clause) {
-                        return Ok(SmtResult::Unsat);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Greedy deletion-based minimization of a LIA conflict core.
-fn minimize_core(
-    effective: &[LeAtom],
-    mut core: Vec<usize>,
-    config: &SolverConfig,
-) -> Result<Vec<usize>, SolverError> {
-    let mut i = 0;
-    while i < core.len() && core.len() > 1 {
-        let mut trial = core.clone();
-        trial.remove(i);
-        let atoms: Vec<LeAtom> = trial.iter().map(|&k| effective[k].clone()).collect();
-        match solve_lia(&atoms, &config.lia)? {
-            LiaOutcome::Unsat(_) => {
-                core = trial;
-            }
-            _ => i += 1,
-        }
-    }
-    Ok(core)
-}
-
-/// Reconstructs a full [`Model`] from SAT bits, LIA values, and the
-/// preprocessing bookkeeping.
-fn build_model(
-    arena: &TermArena,
-    bb: &BitBlaster<'_>,
-    pre: &PreprocessOutput,
-    int_model: &HashMap<TermId, i128>,
-) -> Result<Model, SolverError> {
-    let mut model = Model::new();
-    // Bitvector and boolean variables, straight from the SAT model.
-    for t in bb.blasted_bv_terms() {
-        if matches!(arena.term(t).kind, Kind::Var(_)) {
-            if let Some(v) = bb.bv_model_value(t) {
-                let w = arena.sort(t).bv_width().unwrap();
-                model.set_var(arena.var_name(t), Value::BitVec(w, v));
-            }
-        }
-    }
-    for t in bb.blasted_bool_terms() {
-        if matches!(arena.term(t).kind, Kind::Var(_)) {
-            if let Some(v) = bb.bool_model_value(t) {
-                model.set_var(arena.var_name(t), Value::Bool(v));
-            }
-        }
-    }
-    // Integer variables from the LIA model.
-    for (&t, &v) in int_model {
-        if matches!(arena.term(t).kind, Kind::Var(_)) {
-            model.set_var(arena.var_name(t), Value::Int(v));
-        }
-    }
-    // Function interpretations from the Ackermann records. Built *before*
-    // the array interpretations: UF argument terms are recorded after
-    // select elimination (pass 2), so they contain only variables and
-    // operators — but array index terms are recorded *before* UF
-    // Ackermannization (pass 3) and may still contain `Apply` nodes, e.g.
-    // `(select a (f x))`. Evaluating such an index with the function table
-    // still empty silently falls back to the default interpretation and
-    // keys the array entry at the wrong index, producing a "sat" model
-    // that fails validation. (Found by the fuzzer's model-validation
-    // oracle; regression: crates/solver/tests/corpus_regressions.rs.)
-    for (f, apps) in &pre.uf_apps {
-        let mut interp = tpot_smt::FuncInterp::default();
-        for (args, res_var) in apps {
-            let key: Vec<u128> = args
-                .iter()
-                .map(|&a| eval(arena, &model, a).map(|v| v.key_repr()))
-                .collect::<Result<_, _>>()
-                .map_err(eval_err)?;
-            let rv = eval(arena, &model, *res_var).map_err(eval_err)?;
-            interp.entries.insert(key, rv);
-        }
-        model.funcs.insert(*f, interp);
-    }
-    // Array interpretations: evaluate recorded index terms under the model
-    // built so far.
-    for (arr, sels) in &pre.array_selects {
-        let esort = match arena.sort(*arr) {
-            Sort::Array(_, e) => (**e).clone(),
-            _ => unreachable!(),
-        };
-        let mut entries = HashMap::new();
-        for (idx, sel_var) in sels {
-            let iv = eval(arena, &model, *idx).map_err(eval_err)?;
-            let sv = eval(arena, &model, *sel_var).map_err(eval_err)?;
-            entries.insert(iv.key_repr(), Box::new(sv));
-        }
-        model.set_var(
-            arena.var_name(*arr),
-            Value::Array {
-                entries,
-                default: Box::new(Value::zero_of(&esort)),
-            },
-        );
-    }
-    Ok(model)
-}
-
-fn eval_err(e: tpot_smt::EvalError) -> SolverError {
-    match e {
-        tpot_smt::EvalError::Overflow => SolverError::Overflow,
-        tpot_smt::EvalError::UnboundVar(v) => {
-            SolverError::Unsupported(format!("unbound variable in model build: {v}"))
-        }
+        let mut session = SolveSession::new(self.config.clone());
+        session.assert_many(arena, assertions)?;
+        session.check(arena, true)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tpot_smt::{eval, Sort, Value};
 
     fn solver() -> SmtSolver {
         SmtSolver::default()

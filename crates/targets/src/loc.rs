@@ -1,4 +1,4 @@
-//! A `cloc`-style line counter (the paper uses cloc [1] for Table 3).
+//! A `cloc`-style line counter (the paper uses cloc for Table 3).
 
 /// Counts non-blank, non-comment lines of C code.
 pub fn count_loc(src: &str) -> u32 {

@@ -47,7 +47,7 @@ fn main() {
 
     // Verify every POT. Note there is no specification for increment() or
     // decrement(): TPot inlines internal functions (paper §4.1).
-    for result in verifier.verify_all() {
+    for result in verifier.verify(&tpot::engine::VerifyOptions::new().jobs(1)) {
         match &result.status {
             PotStatus::Proved => {
                 println!(

@@ -2,7 +2,7 @@
 //! symbolic execution → solver) across crates, on the paper's running
 //! examples and the bundled evaluation targets.
 
-use tpot::engine::{AddrMode, EngineConfig, PotStatus, Verifier, ViolationKind};
+use tpot::engine::{AddrMode, EngineConfig, PotStatus, Verifier, VerifyOptions, ViolationKind};
 
 fn verifier(src: &str) -> Verifier {
     let checked = tpot::cfront::compile(src).expect("compile");
@@ -45,7 +45,7 @@ void spec__transfer(void) {
 }
 void spec__get_sum(void) { int res = get_sum(); assert(res == 0); }
 "#;
-    for r in verifier(good).verify_all() {
+    for r in verifier(good).verify(&VerifyOptions::new().jobs(1)) {
         assert!(r.status.is_proved(), "{}: {:?}", r.pot, r.status);
     }
     // Seeded bug: transfer increments a twice.

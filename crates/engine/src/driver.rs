@@ -359,6 +359,7 @@ impl Verifier {
         pot: &str,
         cache: tpot_portfolio::SharedCache,
     ) -> Result<(Vec<Violation>, Stats), EngineError> {
+        let sat0 = crate::stats::SatCounters::snapshot();
         let mut interp = Interp::with_shared_cache(&self.module, config.clone(), cache);
         let is_init = pot.contains(&interp.config.init_marker);
         let mem = interp.initial_memory(is_init)?;
@@ -401,7 +402,9 @@ impl Verifier {
         // Deduplicate identical violations from sibling paths.
         violations.dedup_by(|a, b| a.kind == b.kind && a.message == b.message);
         violations.truncate(16);
-        Ok((violations, interp.solver.stats_snapshot()))
+        let mut stats = interp.solver.stats_snapshot();
+        sat0.delta_into(&mut stats);
+        Ok((violations, stats))
     }
 
     /// End-of-POT obligations: every invariant must hold over the final

@@ -108,6 +108,52 @@ pub struct Stats {
     pub insts: u64,
     /// Lazily materialized heap objects (§4.2).
     pub materializations: u64,
+    /// SAT variables removed by bounded variable elimination during this
+    /// POT (delta of the process-wide `sat.eliminated_vars` counter).
+    pub sat_eliminated_vars: u64,
+    /// Clauses removed by subsumption during this POT.
+    pub sat_subsumed: u64,
+    /// Literals removed by vivification and self-subsumption strengthening.
+    pub sat_vivified_lits: u64,
+    /// DRAT proof lines emitted (0 unless `TPOT_PROOF` is on).
+    pub sat_proof_lines: u64,
+}
+
+/// Snapshot of the process-wide `sat.*` inprocessing counters.
+///
+/// The SAT cores publish per-solve deltas into the metrics registry (the
+/// zero-inner-loop-cost pattern: plain `u64` stats bumped during search,
+/// one registry add per solve). The driver takes a snapshot around each POT
+/// and stores the delta in that POT's [`Stats`]. POTs run sequentially per
+/// process, so the delta attribution is exact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SatCounters {
+    eliminated_vars: u64,
+    subsumed: u64,
+    vivified_lits: u64,
+    proof_lines: u64,
+}
+
+impl SatCounters {
+    /// Reads the current registry values.
+    pub fn snapshot() -> Self {
+        use tpot_obs::metrics::counter;
+        SatCounters {
+            eliminated_vars: counter("sat.eliminated_vars").get(),
+            subsumed: counter("sat.subsumed").get(),
+            vivified_lits: counter("sat.vivified_lits").get(),
+            proof_lines: counter("sat.proof_lines").get(),
+        }
+    }
+
+    /// Writes the delta since `self` into `stats`.
+    pub fn delta_into(self, stats: &mut Stats) {
+        let now = Self::snapshot();
+        stats.sat_eliminated_vars = now.eliminated_vars - self.eliminated_vars;
+        stats.sat_subsumed = now.subsumed - self.subsumed;
+        stats.sat_vivified_lits = now.vivified_lits - self.vivified_lits;
+        stats.sat_proof_lines = now.proof_lines - self.proof_lines;
+    }
 }
 
 impl Stats {
@@ -177,6 +223,10 @@ impl Stats {
         self.live_peak = self.live_peak.max(o.live_peak);
         self.insts += o.insts;
         self.materializations += o.materializations;
+        self.sat_eliminated_vars += o.sat_eliminated_vars;
+        self.sat_subsumed += o.sat_subsumed;
+        self.sat_vivified_lits += o.sat_vivified_lits;
+        self.sat_proof_lines += o.sat_proof_lines;
     }
 
     /// Mirrors this record into the process-wide metrics registry
@@ -211,6 +261,9 @@ impl Stats {
         counter("engine.fork_bytes_copied").add(self.fork_bytes_copied);
         counter("engine.insts").add(self.insts);
         counter("engine.materializations").add(self.materializations);
+        // The sat_* fields are deltas of counters the SAT cores already
+        // publish (`sat.eliminated_vars`, …); re-adding them here would
+        // double-count in the registry dump.
     }
 
     /// Percentage breakdown in the paper's Figure 7 buckets:

@@ -205,6 +205,38 @@ pub fn incremental_vs_oneshot(
     Ok(last)
 }
 
+/// Proof-checked solving: every Unsat answer must come with a DRAT proof
+/// the independent RUP checker accepts.
+///
+/// Runs the query one-shot with `config.sat.proof` forced on (and
+/// inprocessing on, so elimination/strengthening/vivification steps appear
+/// in the proof); the solver layer replays the proof through
+/// `tpot_sat::proof` on every Unsat and surfaces rejection as
+/// `SolverError::ProofCheckFailed`, which this harness reports as the
+/// discrepancy. Sat answers validate the model under `eval`, so the mode is
+/// an oracle on both verdicts: Unsat answers are machine-checked, Sat
+/// answers are witness-checked.
+pub fn proof_checked(arena: &mut TermArena, assertions: &[TermId]) -> Result<Agreement, String> {
+    let mut config = SolverConfig::default();
+    config.sat.proof = true;
+    config.sat.inprocess = true;
+    let res = SmtSolver::new(config)
+        .check(arena, assertions)
+        .map_err(|e| format!("proof-checked solve: {e}"))?;
+    if let SmtResult::Sat(m) = &res {
+        if let Err(i) = model_satisfies(arena, m, assertions) {
+            return Err(format!(
+                "proof-checked model fails assertion #{i} under eval"
+            ));
+        }
+    }
+    Ok(match verdict_of(&res) {
+        Some(Verdict::Sat) => Agreement::Sat,
+        Some(Verdict::Unsat) => Agreement::Unsat,
+        None => Agreement::Skipped,
+    })
+}
+
 /// Simplex (LIA path) vs bit-blasting on structurally parallel queries
 /// that are equisatisfiable by construction (`gen::gen_paired`). On
 /// disagreement, brute force over the integer box adjudicates which

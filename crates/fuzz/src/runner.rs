@@ -9,7 +9,9 @@ use std::time::Instant;
 
 use tpot_smt::TermArena;
 
-use crate::diff::{incremental_vs_oneshot, lia_vs_bv, sliced_vs_full, solver_vs_brute, Agreement};
+use crate::diff::{
+    incremental_vs_oneshot, lia_vs_bv, proof_checked, sliced_vs_full, solver_vs_brute, Agreement,
+};
 use crate::gen::{gen_paired, GenConfig, TermGen};
 use crate::meta::metamorphic;
 use crate::reduce::{reduce, write_repro};
@@ -36,15 +38,20 @@ pub enum Mode {
     /// Incremental solve session (randomized push/pop/check_assuming
     /// interleavings) vs from-scratch one-shot checks.
     IncrementalOneshot,
+    /// Every Unsat answer emits a DRAT proof the independent RUP checker
+    /// must accept (with inprocessing on, so elimination/strengthening
+    /// steps are part of the checked proof).
+    ProofChecked,
 }
 
-pub const ALL_MODES: [Mode; 6] = [
+pub const ALL_MODES: [Mode; 7] = [
     Mode::Grounded,
     Mode::SliceFull,
     Mode::LiaBv,
     Mode::Metamorphic,
     Mode::StateFork,
     Mode::IncrementalOneshot,
+    Mode::ProofChecked,
 ];
 
 impl Mode {
@@ -56,6 +63,7 @@ impl Mode {
             Mode::Metamorphic => "metamorphic",
             Mode::StateFork => "state_fork",
             Mode::IncrementalOneshot => "incremental_vs_oneshot",
+            Mode::ProofChecked => "proof_checked",
         }
     }
 }
@@ -221,6 +229,23 @@ fn run_one(mode: Mode, seed: u64, iter: u64) -> Result<Agreement, Box<Failure>> 
                         let mut a2 = ar.clone();
                         let mut r2 = Rng::for_iteration(seed ^ 0x696e_6372, iter);
                         incremental_vs_oneshot(&mut a2, cand, &mut r2).is_err()
+                    });
+                    Err(Box::new((detail, Some(reduced))))
+                }
+            }
+        }
+        Mode::ProofChecked => {
+            let mut arena = TermArena::new();
+            let cfg = GenConfig::full();
+            let mut g = TermGen::new(&mut arena, &cfg);
+            let q = g.generate(&mut rng);
+            let mut work = arena.clone();
+            match proof_checked(&mut work, &q.assertions) {
+                Ok(a) => Ok(a),
+                Err(detail) => {
+                    let reduced = reduce(&arena, &q.assertions, &[], |ar, cand| {
+                        let mut a2 = ar.clone();
+                        proof_checked(&mut a2, cand).is_err()
                     });
                     Err(Box::new((detail, Some(reduced))))
                 }

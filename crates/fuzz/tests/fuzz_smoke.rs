@@ -39,6 +39,7 @@ fn fuzz_smoke_fixed_seed_finds_no_discrepancies() {
         Mode::Metamorphic,
         Mode::StateFork,
         Mode::IncrementalOneshot,
+        Mode::ProofChecked,
     ] {
         let stats = stats_for(mode);
         assert!(stats.runs > 0, "{} never ran", mode.name());
@@ -56,6 +57,7 @@ fn fuzz_smoke_fixed_seed_finds_no_discrepancies() {
         Mode::SliceFull,
         Mode::LiaBv,
         Mode::IncrementalOneshot,
+        Mode::ProofChecked,
     ] {
         let stats = stats_for(mode);
         assert!(stats.sat > 0, "{} produced no sat verdicts", mode.name());

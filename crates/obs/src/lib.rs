@@ -103,6 +103,25 @@ pub struct Config {
     /// Incremental solve sessions in the engine (`TPOT_INCREMENTAL`,
     /// `0|false|off` / `1|true|on`); `None` = the engine's default (on).
     pub incremental: Option<bool>,
+    /// SAT inprocessing — bounded variable elimination, subsumption and
+    /// vivification between solves (`TPOT_INPROCESS`); `None` = the
+    /// solver's default (on).
+    pub inprocess: Option<bool>,
+    /// DRAT proof logging in the SAT core (`TPOT_PROOF`); `None` = the
+    /// solver's default (off — logging costs memory proportional to the
+    /// number of learned clauses).
+    pub proof: Option<bool>,
+    /// LBD at or below which a learned clause is *core* — never deleted
+    /// (`TPOT_LBD_CORE`); `None` = the solver's default (2).
+    pub lbd_core: Option<u32>,
+    /// LBD at or below which a learned clause is *mid-tier* — kept while
+    /// recently used (`TPOT_LBD_MID`); `None` = the solver's default (6).
+    pub lbd_mid: Option<u32>,
+    /// Conflict budget for the full-strength SAT instance
+    /// (`TPOT_SAT_CONFLICTS`); search gives up with `Unknown` once
+    /// exhausted. `None` = unlimited. Benchmark ablations use this to
+    /// bound otherwise-divergent baselines deterministically.
+    pub sat_conflict_limit: Option<u64>,
 }
 
 /// The historical name of [`Config`].
@@ -154,6 +173,11 @@ impl Config {
             pool_threads: count("TPOT_POOL_THREADS"),
             jobs: count("TPOT_JOBS"),
             incremental: toggle("TPOT_INCREMENTAL"),
+            inprocess: toggle("TPOT_INPROCESS"),
+            proof: toggle("TPOT_PROOF"),
+            lbd_core: count("TPOT_LBD_CORE").map(|n| n as u32),
+            lbd_mid: count("TPOT_LBD_MID").map(|n| n as u32),
+            sat_conflict_limit: count("TPOT_SAT_CONFLICTS").map(|n| n as u64),
         }
     }
 
@@ -208,6 +232,26 @@ impl Config {
     /// Enables or disables incremental solve sessions in the engine.
     pub fn incremental_sessions(mut self, on: bool) -> Self {
         self.incremental = Some(on);
+        self
+    }
+
+    /// Enables or disables SAT inprocessing (variable elimination,
+    /// subsumption, vivification).
+    pub fn inprocessing(mut self, on: bool) -> Self {
+        self.inprocess = Some(on);
+        self
+    }
+
+    /// Enables or disables DRAT proof logging in the SAT core.
+    pub fn proof_logging(mut self, on: bool) -> Self {
+        self.proof = Some(on);
+        self
+    }
+
+    /// Sets the LBD thresholds of the tiered clause database.
+    pub fn lbd_tiers(mut self, core: u32, mid: u32) -> Self {
+        self.lbd_core = Some(core);
+        self.lbd_mid = Some(mid);
         self
     }
 

@@ -1,0 +1,87 @@
+//! `drat_check` — independent RUP/DRAT proof checker.
+//!
+//! Usage: `drat_check <formula.cnf> <proof.drat>`
+//!
+//! Reads a DIMACS CNF formula and a DRAT proof, replays every proof step
+//! through the unit-propagation checker in `tpot_sat::proof` (which shares
+//! no inference code with the CDCL solver), and reports a verdict:
+//!
+//! - exit 0, `s VERIFIED` — every addition is RUP and the proof derives the
+//!   empty clause;
+//! - exit 1, `s NOT VERIFIED` — the steps all check but no empty clause was
+//!   derived (the proof does not establish unsatisfiability);
+//! - exit 2, `s INVALID` — some addition is not RUP, or the inputs are
+//!   malformed.
+
+use std::process::ExitCode;
+
+use tpot_sat::parse_dimacs;
+use tpot_sat::proof::{check_steps, parse_drat, ProofStep};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: drat_check <formula.cnf> <proof.drat>");
+        return ExitCode::from(2);
+    }
+    let cnf_text = match std::fs::read_to_string(&args[1]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args[1]);
+            return ExitCode::from(2);
+        }
+    };
+    let proof_text = match std::fs::read_to_string(&args[2]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args[2]);
+            return ExitCode::from(2);
+        }
+    };
+    let inst = match parse_dimacs(&cnf_text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let proof = match parse_drat(&proof_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: DRAT parse: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut steps: Vec<ProofStep> = inst
+        .clauses
+        .iter()
+        .map(|c| ProofStep::Input(c.clone()))
+        .collect();
+    let derives_empty = proof
+        .iter()
+        .any(|s| matches!(s, ProofStep::Add(lits) if lits.is_empty()));
+    steps.extend(proof);
+
+    match check_steps(inst.num_vars, &steps) {
+        Ok(stats) => {
+            eprintln!(
+                "c {} additions, {} deletions ({} skipped), {} trivial",
+                stats.adds, stats.deletes, stats.skipped_deletes, stats.trivial_adds
+            );
+            if derives_empty {
+                println!("s VERIFIED");
+                ExitCode::SUCCESS
+            } else {
+                println!("s NOT VERIFIED");
+                eprintln!("c all steps check, but the proof does not derive the empty clause");
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            println!("s INVALID");
+            eprintln!("c {e}");
+            ExitCode::from(2)
+        }
+    }
+}

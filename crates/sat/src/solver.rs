@@ -1,6 +1,7 @@
 //! The CDCL solver proper.
 
 use crate::config::{luby, SatConfig};
+use crate::proof::ProofLog;
 
 /// A propositional variable, numbered from 0.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -66,23 +67,30 @@ pub enum SatResult {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Assign {
+pub(crate) enum Assign {
     Undef,
     True,
     False,
 }
 
 #[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    activity: f64,
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    pub(crate) learnt: bool,
+    pub(crate) activity: f64,
+    /// Literal-block distance (glue): number of distinct decision levels in
+    /// the clause when learned, refreshed (keeping the minimum) whenever the
+    /// clause participates in conflict analysis. 0 for problem clauses.
+    pub(crate) lbd: u32,
+    /// Participated in conflict analysis since the last database reduction
+    /// (mid-tier clauses are kept while this holds, demoted when idle).
+    pub(crate) used: bool,
 }
 
 #[derive(Clone, Copy)]
-struct Watcher {
-    clause: u32,
-    blocker: Lit,
+pub(crate) struct Watcher {
+    pub(crate) clause: u32,
+    pub(crate) blocker: Lit,
 }
 
 /// The CDCL SAT solver.
@@ -99,24 +107,52 @@ struct Watcher {
 /// assert!(s.model_value(b));
 /// ```
 pub struct Solver {
-    config: SatConfig,
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<Watcher>>, // indexed by literal
-    assigns: Vec<Assign>,       // indexed by var
-    phase: Vec<bool>,           // saved phase per var
-    level: Vec<u32>,            // decision level per var
-    reason: Vec<Option<u32>>,   // reason clause per var
-    trail: Vec<Lit>,
-    trail_lim: Vec<usize>,
-    qhead: usize,
+    pub(crate) config: SatConfig,
+    pub(crate) clauses: Vec<Clause>,
+    pub(crate) watches: Vec<Vec<Watcher>>, // indexed by literal
+    pub(crate) assigns: Vec<Assign>,       // indexed by var
+    pub(crate) phase: Vec<bool>,           // saved phase per var
+    pub(crate) level: Vec<u32>,            // decision level per var
+    pub(crate) reason: Vec<Option<u32>>,   // reason clause per var
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
     clause_inc: f64,
     order_heap: Vec<Var>, // lazy binary heap keyed by activity
     heap_index: Vec<i32>,
-    ok: bool,
+    pub(crate) ok: bool,
     rng: u64,
     conflicts: u64,
+    /// Interface variables that inprocessing must never eliminate: the
+    /// bit-blaster's term/atom bits, activation literals, and every
+    /// variable ever passed as an assumption.
+    pub(crate) frozen: Vec<bool>,
+    /// Variables removed by bounded variable elimination. They appear in no
+    /// clause and are never branched on; their model values are rebuilt
+    /// from `elim_stack` after every Sat answer.
+    pub(crate) eliminated: Vec<bool>,
+    /// Reconstruction stack: for each eliminated variable, the original
+    /// (non-learnt) clauses it occurred in, pushed in elimination order.
+    pub(crate) elim_stack: Vec<(Var, Vec<Vec<Lit>>)>,
+    /// Bumped whenever an inprocessing pass eliminates variables; callers
+    /// holding literal caches (the bit-blaster) compare epochs to know when
+    /// to drop entries that mention eliminated variables.
+    pub(crate) elim_epoch: u64,
+    /// Maintained count of learnt clauses in `clauses` (the reduction
+    /// trigger — kept exact so the solve loop never rescans the database).
+    pub(crate) num_learnt: usize,
+    /// External clause additions since the last inprocessing pass.
+    pub(crate) adds_since_inprocess: usize,
+    /// Rotation pointer so successive vivification passes resume where the
+    /// previous one stopped instead of rescanning the same prefix.
+    pub(crate) viv_head: usize,
+    /// DRAT proof log, present when `SatConfig::proof` is set.
+    pub(crate) proof: Option<Box<ProofLog>>,
+    /// Scratch stamp per decision level for O(len) LBD computation.
+    lbd_seen: Vec<u64>,
+    lbd_stamp: u64,
     /// Statistics: total propagations.
     pub num_propagations: u64,
     /// Statistics: total decisions.
@@ -128,6 +164,14 @@ pub struct Solver {
     /// Statistics: total clauses learned from conflicts (including
     /// unit-length learnt clauses, which are enqueued rather than stored).
     pub num_learned: u64,
+    /// Statistics: variables removed by bounded variable elimination.
+    pub num_eliminated_vars: u64,
+    /// Statistics: clauses removed by (self-)subsumption.
+    pub num_subsumed: u64,
+    /// Statistics: literals removed by vivification and strengthening.
+    pub num_vivified_lits: u64,
+    /// Statistics: inprocessing passes run.
+    pub num_inprocess_passes: u64,
 }
 
 impl Default for Solver {
@@ -140,6 +184,11 @@ impl Solver {
     /// Creates a solver with the given configuration.
     pub fn new(config: SatConfig) -> Self {
         let rng = config.seed | 1;
+        let proof = if config.proof {
+            Some(Box::new(ProofLog::new()))
+        } else {
+            None
+        };
         Solver {
             config,
             clauses: Vec::new(),
@@ -159,11 +208,27 @@ impl Solver {
             ok: true,
             rng,
             conflicts: 0,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            elim_stack: Vec::new(),
+            elim_epoch: 0,
+            num_learnt: 0,
+            adds_since_inprocess: 0,
+            viv_head: 0,
+            proof,
+            // One slot per possible decision level: num_vars + 1 (new_var
+            // pushes one more per variable).
+            lbd_seen: vec![0],
+            lbd_stamp: 0,
             num_propagations: 0,
             num_decisions: 0,
             num_conflicts: 0,
             num_restarts: 0,
             num_learned: 0,
+            num_eliminated_vars: 0,
+            num_subsumed: 0,
+            num_vivified_lits: 0,
+            num_inprocess_passes: 0,
         }
     }
 
@@ -183,11 +248,39 @@ impl Solver {
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.heap_index.push(-1);
+        self.frozen.push(false);
+        self.eliminated.push(false);
+        self.lbd_seen.push(0);
         self.heap_insert(v);
         v
     }
 
-    fn value_lit(&self, l: Lit) -> Assign {
+    /// Marks `v` as an interface variable that inprocessing must keep:
+    /// variable elimination skips it forever. Callers freeze every variable
+    /// whose meaning outlives the clause database — the bit-blaster's term
+    /// bits and atom literals, activation literals, and assumptions.
+    pub fn freeze(&mut self, v: Var) {
+        self.frozen[v.0 as usize] = true;
+    }
+
+    /// True if `v` is frozen against elimination.
+    pub fn is_frozen(&self, v: Var) -> bool {
+        self.frozen[v.0 as usize]
+    }
+
+    /// True if `v` was removed by variable elimination.
+    pub fn is_eliminated(&self, v: Var) -> bool {
+        self.eliminated[v.0 as usize]
+    }
+
+    /// Elimination epoch: bumped once per inprocessing pass that eliminates
+    /// at least one variable. Literal-cache holders compare this against a
+    /// remembered value to decide when to purge entries.
+    pub fn elim_epoch(&self) -> u64 {
+        self.elim_epoch
+    }
+
+    pub(crate) fn value_lit(&self, l: Lit) -> Assign {
         match self.assigns[l.var().0 as usize] {
             Assign::Undef => Assign::Undef,
             Assign::True => {
@@ -218,6 +311,15 @@ impl Solver {
         if !self.ok {
             return false;
         }
+        debug_assert!(
+            lits.iter().all(|&l| !self.eliminated[l.var().0 as usize]),
+            "clause mentions an eliminated variable — caller must re-blast \
+             after an elimination epoch change"
+        );
+        if let Some(p) = self.proof.as_mut() {
+            p.log_input(lits);
+        }
+        self.adds_since_inprocess += 1;
         let mut ls: Vec<Lit> = lits.to_vec();
         ls.sort_unstable();
         ls.dedup();
@@ -235,12 +337,20 @@ impl Solver {
         }
         match out.len() {
             0 => {
+                // Every literal is root-false, so the input clause itself
+                // propagates to a conflict: the empty clause is RUP.
+                self.log_add(&[]);
                 self.ok = false;
                 false
             }
             1 => {
+                // Strengthened to a unit by root-false literals — RUP with
+                // the input clause present. Logged so the unit is its own
+                // justification if reason clauses are later deleted.
+                self.log_add(&[out[0]]);
                 self.unchecked_enqueue(out[0], None);
                 if self.propagate().is_some() {
+                    self.log_add(&[]);
                     self.ok = false;
                     false
                 } else {
@@ -248,13 +358,13 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(out, false);
+                self.attach_clause(out, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    pub(crate) fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> u32 {
         let idx = self.clauses.len() as u32;
         let w0 = lits[0];
         let w1 = lits[1];
@@ -270,11 +380,30 @@ impl Solver {
             lits,
             learnt,
             activity: 0.0,
+            lbd,
+            used: false,
         });
+        if learnt {
+            self.num_learnt += 1;
+        }
         idx
     }
 
-    fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
+    /// Appends an `Add` line to the proof log, if logging is on.
+    pub(crate) fn log_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.log_add(lits);
+        }
+    }
+
+    /// Appends a `Delete` line to the proof log, if logging is on.
+    pub(crate) fn log_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.log_delete(lits);
+        }
+    }
+
+    pub(crate) fn unchecked_enqueue(&mut self, l: Lit, reason: Option<u32>) {
         let v = l.var().0 as usize;
         debug_assert_eq!(self.assigns[v], Assign::Undef);
         self.assigns[v] = if l.is_pos() {
@@ -288,7 +417,7 @@ impl Solver {
         self.trail.push(l);
     }
 
-    fn propagate(&mut self) -> Option<u32> {
+    pub(crate) fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -448,7 +577,24 @@ impl Solver {
 
     // ------------------------------------------------------------ analysis
 
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+    /// Computes the literal-block distance of a clause: the number of
+    /// distinct decision levels among its (assigned) literals. Uses a
+    /// per-level stamp so each call is O(len) with no allocation.
+    pub(crate) fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_stamp += 1;
+        let stamp = self.lbd_stamp;
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lev = self.level[l.var().0 as usize] as usize;
+            if self.lbd_seen[lev] != stamp {
+                self.lbd_seen[lev] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting lit
         let mut seen = vec![false; self.num_vars()];
         let mut counter = 0usize;
@@ -515,7 +661,9 @@ impl Solver {
             minimized.swap(1, max_i);
             self.level[minimized[1].var().0 as usize]
         };
-        (minimized, bt)
+        // Glue of the learnt clause, computed while levels are still valid.
+        let lbd = self.compute_lbd(&minimized);
+        (minimized, bt, lbd)
     }
 
     /// A literal is redundant if its reason clause's literals are all marked
@@ -535,6 +683,17 @@ impl Solver {
         if !self.clauses[c].learnt {
             return;
         }
+        // The clause takes part in conflict analysis: mark it used (the
+        // mid-tier retention signal) and refresh its glue — all its
+        // literals are assigned here, and a lower current LBD is a better
+        // estimate of its quality (as in Glucose).
+        self.clauses[c].used = true;
+        let lits = std::mem::take(&mut self.clauses[c].lits);
+        let lbd = self.compute_lbd(&lits);
+        self.clauses[c].lits = lits;
+        if lbd < self.clauses[c].lbd {
+            self.clauses[c].lbd = lbd;
+        }
         self.clauses[c].activity += self.clause_inc;
         if self.clauses[c].activity > 1e20 {
             for cl in &mut self.clauses {
@@ -544,7 +703,7 @@ impl Solver {
         }
     }
 
-    fn backtrack(&mut self, level: u32) {
+    pub(crate) fn backtrack(&mut self, level: u32) {
         if (self.trail_lim.len() as u32) <= level {
             return;
         }
@@ -577,47 +736,59 @@ impl Solver {
             if r < self.config.random_decision_freq && !self.order_heap.is_empty() {
                 let i = (self.next_rand() as usize) % self.order_heap.len();
                 let v = self.order_heap[i];
-                if self.assigns[v.0 as usize] == Assign::Undef {
+                if self.assigns[v.0 as usize] == Assign::Undef && !self.eliminated[v.0 as usize] {
                     return Some(Lit::new(v, self.phase[v.0 as usize]));
                 }
             }
         }
         while let Some(v) = self.heap_pop() {
-            if self.assigns[v.0 as usize] == Assign::Undef {
+            if self.assigns[v.0 as usize] == Assign::Undef && !self.eliminated[v.0 as usize] {
                 return Some(Lit::new(v, self.phase[v.0 as usize]));
             }
         }
         None
     }
 
+    /// Tiered learnt-clause reduction (core/mid/local):
+    ///
+    /// - **core** (LBD ≤ `lbd_core`, or binary): never deleted — low-glue
+    ///   clauses are the backbone of the learnt database;
+    /// - **mid** (LBD ≤ `lbd_mid`): kept while the clause participated in
+    ///   conflict analysis since the previous reduction, demoted to the
+    ///   local pool when idle;
+    /// - **local** (everything else): activity-sorted, the colder half is
+    ///   deleted every reduction.
     fn reduce_db(&mut self) {
-        // Remove the less active half of long learnt clauses. Rebuilding the
-        // watch lists wholesale keeps the code simple; reduction is rare.
-        let mut learnt_idx: Vec<usize> = self
-            .clauses
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.learnt && c.lits.len() > 2)
-            .map(|(i, _)| i)
-            .collect();
-        learnt_idx.sort_by(|&a, &b| {
+        let lbd_core = self.config.lbd_core;
+        let lbd_mid = self.config.lbd_mid;
+        let mut cands: Vec<usize> = Vec::new();
+        for (i, c) in self.clauses.iter_mut().enumerate() {
+            if !c.learnt || c.lits.len() <= 2 {
+                continue;
+            }
+            if c.lbd <= lbd_core {
+                continue; // core: immortal
+            }
+            if c.lbd <= lbd_mid && c.used {
+                c.used = false; // mid: survives this round, re-arm
+                continue;
+            }
+            // idle mid clause: demoted, competes with the local pool
+            cands.push(i);
+        }
+        cands.sort_by(|&a, &b| {
             self.clauses[a]
                 .activity
                 .partial_cmp(&self.clauses[b].activity)
                 .unwrap()
         });
-        let locked: Vec<bool> = learnt_idx
-            .iter()
-            .map(|&i| {
-                let first = self.clauses[i].lits[0];
-                self.reason[first.var().0 as usize] == Some(i as u32)
-                    && self.value_lit(first) == Assign::True
-            })
-            .collect();
-        let half = learnt_idx.len() / 2;
+        let half = cands.len() / 2;
         let mut remove = vec![false; self.clauses.len()];
-        for (k, &i) in learnt_idx.iter().take(half).enumerate() {
-            if !locked[k] {
+        for &i in cands.iter().take(half) {
+            let first = self.clauses[i].lits[0];
+            let locked = self.reason[first.var().0 as usize] == Some(i as u32)
+                && self.value_lit(first) == Assign::True;
+            if !locked {
                 remove[i] = true;
             }
         }
@@ -633,7 +804,14 @@ impl Solver {
     /// Shared by learnt-clause reduction ([`Solver::reduce_db`]) and the
     /// scope GC used by incremental sessions
     /// ([`Solver::purge_level0_satisfied`]).
-    fn purge(&mut self, remove: &[bool]) {
+    pub(crate) fn purge(&mut self, remove: &[bool]) {
+        if let Some(p) = self.proof.as_mut() {
+            for (i, c) in self.clauses.iter().enumerate() {
+                if remove[i] {
+                    p.log_delete(&c.lits);
+                }
+            }
+        }
         let mut remap: Vec<i64> = vec![-1; self.clauses.len()];
         let mut new_clauses: Vec<Clause> = Vec::with_capacity(self.clauses.len());
         for (i, c) in self.clauses.drain(..).enumerate() {
@@ -649,6 +827,14 @@ impl Solver {
                 *r = if m >= 0 { Some(m as u32) } else { None };
             }
         }
+        self.num_learnt = self.clauses.iter().filter(|c| c.learnt).count();
+        self.rebuild_watches();
+    }
+
+    /// Rebuilds every watch list from clause positions 0/1 wholesale. The
+    /// caller must guarantee the watch invariant for those positions
+    /// (non-false at root, or the clause root-satisfied).
+    pub(crate) fn rebuild_watches(&mut self) {
         for w in &mut self.watches {
             w.clear();
         }
@@ -719,17 +905,155 @@ impl Solver {
             self.num_learned,
             self.num_propagations,
         );
+        let (e0, s0, v0) = (
+            self.num_eliminated_vars,
+            self.num_subsumed,
+            self.num_vivified_lits,
+        );
+        let pl0 = self.proof_lines();
+        // Assumption variables must survive elimination: their truth value
+        // is the caller's interface. Frozen permanently — sessions reuse
+        // the same activation/atom literals across solves.
+        for &a in assumptions {
+            self.freeze(a.var());
+        }
+        if self.config.inprocess {
+            self.maybe_inprocess();
+        }
         let result = self.solve_inner(assumptions);
+        if result == SatResult::Sat {
+            self.reconstruct_model();
+        }
         {
-            use tpot_obs::metrics::counter;
+            use tpot_obs::metrics::{counter, histogram};
             counter("sat.conflicts").add(self.num_conflicts - c0);
             counter("sat.decisions").add(self.num_decisions - d0);
             counter("sat.restarts").add(self.num_restarts - r0);
             counter("sat.learned_clauses").add(self.num_learned - l0);
             counter("sat.propagations").add(self.num_propagations - p0);
+            counter("sat.eliminated_vars").add(self.num_eliminated_vars - e0);
+            counter("sat.subsumed").add(self.num_subsumed - s0);
+            counter("sat.vivified_lits").add(self.num_vivified_lits - v0);
+            counter("sat.proof_lines").add(self.proof_lines() - pl0);
+            let (core, mid, local) = self.db_tier_counts();
+            histogram("sat.db.core").observe(core as u64);
+            histogram("sat.db.mid").observe(mid as u64);
+            histogram("sat.db.local").observe(local as u64);
             counter("sat.solves").inc();
         }
         result
+    }
+
+    /// Current proof-log length in lines (0 when logging is off).
+    pub fn proof_lines(&self) -> u64 {
+        self.proof.as_ref().map_or(0, |p| p.lines() as u64)
+    }
+
+    /// The proof log, when `SatConfig::proof` is on.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_deref()
+    }
+
+    /// Learnt clauses per tier `(core, mid, local)` under the configured
+    /// LBD thresholds.
+    pub fn db_tier_counts(&self) -> (usize, usize, usize) {
+        let (mut core, mut mid, mut local) = (0, 0, 0);
+        for c in &self.clauses {
+            if !c.learnt {
+                continue;
+            }
+            if c.lbd <= self.config.lbd_core || c.lits.len() <= 2 {
+                core += 1;
+            } else if c.lbd <= self.config.lbd_mid {
+                mid += 1;
+            } else {
+                local += 1;
+            }
+        }
+        (core, mid, local)
+    }
+
+    /// Replays the whole proof log through the independent RUP checker and
+    /// verifies that the final derived clause closes an Unsat answer under
+    /// `assumptions`: it must be the empty clause or consist of negated
+    /// assumptions. Call right after [`SatResult::Unsat`].
+    pub fn check_proof(&self, assumptions: &[Lit]) -> Result<(), String> {
+        let log = self
+            .proof
+            .as_deref()
+            .ok_or_else(|| "proof logging is disabled (SatConfig::proof)".to_string())?;
+        log.check(self.num_vars())?;
+        let fin = log
+            .last_add()
+            .ok_or_else(|| "no derived clause closes the proof".to_string())?;
+        let allowed: std::collections::HashSet<Lit> =
+            assumptions.iter().map(|a| a.negate()).collect();
+        if fin.is_empty() || fin.iter().all(|l| allowed.contains(l)) {
+            Ok(())
+        } else {
+            Err(format!(
+                "final clause {fin:?} is neither empty nor over negated assumptions"
+            ))
+        }
+    }
+
+    /// Extends the current model over eliminated variables, walking the
+    /// reconstruction stack in reverse elimination order: each variable is
+    /// set false unless one of its saved original clauses would otherwise
+    /// be unsatisfied. Saved clauses mention only the variable itself and
+    /// variables eliminated later (already reconstructed) or never, so the
+    /// reverse walk is well-founded.
+    fn reconstruct_model(&mut self) {
+        for k in (0..self.elim_stack.len()).rev() {
+            let v = self.elim_stack[k].0;
+            debug_assert_eq!(self.assigns[v.0 as usize], Assign::Undef);
+            let pos = Lit::pos(v);
+            let mut value = false;
+            for ci in 0..self.elim_stack[k].1.len() {
+                let forced = {
+                    let cl = &self.elim_stack[k].1[ci];
+                    cl.contains(&pos)
+                        && cl
+                            .iter()
+                            .all(|&l| l.var() == v || self.model_value(l.var()) != l.is_pos())
+                };
+                if forced {
+                    value = true;
+                    break;
+                }
+            }
+            // model_value reads the saved phase for unassigned variables.
+            self.phase[v.0 as usize] = value;
+        }
+    }
+
+    /// Runs an inprocessing pass when the database is big enough for a
+    /// sweep to plausibly pay for itself and enough new clauses arrived
+    /// since the last one. Small databases solve in microseconds — a pass
+    /// (occurrence build + budgeted vivification) costs more than the
+    /// search it would save, measured end-to-end on the pKVM query mix —
+    /// so they are exempt regardless of growth.
+    fn maybe_inprocess(&mut self) {
+        const MIN_CLAUSES: usize = 5000;
+        if !self.ok || self.clauses.len() < MIN_CLAUSES {
+            return;
+        }
+        let threshold = (self.clauses.len() / 4).max(512);
+        if self.adds_since_inprocess < threshold {
+            return;
+        }
+        self.run_inprocess();
+        self.adds_since_inprocess = 0;
+    }
+
+    /// Forces an inprocessing pass now (tests and harnesses); returns
+    /// `false` if the database became trivially unsatisfiable.
+    pub fn inprocess_now(&mut self) -> bool {
+        if self.ok {
+            self.run_inprocess();
+            self.adds_since_inprocess = 0;
+        }
+        self.ok
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit]) -> SatResult {
@@ -749,16 +1073,20 @@ impl Solver {
                 self.num_conflicts += 1;
                 conflicts_since_restart += 1;
                 if self.trail_lim.is_empty() {
+                    // Conflict with no decisions: the database itself
+                    // propagates to a conflict, so the empty clause is RUP.
+                    self.log_add(&[]);
                     self.ok = false;
                     return SatResult::Unsat;
                 }
-                let (learnt, bt) = self.analyze(confl);
+                let (learnt, bt, lbd) = self.analyze(confl);
+                self.log_add(&learnt);
                 self.backtrack(bt);
                 self.num_learned += 1;
                 if learnt.len() == 1 {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
-                    let ci = self.attach_clause(learnt.clone(), true);
+                    let ci = self.attach_clause(learnt.clone(), true, lbd);
                     self.bump_clause(ci as usize);
                     self.unchecked_enqueue(learnt[0], Some(ci));
                 }
@@ -778,8 +1106,7 @@ impl Solver {
                         }
                     }
                 }
-                let learnt_count = self.clauses.iter().filter(|c| c.learnt).count();
-                if learnt_count as f64 > max_learnts {
+                if self.num_learnt as f64 > max_learnts {
                     self.reduce_db();
                     max_learnts *= 1.3;
                 }
@@ -809,6 +1136,16 @@ impl Solver {
                     match self.value_lit(a) {
                         Assign::True => {}
                         Assign::False => {
+                            // A falsified assumption. At this point every
+                            // surviving decision level is headed by an
+                            // assumption (a plain decision would imply all
+                            // assumptions were satisfied when it was made
+                            // and still are, since its level survives), so
+                            // ¬a follows from the database and the assumed
+                            // assumptions by unit propagation alone: the
+                            // clause over all negated assumptions is RUP.
+                            let fin: Vec<Lit> = assumptions.iter().map(|x| x.negate()).collect();
+                            self.log_add(&fin);
                             self.backtrack(0);
                             return SatResult::Unsat;
                         }
@@ -1072,6 +1409,151 @@ mod tests {
         let removed = s.purge_level0_satisfied();
         assert!(removed > 0);
         assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn reduce_db_never_drops_core_clauses() {
+        // Learn on a hard instance, then hammer reduce_db: every learnt
+        // clause in the core tier (LBD ≤ lbd_core, or binary) must survive
+        // arbitrarily many reductions.
+        let cfg = SatConfig {
+            inprocess: false,
+            ..SatConfig::default()
+        };
+        let mut s = Solver::new(cfg);
+        for _ in 0..20 {
+            s.new_var();
+        }
+        let p = |i: u32, j: u32| Lit::pos(Var(i * 4 + j));
+        for i in 0..5 {
+            let c: Vec<Lit> = (0..4).map(|j| p(i, j)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let core_of = |s: &Solver| -> Vec<Vec<Lit>> {
+            s.clauses
+                .iter()
+                .filter(|c| c.learnt && (c.lbd <= s.config.lbd_core || c.lits.len() <= 2))
+                .map(|c| {
+                    let mut l = c.lits.clone();
+                    l.sort_unstable();
+                    l
+                })
+                .collect()
+        };
+        let before = core_of(&s);
+        for _ in 0..4 {
+            s.reduce_db();
+        }
+        let after = core_of(&s);
+        for c in &before {
+            assert!(after.contains(c), "core clause {c:?} was dropped by GC");
+        }
+    }
+
+    #[test]
+    fn db_tier_counts_classify_learnts() {
+        let mut s = Solver::default();
+        for _ in 0..20 {
+            s.new_var();
+        }
+        let p = |i: u32, j: u32| Lit::pos(Var(i * 4 + j));
+        for i in 0..5 {
+            let c: Vec<Lit> = (0..4).map(|j| p(i, j)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        let (core, mid, local) = s.db_tier_counts();
+        let learnt = s.clauses.iter().filter(|c| c.learnt).count();
+        assert_eq!(core + mid + local, learnt);
+    }
+
+    #[test]
+    fn unsat_proof_checks_end_to_end() {
+        let cfg = SatConfig {
+            proof: true,
+            ..SatConfig::default()
+        };
+        let mut s = Solver::new(cfg);
+        for _ in 0..20 {
+            s.new_var();
+        }
+        let p = |i: u32, j: u32| Lit::pos(Var(i * 4 + j));
+        for i in 0..5 {
+            let c: Vec<Lit> = (0..4).map(|j| p(i, j)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..4 {
+            for i1 in 0..5 {
+                for i2 in (i1 + 1)..5 {
+                    s.add_clause(&[p(i1, j).negate(), p(i2, j).negate()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        assert!(s.proof_lines() > 0);
+        s.check_proof(&[]).expect("machine check of the DRAT proof");
+    }
+
+    #[test]
+    fn assumption_unsat_proof_checks() {
+        // Unsat only under assumptions: the final proof clause is the
+        // negated assumption set, not the empty clause.
+        let cfg = SatConfig {
+            proof: true,
+            ..SatConfig::default()
+        };
+        let mut s = Solver::new(cfg);
+        for _ in 0..3 {
+            s.new_var();
+        }
+        s.add_clause(&[lit(-1), lit(2)]);
+        s.add_clause(&[lit(-2), lit(3)]);
+        let asms = [lit(1), lit(-3)];
+        assert_eq!(s.solve(&asms), SatResult::Unsat);
+        s.check_proof(&asms).expect("assumption-unsat proof");
+        // And solving again without assumptions still works, with the
+        // proof log accumulating across solves.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn proof_survives_incremental_solves_with_inprocessing() {
+        let cfg = SatConfig {
+            proof: true,
+            inprocess: true,
+            ..SatConfig::default()
+        };
+        let mut s = Solver::new(cfg);
+        for _ in 0..12 {
+            s.new_var();
+        }
+        // A chain with an activation literal (var 12).
+        let act = lit(12);
+        for i in 1..11 {
+            s.add_clause(&[lit(-i), lit(i + 1), act.negate()]);
+        }
+        assert_eq!(s.solve(&[act, lit(1)]), SatResult::Sat);
+        // Force many adds so maybe_inprocess triggers, then an unsat query.
+        s.add_clause(&[lit(-11), act.negate()]);
+        let _ = s.inprocess_now();
+        let asms = [act, lit(1)];
+        assert_eq!(s.solve(&asms), SatResult::Unsat);
+        s.check_proof(&asms).expect("proof across inprocessing");
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub enum SolverError {
     /// An integer atom is not linear (e.g. `x * y` with both sides
     /// symbolic).
     NonLinear(String),
+    /// Proof logging was on (`TPOT_PROOF`) and the independent RUP checker
+    /// rejected the DRAT proof of an Unsat answer. This means the SAT core
+    /// made an unjustified inference — always a solver bug, never a
+    /// property of the query.
+    ProofCheckFailed(String),
 }
 
 impl fmt::Display for SolverError {
@@ -25,6 +30,7 @@ impl fmt::Display for SolverError {
             SolverError::Overflow => write!(f, "exact arithmetic overflow"),
             SolverError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
             SolverError::NonLinear(m) => write!(f, "non-linear integer term: {m}"),
+            SolverError::ProofCheckFailed(m) => write!(f, "DRAT proof check failed: {m}"),
         }
     }
 }

@@ -118,8 +118,12 @@ impl SolveSession {
 
     /// Opens a new assertion scope.
     pub fn push(&mut self) {
-        let act = Lit::pos(self.bb.sat.new_var());
-        self.scopes.push(Scope { act });
+        let v = self.bb.sat.new_var();
+        // Activation literals appear in assumptions and as clause guards;
+        // inprocessing must never eliminate them, or popped scopes could
+        // resurrect constraints through resolvents.
+        self.bb.sat.freeze(v);
+        self.scopes.push(Scope { act: Lit::pos(v) });
     }
 
     /// Closes the innermost scope, retiring its assertions and reclaiming
@@ -145,6 +149,9 @@ impl SolveSession {
         arena: &mut TermArena,
         terms: &[TermId],
     ) -> Result<(), SolverError> {
+        // Inprocessing may have eliminated gate variables since the last
+        // call; drop the stale cache entries before handing out literals.
+        self.bb.sync_eliminated();
         let delta = {
             let _span = tpot_obs::span("solver", "preprocess");
             self.pre.process(arena, terms)?
@@ -188,6 +195,7 @@ impl SolveSession {
         need_model: bool,
     ) -> Result<SmtResult, SolverError> {
         self.stats.checks += 1;
+        self.bb.sync_eliminated();
         let mut assumps: Vec<Lit> = self.scopes.iter().map(|s| s.act).collect();
         if !assumptions.is_empty() {
             // Assumption terms are lowered like assertions — their
@@ -214,7 +222,10 @@ impl SolveSession {
                 return Ok(SmtResult::Unknown);
             }
             match self.bb.sat.solve(&assumps) {
-                SatResult::Unsat => return Ok(SmtResult::Unsat),
+                SatResult::Unsat => {
+                    self.verify_proof(&assumps)?;
+                    return Ok(SmtResult::Unsat);
+                }
                 SatResult::Unknown => return Ok(SmtResult::Unknown),
                 SatResult::Sat => {}
             }
@@ -261,11 +272,28 @@ impl SolveSession {
                         })
                         .collect();
                     if !self.bb.sat.add_clause(&clause) {
+                        // The blocking clause conflicted at level 0: the
+                        // proof ends in the empty clause.
+                        self.verify_proof(&[])?;
                         return Ok(SmtResult::Unsat);
                     }
                 }
             }
         }
+    }
+
+    /// Replays the DRAT proof of an Unsat answer through the independent
+    /// checker (no-op unless `config.sat.proof` is set).
+    fn verify_proof(&self, assumps: &[Lit]) -> Result<(), SolverError> {
+        if !self.config.sat.proof {
+            return Ok(());
+        }
+        let _span = tpot_obs::span("solver", "proof_check");
+        tpot_obs::metrics::counter("solver.proof_checks").inc();
+        self.bb
+            .sat
+            .check_proof(assumps)
+            .map_err(SolverError::ProofCheckFailed)
     }
 
     fn sat_result(
@@ -589,6 +617,43 @@ mod tests {
         assert!(s.check(&mut a, false).unwrap().is_unsat());
         s.pop();
         assert!(s.check(&mut a, false).unwrap().is_sat());
+    }
+
+    #[test]
+    fn proof_checked_session_with_inprocessing() {
+        // Every Unsat in this session is machine-checked (config.sat.proof):
+        // a ProofCheckFailed would surface as Err from check(). Bitvector
+        // terms generate eliminable Tseitin gates, so inprocessing and the
+        // epoch-synced cache purge get exercised across scopes.
+        let mut cfg = SolverConfig::default();
+        cfg.sat.proof = true;
+        cfg.sat.inprocess = true;
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(16));
+        let y = a.var("y", Sort::BitVec(16));
+        let sum = a.bv_add(x, y);
+        let c100 = a.bv_const(16, 100);
+        let base = a.bv_ult(sum, c100);
+        let mut s = SolveSession::new(cfg);
+        s.assert(&mut a, base).unwrap();
+        assert!(s.check(&mut a, false).unwrap().is_sat());
+        for i in 0..6 {
+            s.push();
+            let ci = a.bv_const(16, 200 + i);
+            let bad = a.eq(sum, ci); // contradicts sum < 100
+            s.assert(&mut a, bad).unwrap();
+            assert!(s.check(&mut a, false).unwrap().is_unsat());
+            s.pop();
+            assert!(s.check(&mut a, false).unwrap().is_sat());
+        }
+        // Transient assumptions give Unsat proofs over assumption literals.
+        let c300 = a.bv_const(16, 300);
+        let eq300 = a.eq(sum, c300);
+        assert!(s
+            .check_assuming(&mut a, &[eq300], false)
+            .unwrap()
+            .is_unsat());
+        assert!(s.check(&mut a, true).unwrap().is_sat());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! PR 7 harness: path-level work-stealing scaling curve, written to
+//! `BENCH_PR7.json` in the unified `tpot-bench/v1` schema.
+//!
+//! Three in-process phases over the same module and POT mix:
+//!
+//! 1. **Sequential baseline** — `jobs = 1`: the scheduler degenerates to
+//!    the old depth-first order; outcomes and path counts from this phase
+//!    are the reference for every parity check below.
+//! 2. **Scaling** — the same POTs at `jobs ∈ {2, 4}` (default steal
+//!    seed). Each point must reproduce the baseline outcomes exactly;
+//!    wall-clock per point gives the 1→N scaling curve. The per-phase
+//!    deltas of the `sched.*` counters (steals, migrated tasks, shard
+//!    splits, handoff re-blasts) quantify how much stealing actually
+//!    happened.
+//! 3. **Seed parity** — the largest worker count re-run under several
+//!    explicit `steal_seed`s. Different seeds pick different victims, so
+//!    the steal schedules (and hence shard splits and session handoffs)
+//!    genuinely differ — outcomes still may not.
+//!
+//! The handoff cost model is checked from the scheduler's own counters:
+//! `sched.handoff_reblast_terms / sched.handoff_baseline_terms` is the
+//! fraction of a migrated path's prefix the thief had to re-blast after
+//! inheriting the victim's cloned solve sessions. The
+//! longest-common-prefix handoff promises this stays **below 0.5**
+//! whenever any migration was measured.
+//!
+//! Scaling on path-level parallelism is bounded by the path mix: a POT
+//! whose wall-clock is one monolithic solver query (`spec__alloc_contig`'s
+//! divergent frame check — an adjudicated expected FAILED, see
+//! DESIGN.md §5.2) cannot split, which is why the committed artifact skips
+//! it while keeping every other pKVM POT.
+//!
+//! Usage: `bench_pr7 [target-fragment ...] [--skip-pot FRAG] [--smoke]
+//! [--out PATH]` (default: the whole pKVM allocator; `--smoke` skips the
+//! ~1-minute `alloc_page` walkthrough and the several-minute
+//! `alloc_contig` solve, and trims the curve to `jobs ∈ {2}` with one
+//! parity seed, for CI).
+
+use std::time::Instant;
+
+use tpot_bench::report::{
+    int, num, outcomes_match, peak_rss_kb, s, status_key, BenchReport, TargetReport,
+};
+use tpot_engine::{EngineConfig, PotResult, Verifier, VerifyOptions};
+use tpot_obs::json::Value;
+use tpot_targets::all_targets;
+
+/// Snapshot of the scheduler's cumulative counters; phase attribution is
+/// by before/after delta.
+#[derive(Clone, Copy, Default)]
+struct SchedCounters {
+    steals: u64,
+    migrations: u64,
+    shard_splits: u64,
+    handoff_reblast: u64,
+    handoff_baseline: u64,
+    handoffs: u64,
+}
+
+impl SchedCounters {
+    fn read() -> Self {
+        use tpot_obs::metrics::counter;
+        SchedCounters {
+            steals: counter("sched.steals").get(),
+            migrations: counter("sched.migrations").get(),
+            shard_splits: counter("sched.shard_splits").get(),
+            handoff_reblast: counter("sched.handoff_reblast_terms").get(),
+            handoff_baseline: counter("sched.handoff_baseline_terms").get(),
+            handoffs: counter("sched.handoffs_measured").get(),
+        }
+    }
+
+    fn delta(self, before: SchedCounters) -> SchedCounters {
+        SchedCounters {
+            steals: self.steals - before.steals,
+            migrations: self.migrations - before.migrations,
+            shard_splits: self.shard_splits - before.shard_splits,
+            handoff_reblast: self.handoff_reblast - before.handoff_reblast,
+            handoff_baseline: self.handoff_baseline - before.handoff_baseline,
+            handoffs: self.handoffs - before.handoffs,
+        }
+    }
+}
+
+struct Phase {
+    label: String,
+    jobs: usize,
+    seed: Option<u64>,
+    results: Vec<PotResult>,
+    wall_ms: f64,
+    sched: SchedCounters,
+}
+
+fn run_phase(v: &Verifier, pots: &[String], jobs: usize, seed: Option<u64>) -> Phase {
+    let before = SchedCounters::read();
+    let mut opts = VerifyOptions::new().pots(pots.iter().cloned()).jobs(jobs);
+    if let Some(sd) = seed {
+        opts = opts.steal_seed(sd);
+    }
+    let t0 = Instant::now();
+    let results = v.verify(&opts);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Phase {
+        label: match seed {
+            Some(sd) => format!("jobs{jobs}-seed{sd}"),
+            None => format!("jobs{jobs}"),
+        },
+        jobs,
+        seed,
+        results,
+        wall_ms,
+        sched: SchedCounters::read().delta(before),
+    }
+}
+
+fn total_paths(rs: &[PotResult]) -> u64 {
+    rs.iter().map(|r| r.stats.paths).sum()
+}
+
+fn main() {
+    let mut select: Vec<String> = Vec::new();
+    let mut skip_pots: Vec<String> = Vec::new();
+    let mut smoke = false;
+    let mut out = "BENCH_PR7.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--skip-pot" => skip_pots.extend(args.next()),
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().unwrap_or(out),
+            _ => select.push(a),
+        }
+    }
+    if select.is_empty() {
+        select = vec!["pkvm".into()];
+    }
+    if smoke {
+        skip_pots.push("alloc_page".into());
+        skip_pots.push("alloc_contig".into());
+    }
+    let worker_counts: &[usize] = if smoke { &[2] } else { &[2, 4] };
+    let parity_seeds: &[u64] = if smoke { &[1] } else { &[1, 2, 3] };
+
+    let mut report = BenchReport::new("bench_pr7");
+    report.meta("smoke", Value::Bool(smoke));
+    report.meta(
+        "skip_pots",
+        Value::Arr(skip_pots.iter().map(|p| s(p.clone())).collect()),
+    );
+    report.meta(
+        "worker_counts",
+        Value::Arr(worker_counts.iter().map(|&n| int(n as u64)).collect()),
+    );
+    report.meta(
+        "parity_seeds",
+        Value::Arr(parity_seeds.iter().map(|&sd| int(sd)).collect()),
+    );
+
+    let mut all_parity = true;
+    let mut tot_handoff_reblast = 0u64;
+    let mut tot_handoff_baseline = 0u64;
+    let mut tot_handoffs = 0u64;
+    let mut tot_migrations = 0u64;
+    for t in all_targets() {
+        if !select
+            .iter()
+            .any(|sel| t.name.to_lowercase().contains(&sel.to_lowercase()))
+        {
+            continue;
+        }
+        let module = t.verifier().expect("target compiles").module;
+        let pots: Vec<String> = module
+            .pot_names()
+            .into_iter()
+            .filter(|p| !skip_pots.iter().any(|f| p.contains(f.as_str())))
+            .collect();
+        if pots.is_empty() {
+            continue;
+        }
+        let cfg = EngineConfig {
+            incremental: true,
+            ..EngineConfig::default()
+        };
+        let v = Verifier::with_config(module, cfg);
+
+        let baseline = run_phase(&v, &pots, 1, None);
+        let mut phases: Vec<Phase> = Vec::new();
+        for &n in worker_counts {
+            phases.push(run_phase(&v, &pots, n, None));
+        }
+        let top = *worker_counts.last().unwrap_or(&2);
+        for &sd in parity_seeds {
+            phases.push(run_phase(&v, &pots, top, Some(sd)));
+        }
+
+        let mut row = TargetReport::new(t.name);
+        row.field("pots", int(pots.len() as u64));
+        row.field(
+            "outcomes",
+            Value::Obj(
+                baseline
+                    .results
+                    .iter()
+                    .map(|r| (r.pot.clone(), s(status_key(&r.status))))
+                    .collect(),
+            ),
+        );
+        row.field("sequential_ms", num(baseline.wall_ms));
+        row.field("sequential_paths", int(total_paths(&baseline.results)));
+        let mut curve: Vec<(String, Value)> = vec![("1".into(), num(baseline.wall_ms))];
+        let mut phase_rows: Vec<Value> = Vec::new();
+        let mut parity = true;
+        for p in &phases {
+            let outcomes_ok = outcomes_match(&baseline.results, &p.results);
+            let paths_ok = total_paths(&baseline.results) == total_paths(&p.results);
+            parity &= outcomes_ok && paths_ok;
+            if p.seed.is_none() {
+                curve.push((p.jobs.to_string(), num(p.wall_ms)));
+            }
+            let speedup = baseline.wall_ms / p.wall_ms.max(1e-9);
+            println!(
+                "{}: {} at {:.0} ms ({:.2}x vs sequential {:.0} ms), {} steals, \
+                 {} migrated tasks, {} shard splits, parity: {}",
+                t.name,
+                p.label,
+                p.wall_ms,
+                speedup,
+                baseline.wall_ms,
+                p.sched.steals,
+                p.sched.migrations,
+                p.sched.shard_splits,
+                outcomes_ok && paths_ok,
+            );
+            phase_rows.push(Value::Obj(vec![
+                ("label".into(), s(p.label.clone())),
+                ("jobs".into(), int(p.jobs as u64)),
+                ("steal_seed".into(), p.seed.map(int).unwrap_or(Value::Null)),
+                ("wall_ms".into(), num(p.wall_ms)),
+                ("speedup".into(), num(speedup)),
+                ("paths".into(), int(total_paths(&p.results))),
+                ("steals".into(), int(p.sched.steals)),
+                ("migrated_tasks".into(), int(p.sched.migrations)),
+                ("shard_splits".into(), int(p.sched.shard_splits)),
+                ("handoffs_measured".into(), int(p.sched.handoffs)),
+                ("handoff_reblast_terms".into(), int(p.sched.handoff_reblast)),
+                (
+                    "handoff_baseline_terms".into(),
+                    int(p.sched.handoff_baseline),
+                ),
+                ("parity".into(), Value::Bool(outcomes_ok && paths_ok)),
+            ]));
+            tot_handoff_reblast += p.sched.handoff_reblast;
+            tot_handoff_baseline += p.sched.handoff_baseline;
+            tot_handoffs += p.sched.handoffs;
+            tot_migrations += p.sched.migrations;
+        }
+        row.field("scaling_curve_ms", Value::Obj(curve));
+        row.field("phases", Value::Arr(phase_rows));
+        row.field("parity", Value::Bool(parity));
+        report.targets.push(row);
+        all_parity &= parity;
+    }
+
+    if report.targets.is_empty() {
+        eprintln!("bench_pr7: no target matches {select:?}; nothing measured");
+        std::process::exit(2);
+    }
+
+    // Handoff cost model: fraction of the inherited sessions' prefix the
+    // thief re-blasted on its first post-migration query.
+    let handoff_ratio = tot_handoff_reblast as f64 / tot_handoff_baseline.max(1) as f64;
+    let handoff_ok = tot_handoffs == 0 || handoff_ratio < 0.5;
+    report.summary("parity", Value::Bool(all_parity));
+    report.summary("migrated_tasks", int(tot_migrations));
+    report.summary("handoffs_measured", int(tot_handoffs));
+    report.summary("handoff_reblast_terms", int(tot_handoff_reblast));
+    report.summary("handoff_baseline_terms", int(tot_handoff_baseline));
+    report.summary("handoff_reblast_ratio", num(handoff_ratio));
+    report.summary("handoff_ok", Value::Bool(handoff_ok));
+    report.summary("peak_rss_kb", int(peak_rss_kb()));
+    report.embed_metrics();
+    report.write(&out).expect("write results");
+    println!(
+        "wrote {out} ({} migrated tasks, handoff re-blast ratio {handoff_ratio:.3})",
+        tot_migrations
+    );
+
+    assert!(
+        all_parity,
+        "work-stealing changed a verification outcome or path count"
+    );
+    assert!(
+        handoff_ok,
+        "session handoff re-blasted {tot_handoff_reblast} of {tot_handoff_baseline} \
+         baseline terms (ratio {handoff_ratio:.3}, need < 0.5)"
+    );
+}

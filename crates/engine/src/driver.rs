@@ -4,8 +4,7 @@
 //! counterexamples (§3.2).
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use tpot_ir::Module;
@@ -122,20 +121,24 @@ pub struct PotResult {
 
 /// Options for a [`Verifier::verify`] run.
 ///
-/// The single verification entry point replaces the old
-/// `verify_all` / `verify_all_parallel` / `verify_pots_parallel` trio:
-/// every axis those encoded (POT subset, parallelism, cache location,
-/// address encoding) is a field here, with `Default` reproducing the
-/// CI-style "all POTs, auto parallelism, config as constructed" run.
+/// The single verification entry point: every run axis (POT subset,
+/// parallelism, steal seed, cache location, address encoding) is a field
+/// here, with `Default` reproducing the CI-style "all POTs, auto
+/// parallelism, config as constructed" run.
 #[derive(Clone, Debug, Default)]
 pub struct VerifyOptions {
     /// Verify only these POTs, in this order. `None` verifies every POT in
     /// module order.
     pub pots: Option<Vec<String>>,
-    /// Worker threads: `0` resolves from the `TPOT_JOBS` environment
-    /// variable, falling back to the core count; `1` is the deterministic
-    /// sequential baseline.
+    /// Path-scheduler workers: `0` resolves from the `TPOT_PATH_JOBS`
+    /// environment variable (then `TPOT_JOBS`, then the core count); `1`
+    /// is the deterministic sequential baseline.
     pub jobs: usize,
+    /// Victim-selection seed for the work-stealing scheduler. `None`
+    /// resolves from `TPOT_STEAL_SEED`, falling back to
+    /// [`crate::sched::DEFAULT_STEAL_SEED`]. A fixed `(seed, jobs)` pair
+    /// replays the same steal schedule.
+    pub steal_seed: Option<u64>,
     /// Overrides the configured persistent query-cache path for this run.
     pub cache_path: Option<std::path::PathBuf>,
     /// Overrides the configured pointer encoding for this run.
@@ -161,6 +164,12 @@ impl VerifyOptions {
     /// Sets the worker-thread count (`0` = auto, `1` = sequential).
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the work-stealing victim-selection seed.
+    pub fn steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = Some(seed);
         self
     }
 
@@ -199,14 +208,15 @@ impl Verifier {
         Verifier { module, config }
     }
 
-    /// The single verification entry point: verifies the selected POTs on a
-    /// pool of worker threads sharing one persistent query cache, applying
-    /// any per-run config overrides from `opts`.
+    /// The single verification entry point: schedules the paths of every
+    /// selected POT onto one shared work-stealing pool of `jobs` workers
+    /// (see [`crate::sched`]), all sharing one persistent query cache,
+    /// applying any per-run config overrides from `opts`.
     ///
     /// Results come back in POT order regardless of `opts.jobs`, with the
-    /// same statuses a sequential run would produce — only wall-clock and
-    /// cache-hit accounting differ. With `jobs: 1` the run is the
-    /// deterministic sequential baseline.
+    /// same statuses, violations, and path counts a sequential run would
+    /// produce — only wall-clock and cache-hit accounting differ. With
+    /// `jobs: 1` the run is the deterministic sequential baseline.
     pub fn verify(&self, opts: &VerifyOptions) -> Vec<PotResult> {
         let mut config = self.config.clone();
         if let Some(p) = &opts.cache_path {
@@ -222,52 +232,26 @@ impl Verifier {
         let jobs = if opts.jobs > 0 {
             opts.jobs
         } else {
-            // The `TPOT_JOBS` knob, parsed once into the typed obs config.
-            tpot_obs::config().jobs.unwrap_or_else(|| {
+            // `TPOT_PATH_JOBS` sizes the path scheduler; `TPOT_JOBS` is
+            // honored as the older, coarser knob. Both are parsed once
+            // into the typed obs config.
+            let obs = tpot_obs::config();
+            obs.path_jobs.or(obs.jobs).unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(4)
             })
         };
+        let seed = opts
+            .steal_seed
+            .or_else(|| tpot_obs::config().steal_seed)
+            .unwrap_or(crate::sched::DEFAULT_STEAL_SEED);
         let cache = Self::open_cache(&config);
-        let results: Vec<Mutex<Option<PotResult>>> =
-            pots.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs.min(pots.len()).max(1) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(pot) = pots.get(i) else { break };
-                    let r = self.verify_pot_with_cache(&config, pot, cache.clone());
-                    *results[i].lock() = Some(r);
-                });
-            }
-        });
-        // Flush once at the end instead of per-POT (Interp drops only
+        let results = crate::sched::run_verify(self, &config, &pots, cache.clone(), jobs, seed);
+        // Flush once at the end instead of per-POT (engine drops only
         // release their handle on the shared cache).
         let _ = cache.lock().flush();
         results
-            .into_iter()
-            .map(|m| m.into_inner().expect("worker must fill every slot"))
-            .collect()
-    }
-
-    /// Verifies every POT sequentially, in module order.
-    #[deprecated(note = "use `Verifier::verify(&VerifyOptions::new().jobs(1))`")]
-    pub fn verify_all(&self) -> Vec<PotResult> {
-        self.verify(&VerifyOptions::new().jobs(1))
-    }
-
-    /// Verifies every POT on `jobs` worker threads.
-    #[deprecated(note = "use `Verifier::verify(&VerifyOptions::new().jobs(jobs))`")]
-    pub fn verify_all_parallel(&self, jobs: usize) -> Vec<PotResult> {
-        self.verify(&VerifyOptions::new().jobs(jobs))
-    }
-
-    /// Verifies the given POTs on `jobs` worker threads.
-    #[deprecated(note = "use `Verifier::verify(&VerifyOptions::new().pots(...).jobs(jobs))`")]
-    pub fn verify_pots_parallel(&self, pots: &[String], jobs: usize) -> Vec<PotResult> {
-        self.verify(&VerifyOptions::new().pots(pots.iter().cloned()).jobs(jobs))
     }
 
     /// Opens the persistent cache configured in `config` (or an in-memory
@@ -281,137 +265,19 @@ impl Verifier {
         std::sync::Arc::new(Mutex::new(cache))
     }
 
-    /// Verifies one POT, proving the §4.1 top-level theorem for it.
+    /// Verifies one POT, proving the §4.1 top-level theorem for it — the
+    /// sequential single-POT special case of [`Verifier::verify`].
     pub fn verify_pot(&self, pot: &str) -> PotResult {
-        self.verify_pot_with_cache(&self.config, pot, Self::open_cache(&self.config))
-    }
-
-    fn verify_pot_with_cache(
-        &self,
-        config: &EngineConfig,
-        pot: &str,
-        cache: tpot_portfolio::SharedCache,
-    ) -> PotResult {
-        let result = self.verify_pot_traced(config, pot, cache);
-        // Rewrite any configured sink (TPOT_TRACE/TPOT_SPANS/TPOT_METRICS)
-        // after every POT: driver binaries then produce their files without
-        // an explicit flush, and a partial trace survives a hung later POT.
-        // No-op (one mutex lock) when no sink is configured.
-        let _ = tpot_obs::flush();
-        result
-    }
-
-    fn verify_pot_traced(
-        &self,
-        config: &EngineConfig,
-        pot: &str,
-        cache: tpot_portfolio::SharedCache,
-    ) -> PotResult {
-        let _span = tpot_obs::span_args("engine", "verify_pot", &[("pot", pot.to_string())]);
-        let t0 = Instant::now();
-        let result = match self.verify_pot_inner(config, pot, cache) {
-            Ok((violations, stats)) => PotResult {
-                pot: pot.to_string(),
-                status: if violations.is_empty() {
-                    PotStatus::Proved
-                } else {
-                    PotStatus::Failed(violations)
-                },
-                stats,
-                duration: t0.elapsed(),
-            },
-            Err(e) => {
-                tpot_obs::obs_error!("engine", "POT {pot}: {e}");
-                PotResult {
-                    pot: pot.to_string(),
-                    status: PotStatus::Error(e.to_string()),
-                    stats: Stats::default(),
-                    duration: t0.elapsed(),
-                }
-            }
-        };
-        // Mirror the per-POT record into the process-wide registry and
-        // count outcomes; the registry is what `TPOT_METRICS` dumps.
-        result.stats.publish_metrics();
-        let outcome = match &result.status {
-            PotStatus::Proved => "engine.pots_proved",
-            PotStatus::Failed(_) => "engine.pots_failed",
-            PotStatus::Error(_) => "engine.pots_errored",
-        };
-        tpot_obs::metrics::counter(outcome).inc();
-        tpot_obs::obs_info!(
-            "engine",
-            "POT {pot}: {} in {:.2}s ({} queries)",
-            match &result.status {
-                PotStatus::Proved => "proved".to_string(),
-                PotStatus::Failed(vs) => format!("{} violation(s)", vs.len()),
-                PotStatus::Error(e) => format!("error: {e}"),
-            },
-            result.duration.as_secs_f64(),
-            result.stats.num_queries
-        );
-        result
-    }
-
-    fn verify_pot_inner(
-        &self,
-        config: &EngineConfig,
-        pot: &str,
-        cache: tpot_portfolio::SharedCache,
-    ) -> Result<(Vec<Violation>, Stats), EngineError> {
-        let sat0 = crate::stats::SatCounters::snapshot();
-        let mut interp = Interp::with_shared_cache(&self.module, config.clone(), cache);
-        let is_init = pot.contains(&interp.config.init_marker);
-        let mem = interp.initial_memory(is_init)?;
-        let mut state = State::new(mem);
-        for c in state.mem.take_constraints() {
-            state.assume(c);
-        }
-        interp.push_call(&mut state, pot, &[], None, RetCont::Normal)?;
-        // Non-initializer POTs start from any state satisfying the
-        // invariants (paper §3.1).
-        if !is_init {
-            for inv in self.module.invariant_names() {
-                state
-                    .frame_mut()
-                    .pending
-                    .push_back(crate::state::Pending::CallBool {
-                        func: inv,
-                        args: vec![],
-                        cont: RetCont::AssumeTrue,
-                    });
-            }
-        }
-        let finished = interp.run(state)?;
-        let mut violations: Vec<Violation> = Vec::new();
-        for st in finished {
-            match st.done.clone() {
-                Some(PathOutcome::Error(v)) => violations.push(v),
-                Some(PathOutcome::Completed) => {
-                    let vs = self.end_checks(&mut interp, st)?;
-                    violations.extend(vs);
-                }
-                Some(PathOutcome::LoopCut) | Some(PathOutcome::Infeasible) => {}
-                None => {
-                    return Err(EngineError::Internal(
-                        "unfinished state returned from run".into(),
-                    ))
-                }
-            }
-        }
-        // Deduplicate identical violations from sibling paths.
-        violations.dedup_by(|a, b| a.kind == b.kind && a.message == b.message);
-        violations.truncate(16);
-        let mut stats = interp.solver.stats_snapshot();
-        sat0.delta_into(&mut stats);
-        Ok((violations, stats))
+        self.verify(&VerifyOptions::new().pots([pot]).jobs(1))
+            .pop()
+            .expect("one POT requested, one result returned")
     }
 
     /// End-of-POT obligations: every invariant must hold over the final
     /// state (building the greedy renaming), every pledge must re-verify,
     /// and every live heap object must be named (leak check, theorem
-    /// clause (C)).
-    fn end_checks(
+    /// clause (C)). Called by the scheduler with the path's shard locked.
+    pub(crate) fn end_checks(
         &self,
         interp: &mut Interp<'_>,
         mut st: State,

@@ -141,6 +141,24 @@ impl<'m> ExecCtx<'m> {
         }
     }
 
+    /// Clones this context for a stolen execution shard (the path
+    /// scheduler's steal protocol): same module, a full copy of the term
+    /// arena — so every `TermId` held by states created in this context
+    /// stays valid against the clone — and a solver context that keeps the
+    /// shared persistent cache and deep-clones the live solve sessions
+    /// (the longest-common-prefix handoff). Because the arena is
+    /// append-only and hash-consed, the clone and the original diverge
+    /// only in terms created *after* the split.
+    pub fn clone_for_shard(&self) -> Self {
+        ExecCtx {
+            module: self.module,
+            arena: self.arena.clone(),
+            solver: self.solver.clone_for_shard(),
+            config: self.config.clone(),
+            insts_executed: self.insts_executed,
+        }
+    }
+
     /// Builds the initial memory with every module global allocated.
     /// `concrete_init = true` writes the C initial values (zero + explicit
     /// initializers); otherwise contents stay fully symbolic.
@@ -306,8 +324,13 @@ impl<'m> ExecCtx<'m> {
         Ok(finished)
     }
 
-    /// Executes one instruction / pending action / terminator.
-    fn step(&mut self, mut s: State) -> Result<Vec<State>, EngineError> {
+    /// Executes one instruction / pending action / terminator — the
+    /// frontier step function: one paused path in, its successor paths out
+    /// (one continuation, several on a fork, each possibly finished). The
+    /// work-stealing scheduler drives paths through this directly; the
+    /// [`run`](Self::run) loop above is the depth-first in-context driver
+    /// built on the same function.
+    pub fn step(&mut self, mut s: State) -> Result<Vec<State>, EngineError> {
         self.insts_executed += 1;
         self.solver.stats.insts += 1;
         if self.insts_executed > self.config.max_insts {

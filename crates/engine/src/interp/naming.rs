@@ -201,9 +201,28 @@ impl<'m> ExecCtx<'m> {
             if let Some(size) = st.mem.obj(obj).size_concrete {
                 let n = self.arena.bv64(size / elem_size);
                 let in_range = self.arena.bv_ult(k, n);
-                st.assume(in_range);
+                // The integer translation (`int(k) < n`) is what lets the
+                // LIA core bound `int(k) * elem_size` below 2^64 and fire
+                // the conditional bv2int no-overflow axioms on the compound
+                // `base + k*elem_size` element pointer built below (§4.3) —
+                // a plain bitvector assume leaves `tpot_bv2int(k*es)`
+                // unconstrained and yields spurious countermodels in
+                // `AddrMode::Int` (DESIGN.md §5.2).
+                self.assume_with_ints(&mut st, in_range);
             }
             let call_args = self.marker_call_args(&st, &f, arr, k, elem_size, &extras)?;
+            if matches!(st.mem.mode, tpot_mem::AddrMode::Int) {
+                // Eagerly instantiate the mod-image axioms for each compound
+                // bitvector argument (the skolem element pointer and scaled
+                // index), so their integer images are pinned even when no
+                // later read re-derives them.
+                for &a in &call_args {
+                    if self.arena.sort(a).bv_width().is_some() {
+                        let _ = st.mem.bv2int_any(&mut self.arena, a);
+                    }
+                }
+                self.drain_mem_constraints(&mut st);
+            }
             st.frame_mut().pending.push_back(Pending::CallBool {
                 func: f.clone(),
                 args: call_args,

@@ -25,19 +25,26 @@
 //!   `__tpot_inv` loop invariants (appendix A.2);
 //! - [`simplify`]: the solver-aided read-after-write and constant-offset
 //!   query simplifier with proof caching (§4.3);
-//! - [`driver`]: the per-POT verification driver, counterexample
-//!   construction (§3.2) and results;
+//! - [`driver`]: the verification driver, counterexample construction
+//!   (§3.2) and results;
+//! - [`frontier`]: paused paths as first-class, `Send`-able scheduling
+//!   units over one shared execution shard;
+//! - [`sched`]: the work-stealing path scheduler (per-worker LIFO deques,
+//!   steal-half, seeded victim selection, session handoff on migration);
 //! - [`stats`]: the Figure-7 time breakdown;
 //! - [`query`]: the purpose-tagged portfolio interface.
 
 pub mod driver;
+pub mod frontier;
 pub mod interp;
 pub mod query;
+pub mod sched;
 pub mod simplify;
 pub mod state;
 pub mod stats;
 
 pub use driver::{PotResult, PotStatus, Verifier, VerifyOptions, Violation, ViolationKind};
+pub use frontier::{PathId, PathTask, Shard, TaskPhase};
 pub use interp::{AddrMode, EngineConfig, ExecCtx, Interp};
 pub use query::EngineError;
 pub use stats::{QueryPurpose, Stats};

@@ -50,6 +50,24 @@ impl From<SolverError> for EngineError {
     }
 }
 
+/// Portfolio-side counters folded into [`Stats`] snapshots. Kept as a
+/// last-seen copy so [`QueryCtx::take_stats`] can hand out *deltas*: the
+/// path scheduler drains a shard's stats after every task episode and
+/// attributes the delta to that task's POT.
+#[derive(Clone, Copy, Default)]
+struct FoldMark {
+    serializations: u64,
+    terms_total: u64,
+    terms_shipped: u64,
+    bytes_total: u64,
+    bytes_shipped: u64,
+    queue_wait: std::time::Duration,
+    session_hits: u64,
+    session_misses: u64,
+    session_fallbacks: u64,
+    session_reblasted: u64,
+}
+
 /// Purpose-tagged query context.
 pub struct QueryCtx {
     /// The underlying portfolio.
@@ -59,6 +77,15 @@ pub struct QueryCtx {
     /// Route queries through the portfolio's incremental session broker
     /// (path prefix pushed/popped, only the branch condition re-blasted).
     incremental: bool,
+    /// Portfolio counters already handed out by [`Self::take_stats`].
+    taken: FoldMark,
+    /// Set by [`Self::clone_for_shard`] to the inherited sessions' blasted
+    /// term total: the next incremental check is the first query after a
+    /// session handoff, and its re-blast delta over this baseline is the
+    /// per-migration handoff cost (`sched.handoff_*` counters). `None`
+    /// when no handoff is pending; `Some(0)` (nothing inherited — e.g. a
+    /// migrated root) records no handoff.
+    handoff_inherited: Option<u64>,
 }
 
 impl QueryCtx {
@@ -69,6 +96,24 @@ impl QueryCtx {
             portfolio,
             stats: Stats::default(),
             incremental: false,
+            taken: FoldMark::default(),
+            handoff_inherited: None,
+        }
+    }
+
+    /// Clones this context for a stolen execution shard: shared persistent
+    /// cache and worker pool, deep-cloned solve sessions (the
+    /// longest-common-prefix handoff), fresh counters. The clone's first
+    /// incremental check reports its re-blast delta as handoff cost.
+    pub fn clone_for_shard(&self) -> Self {
+        let portfolio = self.portfolio.clone_for_shard();
+        let inherited = portfolio.sessions.total_terms_blasted();
+        QueryCtx {
+            portfolio,
+            stats: Stats::default(),
+            incremental: self.incremental,
+            taken: FoldMark::default(),
+            handoff_inherited: Some(inherited),
         }
     }
 
@@ -117,8 +162,26 @@ impl QueryCtx {
         // apply; both routes share `fp`-keyed cache entries.
         let r = if self.incremental && !assertions.is_empty() {
             let (prefix, last) = assertions.split_at(assertions.len() - 1);
-            self.portfolio
-                .check_incremental(arena, prefix, last[0], need_model, fp)?
+            let handoff = self.handoff_inherited.take();
+            let reblast0 = self.portfolio.sessions.stats.reblasted_terms;
+            let r = self
+                .portfolio
+                .check_incremental(arena, prefix, last[0], need_model, fp)?;
+            if let Some(inherited) = handoff {
+                if inherited > 0 {
+                    // First query after a session handoff: the re-blast
+                    // delta is what migration cost on top of the inherited
+                    // sessions, whose blasted-prefix size is the baseline a
+                    // from-scratch session would have re-paid in full. A
+                    // migration that inherited empty sessions (e.g. a
+                    // stolen root) has no handoff to measure.
+                    let delta = self.portfolio.sessions.stats.reblasted_terms - reblast0;
+                    tpot_obs::metrics::counter("sched.handoff_reblast_terms").add(delta);
+                    tpot_obs::metrics::counter("sched.handoff_baseline_terms").add(inherited);
+                    tpot_obs::metrics::counter("sched.handoffs_measured").inc();
+                }
+            }
+            r
         } else {
             self.portfolio
                 .check_fingerprinted(arena, assertions, need_model, fp)?
@@ -145,6 +208,42 @@ impl QueryCtx {
         s.session_misses = ss.misses;
         s.session_fallbacks = ss.fallbacks;
         s.session_reblasted_terms = ss.reblasted_terms;
+        s
+    }
+
+    /// Drains the stats accumulated since the previous `take_stats` call,
+    /// portfolio counters folded in as deltas. Summing every delta a shard
+    /// ever hands out reproduces [`Self::stats_snapshot`] — this is how the
+    /// path scheduler attributes one shard's work to the interleaved POTs
+    /// it served.
+    pub fn take_stats(&mut self) -> Stats {
+        let mut s = std::mem::take(&mut self.stats);
+        let ps = &self.portfolio.stats;
+        let ss = &self.portfolio.sessions.stats;
+        let now = FoldMark {
+            serializations: ps.serializations,
+            terms_total: ps.terms_total,
+            terms_shipped: ps.terms_shipped,
+            bytes_total: ps.bytes_total,
+            bytes_shipped: ps.bytes_shipped,
+            queue_wait: ps.queue_wait,
+            session_hits: ss.hits,
+            session_misses: ss.misses,
+            session_fallbacks: ss.fallbacks,
+            session_reblasted: ss.reblasted_terms,
+        };
+        let prev = self.taken;
+        s.num_serializations += now.serializations - prev.serializations;
+        s.terms_total = now.terms_total - prev.terms_total;
+        s.terms_shipped = now.terms_shipped - prev.terms_shipped;
+        s.bytes_total = now.bytes_total - prev.bytes_total;
+        s.bytes_shipped = now.bytes_shipped - prev.bytes_shipped;
+        s.queue_wait = now.queue_wait.saturating_sub(prev.queue_wait);
+        s.session_hits = now.session_hits - prev.session_hits;
+        s.session_misses = now.session_misses - prev.session_misses;
+        s.session_fallbacks = now.session_fallbacks - prev.session_fallbacks;
+        s.session_reblasted_terms = now.session_reblasted - prev.session_reblasted;
+        self.taken = now;
         s
     }
 

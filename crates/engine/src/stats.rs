@@ -123,9 +123,12 @@ pub struct Stats {
 ///
 /// The SAT cores publish per-solve deltas into the metrics registry (the
 /// zero-inner-loop-cost pattern: plain `u64` stats bumped during search,
-/// one registry add per solve). The driver takes a snapshot around each POT
-/// and stores the delta in that POT's [`Stats`]. POTs run sequentially per
-/// process, so the delta attribution is exact.
+/// one registry add per solve). The scheduler takes a snapshot when the
+/// first episode touches a POT and stores the delta at finalization in that
+/// POT's [`Stats`]. At `jobs = 1` POTs run back to back and the attribution
+/// is exact; with concurrent workers the counters are process-wide, so a
+/// POT's delta includes solves from paths of other POTs in flight during
+/// the same window (approximate attribution).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SatCounters {
     eliminated_vars: u64,

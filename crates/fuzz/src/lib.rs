@@ -29,6 +29,7 @@ pub mod oracle;
 pub mod reduce;
 pub mod rng;
 pub mod runner;
+pub mod sched;
 pub mod state;
 
 pub use runner::{run, FuzzReport, Mode, RunConfig};

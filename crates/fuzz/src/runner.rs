@@ -16,6 +16,7 @@ use crate::gen::{gen_paired, GenConfig, TermGen};
 use crate::meta::metamorphic;
 use crate::reduce::{reduce, write_repro};
 use crate::rng::Rng;
+use crate::sched::sched_parity;
 use crate::state::fork_vs_replay;
 
 /// Enumeration cap for the brute-force oracle: comfortably above the
@@ -42,9 +43,13 @@ pub enum Mode {
     /// must accept (with inprocessing on, so elimination/strengthening
     /// steps are part of the checked proof).
     ProofChecked,
+    /// Work-stealing scheduler: same random module verified with 1 worker
+    /// and with N workers + a fresh steal seed must yield identical
+    /// per-POT statuses, violations, and path counts.
+    SchedParity,
 }
 
-pub const ALL_MODES: [Mode; 7] = [
+pub const ALL_MODES: [Mode; 8] = [
     Mode::Grounded,
     Mode::SliceFull,
     Mode::LiaBv,
@@ -52,6 +57,7 @@ pub const ALL_MODES: [Mode; 7] = [
     Mode::StateFork,
     Mode::IncrementalOneshot,
     Mode::ProofChecked,
+    Mode::SchedParity,
 ];
 
 impl Mode {
@@ -64,6 +70,7 @@ impl Mode {
             Mode::StateFork => "state_fork",
             Mode::IncrementalOneshot => "incremental_vs_oneshot",
             Mode::ProofChecked => "proof_checked",
+            Mode::SchedParity => "sched_parity",
         }
     }
 }
@@ -213,6 +220,10 @@ fn run_one(mode: Mode, seed: u64, iter: u64) -> Result<Agreement, Box<Failure>> 
             Ok(()) => Ok(Agreement::Skipped),
             Err(detail) => Err(Box::new((detail, None))),
         },
+        Mode::SchedParity => match sched_parity(&mut rng) {
+            Ok(()) => Ok(Agreement::Skipped),
+            Err(detail) => Err(Box::new((detail, None))),
+        },
         Mode::IncrementalOneshot => {
             let mut arena = TermArena::new();
             let cfg = GenConfig::full();
@@ -277,9 +288,9 @@ pub fn run(cfg: &RunConfig) -> FuzzReport {
         stats[slot].1.runs += 1;
         match run_one(mode, cfg.seed, iter) {
             Ok(outcome) => {
-                // StateFork has no sat/unsat verdict; count successful
-                // rounds as runs only.
-                if mode != Mode::StateFork {
+                // StateFork and SchedParity have no sat/unsat verdict;
+                // count successful rounds as runs only.
+                if mode != Mode::StateFork && mode != Mode::SchedParity {
                     record(&mut stats[slot].1, &outcome);
                 }
             }

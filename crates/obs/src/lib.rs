@@ -100,6 +100,14 @@ pub struct Config {
     /// Parallel POT jobs in the multi-POT driver (`TPOT_JOBS`); `None` =
     /// core count.
     pub jobs: Option<usize>,
+    /// Workers in the path-level work-stealing scheduler
+    /// (`TPOT_PATH_JOBS`); `None` falls back to `TPOT_JOBS`, then core
+    /// count. `1` degenerates to the sequential depth-first order.
+    pub path_jobs: Option<usize>,
+    /// Seed for the scheduler's deterministic victim selection
+    /// (`TPOT_STEAL_SEED`); `None` = the engine default. Two runs with the
+    /// same seed and worker count make the same steal decisions.
+    pub steal_seed: Option<u64>,
     /// Incremental solve sessions in the engine (`TPOT_INCREMENTAL`,
     /// `0|false|off` / `1|true|on`); `None` = the engine's default (on).
     pub incremental: Option<bool>,
@@ -172,6 +180,10 @@ impl Config {
             collect_spans: false,
             pool_threads: count("TPOT_POOL_THREADS"),
             jobs: count("TPOT_JOBS"),
+            path_jobs: count("TPOT_PATH_JOBS"),
+            steal_seed: std::env::var("TPOT_STEAL_SEED")
+                .ok()
+                .and_then(|v| v.trim().parse().ok()),
             incremental: toggle("TPOT_INCREMENTAL"),
             inprocess: toggle("TPOT_INPROCESS"),
             proof: toggle("TPOT_PROOF"),
@@ -226,6 +238,18 @@ impl Config {
     /// Sets the parallel POT job count.
     pub fn parallel_jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs);
+        self
+    }
+
+    /// Sets the path-scheduler worker count.
+    pub fn path_workers(mut self, workers: usize) -> Self {
+        self.path_jobs = Some(workers);
+        self
+    }
+
+    /// Sets the work-stealing victim-selection seed.
+    pub fn steal_seed_value(mut self, seed: u64) -> Self {
+        self.steal_seed = Some(seed);
         self
     }
 

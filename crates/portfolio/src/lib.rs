@@ -261,7 +261,13 @@ pub struct SessionBrokerStats {
 /// the delta. All sessions operate directly on the caller's term arena;
 /// a broker must therefore only ever see queries from **one** arena (the
 /// engine satisfies this structurally: one arena, one `QueryCtx`, one
-/// portfolio per POT).
+/// portfolio per shard). `Clone` duplicates every live session — the
+/// longest-common-prefix handoff when a stolen path migrates to another
+/// worker: the clone must only ever be used with an arena that *extends*
+/// the original broker's arena (the shard clone taken at steal time
+/// satisfies this: arenas are append-only, so every `TermId` in a session
+/// prefix stays valid in the extended arena).
+#[derive(Clone)]
 pub struct SessionBroker {
     entries: Vec<SessionEntry>,
     clock: u64,
@@ -270,6 +276,7 @@ pub struct SessionBroker {
     pub stats: SessionBrokerStats,
 }
 
+#[derive(Clone)]
 struct SessionEntry {
     session: SolveSession,
     /// Path terms currently asserted, one scope per term.
@@ -399,6 +406,20 @@ impl SessionBroker {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Terms lowered to CNF across all live sessions' lifetimes. After a
+    /// handoff clone this is the inherited blasting work the thief did
+    /// *not* have to repeat; the scheduler reads it as the denominator of
+    /// the handoff re-blast ratio.
+    pub fn total_terms_blasted(&self) -> u64 {
+        self.entries.iter().map(|e| e.session.terms_blasted()).sum()
+    }
+
+    /// Zeroes the per-broker counters (sessions keep their state). Shard
+    /// clones call this so inherited counts are not double-attributed.
+    pub fn reset_stats(&mut self) {
+        self.stats = SessionBrokerStats::default();
+    }
 }
 
 /// A racing portfolio of SMT solver instances.
@@ -459,6 +480,23 @@ impl Portfolio {
     /// Number of configured instances.
     pub fn num_instances(&self) -> usize {
         self.configs.len()
+    }
+
+    /// Clones this portfolio for a stolen execution shard: same
+    /// configurations, the *same* shared cache handle and worker pool, and
+    /// a deep clone of the live solve sessions (the prefix handoff), but
+    /// fresh counters — the thief's shard starts attribution at zero so
+    /// per-shard stats sum correctly across the fleet.
+    pub fn clone_for_shard(&self) -> Self {
+        let mut sessions = self.sessions.clone();
+        sessions.reset_stats();
+        Portfolio {
+            configs: self.configs.clone(),
+            cache: self.cache.clone(),
+            stats: PortfolioStats::default(),
+            sessions,
+            pool: Arc::clone(&self.pool),
+        }
     }
 
     /// Checks satisfiability, racing all instances; the earliest definitive

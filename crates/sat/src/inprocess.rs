@@ -93,12 +93,10 @@ impl Solver {
         self.num_inprocess_passes += 1;
         self.run_inprocess_body();
         tpot_obs::metrics::counter("sat.inprocess_passes").inc();
-        tpot_obs::metrics::counter("sat.inprocess_us")
-            .add(t0.elapsed().as_micros() as u64);
+        tpot_obs::metrics::counter("sat.inprocess_us").add(t0.elapsed().as_micros() as u64);
     }
 
     fn run_inprocess_body(&mut self) {
-
         let mut removed = vec![false; self.clauses.len()];
         if !self.simplify_root(&mut removed) {
             return;

@@ -106,6 +106,12 @@ pub(crate) struct Watcher {
 /// assert_eq!(s.solve(&[]), SatResult::Sat);
 /// assert!(s.model_value(b));
 /// ```
+///
+/// `Clone` produces an independent solver with the same clause database,
+/// trail, and saved phases — the substrate for migrating an incremental
+/// solve session to another worker (path-level work stealing). The only
+/// shared handle is `config.cancel`, which is cooperative by design.
+#[derive(Clone)]
 pub struct Solver {
     pub(crate) config: SatConfig,
     pub(crate) clauses: Vec<Clause>,

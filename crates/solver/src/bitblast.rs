@@ -28,6 +28,12 @@ use crate::linexpr::{extract_linear, LeAtom};
 /// preprocessing keeps appending fresh terms to the (hash-consed,
 /// append-only) arena in between — the `TermId`-keyed caches stay valid, so
 /// a term lowered to CNF in an earlier check is never re-blasted.
+///
+/// `Clone` duplicates the SAT solver and every cache, yielding an
+/// independent blaster whose `TermId`-keyed entries stay valid against any
+/// arena that extends the one the original was built over — exactly the
+/// session-handoff situation when a stolen path migrates workers.
+#[derive(Clone)]
 pub struct BitBlaster {
     /// The underlying SAT solver; the DPLL(T) loop calls `solve` and adds
     /// blocking clauses directly.

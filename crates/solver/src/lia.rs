@@ -74,6 +74,7 @@ pub fn solve_lia(atoms: &[LeAtom], config: &LiaConfig) -> Result<LiaOutcome, Sol
 /// current polarities' bounds, solve. Atoms shared with earlier checks reuse
 /// their registered rows, and an atom and its negation share one row (the
 /// form is sign-canonicalized; the negation becomes a lower bound).
+#[derive(Clone)]
 pub struct IncLia {
     var_map: HashMap<TermId, usize>,
     /// Sign-canonical linear form → slack variable in the template.

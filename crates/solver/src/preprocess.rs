@@ -83,7 +83,7 @@ pub struct PreprocessDelta {
 /// keeps the bit-blast cache downstream valid. Congruence axioms are
 /// instantiated pairwise exactly once per pair, tracked by per-array /
 /// per-function high-water marks.
-#[derive(Default, Debug)]
+#[derive(Clone, Default, Debug)]
 pub struct IncPreprocess {
     cache1: HashMap<TermId, TermId>,
     sel_map: HashMap<(TermId, TermId), TermId>,

@@ -79,6 +79,13 @@ struct Scope {
 /// single-scope session, so both paths share one code path and must agree by
 /// construction; the fuzzer's `incremental-vs-oneshot` mode checks exactly
 /// that under randomized push/pop/check interleavings.
+/// `Clone` duplicates the whole incremental stack — SAT clause database,
+/// bit-blast caches, preprocessing high-water marks, LIA tableau, and open
+/// scopes — producing an independent session that can continue on another
+/// worker. This is the longest-common-prefix handoff primitive: the clone
+/// keeps the asserted prefix blasted, so the thief's first check re-blasts
+/// only its delta.
+#[derive(Clone)]
 pub struct SolveSession {
     /// Instance configuration (shared with the one-shot wrapper).
     pub config: SolverConfig,

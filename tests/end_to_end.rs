@@ -11,14 +11,14 @@ fn verifier(src: &str) -> Verifier {
 
 /// Verifier with the bitvector address encoding (§4.3's ablation baseline).
 ///
-/// The heavyweight targets below use it in tier-1 for two reasons: their
-/// queries are pure bit-twiddling, where the bitvector encoding is orders
-/// of magnitude faster than the integer encoding's `tpot_bv2int` detour,
-/// and the integer encoding's conditional bv2int axiom instantiation is
-/// incomplete on the compound index terms a skolemized `forall_elem`
-/// re-check builds for Komodo* (spurious countermodels; DESIGN.md §5.2,
-/// open item). The default integer encoding is exercised on the same
-/// sources by the `slow-tests`-gated variants at the end of this file.
+/// The heavyweight targets below use it in tier-1 because their queries
+/// are pure bit-twiddling, where the bitvector encoding is orders of
+/// magnitude faster than the integer encoding's `tpot_bv2int` detour. The
+/// default integer encoding is exercised in tier-1 on the Komodo* proof
+/// (`komodo_star_va_pa_roundtrip_proves_reduced_bounds_int_encoding`,
+/// which pins the PR-7 bv2int re-check fix; DESIGN.md §5.2) and on the
+/// same sources by the `slow-tests`-gated variants at the end of this
+/// file.
 fn bv_verifier(src: &str) -> Verifier {
     let checked = tpot::cfront::compile(src).expect("compile");
     let cfg = EngineConfig {
@@ -170,6 +170,21 @@ fn kvm_pgtable_set_prot_proves_reduced_bounds() {
 
 // Default integer-encoding variants (the paper's primary §4.3 encoding),
 // multi-minute in release: `cargo test --release --features slow-tests`.
+
+/// The integer-encoding Komodo* re-check: formerly the one POT the
+/// default encoding could not prove (spurious countermodels from the
+/// incomplete bv2int axiom instantiation on `base + k*elem_size` skolem
+/// terms, DESIGN.md §5.2). `forall_check` now assumes the skolem bound
+/// with its integer translation and eagerly instantiates the mod-image
+/// axioms on the compound element pointer, so this proves — promoted out
+/// of `--features slow-tests` into tier-1 at reduced bounds.
+#[test]
+fn komodo_star_va_pa_roundtrip_proves_reduced_bounds_int_encoding() {
+    let t = tpot::targets::target("komodo*").unwrap();
+    let src = reduced_komodo(&t.full_source());
+    let r = verifier(&src).verify_pot("spec__va_pa_roundtrip");
+    assert!(r.status.is_proved(), "{:?}", r.status);
+}
 
 #[test]
 #[cfg_attr(

@@ -29,8 +29,10 @@
 //! The harness asserts the invariants PR 6 promises:
 //!
 //! - **Speedup**: phase 1 / phase 2 wall-clock ≥ 2× on the full pKVM mix
-//!   (`alloc_contig` included; the assert is skipped under `--smoke`,
-//!   which drops the only POTs slow enough to show a solver-bound win).
+//!   (`alloc_contig` included; the assert is skipped whenever any POT is
+//!   dropped — `--smoke` or `--skip-pot` — because those drop the only
+//!   POTs slow enough to show a solver-bound win; the ratio is still
+//!   reported as `speedup_ok`).
 //! - **Parity**: phases 2 and 3 report identical per-POT statuses; phase 1
 //!   may differ from phase 2 only where the ablation returned a
 //!   solver-unknown that inprocessing now decides (recorded as `improved`
@@ -319,9 +321,10 @@ fn main() {
         all_parity,
         "inprocessing changed a decided verification outcome"
     );
-    // The 2x target needs the solver-bound POTs; `--smoke` drops them
-    // (reporting the ratio without asserting it), the full run enforces.
-    if !smoke {
+    // The 2x target needs the solver-bound POTs; any skip (`--smoke` or
+    // `--skip-pot`) drops them — report the ratio without asserting it,
+    // the full run enforces.
+    if skip_pots.is_empty() {
         assert!(
             speedup >= 2.0,
             "inprocessing speedup {speedup:.2}x is below the 2x target \

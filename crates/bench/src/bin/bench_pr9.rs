@@ -1,0 +1,334 @@
+//! PR 9 harness: flight-recorder acceptance, written to `BENCH_PR9.json`
+//! in the unified `tpot-bench/v1` schema.
+//!
+//! Four checks over the pKVM suite, all in one process:
+//!
+//! 1. **Counter conservation at `jobs = 4`** — the per-POT solver
+//!    counters (per-shard sink deltas summed into each `PotResult`) must
+//!    add up to *exactly* the process-wide `sat.*` registry delta over
+//!    the run, per field. Before PR 9 attribution snapshotted the global
+//!    counters around each POT and was exact only at `jobs = 1`
+//!    (concurrent POTs overlapped their windows); the sink scheme makes
+//!    the overlap error identically zero at any worker count, and this
+//!    harness measures that error rather than assuming it.
+//! 2. **Proof-effort blame** — with blame tracking on, at least one
+//!    *proved* POT must report a provenance-tagged assumption core
+//!    (`cores > 0` and a kind other than `other`): the `analyze_final`
+//!    walk over the PR 5 activation literals reached a tagged premise /
+//!    invariant / layout axiom / path literal. Top entries per POT are
+//!    printed and embedded in the report.
+//! 3. **Path-tree profile** — the exclusive per-path effort tree must be
+//!    non-empty and is embedded as collapsed-stack lines (the
+//!    `flamegraph.pl` input format), making every committed bench
+//!    artifact carry its own profile.
+//! 4. **Diff self-test** — `tpot_bench::diff` must pass this very report
+//!    against itself and must FAIL it against a copy with a synthetic
+//!    +25% wall-clock regression injected. This pins the regression
+//!    observatory's gate behaviour inside the artifact that CI diffs.
+//!
+//! Usage: `bench_pr9 [target-fragment ...] [--skip-pot FRAG] [--smoke]
+//! [--out PATH]` (default: the whole pKVM allocator; `--smoke` skips the
+//! ~1-minute `alloc_page` walkthrough and the several-minute
+//! `alloc_contig` solve, for CI).
+
+use std::time::Instant;
+
+use tpot_bench::diff::{diff_reports, DiffConfig};
+use tpot_bench::report::{int, num, peak_rss_kb, s, status_key, BenchReport, TargetReport};
+use tpot_engine::{EngineConfig, PotStatus, Verifier, VerifyOptions};
+use tpot_obs::json::Value;
+use tpot_obs::ObsConfig;
+use tpot_targets::all_targets;
+
+/// The counters the solver publishes per solve and the engine attributes
+/// per shard: (registry key, per-POT extractor).
+type Field = (&'static str, fn(&tpot_engine::Stats) -> u64);
+const FIELDS: [Field; 6] = [
+    ("sat.solves", |s| s.sat_solves),
+    ("sat.conflicts", |s| s.sat_conflicts),
+    ("sat.decisions", |s| s.sat_decisions),
+    ("sat.propagations", |s| s.sat_propagations),
+    ("sat.restarts", |s| s.sat_restarts),
+    ("sat.learned_clauses", |s| s.sat_learned),
+];
+
+/// The acceptance worker count: attribution must be exact under real
+/// concurrency, not just at the degenerate sequential schedule.
+const JOBS: usize = 4;
+
+/// Largest `*_ms` value in the tree (0 when none).
+fn max_ms(v: &Value) -> f64 {
+    match v {
+        Value::Obj(entries) => entries
+            .iter()
+            .map(|(k, val)| {
+                if k.ends_with("_ms") {
+                    if let Value::Num(n) = val {
+                        return *n;
+                    }
+                }
+                max_ms(val)
+            })
+            .fold(0.0, f64::max),
+        Value::Arr(items) => items.iter().map(max_ms).fold(0.0, f64::max),
+        _ => 0.0,
+    }
+}
+
+/// Multiplies every `*_ms` number in the tree by `factor` — the
+/// synthetic-regression injector for the diff self-test.
+fn inflate_ms(v: &mut Value, factor: f64) {
+    match v {
+        Value::Obj(entries) => {
+            for (k, val) in entries.iter_mut() {
+                if k.ends_with("_ms") {
+                    if let Value::Num(n) = val {
+                        *n *= factor;
+                        continue;
+                    }
+                }
+                inflate_ms(val, factor);
+            }
+        }
+        Value::Arr(items) => {
+            for it in items.iter_mut() {
+                inflate_ms(it, factor);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn main() {
+    let mut select: Vec<String> = Vec::new();
+    let mut skip_pots: Vec<String> = Vec::new();
+    let mut smoke = false;
+    let mut out = "BENCH_PR9.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--skip-pot" => skip_pots.extend(args.next()),
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().unwrap_or(out),
+            _ => select.push(a),
+        }
+    }
+    if select.is_empty() {
+        select = vec!["pkvm".into()];
+    }
+    if smoke {
+        skip_pots.push("alloc_page".into());
+        skip_pots.push("alloc_contig".into());
+    }
+
+    // Blame tracking on for the whole run (the env default is off because
+    // tagging feeds the solver's tracked-literal bookkeeping).
+    tpot_obs::configure(ObsConfig {
+        blame: Some(true),
+        ..ObsConfig::default()
+    });
+
+    let mut report = BenchReport::new("bench_pr9");
+    report.meta("smoke", Value::Bool(smoke));
+    report.meta("jobs", int(JOBS as u64));
+    report.meta(
+        "skip_pots",
+        Value::Arr(skip_pots.iter().map(|p| s(p.clone())).collect()),
+    );
+
+    let t0 = Instant::now();
+    let mut conservation = true;
+    let mut attribution_error = 0u64;
+    let mut blame_tagged_pots = 0u64;
+    let mut profile_paths = 0u64;
+    let mut profile_solver_us = 0u64;
+    for t in all_targets() {
+        if !select
+            .iter()
+            .any(|sel| t.name.to_lowercase().contains(&sel.to_lowercase()))
+        {
+            continue;
+        }
+        let module = t.verifier().expect("target compiles").module;
+        let pots: Vec<String> = module
+            .pot_names()
+            .into_iter()
+            .filter(|p| !skip_pots.iter().any(|f| p.contains(f.as_str())))
+            .collect();
+        if pots.is_empty() {
+            continue;
+        }
+        let v = Verifier::with_config(module, EngineConfig::default());
+
+        let before: Vec<u64> = FIELDS
+            .iter()
+            .map(|(k, _)| tpot_obs::metrics::counter(k).get())
+            .collect();
+        let wall = Instant::now();
+        let results = v.verify(&VerifyOptions::new().pots(pots.iter().cloned()).jobs(JOBS));
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+        // 1. Conservation: per-POT sums vs the global registry delta.
+        let mut cons_rows: Vec<(String, Value)> = Vec::new();
+        for (i, (key, field)) in FIELDS.iter().enumerate() {
+            let global = tpot_obs::metrics::counter(key).get() - before[i];
+            let attributed: u64 = results.iter().map(|r| field(&r.stats)).sum();
+            let exact = attributed == global;
+            conservation &= exact;
+            attribution_error += attributed.abs_diff(global);
+            cons_rows.push((
+                key.to_string(),
+                Value::Obj(vec![
+                    ("global".into(), int(global)),
+                    ("attributed".into(), int(attributed)),
+                    ("exact".into(), Value::Bool(exact)),
+                ]),
+            ));
+            println!(
+                "{}: {key}: global {global}, attributed {attributed} ({})",
+                t.name,
+                if exact { "exact" } else { "MISMATCH" }
+            );
+        }
+
+        // 2 + 3. Blame and profile, per POT.
+        let mut pot_rows: Vec<Value> = Vec::new();
+        for r in &results {
+            let proved = matches!(r.status, PotStatus::Proved);
+            let tagged_core = r
+                .blame
+                .iter()
+                .any(|e| e.core_count > 0 && e.kind != tpot_engine::prov::ProvKind::Other);
+            if proved && tagged_core {
+                blame_tagged_pots += 1;
+            }
+            if !r.blame.is_empty() {
+                println!("{}: blame (top {}):", r.pot, r.blame.len().min(5));
+                for e in r.blame.iter().take(5) {
+                    println!("    {}", e.render());
+                }
+            }
+            let prof_total = r.profile.total();
+            profile_paths += r.profile.iter_sorted().len() as u64;
+            profile_solver_us += prof_total.solver_us;
+            pot_rows.push(Value::Obj(vec![
+                ("label".into(), s(r.pot.clone())),
+                ("status".into(), s(status_key(&r.status))),
+                ("paths".into(), int(r.stats.paths)),
+                ("blame_entries".into(), int(r.blame.len() as u64)),
+                ("blame_tagged_core".into(), Value::Bool(tagged_core)),
+                (
+                    "blame_top".into(),
+                    Value::Arr(r.blame.iter().take(5).map(|e| s(e.render())).collect()),
+                ),
+                (
+                    "profile_paths".into(),
+                    int(r.profile.iter_sorted().len() as u64),
+                ),
+                ("profile_solver_us".into(), int(prof_total.solver_us)),
+                (
+                    "profile_collapsed".into(),
+                    s(r.profile.collapsed_stack(&r.pot)),
+                ),
+            ]));
+        }
+
+        let mut row = TargetReport::new(t.name);
+        row.field("pots", int(pots.len() as u64));
+        row.field(
+            "outcomes",
+            Value::Obj(
+                results
+                    .iter()
+                    .map(|r| (r.pot.clone(), s(status_key(&r.status))))
+                    .collect(),
+            ),
+        );
+        row.field("wall_ms", num(wall_ms));
+        row.field("counter_conservation", Value::Obj(cons_rows));
+        row.field("pot_rows", Value::Arr(pot_rows));
+        report.targets.push(row);
+    }
+
+    if report.targets.is_empty() {
+        eprintln!("bench_pr9: no target matches {select:?}; nothing measured");
+        std::process::exit(2);
+    }
+
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    report.summary("conservation", Value::Bool(conservation));
+    report.summary("attribution_error", int(attribution_error));
+    report.summary("blame_tagged_pots", int(blame_tagged_pots));
+    report.summary("profile_paths", int(profile_paths));
+    report.summary("profile_solver_us", int(profile_solver_us));
+    report.summary("wall_ms", num(total_ms));
+    report.summary("peak_rss_kb", int(peak_rss_kb()));
+
+    // 4. Diff self-test against the (pre-self-test) document: identical
+    // reports must pass, an injected +25% wall-clock regression must
+    // fail — under the *default* gate (20% relative AND 100 ms absolute
+    // floor). A --smoke run can finish entirely under the floor (the
+    // floor doing its noise-suppression job), so when the report's walls
+    // are floor-small both sides are scaled by the same constant first:
+    // identity is preserved, relative structure is preserved, and the
+    // injection then tests the gate at the magnitudes real full-run
+    // artifacts have.
+    let mut doc = tpot_obs::json::parse(&report.render()).expect("report parses");
+    let cfg = DiffConfig::default();
+    if max_ms(&doc) < 4.0 * cfg.time_floor_ms {
+        inflate_ms(&mut doc, 1000.0);
+    }
+    let selftest_identical = !diff_reports(&doc, &doc, &cfg).failed();
+    let mut inflated = doc.clone();
+    inflate_ms(&mut inflated, 1.25);
+    let regression = diff_reports(&doc, &inflated, &cfg);
+    let selftest_regression = regression.failed();
+    println!(
+        "diff self-test: identical {} (must pass), +25% injected {} ({} fail line(s), must fail)",
+        if selftest_identical {
+            "passes"
+        } else {
+            "FAILS"
+        },
+        if selftest_regression {
+            "flagged"
+        } else {
+            "MISSED"
+        },
+        regression.fail_count()
+    );
+    report.summary(
+        "diff_selftest_identical_ok",
+        Value::Bool(selftest_identical),
+    );
+    report.summary(
+        "diff_selftest_regression_flagged",
+        Value::Bool(selftest_regression),
+    );
+
+    report.embed_metrics();
+    report.write(&out).expect("write results");
+    println!(
+        "wrote {out} (conservation {conservation}, attribution error {attribution_error}, \
+         {blame_tagged_pots} proved POT(s) with tagged cores, {profile_paths} profiled paths)"
+    );
+
+    assert!(
+        conservation,
+        "per-POT counter sums diverged from the global registry delta by \
+         {attribution_error} at jobs={JOBS}"
+    );
+    assert!(
+        blame_tagged_pots > 0,
+        "no proved POT reported a provenance-tagged assumption core"
+    );
+    assert!(
+        profile_solver_us > 0 && profile_paths > 0,
+        "path-tree profile is empty"
+    );
+    assert!(selftest_identical, "diff failed two identical reports");
+    assert!(
+        selftest_regression,
+        "diff missed an injected +25% wall-clock regression"
+    );
+}

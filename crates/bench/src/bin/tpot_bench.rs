@@ -1,0 +1,133 @@
+//! The bench observatory CLI.
+//!
+//! ```text
+//! tpot-bench diff OLD.json NEW.json [--threshold PCT] [--floor-ms MS]
+//!                                   [--json-out PATH]
+//! tpot-bench history [FILES...]
+//! ```
+//!
+//! `diff` compares two `tpot-bench/v1` reports and exits nonzero when the
+//! new one regresses (a POT outcome changed, or a `_ms`/`_us` timing grew
+//! past the noise thresholds — see `tpot_bench::diff`). CI runs it
+//! against the previous PR's committed report.
+//!
+//! `history` prints the outcome/wall trajectory over a list of committed
+//! reports (default: `BENCH_PR*.json` in the current directory, in PR
+//! order).
+
+use std::process::ExitCode;
+
+use tpot_bench::diff::{diff_reports, history_row, render_history, DiffConfig};
+use tpot_obs::json::{parse, Value};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tpot-bench diff OLD.json NEW.json [--threshold PCT] [--floor-ms MS] \
+         [--json-out PATH]\n       tpot-bench history [FILES...]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: bad JSON: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("history") => cmd_history(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut cfg = DiffConfig::default();
+    let mut json_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) => {
+                    cfg.time_threshold = pct / 100.0;
+                    cfg.counter_threshold = pct / 100.0;
+                }
+                None => return usage(),
+            },
+            "--floor-ms" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(ms) => cfg.time_floor_ms = ms,
+                None => return usage(),
+            },
+            "--json-out" => match it.next() {
+                Some(p) => json_out = Some(p.clone()),
+                None => return usage(),
+            },
+            _ => files.push(a.clone()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return usage();
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("tpot-bench diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rep = diff_reports(&old, &new, &cfg);
+    print!("diff {old_path} -> {new_path}\n{}", rep.render());
+    if let Some(p) = json_out {
+        if let Err(e) = std::fs::write(&p, rep.render_json() + "\n") {
+            eprintln!("tpot-bench diff: writing {p}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if rep.failed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_history(args: &[String]) -> ExitCode {
+    let files: Vec<String> = if args.is_empty() {
+        committed_reports()
+    } else {
+        args.to_vec()
+    };
+    if files.is_empty() {
+        eprintln!("tpot-bench history: no BENCH_PR*.json reports found");
+        return ExitCode::from(2);
+    }
+    let mut rows = Vec::new();
+    for f in &files {
+        match load(f) {
+            Ok(doc) => rows.push(history_row(f, &doc)),
+            Err(e) => eprintln!("tpot-bench history: skipping {e}"),
+        }
+    }
+    print!("{}", render_history(&rows));
+    ExitCode::SUCCESS
+}
+
+/// `BENCH_PR*.json` in the current directory, sorted by PR number.
+fn committed_reports() -> Vec<String> {
+    let mut found: Vec<(u64, String)> = Vec::new();
+    if let Ok(rd) = std::fs::read_dir(".") {
+        for entry in rd.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(n) = name
+                .strip_prefix("BENCH_PR")
+                .and_then(|r| r.strip_suffix(".json"))
+                .and_then(|d| d.parse::<u64>().ok())
+            {
+                found.push((n, name));
+            }
+        }
+    }
+    found.sort();
+    found.into_iter().map(|(_, n)| n).collect()
+}

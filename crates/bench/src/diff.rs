@@ -1,0 +1,559 @@
+//! The bench regression observatory: compares two `tpot-bench/v1`
+//! reports and classifies every difference.
+//!
+//! Verdict policy (what CI gates on):
+//!
+//! - **Outcome changes are hard failures.** A POT that was `proved` in the
+//!   old report and anything else in the new one (or vice versa) is the
+//!   one regression no noise threshold excuses. POTs present in only one
+//!   report are informational — harnesses grow.
+//! - **Wall-clock regressions fail past a noise threshold.** Keys ending
+//!   in `_ms`/`_us` are timings; a timing fails when it grew by more than
+//!   `time_threshold` (relative, default 20%) *and* more than
+//!   `time_floor_ms` (absolute, default 100ms — sub-millisecond jitter on
+//!   a 2ms phase is not a regression). Improvements are reported as info.
+//! - **Counters are informational.** Solver counters (conflicts,
+//!   propagations, steals, session hit rates …) move for legitimate
+//!   reasons; the diff surfaces swings larger than the threshold so a
+//!   reviewer sees them, but never fails on them.
+//!
+//! Reports are matched structurally: targets by `name`, phase rows by
+//!   `label`, everything else by key. The walk is schema-agnostic past the
+//! top level, so new harness fields participate in the diff without
+//! touching this module.
+
+use tpot_obs::json::Value;
+
+/// Noise thresholds for [`diff_reports`].
+#[derive(Clone, Debug)]
+pub struct DiffConfig {
+    /// Relative growth a timing may show before it fails (0.20 = +20%).
+    pub time_threshold: f64,
+    /// Absolute growth (in ms) a timing must also exceed to fail.
+    pub time_floor_ms: f64,
+    /// Relative swing past which a counter is surfaced as info.
+    pub counter_threshold: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            time_threshold: 0.20,
+            time_floor_ms: 100.0,
+            counter_threshold: 0.20,
+        }
+    }
+}
+
+/// How bad one difference is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Worth a glance (counter swings, added/removed rows, improvements).
+    Info,
+    /// A regression the thresholds reject (outcome flip, slow timing).
+    Fail,
+}
+
+/// One classified difference between the two reports.
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    /// Severity under the configured thresholds.
+    pub severity: Severity,
+    /// Dotted path to the differing field (`targets.pKVM.phases.jobs4.wall_ms`).
+    pub path: String,
+    /// Human-readable description of the change.
+    pub message: String,
+}
+
+/// The full comparison result.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Every classified difference, fails first.
+    pub lines: Vec<DiffLine>,
+}
+
+impl DiffReport {
+    /// True when any difference is a [`Severity::Fail`].
+    pub fn failed(&self) -> bool {
+        self.lines.iter().any(|l| l.severity == Severity::Fail)
+    }
+
+    /// Number of hard failures.
+    pub fn fail_count(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.severity == Severity::Fail)
+            .count()
+    }
+
+    /// Renders the human-readable diff (one line per difference,
+    /// fails first, `ok` when the reports are equivalent).
+    pub fn render(&self) -> String {
+        if self.lines.is_empty() {
+            return "ok: reports are equivalent under the configured thresholds\n".into();
+        }
+        let mut out = String::new();
+        for l in &self.lines {
+            let tag = match l.severity {
+                Severity::Fail => "FAIL",
+                Severity::Info => "info",
+            };
+            out.push_str(&format!("{tag}  {}: {}\n", l.path, l.message));
+        }
+        out.push_str(&format!(
+            "{} difference(s), {} failure(s)\n",
+            self.lines.len(),
+            self.fail_count()
+        ));
+        out
+    }
+
+    /// Renders the diff as a JSON artifact (for CI upload).
+    pub fn render_json(&self) -> String {
+        let lines: Vec<Value> = self
+            .lines
+            .iter()
+            .map(|l| {
+                Value::Obj(vec![
+                    (
+                        "severity".into(),
+                        Value::Str(
+                            match l.severity {
+                                Severity::Fail => "fail",
+                                Severity::Info => "info",
+                            }
+                            .into(),
+                        ),
+                    ),
+                    ("path".into(), Value::Str(l.path.clone())),
+                    ("message".into(), Value::Str(l.message.clone())),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("schema".into(), Value::Str("tpot-bench-diff/v1".into())),
+            ("failed".into(), Value::Bool(self.failed())),
+            ("lines".into(), Value::Arr(lines)),
+        ])
+        .render()
+    }
+
+    fn push(&mut self, severity: Severity, path: &str, message: String) {
+        self.lines.push(DiffLine {
+            severity,
+            path: path.to_string(),
+            message,
+        });
+    }
+
+    fn sort(&mut self) {
+        // Fails first; stable within a severity (walk order = document order).
+        self.lines
+            .sort_by_key(|l| std::cmp::Reverse(l.severity == Severity::Fail));
+    }
+}
+
+/// A key holds a timing when it ends in `_ms`/`_us` (the repo-wide report
+/// convention) — those get the fail-on-regression treatment.
+fn is_timing_key(key: &str) -> bool {
+    key.ends_with("_ms") || key.ends_with("_us")
+}
+
+/// Timing value of `key` in milliseconds (so the absolute floor means the
+/// same thing for `_us` keys).
+fn to_ms(key: &str, v: f64) -> f64 {
+    if key.ends_with("_us") {
+        v / 1e3
+    } else {
+        v
+    }
+}
+
+/// Compares two `tpot-bench/v1` documents. `old` is the baseline; growth
+/// is measured `new` against `old`.
+pub fn diff_reports(old: &Value, new: &Value, cfg: &DiffConfig) -> DiffReport {
+    let mut rep = DiffReport::default();
+    for (doc, which) in [(old, "old"), (new, "new")] {
+        if doc.get("schema").and_then(Value::as_str) != Some("tpot-bench/v1") {
+            rep.push(
+                Severity::Fail,
+                "schema",
+                format!("{which} report is not a tpot-bench/v1 document"),
+            );
+        }
+    }
+    if rep.failed() {
+        return rep;
+    }
+    let (ha, hb) = (
+        old.get("harness").and_then(Value::as_str).unwrap_or("?"),
+        new.get("harness").and_then(Value::as_str).unwrap_or("?"),
+    );
+    if ha != hb {
+        rep.push(
+            Severity::Info,
+            "harness",
+            format!("comparing different harnesses: {ha} vs {hb}"),
+        );
+    }
+    diff_value(
+        old.get("targets").unwrap_or(&Value::Null),
+        new.get("targets").unwrap_or(&Value::Null),
+        "targets",
+        cfg,
+        &mut rep,
+    );
+    diff_value(
+        old.get("summary").unwrap_or(&Value::Null),
+        new.get("summary").unwrap_or(&Value::Null),
+        "summary",
+        cfg,
+        &mut rep,
+    );
+    // The embedded metrics registry is counters-only by construction:
+    // surfaced, never gating.
+    if let (Some(ma), Some(mb)) = (old.get("metrics"), new.get("metrics")) {
+        diff_value(ma, mb, "metrics", cfg, &mut rep);
+    }
+    rep.sort();
+    rep
+}
+
+/// The name under which an array element is matched against the other
+/// report: `name` (target rows), then `label` (phase rows).
+fn row_key(v: &Value) -> Option<&str> {
+    v.get("name")
+        .and_then(Value::as_str)
+        .or_else(|| v.get("label").and_then(Value::as_str))
+}
+
+fn diff_value(a: &Value, b: &Value, path: &str, cfg: &DiffConfig, rep: &mut DiffReport) {
+    match (a, b) {
+        (Value::Obj(oa), Value::Obj(ob)) => {
+            for (k, va) in oa {
+                match ob.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => diff_value(va, vb, &format!("{path}.{k}"), cfg, rep),
+                    None => rep.push(
+                        Severity::Info,
+                        &format!("{path}.{k}"),
+                        "removed in new report".into(),
+                    ),
+                }
+            }
+            for (k, _) in ob {
+                if !oa.iter().any(|(ka, _)| ka == k) {
+                    rep.push(
+                        Severity::Info,
+                        &format!("{path}.{k}"),
+                        "added in new report".into(),
+                    );
+                }
+            }
+        }
+        (Value::Arr(aa), Value::Arr(ab)) => {
+            let keyed = aa.iter().chain(ab.iter()).all(|v| row_key(v).is_some());
+            if keyed {
+                for va in aa {
+                    let k = row_key(va).unwrap();
+                    match ab.iter().find(|vb| row_key(vb) == Some(k)) {
+                        Some(vb) => diff_value(va, vb, &format!("{path}.{k}"), cfg, rep),
+                        None => rep.push(
+                            Severity::Info,
+                            &format!("{path}.{k}"),
+                            "row removed in new report".into(),
+                        ),
+                    }
+                }
+                for vb in ab {
+                    let k = row_key(vb).unwrap();
+                    if !aa.iter().any(|va| row_key(va) == Some(k)) {
+                        rep.push(
+                            Severity::Info,
+                            &format!("{path}.{k}"),
+                            "row added in new report".into(),
+                        );
+                    }
+                }
+            } else {
+                if aa.len() != ab.len() {
+                    rep.push(
+                        Severity::Info,
+                        path,
+                        format!("array length {} -> {}", aa.len(), ab.len()),
+                    );
+                }
+                for (i, (va, vb)) in aa.iter().zip(ab.iter()).enumerate() {
+                    diff_value(va, vb, &format!("{path}.{i}"), cfg, rep);
+                }
+            }
+        }
+        (Value::Num(na), Value::Num(nb)) => diff_number(*na, *nb, path, cfg, rep),
+        _ if a != b => {
+            let (sa, sb) = (scalar_repr(a), scalar_repr(b));
+            // A changed POT outcome is the one scalar flip that hard-fails;
+            // every other scalar change is informational.
+            let sev = if path.contains(".outcomes.") {
+                Severity::Fail
+            } else {
+                Severity::Info
+            };
+            let what = if path.contains(".outcomes.") {
+                "outcome changed"
+            } else {
+                "changed"
+            };
+            rep.push(sev, path, format!("{what}: {sa} -> {sb}"));
+        }
+        _ => {}
+    }
+}
+
+fn diff_number(a: f64, b: f64, path: &str, cfg: &DiffConfig, rep: &mut DiffReport) {
+    if a == b {
+        return;
+    }
+    let key = path.rsplit('.').next().unwrap_or(path);
+    let rel = if a != 0.0 { (b - a) / a } else { f64::INFINITY };
+    if is_timing_key(key) {
+        let grew_ms = to_ms(key, b - a);
+        if rel > cfg.time_threshold && grew_ms > cfg.time_floor_ms {
+            rep.push(
+                Severity::Fail,
+                path,
+                format!("timing regressed {:+.1}%: {a:.1} -> {b:.1}", rel * 100.0),
+            );
+        } else if rel < -cfg.time_threshold && to_ms(key, a - b) > cfg.time_floor_ms {
+            rep.push(
+                Severity::Info,
+                path,
+                format!("timing improved {:+.1}%: {a:.1} -> {b:.1}", rel * 100.0),
+            );
+        }
+    } else if rel.abs() > cfg.counter_threshold {
+        rep.push(
+            Severity::Info,
+            path,
+            format!("counter moved {:+.1}%: {a} -> {b}", rel * 100.0),
+        );
+    }
+}
+
+fn scalar_repr(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => other.render(),
+    }
+}
+
+/// One row of the `tpot-bench history` trajectory: the headline numbers of
+/// one committed report.
+#[derive(Clone, Debug)]
+pub struct HistoryRow {
+    /// Source file.
+    pub file: String,
+    /// Harness name.
+    pub harness: String,
+    /// POT outcome histogram over every target (`status -> count`).
+    pub outcomes: Vec<(String, u64)>,
+    /// Sum of the top-level per-target timings (`*_ms`, phase rows
+    /// excluded), the closest thing to "how long this harness's
+    /// measured work took".
+    pub wall_ms: f64,
+}
+
+/// Extracts the trajectory row of one parsed report.
+pub fn history_row(file: &str, doc: &Value) -> HistoryRow {
+    let harness = doc
+        .get("harness")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let mut outcomes: Vec<(String, u64)> = Vec::new();
+    let mut wall = 0.0;
+    if let Some(targets) = doc.get("targets").and_then(Value::as_arr) {
+        for t in targets {
+            if let Some(Value::Obj(o)) = t.get("outcomes") {
+                for (_, st) in o {
+                    let k = st.as_str().unwrap_or("?").to_string();
+                    match outcomes.iter_mut().find(|(ok, _)| *ok == k) {
+                        Some((_, n)) => *n += 1,
+                        None => outcomes.push((k, 1)),
+                    }
+                }
+            }
+            if let Value::Obj(o) = t {
+                for (k, v) in o {
+                    if is_timing_key(k) {
+                        if let Some(n) = v.as_f64() {
+                            wall += to_ms(k, n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    outcomes.sort();
+    HistoryRow {
+        file: file.to_string(),
+        harness,
+        outcomes,
+        wall_ms: wall,
+    }
+}
+
+/// Renders the trajectory table.
+pub fn render_history(rows: &[HistoryRow]) -> String {
+    let mut out = String::from("file             harness      wall        outcomes\n");
+    for r in rows {
+        let oc = r
+            .outcomes
+            .iter()
+            .map(|(k, n)| format!("{n} {k}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "{:<16} {:<12} {:>9.1}ms  {}\n",
+            r.file, r.harness, r.wall_ms, oc
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_obs::json::parse;
+
+    fn report(wall: f64, outcome: &str) -> Value {
+        parse(&format!(
+            r#"{{"schema":"tpot-bench/v1","harness":"bench_t",
+                "meta":{{}},
+                "targets":[{{"name":"pkvm",
+                             "outcomes":{{"spec__init":"{outcome}","spec__get":"proved"}},
+                             "wall_ms":{wall},
+                             "phases":[{{"label":"jobs4","wall_ms":{wall},"steals":3}}]}}],
+                "summary":{{"paths":23,"peak_rss_kb":1000}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = report(1000.0, "proved");
+        let d = diff_reports(&a, &a, &DiffConfig::default());
+        assert!(!d.failed(), "{}", d.render());
+        assert!(d.lines.is_empty());
+        assert!(d.render().starts_with("ok"));
+    }
+
+    #[test]
+    fn injected_25pct_wall_regression_fails() {
+        let a = report(1000.0, "proved");
+        let b = report(1250.0, "proved");
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert!(d.failed(), "{}", d.render());
+        // Both the target-level and the phase-row timing fail, nothing else.
+        assert_eq!(d.fail_count(), 2);
+        assert!(d.lines[0].path.contains("wall_ms"));
+        assert!(d.render().contains("FAIL"));
+        assert!(d.render_json().contains("\"failed\":true"));
+    }
+
+    #[test]
+    fn small_or_subfloor_timing_noise_passes() {
+        let a = report(1000.0, "proved");
+        // +10% is under the relative threshold.
+        let d = diff_reports(&a, &report(1100.0, "proved"), &DiffConfig::default());
+        assert!(!d.failed(), "{}", d.render());
+        // +50ms on 100ms is +50% but under the absolute floor.
+        let d2 = diff_reports(
+            &report(100.0, "proved"),
+            &report(150.0, "proved"),
+            &DiffConfig::default(),
+        );
+        assert!(!d2.failed(), "{}", d2.render());
+    }
+
+    #[test]
+    fn outcome_flip_is_a_hard_fail_even_when_fast() {
+        let a = report(1000.0, "proved");
+        let b = report(500.0, "failed");
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert!(d.failed());
+        let fail = d
+            .lines
+            .iter()
+            .find(|l| l.severity == Severity::Fail)
+            .unwrap();
+        assert!(fail.path.contains("outcomes.spec__init"), "{}", fail.path);
+        assert!(fail.message.contains("proved -> failed"));
+    }
+
+    #[test]
+    fn added_and_removed_rows_are_informational() {
+        let a = report(1000.0, "proved");
+        let mut b = report(1000.0, "proved");
+        if let Value::Obj(top) = &mut b {
+            let targets = top
+                .iter_mut()
+                .find(|(k, _)| k == "targets")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Value::Arr(rows) = targets {
+                rows.push(
+                    parse(r#"{"name":"pgtable","outcomes":{"spec__map":"proved"}}"#).unwrap(),
+                );
+            }
+        }
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert!(!d.failed(), "{}", d.render());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.path == "targets.pgtable" && l.message.contains("added")));
+    }
+
+    #[test]
+    fn counters_never_gate() {
+        let a = report(1000.0, "proved");
+        let mut b = report(1000.0, "proved");
+        if let Value::Obj(top) = &mut b {
+            let summary = top
+                .iter_mut()
+                .find(|(k, _)| k == "summary")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Value::Obj(o) = summary {
+                for (k, v) in o.iter_mut() {
+                    if k == "paths" {
+                        *v = Value::Num(99.0);
+                    }
+                }
+            }
+        }
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert!(!d.failed(), "{}", d.render());
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.path == "summary.paths" && l.message.contains("counter moved")));
+    }
+
+    #[test]
+    fn non_bench_documents_are_rejected() {
+        let bogus = parse(r#"{"schema":"something-else"}"#).unwrap();
+        let d = diff_reports(&bogus, &report(1.0, "proved"), &DiffConfig::default());
+        assert!(d.failed());
+    }
+
+    #[test]
+    fn history_rows_summarize_outcomes_and_wall() {
+        let r = history_row("BENCH_PR9.json", &report(1234.5, "proved"));
+        assert_eq!(r.harness, "bench_t");
+        assert_eq!(r.outcomes, vec![("proved".to_string(), 2)]);
+        assert!((r.wall_ms - 1234.5).abs() < 1e-9);
+        let table = render_history(&[r]);
+        assert!(table.contains("BENCH_PR9.json"));
+        assert!(table.contains("2 proved"));
+    }
+}

@@ -11,6 +11,7 @@ use tpot_ir::Module;
 use tpot_smt::TermId;
 
 use crate::interp::{AddrMode, EngineConfig, Interp};
+use crate::prov::ProvKind;
 use crate::query::EngineError;
 use crate::state::{NamingMode, PathOutcome, Pledge, RetCont, State};
 use crate::stats::{QueryPurpose, Stats};
@@ -117,6 +118,13 @@ pub struct PotResult {
     pub stats: Stats,
     /// Wall-clock duration.
     pub duration: Duration,
+    /// Per-path exclusive-effort profile (fork tree weighted by solver
+    /// time; renders as collapsed-stack lines for flamegraphs,
+    /// `TPOT_PROFILE`).
+    pub profile: crate::profile::PathProfile,
+    /// Costliest assumptions, most-costly first (empty unless
+    /// `TPOT_BLAME`). See [`crate::prov`].
+    pub blame: Vec<crate::prov::BlameEntry>,
 }
 
 /// Options for a [`Verifier::verify`] run.
@@ -251,6 +259,18 @@ impl Verifier {
         // Flush once at the end instead of per-POT (engine drops only
         // release their handle on the shared cache).
         let _ = cache.lock().flush();
+        if let Some(p) = &tpot_obs::config().profile_path {
+            // One collapsed-stack file across every verified POT: each
+            // line is `pot;ε;<fork indices> <exclusive solver µs>`, ready
+            // for flamegraph.pl / speedscope.
+            let mut out = String::new();
+            for r in &results {
+                out.push_str(&r.profile.collapsed_stack(&r.pot));
+            }
+            if let Err(e) = tpot_obs::write_atomic(p, &out) {
+                tpot_obs::obs_warn!("engine", "TPOT_PROFILE write failed: {e}");
+            }
+        }
         results
     }
 
@@ -375,9 +395,7 @@ impl Verifier {
                     conj.push(nn);
                     conj.push(eq);
                     let cond = interp.arena.and(&conj);
-                    for c in s.mem.take_constraints() {
-                        s.assume(c);
-                    }
+                    interp.drain_mem_constraints(s);
                     if interp.solver.is_feasible(
                         &mut interp.arena,
                         &s.path,
@@ -386,6 +404,7 @@ impl Verifier {
                     )? {
                         // Existential witness: adopt it (renaming is
                         // existentially quantified, §4.1).
+                        interp.tag_assume(s, cond, ProvKind::Invariant);
                         s.assume(cond);
                         // Per-object condition must hold.
                         if let Some(cf) = p.cond.clone() {

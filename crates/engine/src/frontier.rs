@@ -55,6 +55,17 @@ impl PathId {
     pub fn depth(&self) -> usize {
         self.0.len()
     }
+
+    /// The fork child indices from the root (empty for the root itself).
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// The id of the fork this path came from, or `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        let (_, init) = self.0.split_last()?;
+        Some(PathId(init.to_vec()))
+    }
 }
 
 impl std::fmt::Display for PathId {

@@ -7,6 +7,7 @@ use tpot_ir::{BinKind, CastKind, Inst, IrArg, Operand, Pred, Term};
 use tpot_smt::{Kind, TermId};
 
 use crate::driver::{Violation, ViolationKind};
+use crate::prov::ProvKind;
 use crate::query::EngineError;
 use crate::simplify;
 use crate::state::{PathOutcome, RetCont, State};
@@ -56,12 +57,27 @@ impl<'m> ExecCtx<'m> {
         self.arena.neq(t, zero)
     }
 
+    /// Tags `t` for proof-effort blame with the current function as the
+    /// source site. No-op (no site string built) unless `TPOT_BLAME` is on.
+    pub(crate) fn tag_assume(&mut self, s: &State, t: TermId, kind: ProvKind) {
+        if self.solver.blame_enabled() {
+            let site = s
+                .frames
+                .last()
+                .map(|f| self.module.funcs[f.func].name.clone());
+            self.solver.tag_assumption(t, kind, site);
+        }
+    }
+
     /// Assumes `c` *and* its exact integer translation (§4.3: "TPot
     /// explicitly adds the corresponding integer constraints whenever TPot
-    /// adds a bitvector constraint to the path condition").
-    pub(super) fn assume_with_ints(&mut self, s: &mut State, c: TermId) {
+    /// adds a bitvector constraint to the path condition"). `kind` is the
+    /// blame provenance of the assumption; the integer image inherits it.
+    pub(super) fn assume_with_ints(&mut self, s: &mut State, c: TermId, kind: ProvKind) {
+        self.tag_assume(s, c, kind);
         s.assume(c);
         if let Some(f) = self.translate_cond(s, c, false) {
+            self.tag_assume(s, f, kind);
             s.assume(f);
         }
         self.drain_mem_constraints(s);
@@ -145,8 +161,13 @@ impl<'m> ExecCtx<'m> {
         self.arena.ite(is_neg, shifted, u)
     }
 
-    pub(super) fn drain_mem_constraints(&mut self, s: &mut State) {
-        for c in s.mem.take_constraints() {
+    pub(crate) fn drain_mem_constraints(&mut self, s: &mut State) {
+        for (c, k) in s.mem.take_tagged_constraints() {
+            let kind = match k {
+                tpot_mem::MemConstraintKind::Layout => ProvKind::MemLayout,
+                tpot_mem::MemConstraintKind::Bv2Int => ProvKind::Bv2Int,
+            };
+            self.tag_assume(s, c, kind);
             s.assume(c);
         }
     }
@@ -197,6 +218,7 @@ impl<'m> ExecCtx<'m> {
             return Ok(None);
         }
         let v = self.violation(s, kind, msg, constraint)?;
+        self.tag_assume(s, constraint, ProvKind::Guard);
         let mut e = self.fork(s);
         e.assume(constraint);
         e.finish(PathOutcome::Error(v));
@@ -232,6 +254,7 @@ impl<'m> ExecCtx<'m> {
                             "division by zero".into(),
                         )? {
                             let nz = self.arena.neq(bv, zero);
+                            self.tag_assume(&s, nz, ProvKind::Guard);
                             s.assume(nz);
                             out.push(e);
                         }
@@ -452,20 +475,20 @@ impl<'m> ExecCtx<'m> {
                 };
                 match (t_ok, f_ok) {
                     (true, false) => {
-                        self.assume_with_ints(&mut s, c);
+                        self.assume_with_ints(&mut s, c, ProvKind::PathBranch);
                         self.enter_block(&mut s, then_b);
                         Ok(vec![s])
                     }
                     (false, true) => {
-                        self.assume_with_ints(&mut s, nc);
+                        self.assume_with_ints(&mut s, nc, ProvKind::PathBranch);
                         self.enter_block(&mut s, else_b);
                         Ok(vec![s])
                     }
                     (true, true) => {
                         let mut t = self.fork(&s);
-                        self.assume_with_ints(&mut t, c);
+                        self.assume_with_ints(&mut t, c, ProvKind::PathBranch);
                         self.enter_block(&mut t, then_b);
-                        self.assume_with_ints(&mut s, nc);
+                        self.assume_with_ints(&mut s, nc, ProvKind::PathBranch);
                         self.enter_block(&mut s, else_b);
                         Ok(vec![t, s])
                     }
@@ -533,7 +556,7 @@ impl<'m> ExecCtx<'m> {
                     s.finish(PathOutcome::Infeasible);
                     return Ok(vec![s]);
                 }
-                self.assume_with_ints(&mut s, c);
+                self.assume_with_ints(&mut s, c, ProvKind::Invariant);
                 if s.frames.is_empty() {
                     s.finish(PathOutcome::Completed);
                 }
@@ -547,7 +570,7 @@ impl<'m> ExecCtx<'m> {
                     .solver
                     .is_valid(&mut self.arena, &s.path, c, QueryPurpose::Assertions)?
                 {
-                    self.assume_with_ints(&mut s, c);
+                    self.assume_with_ints(&mut s, c, ProvKind::Invariant);
                     if s.frames.is_empty() {
                         s.finish(PathOutcome::Completed);
                     }

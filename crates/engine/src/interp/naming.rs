@@ -8,6 +8,7 @@ use tpot_ir::IrArg;
 use tpot_mem::{ForallMarker, ObjectId};
 use tpot_smt::{Kind, Sort, TermArena, TermId};
 
+use crate::prov::ProvKind;
 use crate::query::EngineError;
 use crate::state::{NamingMode, Pending, RetCont, State};
 use crate::stats::QueryPurpose;
@@ -208,7 +209,7 @@ impl<'m> ExecCtx<'m> {
                 // a plain bitvector assume leaves `tpot_bv2int(k*es)`
                 // unconstrained and yields spurious countermodels in
                 // `AddrMode::Int` (DESIGN.md §5.2).
-                self.assume_with_ints(&mut st, in_range);
+                self.assume_with_ints(&mut st, in_range, ProvKind::Guard);
             }
             let call_args = self.marker_call_args(&st, &f, arr, k, elem_size, &extras)?;
             if matches!(st.mem.mode, tpot_mem::AddrMode::Int) {
@@ -358,6 +359,7 @@ impl<'m> ExecCtx<'m> {
                     tpot_smt::print::term_to_string(&self.arena, k),
                     tpot_smt::print::term_to_string(&self.arena, formula)
                 );
+                self.tag_assume(s, formula, ProvKind::Invariant);
                 s.assume(formula);
                 self.drain_mem_constraints(s);
             } else {

@@ -9,6 +9,7 @@ use tpot_mem::ObjectId;
 use tpot_smt::{Sort, TermId};
 
 use crate::driver::ViolationKind;
+use crate::prov::ProvKind;
 use crate::query::EngineError;
 use crate::state::{LoopCtx, NamingMode, PathOutcome, Pending, Pledge, RetCont, State};
 use crate::stats::QueryPurpose;
@@ -31,7 +32,7 @@ impl<'m> ExecCtx<'m> {
                     .solver
                     .is_valid(&mut self.arena, &s.path, c, QueryPurpose::Assertions)?
                 {
-                    self.assume_with_ints(&mut s, c);
+                    self.assume_with_ints(&mut s, c, ProvKind::Premise);
                     return Ok(vec![s]);
                 }
                 let nc = self.arena.not(c);
@@ -56,7 +57,7 @@ impl<'m> ExecCtx<'m> {
                     s.finish(PathOutcome::Infeasible);
                     return Ok(vec![s]);
                 }
-                self.assume_with_ints(&mut s, c);
+                self.assume_with_ints(&mut s, c, ProvKind::Premise);
                 Ok(vec![s])
             }
             Builtin::Any => {

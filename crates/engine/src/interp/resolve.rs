@@ -9,6 +9,7 @@ use tpot_mem::ObjectId;
 use tpot_smt::{Sort, TermId};
 
 use crate::driver::ViolationKind;
+use crate::prov::ProvKind;
 use crate::query::EngineError;
 use crate::simplify;
 use crate::state::{PathOutcome, Pending, RetCont, State};
@@ -158,6 +159,7 @@ impl<'m> ExecCtx<'m> {
             out.push((s, Some((oid, cidx))));
         } else if !candidates.is_empty() {
             for (oid, ib) in candidates {
+                self.tag_assume(&s, ib, ProvKind::PathBranch);
                 let mut c = self.fork(&s);
                 c.assume(ib);
                 let cidx = self.maybe_constantize(&mut c, idx)?;
@@ -255,6 +257,7 @@ impl<'m> ExecCtx<'m> {
                 )? {
                     continue;
                 }
+                self.tag_assume(&m, cond, ProvKind::PathBranch);
                 m.assume(cond);
                 let obj = m
                     .mem
@@ -262,8 +265,10 @@ impl<'m> ExecCtx<'m> {
                 let base_bv = m.mem.obj(obj).base_bv;
                 let base_idx = m.mem.obj(obj).base_idx;
                 let eq_bv = self.arena.eq(base_bv, ret);
+                self.tag_assume(&m, eq_bv, ProvKind::MemLayout);
                 m.assume(eq_bv);
                 let eq_idx = self.arena.eq(base_idx, rbase);
+                self.tag_assume(&m, eq_idx, ProvKind::MemLayout);
                 m.assume(eq_idx);
                 self.drain_mem_constraints(&mut m);
                 m.pledges[pi].materialized.push((k, obj));

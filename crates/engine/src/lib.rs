@@ -32,11 +32,17 @@
 //! - [`sched`]: the work-stealing path scheduler (per-worker LIFO deques,
 //!   steal-half, seeded victim selection, session handoff on migration);
 //! - [`stats`]: the Figure-7 time breakdown;
-//! - [`query`]: the purpose-tagged portfolio interface.
+//! - [`query`]: the purpose-tagged portfolio interface;
+//! - [`profile`]: per-path exclusive-effort profiles (collapsed-stack
+//!   flamegraph output, `TPOT_PROFILE`);
+//! - [`prov`]: assumption provenance and proof-effort blame
+//!   (`TPOT_BLAME`).
 
 pub mod driver;
 pub mod frontier;
 pub mod interp;
+pub mod profile;
+pub mod prov;
 pub mod query;
 pub mod sched;
 pub mod simplify;
@@ -46,5 +52,7 @@ pub mod stats;
 pub use driver::{PotResult, PotStatus, Verifier, VerifyOptions, Violation, ViolationKind};
 pub use frontier::{PathId, PathTask, Shard, TaskPhase};
 pub use interp::{AddrMode, EngineConfig, ExecCtx, Interp};
+pub use profile::{PathProfile, PathSample};
+pub use prov::{BlameEntry, Prov, ProvKind};
 pub use query::EngineError;
 pub use stats::{QueryPurpose, Stats};

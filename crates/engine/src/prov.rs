@@ -1,0 +1,253 @@
+//! Assumption provenance and proof-effort blame.
+//!
+//! Every term the engine asserts into the solver — POT premises,
+//! invariant assumptions, memory-model layout axioms, `tpot_bv2int`
+//! bridging axioms, path-condition literals — gets a [`Prov`] tag saying
+//! *what kind of assumption it is* and, where known, *which source
+//! function introduced it*. When blame tracking (`TPOT_BLAME`) is on, the
+//! query layer feeds two signals back from the solver per Unsat answer:
+//!
+//! - **assumption-core membership** — the incremental sessions' scope
+//!   activation literals survive final-conflict analysis (and, with
+//!   `TPOT_PROOF`, close the machine-checked DRAT derivation), so a core
+//!   names exactly the asserted prefix terms the refutation needed;
+//! - **conflict participation** — learned clauses mentioning a scope's
+//!   activation literal, a volume signal for assumptions that make the
+//!   solver *work* even when a small core eventually suffices.
+//!
+//! The per-POT blame report ranks assumptions by these counts: the top-k
+//! lines answer "which premise/axiom is this proof actually resting on,
+//! and which one is burning the solver time".
+
+use std::collections::HashMap;
+
+use tpot_smt::TermId;
+
+/// What kind of asserted assumption a term is.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ProvKind {
+    /// A POT premise (`__tpot_assume*` in the POT body).
+    Premise,
+    /// A global or loop invariant assumed at POT entry or a loop head.
+    Invariant,
+    /// A memory-model layout axiom (object disjointness, bounds, base
+    /// addresses — §4.2).
+    MemLayout,
+    /// A `tpot_bv2int` bridging axiom (§4.3).
+    Bv2Int,
+    /// A path-condition literal recorded at a feasible branch.
+    PathBranch,
+    /// An engine-introduced guard (division nonzero, switch default, …).
+    Guard,
+    /// Anything not otherwise tagged.
+    Other,
+}
+
+impl ProvKind {
+    /// Stable lowercase name (report lines, JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProvKind::Premise => "premise",
+            ProvKind::Invariant => "invariant",
+            ProvKind::MemLayout => "mem_layout",
+            ProvKind::Bv2Int => "bv2int",
+            ProvKind::PathBranch => "path_branch",
+            ProvKind::Guard => "guard",
+            ProvKind::Other => "other",
+        }
+    }
+}
+
+/// Provenance of one asserted term.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Prov {
+    /// Assumption category.
+    pub kind: ProvKind,
+    /// Source site (`function` or `function:block`) when known.
+    pub site: Option<String>,
+}
+
+/// One line of a per-POT blame report: an asserted assumption and the
+/// proof effort attributed to it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlameEntry {
+    /// The asserted term.
+    pub term: TermId,
+    /// Assumption category.
+    pub kind: ProvKind,
+    /// Source site when known.
+    pub site: Option<String>,
+    /// Unsat answers whose assumption core contained this term.
+    pub core_count: u64,
+    /// Learned clauses that mention this term's activation guard
+    /// (conflict participation; 0 unless `TPOT_BLAME`).
+    pub hit_count: u64,
+}
+
+impl BlameEntry {
+    /// One human-readable report line.
+    pub fn render(&self) -> String {
+        let site = self.site.as_deref().unwrap_or("?");
+        format!(
+            "{:>11}  cores={:<5} hits={:<7} {} (t{})",
+            self.kind.name(),
+            self.core_count,
+            self.hit_count,
+            site,
+            self.term.0
+        )
+    }
+}
+
+/// Per-shard blame accumulator: provenance tags plus per-term effort
+/// counts, fed by the query layer after every Unsat answer.
+#[derive(Clone, Debug, Default)]
+pub struct BlameAcc {
+    prov: HashMap<TermId, Prov>,
+    counts: HashMap<TermId, (u64, u64)>,
+}
+
+impl BlameAcc {
+    /// Tags `t` with its provenance. Later tags win (a term re-asserted in
+    /// a more specific role — e.g. an invariant conjunct re-used as a
+    /// branch literal — reports the most recent role).
+    pub fn tag(&mut self, t: TermId, kind: ProvKind, site: Option<String>) {
+        self.prov.insert(t, Prov { kind, site });
+    }
+
+    /// Records one Unsat answer: `core` are the asserted prefix terms in
+    /// the assumption core, `hits` the per-term conflict-participation
+    /// deltas.
+    pub fn record_unsat(&mut self, core: &[TermId], hits: &[(TermId, u64)]) {
+        for &t in core {
+            self.counts.entry(t).or_default().0 += 1;
+        }
+        for &(t, h) in hits {
+            if h > 0 {
+                self.counts.entry(t).or_default().1 += h;
+            }
+        }
+    }
+
+    /// True when no effort was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// A copy carrying the provenance tags but none of the counts — what a
+    /// stolen shard inherits: its prefix terms keep their tags, its effort
+    /// starts at zero (the parent keeps everything recorded so far).
+    pub fn clone_tags(&self) -> BlameAcc {
+        BlameAcc {
+            prov: self.prov.clone(),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Drains the recorded effort into report entries (provenance map is
+    /// kept — tags outlive any single drain). Entries come back sorted by
+    /// core count, then participation, descending; ties by term id for
+    /// deterministic output.
+    pub fn take_entries(&mut self) -> Vec<BlameEntry> {
+        let counts = std::mem::take(&mut self.counts);
+        let mut v: Vec<BlameEntry> = counts
+            .into_iter()
+            .map(|(term, (core_count, hit_count))| {
+                let p = self.prov.get(&term);
+                BlameEntry {
+                    term,
+                    kind: p.map(|p| p.kind).unwrap_or(ProvKind::Other),
+                    site: p.and_then(|p| p.site.clone()),
+                    core_count,
+                    hit_count,
+                }
+            })
+            .collect();
+        sort_entries(&mut v);
+        v
+    }
+}
+
+/// Sorts blame entries most-costly-first, deterministically.
+pub fn sort_entries(v: &mut [BlameEntry]) {
+    v.sort_by(|a, b| {
+        b.core_count
+            .cmp(&a.core_count)
+            .then(b.hit_count.cmp(&a.hit_count))
+            .then(a.term.0.cmp(&b.term.0))
+    });
+}
+
+/// Merges per-episode entry batches into one per-POT report: same term +
+/// kind + site collapses, counts sum, order re-established.
+pub fn merge_entries(batches: Vec<Vec<BlameEntry>>) -> Vec<BlameEntry> {
+    let mut by_key: HashMap<(TermId, ProvKind, Option<String>), (u64, u64)> = HashMap::new();
+    for batch in batches {
+        for e in batch {
+            let k = (e.term, e.kind, e.site.clone());
+            let c = by_key.entry(k).or_default();
+            c.0 += e.core_count;
+            c.1 += e.hit_count;
+        }
+    }
+    let mut v: Vec<BlameEntry> = by_key
+        .into_iter()
+        .map(|((term, kind, site), (core_count, hit_count))| BlameEntry {
+            term,
+            kind,
+            site,
+            core_count,
+            hit_count,
+        })
+        .collect();
+    sort_entries(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_counts_and_ranking() {
+        let mut acc = BlameAcc::default();
+        let a = TermId(1);
+        let b = TermId(2);
+        let c = TermId(3);
+        acc.tag(a, ProvKind::Premise, Some("pot_alloc".into()));
+        acc.tag(b, ProvKind::MemLayout, None);
+        acc.record_unsat(&[a, b], &[(a, 4), (b, 0), (c, 2)]);
+        acc.record_unsat(&[a], &[(a, 1)]);
+        let entries = acc.take_entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].term, a);
+        assert_eq!(entries[0].core_count, 2);
+        assert_eq!(entries[0].hit_count, 5);
+        assert_eq!(entries[0].kind, ProvKind::Premise);
+        assert_eq!(entries[1].term, b);
+        assert_eq!(entries[1].kind, ProvKind::MemLayout);
+        // Untagged terms report as Other, not as an error.
+        assert_eq!(entries[2].kind, ProvKind::Other);
+        assert!(acc.is_empty(), "drain empties the counts");
+        // Tags survive the drain.
+        acc.record_unsat(&[a], &[]);
+        assert_eq!(acc.take_entries()[0].kind, ProvKind::Premise);
+        assert!(entries[0].render().contains("pot_alloc"));
+    }
+
+    #[test]
+    fn merge_collapses_same_assumption_across_episodes() {
+        let e = |t: u32, core: u64, hits: u64| BlameEntry {
+            term: TermId(t),
+            kind: ProvKind::PathBranch,
+            site: Some("f".into()),
+            core_count: core,
+            hit_count: hits,
+        };
+        let merged = merge_entries(vec![vec![e(7, 1, 2)], vec![e(7, 3, 1), e(8, 1, 0)]]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].term, TermId(7));
+        assert_eq!(merged[0].core_count, 4);
+        assert_eq!(merged[0].hit_count, 3);
+    }
+}

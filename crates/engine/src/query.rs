@@ -14,6 +14,7 @@ use tpot_solver::{SmtResult, SolverError};
 
 use tpot_obs::metrics::LazyHistogram;
 
+use crate::prov::{BlameAcc, BlameEntry, ProvKind};
 use crate::state::PathCond;
 use crate::stats::{QueryPurpose, Stats};
 
@@ -66,6 +67,7 @@ struct FoldMark {
     session_misses: u64,
     session_fallbacks: u64,
     session_reblasted: u64,
+    sat: tpot_sat::SolveStats,
 }
 
 /// Purpose-tagged query context.
@@ -86,6 +88,13 @@ pub struct QueryCtx {
     /// when no handoff is pending; `Some(0)` (nothing inherited — e.g. a
     /// migrated root) records no handoff.
     handoff_inherited: Option<u64>,
+    /// Proof-effort blame enabled (`TPOT_BLAME`): provenance tags are
+    /// stored and Unsat answers feed assumption cores + participation
+    /// counts into `blame`. Off by default — tagging and feedback are
+    /// no-ops with zero overhead.
+    blame_on: bool,
+    /// Per-shard blame accumulator (tags + per-term effort counts).
+    blame: BlameAcc,
 }
 
 impl QueryCtx {
@@ -98,6 +107,8 @@ impl QueryCtx {
             incremental: false,
             taken: FoldMark::default(),
             handoff_inherited: None,
+            blame_on: tpot_obs::config().blame.unwrap_or(false),
+            blame: BlameAcc::default(),
         }
     }
 
@@ -114,6 +125,8 @@ impl QueryCtx {
             incremental: self.incremental,
             taken: FoldMark::default(),
             handoff_inherited: Some(inherited),
+            blame_on: self.blame_on,
+            blame: self.blame.clone_tags(),
         }
     }
 
@@ -186,10 +199,40 @@ impl QueryCtx {
             self.portfolio
                 .check_fingerprinted(arena, assertions, need_model, fp)?
         };
+        if self.blame_on {
+            // An Unsat through the session broker carries the assumption
+            // core mapped back to asserted prefix terms, plus per-term
+            // conflict-participation deltas — fold them into the blame
+            // accumulator under their provenance tags.
+            if let Some(u) = self.portfolio.sessions.last_unsat.take() {
+                self.blame.record_unsat(&u.core_prefix, &u.prefix_hits);
+            }
+        }
         let elapsed = t1.elapsed();
         self.stats.add_query_time(purpose, elapsed);
         QUERY_US.observe(elapsed.as_micros() as u64);
         Ok(r)
+    }
+
+    /// True when proof-effort blame (`TPOT_BLAME`) is on. Callers use this
+    /// to skip building site strings for tags that would be dropped.
+    pub fn blame_enabled(&self) -> bool {
+        self.blame_on
+    }
+
+    /// Tags `t` with its assumption provenance for proof-effort blame.
+    /// No-op (and allocation-free) unless `TPOT_BLAME` is on.
+    pub fn tag_assumption(&mut self, t: TermId, kind: ProvKind, site: Option<String>) {
+        if self.blame_on {
+            self.blame.tag(t, kind, site);
+        }
+    }
+
+    /// Drains the blame effort recorded since the last drain (provenance
+    /// tags are kept). Empty unless `TPOT_BLAME` is on and some query
+    /// answered Unsat through the session broker.
+    pub fn take_blame(&mut self) -> Vec<BlameEntry> {
+        self.blame.take_entries()
     }
 
     /// The engine stats plus the portfolio-side counters (slicing savings,
@@ -208,6 +251,7 @@ impl QueryCtx {
         s.session_misses = ss.misses;
         s.session_fallbacks = ss.fallbacks;
         s.session_reblasted_terms = ss.reblasted_terms;
+        s.add_sat_delta(self.portfolio.sat_totals());
         s
     }
 
@@ -231,6 +275,7 @@ impl QueryCtx {
             session_misses: ss.misses,
             session_fallbacks: ss.fallbacks,
             session_reblasted: ss.reblasted_terms,
+            sat: self.portfolio.sat_totals(),
         };
         let prev = self.taken;
         s.num_serializations += now.serializations - prev.serializations;
@@ -243,6 +288,7 @@ impl QueryCtx {
         s.session_misses = now.session_misses - prev.session_misses;
         s.session_fallbacks = now.session_fallbacks - prev.session_fallbacks;
         s.session_reblasted_terms = now.session_reblasted - prev.session_reblasted;
+        s.add_sat_delta(now.sat.delta(prev.sat));
         self.taken = now;
         s
     }

@@ -42,9 +42,11 @@ use parking_lot::Mutex;
 use crate::driver::{PotResult, PotStatus, Verifier, Violation};
 use crate::frontier::{PathId, PathTask, Shard, TaskPhase};
 use crate::interp::{EngineConfig, ExecCtx};
+use crate::profile::{PathProfile, PathSample};
+use crate::prov::BlameEntry;
 use crate::query::EngineError;
 use crate::state::{PathOutcome, Pending, RetCont, State};
-use crate::stats::{SatCounters, Stats};
+use crate::stats::Stats;
 
 /// Default victim-selection seed when neither `VerifyOptions::steal_seed`
 /// nor `TPOT_STEAL_SEED` is set.
@@ -106,13 +108,16 @@ struct PotRun {
     poisoned: Mutex<Option<String>>,
     /// Violations keyed for deterministic ordering: `(path, seq)`.
     violations: Mutex<Vec<(PathId, u32, Violation)>>,
-    /// Merged per-episode engine stats.
+    /// Merged per-episode engine stats. The `sat_*` members are per-shard
+    /// sink deltas drained at attribution boundaries, so they are exact
+    /// for this POT at any worker count.
     stats: Mutex<Stats>,
-    /// Start instant + SAT-counter baseline, set by the first episode that
-    /// touches this POT (so `jobs = 1` reproduces the old sequential
-    /// per-POT attribution exactly; under real concurrency the SAT delta
-    /// is approximate).
-    t0: Mutex<Option<(Instant, SatCounters)>>,
+    /// Merged per-episode path profiles (exclusive per-path effort).
+    profile: Mutex<PathProfile>,
+    /// Per-episode blame drains (merged + ranked at finalization).
+    blame: Mutex<Vec<Vec<BlameEntry>>>,
+    /// Start instant, set by the first episode that touches this POT.
+    t0: Mutex<Option<Instant>>,
     /// Published result.
     result: Mutex<Option<PotResult>>,
 }
@@ -128,6 +133,8 @@ impl PotRun {
             poisoned: Mutex::new(None),
             violations: Mutex::new(Vec::new()),
             stats: Mutex::new(Stats::default()),
+            profile: Mutex::new(PathProfile::default()),
+            blame: Mutex::new(Vec::new()),
             t0: Mutex::new(None),
             result: Mutex::new(None),
         }
@@ -148,7 +155,18 @@ struct Sched<'m> {
     remaining: AtomicUsize,
     max_states: usize,
     max_insts: u64,
+    /// `TPOT_STATUS` live snapshot sink (`None` = disabled).
+    status_path: Option<std::path::PathBuf>,
+    /// Run start; status snapshots report elapsed time on this clock.
+    started: Instant,
+    /// Milliseconds-since-start of the last status write, plus one
+    /// (0 = never written). Workers race on it with a CAS so at most one
+    /// writes per throttle window.
+    status_stamp: AtomicU64,
 }
+
+/// Minimum milliseconds between two `TPOT_STATUS` snapshot writes.
+const STATUS_PERIOD_MS: u64 = 100;
 
 impl<'m> Sched<'m> {
     /// Accounts for a newly created task. Must run before the task becomes
@@ -177,11 +195,7 @@ impl<'m> Sched<'m> {
     /// per-POT driver logged and counted.
     fn finalize(&self, pot: usize) {
         let pr = &self.pots[pot];
-        let (t0, sat0) = pr
-            .t0
-            .lock()
-            .take()
-            .unwrap_or_else(|| (Instant::now(), SatCounters::snapshot()));
+        let t0 = pr.t0.lock().take().unwrap_or_else(Instant::now);
         let duration = t0.elapsed();
         let poisoned = pr.poisoned.lock().take();
         let (status, stats) = match poisoned {
@@ -200,7 +214,6 @@ impl<'m> Sched<'m> {
                 violations.truncate(16);
                 let mut stats = std::mem::take(&mut *pr.stats.lock());
                 stats.live_peak = stats.live_peak.max(pr.live_peak.load(Ordering::Relaxed));
-                sat0.delta_into(&mut stats);
                 let status = if violations.is_empty() {
                     PotStatus::Proved
                 } else {
@@ -209,11 +222,18 @@ impl<'m> Sched<'m> {
                 (status, stats)
             }
         };
+        let profile = std::mem::take(&mut *pr.profile.lock());
+        let mut blame = crate::prov::merge_entries(std::mem::take(&mut *pr.blame.lock()));
+        // The report is "top costly assumptions"; keep enough for any
+        // plausible k but bound the result size.
+        blame.truncate(32);
         let result = PotResult {
             pot: pr.name.clone(),
             status,
             stats,
             duration,
+            profile,
+            blame,
         };
         result.stats.publish_metrics();
         let outcome = match &result.status {
@@ -252,6 +272,7 @@ impl<'m> Sched<'m> {
                     if self.remaining.load(Ordering::SeqCst) == 0 {
                         break;
                     }
+                    self.maybe_write_status();
                     let _idle = tpot_obs::span("sched", "idle");
                     std::thread::sleep(std::time::Duration::from_micros(200));
                 }
@@ -272,7 +293,7 @@ impl<'m> Sched<'m> {
         {
             let mut t0 = pr.t0.lock();
             if t0.is_none() {
-                *t0 = Some((Instant::now(), SatCounters::snapshot()));
+                *t0 = Some(Instant::now());
             }
         }
         tpot_obs::metrics::histogram("sched.queue_depth")
@@ -295,6 +316,15 @@ impl<'m> Sched<'m> {
         );
         let mut episode_paths: u64 = 0;
         let mut err: Option<String> = None;
+        // Per-path attribution state: everything the shard's counters
+        // accumulate between two drains belongs to `pid_hint`, the path
+        // that was current when the work happened. Drains occur at forks
+        // (attributed to the pre-fork path), terminals, and episode end,
+        // so samples are *exclusive* — a parent's sample excludes its
+        // children's work.
+        let mut episode_stats = Stats::default();
+        let mut profile = PathProfile::default();
+        let mut pid_hint = task.pid.clone();
         match task.phase {
             TaskPhase::EndCheck => {
                 let pid = task.pid.clone();
@@ -315,6 +345,9 @@ impl<'m> Sched<'m> {
             TaskPhase::Body => {
                 let mut cur = task;
                 loop {
+                    if cur.pid != pid_hint {
+                        pid_hint = cur.pid.clone();
+                    }
                     if let Some(done) = cur.state.done.clone() {
                         episode_paths += 1;
                         pr.done_paths.fetch_add(1, Ordering::Relaxed);
@@ -350,6 +383,9 @@ impl<'m> Sched<'m> {
                             }
                             PathOutcome::LoopCut | PathOutcome::Infeasible => {}
                         }
+                        // Terminal: the work since the last boundary is
+                        // this path's exclusive effort.
+                        drain_shard(&shard, &pid_hint, &mut episode_stats, &mut profile);
                         break;
                     }
                     match cur.step() {
@@ -359,6 +395,10 @@ impl<'m> Sched<'m> {
                                 break;
                             };
                             if !children.is_empty() {
+                                // Fork: everything since the last drain —
+                                // including this step's feasibility checks
+                                // — belongs to the pre-fork path.
+                                drain_shard(&shard, &pid_hint, &mut episode_stats, &mut profile);
                                 let mut dq = self.deques[w].lock();
                                 for c in children {
                                     self.register(pot, true);
@@ -383,13 +423,15 @@ impl<'m> Sched<'m> {
                 }
             }
         }
+        // Catch-all boundary: end-check work, error paths, and anything
+        // since the last drain land on the last current path.
+        drain_shard(&shard, &pid_hint, &mut episode_stats, &mut profile);
         // Fold this episode's engine/solver stats into the POT record and
         // apply the POT-level instruction budget (the cumulative total is
         // schedule-independent, unlike any single shard's counter).
         {
-            let delta = shard.lock().solver.take_stats();
             let mut g = pr.stats.lock();
-            g.merge(&delta);
+            g.merge(&episode_stats);
             g.paths += episode_paths;
             if err.is_none() && g.insts > self.max_insts {
                 err = Some(
@@ -397,10 +439,97 @@ impl<'m> Sched<'m> {
                 );
             }
         }
+        if !profile.is_empty() {
+            pr.profile.lock().merge(&profile);
+        }
+        let blame = shard.lock().solver.take_blame();
+        if !blame.is_empty() {
+            pr.blame.lock().push(blame);
+        }
         if let Some(e) = err {
             pr.poison(e);
         }
         self.consume(pot);
+        self.maybe_write_status();
+    }
+
+    /// Throttled `TPOT_STATUS` snapshot: at most one write per
+    /// [`STATUS_PERIOD_MS`], raced through a CAS so concurrent workers
+    /// never pile up on the file.
+    fn maybe_write_status(&self) {
+        let Some(path) = &self.status_path else {
+            return;
+        };
+        let now = self.started.elapsed().as_millis() as u64 + 1;
+        let last = self.status_stamp.load(Ordering::Relaxed);
+        if last != 0 && now.saturating_sub(last) < STATUS_PERIOD_MS {
+            return;
+        }
+        if self
+            .status_stamp
+            .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.write_status(path);
+    }
+
+    /// Unconditional snapshot write (atomic temp+rename, `tpot-status/v1`):
+    /// per-POT progress and per-worker queue depths. A reader always sees
+    /// a complete document; the last complete write wins.
+    fn write_status(&self, path: &std::path::Path) {
+        use tpot_obs::json::Value;
+        let n = |x: u64| Value::Num(x as f64);
+        let queue_depths: Vec<Value> = self
+            .deques
+            .iter()
+            .map(|d| n(d.lock().len() as u64))
+            .collect();
+        let pots: Vec<Value> = self
+            .pots
+            .iter()
+            .map(|pr| {
+                let state = if pr.result.lock().is_some() {
+                    "done"
+                } else if pr.t0.lock().is_some() {
+                    "running"
+                } else {
+                    "queued"
+                };
+                Value::Obj(vec![
+                    ("pot".into(), Value::Str(pr.name.clone())),
+                    ("state".into(), Value::Str(state.into())),
+                    (
+                        "outstanding".into(),
+                        n(pr.outstanding.load(Ordering::Relaxed) as u64),
+                    ),
+                    (
+                        "paths_created".into(),
+                        n(pr.created.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "paths_done".into(),
+                        n(pr.done_paths.load(Ordering::Relaxed)),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str("tpot-status/v1".into())),
+            (
+                "elapsed_ms".into(),
+                n(self.started.elapsed().as_millis() as u64),
+            ),
+            (
+                "tasks_remaining".into(),
+                n(self.remaining.load(Ordering::SeqCst) as u64),
+            ),
+            ("workers".into(), n(self.deques.len() as u64)),
+            ("queue_depths".into(), Value::Arr(queue_depths)),
+            ("pots".into(), Value::Arr(pots)),
+        ]);
+        let _ = tpot_obs::write_atomic(path, &doc.render());
     }
 
     /// Attempts one steal: picks victims with the seeded generator, takes
@@ -473,6 +602,16 @@ impl<'m> Sched<'m> {
     }
 }
 
+/// Drains the shard's counters (engine stats + solver-sink deltas): the
+/// delta is attributed to `pid` in the episode profile and merged into the
+/// episode's stats total. Cheap when nothing happened since the last
+/// drain — the delta is zero and the profile drops it.
+fn drain_shard<'m>(shard: &Shard<'m>, pid: &PathId, total: &mut Stats, profile: &mut PathProfile) {
+    let delta = shard.lock().solver.take_stats();
+    profile.record(pid, PathSample::from_stats(&delta));
+    total.merge(&delta);
+}
+
 /// Builds the root task for one POT: a fresh execution shard with the
 /// fully symbolic initial state, the POT call frame, and (for
 /// non-initializer POTs) the queued invariant assumptions (paper §3.1).
@@ -487,9 +626,7 @@ fn make_root<'m>(
     let is_init = pot.contains(&ctx.config.init_marker);
     let mem = ctx.initial_memory(is_init)?;
     let mut state = State::new(mem);
-    for c in state.mem.take_constraints() {
-        state.assume(c);
-    }
+    ctx.drain_mem_constraints(&mut state);
     ctx.push_call(&mut state, pot, &[], None, RetCont::Normal)?;
     if !is_init {
         for inv in v.module.invariant_names() {
@@ -527,6 +664,9 @@ pub(crate) fn run_verify(
         remaining: AtomicUsize::new(0),
         max_states: config.max_states,
         max_insts: config.max_insts,
+        status_path: tpot_obs::config().status_path.clone(),
+        started: Instant::now(),
+        status_stamp: AtomicU64::new(0),
     };
     let mut roots = Vec::new();
     for (i, pot) in pots.iter().enumerate() {
@@ -536,7 +676,7 @@ pub(crate) fn run_verify(
             Err(e) => {
                 // The POT never produces a task; publish its error result
                 // through the same finalization path.
-                *sched.pots[i].t0.lock() = Some((t0, SatCounters::snapshot()));
+                *sched.pots[i].t0.lock() = Some(t0);
                 sched.pots[i].poison(e.to_string());
                 sched.finalize(i);
             }
@@ -559,6 +699,10 @@ pub(crate) fn run_verify(
             scope.spawn(move || sched.worker(v, w, rng));
         }
     });
+    // Final snapshot so the status file reflects the finished run.
+    if let Some(p) = sched.status_path.clone() {
+        sched.write_status(&p);
+    }
     sched
         .pots
         .into_iter()

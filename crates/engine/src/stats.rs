@@ -108,10 +108,27 @@ pub struct Stats {
     pub insts: u64,
     /// Lazily materialized heap objects (§4.2).
     pub materializations: u64,
-    /// SAT variables removed by bounded variable elimination during this
-    /// POT (delta of the process-wide `sat.eliminated_vars` counter).
+    /// SAT `solve()` calls attributed to this POT/path. All `sat_*` fields
+    /// are exact per-shard sink deltas ([`tpot_sat::SatSink`]): every solver
+    /// instance publishes one per-call delta to the sink of the execution
+    /// shard that owns it, so attribution is exact at any worker count —
+    /// concurrent POTs never bleed into each other's counters.
+    pub sat_solves: u64,
+    /// CDCL conflicts attributed to this POT/path.
+    pub sat_conflicts: u64,
+    /// CDCL decisions attributed to this POT/path.
+    pub sat_decisions: u64,
+    /// Unit propagations during search attributed to this POT/path
+    /// (level-0 setup propagation during clause addition is excluded —
+    /// the sink sees in-solve deltas only).
+    pub sat_propagations: u64,
+    /// Restarts attributed to this POT/path.
+    pub sat_restarts: u64,
+    /// Learned clauses attributed to this POT/path.
+    pub sat_learned: u64,
+    /// SAT variables removed by bounded variable elimination.
     pub sat_eliminated_vars: u64,
-    /// Clauses removed by subsumption during this POT.
+    /// Clauses removed by subsumption.
     pub sat_subsumed: u64,
     /// Literals removed by vivification and self-subsumption strengthening.
     pub sat_vivified_lits: u64,
@@ -119,47 +136,26 @@ pub struct Stats {
     pub sat_proof_lines: u64,
 }
 
-/// Snapshot of the process-wide `sat.*` inprocessing counters.
-///
-/// The SAT cores publish per-solve deltas into the metrics registry (the
-/// zero-inner-loop-cost pattern: plain `u64` stats bumped during search,
-/// one registry add per solve). The scheduler takes a snapshot when the
-/// first episode touches a POT and stores the delta at finalization in that
-/// POT's [`Stats`]. At `jobs = 1` POTs run back to back and the attribution
-/// is exact; with concurrent workers the counters are process-wide, so a
-/// POT's delta includes solves from paths of other POTs in flight during
-/// the same window (approximate attribution).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SatCounters {
-    eliminated_vars: u64,
-    subsumed: u64,
-    vivified_lits: u64,
-    proof_lines: u64,
-}
-
-impl SatCounters {
-    /// Reads the current registry values.
-    pub fn snapshot() -> Self {
-        use tpot_obs::metrics::counter;
-        SatCounters {
-            eliminated_vars: counter("sat.eliminated_vars").get(),
-            subsumed: counter("sat.subsumed").get(),
-            vivified_lits: counter("sat.vivified_lits").get(),
-            proof_lines: counter("sat.proof_lines").get(),
-        }
-    }
-
-    /// Writes the delta since `self` into `stats`.
-    pub fn delta_into(self, stats: &mut Stats) {
-        let now = Self::snapshot();
-        stats.sat_eliminated_vars = now.eliminated_vars - self.eliminated_vars;
-        stats.sat_subsumed = now.subsumed - self.subsumed;
-        stats.sat_vivified_lits = now.vivified_lits - self.vivified_lits;
-        stats.sat_proof_lines = now.proof_lines - self.proof_lines;
-    }
-}
-
 impl Stats {
+    /// Folds one shard-sink delta ([`tpot_sat::SolveStats`]) into the
+    /// `sat_*` fields. This is the only way sat counters enter a [`Stats`]
+    /// record; the process-wide `sat.*` registry counters receive the same
+    /// deltas from the solver, so summing every record's `sat_*` over a run
+    /// reproduces the registry delta exactly (the conservation invariant
+    /// the `counter_parity` fuzz mode checks).
+    pub fn add_sat_delta(&mut self, d: tpot_sat::SolveStats) {
+        self.sat_solves += d.solves;
+        self.sat_conflicts += d.conflicts;
+        self.sat_decisions += d.decisions;
+        self.sat_propagations += d.propagations;
+        self.sat_restarts += d.restarts;
+        self.sat_learned += d.learned;
+        self.sat_eliminated_vars += d.eliminated_vars;
+        self.sat_subsumed += d.subsumed;
+        self.sat_vivified_lits += d.vivified_lits;
+        self.sat_proof_lines += d.proof_lines;
+    }
+
     /// Adds solver time to the bucket for `purpose`.
     pub fn add_query_time(&mut self, purpose: QueryPurpose, d: Duration) {
         self.num_queries += 1;
@@ -226,6 +222,12 @@ impl Stats {
         self.live_peak = self.live_peak.max(o.live_peak);
         self.insts += o.insts;
         self.materializations += o.materializations;
+        self.sat_solves += o.sat_solves;
+        self.sat_conflicts += o.sat_conflicts;
+        self.sat_decisions += o.sat_decisions;
+        self.sat_propagations += o.sat_propagations;
+        self.sat_restarts += o.sat_restarts;
+        self.sat_learned += o.sat_learned;
         self.sat_eliminated_vars += o.sat_eliminated_vars;
         self.sat_subsumed += o.sat_subsumed;
         self.sat_vivified_lits += o.sat_vivified_lits;

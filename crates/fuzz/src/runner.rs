@@ -16,7 +16,7 @@ use crate::gen::{gen_paired, GenConfig, TermGen};
 use crate::meta::metamorphic;
 use crate::reduce::{reduce, write_repro};
 use crate::rng::Rng;
-use crate::sched::sched_parity;
+use crate::sched::{counter_parity, sched_parity};
 use crate::state::fork_vs_replay;
 
 /// Enumeration cap for the brute-force oracle: comfortably above the
@@ -47,9 +47,13 @@ pub enum Mode {
     /// and with N workers + a fresh steal seed must yield identical
     /// per-POT statuses, violations, and path counts.
     SchedParity,
+    /// SAT-counter conservation: per-POT attributed solver counters must
+    /// sum to exactly the process-wide `sat.*` registry delta, at any
+    /// worker count.
+    CounterParity,
 }
 
-pub const ALL_MODES: [Mode; 8] = [
+pub const ALL_MODES: [Mode; 9] = [
     Mode::Grounded,
     Mode::SliceFull,
     Mode::LiaBv,
@@ -58,6 +62,7 @@ pub const ALL_MODES: [Mode; 8] = [
     Mode::IncrementalOneshot,
     Mode::ProofChecked,
     Mode::SchedParity,
+    Mode::CounterParity,
 ];
 
 impl Mode {
@@ -71,6 +76,7 @@ impl Mode {
             Mode::IncrementalOneshot => "incremental_vs_oneshot",
             Mode::ProofChecked => "proof_checked",
             Mode::SchedParity => "sched_parity",
+            Mode::CounterParity => "counter_parity",
         }
     }
 }
@@ -224,6 +230,10 @@ fn run_one(mode: Mode, seed: u64, iter: u64) -> Result<Agreement, Box<Failure>> 
             Ok(()) => Ok(Agreement::Skipped),
             Err(detail) => Err(Box::new((detail, None))),
         },
+        Mode::CounterParity => match counter_parity(&mut rng) {
+            Ok(()) => Ok(Agreement::Skipped),
+            Err(detail) => Err(Box::new((detail, None))),
+        },
         Mode::IncrementalOneshot => {
             let mut arena = TermArena::new();
             let cfg = GenConfig::full();
@@ -288,9 +298,12 @@ pub fn run(cfg: &RunConfig) -> FuzzReport {
         stats[slot].1.runs += 1;
         match run_one(mode, cfg.seed, iter) {
             Ok(outcome) => {
-                // StateFork and SchedParity have no sat/unsat verdict;
+                // The engine-level modes have no sat/unsat verdict;
                 // count successful rounds as runs only.
-                if mode != Mode::StateFork && mode != Mode::SchedParity {
+                if mode != Mode::StateFork
+                    && mode != Mode::SchedParity
+                    && mode != Mode::CounterParity
+                {
                     record(&mut stats[slot].1, &outcome);
                 }
             }

@@ -131,6 +131,17 @@ pub const HEAP_LO: i128 = 0x100_0000_0000;
 /// overflow).
 pub const HEAP_HI: i128 = 0x7fff_ffff_0000;
 
+/// What kind of memory-model fact a queued constraint is (provenance for
+/// proof-effort blame).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemConstraintKind {
+    /// Object layout: disjointness, range bounds, base-address facts,
+    /// `heap_safe` definitions (§4.2).
+    Layout,
+    /// A `tpot_bv2int` axiom-schema instantiation (§4.3, Fig. 6).
+    Bv2Int,
+}
+
 /// The object store plus the layout constraints it has emitted.
 ///
 /// `Memory` is cloned at every execution-state fork, so its bulky parts
@@ -143,9 +154,11 @@ pub struct Memory {
     /// Persistent: forks share every object until one of them writes it.
     pub objects: PVec<MemObject>,
     /// Constraints the memory model itself requires (heap ordering, range
-    /// bounds, bv2int axiom instantiations). The engine drains these into
-    /// the path condition.
-    pub layout_constraints: Vec<TermId>,
+    /// bounds, bv2int axiom instantiations), each tagged with its
+    /// [`MemConstraintKind`]. The engine drains these into the path
+    /// condition; the tag is the provenance signal proof-effort blame
+    /// reports under (`TPOT_BLAME`).
+    pub layout_constraints: Vec<(TermId, MemConstraintKind)>,
     /// Addressing mode.
     pub mode: AddrMode,
     global_bump: u64,
@@ -403,14 +416,14 @@ impl Memory {
         let c1 = self.idx_le(arena, lo, base_idx);
         let end = self.idx_add(arena, base_idx, size_concrete);
         let c2 = self.idx_le(arena, end, hi);
-        self.layout_constraints.push(c1);
-        self.layout_constraints.push(c2);
+        self.push_constraint(c1, MemConstraintKind::Layout);
+        self.push_constraint(c2, MemConstraintKind::Layout);
         if ordered {
             // Fixed ordering against the previous ordered heap object, with
             // an unconstrained gap.
             if let Some(prev_end) = self.last_heap_end {
                 let c = self.idx_le(arena, prev_end, base_idx);
-                self.layout_constraints.push(c);
+                self.push_constraint(c, MemConstraintKind::Layout);
             }
             self.last_heap_end = Some(end);
         } else {
@@ -428,7 +441,7 @@ impl Memory {
                 let before = self.idx_le(arena, end, ob);
                 let after = self.idx_le(arena, oend, base_idx);
                 let disj = arena.or2(before, after);
-                self.layout_constraints.push(disj);
+                self.push_constraint(disj, MemConstraintKind::Layout);
             }
         }
         if self.mode == AddrMode::Int {
@@ -437,7 +450,7 @@ impl Memory {
             let hs = arena.apply(self.heap_safe_func, vec![base_idx]);
             let sz = arena.int_const(size_concrete as i128);
             let c = arena.eq(hs, sz);
-            self.layout_constraints.push(c);
+            self.push_constraint(c, MemConstraintKind::Layout);
         }
         // The bitvector image is itself within range (so bv arithmetic on
         // the pointer value cannot wrap in practice), and in Int mode the
@@ -447,8 +460,8 @@ impl Memory {
         let hi_bv = arena.bv64(HEAP_HI as u64);
         let b1 = arena.bv_ule(lo_bv, base_bv);
         let b2 = arena.bv_ule(base_bv, hi_bv);
-        self.layout_constraints.push(b1);
-        self.layout_constraints.push(b2);
+        self.push_constraint(b1, MemConstraintKind::Layout);
+        self.push_constraint(b2, MemConstraintKind::Layout);
         self.objects.push(MemObject {
             id,
             kind: ObjKind::Heap,
@@ -469,9 +482,24 @@ impl Memory {
         id
     }
 
+    /// Queues a memory-model constraint for the engine to drain, tagged
+    /// with its provenance kind.
+    fn push_constraint(&mut self, c: TermId, kind: MemConstraintKind) {
+        self.layout_constraints.push((c, kind));
+    }
+
     /// Drains constraints emitted since the last call (the engine moves
-    /// them into the path condition).
+    /// them into the path condition), dropping the provenance tags.
     pub fn take_constraints(&mut self) -> Vec<TermId> {
+        self.take_tagged_constraints()
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Drains constraints with their [`MemConstraintKind`] tags — the
+    /// blame-aware variant of [`Memory::take_constraints`].
+    pub fn take_tagged_constraints(&mut self) -> Vec<(TermId, MemConstraintKind)> {
         std::mem::take(&mut self.layout_constraints)
     }
 
@@ -568,15 +596,15 @@ impl Memory {
         // Range of the image.
         let r1 = arena.int_le(zero, app);
         let r2 = arena.int_lt(app, max);
-        self.layout_constraints.push(r1);
-        self.layout_constraints.push(r2);
+        self.push_constraint(r1, MemConstraintKind::Bv2Int);
+        self.push_constraint(r2, MemConstraintKind::Bv2Int);
         // No-overflow case.
         let ge0 = arena.int_le(zero, raw);
         let lt_max = arena.int_lt(raw, max);
         let in_range = arena.and2(ge0, lt_max);
         let eq_exact = arena.eq(app, raw);
         let f1 = arena.implies(in_range, eq_exact);
-        self.layout_constraints.push(f1);
+        self.push_constraint(f1, MemConstraintKind::Bv2Int);
         if hi >= 0 {
             // Single-wrap case (exact for addition).
             let over = arena.int_le(max, raw);
@@ -584,7 +612,7 @@ impl Memory {
             let eq_w = arena.eq(app, wrapped);
             if hi <= 1 {
                 let f2 = arena.implies(over, eq_w);
-                self.layout_constraints.push(f2);
+                self.push_constraint(f2, MemConstraintKind::Bv2Int);
             }
         } else {
             // Borrow case (exact for subtraction).
@@ -592,7 +620,7 @@ impl Memory {
             let wrapped = arena.int_add2(raw, max);
             let eq_w = arena.eq(app, wrapped);
             let f2 = arena.implies(neg, eq_w);
-            self.layout_constraints.push(f2);
+            self.push_constraint(f2, MemConstraintKind::Bv2Int);
         }
         app
     }
@@ -605,8 +633,8 @@ impl Memory {
         let max = arena.int_const(1i128 << bits);
         let c1 = arena.int_le(zero, app);
         let c2 = arena.int_lt(app, max);
-        self.layout_constraints.push(c1);
-        self.layout_constraints.push(c2);
+        self.push_constraint(c1, MemConstraintKind::Bv2Int);
+        self.push_constraint(c2, MemConstraintKind::Bv2Int);
         app
     }
 

@@ -130,6 +130,20 @@ pub struct Config {
     /// exhausted. `None` = unlimited. Benchmark ablations use this to
     /// bound otherwise-divergent baselines deterministically.
     pub sat_conflict_limit: Option<u64>,
+    /// Proof-effort blame (`TPOT_BLAME`): provenance tagging of asserted
+    /// assumptions, assumption-core extraction on proved POTs, and
+    /// conflict-participation tracking of activation literals; `None` =
+    /// the engine's default (off — tracking costs a scan per learned
+    /// clause).
+    pub blame: Option<bool>,
+    /// Live status snapshot path (`TPOT_STATUS`): the path scheduler
+    /// periodically rewrites this file (atomic temp+rename, like every
+    /// other sink) with the in-flight POTs, path counts and queue depths.
+    pub status_path: Option<PathBuf>,
+    /// Path-tree profile output (`TPOT_PROFILE`): after a verify run the
+    /// driver writes the fork tree weighted by exclusive solver time in
+    /// collapsed-stack (flamegraph) format to this path.
+    pub profile_path: Option<PathBuf>,
 }
 
 /// The historical name of [`Config`].
@@ -190,6 +204,9 @@ impl Config {
             lbd_core: count("TPOT_LBD_CORE").map(|n| n as u32),
             lbd_mid: count("TPOT_LBD_MID").map(|n| n as u32),
             sat_conflict_limit: count("TPOT_SAT_CONFLICTS").map(|n| n as u64),
+            blame: toggle("TPOT_BLAME"),
+            status_path: path("TPOT_STATUS"),
+            profile_path: path("TPOT_PROFILE"),
         }
     }
 
@@ -276,6 +293,25 @@ impl Config {
     pub fn lbd_tiers(mut self, core: u32, mid: u32) -> Self {
         self.lbd_core = Some(core);
         self.lbd_mid = Some(mid);
+        self
+    }
+
+    /// Enables or disables proof-effort blame (provenance tags, assumption
+    /// cores, conflict participation).
+    pub fn blame_tracking(mut self, on: bool) -> Self {
+        self.blame = Some(on);
+        self
+    }
+
+    /// Sets the live status snapshot path.
+    pub fn status(mut self, p: impl Into<PathBuf>) -> Self {
+        self.status_path = Some(p.into());
+        self
+    }
+
+    /// Sets the collapsed-stack path-profile output path.
+    pub fn profile(mut self, p: impl Into<PathBuf>) -> Self {
+        self.profile_path = Some(p.into());
         self
     }
 
@@ -452,16 +488,6 @@ pub fn dropped_events() -> u64 {
 /// renamed into place, so concurrent flushes (the parallel POT driver)
 /// never leave a torn file — the last complete write wins.
 pub fn flush() -> std::io::Result<()> {
-    static FLUSH_SEQ: AtomicU64 = AtomicU64::new(0);
-    fn write_atomic(path: &std::path::Path, data: &str) -> std::io::Result<()> {
-        let tmp = PathBuf::from(format!(
-            "{}.tmp{}",
-            path.display(),
-            FLUSH_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        std::fs::write(&tmp, data)?;
-        std::fs::rename(&tmp, path)
-    }
     let o = obs();
     let (trace_path, spans_path, metrics_path) = {
         let cfg = o.cfg.lock().unwrap();
@@ -484,6 +510,22 @@ pub fn flush() -> std::io::Result<()> {
         write_atomic(&p, &metrics::to_json())?;
     }
     Ok(())
+}
+
+/// Writes `data` to `path` via a uniquely-named sibling temp file and an
+/// atomic rename — the discipline every sink in this crate uses, exported
+/// for sinks maintained by other crates (the scheduler's `TPOT_STATUS`
+/// snapshot, the driver's `TPOT_PROFILE` output). Concurrent writers never
+/// leave a torn file; the last complete write wins.
+pub fn write_atomic(path: &std::path::Path, data: &str) -> std::io::Result<()> {
+    static FLUSH_SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = PathBuf::from(format!(
+        "{}.tmp{}",
+        path.display(),
+        FLUSH_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, data)?;
+    std::fs::rename(&tmp, path)
 }
 
 /// Microseconds since the process-wide epoch (first obs use). All span

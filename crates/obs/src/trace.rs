@@ -88,6 +88,7 @@ fn intern_cat(s: &str) -> &'static str {
         "cfront",
         "ir",
         "engine",
+        "sched",
         "smt",
         "portfolio",
         "solver",

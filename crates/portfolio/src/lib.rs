@@ -40,6 +40,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use tpot_sat::{SatSink, SolveStats};
 use tpot_smt::print::{query_fingerprint, to_smtlib};
 use tpot_smt::{eval, TermArena, TermId, Value};
 use tpot_solver::{SmtResult, SolveSession, SolverError};
@@ -267,6 +268,22 @@ pub struct SessionBrokerStats {
 /// the original broker's arena (the shard clone taken at steal time
 /// satisfies this: arenas are append-only, so every `TermId` in a session
 /// prefix stays valid in the extended arena).
+/// Proof-effort attribution of the most recent Unsat session answer, with
+/// the session's scope indices resolved back to the caller's path terms.
+/// The engine maps these `TermId`s to provenance tags (POT premise, memory
+/// axiom, path literal, …) for the per-POT blame report.
+#[derive(Clone, Debug, Default)]
+pub struct BrokerUnsat {
+    /// Prefix terms whose activation literals are in the assumption core —
+    /// certified participants in the contradiction.
+    pub core_prefix: Vec<TermId>,
+    /// Whether the query term itself is in the core.
+    pub core_extra: bool,
+    /// Conflict-participation count per prefix term (all zeros unless
+    /// blame tracking is on).
+    pub prefix_hits: Vec<(TermId, u64)>,
+}
+
 #[derive(Clone)]
 pub struct SessionBroker {
     entries: Vec<SessionEntry>,
@@ -274,6 +291,10 @@ pub struct SessionBroker {
     cap: usize,
     /// Counters.
     pub stats: SessionBrokerStats,
+    /// Attribution of the most recent Unsat answer produced through this
+    /// broker (`None` after Sat/Unknown/fallback). Callers read and clear
+    /// it synchronously after a query.
+    pub last_unsat: Option<BrokerUnsat>,
 }
 
 #[derive(Clone)]
@@ -302,6 +323,16 @@ impl SessionBroker {
             clock: 0,
             cap: cap.max(1),
             stats: SessionBrokerStats::default(),
+            last_unsat: None,
+        }
+    }
+
+    /// Re-points every live session's SAT instance at `sink`. Called on
+    /// shard splits so a cloned broker's inherited sessions report their
+    /// future work to the new shard, not the parent's sink.
+    pub fn set_sink(&mut self, sink: Option<std::sync::Arc<SatSink>>) {
+        for e in &mut self.entries {
+            e.session.set_sink(sink.clone());
         }
     }
 
@@ -322,6 +353,7 @@ impl SessionBroker {
         need_model: bool,
     ) -> Option<Result<SmtResult, SolverError>> {
         self.clock += 1;
+        self.last_unsat = None;
         let mut best: Option<(usize, usize)> = None;
         for (i, e) in self.entries.iter().enumerate() {
             let lcp = common_prefix_len(&e.prefix, prefix);
@@ -393,7 +425,30 @@ impl SessionBroker {
                 self.stats.fallbacks += 1;
                 None
             }
-            ok => Some(ok),
+            ok => {
+                if matches!(ok, Ok(SmtResult::Unsat)) {
+                    let entry = &self.entries[idx];
+                    if let Some(attr) = &entry.session.last_unsat {
+                        // Scope i guards prefix term i by construction (one
+                        // push per prefix term, in order).
+                        self.last_unsat = Some(BrokerUnsat {
+                            core_prefix: attr
+                                .core_scopes
+                                .iter()
+                                .filter_map(|&i| entry.prefix.get(i).copied())
+                                .collect(),
+                            core_extra: attr.core_extra,
+                            prefix_hits: entry
+                                .prefix
+                                .iter()
+                                .copied()
+                                .zip(attr.scope_hits.iter().copied())
+                                .collect(),
+                        });
+                    }
+                }
+                Some(ok)
+            }
         }
     }
 
@@ -433,20 +488,39 @@ pub struct Portfolio {
     /// Incremental solve sessions, used by [`Portfolio::check_incremental`]
     /// when the portfolio has exactly one configuration.
     pub sessions: SessionBroker,
+    /// Attribution sink: every SAT solve this portfolio causes — through a
+    /// session, a one-shot check, or a racing pool worker (the job's config
+    /// carries the handle) — adds its exact counter delta here. One sink
+    /// per execution shard makes per-POT/per-path attribution exact: the
+    /// sum over all sinks equals the process-wide `sat.*` counter delta.
+    sink: Arc<SatSink>,
     pool: Arc<WorkerPool>,
 }
 
 impl Portfolio {
     /// Builds a portfolio from explicit configurations.
-    pub fn new(configs: Vec<tpot_solver::SolverConfig>) -> Self {
+    pub fn new(mut configs: Vec<tpot_solver::SolverConfig>) -> Self {
         assert!(!configs.is_empty(), "portfolio needs at least one instance");
+        let sink = Arc::new(SatSink::default());
+        for cfg in &mut configs {
+            cfg.sat.sink = Some(sink.clone());
+        }
         Portfolio {
             configs,
             cache: None,
             stats: PortfolioStats::default(),
             sessions: SessionBroker::default(),
+            sink,
             pool: WorkerPool::global(),
         }
+    }
+
+    /// Cumulative SAT counters attributed to this portfolio's shard so far.
+    /// Exact for sessions and one-shot checks; a raced loser cancelled
+    /// after the final read reports late (the delta still lands here, so
+    /// nothing is lost process-wide — it is attributed on the next read).
+    pub fn sat_totals(&self) -> SolveStats {
+        self.sink.load()
     }
 
     /// The default portfolio of `n` diversified instances.
@@ -490,11 +564,22 @@ impl Portfolio {
     pub fn clone_for_shard(&self) -> Self {
         let mut sessions = self.sessions.clone();
         sessions.reset_stats();
+        sessions.last_unsat = None;
+        // A fresh attribution sink, installed both into the configs (future
+        // sessions, one-shots, raced jobs) and into the inherited session
+        // clones — the thief's work must land in the thief's sink.
+        let sink = Arc::new(SatSink::default());
+        sessions.set_sink(Some(sink.clone()));
+        let mut configs = self.configs.clone();
+        for cfg in &mut configs {
+            cfg.sat.sink = Some(sink.clone());
+        }
         Portfolio {
-            configs: self.configs.clone(),
+            configs,
             cache: self.cache.clone(),
             stats: PortfolioStats::default(),
             sessions,
+            sink,
             pool: Arc::clone(&self.pool),
         }
     }
@@ -1054,6 +1139,99 @@ mod tests {
         assert!(p.sessions.is_empty());
         assert_eq!(p.stats.queries, 1);
         assert_eq!(p.cache.as_ref().unwrap().lock().hits, 1);
+    }
+
+    #[test]
+    fn sink_sees_oneshot_incremental_and_raced_work() {
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, false);
+        // One-shot single instance.
+        let mut p = Portfolio::single();
+        assert!(p.check(&a, &q, false).unwrap().is_unsat());
+        let t1 = p.sat_totals();
+        assert!(t1.solves >= 1, "one-shot solve must be attributed: {t1:?}");
+        // Incremental session on the same portfolio adds to the same sink.
+        let t = a.tru();
+        let fp = query_fingerprint(&to_smtlib(&a, &[q[0], t]));
+        assert!(p
+            .check_incremental(&mut a, &q[..1], t, false, fp)
+            .unwrap()
+            .is_sat());
+        assert!(p.sat_totals().solves > t1.solves);
+        // Raced instances report through the job configs' shared handle.
+        let mut r = Portfolio::with_instances(3);
+        assert!(r.check(&a, &q, false).unwrap().is_unsat());
+        assert!(r.sat_totals().solves >= 1);
+    }
+
+    #[test]
+    fn shard_clone_gets_a_fresh_sink() {
+        let mut a = TermArena::new();
+        let x = a.var("ix", Sort::Int);
+        let c0 = a.int_const(0);
+        let p0 = a.int_le(c0, x);
+        let t = a.tru();
+        let mut parent = Portfolio::single();
+        let fp = query_fingerprint(&to_smtlib(&a, &[p0, t]));
+        assert!(parent
+            .check_incremental(&mut a, &[p0], t, false, fp)
+            .unwrap()
+            .is_sat());
+        let parent_before = parent.sat_totals();
+        assert!(parent_before.solves >= 1);
+        let mut child = parent.clone_for_shard();
+        assert!(child.sat_totals().is_zero(), "thief starts at zero");
+        // The inherited session clone reports to the child's sink now.
+        let c5 = a.int_const(5);
+        let ge5 = a.int_le(c5, x);
+        let fp2 = query_fingerprint(&to_smtlib(&a, &[p0, ge5]));
+        assert!(child
+            .check_incremental(&mut a, &[p0], ge5, false, fp2)
+            .unwrap()
+            .is_sat());
+        assert!(child.sat_totals().solves >= 1);
+        assert_eq!(
+            parent.sat_totals().solves,
+            parent_before.solves,
+            "child work must not leak into the parent's sink"
+        );
+    }
+
+    #[test]
+    fn incremental_unsat_records_broker_attribution() {
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let y = a.var("y", Sort::BitVec(8));
+        let c1 = a.bv_const(8, 1);
+        let c3 = a.bv_const(8, 3);
+        let y1 = a.eq(y, c1); // irrelevant prefix term
+        let br = a.eq(x, c3);
+        let ne = a.neq(x, c3);
+        let mut p = Portfolio::single();
+        let fp = query_fingerprint(&to_smtlib(&a, &[y1, br, ne]));
+        assert!(p
+            .check_incremental(&mut a, &[y1, br], ne, false, fp)
+            .unwrap()
+            .is_unsat());
+        let attr = p.sessions.last_unsat.clone().expect("unsat sets blame");
+        assert!(
+            attr.core_prefix.contains(&br),
+            "x = 3 must be in the core: {attr:?}"
+        );
+        assert!(
+            !attr.core_prefix.contains(&y1),
+            "irrelevant y prefix must not be blamed: {attr:?}"
+        );
+        assert!(attr.core_extra, "the query term is half the contradiction");
+        assert_eq!(attr.prefix_hits.len(), 2);
+        // A Sat query clears the stash.
+        let t = a.tru();
+        let fp2 = query_fingerprint(&to_smtlib(&a, &[y1, br, t]));
+        assert!(p
+            .check_incremental(&mut a, &[y1, br], t, false, fp2)
+            .unwrap()
+            .is_sat());
+        assert!(p.sessions.last_unsat.is_none());
     }
 
     #[test]

@@ -51,6 +51,16 @@ pub struct SatConfig {
     /// participates in conflicts, demoted to the local tier when idle
     /// (`TPOT_LBD_MID`).
     pub lbd_mid: u32,
+    /// Attribution sink: every completed `solve` adds its exact counter
+    /// delta here (in addition to the process-wide `sat.*` metrics). The
+    /// portfolio layer installs one sink per execution shard so per-POT
+    /// and per-path solver stats are exact under any scheduling.
+    pub sink: Option<Arc<crate::stats::SatSink>>,
+    /// Blame tracking (`TPOT_BLAME`): count, per *tracked* variable (the
+    /// session layer tracks its activation literals), how many learned
+    /// clauses mention it — the conflict-participation signal behind the
+    /// per-POT "top-k costly assumptions" report.
+    pub blame: bool,
 }
 
 impl Default for SatConfig {
@@ -70,6 +80,8 @@ impl Default for SatConfig {
             proof: obs.proof.unwrap_or(false),
             lbd_core: obs.lbd_core.unwrap_or(2),
             lbd_mid: obs.lbd_mid.unwrap_or(6),
+            sink: None,
+            blame: obs.blame.unwrap_or(false),
         }
     }
 }

@@ -28,8 +28,10 @@ pub mod dimacs;
 pub mod inprocess;
 pub mod proof;
 pub mod solver;
+pub mod stats;
 
 pub use config::SatConfig;
 pub use dimacs::{parse_dimacs, solver_from_dimacs, Dimacs, DimacsError};
 pub use proof::{check_steps, dimacs_lit, parse_drat, CheckStats, ProofLog, ProofStep};
 pub use solver::{Lit, SatResult, Solver, Var};
+pub use stats::{SatSink, SolveStats};

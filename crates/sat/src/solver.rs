@@ -178,6 +178,17 @@ pub struct Solver {
     pub num_vivified_lits: u64,
     /// Statistics: inprocessing passes run.
     pub num_inprocess_passes: u64,
+    /// Statistics: completed `solve` calls.
+    pub num_solves: u64,
+    /// Blame tracking (`SatConfig::blame`): variables whose
+    /// conflict-participation is counted, and the per-variable hit counts.
+    /// Indexed by variable; both stay empty unless a caller tracks a var.
+    tracked: Vec<bool>,
+    tracked_hits: Vec<u64>,
+    /// Assumption core of the most recent Unsat answer (`None` after Sat or
+    /// Unknown): a subset of that solve's assumptions that already forces
+    /// the conflict. Empty when the clause database is unsatisfiable alone.
+    last_core: Option<Vec<Lit>>,
 }
 
 impl Default for Solver {
@@ -235,6 +246,73 @@ impl Solver {
             num_subsumed: 0,
             num_vivified_lits: 0,
             num_inprocess_passes: 0,
+            num_solves: 0,
+            tracked: Vec::new(),
+            tracked_hits: Vec::new(),
+            last_core: None,
+        }
+    }
+
+    /// Snapshot of this instance's cumulative counters.
+    pub fn stats(&self) -> crate::stats::SolveStats {
+        crate::stats::SolveStats {
+            solves: self.num_solves,
+            conflicts: self.num_conflicts,
+            decisions: self.num_decisions,
+            propagations: self.num_propagations,
+            restarts: self.num_restarts,
+            learned: self.num_learned,
+            eliminated_vars: self.num_eliminated_vars,
+            subsumed: self.num_subsumed,
+            vivified_lits: self.num_vivified_lits,
+            proof_lines: self.proof_lines(),
+        }
+    }
+
+    /// Installs (or clears) the attribution sink future solves report to.
+    /// Used by the portfolio layer when a cloned session migrates to a new
+    /// execution shard.
+    pub fn set_sink(&mut self, sink: Option<std::sync::Arc<crate::stats::SatSink>>) {
+        self.config.sink = sink;
+    }
+
+    /// Starts counting conflict participation for `v` (blame tracking):
+    /// every learned clause mentioning `v` bumps its hit count. The session
+    /// layer tracks its activation literals' variables.
+    pub fn track_var(&mut self, v: Var) {
+        let i = v.0 as usize;
+        if self.tracked.len() <= i {
+            self.tracked.resize(i + 1, false);
+            self.tracked_hits.resize(i + 1, 0);
+        }
+        self.tracked[i] = true;
+    }
+
+    /// Learned clauses that mentioned tracked variable `v` so far.
+    pub fn tracked_hits(&self, v: Var) -> u64 {
+        self.tracked_hits.get(v.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// The assumption core of the most recent Unsat answer: a subset of
+    /// that `solve` call's assumptions that already forces the conflict
+    /// (unit propagation from the clause database plus the core reaches a
+    /// conflict). Empty means the database is unsatisfiable on its own.
+    /// `None` after Sat or Unknown.
+    pub fn assumption_core(&self) -> Option<&[Lit]> {
+        self.last_core.as_deref()
+    }
+
+    /// Conflict-participation accounting for one learned clause. Free when
+    /// nothing is tracked (blame off).
+    fn note_participation(&mut self, learnt: &[Lit]) {
+        if self.tracked.is_empty() {
+            return;
+        }
+        for l in learnt {
+            let i = l.var().0 as usize;
+            if self.tracked.get(i).copied().unwrap_or(false) {
+                self.tracked_hits[i] += 1;
+            }
         }
     }
 
@@ -898,25 +976,15 @@ impl Solver {
     /// Solves under the given assumptions.
     ///
     /// On [`SatResult::Sat`], the model is available through
-    /// [`Solver::model_value`]. On [`SatResult::Unsat`] with assumptions, the
-    /// clause set is unsatisfiable together with the assumptions (no final
-    /// conflict core is extracted).
+    /// [`Solver::model_value`]. On [`SatResult::Unsat`] with assumptions,
+    /// the clause set is unsatisfiable together with the assumptions, and
+    /// [`Solver::assumption_core`] reports a sufficient subset of them.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
-        // Snapshot the per-instance counters so the process-wide registry
-        // receives exact deltas, with zero cost on the inner loops.
-        let (c0, d0, r0, l0, p0) = (
-            self.num_conflicts,
-            self.num_decisions,
-            self.num_restarts,
-            self.num_learned,
-            self.num_propagations,
-        );
-        let (e0, s0, v0) = (
-            self.num_eliminated_vars,
-            self.num_subsumed,
-            self.num_vivified_lits,
-        );
-        let pl0 = self.proof_lines();
+        // Snapshot the per-instance counters so both the process-wide
+        // registry and the per-shard attribution sink receive the same
+        // exact delta, with zero cost on the inner loops.
+        let before = self.stats();
+        self.last_core = None;
         // Assumption variables must survive elimination: their truth value
         // is the caller's interface. Frozen permanently — sessions reuse
         // the same activation/atom literals across solves.
@@ -930,22 +998,27 @@ impl Solver {
         if result == SatResult::Sat {
             self.reconstruct_model();
         }
+        self.num_solves += 1;
+        let delta = self.stats().delta(before);
         {
             use tpot_obs::metrics::{counter, histogram};
-            counter("sat.conflicts").add(self.num_conflicts - c0);
-            counter("sat.decisions").add(self.num_decisions - d0);
-            counter("sat.restarts").add(self.num_restarts - r0);
-            counter("sat.learned_clauses").add(self.num_learned - l0);
-            counter("sat.propagations").add(self.num_propagations - p0);
-            counter("sat.eliminated_vars").add(self.num_eliminated_vars - e0);
-            counter("sat.subsumed").add(self.num_subsumed - s0);
-            counter("sat.vivified_lits").add(self.num_vivified_lits - v0);
-            counter("sat.proof_lines").add(self.proof_lines() - pl0);
+            counter("sat.conflicts").add(delta.conflicts);
+            counter("sat.decisions").add(delta.decisions);
+            counter("sat.restarts").add(delta.restarts);
+            counter("sat.learned_clauses").add(delta.learned);
+            counter("sat.propagations").add(delta.propagations);
+            counter("sat.eliminated_vars").add(delta.eliminated_vars);
+            counter("sat.subsumed").add(delta.subsumed);
+            counter("sat.vivified_lits").add(delta.vivified_lits);
+            counter("sat.proof_lines").add(delta.proof_lines);
             let (core, mid, local) = self.db_tier_counts();
             histogram("sat.db.core").observe(core as u64);
             histogram("sat.db.mid").observe(mid as u64);
             histogram("sat.db.local").observe(local as u64);
             counter("sat.solves").inc();
+        }
+        if let Some(sink) = &self.config.sink {
+            sink.add(delta);
         }
         result
     }
@@ -1062,8 +1135,47 @@ impl Solver {
         self.ok
     }
 
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): `failed` is an
+    /// assumption whose negation holds on the current trail. Returns
+    /// `failed` plus every assumption pseudo-decision in the reason cone of
+    /// `¬failed` — a subset of the solve's assumptions whose conjunction
+    /// with the clause database already propagates to a conflict. Every
+    /// cone literal is either a level-0 unit, a core assumption, or
+    /// propagated from earlier cone literals, so unit propagation under the
+    /// core alone replays the cone in trail order and rederives `¬failed`.
+    fn analyze_final(&self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        let nf = failed.negate();
+        if self.level[nf.var().0 as usize] == 0 {
+            return core; // the database alone implies ¬failed
+        }
+        let mut seen = vec![false; self.assigns.len()];
+        seen[nf.var().0 as usize] = true;
+        for &t in self.trail.iter().rev() {
+            let v = t.var().0 as usize;
+            if !seen[v] || self.level[v] == 0 {
+                continue;
+            }
+            match self.reason[v] {
+                Some(ci) => {
+                    for &q in &self.clauses[ci as usize].lits {
+                        if self.level[q.var().0 as usize] > 0 {
+                            seen[q.var().0 as usize] = true;
+                        }
+                    }
+                }
+                // At the point of a falsified assumption every surviving
+                // decision level is headed by an assumption, so a
+                // reason-less non-root literal is an assumption itself.
+                None => core.push(t),
+            }
+        }
+        core
+    }
+
     fn solve_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         if !self.ok {
+            self.last_core = Some(Vec::new());
             return SatResult::Unsat;
         }
         self.backtrack(0);
@@ -1083,9 +1195,11 @@ impl Solver {
                     // propagates to a conflict, so the empty clause is RUP.
                     self.log_add(&[]);
                     self.ok = false;
+                    self.last_core = Some(Vec::new());
                     return SatResult::Unsat;
                 }
                 let (learnt, bt, lbd) = self.analyze(confl);
+                self.note_participation(&learnt);
                 self.log_add(&learnt);
                 self.backtrack(bt);
                 self.num_learned += 1;
@@ -1148,10 +1262,14 @@ impl Solver {
                             // assumptions were satisfied when it was made
                             // and still are, since its level survives), so
                             // ¬a follows from the database and the assumed
-                            // assumptions by unit propagation alone: the
-                            // clause over all negated assumptions is RUP.
-                            let fin: Vec<Lit> = assumptions.iter().map(|x| x.negate()).collect();
+                            // assumptions in its reason cone by unit
+                            // propagation alone: the clause over the negated
+                            // core is RUP (and a fortiori a subset of the
+                            // negated assumptions, as `check_proof` wants).
+                            let core = self.analyze_final(a);
+                            let fin: Vec<Lit> = core.iter().map(|x| x.negate()).collect();
                             self.log_add(&fin);
+                            self.last_core = Some(core);
                             self.backtrack(0);
                             return SatResult::Unsat;
                         }
@@ -1300,6 +1418,32 @@ mod tests {
         assert!(v(0) ^ v(1));
         assert!(v(1) ^ v(2));
         assert!(!(v(0) ^ v(2)));
+    }
+
+    #[test]
+    fn assumption_core_is_minimal_subset() {
+        // a -> b, and c is independent. Assuming [c, a, ¬b] is unsat, and
+        // the core must not mention the irrelevant c.
+        let mut s = make_solver(3);
+        s.add_clause(&[lit(-1), lit(2)]); // a -> b
+        let (a, b, c) = (lit(1), lit(2), lit(3));
+        assert_eq!(s.solve(&[c, a, b.negate()]), SatResult::Unsat);
+        let core = s.assumption_core().expect("unsat sets a core");
+        assert!(core.contains(&a) || core.contains(&b.negate()));
+        assert!(!core.contains(&c), "independent assumption in core");
+        assert!(core.len() <= 2, "core {core:?} not minimal");
+        // Re-solving without the conflicting pair succeeds and clears it.
+        assert_eq!(s.solve(&[c, a]), SatResult::Sat);
+        assert!(s.assumption_core().is_none());
+    }
+
+    #[test]
+    fn assumption_core_empty_when_db_unsat() {
+        let mut s = make_solver(1);
+        s.add_clause(&[lit(1)]);
+        s.add_clause(&[lit(-1)]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        assert_eq!(s.assumption_core(), Some(&[][..]));
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub mod smt;
 
 pub use config::SolverConfig;
 pub use error::SolverError;
-pub use session::{SessionStats, SolveSession};
+pub use session::{SessionStats, SolveSession, UnsatAttribution};
 pub use smt::{SmtResult, SmtSolver};

@@ -71,6 +71,33 @@ pub struct SessionStats {
 struct Scope {
     /// Activation literal assumed by every check while the scope is open.
     act: Lit,
+    /// Conflict-participation count already handed out through
+    /// [`UnsatAttribution::scope_hits`] — attribution reports deltas, so
+    /// summing `scope_hits` across a session's Unsat answers counts each
+    /// learned clause once.
+    hits_reported: u64,
+}
+
+/// Proof-effort attribution of the most recent Unsat answer
+/// ([`SolveSession::last_unsat`]).
+///
+/// `core_scopes` comes from the SAT solver's final-conflict analysis: the
+/// open scopes whose activation literals suffice for the conflict. With
+/// proof logging on, the same literals close the machine-checked DRAT
+/// derivation, so membership is certified rather than heuristic.
+/// `scope_hits` is the conflict-participation signal (learned clauses
+/// mentioning each scope's activation literal), reported as a *delta*
+/// since the scope's previous attribution so callers summing across
+/// queries count each learned clause once; it is all zeros unless blame
+/// tracking (`TPOT_BLAME`) is on.
+#[derive(Clone, Debug, Default)]
+pub struct UnsatAttribution {
+    /// Indices of open scopes (0 = outermost) in the assumption core.
+    pub core_scopes: Vec<usize>,
+    /// Whether a transient assumption literal appears in the core.
+    pub core_extra: bool,
+    /// Per-open-scope conflict-participation counts, same indexing.
+    pub scope_hits: Vec<u64>,
 }
 
 /// An incremental SMT solving session with push/pop assertion scopes.
@@ -95,6 +122,9 @@ pub struct SolveSession {
     scopes: Vec<Scope>,
     /// Lifetime counters.
     pub stats: SessionStats,
+    /// Attribution of the most recent Unsat answer (`None` after Sat or
+    /// Unknown). See [`UnsatAttribution`].
+    pub last_unsat: Option<UnsatAttribution>,
 }
 
 impl SolveSession {
@@ -108,7 +138,22 @@ impl SolveSession {
             lia: IncLia::new(),
             scopes: Vec::new(),
             stats: SessionStats::default(),
+            last_unsat: None,
         }
+    }
+
+    /// Cumulative counters of the underlying SAT instance. Callers read
+    /// deltas around a check for exact per-query attribution.
+    pub fn sat_stats(&self) -> tpot_sat::SolveStats {
+        self.bb.sat.stats()
+    }
+
+    /// Installs (or clears) the attribution sink the SAT instance reports
+    /// to. Called when a cloned session migrates to another execution
+    /// shard, so its work lands in the new shard's sink.
+    pub fn set_sink(&mut self, sink: Option<std::sync::Arc<tpot_sat::SatSink>>) {
+        self.config.sat.sink = sink.clone();
+        self.bb.sat.set_sink(sink);
     }
 
     /// Current scope depth; 0 means only the permanent base scope is open.
@@ -130,7 +175,15 @@ impl SolveSession {
         // inprocessing must never eliminate them, or popped scopes could
         // resurrect constraints through resolvents.
         self.bb.sat.freeze(v);
-        self.scopes.push(Scope { act: Lit::pos(v) });
+        if self.config.sat.blame {
+            // Count learned clauses mentioning this scope's guard — the
+            // conflict-participation signal behind proof-effort blame.
+            self.bb.sat.track_var(v);
+        }
+        self.scopes.push(Scope {
+            act: Lit::pos(v),
+            hits_reported: 0,
+        });
     }
 
     /// Closes the innermost scope, retiring its assertions and reclaiming
@@ -202,6 +255,7 @@ impl SolveSession {
         need_model: bool,
     ) -> Result<SmtResult, SolverError> {
         self.stats.checks += 1;
+        self.last_unsat = None;
         self.bb.sync_eliminated();
         let mut assumps: Vec<Lit> = self.scopes.iter().map(|s| s.act).collect();
         if !assumptions.is_empty() {
@@ -230,6 +284,7 @@ impl SolveSession {
             }
             match self.bb.sat.solve(&assumps) {
                 SatResult::Unsat => {
+                    self.record_unsat_attribution();
                     self.verify_proof(&assumps)?;
                     return Ok(SmtResult::Unsat);
                 }
@@ -280,13 +335,49 @@ impl SolveSession {
                         .collect();
                     if !self.bb.sat.add_clause(&clause) {
                         // The blocking clause conflicted at level 0: the
-                        // proof ends in the empty clause.
+                        // proof ends in the empty clause. No assumption was
+                        // needed, so the attributed core is empty.
+                        self.record_unsat_attribution();
                         self.verify_proof(&[])?;
                         return Ok(SmtResult::Unsat);
                     }
                 }
             }
         }
+    }
+
+    /// Records [`UnsatAttribution`] for the Unsat answer just produced:
+    /// maps the SAT solver's assumption core back to scope indices and
+    /// reports each scope's conflict-participation count as a delta since
+    /// that scope last appeared in an attribution.
+    fn record_unsat_attribution(&mut self) {
+        let core: Vec<Lit> = self.bb.sat.assumption_core().unwrap_or(&[]).to_vec();
+        let mut core_scopes = Vec::new();
+        let mut core_extra = false;
+        for &l in &core {
+            match self.scopes.iter().position(|s| s.act == l) {
+                Some(i) => core_scopes.push(i),
+                None => core_extra = true,
+            }
+        }
+        core_scopes.sort_unstable();
+        core_scopes.dedup();
+        let sat = &self.bb.sat;
+        let scope_hits = self
+            .scopes
+            .iter_mut()
+            .map(|s| {
+                let now = sat.tracked_hits(s.act.var());
+                let d = now.saturating_sub(s.hits_reported);
+                s.hits_reported = now;
+                d
+            })
+            .collect();
+        self.last_unsat = Some(UnsatAttribution {
+            core_scopes,
+            core_extra,
+            scope_hits,
+        });
     }
 
     /// Replays the DRAT proof of an Unsat answer through the independent
@@ -661,6 +752,73 @@ mod tests {
             .unwrap()
             .is_unsat());
         assert!(s.check(&mut a, true).unwrap().is_sat());
+    }
+
+    #[test]
+    fn unsat_attribution_names_the_guilty_scope() {
+        let mut cfg = SolverConfig::default();
+        cfg.sat.blame = true;
+        cfg.sat.proof = true;
+        let mut a = TermArena::new();
+        let x = a.var("x", Sort::BitVec(8));
+        let y = a.var("y", Sort::BitVec(8));
+        let c1 = a.bv_const(8, 1);
+        let c2 = a.bv_const(8, 2);
+        let y_is_1 = a.eq(y, c1); // irrelevant to the conflict
+        let x_is_1 = a.eq(x, c1);
+        let x_is_2 = a.eq(x, c2);
+        let mut s = SolveSession::new(cfg);
+        s.push();
+        s.assert(&mut a, y_is_1).unwrap();
+        s.push();
+        s.assert(&mut a, x_is_1).unwrap();
+        assert!(s
+            .check_assuming(&mut a, &[x_is_2], false)
+            .unwrap()
+            .is_unsat());
+        let attr = s.last_unsat.clone().expect("unsat records attribution");
+        assert!(
+            attr.core_scopes.contains(&1),
+            "x = 1 scope must be in the core: {attr:?}"
+        );
+        assert!(
+            !attr.core_scopes.contains(&0),
+            "irrelevant y scope must not be blamed: {attr:?}"
+        );
+        assert!(attr.core_extra, "the x = 2 assumption is core");
+        assert_eq!(attr.scope_hits.len(), 2);
+        // A Sat check clears the record.
+        assert!(s.check(&mut a, false).unwrap().is_sat());
+        assert!(s.last_unsat.is_none());
+    }
+
+    #[test]
+    fn session_reports_to_sink() {
+        let sink = std::sync::Arc::new(tpot_sat::SatSink::default());
+        let mut cfg = SolverConfig::default();
+        cfg.sat.sink = Some(sink.clone());
+        let mut a = TermArena::new();
+        let q = {
+            let x = a.var("x", Sort::BitVec(8));
+            let c = a.bv_const(8, 5);
+            let eq = a.eq(x, c);
+            let ne = a.neq(x, c);
+            vec![eq, ne]
+        };
+        let mut s = SolveSession::new(cfg);
+        s.assert_many(&mut a, &q).unwrap();
+        assert!(s.check(&mut a, false).unwrap().is_unsat());
+        let got = sink.load();
+        assert!(got.solves >= 1, "sink must see the solve: {got:?}");
+        // The sink receives in-solve deltas only (level-0 propagation done
+        // while *adding* clauses is setup, not search — the registry sees
+        // the same deltas, which is what keeps conservation exact).
+        assert_eq!(got.solves, s.sat_stats().solves);
+        assert!(got.propagations <= s.sat_stats().propagations);
+        // Detaching stops the flow.
+        s.set_sink(None);
+        assert!(s.check(&mut a, false).unwrap().is_unsat());
+        assert_eq!(sink.load().solves, got.solves);
     }
 
     #[test]

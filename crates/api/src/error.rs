@@ -1,0 +1,136 @@
+//! The typed error surface of the verification pipeline.
+
+use std::fmt;
+
+/// Any error the TPot pipeline can hand a caller.
+///
+/// This replaces the stringly `Err(String)` returns that used to leak out
+/// of `tpot_ir::lower`, the bundled-target loaders and the daemon plumbing:
+/// callers can now match on *what went wrong* (and wire layers can map
+/// variants to HTTP statuses) instead of grepping messages. The enum is
+/// `#[non_exhaustive]` so new failure classes can be added without a
+/// breaking release; construct variants through the helper constructors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TpotError {
+    /// The C source failed to preprocess, lex or parse.
+    Parse(String),
+    /// The C source parsed but failed semantic analysis or TIR lowering.
+    Sema(String),
+    /// A solver returned `Unknown` (or errored) where a definitive answer
+    /// was required.
+    SolverUnknown(String),
+    /// A resource budget (wall-clock, conflicts, instructions) expired.
+    Timeout(String),
+    /// The operation was cancelled (client disconnect, daemon shutdown).
+    Cancelled(String),
+    /// An I/O error (cache files, sockets, wire framing).
+    Io(String),
+    /// The program used a construct outside the supported C subset.
+    Unsupported(String),
+    /// An internal invariant was violated — always a TPot bug.
+    Internal(String),
+}
+
+impl TpotError {
+    /// A parse-stage error.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        TpotError::Parse(msg.into())
+    }
+
+    /// A semantic-analysis / lowering error.
+    pub fn sema(msg: impl Into<String>) -> Self {
+        TpotError::Sema(msg.into())
+    }
+
+    /// A solver-unknown error.
+    pub fn solver_unknown(msg: impl Into<String>) -> Self {
+        TpotError::SolverUnknown(msg.into())
+    }
+
+    /// A budget-expiry error.
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        TpotError::Timeout(msg.into())
+    }
+
+    /// A cancellation.
+    pub fn cancelled(msg: impl Into<String>) -> Self {
+        TpotError::Cancelled(msg.into())
+    }
+
+    /// An I/O error.
+    pub fn io(msg: impl Into<String>) -> Self {
+        TpotError::Io(msg.into())
+    }
+
+    /// An unsupported-construct error.
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        TpotError::Unsupported(msg.into())
+    }
+
+    /// An internal-invariant error.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        TpotError::Internal(msg.into())
+    }
+
+    /// Short machine-readable kind tag (stable across releases; the wire
+    /// layer ships it alongside the message).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TpotError::Parse(_) => "parse",
+            TpotError::Sema(_) => "sema",
+            TpotError::SolverUnknown(_) => "solver_unknown",
+            TpotError::Timeout(_) => "timeout",
+            TpotError::Cancelled(_) => "cancelled",
+            TpotError::Io(_) => "io",
+            TpotError::Unsupported(_) => "unsupported",
+            TpotError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            TpotError::Parse(m)
+            | TpotError::Sema(m)
+            | TpotError::SolverUnknown(m)
+            | TpotError::Timeout(m)
+            | TpotError::Cancelled(m)
+            | TpotError::Io(m)
+            | TpotError::Unsupported(m)
+            | TpotError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for TpotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for TpotError {}
+
+impl From<std::io::Error> for TpotError {
+    fn from(e: std::io::Error) -> Self {
+        TpotError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(TpotError::parse("x").kind(), "parse");
+        assert_eq!(TpotError::solver_unknown("x").kind(), "solver_unknown");
+        assert_eq!(TpotError::from(std::io::Error::other("boom")).kind(), "io");
+    }
+
+    #[test]
+    fn display_carries_kind_and_message() {
+        let e = TpotError::sema("undefined function f");
+        assert_eq!(e.to_string(), "sema: undefined function f");
+    }
+}

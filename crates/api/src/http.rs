@@ -1,0 +1,229 @@
+//! Minimal HTTP/1.1 framing over `std::net`, shared by `tpotd` (server
+//! side) and the `tpot` client CLI.
+//!
+//! Deliberately tiny: `Content-Length`-framed bodies only (no chunked
+//! encoding, no keep-alive — every exchange is one request, one response,
+//! `Connection: close`), which is all a JSON-RPC-over-HTTP verify service
+//! needs and keeps the parser small enough to audit. Hand-rolled because
+//! the build environment vendors no HTTP crate (repo convention since the
+//! PR 1 persistent cache).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::error::TpotError;
+
+/// Largest request/response body accepted (64 MiB): a full Komodo*
+/// translation unit is ~100 KiB, so this is generous while still bounding
+/// a malicious `Content-Length`.
+pub const MAX_BODY_BYTES: u64 = 64 << 20;
+
+/// A parsed HTTP request line + body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Request path (`/v1/verify`).
+    pub path: String,
+    /// Raw body bytes, UTF-8 decoded.
+    pub body: String,
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, TpotError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(TpotError::parse(format!("malformed request line {line:?}")));
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+    let mut content_length: u64 = 0;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(TpotError::parse("connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| TpotError::parse(format!("bad Content-Length {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(TpotError::parse(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length as usize];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| TpotError::parse("body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes one HTTP/1.1 response and flushes.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> Result<(), TpotError> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// One client exchange: connects to `addr`, sends `method path` with
+/// `body`, returns `(status, body)`. `timeout` bounds each socket
+/// operation (`None` = the verify-scale default of 1 hour — solver runs
+/// are slow; status probes should pass seconds).
+pub fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Option<Duration>,
+) -> Result<(u16, String), TpotError> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| TpotError::io(format!("connect to {addr} failed: {e}")))?;
+    let timeout = timeout.or(Some(Duration::from_secs(3600)));
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| TpotError::parse(format!("malformed status line {status_line:?}")))?;
+    let mut content_length: Option<u64> = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(TpotError::parse("connection closed mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) if n <= MAX_BODY_BYTES => {
+            body.resize(n as usize, 0);
+            reader.read_exact(&mut body)?;
+        }
+        Some(n) => {
+            return Err(TpotError::parse(format!(
+                "response body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+            )))
+        }
+        // `Connection: close` framing: read to EOF.
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    let body = String::from_utf8(body).map_err(|_| TpotError::parse("body is not UTF-8"))?;
+    Ok((status, body))
+}
+
+/// `POST` convenience wrapper around [`exchange`].
+pub fn post(addr: &str, path: &str, body: &str) -> Result<(u16, String), TpotError> {
+    exchange(addr, "POST", path, body, None)
+}
+
+/// `GET` convenience wrapper around [`exchange`] (short timeout — status
+/// probes must not hang for the verify-scale default).
+pub fn get(addr: &str, path: &str) -> Result<(u16, String), TpotError> {
+    exchange(addr, "GET", path, "", Some(Duration::from_secs(30)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_response_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/echo");
+            write_response(&mut stream, 200, "application/json", &req.body).unwrap();
+        });
+        let (status, body) = post(&addr, "/v1/echo", "{\"x\":1}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"x\":1}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn get_has_empty_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "GET");
+            assert!(req.body.is_empty());
+            write_response(&mut stream, 404, "text/plain", "nope").unwrap();
+        });
+        let (status, body) = get(&addr, "/v1/missing").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, "nope");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_request(&mut stream).is_err());
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"POST /v1/verify HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n")
+            .unwrap();
+        c.flush().unwrap();
+        server.join().unwrap();
+    }
+}

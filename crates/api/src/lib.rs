@@ -1,0 +1,38 @@
+//! The stable typed wire API of the TPot verification service.
+//!
+//! Before this crate, every binary that wanted to talk about a verification
+//! run invented its own ad-hoc structs: the bench harnesses hand-rolled
+//! per-binary JSON layouts, and there was no way to *request* a
+//! verification from outside the process at all. This crate fixes the
+//! contract in one place, versioned as [`API_VERSION`] (`tpot-api/v1`):
+//!
+//! - [`VerifyRequest`] — what a client asks for: a bundled target or an
+//!   inline C translation unit, an optional POT subset, address-encoding
+//!   and parallelism knobs.
+//! - [`VerifyResponse`] / [`PotOutcome`] — what the service answers:
+//!   per-POT status, wall-clock, solver-query counts, and the
+//!   [`CacheProvenance`] that says *how* the answer was produced
+//!   (`cached` / `replayed` / `solved`).
+//! - [`TpotError`] — the typed error surface replacing the stringly
+//!   `Err(String)` plumbing of the compile/lower/verify pipeline.
+//! - [`http`] — the minimal HTTP/1.1 framing `tpotd` and the `tpot`
+//!   client share (hand-rolled over `std::net`, consistent with the
+//!   repo's no-external-deps discipline; JSON comes from
+//!   [`tpot_obs::json`]).
+//!
+//! Requests and responses are `#[non_exhaustive]` with builder-style
+//! constructors, so the wire format can grow fields without breaking
+//! compiled clients; unknown JSON fields are ignored on decode for the
+//! same reason.
+
+pub mod error;
+pub mod http;
+pub mod types;
+
+pub use error::TpotError;
+pub use types::{
+    CacheProvenance, CacheStatsWire, PotOutcome, PotStatusWire, VerifyRequest, VerifyResponse,
+};
+
+/// The wire-format version tag carried in every response.
+pub const API_VERSION: &str = "tpot-api/v1";

@@ -1,0 +1,557 @@
+//! Request/response types of `tpot-api/v1` and their JSON codecs.
+//!
+//! The JSON layer is [`tpot_obs::json::Value`] (the repo's one hand-rolled
+//! JSON implementation); encode/decode are written so that *unknown fields
+//! are ignored* and every field beyond the discriminating ones is optional
+//! — the compatibility contract that lets the daemon grow the format while
+//! old clients keep working.
+
+use tpot_obs::json::Value;
+
+use crate::error::TpotError;
+use crate::API_VERSION;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn get_str(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(|x| x.as_str()).map(str::to_string)
+}
+
+fn get_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(|x| x.as_f64()).map(|f| f as u64)
+}
+
+/// How the service produced a POT's outcome.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheProvenance {
+    /// Served entirely from the persistent POT-outcome table: the POT's
+    /// cone-of-influence digest and solver-config digest matched a stored
+    /// outcome, so no engine run happened at all (microseconds).
+    Cached,
+    /// The engine re-ran the POT, but every solver query was answered by
+    /// the persistent query cache — symbolic execution replayed, zero
+    /// solver work.
+    Replayed,
+    /// At least one query missed the cache and hit a solver.
+    Solved,
+}
+
+impl CacheProvenance {
+    /// Stable wire string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheProvenance::Cached => "cached",
+            CacheProvenance::Replayed => "replayed",
+            CacheProvenance::Solved => "solved",
+        }
+    }
+
+    /// Parses the wire string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cached" => Some(CacheProvenance::Cached),
+            "replayed" => Some(CacheProvenance::Replayed),
+            "solved" => Some(CacheProvenance::Solved),
+            _ => None,
+        }
+    }
+}
+
+/// Wire form of a POT verification status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PotStatusWire {
+    /// All obligations proved.
+    Proved,
+    /// One or more violations found.
+    Failed,
+    /// The engine could not finish.
+    Error,
+}
+
+impl PotStatusWire {
+    /// Stable wire string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PotStatusWire::Proved => "proved",
+            PotStatusWire::Failed => "failed",
+            PotStatusWire::Error => "error",
+        }
+    }
+
+    /// Parses the wire string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "proved" => Some(PotStatusWire::Proved),
+            "failed" => Some(PotStatusWire::Failed),
+            "error" => Some(PotStatusWire::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A verification request (`POST /v1/verify`).
+///
+/// Exactly one of `target` (a bundled evaluation target, looked up by
+/// case-insensitive name fragment) or `source` (an inline C translation
+/// unit: models + implementation + spec) must be set.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct VerifyRequest {
+    /// Bundled target name fragment (e.g. `"pkvm"`).
+    pub target: Option<String>,
+    /// Inline C translation unit.
+    pub source: Option<String>,
+    /// Stable client-chosen key used to correlate successive submissions
+    /// of the same component for TIR diffing (defaults to the target name,
+    /// or `"inline"` for keyless inline sources).
+    pub label: Option<String>,
+    /// Verify only these POTs, in this order (`None` = every POT).
+    pub pots: Option<Vec<String>>,
+    /// Pointer encoding override: `"int"` or `"bv"`.
+    pub addr_mode: Option<String>,
+    /// Path-scheduler workers for this request (`None`/0 = daemon default).
+    pub jobs: Option<u64>,
+}
+
+impl VerifyRequest {
+    /// A request for a bundled evaluation target.
+    pub fn for_target(name: impl Into<String>) -> Self {
+        VerifyRequest {
+            target: Some(name.into()),
+            ..Default::default()
+        }
+    }
+
+    /// A request carrying an inline C translation unit.
+    pub fn for_source(src: impl Into<String>) -> Self {
+        VerifyRequest {
+            source: Some(src.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Restricts the run to the given POTs.
+    pub fn with_pots<I, S>(mut self, pots: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.pots = Some(pots.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets the TIR-diff correlation key.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Overrides the pointer encoding (`"int"` or `"bv"`).
+    pub fn with_addr_mode(mut self, mode: impl Into<String>) -> Self {
+        self.addr_mode = Some(mode.into());
+        self
+    }
+
+    /// Sets the worker count for this request.
+    pub fn with_jobs(mut self, jobs: u64) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// The TIR-diff correlation key this request resolves to.
+    pub fn diff_key(&self) -> String {
+        self.label
+            .clone()
+            .or_else(|| self.target.clone())
+            .unwrap_or_else(|| "inline".to_string())
+    }
+
+    /// Encodes to the wire JSON.
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![("api", Value::Str(API_VERSION.into()))];
+        if let Some(t) = &self.target {
+            fields.push(("target", Value::Str(t.clone())));
+        }
+        if let Some(s) = &self.source {
+            fields.push(("source", Value::Str(s.clone())));
+        }
+        if let Some(l) = &self.label {
+            fields.push(("label", Value::Str(l.clone())));
+        }
+        if let Some(p) = &self.pots {
+            fields.push((
+                "pots",
+                Value::Arr(p.iter().map(|x| Value::Str(x.clone())).collect()),
+            ));
+        }
+        if let Some(m) = &self.addr_mode {
+            fields.push(("addr_mode", Value::Str(m.clone())));
+        }
+        if let Some(j) = self.jobs {
+            fields.push(("jobs", Value::Num(j as f64)));
+        }
+        obj(fields)
+    }
+
+    /// Decodes from the wire JSON, validating the request shape.
+    pub fn from_json(v: &Value) -> Result<Self, TpotError> {
+        let req = VerifyRequest {
+            target: get_str(v, "target"),
+            source: get_str(v, "source"),
+            label: get_str(v, "label"),
+            pots: v.get("pots").and_then(|p| p.as_arr()).map(|a| {
+                a.iter()
+                    .filter_map(|x| x.as_str().map(str::to_string))
+                    .collect()
+            }),
+            addr_mode: get_str(v, "addr_mode"),
+            jobs: get_u64(v, "jobs"),
+        };
+        if req.target.is_none() && req.source.is_none() {
+            return Err(TpotError::parse(
+                "verify request needs either `target` or `source`",
+            ));
+        }
+        if let Some(m) = &req.addr_mode {
+            if m != "int" && m != "bv" {
+                return Err(TpotError::parse(format!(
+                    "addr_mode must be \"int\" or \"bv\", got {m:?}"
+                )));
+            }
+        }
+        Ok(req)
+    }
+}
+
+/// Outcome of one POT, as reported over the wire.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct PotOutcome {
+    /// POT name.
+    pub pot: String,
+    /// Outcome.
+    pub status: PotStatusWire,
+    /// How the outcome was produced.
+    pub provenance: CacheProvenance,
+    /// Wall-clock the service spent on this POT (0 for `cached`).
+    pub duration_ms: f64,
+    /// Solver queries issued by the engine run (0 for `cached`).
+    pub queries: u64,
+    /// Queries answered by the persistent query cache.
+    pub cache_hits: u64,
+    /// Queries that had to hit a solver.
+    pub cache_misses: u64,
+    /// Violation descriptions (`failed`) or the engine error (`error`).
+    pub detail: Vec<String>,
+}
+
+impl PotOutcome {
+    /// A new outcome row; the per-run counters start at zero.
+    pub fn new(pot: impl Into<String>, status: PotStatusWire, provenance: CacheProvenance) -> Self {
+        PotOutcome {
+            pot: pot.into(),
+            status,
+            provenance,
+            duration_ms: 0.0,
+            queries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            detail: Vec::new(),
+        }
+    }
+
+    /// Encodes to the wire JSON.
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("pot", Value::Str(self.pot.clone())),
+            ("status", Value::Str(self.status.as_str().into())),
+            ("provenance", Value::Str(self.provenance.as_str().into())),
+            ("duration_ms", Value::Num(self.duration_ms)),
+            ("queries", Value::Num(self.queries as f64)),
+            ("cache_hits", Value::Num(self.cache_hits as f64)),
+            ("cache_misses", Value::Num(self.cache_misses as f64)),
+            (
+                "detail",
+                Value::Arr(self.detail.iter().map(|d| Value::Str(d.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes from the wire JSON.
+    pub fn from_json(v: &Value) -> Result<Self, TpotError> {
+        let pot = get_str(v, "pot").ok_or_else(|| TpotError::parse("pot outcome missing `pot`"))?;
+        let status = get_str(v, "status")
+            .and_then(|s| PotStatusWire::parse(&s))
+            .ok_or_else(|| TpotError::parse("pot outcome missing/invalid `status`"))?;
+        let provenance = get_str(v, "provenance")
+            .and_then(|s| CacheProvenance::parse(&s))
+            .ok_or_else(|| TpotError::parse("pot outcome missing/invalid `provenance`"))?;
+        let mut out = PotOutcome::new(pot, status, provenance);
+        out.duration_ms = v.get("duration_ms").and_then(|x| x.as_f64()).unwrap_or(0.0);
+        out.queries = get_u64(v, "queries").unwrap_or(0);
+        out.cache_hits = get_u64(v, "cache_hits").unwrap_or(0);
+        out.cache_misses = get_u64(v, "cache_misses").unwrap_or(0);
+        out.detail = v
+            .get("detail")
+            .and_then(|d| d.as_arr())
+            .map(|a| {
+                a.iter()
+                    .filter_map(|x| x.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(out)
+    }
+}
+
+/// Proof-cache statistics snapshot carried in every response.
+#[derive(Clone, Copy, Debug, Default)]
+#[non_exhaustive]
+pub struct CacheStatsWire {
+    /// Query-outcome entries currently stored.
+    pub query_entries: u64,
+    /// POT-outcome entries currently stored.
+    pub pot_entries: u64,
+    /// Lifetime lookup hits (queries + POT outcomes).
+    pub hits: u64,
+    /// Lifetime lookup misses.
+    pub misses: u64,
+    /// Entries evicted by the LRU size bound.
+    pub evictions: u64,
+}
+
+impl CacheStatsWire {
+    /// Encodes to the wire JSON.
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("query_entries", Value::Num(self.query_entries as f64)),
+            ("pot_entries", Value::Num(self.pot_entries as f64)),
+            ("hits", Value::Num(self.hits as f64)),
+            ("misses", Value::Num(self.misses as f64)),
+            ("evictions", Value::Num(self.evictions as f64)),
+        ])
+    }
+
+    /// Decodes from the wire JSON (all fields default to 0).
+    pub fn from_json(v: &Value) -> Self {
+        CacheStatsWire {
+            query_entries: get_u64(v, "query_entries").unwrap_or(0),
+            pot_entries: get_u64(v, "pot_entries").unwrap_or(0),
+            hits: get_u64(v, "hits").unwrap_or(0),
+            misses: get_u64(v, "misses").unwrap_or(0),
+            evictions: get_u64(v, "evictions").unwrap_or(0),
+        }
+    }
+}
+
+/// A verification response.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct VerifyResponse {
+    /// Set when the request failed before any POT ran (compile error,
+    /// unknown target, malformed request). `pots` is empty in that case.
+    pub error: Option<TpotError>,
+    /// Per-POT outcomes, in request order.
+    pub pots: Vec<PotOutcome>,
+    /// Content digest of the compiled module (hex).
+    pub module_digest: String,
+    /// Solver-config digest the outcomes are keyed under (hex).
+    pub config_digest: String,
+    /// Functions whose TIR changed relative to the previous submission
+    /// under the same diff key (empty on first submission).
+    pub changed_functions: Vec<String>,
+    /// Proof-cache statistics after serving this request.
+    pub cache: CacheStatsWire,
+    /// End-to-end service time for this request.
+    pub duration_ms: f64,
+}
+
+impl VerifyResponse {
+    /// A successful (so far empty) response.
+    pub fn ok() -> Self {
+        VerifyResponse::default()
+    }
+
+    /// An error response.
+    pub fn err(e: TpotError) -> Self {
+        VerifyResponse {
+            error: Some(e),
+            ..Default::default()
+        }
+    }
+
+    /// Encodes to the wire JSON.
+    pub fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("api", Value::Str(API_VERSION.into())),
+            ("ok", Value::Bool(self.error.is_none())),
+        ];
+        if let Some(e) = &self.error {
+            fields.push((
+                "error",
+                obj(vec![
+                    ("kind", Value::Str(e.kind().into())),
+                    ("message", Value::Str(e.message().into())),
+                ]),
+            ));
+        }
+        fields.push((
+            "pots",
+            Value::Arr(self.pots.iter().map(|p| p.to_json()).collect()),
+        ));
+        fields.push(("module_digest", Value::Str(self.module_digest.clone())));
+        fields.push(("config_digest", Value::Str(self.config_digest.clone())));
+        fields.push((
+            "changed_functions",
+            Value::Arr(
+                self.changed_functions
+                    .iter()
+                    .map(|f| Value::Str(f.clone()))
+                    .collect(),
+            ),
+        ));
+        fields.push(("cache", self.cache.to_json()));
+        fields.push(("duration_ms", Value::Num(self.duration_ms)));
+        obj(fields)
+    }
+
+    /// Decodes from the wire JSON.
+    pub fn from_json(v: &Value) -> Result<Self, TpotError> {
+        let api = get_str(v, "api").unwrap_or_default();
+        if api != API_VERSION {
+            return Err(TpotError::parse(format!(
+                "unsupported api version {api:?} (want {API_VERSION:?})"
+            )));
+        }
+        let error = v.get("error").map(|e| {
+            let kind = get_str(e, "kind").unwrap_or_default();
+            let message = get_str(e, "message").unwrap_or_default();
+            match kind.as_str() {
+                "parse" => TpotError::Parse(message),
+                "sema" => TpotError::Sema(message),
+                "solver_unknown" => TpotError::SolverUnknown(message),
+                "timeout" => TpotError::Timeout(message),
+                "cancelled" => TpotError::Cancelled(message),
+                "io" => TpotError::Io(message),
+                "unsupported" => TpotError::Unsupported(message),
+                _ => TpotError::Internal(message),
+            }
+        });
+        let pots = match v.get("pots").and_then(|p| p.as_arr()) {
+            Some(a) => a
+                .iter()
+                .map(PotOutcome::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(VerifyResponse {
+            error,
+            pots,
+            module_digest: get_str(v, "module_digest").unwrap_or_default(),
+            config_digest: get_str(v, "config_digest").unwrap_or_default(),
+            changed_functions: v
+                .get("changed_functions")
+                .and_then(|c| c.as_arr())
+                .map(|a| {
+                    a.iter()
+                        .filter_map(|x| x.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            cache: v
+                .get("cache")
+                .map(CacheStatsWire::from_json)
+                .unwrap_or_default(),
+            duration_ms: v.get("duration_ms").and_then(|x| x.as_f64()).unwrap_or(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_obs::json;
+
+    #[test]
+    fn request_round_trips() {
+        let req = VerifyRequest::for_target("pkvm")
+            .with_pots(["spec__init", "spec__nr_pages"])
+            .with_addr_mode("bv")
+            .with_jobs(4)
+            .with_label("ci");
+        let text = req.to_json().render();
+        let back = VerifyRequest::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.target.as_deref(), Some("pkvm"));
+        assert_eq!(back.pots.as_deref().map(|p| p.len()), Some(2));
+        assert_eq!(back.addr_mode.as_deref(), Some("bv"));
+        assert_eq!(back.jobs, Some(4));
+        assert_eq!(back.diff_key(), "ci");
+    }
+
+    #[test]
+    fn request_requires_target_or_source() {
+        let v = json::parse("{\"pots\":[\"a\"]}").unwrap();
+        assert!(matches!(
+            VerifyRequest::from_json(&v),
+            Err(TpotError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn request_rejects_bad_addr_mode() {
+        let v = json::parse("{\"target\":\"pkvm\",\"addr_mode\":\"hex\"}").unwrap();
+        assert!(VerifyRequest::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut resp = VerifyResponse::ok();
+        let mut o = PotOutcome::new("spec__init", PotStatusWire::Proved, CacheProvenance::Cached);
+        o.duration_ms = 0.2;
+        o.cache_hits = 7;
+        resp.pots.push(o);
+        let mut f = PotOutcome::new(
+            "spec__alloc",
+            PotStatusWire::Failed,
+            CacheProvenance::Solved,
+        );
+        f.detail.push("loop invariant violated: x".into());
+        resp.pots.push(f);
+        resp.module_digest = "00ff".into();
+        resp.config_digest = "abcd".into();
+        resp.changed_functions.push("clear_page".into());
+        resp.cache.hits = 9;
+        resp.duration_ms = 12.5;
+        let text = resp.to_json().render();
+        let back = VerifyResponse::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert!(back.error.is_none());
+        assert_eq!(back.pots.len(), 2);
+        assert_eq!(back.pots[0].provenance, CacheProvenance::Cached);
+        assert_eq!(back.pots[1].status, PotStatusWire::Failed);
+        assert_eq!(back.pots[1].detail.len(), 1);
+        assert_eq!(back.changed_functions, vec!["clear_page".to_string()]);
+        assert_eq!(back.cache.hits, 9);
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let resp = VerifyResponse::err(TpotError::sema("no such target"));
+        let text = resp.to_json().render();
+        let back = VerifyResponse::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.error, Some(TpotError::Sema("no such target".into())));
+        assert!(back.pots.is_empty());
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let v = json::parse("{\"target\":\"pkvm\",\"future_field\":{\"x\":1}}").unwrap();
+        assert!(VerifyRequest::from_json(&v).is_ok());
+    }
+}

@@ -1,0 +1,229 @@
+//! PR 10 harness: verification-as-a-service acceptance, written to
+//! `BENCH_PR10.json` in the unified `tpot-bench/v1` schema.
+//!
+//! Drives an in-process `tpotd` over real HTTP through three phases on the
+//! pKVM smoke subset (`spec__nr_pages`, `spec__init`):
+//!
+//! 1. **Cold** — empty cache directory; every POT must be engine-run
+//!    (`solved`), populating both the persistent query cache and the
+//!    POT-outcome table.
+//! 2. **Warm** — the identical submission again, same daemon; every POT
+//!    must come back `cached` (POT-table hit, no engine run), the cached
+//!    share must be ≥ 90%, and the end-to-end service time must beat the
+//!    cold run by ≥ 10× (the ISSUE acceptance bar; in practice it is
+//!    orders of magnitude).
+//! 3. **Edit one function** — a textual edit inside
+//!    `hyp_early_alloc_nr_pages` (`+ 0` appended to the return
+//!    expression: different TIR, same truth). Only `spec__nr_pages` has
+//!    that function in its cone-of-influence, so it alone may re-verify;
+//!    `spec__init` must stay `cached`, and the response must name exactly
+//!    the edited function in `changed_functions`.
+//!
+//! A final restart phase stops the daemon, starts a fresh one on the same
+//! cache directory, and re-submits the edited source: everything must now
+//! be `cached` (on-disk persistence across process generations).
+//!
+//! Usage: `bench_pr10 [--out PATH]` (the phases are all sub-second; there
+//! is no `--smoke` tier).
+
+use std::time::Instant;
+
+use tpot_api::{http, CacheProvenance, PotStatusWire, VerifyRequest, VerifyResponse};
+use tpot_bench::report::{int, num, peak_rss_kb, s, BenchReport, TargetReport};
+use tpot_daemon::DaemonConfig;
+use tpot_obs::json::{self, Value};
+
+const SMOKE_POTS: [&str; 2] = ["spec__nr_pages", "spec__init"];
+const EDIT_FROM: &str = "return (cur - base) / PAGE_SIZE;";
+const EDIT_TO: &str = "return (cur - base) / PAGE_SIZE + 0;";
+
+fn post_verify(addr: &str, req: &VerifyRequest) -> VerifyResponse {
+    let (status, body) =
+        http::post(addr, "/v1/verify", &req.to_json().render()).expect("daemon reachable");
+    assert_eq!(status, 200, "daemon error: {body}");
+    VerifyResponse::from_json(&json::parse(&body).expect("valid JSON")).expect("valid response")
+}
+
+fn provenance_counts(resp: &VerifyResponse) -> (u64, u64, u64) {
+    let count = |p: CacheProvenance| resp.pots.iter().filter(|o| o.provenance == p).count() as u64;
+    (
+        count(CacheProvenance::Cached),
+        count(CacheProvenance::Replayed),
+        count(CacheProvenance::Solved),
+    )
+}
+
+fn phase_row(name: &str, wall_ms: f64, resp: &VerifyResponse) -> Value {
+    let (cached, replayed, solved) = provenance_counts(resp);
+    Value::Obj(vec![
+        ("phase".into(), s(name)),
+        ("wall_ms".into(), num(wall_ms)),
+        ("service_ms".into(), num(resp.duration_ms)),
+        ("cached".into(), int(cached)),
+        ("replayed".into(), int(replayed)),
+        ("solved".into(), int(solved)),
+        (
+            "changed_functions".into(),
+            Value::Arr(
+                resp.changed_functions
+                    .iter()
+                    .map(|f| s(f.clone()))
+                    .collect(),
+            ),
+        ),
+        ("cache".into(), resp.cache.to_json()),
+    ])
+}
+
+fn main() {
+    let mut out = "BENCH_PR10.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().unwrap_or(out),
+            other => {
+                eprintln!("bench_pr10: unknown arg {other:?}");
+                std::process::exit(2)
+            }
+        }
+    }
+
+    let cache_dir = std::env::temp_dir().join(format!("tpot_bench_pr10_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let target = tpot_targets::target("pkvm").expect("bundled pKVM target");
+    let source = target.full_source();
+    assert!(
+        source.contains(EDIT_FROM),
+        "edit anchor {EDIT_FROM:?} not found in the pKVM source"
+    );
+    let edited = source.replace(EDIT_FROM, EDIT_TO);
+    let request = |src: &str| {
+        VerifyRequest::for_source(src)
+            .with_pots(SMOKE_POTS)
+            .with_label("bench_pr10")
+    };
+
+    let mut report = BenchReport::new("bench_pr10");
+    report.meta(
+        "pots",
+        Value::Arr(SMOKE_POTS.iter().map(|p| s(*p)).collect()),
+    );
+    report.meta("edit", s(format!("{EDIT_FROM:?} -> {EDIT_TO:?}")));
+
+    let t0 = Instant::now();
+    let handle = tpot_daemon::start(
+        DaemonConfig::new()
+            .addr("127.0.0.1:0")
+            .cache_dir(&cache_dir),
+    )
+    .expect("daemon starts");
+    let addr = handle.addr_string();
+    let mut phases: Vec<Value> = Vec::new();
+
+    // 1. Cold.
+    let wall = Instant::now();
+    let cold = post_verify(&addr, &request(&source));
+    let cold_ms = wall.elapsed().as_secs_f64() * 1e3;
+    assert!(cold.error.is_none(), "{:?}", cold.error);
+    assert!(cold.pots.iter().all(|p| p.status == PotStatusWire::Proved));
+    let (cold_cached, _, _) = provenance_counts(&cold);
+    assert_eq!(cold_cached, 0, "cold run may not hit the POT table");
+    phases.push(phase_row("cold", cold_ms, &cold));
+    println!("cold: {cold_ms:.1}ms, {} POTs solved", cold.pots.len());
+
+    // 2. Warm.
+    let wall = Instant::now();
+    let warm = post_verify(&addr, &request(&source));
+    let warm_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let (warm_cached, _, _) = provenance_counts(&warm);
+    let cached_share = warm_cached as f64 / warm.pots.len() as f64;
+    let speedup = cold_ms / warm_ms.max(1e-6);
+    phases.push(phase_row("warm", warm_ms, &warm));
+    println!(
+        "warm: {warm_ms:.1}ms ({speedup:.0}x vs cold), {warm_cached}/{} cached",
+        warm.pots.len()
+    );
+
+    // 3. Edit one function.
+    let wall = Instant::now();
+    let edit = post_verify(&addr, &request(&edited));
+    let edit_ms = wall.elapsed().as_secs_f64() * 1e3;
+    assert!(edit.pots.iter().all(|p| p.status == PotStatusWire::Proved));
+    let by_name: std::collections::HashMap<&str, CacheProvenance> = edit
+        .pots
+        .iter()
+        .map(|p| (p.pot.as_str(), p.provenance))
+        .collect();
+    let edit_isolated = by_name["spec__nr_pages"] != CacheProvenance::Cached
+        && by_name["spec__init"] == CacheProvenance::Cached;
+    let diff_exact = edit.changed_functions == vec!["hyp_early_alloc_nr_pages".to_string()];
+    phases.push(phase_row("edit_one_function", edit_ms, &edit));
+    println!(
+        "edit: {edit_ms:.1}ms, changed {:?}, nr_pages {} / init {}",
+        edit.changed_functions,
+        by_name["spec__nr_pages"].as_str(),
+        by_name["spec__init"].as_str()
+    );
+    handle.shutdown();
+
+    // 4. Restart on the same cache directory: all outcomes persist.
+    let handle = tpot_daemon::start(
+        DaemonConfig::new()
+            .addr("127.0.0.1:0")
+            .cache_dir(&cache_dir),
+    )
+    .expect("daemon restarts");
+    let wall = Instant::now();
+    let restart = post_verify(&handle.addr_string(), &request(&edited));
+    let restart_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let (restart_cached, _, _) = provenance_counts(&restart);
+    let restart_full = restart_cached == restart.pots.len() as u64;
+    phases.push(phase_row("restart", restart_ms, &restart));
+    println!(
+        "restart: {restart_ms:.1}ms, {restart_cached}/{} cached",
+        restart.pots.len()
+    );
+    handle.shutdown();
+
+    let mut row = TargetReport::new(target.name);
+    row.field("phases", Value::Arr(phases));
+    report.targets.push(row);
+
+    report.summary("cold_ms", num(cold_ms));
+    report.summary("warm_ms", num(warm_ms));
+    report.summary("warm_speedup", num(speedup));
+    report.summary("warm_cached_share", num(cached_share));
+    report.summary("edit_isolated", Value::Bool(edit_isolated));
+    report.summary("diff_exact", Value::Bool(diff_exact));
+    report.summary("restart_fully_cached", Value::Bool(restart_full));
+    report.summary("wall_ms", num(t0.elapsed().as_secs_f64() * 1e3));
+    report.summary("peak_rss_kb", int(peak_rss_kb()));
+    report.embed_metrics();
+    report.write(&out).expect("write results");
+    println!(
+        "wrote {out} (warm {speedup:.0}x, cached share {:.0}%, edit isolated {edit_isolated})",
+        cached_share * 100.0
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    assert!(
+        speedup >= 10.0,
+        "warm re-verify must be >=10x faster than cold (got {speedup:.1}x)"
+    );
+    assert!(
+        cached_share >= 0.9,
+        "warm run must serve >=90% of POTs from the POT table (got {:.0}%)",
+        cached_share * 100.0
+    );
+    assert!(
+        edit_isolated,
+        "editing hyp_early_alloc_nr_pages must re-verify only spec__nr_pages"
+    );
+    assert!(
+        diff_exact,
+        "changed_functions must name exactly the edited function, got {:?}",
+        edit.changed_functions
+    );
+    assert!(restart_full, "restart must serve everything from disk");
+}

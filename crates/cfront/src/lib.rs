@@ -73,3 +73,14 @@ impl std::fmt::Display for FrontError {
 }
 
 impl std::error::Error for FrontError {}
+
+impl From<FrontError> for tpot_api::TpotError {
+    fn from(e: FrontError) -> Self {
+        match &e {
+            FrontError::Pp(_) | FrontError::Lex(_) | FrontError::Parse(_) => {
+                tpot_api::TpotError::parse(e.to_string())
+            }
+            FrontError::Sema(_) => tpot_api::TpotError::sema(e.to_string()),
+        }
+    }
+}

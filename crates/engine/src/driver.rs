@@ -133,7 +133,12 @@ pub struct PotResult {
 /// parallelism, steal seed, cache location, address encoding) is a field
 /// here, with `Default` reproducing the CI-style "all POTs, auto
 /// parallelism, config as constructed" run.
+///
+/// `#[non_exhaustive]` so new run axes can be added without breaking
+/// downstream callers (the daemon and benches construct this through the
+/// builder methods, never a struct literal).
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct VerifyOptions {
     /// Verify only these POTs, in this order. `None` verifies every POT in
     /// module order.
@@ -226,6 +231,19 @@ impl Verifier {
     /// produce — only wall-clock and cache-hit accounting differ. With
     /// `jobs: 1` the run is the deterministic sequential baseline.
     pub fn verify(&self, opts: &VerifyOptions) -> Vec<PotResult> {
+        let config = self.effective_config(opts);
+        let cache = Self::open_cache(&config);
+        let results = self.verify_with_cache(opts, cache.clone());
+        // Flush once at the end instead of per-POT (engine drops only
+        // release their handle on the shared cache).
+        let _ = cache.lock().flush();
+        results
+    }
+
+    /// The engine configuration a run with `opts` would actually use: the
+    /// verifier's own config with the per-run overrides applied. The daemon
+    /// uses this to compute cache-key digests without starting a run.
+    pub fn effective_config(&self, opts: &VerifyOptions) -> EngineConfig {
         let mut config = self.config.clone();
         if let Some(p) = &opts.cache_path {
             config.cache_path = Some(p.clone());
@@ -233,6 +251,19 @@ impl Verifier {
         if let Some(m) = opts.addr_mode {
             config.addr_mode = m;
         }
+        config
+    }
+
+    /// [`Verifier::verify`] against a caller-owned cache handle. The daemon
+    /// threads one persistent [`tpot_portfolio::ProofCache`] through every
+    /// request it serves (and decides itself when to flush); `verify` is
+    /// this plus open-on-entry/flush-on-exit.
+    pub fn verify_with_cache(
+        &self,
+        opts: &VerifyOptions,
+        cache: tpot_portfolio::SharedCache,
+    ) -> Vec<PotResult> {
+        let config = self.effective_config(opts);
         let pots: Vec<String> = match &opts.pots {
             Some(p) => p.clone(),
             None => self.module.pot_names(),
@@ -254,11 +285,7 @@ impl Verifier {
             .steal_seed
             .or_else(|| tpot_obs::config().steal_seed)
             .unwrap_or(crate::sched::DEFAULT_STEAL_SEED);
-        let cache = Self::open_cache(&config);
-        let results = crate::sched::run_verify(self, &config, &pots, cache.clone(), jobs, seed);
-        // Flush once at the end instead of per-POT (engine drops only
-        // release their handle on the shared cache).
-        let _ = cache.lock().flush();
+        let results = crate::sched::run_verify(self, &config, &pots, cache, jobs, seed);
         if let Some(p) = &tpot_obs::config().profile_path {
             // One collapsed-stack file across every verified POT: each
             // line is `pot;ε;<fork indices> <exclusive solver µs>`, ready
@@ -274,13 +301,21 @@ impl Verifier {
         results
     }
 
-    /// Opens the persistent cache configured in `config` (or an in-memory
-    /// one) behind a shareable handle.
-    fn open_cache(config: &EngineConfig) -> tpot_portfolio::SharedCache {
-        let cache = match &config.cache_path {
-            Some(p) => tpot_portfolio::PersistentCache::open(p)
-                .unwrap_or_else(|_| tpot_portfolio::PersistentCache::in_memory()),
-            None => tpot_portfolio::PersistentCache::in_memory(),
+    /// Opens the persistent cache configured in `config` behind a shareable
+    /// handle. Resolution order: the explicit `cache_path`, then
+    /// `TPOT_CACHE_DIR/proofs.cache` (the daemon's default layout), then an
+    /// in-memory cache.
+    pub fn open_cache(config: &EngineConfig) -> tpot_portfolio::SharedCache {
+        let path = config.cache_path.clone().or_else(|| {
+            tpot_obs::config()
+                .cache_dir
+                .as_ref()
+                .map(|d| d.join("proofs.cache"))
+        });
+        let cache = match path {
+            Some(p) => tpot_portfolio::ProofCache::open(p)
+                .unwrap_or_else(|_| tpot_portfolio::ProofCache::in_memory()),
+            None => tpot_portfolio::ProofCache::in_memory(),
         };
         std::sync::Arc::new(Mutex::new(cache))
     }

@@ -31,7 +31,7 @@ use std::collections::VecDeque;
 use tpot_ir::{IrFunc, Module};
 pub use tpot_mem::AddrMode;
 use tpot_mem::Memory;
-use tpot_portfolio::{PersistentCache, Portfolio};
+use tpot_portfolio::{Portfolio, ProofCache};
 use tpot_smt::{TermArena, TermId};
 
 use crate::query::{EngineError, QueryCtx};
@@ -86,6 +86,48 @@ impl Default for EngineConfig {
     }
 }
 
+/// The engine's half of the persistent-cache key digest: the knobs the
+/// portfolio layer cannot see but which change what queries mean or which
+/// path through the solver produced an outcome. Mixed into the portfolio's
+/// own config digest via [`Portfolio::with_config_salt`]; the paired
+/// [`outcome_digest`] covers the per-POT outcome table.
+pub fn solver_cache_digest(config: &EngineConfig) -> u64 {
+    use tpot_portfolio::{fnv1a, mix};
+    let mut h = fnv1a(b"tpot-engine-config/v1");
+    h = mix(
+        h,
+        match config.addr_mode {
+            AddrMode::Int => 1,
+            AddrMode::Bv => 2,
+        },
+    );
+    h = mix(h, config.incremental as u64);
+    h = mix(h, config.portfolio_size as u64);
+    h = mix(h, config.simplifier as u64);
+    h
+}
+
+/// Digest keying the *POT-outcome* table: everything in
+/// [`solver_cache_digest`] plus the portfolio's instance digests and the
+/// resource budgets — a POT proved under a smaller instruction or state
+/// budget is not the same claim as one proved under a larger one.
+pub fn outcome_digest(config: &EngineConfig) -> u64 {
+    use tpot_portfolio::{fnv1a, mix, portfolio_config_digest};
+    let configs = if config.portfolio_size <= 1 {
+        vec![tpot_solver::SolverConfig::default()]
+    } else {
+        tpot_solver::SolverConfig::portfolio(config.portfolio_size)
+    };
+    let mut h = fnv1a(b"tpot-outcome-config/v1");
+    h = mix(h, solver_cache_digest(config));
+    h = mix(h, portfolio_config_digest(&configs));
+    h = mix(h, config.max_states as u64);
+    h = mix(h, config.max_insts);
+    h = mix(h, config.max_havoc_bytes);
+    h = mix(h, fnv1a(config.init_marker.as_bytes()));
+    h
+}
+
 /// The execution context: owns the term arena and the solver for one POT
 /// run, and drives states through the program.
 pub struct ExecCtx<'m> {
@@ -111,8 +153,8 @@ impl<'m> ExecCtx<'m> {
         // end-of-POT checks. With a cache_path the cache additionally
         // persists across CI runs (§4.4).
         let cache = match &config.cache_path {
-            Some(p) => PersistentCache::open(p).unwrap_or_else(|_| PersistentCache::in_memory()),
-            None => PersistentCache::in_memory(),
+            Some(p) => ProofCache::open(p).unwrap_or_else(|_| ProofCache::in_memory()),
+            None => ProofCache::in_memory(),
         };
         let cache = std::sync::Arc::new(parking_lot::Mutex::new(cache));
         Self::with_shared_cache(module, config, cache)
@@ -131,7 +173,12 @@ impl<'m> ExecCtx<'m> {
         } else {
             Portfolio::with_instances(config.portfolio_size)
         };
-        let portfolio = portfolio.with_shared_cache(cache);
+        // Salt the cache key with the engine-level knobs: an outcome
+        // recorded under one addr-mode/session/portfolio configuration
+        // must never answer a query issued under another.
+        let portfolio = portfolio
+            .with_config_salt(solver_cache_digest(&config))
+            .with_shared_cache(cache);
         ExecCtx {
             module,
             arena: TermArena::new(),

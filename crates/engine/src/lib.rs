@@ -51,7 +51,7 @@ pub mod stats;
 
 pub use driver::{PotResult, PotStatus, Verifier, VerifyOptions, Violation, ViolationKind};
 pub use frontier::{PathId, PathTask, Shard, TaskPhase};
-pub use interp::{AddrMode, EngineConfig, ExecCtx, Interp};
+pub use interp::{outcome_digest, solver_cache_digest, AddrMode, EngineConfig, ExecCtx, Interp};
 pub use profile::{PathProfile, PathSample};
 pub use prov::{BlameEntry, Prov, ProvKind};
 pub use query::EngineError;

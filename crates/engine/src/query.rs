@@ -58,6 +58,8 @@ impl From<SolverError> for EngineError {
 #[derive(Clone, Copy, Default)]
 struct FoldMark {
     serializations: u64,
+    cache_hits: u64,
+    cache_misses: u64,
     terms_total: u64,
     terms_shipped: u64,
     bytes_total: u64,
@@ -241,6 +243,8 @@ impl QueryCtx {
         let mut s = self.stats.clone();
         let ps = &self.portfolio.stats;
         s.num_serializations += ps.serializations;
+        s.cache_hits = ps.cache_hits;
+        s.cache_misses = ps.cache_misses;
         s.terms_total = ps.terms_total;
         s.terms_shipped = ps.terms_shipped;
         s.bytes_total = ps.bytes_total;
@@ -266,6 +270,8 @@ impl QueryCtx {
         let ss = &self.portfolio.sessions.stats;
         let now = FoldMark {
             serializations: ps.serializations,
+            cache_hits: ps.cache_hits,
+            cache_misses: ps.cache_misses,
             terms_total: ps.terms_total,
             terms_shipped: ps.terms_shipped,
             bytes_total: ps.bytes_total,
@@ -279,6 +285,8 @@ impl QueryCtx {
         };
         let prev = self.taken;
         s.num_serializations += now.serializations - prev.serializations;
+        s.cache_hits = now.cache_hits - prev.cache_hits;
+        s.cache_misses = now.cache_misses - prev.cache_misses;
         s.terms_total = now.terms_total - prev.terms_total;
         s.terms_shipped = now.terms_shipped - prev.terms_shipped;
         s.bytes_total = now.bytes_total - prev.bytes_total;

@@ -86,6 +86,14 @@ pub struct Stats {
     /// analogue of `terms_shipped` (a one-shot check re-blasts the whole
     /// sliced query; a session re-blasts only what push/pop exposed).
     pub session_reblasted_terms: u64,
+    /// Queries answered straight from the persistent proof cache (keyed by
+    /// fingerprint + solver-config digest; no solver ran). Together with
+    /// `cache_misses` this is the provenance signal: a POT run with
+    /// `cache_misses == 0 && cache_hits > 0` was *replayed* entirely from
+    /// cached outcomes.
+    pub cache_hits: u64,
+    /// Queries that missed the persistent proof cache and went to a solver.
+    pub cache_misses: u64,
     /// Queries answered by the read-after-write proof cache.
     pub raw_cache_hits: u64,
     /// Successful read-after-write simplifications.
@@ -212,6 +220,8 @@ impl Stats {
         self.session_misses += o.session_misses;
         self.session_fallbacks += o.session_fallbacks;
         self.session_reblasted_terms += o.session_reblasted_terms;
+        self.cache_hits += o.cache_hits;
+        self.cache_misses += o.cache_misses;
         self.raw_cache_hits += o.raw_cache_hits;
         self.raw_simplifications += o.raw_simplifications;
         self.const_offset_hits += o.const_offset_hits;
@@ -257,6 +267,8 @@ impl Stats {
         counter("engine.slice.bytes_total").add(self.bytes_total);
         counter("engine.slice.bytes_shipped").add(self.bytes_shipped);
         counter("engine.queue_wait_us").add(us(self.queue_wait));
+        counter("engine.cache_hits").add(self.cache_hits);
+        counter("engine.cache_misses").add(self.cache_misses);
         counter("engine.raw_cache_hits").add(self.raw_cache_hits);
         counter("engine.raw_simplifications").add(self.raw_simplifications);
         counter("engine.const_offset_hits").add(self.const_offset_hits);

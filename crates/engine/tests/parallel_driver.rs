@@ -108,7 +108,7 @@ fn parallel_shares_one_persistent_cache() {
     let first = v.verify(&VerifyOptions::new().jobs(2));
     assert!(first.iter().any(|r| r.status.is_proved()));
     // The shared cache must have been flushed once at the end of the run.
-    let cache = tpot_portfolio::PersistentCache::open(&dir).unwrap();
+    let cache = tpot_portfolio::ProofCache::open(&dir).unwrap();
     assert!(
         !cache.is_empty(),
         "parallel run must persist query outcomes"
@@ -120,7 +120,7 @@ fn parallel_shares_one_persistent_cache() {
     for (a, b) in first.iter().zip(second.iter()) {
         assert_eq!(a.status.is_proved(), b.status.is_proved());
     }
-    let cache = tpot_portfolio::PersistentCache::open(&dir).unwrap();
+    let cache = tpot_portfolio::ProofCache::open(&dir).unwrap();
     assert!(cache.len() >= entries);
     let _ = std::fs::remove_file(&dir);
 }

@@ -1,0 +1,368 @@
+//! Function-level TIR diffing and cones of influence — the module-side
+//! half of incremental re-verification.
+//!
+//! The daemon (`tpotd`) re-verifies only what a source edit can affect.
+//! The unit of change is the *function*: each [`IrFunc`] gets a stable
+//! content digest of its printed TIR ([`func_digest`]), two modules diff
+//! by comparing digest maps ([`diff_modules`]), and each POT owns a
+//! *cone of influence* ([`pot_cone`]) — the transitive callees of the POT
+//! plus every global invariant (`inv__*`), because the driver re-runs all
+//! invariants at the end of every POT. A POT must re-verify iff its cone
+//! intersects the changed set ([`affected_pots`]).
+//!
+//! [`cone_digest`] collapses the whole scheme into content addressing: the
+//! digest folds the TIR of every function in the POT's cone plus the
+//! global layout, so the daemon's POT-outcome table needs no explicit
+//! old-vs-new diff at all — an edit inside the cone changes the key, an
+//! edit outside it doesn't. `diff_modules`/`affected_pots` exist on top of
+//! that for reporting (`changed_functions` in the verify response) and for
+//! the intersection tests.
+//!
+//! Digests use FNV-1a with the same constants as the SMT query
+//! fingerprints (`tpot_smt::print::query_fingerprint`) and the proof-cache
+//! key helpers; the printed-TIR input makes them independent of register
+//! numbering noise only insofar as the printer is — which is exactly the
+//! stability contract the golden tests pin.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::print::func_to_string;
+use crate::{Inst, IrArg, IrFunc, Module};
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content digest of one function's printed TIR.
+pub fn func_digest(f: &IrFunc) -> u64 {
+    fnv1a(func_to_string(f).as_bytes())
+}
+
+/// Digest of the module's global-variable declarations (name, type, size,
+/// initializers). Globals are shared state: a change here conservatively
+/// affects every POT.
+pub fn globals_digest(m: &Module) -> u64 {
+    let mut h = fnv1a(b"tpot-globals/v1");
+    for g in &m.globals {
+        h = mix(h, fnv1a(g.name.as_bytes()));
+        h = mix(h, fnv1a(g.ty.to_string().as_bytes()));
+        h = mix(h, g.size);
+        for &(off, width, value) in &g.init {
+            h = mix(h, off);
+            h = mix(h, width as u64);
+            h = mix(h, value as u64);
+        }
+    }
+    h
+}
+
+/// Whole-module content digest: globals plus every function digest, folded
+/// in name order. Two modules with equal digests verify identically; the
+/// daemon keys its module table on this.
+pub fn module_digest(m: &Module) -> u64 {
+    let mut h = fnv1a(b"tpot-module/v1");
+    h = mix(h, globals_digest(m));
+    let mut funcs: Vec<&IrFunc> = m.funcs.iter().collect();
+    funcs.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+    for f in funcs {
+        h = mix(h, fnv1a(f.name.as_bytes()));
+        h = mix(h, func_digest(f));
+    }
+    h
+}
+
+/// The functions `f` references directly: every `Call` callee plus every
+/// function passed by name to a builtin (`forall_elem` witnesses,
+/// `__tpot_inv` invariant bodies, `names_obj_forall` naming functions —
+/// the engine evaluates all of them, so they are real dependencies).
+pub fn callees(f: &IrFunc) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            match inst {
+                Inst::Call { callee, .. } => {
+                    out.insert(callee.clone());
+                }
+                Inst::Builtin { args, .. } => {
+                    for a in args {
+                        if let IrArg::Func(name) = a {
+                            out.insert(name.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Transitive closure of [`callees`] from `root` (inclusive). Names that
+/// don't resolve in the module are kept — an edit that *introduces* a
+/// previously-missing callee must still count as touching the cone.
+pub fn cone_of(m: &Module, root: &str) -> BTreeSet<String> {
+    let mut seen = BTreeSet::new();
+    let mut work = VecDeque::new();
+    work.push_back(root.to_string());
+    while let Some(name) = work.pop_front() {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        if let Some(f) = m.func(&name) {
+            for c in callees(f) {
+                if !seen.contains(&c) {
+                    work.push_back(c);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// The verification cone of one POT: its own call cone unioned with the
+/// cone of every global invariant. The driver assumes all `inv__*` over
+/// the initial state and re-establishes them over every final state, so
+/// every POT depends on every invariant regardless of its call graph.
+pub fn pot_cone(m: &Module, pot: &str) -> BTreeSet<String> {
+    let mut cone = cone_of(m, pot);
+    for inv in m.invariant_names() {
+        cone.extend(cone_of(m, &inv));
+    }
+    cone
+}
+
+/// Content digest of a POT's verification cone: the global layout plus the
+/// TIR of every cone function present in the module, folded in name order.
+/// This is the key of the daemon's POT-outcome table — change anything a
+/// POT can observe and the key changes; change anything else and a prior
+/// outcome is replayed without touching the engine.
+pub fn cone_digest(m: &Module, pot: &str) -> u64 {
+    let mut h = fnv1a(b"tpot-pot-cone/v1");
+    h = mix(h, fnv1a(pot.as_bytes()));
+    h = mix(h, globals_digest(m));
+    for name in pot_cone(m, pot) {
+        h = mix(h, fnv1a(name.as_bytes()));
+        match m.func(&name) {
+            Some(f) => h = mix(h, func_digest(f)),
+            // Unresolved references hash as absent — adding the function
+            // later changes the digest.
+            None => h = mix(h, 0),
+        }
+    }
+    h
+}
+
+/// A function-level diff between two lowered modules.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModuleDiff {
+    /// Functions present in both with different TIR.
+    pub changed: Vec<String>,
+    /// Functions only in the new module.
+    pub added: Vec<String>,
+    /// Functions only in the old module.
+    pub removed: Vec<String>,
+    /// Whether the global-variable layout changed (conservatively affects
+    /// every POT).
+    pub globals_changed: bool,
+}
+
+impl ModuleDiff {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+            && !self.globals_changed
+    }
+
+    /// Every function name in the diff, sorted (for reports).
+    pub fn touched(&self) -> Vec<String> {
+        let mut all: Vec<String> = self
+            .changed
+            .iter()
+            .chain(&self.added)
+            .chain(&self.removed)
+            .cloned()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+/// Diffs two modules function-by-function.
+pub fn diff_modules(old: &Module, new: &Module) -> ModuleDiff {
+    let digests = |m: &Module| -> BTreeMap<String, u64> {
+        m.funcs
+            .iter()
+            .map(|f| (f.name.clone(), func_digest(f)))
+            .collect()
+    };
+    let od = digests(old);
+    let nd = digests(new);
+    let mut diff = ModuleDiff {
+        globals_changed: globals_digest(old) != globals_digest(new),
+        ..ModuleDiff::default()
+    };
+    for (name, d) in &nd {
+        match od.get(name) {
+            None => diff.added.push(name.clone()),
+            Some(o) if o != d => diff.changed.push(name.clone()),
+            Some(_) => {}
+        }
+    }
+    for name in od.keys() {
+        if !nd.contains_key(name) {
+            diff.removed.push(name.clone());
+        }
+    }
+    diff
+}
+
+/// The POTs of `new` whose verification cone intersects the diff — the
+/// set an incremental re-verification must actually re-run. A global
+/// change affects every POT.
+pub fn affected_pots(old: &Module, new: &Module) -> Vec<String> {
+    let diff = diff_modules(old, new);
+    if diff.globals_changed {
+        return new.pot_names();
+    }
+    let touched: BTreeSet<String> = diff.touched().into_iter().collect();
+    if touched.is_empty() {
+        return Vec::new();
+    }
+    new.pot_names()
+        .into_iter()
+        .filter(|pot| !pot_cone(new, pot).is_disjoint(&touched))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpot_cfront::compile;
+
+    fn module(src: &str) -> Module {
+        crate::lower(&compile(src).unwrap()).unwrap()
+    }
+
+    const BASE: &str = r#"
+int counter;
+int unrelated;
+
+int helper(int x) { return x + 1; }
+int twice(int x) { return helper(helper(x)); }
+int lonely(int x) { return x * 2; }
+
+int inv__counter(void) { return counter >= 0; }
+
+void spec__bump(void) {
+    any(int, v);
+    assume(v >= 0 && v < 100);
+    counter = twice(v);
+    assert(counter >= 1);
+}
+
+void spec__lone(void) {
+    any(int, v);
+    assume(v >= 0 && v < 10);
+    assert(lonely(v) >= 0);
+}
+"#;
+
+    #[test]
+    fn digests_are_stable_and_content_addressed() {
+        let a = module(BASE);
+        let b = module(BASE);
+        assert_eq!(module_digest(&a), module_digest(&b));
+        assert_eq!(cone_digest(&a, "spec__bump"), cone_digest(&b, "spec__bump"));
+        // Whitespace/comment noise must not change the lowered digest.
+        let c = module(&BASE.replace("return x + 1;", "return x + 1; /* c */"));
+        assert_eq!(module_digest(&a), module_digest(&c));
+    }
+
+    #[test]
+    fn cone_includes_transitive_callees_and_invariants() {
+        let m = module(BASE);
+        let cone = pot_cone(&m, "spec__bump");
+        assert!(cone.contains("spec__bump"));
+        assert!(cone.contains("twice"));
+        assert!(cone.contains("helper"), "transitive callee in cone");
+        assert!(cone.contains("inv__counter"), "invariants in every cone");
+        assert!(!cone.contains("lonely"), "unrelated function not in cone");
+        assert!(!cone.contains("spec__lone"));
+    }
+
+    #[test]
+    fn edit_invalidates_only_cone_touching_pots() {
+        let old = module(BASE);
+        let new = module(&BASE.replace("return x + 1;", "return x + 2;"));
+        let diff = diff_modules(&old, &new);
+        assert_eq!(diff.changed, vec!["helper".to_string()]);
+        assert!(diff.added.is_empty() && diff.removed.is_empty());
+        assert!(!diff.globals_changed);
+        // Only the POT whose cone contains `helper` re-verifies.
+        assert_eq!(affected_pots(&old, &new), vec!["spec__bump".to_string()]);
+        // Content addressing agrees: the touched cone's digest moved, the
+        // untouched one's didn't.
+        assert_ne!(
+            cone_digest(&old, "spec__bump"),
+            cone_digest(&new, "spec__bump")
+        );
+        assert_eq!(
+            cone_digest(&old, "spec__lone"),
+            cone_digest(&new, "spec__lone")
+        );
+    }
+
+    #[test]
+    fn invariant_edit_affects_every_pot() {
+        let old = module(BASE);
+        let new = module(&BASE.replace("counter >= 0", "counter >= 1"));
+        let affected = affected_pots(&old, &new);
+        assert_eq!(
+            affected,
+            vec!["spec__bump".to_string(), "spec__lone".to_string()],
+            "an invariant is in every POT's cone"
+        );
+    }
+
+    #[test]
+    fn global_layout_change_affects_every_pot() {
+        let old = module(BASE);
+        let new = module(&BASE.replace("int unrelated;", "long unrelated;"));
+        assert!(diff_modules(&old, &new).globals_changed);
+        assert_eq!(affected_pots(&old, &new).len(), 2);
+        assert_ne!(
+            cone_digest(&old, "spec__lone"),
+            cone_digest(&new, "spec__lone"),
+            "cone digests fold the global layout"
+        );
+    }
+
+    #[test]
+    fn identical_modules_diff_empty() {
+        let a = module(BASE);
+        let b = module(BASE);
+        let diff = diff_modules(&a, &b);
+        assert!(diff.is_empty());
+        assert!(affected_pots(&a, &b).is_empty());
+    }
+}

@@ -20,10 +20,13 @@
 //! inlining every `Call` (the paper's component-level verification design,
 //! §4.1: "TPot, in contrast, effectively inlines all internal functions").
 
+pub mod diff;
 pub mod lower;
 pub mod print;
 
 use std::collections::HashMap;
+
+pub use tpot_api::TpotError;
 
 pub use tpot_cfront::sema::Builtin;
 use tpot_cfront::sema::{CheckedProgram, GlobalInfo, LocalSlot};
@@ -308,7 +311,11 @@ impl Module {
 }
 
 /// Lowers a checked program into a [`Module`].
-pub fn lower(prog: &CheckedProgram) -> Result<Module, String> {
+///
+/// Lowering failures are semantic-analysis failures of the TPot C subset
+/// (unsupported constructs, malformed specs), surfaced as
+/// [`TpotError::Sema`] on the typed pipeline error surface.
+pub fn lower(prog: &CheckedProgram) -> Result<Module, TpotError> {
     let _span = tpot_obs::span("ir", "lower");
-    lower::lower_program(prog)
+    lower::lower_program(prog).map_err(TpotError::sema)
 }

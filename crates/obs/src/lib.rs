@@ -144,6 +144,14 @@ pub struct Config {
     /// driver writes the fork tree weighted by exclusive solver time in
     /// collapsed-stack (flamegraph) format to this path.
     pub profile_path: Option<PathBuf>,
+    /// Persistent proof-cache directory (`TPOT_CACHE_DIR`): the engine
+    /// driver and `tpotd` open `proofs.cache` inside it when no explicit
+    /// cache path is configured. `None` = in-memory caching only.
+    pub cache_dir: Option<PathBuf>,
+    /// Persistent proof-cache size bound in MiB (`TPOT_CACHE_MAX_MB`);
+    /// entries are evicted least-recently-used once the serialized cache
+    /// would exceed it. `None` = the cache's default (256 MiB).
+    pub cache_max_mb: Option<u64>,
 }
 
 /// The historical name of [`Config`].
@@ -207,6 +215,10 @@ impl Config {
             blame: toggle("TPOT_BLAME"),
             status_path: path("TPOT_STATUS"),
             profile_path: path("TPOT_PROFILE"),
+            cache_dir: path("TPOT_CACHE_DIR"),
+            cache_max_mb: std::env::var("TPOT_CACHE_MAX_MB")
+                .ok()
+                .and_then(|v| v.trim().parse().ok()),
         }
     }
 

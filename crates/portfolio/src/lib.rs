@@ -19,12 +19,17 @@
 //!   recommends because "a solver portfolio is more often wrong than an
 //!   individual solver" (§4.4). A Sat model is re-evaluated against the
 //!   original assertions.
-//! - [`PersistentCache`] keys Sat/Unsat outcomes by a stable fingerprint of
-//!   the serialized SMT-LIB query. The cache sits behind a
-//!   `parking_lot::Mutex` so parallel POT verification shares one cache and
-//!   every POT benefits from its siblings' hits; flushes are crash-safe
-//!   (temp file + atomic rename) and merge with concurrent writers instead
-//!   of overwriting them.
+//! - The persistent query cache ([`tpot_proofcache::ProofCache`]) keys
+//!   Sat/Unsat outcomes by `(query fingerprint, solver-config digest)`. The
+//!   digest ([`solver_config_digest`], plus an engine-level salt installed
+//!   through [`Portfolio::with_config_salt`]) folds every semantically
+//!   relevant knob — inprocessing, clause-DB tiering, conflict budgets,
+//!   theory limits — so an outcome recorded under one solver configuration
+//!   can never answer a query issued under a different one. The cache sits
+//!   behind a `parking_lot::Mutex` so parallel POT verification shares one
+//!   cache and every POT benefits from its siblings' hits; flushes are
+//!   crash-safe (temp file + atomic rename) and merge with concurrent
+//!   writers instead of overwriting them.
 //!
 //! Serialization happens exactly once per solver call: the engine serializes
 //! for accounting, fingerprints the text, and passes the fingerprint to
@@ -34,7 +39,6 @@
 mod pool;
 
 use std::collections::HashMap;
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,6 +52,7 @@ use tpot_solver::{SmtResult, SolveSession, SolverError};
 use tpot_obs::metrics::LazyCounter;
 
 pub use pool::{Job, Reply, WorkerPool};
+pub use tpot_proofcache::{fnv1a, mix, CachedOutcome, PotEntry, ProofCache};
 
 static CACHE_HITS: LazyCounter = LazyCounter::new("portfolio.cache.hits");
 static CACHE_MISSES: LazyCounter = LazyCounter::new("portfolio.cache.misses");
@@ -56,160 +61,43 @@ static SESSION_HITS: LazyCounter = LazyCounter::new("solver.session.hit");
 static SESSION_MISSES: LazyCounter = LazyCounter::new("solver.session.miss");
 static SESSION_REBLASTED: LazyCounter = LazyCounter::new("solver.session.reblasted_terms");
 
-/// Outcome stored in the persistent cache.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum CachedOutcome {
-    /// Query was satisfiable.
-    Sat,
-    /// Query was unsatisfiable.
-    Unsat,
-}
-
-/// On-disk query cache (paper §4.4, "Persistent query caching").
-///
-/// The file format is a plain line-oriented text format
-/// (`<fingerprint> sat|unsat`), hand-rolled because the build environment
-/// vendors no serde. [`flush`](Self::flush) is safe against crashes and
-/// concurrent flushers: it merges with whatever is on disk, writes a
-/// temporary file, and renames it into place atomically.
-#[derive(Debug, Default)]
-pub struct PersistentCache {
-    path: Option<PathBuf>,
-    map: HashMap<u64, CachedOutcome>,
-    dirty: bool,
-    /// Statistics: cache hits.
-    pub hits: u64,
-    /// Statistics: cache misses.
-    pub misses: u64,
-}
-
-fn parse_cache(text: &str) -> HashMap<u64, CachedOutcome> {
-    let mut map = HashMap::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let (Some(fp), Some(outcome)) = (parts.next(), parts.next()) else {
-            continue;
-        };
-        let Ok(fp) = fp.parse::<u64>() else { continue };
-        match outcome {
-            "sat" => {
-                map.insert(fp, CachedOutcome::Sat);
-            }
-            "unsat" => {
-                map.insert(fp, CachedOutcome::Unsat);
-            }
-            _ => {}
-        }
-    }
-    map
-}
-
-fn render_cache(map: &HashMap<u64, CachedOutcome>) -> String {
-    let mut entries: Vec<(&u64, &CachedOutcome)> = map.iter().collect();
-    entries.sort_unstable_by_key(|(fp, _)| **fp);
-    let mut out = String::with_capacity(entries.len() * 24 + 32);
-    out.push_str("# tpot query cache v1\n");
-    for (fp, outcome) in entries {
-        out.push_str(&fp.to_string());
-        out.push(' ');
-        out.push_str(match outcome {
-            CachedOutcome::Sat => "sat",
-            CachedOutcome::Unsat => "unsat",
-        });
-        out.push('\n');
-    }
-    out
-}
-
-impl PersistentCache {
-    /// In-memory cache (not persisted) — still useful within one run.
-    pub fn in_memory() -> Self {
-        Self::default()
-    }
-
-    /// Opens (or creates) a cache file.
-    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
-        let path = path.into();
-        let map = match std::fs::read_to_string(&path) {
-            Ok(text) => parse_cache(&text),
-            Err(_) => HashMap::new(),
-        };
-        Ok(PersistentCache {
-            path: Some(path),
-            map,
-            dirty: false,
-            hits: 0,
-            misses: 0,
-        })
-    }
-
-    /// Looks up a fingerprint.
-    pub fn get(&mut self, fp: u64) -> Option<CachedOutcome> {
-        let r = self.map.get(&fp).copied();
-        if r.is_some() {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-        }
-        r
-    }
-
-    /// Records an outcome.
-    pub fn put(&mut self, fp: u64, outcome: CachedOutcome) {
-        self.map.insert(fp, outcome);
-        self.dirty = true;
-    }
-
-    /// Number of cached entries.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// True when empty.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Writes the cache to disk (no-op for in-memory caches).
-    ///
-    /// Crash/concurrency-safe: merges with any entries another process (or a
-    /// parallel POT worker flushing the same path) wrote since we opened the
-    /// file, then writes a temp file and renames it into place atomically.
-    /// Our own entries win fingerprint collisions — outcomes for a given
-    /// fingerprint are deterministic, so a collision means equal values
-    /// anyway.
-    pub fn flush(&mut self) -> std::io::Result<()> {
-        if !self.dirty {
-            return Ok(());
-        }
-        if let Some(path) = &self.path {
-            if let Ok(text) = std::fs::read_to_string(path) {
-                for (fp, outcome) in parse_cache(&text) {
-                    self.map.entry(fp).or_insert(outcome);
-                }
-            }
-            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-            std::fs::write(&tmp, render_cache(&self.map))?;
-            std::fs::rename(&tmp, path)?;
-        }
-        self.dirty = false;
-        Ok(())
-    }
-}
-
-impl Drop for PersistentCache {
-    fn drop(&mut self) {
-        let _ = self.flush();
-    }
-}
-
-/// A shareable handle to a [`PersistentCache`]. Parallel POT verification
+/// A shareable handle to a [`ProofCache`]. Parallel POT verification
 /// clones one handle into every worker so POTs see each other's hits.
-pub type SharedCache = Arc<Mutex<PersistentCache>>;
+pub type SharedCache = Arc<Mutex<ProofCache>>;
+
+/// Digest of one instance's semantically relevant configuration.
+///
+/// Folds every knob that changes *which answers the solver can give* —
+/// inprocessing, clause-DB tiering, restart schedule, conflict and theory
+/// budgets, core minimization, LIA branching — and deliberately excludes
+/// pure identity/diversification state: seeds, names, sinks and cancel
+/// flags never affect a Sat/Unsat verdict (an `Unknown` is never cached),
+/// so keying on them would only fragment the cache across portfolio
+/// members and CI runs.
+pub fn solver_config_digest(cfg: &tpot_solver::SolverConfig) -> u64 {
+    let mut h = fnv1a(b"tpot-solver-config/v1");
+    h = mix(h, cfg.sat.inprocess as u64);
+    h = mix(h, cfg.sat.lbd_core as u64);
+    h = mix(h, cfg.sat.lbd_mid as u64);
+    h = mix(h, cfg.sat.restart_base);
+    h = mix(h, cfg.sat.conflict_limit.map_or(u64::MAX, |n| n));
+    h = mix(h, cfg.sat.default_phase as u64);
+    h = mix(h, cfg.lia.max_nodes);
+    h = mix(h, cfg.lia.branch_lowest_index as u64);
+    h = mix(h, cfg.max_theory_rounds);
+    h = mix(h, cfg.minimize_cores as u64);
+    h
+}
+
+/// Digest of a whole portfolio: the instance digests folded in order.
+pub fn portfolio_config_digest(configs: &[tpot_solver::SolverConfig]) -> u64 {
+    let mut h = fnv1a(b"tpot-portfolio-config/v1");
+    h = mix(h, configs.len() as u64);
+    for cfg in configs {
+        h = mix(h, solver_config_digest(cfg));
+    }
+    h
+}
 
 /// Portfolio statistics.
 #[derive(Clone, Debug, Default)]
@@ -232,6 +120,12 @@ pub struct PortfolioStats {
     /// Time jobs spent waiting in the worker-pool queue (summed over
     /// observed replies).
     pub queue_wait: Duration,
+    /// Queries answered straight from the persistent proof cache (no
+    /// solver ran). The provenance layer reads this: a POT whose engine run
+    /// had `cache_misses == 0` and `cache_hits > 0` was *replayed*.
+    pub cache_hits: u64,
+    /// Queries that missed the proof cache and went to a solver.
+    pub cache_misses: u64,
 }
 
 /// Broker statistics (see the `solver.session.*` metrics for the
@@ -495,6 +389,12 @@ pub struct Portfolio {
     /// sum over all sinks equals the process-wide `sat.*` counter delta.
     sink: Arc<SatSink>,
     pool: Arc<WorkerPool>,
+    /// Cache key half: [`portfolio_config_digest`] of the instance configs,
+    /// optionally salted by the caller ([`Self::with_config_salt`]) with
+    /// engine-level knobs the portfolio cannot see (address-mode encoding,
+    /// incremental sessions). Every persistent-cache access is keyed
+    /// `(query fingerprint, this digest)`.
+    config_digest: u64,
 }
 
 impl Portfolio {
@@ -505,6 +405,7 @@ impl Portfolio {
         for cfg in &mut configs {
             cfg.sat.sink = Some(sink.clone());
         }
+        let config_digest = portfolio_config_digest(&configs);
         Portfolio {
             configs,
             cache: None,
@@ -512,7 +413,23 @@ impl Portfolio {
             sessions: SessionBroker::default(),
             sink,
             pool: WorkerPool::global(),
+            config_digest,
         }
+    }
+
+    /// Mixes a caller-level salt into the cache-key digest. The engine
+    /// passes a digest of the knobs *it* controls (address-mode encoding —
+    /// which changes what the same TIR means as SMT — plus session mode),
+    /// so cache entries can never cross an engine-configuration boundary
+    /// either.
+    pub fn with_config_salt(mut self, salt: u64) -> Self {
+        self.config_digest = mix(self.config_digest, salt);
+        self
+    }
+
+    /// The `(fingerprint, digest)` key half this portfolio caches under.
+    pub fn config_digest(&self) -> u64 {
+        self.config_digest
     }
 
     /// Cumulative SAT counters attributed to this portfolio's shard so far.
@@ -534,7 +451,7 @@ impl Portfolio {
     }
 
     /// Attaches a private persistent cache.
-    pub fn with_cache(self, cache: PersistentCache) -> Self {
+    pub fn with_cache(self, cache: ProofCache) -> Self {
         self.with_shared_cache(Arc::new(Mutex::new(cache)))
     }
 
@@ -581,6 +498,7 @@ impl Portfolio {
             sessions,
             sink,
             pool: Arc::clone(&self.pool),
+            config_digest: self.config_digest,
         }
     }
 
@@ -614,17 +532,22 @@ impl Portfolio {
     ) -> Result<SmtResult, SolverError> {
         if !need_model {
             if let Some(cache) = &self.cache {
-                let hit = cache.lock().get(fp);
+                let hit = cache.lock().get_query(fp, self.config_digest);
                 match hit {
                     Some(CachedOutcome::Sat) => {
                         CACHE_HITS.add(1);
+                        self.stats.cache_hits += 1;
                         return Ok(SmtResult::Sat(tpot_smt::Model::new()));
                     }
                     Some(CachedOutcome::Unsat) => {
                         CACHE_HITS.add(1);
+                        self.stats.cache_hits += 1;
                         return Ok(SmtResult::Unsat);
                     }
-                    None => CACHE_MISSES.add(1),
+                    None => {
+                        CACHE_MISSES.add(1);
+                        self.stats.cache_misses += 1;
+                    }
                 }
             }
         }
@@ -643,8 +566,16 @@ impl Portfolio {
         };
         if let Some(cache) = &self.cache {
             match &result {
-                SmtResult::Sat(_) => cache.lock().put(fp, CachedOutcome::Sat),
-                SmtResult::Unsat => cache.lock().put(fp, CachedOutcome::Unsat),
+                SmtResult::Sat(_) => {
+                    cache
+                        .lock()
+                        .put_query(fp, self.config_digest, CachedOutcome::Sat)
+                }
+                SmtResult::Unsat => {
+                    cache
+                        .lock()
+                        .put_query(fp, self.config_digest, CachedOutcome::Unsat)
+                }
                 SmtResult::Unknown => {}
             }
         }
@@ -684,17 +615,22 @@ impl Portfolio {
         }
         if !need_model {
             if let Some(cache) = &self.cache {
-                let hit = cache.lock().get(fp);
+                let hit = cache.lock().get_query(fp, self.config_digest);
                 match hit {
                     Some(CachedOutcome::Sat) => {
                         CACHE_HITS.add(1);
+                        self.stats.cache_hits += 1;
                         return Ok(SmtResult::Sat(tpot_smt::Model::new()));
                     }
                     Some(CachedOutcome::Unsat) => {
                         CACHE_HITS.add(1);
+                        self.stats.cache_hits += 1;
                         return Ok(SmtResult::Unsat);
                     }
-                    None => CACHE_MISSES.add(1),
+                    None => {
+                        CACHE_MISSES.add(1);
+                        self.stats.cache_misses += 1;
+                    }
                 }
             }
         }
@@ -708,8 +644,16 @@ impl Portfolio {
         self.stats.queries += 1;
         if let Some(cache) = &self.cache {
             match &result {
-                SmtResult::Sat(_) => cache.lock().put(fp, CachedOutcome::Sat),
-                SmtResult::Unsat => cache.lock().put(fp, CachedOutcome::Unsat),
+                SmtResult::Sat(_) => {
+                    cache
+                        .lock()
+                        .put_query(fp, self.config_digest, CachedOutcome::Sat)
+                }
+                SmtResult::Unsat => {
+                    cache
+                        .lock()
+                        .put_query(fp, self.config_digest, CachedOutcome::Unsat)
+                }
                 SmtResult::Unknown => {}
             }
         }
@@ -901,51 +845,72 @@ mod tests {
     fn cache_avoids_resolving() {
         let mut a = TermArena::new();
         let q = simple_query(&mut a, false);
-        let mut p = Portfolio::single().with_cache(PersistentCache::in_memory());
+        let mut p = Portfolio::single().with_cache(ProofCache::in_memory());
         assert!(p.check(&a, &q, false).unwrap().is_unsat());
         assert_eq!(p.stats.queries, 1);
         assert!(p.check(&a, &q, false).unwrap().is_unsat());
         assert_eq!(p.stats.queries, 1, "second query must hit the cache");
-        assert_eq!(p.cache.as_ref().unwrap().lock().hits, 1);
+        assert_eq!(p.stats.cache_hits, 1);
+        assert_eq!(p.cache.as_ref().unwrap().lock().stats().hits, 1);
     }
 
     #[test]
-    fn persistent_cache_roundtrip() {
-        let path = std::env::temp_dir().join(format!("tpot-cache-{}", std::process::id()));
-        let _ = std::fs::remove_file(&path);
-        {
-            let mut c = PersistentCache::open(&path).unwrap();
-            c.put(42, CachedOutcome::Unsat);
-            c.flush().unwrap();
-        }
-        let mut c2 = PersistentCache::open(&path).unwrap();
-        assert_eq!(c2.get(42), Some(CachedOutcome::Unsat));
-        assert_eq!(c2.get(43), None);
-        let _ = std::fs::remove_file(&path);
+    fn cache_entries_do_not_cross_config_digests() {
+        // The soundness half of the persistent cache: an outcome recorded
+        // under one solver configuration must be invisible to a portfolio
+        // running a different one, even for a byte-identical query.
+        let mut a = TermArena::new();
+        let q = simple_query(&mut a, false);
+        let cache: SharedCache = Arc::new(Mutex::new(ProofCache::in_memory()));
+        let mut p1 = Portfolio::single().with_shared_cache(cache.clone());
+        assert!(p1.check(&a, &q, false).unwrap().is_unsat());
+        assert_eq!(p1.stats.cache_misses, 1);
+
+        let mut inproc_off = tpot_solver::SolverConfig::default();
+        inproc_off.sat.inprocess = !inproc_off.sat.inprocess;
+        let mut p2 = Portfolio::new(vec![inproc_off]).with_shared_cache(cache.clone());
+        assert_ne!(p1.config_digest(), p2.config_digest());
+        assert!(p2.check(&a, &q, false).unwrap().is_unsat());
+        assert_eq!(p2.stats.cache_hits, 0, "different digest must miss");
+        assert_eq!(p2.stats.queries, 1, "and therefore re-solve");
+
+        // An engine-level salt splits otherwise-identical portfolios too.
+        let mut p3 = Portfolio::single()
+            .with_config_salt(0xabcd)
+            .with_shared_cache(cache.clone());
+        assert!(p3.check(&a, &q, false).unwrap().is_unsat());
+        assert_eq!(p3.stats.cache_hits, 0);
+
+        // Same config as p1: clean hit.
+        let mut p4 = Portfolio::single().with_shared_cache(cache);
+        assert!(p4.check(&a, &q, false).unwrap().is_unsat());
+        assert_eq!(p4.stats.cache_hits, 1);
+        assert_eq!(p4.stats.queries, 0);
     }
 
     #[test]
-    fn flush_merges_concurrent_writers() {
-        let path = std::env::temp_dir().join(format!("tpot-cache-merge-{}", std::process::id()));
-        let _ = std::fs::remove_file(&path);
-        let mut a = PersistentCache::open(&path).unwrap();
-        let mut b = PersistentCache::open(&path).unwrap();
-        a.put(1, CachedOutcome::Sat);
-        a.flush().unwrap();
-        // b never saw a's entry in memory; its flush must not clobber it.
-        b.put(2, CachedOutcome::Unsat);
-        b.flush().unwrap();
-        let mut c = PersistentCache::open(&path).unwrap();
-        assert_eq!(c.get(1), Some(CachedOutcome::Sat));
-        assert_eq!(c.get(2), Some(CachedOutcome::Unsat));
-        let _ = std::fs::remove_file(&path);
+    fn seed_diversity_shares_cache_entries() {
+        // The completeness half: seeds (and names) are pure
+        // diversification, so differently-seeded instances must share
+        // entries rather than fragment the cache.
+        let base = tpot_solver::SolverConfig::default();
+        let mut reseeded = base.clone();
+        reseeded.sat = reseeded.sat.with_seed(12345);
+        reseeded.name = "reseeded".into();
+        assert_eq!(solver_config_digest(&base), solver_config_digest(&reseeded));
+        let mut inproc_off = base.clone();
+        inproc_off.sat.inprocess = !inproc_off.sat.inprocess;
+        assert_ne!(
+            solver_config_digest(&base),
+            solver_config_digest(&inproc_off)
+        );
     }
 
     #[test]
     fn model_needed_bypasses_cache() {
         let mut a = TermArena::new();
         let q = simple_query(&mut a, true);
-        let mut p = Portfolio::single().with_cache(PersistentCache::in_memory());
+        let mut p = Portfolio::single().with_cache(ProofCache::in_memory());
         assert!(p.check(&a, &q, false).unwrap().is_sat());
         // Need a model: must re-solve even though the outcome is cached.
         match p.check(&a, &q, true).unwrap() {
@@ -1128,7 +1093,7 @@ mod tests {
         let mut a = TermArena::new();
         let q = simple_query(&mut a, false);
         let fp = query_fingerprint(&to_smtlib(&a, &q));
-        let mut p = Portfolio::single().with_cache(PersistentCache::in_memory());
+        let mut p = Portfolio::single().with_cache(ProofCache::in_memory());
         assert!(p.check_fingerprinted(&a, &q, false, fp).unwrap().is_unsat());
         // The cached one-shot outcome answers the incremental call without
         // ever opening a session.
@@ -1138,7 +1103,7 @@ mod tests {
             .is_unsat());
         assert!(p.sessions.is_empty());
         assert_eq!(p.stats.queries, 1);
-        assert_eq!(p.cache.as_ref().unwrap().lock().hits, 1);
+        assert_eq!(p.stats.cache_hits, 1);
     }
 
     #[test]

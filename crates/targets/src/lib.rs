@@ -12,7 +12,7 @@ pub mod annot;
 pub mod loc;
 
 use tpot_engine::Verifier;
-use tpot_ir::Module;
+use tpot_ir::{Module, TpotError};
 
 /// A bundled evaluation target.
 #[derive(Clone, Debug)]
@@ -51,18 +51,18 @@ impl Target {
     }
 
     /// Compiles and lowers the target.
-    pub fn module(&self) -> Result<Module, String> {
-        let checked = tpot_cfront::compile(&self.full_source()).map_err(|e| e.to_string())?;
+    pub fn module(&self) -> Result<Module, TpotError> {
+        let checked = tpot_cfront::compile(&self.full_source())?;
         tpot_ir::lower(&checked)
     }
 
     /// A verifier over the target with the default engine configuration.
-    pub fn verifier(&self) -> Result<Verifier, String> {
+    pub fn verifier(&self) -> Result<Verifier, TpotError> {
         Ok(Verifier::new(self.module()?))
     }
 
     /// Names of the target's POTs.
-    pub fn pots(&self) -> Result<Vec<String>, String> {
+    pub fn pots(&self) -> Result<Vec<String>, TpotError> {
         Ok(self.module()?.pot_names())
     }
 }

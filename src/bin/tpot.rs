@@ -1,0 +1,155 @@
+//! `tpot` — client CLI for the `tpotd` verification service.
+//!
+//! ```text
+//! tpot verify  --addr HOST:PORT (--target NAME | --source FILE)
+//!              [--pot NAME]... [--label KEY] [--addr-mode int|bv] [--jobs N]
+//! tpot status  --addr HOST:PORT
+//! tpot shutdown --addr HOST:PORT
+//! ```
+//!
+//! Speaks `tpot-api/v1` (JSON over HTTP); exit status is 0 when every
+//! requested POT proved, 1 on any failure or error, 2 on usage errors.
+
+use tpot_api::{http, CacheProvenance, PotStatusWire, VerifyRequest, VerifyResponse};
+use tpot_obs::json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n\
+         tpot verify   --addr HOST:PORT (--target NAME | --source FILE)\n\
+        \x20              [--pot NAME]... [--label KEY] [--addr-mode int|bv] [--jobs N]\n\
+         tpot status   --addr HOST:PORT\n\
+         tpot shutdown --addr HOST:PORT"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let mut addr = "127.0.0.1:7333".to_string();
+    let mut req = VerifyRequest::default();
+    let mut pots: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("tpot: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--target" => req.target = Some(take("--target")),
+            "--source" => {
+                let path = take("--source");
+                match std::fs::read_to_string(&path) {
+                    Ok(src) => req.source = Some(src),
+                    Err(e) => {
+                        eprintln!("tpot: read {path:?}: {e}");
+                        std::process::exit(2)
+                    }
+                }
+            }
+            "--pot" => pots.push(take("--pot")),
+            "--label" => req.label = Some(take("--label")),
+            "--addr-mode" => req.addr_mode = Some(take("--addr-mode")),
+            "--jobs" => match take("--jobs").parse() {
+                Ok(j) => req.jobs = Some(j),
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("tpot: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if !pots.is_empty() {
+        req.pots = Some(pots);
+    }
+
+    match cmd.as_str() {
+        "status" => {
+            let (status, body) = http::get(&addr, "/v1/status").unwrap_or_else(|e| {
+                eprintln!("tpot: {e}");
+                std::process::exit(1)
+            });
+            println!("{body}");
+            std::process::exit(if status == 200 { 0 } else { 1 })
+        }
+        "shutdown" => {
+            let (status, body) = http::post(&addr, "/v1/shutdown", "").unwrap_or_else(|e| {
+                eprintln!("tpot: {e}");
+                std::process::exit(1)
+            });
+            println!("{body}");
+            std::process::exit(if status == 200 { 0 } else { 1 })
+        }
+        "verify" => {
+            if req.target.is_none() && req.source.is_none() {
+                eprintln!("tpot verify: need --target or --source");
+                usage()
+            }
+            let (status, body) = http::post(&addr, "/v1/verify", &req.to_json().render())
+                .unwrap_or_else(|e| {
+                    eprintln!("tpot: {e}");
+                    std::process::exit(1)
+                });
+            if status != 200 {
+                eprintln!("tpot: HTTP {status}: {body}");
+                std::process::exit(1)
+            }
+            let resp = json::parse(&body)
+                .map_err(|e| e.to_string())
+                .and_then(|v| VerifyResponse::from_json(&v).map_err(|e| e.to_string()))
+                .unwrap_or_else(|e| {
+                    eprintln!("tpot: bad response: {e}");
+                    std::process::exit(1)
+                });
+            if let Some(e) = &resp.error {
+                eprintln!("tpot: {e}");
+                std::process::exit(1)
+            }
+            let mut all_proved = true;
+            for p in &resp.pots {
+                let mark = match p.status {
+                    PotStatusWire::Proved => "PROVED",
+                    PotStatusWire::Failed => "FAILED",
+                    PotStatusWire::Error => "ERROR ",
+                };
+                all_proved &= p.status == PotStatusWire::Proved;
+                println!(
+                    "{mark}  {:30} {:9} {:9.1}ms  {} hits / {} misses",
+                    p.pot,
+                    p.provenance.as_str(),
+                    p.duration_ms,
+                    p.cache_hits,
+                    p.cache_misses
+                );
+                for d in &p.detail {
+                    println!("        {d}");
+                }
+            }
+            if !resp.changed_functions.is_empty() {
+                println!("changed functions: {}", resp.changed_functions.join(", "));
+            }
+            let cached = resp
+                .pots
+                .iter()
+                .filter(|p| p.provenance == CacheProvenance::Cached)
+                .count();
+            println!(
+                "{} POTs ({cached} cached) in {:.1}ms; cache: {} query + {} pot entries, {} hits / {} misses / {} evictions",
+                resp.pots.len(),
+                resp.duration_ms,
+                resp.cache.query_entries,
+                resp.cache.pot_entries,
+                resp.cache.hits,
+                resp.cache.misses,
+                resp.cache.evictions
+            );
+            std::process::exit(if all_proved { 0 } else { 1 })
+        }
+        _ => usage(),
+    }
+}

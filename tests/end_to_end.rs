@@ -282,3 +282,31 @@ fn annotation_counter_reports_zero_internal_for_tpot() {
         assert_eq!(c.internal + c.predicates + c.proof, 0, "{}", t.name);
     }
 }
+
+/// Persistent-cache round trip on the pKVM smoke subset: a second verifier
+/// over the unchanged target, pointed at the same cache file, must replay
+/// every solver query from disk (100% hit rate — zero misses).
+#[test]
+fn pkvm_smoke_subset_cache_round_trip_hits_fully() {
+    let path =
+        std::env::temp_dir().join(format!("tpot_e2e_pkvm_cache_{}.cache", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let t = tpot::targets::target("pkvm").unwrap();
+    let opts = VerifyOptions::new()
+        .pots(["spec__nr_pages", "spec__init"])
+        .jobs(1)
+        .cache_path(&path);
+
+    let cold = t.verifier().unwrap().verify(&opts);
+    assert!(cold.iter().all(|r| r.status.is_proved()));
+    let cold_misses: u64 = cold.iter().map(|r| r.stats.cache_misses).sum();
+    assert!(cold_misses > 0, "cold run solves");
+
+    let warm = t.verifier().unwrap().verify(&opts);
+    assert!(warm.iter().all(|r| r.status.is_proved()));
+    let warm_misses: u64 = warm.iter().map(|r| r.stats.cache_misses).sum();
+    let warm_hits: u64 = warm.iter().map(|r| r.stats.cache_hits).sum();
+    assert_eq!(warm_misses, 0, "100% hit rate after restart");
+    assert!(warm_hits > 0);
+    let _ = std::fs::remove_file(&path);
+}
